@@ -1,0 +1,53 @@
+//! Benchmarks of the scale-simulation path: trace generation from bytecode
+//! and discrete-event replay at large worker counts (the cost of
+//! regenerating a paper figure).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sia_chem::{ccsd_iteration, fock_build, RDX};
+use sia_sim::{machine::CRAY_XT5, simulate, SimConfig};
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    let ccsd = ccsd_iteration(&RDX, 20, 1);
+    group.bench_function("rdx_ccsd", |b| {
+        b.iter(|| ccsd.trace(1000, 1).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_des_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_replay");
+    group.sample_size(10);
+    let trace = ccsd_iteration(&RDX, 15, 1).trace(1000, 1).unwrap();
+    for workers in [1_000u64, 8_000, 64_000] {
+        group.bench_with_input(
+            BenchmarkId::new("rdx_ccsd", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| simulate(black_box(&trace), &SimConfig::sip(CRAY_XT5, workers)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_des_fine_grained(c: &mut Criterion) {
+    // The Figure 6 workload: tens of millions of tiny tasks — the DES's
+    // stress case (chunk events through the serialized master model).
+    let mut group = c.benchmark_group("des_fine_grained");
+    group.sample_size(10);
+    let trace = fock_build(&sia_chem::DIAMOND_NC, 48).trace(1024, 1).unwrap();
+    group.bench_function("diamond_fock_72k", |b| {
+        b.iter(|| simulate(black_box(&trace), &SimConfig::sip(CRAY_XT5, 72_000)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_generation,
+    bench_des_replay,
+    bench_des_fine_grained
+);
+criterion_main!(benches);

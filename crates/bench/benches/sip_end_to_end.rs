@@ -1,0 +1,64 @@
+//! End-to-end benchmark of the real SIP: the paper's contraction on a small
+//! problem, across worker counts and prefetch settings. (Threads share one
+//! host, so this measures runtime overheads — scheduling, messaging, cache —
+//! rather than parallel speedup.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sia_chem::{contraction_demo, Molecule};
+use sia_runtime::SipConfig;
+
+fn molecule() -> Molecule {
+    Molecule {
+        name: "bench",
+        formula: "—",
+        electrons: 8,
+        n_occ: 4,
+        n_ao: 12,
+        open_shell: false,
+    }
+}
+
+fn bench_real_sip(c: &mut Criterion) {
+    let workload = contraction_demo(&molecule(), 4);
+    let mut group = c.benchmark_group("sip_real_contraction");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let config = SipConfig {
+                        workers,
+                        io_servers: 0,
+                        collect_distributed: false,
+                        ..Default::default()
+                    };
+                    workload.run_real(config).expect("run succeeds")
+                });
+            },
+        );
+    }
+    for depth in [0usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("prefetch_depth", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let config = SipConfig {
+                        workers: 2,
+                        io_servers: 0,
+                        prefetch_depth: depth,
+                        collect_distributed: false,
+                        ..Default::default()
+                    };
+                    workload.run_real(config).expect("run succeeds")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_sip);
+criterion_main!(benches);

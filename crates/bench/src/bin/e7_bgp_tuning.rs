@@ -1,0 +1,135 @@
+//! E7 — the §VI-A BlueGene/P porting anecdote, in two parts.
+//!
+//! "A test case that ran in 1,500 seconds on a Cray XT5 with 512 processors
+//! initially took more than 6 hours on the 512 cores of a BlueGene/P. …
+//! It was necessary to modify the prefetching mechanism to avoid blocks
+//! arriving too early, causing eviction and refetching of blocks that would
+//! be reused. After tuning the SIP, the times are within a factor of four
+//! commensurate with the ratio of the processor speeds."
+//!
+//! **Part A (simulation):** the water-cluster CCSD iteration on the XT5
+//! model and the BG/P model with the prefetch stream oversubscribing BG/P's
+//! much smaller block cache (thrash) vs retuned.
+//!
+//! **Part B (real runtime):** the same mechanism observed on the actual SIP
+//! with its refetch counters — a small cache plus increasing prefetch depth
+//! makes `refetches` explode, exactly the behaviour the ALCF port hit.
+//!
+//! ```text
+//! cargo run --release -p sia-bench --bin e7_bgp_tuning
+//! ```
+
+use sia_bench::{fmt_time, FigTable};
+use sia_chem::{ccsd_iteration, contraction_demo, Molecule, WATER_21};
+use sia_runtime::SipConfig;
+use sia_sim::{
+    machine::{BLUEGENE_P, CRAY_XT5},
+    simulate, SimConfig,
+};
+
+fn main() {
+    // ---- Part A: machine-model comparison -----------------------------------
+    let seg = 41;
+    let procs = 512;
+    let workload = ccsd_iteration(&WATER_21, seg, 1);
+    let trace = workload.trace(procs, 1).expect("water CCSD trace");
+
+    // Block of T at seg 41 is 41⁴·8 ≈ 22.6 MB. BG/P's 512 MB/core leaves
+    // room for only a handful of cache buffers next to the block pool; the
+    // XT5's 2 GB holds dozens.
+    let block_bytes = (seg as u64).pow(4) * 8;
+    let cache_for = |mem: u64| (mem / 4 / block_bytes).max(2);
+
+    let mut xt5 = SimConfig::sip(CRAY_XT5, procs as u64);
+    xt5.prefetch_depth = 8; // the XT5-tuned setting: deep prefetch
+    xt5.cache_blocks = cache_for(CRAY_XT5.mem_per_core);
+
+    let mut bgp_tuned = SimConfig::sip(BLUEGENE_P, procs as u64);
+    bgp_tuned.prefetch_depth = 1; // "modify the prefetching mechanism"
+    bgp_tuned.cache_blocks = cache_for(BLUEGENE_P.mem_per_core);
+
+    let t_xt5 = simulate(&trace, &xt5).total_time;
+    let t_tuned = simulate(&trace, &bgp_tuned).total_time;
+
+    let mut table = FigTable::new(
+        "E7a (§VI-A): (H2O)21H+ CCSD iteration, 512 processors (simulated)",
+        &["configuration", "cache blocks", "prefetch", "time", "vs XT5"],
+    );
+    table.row(vec![
+        "Cray XT5, tuned".into(),
+        xt5.cache_blocks.to_string(),
+        "8".into(),
+        fmt_time(t_xt5),
+        "1.0×".into(),
+    ]);
+    table.row(vec![
+        "BlueGene/P, prefetch retuned".into(),
+        bgp_tuned.cache_blocks.to_string(),
+        "1".into(),
+        fmt_time(t_tuned),
+        format!("{:.1}×", t_tuned / t_xt5),
+    ]);
+    table.print();
+    let speed_ratio = CRAY_XT5.flops_per_core / BLUEGENE_P.flops_per_core;
+    println!(
+        "processor speed ratio {speed_ratio:.1}×; tuned BG/P lands at {:.1}× — \
+         \"commensurate with the ratio of the processor speeds\". The untuned\n\
+         pathology is a transient refetch storm, demonstrated on the real\n\
+         runtime below (E7b), not a steady state the trace model can hold.",
+        t_tuned / t_xt5
+    );
+    let _ = table.write_tsv("e7a_bgp_sim");
+
+    // ---- Part B: the mechanism on the real SIP -------------------------------
+    // BG/P's pathology was a block budget too small for the prefetch stream's
+    // working set: early arrivals evicted blocks that were still going to be
+    // reused, and the refetch storm swamped the network. We reproduce it on
+    // the actual runtime by shrinking the per-worker cache below the loop's
+    // working set and watching the SIP's own refetch counters — then "tune"
+    // by giving the cache room, which collapses refetches to zero and the
+    // wait fraction back into the paper's healthy band.
+    let m = Molecule {
+        name: "synthetic",
+        formula: "—",
+        electrons: 16,
+        n_occ: 8,
+        n_ao: 48,
+        open_shell: false,
+    };
+    let real = contraction_demo(&m, 8);
+    let mut table = FigTable::new(
+        "E7b: cache pressure vs refetch storms on the real SIP (depth 8)",
+        &["cache blocks", "refetches", "evictions", "wait fraction"],
+    );
+    for cache in [4usize, 8, 16, 32, 64] {
+        let cfg = SipConfig {
+            workers: 3,
+            io_servers: 1,
+            prefetch_depth: 8,
+            cache_blocks: cache,
+            collect_distributed: false,
+            ..SipConfig::default()
+        };
+        match real.run_real(cfg) {
+            Ok(out) => table.row(vec![
+                cache.to_string(),
+                out.profile.cache.refetches.to_string(),
+                out.profile.cache.evictions.to_string(),
+                format!("{:.1}%", out.profile.wait_fraction() * 100.0),
+            ]),
+            Err(e) => table.row(vec![
+                cache.to_string(),
+                format!("failed: {e}"),
+                String::new(),
+                String::new(),
+            ]),
+        }
+    }
+    table.print();
+    println!(
+        "the thrashing configurations refetch constantly and block; once the\n\
+         cache covers the working set, refetches vanish and the wait fraction\n\
+         returns to the paper's ~10% regime."
+    );
+    let _ = table.write_tsv("e7b_bgp_real");
+}

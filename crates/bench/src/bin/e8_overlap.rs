@@ -1,0 +1,83 @@
+//! E8 — the overlap claim, measured on the *real* runtime.
+//!
+//! §VI-B/C: well-tuned SIAL programs hide most communication behind
+//! computation; the profiler's wait-time metric makes this visible without
+//! external tools. We run the paper's contraction on the real SIP (threads
+//! as ranks) with prefetch on and off and report the measured wait
+//! fractions and cache behaviour from the built-in profile — the same
+//! numbers Figure 2's bottom line plots.
+//!
+//! ```text
+//! cargo run --release -p sia-bench --bin e8_overlap
+//! ```
+
+use sia_bench::{fmt_pct, FigTable};
+use sia_chem::{contraction_demo, Molecule};
+use sia_runtime::SipConfig;
+
+fn main() {
+    let m = Molecule {
+        name: "synthetic",
+        formula: "—",
+        electrons: 16,
+        n_occ: 8,
+        n_ao: 40,
+        open_shell: false,
+    };
+    let seg = 8;
+    let workload = contraction_demo(&m, seg);
+
+    let mut table = FigTable::new(
+        "E8: measured overlap on the real SIP (threads as ranks)",
+        &[
+            "prefetch depth",
+            "wait fraction",
+            "cache hits",
+            "in-flight hits",
+            "refetches",
+            "messages",
+        ],
+    );
+    for depth in [0usize, 2, 4] {
+        let cfg = SipConfig {
+            workers: 4,
+            io_servers: 1,
+            prefetch_depth: depth,
+            cache_blocks: 128,
+            collect_distributed: false,
+            ..SipConfig::default()
+        };
+        match workload.run_real(cfg) {
+            Ok(out) => {
+                table.row(vec![
+                    depth.to_string(),
+                    fmt_pct(out.profile.wait_fraction()),
+                    out.profile.cache.hits.to_string(),
+                    out.profile.cache.in_flight_hits.to_string(),
+                    out.profile.cache.refetches.to_string(),
+                    out.traffic.messages.to_string(),
+                ]);
+            }
+            Err(e) => {
+                table.row(vec![
+                    depth.to_string(),
+                    format!("failed: {e}"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
+            }
+        }
+    }
+    table.print();
+    println!(
+        "note: ranks are threads sharing one host, so absolute wait fractions\n\
+         are not comparable to the paper's 8–13% on a real cluster; the\n\
+         direction (prefetch reduces blocking) and the counters are the point."
+    );
+    match table.write_tsv("e8_overlap") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 2 — RHF CCSD on luciferin (C11H8O3S2N2), Sun Opteron cluster with
+//! InfiniBand, 32–256 processors.
+//!
+//! The paper plots three series against processor count: average elapsed
+//! time per CCSD iteration, scaling efficiency relative to 32 processors,
+//! and the percentage of elapsed time spent waiting for communication
+//! (8.4–13.4% in the paper).
+//!
+//! ```text
+//! cargo run --release -p sia-bench --bin fig2
+//! ```
+
+use sia_bench::{fmt_pct, fmt_time, FigTable};
+use sia_chem::{ccsd_iteration, LUCIFERIN};
+use sia_sim::{machine::SUN_OPTERON_IB, simulate, SimConfig};
+
+fn main() {
+    let seg = 26;
+    let workload = ccsd_iteration(&LUCIFERIN, seg, 1);
+    let trace = workload
+        .trace(32, 1)
+        .expect("luciferin CCSD trace");
+
+    let procs: &[u64] = if sia_bench::quick() {
+        &[32, 256]
+    } else {
+        &[32, 64, 128, 256]
+    };
+
+    let mut table = FigTable::new(
+        "Figure 2: Luciferin RHF CCSD, Sun Opteron + InfiniBand",
+        &["procs", "time/iter", "efficiency vs 32", "% wait"],
+    );
+    let mut reference = None;
+    for &p in procs {
+        let report = simulate(&trace, &SimConfig::sip(SUN_OPTERON_IB, p));
+        let reference = reference.get_or_insert_with(|| report.clone());
+        table.row(vec![
+            p.to_string(),
+            fmt_time(report.total_time),
+            fmt_pct(report.efficiency_vs(reference, procs[0], p)),
+            fmt_pct(report.wait_fraction),
+        ]);
+    }
+    table.print();
+    match table.write_tsv("fig2") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

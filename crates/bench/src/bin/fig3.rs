@@ -1,0 +1,52 @@
+//! Figure 3 — RHF CCSD on the protonated 21-water cluster, Cray XT4
+//! (kraken) up to 2048 processors and Cray XT5 (pingo) up to 4096.
+//!
+//! The paper plots time per CCSD iteration for both machines; the XT5 curve
+//! sits below the XT4 curve and both keep dropping through the measured
+//! range.
+//!
+//! ```text
+//! cargo run --release -p sia-bench --bin fig3
+//! ```
+
+use sia_bench::{fmt_time, FigTable};
+use sia_chem::{ccsd_iteration, WATER_21};
+use sia_sim::{
+    machine::{CRAY_XT4, CRAY_XT5},
+    simulate, SimConfig,
+};
+
+fn main() {
+    let seg = 41;
+    let workload = ccsd_iteration(&WATER_21, seg, 1);
+    let trace = workload.trace(512, 1).expect("water-cluster CCSD trace");
+
+    let xt4_procs: &[u64] = if sia_bench::quick() {
+        &[512, 2048]
+    } else {
+        &[512, 1024, 2048]
+    };
+    let xt5_procs: &[u64] = if sia_bench::quick() {
+        &[512, 4096]
+    } else {
+        &[512, 1024, 2048, 4096]
+    };
+
+    let mut table = FigTable::new(
+        "Figure 3: (H2O)21H+ RHF CCSD, Cray XT4 vs Cray XT5",
+        &["machine", "procs", "time/iter"],
+    );
+    for &p in xt4_procs {
+        let r = simulate(&trace, &SimConfig::sip(CRAY_XT4, p));
+        table.row(vec!["XT4".into(), p.to_string(), fmt_time(r.total_time)]);
+    }
+    for &p in xt5_procs {
+        let r = simulate(&trace, &SimConfig::sip(CRAY_XT5, p));
+        table.row(vec!["XT5".into(), p.to_string(), fmt_time(r.total_time)]);
+    }
+    table.print();
+    match table.write_tsv("fig3") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,73 @@
+//! Figure 4 — RHF CCSD on RDX (C3H6N6O6) and HMX (C4H8N8O8), Cray XT5
+//! (jaguar), 1000–8000 processors; efficiency relative to 1000.
+//!
+//! The paper's finding: "the larger HMX molecule displays much better strong
+//! scaling for CCSD" — RDX runs out of pardo tasks first.
+//!
+//! ```text
+//! cargo run --release -p sia-bench --bin fig4
+//! ```
+
+use sia_bench::{fmt_pct, fmt_time, FigTable};
+use sia_chem::{ccsd_iteration, Molecule, HMX, RDX};
+use sia_sim::{machine::CRAY_XT5, simulate, SimConfig, SimReport};
+
+fn sweep(m: &Molecule, seg: usize, procs: &[u64]) -> Vec<(u64, SimReport)> {
+    let trace = ccsd_iteration(m, seg, 1)
+        .trace(procs[0] as usize, 1)
+        .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+    procs
+        .iter()
+        .map(|&p| (p, simulate(&trace, &SimConfig::sip(CRAY_XT5, p))))
+        .collect()
+}
+
+fn main() {
+    let seg = 15;
+    let procs: &[u64] = if sia_bench::quick() {
+        &[1000, 8000]
+    } else {
+        &[1000, 2000, 4000, 6000, 8000]
+    };
+
+    let mut table = FigTable::new(
+        "Figure 4: RDX and HMX RHF CCSD, Cray XT5 (jaguar)",
+        &["molecule", "procs", "time", "efficiency vs 1000"],
+    );
+    for m in [&RDX, &HMX] {
+        let runs = sweep(m, seg, procs);
+        let reference = runs[0].1.clone();
+        for (p, r) in &runs {
+            table.row(vec![
+                m.name.to_string(),
+                p.to_string(),
+                fmt_time(r.total_time),
+                fmt_pct(r.efficiency_vs(&reference, procs[0], *p)),
+            ]);
+        }
+    }
+    table.print();
+
+    // The paper's claim, checked numerically: HMX efficiency at the top end
+    // exceeds RDX efficiency.
+    let rdx = sweep(&RDX, seg, procs);
+    let hmx = sweep(&HMX, seg, procs);
+    let last = procs.len() - 1;
+    let rdx_eff = rdx[last].1.efficiency_vs(&rdx[0].1, procs[0], procs[last]);
+    let hmx_eff = hmx[last].1.efficiency_vs(&hmx[0].1, procs[0], procs[last]);
+    println!(
+        "at {} procs: RDX efficiency {} vs HMX {} — {}",
+        procs[last],
+        fmt_pct(rdx_eff),
+        fmt_pct(hmx_eff),
+        if hmx_eff > rdx_eff {
+            "HMX scales better, as in the paper"
+        } else {
+            "UNEXPECTED: RDX scaled better"
+        }
+    );
+    match table.write_tsv("fig4") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 5 — RHF CCSD(T) on RDX, Cray XT5 (jaguar), 10,000–80,000
+//! processors; efficiency relative to 10,000.
+//!
+//! The paper reports "good strong scaling up to around 30,000 processors",
+//! with efficiency tailing off toward 80,000 as the triples task pool thins
+//! out per worker.
+//!
+//! ```text
+//! cargo run --release -p sia-bench --bin fig5
+//! ```
+
+use sia_bench::{fmt_pct, fmt_time, FigTable};
+use sia_chem::{ccsd_t_triples, RDX};
+use sia_sim::{machine::CRAY_XT5, simulate, SimConfig};
+
+fn main() {
+    let seg = 8; // fine segmentation: (T) runs on small blocks for task count
+    let workload = ccsd_t_triples(&RDX, seg);
+    let trace = workload.trace(10_000, 1).expect("RDX CCSD(T) trace");
+
+    let procs: &[u64] = if sia_bench::quick() {
+        &[10_000, 80_000]
+    } else {
+        &[10_000, 20_000, 30_000, 40_000, 60_000, 80_000]
+    };
+
+    let mut table = FigTable::new(
+        "Figure 5: RDX RHF CCSD(T), Cray XT5 (jaguar)",
+        &["procs", "time", "efficiency vs 10000", "% wait"],
+    );
+    let mut reference = None;
+    for &p in procs {
+        let r = simulate(&trace, &SimConfig::sip(CRAY_XT5, p));
+        let reference = reference.get_or_insert_with(|| r.clone());
+        table.row(vec![
+            p.to_string(),
+            fmt_time(r.total_time),
+            fmt_pct(r.efficiency_vs(reference, procs[0], p)),
+            fmt_pct(r.wait_fraction),
+        ]);
+    }
+    table.print();
+    match table.write_tsv("fig5") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

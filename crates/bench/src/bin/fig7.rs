@@ -1,0 +1,69 @@
+//! Figure 7 — UHF MP2 gradient on cytosine+OH: ACES III vs NWChem (Global
+//! Arrays), SGI Altix 4700 (pople), 16–256 processors.
+//!
+//! The paper's findings, reproduced here with the GA-baseline model:
+//!
+//! * ACES III with **1 GB/core** completes at every processor count and is
+//!   the fastest curve;
+//! * NWChem **never completes with 1 GB/core** (rigid layout does not fit);
+//! * NWChem with 2 GB/core starts only at 32 processors;
+//! * more memory buys NWChem feasibility, not speed (the 2 GB and 4 GB
+//!   curves track each other).
+//!
+//! ```text
+//! cargo run --release -p sia-bench --bin fig7
+//! ```
+
+use sia_bench::{fmt_time, FigTable};
+use sia_chem::{mp2_energy, CYTOSINE_OH};
+use sia_sim::{machine::SGI_ALTIX, simulate, simulate_ga, GaConfig, GaOutcome, SimConfig};
+
+fn main() {
+    let seg = 16;
+    let workload = mp2_energy(&CYTOSINE_OH, seg);
+    let trace = workload.trace(16, 1).expect("cytosine MP2 trace");
+
+    // GA's semidirect MP2 gradient materializes a half-transformed o·n³
+    // intermediate with a rigid layout (the quantity that blows the 1 GB
+    // budget); our SIA run streams the ovov array instead.
+    let o = CYTOSINE_OH.n_occ as u64;
+    let n = CYTOSINE_OH.n_ao as u64;
+    let ga_dist_bytes = o * n * n * n * 8;
+
+    let procs: &[u64] = if sia_bench::quick() {
+        &[16, 256]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
+
+    let mut table = FigTable::new(
+        "Figure 7: cytosine+OH UHF MP2, SGI Altix 4700 — ACES III vs GA baseline",
+        &["procs", "ACES III (1GB)", "GA (1GB)", "GA (2GB)", "GA (4GB)"],
+    );
+    for &p in procs {
+        let sia = simulate(
+            &trace,
+            &SimConfig::sip(SGI_ALTIX.with_mem_per_core(1 << 30), p),
+        );
+        let ga = |gb: u64| -> String {
+            let machine = SGI_ALTIX.with_mem_per_core(gb << 30);
+            let cfg = GaConfig::new(machine, p);
+            match simulate_ga(&trace, &cfg, ga_dist_bytes) {
+                GaOutcome::Completed(r) => fmt_time(r.total_time),
+                GaOutcome::OutOfMemory { .. } => "did not run".into(),
+            }
+        };
+        table.row(vec![
+            p.to_string(),
+            fmt_time(sia.total_time),
+            ga(1),
+            ga(2),
+            ga(4),
+        ]);
+    }
+    table.print();
+    match table.write_tsv("fig7") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

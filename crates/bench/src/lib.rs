@@ -1,0 +1,141 @@
+//! Harness utilities shared by the figure-regeneration binaries.
+//!
+//! Every figure of the paper has a binary in `src/bin/` (`fig2` … `fig7`,
+//! plus `e7_bgp_tuning` and `e8_overlap` for the in-text experiments). Each
+//! prints the series the paper plots and writes a TSV under `results/` so
+//! EXPERIMENTS.md can reference machine-readable output.
+//!
+//! Set `SIA_QUICK=1` to run reduced sweeps (fewer processor counts).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A printable/serializable result table for one figure.
+pub struct FigTable {
+    /// Table title (printed as a header).
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Rows of rendered cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl FigTable {
+    /// Creates a table with the given title and columns.
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        FigTable {
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            let _ = write!(line, "{:>w$}  ", c, w = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(line, "{:>w$}  ", c, w = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes a TSV file under `results/`.
+    pub fn write_tsv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.tsv"));
+        let mut body = self.columns.join("\t");
+        body.push('\n');
+        for row in &self.rows {
+            body.push_str(&row.join("\t"));
+            body.push('\n');
+        }
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+/// The repository `results/` directory.
+pub fn results_dir() -> PathBuf {
+    // crates/bench → repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Reduced sweeps for CI/smoke runs.
+pub fn quick() -> bool {
+    std::env::var("SIA_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+/// Formats seconds as `123.4 s` or `5.67 min` like the paper's axes.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 120.0 {
+        format!("{:.1} min", seconds / 60.0)
+    } else {
+        format!("{seconds:.1} s")
+    }
+}
+
+/// Formats an efficiency as a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = FigTable::new("demo", &["procs", "time"]);
+        t.row(vec!["32".into(), "61.0 min".into()]);
+        t.row(vec!["256".into(), "9.8 min".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("procs"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = FigTable::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_time(30.0), "30.0 s");
+        assert_eq!(fmt_time(300.0), "5.0 min");
+        assert_eq!(fmt_pct(0.875), "87.5%");
+    }
+}

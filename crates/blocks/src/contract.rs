@@ -1,0 +1,456 @@
+//! Block contraction — the SIA's central super instruction.
+//!
+//! A SIAL statement `C(M,N,I,J) = A(M,N,L,S) * B(L,S,I,J)` contracts two
+//! blocks over their shared index variables. Per the paper (§III, footnote 3),
+//! the contraction sums over indices common to `A` and `B` wherever they
+//! appear, and is "typically implemented by permuting one of the arrays and
+//! then applying a DGEMM" — exactly what [`contract`] does.
+//!
+//! Index variables are identified by opaque `u32` labels (the compiler uses
+//! its index-table ids). [`ContractionPlan::infer`] classifies each label as
+//! a left-free, right-free, or contracted index and precomputes the operand
+//! permutations, so the plan can be cached per static occurrence of a `*` in
+//! the bytecode and reused for every block the loop touches.
+
+use crate::block::Block;
+use crate::gemm::{dgemm, GemmLayout};
+use crate::permute::{is_identity_permutation, permute};
+use crate::shape::Shape;
+use std::fmt;
+
+/// Errors from planning a contraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractError {
+    /// A label occurs more than once within a single operand (traces are not
+    /// SIAL contractions; ACES III uses a dedicated super instruction).
+    RepeatedLabel { label: u32 },
+    /// An output label does not occur in either input.
+    UnboundOutput { label: u32 },
+    /// A label occurs in both inputs *and* the output (a batch index, which
+    /// SIAL's `*` does not define).
+    BatchLabel { label: u32 },
+    /// An input label that is not contracted is missing from the output.
+    DanglingInput { label: u32 },
+    /// Operand rank exceeds [`crate::MAX_RANK`].
+    RankTooLarge,
+}
+
+impl fmt::Display for ContractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractError::RepeatedLabel { label } => {
+                write!(f, "index label {label} repeated within one operand")
+            }
+            ContractError::UnboundOutput { label } => {
+                write!(f, "output index label {label} not present in either operand")
+            }
+            ContractError::BatchLabel { label } => write!(
+                f,
+                "index label {label} appears in both operands and the output"
+            ),
+            ContractError::DanglingInput { label } => write!(
+                f,
+                "operand index label {label} neither contracted nor in the output"
+            ),
+            ContractError::RankTooLarge => write!(f, "operand rank exceeds MAX_RANK"),
+        }
+    }
+}
+
+impl std::error::Error for ContractError {}
+
+/// A precomputed contraction: which axes of each operand are free or
+/// contracted, and the permutations bringing the operands into GEMM form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContractionPlan {
+    /// Labels of the output, in output order.
+    pub c_labels: Vec<u32>,
+    /// Labels of operand A, in A's storage order.
+    pub a_labels: Vec<u32>,
+    /// Labels of operand B, in B's storage order.
+    pub b_labels: Vec<u32>,
+    /// Permutation bringing A to `[free_a.., contracted..]` order.
+    pub a_perm: Vec<usize>,
+    /// Permutation bringing B to `[contracted.., free_b..]` order.
+    pub b_perm: Vec<usize>,
+    /// Permutation applied to the raw GEMM result `[free_a.., free_b..]` to
+    /// reach output label order (`out[d] = raw[out_perm[d]]`).
+    pub out_perm: Vec<usize>,
+    /// Number of contracted axes.
+    pub n_contracted: usize,
+}
+
+impl ContractionPlan {
+    /// Infers a plan from the label lists of `C = A * B`.
+    ///
+    /// Contracted labels are those shared by `A` and `B` and absent from `C`.
+    /// Every output label must come from exactly one operand; every
+    /// non-contracted input label must appear in the output.
+    pub fn infer(c_labels: &[u32], a_labels: &[u32], b_labels: &[u32]) -> Result<Self, ContractError> {
+        use crate::shape::MAX_RANK;
+        if a_labels.len() > MAX_RANK || b_labels.len() > MAX_RANK || c_labels.len() > MAX_RANK {
+            return Err(ContractError::RankTooLarge);
+        }
+        for labels in [a_labels, b_labels, c_labels] {
+            for (i, &l) in labels.iter().enumerate() {
+                if labels[..i].contains(&l) {
+                    return Err(ContractError::RepeatedLabel { label: l });
+                }
+            }
+        }
+
+        let in_a = |l: u32| a_labels.contains(&l);
+        let in_b = |l: u32| b_labels.contains(&l);
+        let in_c = |l: u32| c_labels.contains(&l);
+
+        for &l in c_labels {
+            if in_a(l) && in_b(l) {
+                return Err(ContractError::BatchLabel { label: l });
+            }
+            if !in_a(l) && !in_b(l) {
+                return Err(ContractError::UnboundOutput { label: l });
+            }
+        }
+        // Contracted labels in A's order of appearance (canonical).
+        let contracted: Vec<u32> = a_labels
+            .iter()
+            .copied()
+            .filter(|&l| in_b(l) && !in_c(l))
+            .collect();
+        for &l in a_labels {
+            if !in_c(l) && !contracted.contains(&l) {
+                return Err(ContractError::DanglingInput { label: l });
+            }
+        }
+        for &l in b_labels {
+            if !in_c(l) && !contracted.contains(&l) {
+                return Err(ContractError::DanglingInput { label: l });
+            }
+        }
+
+        // Free labels ordered as they appear in the output, so that the raw
+        // GEMM result needs no further permutation when the output is already
+        // in (free_a, free_b) order.
+        let free_a: Vec<u32> = c_labels.iter().copied().filter(|&l| in_a(l)).collect();
+        let free_b: Vec<u32> = c_labels.iter().copied().filter(|&l| in_b(l)).collect();
+
+        let pos = |labels: &[u32], l: u32| labels.iter().position(|&x| x == l).unwrap();
+
+        let a_perm: Vec<usize> = free_a
+            .iter()
+            .chain(contracted.iter())
+            .map(|&l| pos(a_labels, l))
+            .collect();
+        let b_perm: Vec<usize> = contracted
+            .iter()
+            .chain(free_b.iter())
+            .map(|&l| pos(b_labels, l))
+            .collect();
+
+        // Raw result label order is free_a ++ free_b; out_perm maps it to
+        // c_labels order.
+        let raw: Vec<u32> = free_a.iter().chain(free_b.iter()).copied().collect();
+        let out_perm: Vec<usize> = c_labels.iter().map(|&l| pos(&raw, l)).collect();
+
+        Ok(ContractionPlan {
+            c_labels: c_labels.to_vec(),
+            a_labels: a_labels.to_vec(),
+            b_labels: b_labels.to_vec(),
+            a_perm,
+            b_perm,
+            out_perm,
+            n_contracted: contracted.len(),
+        })
+    }
+
+    /// The shape the output block will have for the given operand shapes.
+    pub fn output_shape(&self, a: &Shape, b: &Shape) -> Shape {
+        let dim_of = |l: u32| -> usize {
+            if let Some(p) = self.a_labels.iter().position(|&x| x == l) {
+                a.dim(p)
+            } else {
+                let p = self.b_labels.iter().position(|&x| x == l).unwrap();
+                b.dim(p)
+            }
+        };
+        let dims: Vec<usize> = self.c_labels.iter().map(|&l| dim_of(l)).collect();
+        if dims.is_empty() {
+            Shape::scalar()
+        } else {
+            Shape::new(&dims)
+        }
+    }
+
+    /// Floating-point operations performed by this contraction on blocks of
+    /// the given shapes (2·m·n·k, the figure used by the SIP's profiler and
+    /// by the trace-driven simulator).
+    pub fn flops(&self, a: &Shape, b: &Shape) -> u64 {
+        let k: u64 = self.a_perm[self.a_perm.len() - self.n_contracted..]
+            .iter()
+            .map(|&p| a.dim(p) as u64)
+            .product();
+        let m: u64 = self.a_perm[..self.a_perm.len() - self.n_contracted]
+            .iter()
+            .map(|&p| a.dim(p) as u64)
+            .product();
+        let n: u64 = self.b_perm[self.n_contracted..]
+            .iter()
+            .map(|&p| b.dim(p) as u64)
+            .product();
+        2 * m * n * k
+    }
+}
+
+/// `C = A * B` under `plan`. Allocates the output block.
+pub fn contract(plan: &ContractionPlan, a: &Block, b: &Block) -> Block {
+    let mut c = Block::zeros(plan.output_shape(a.shape(), b.shape()));
+    contract_into(plan, a, b, 0.0, &mut c);
+    c
+}
+
+/// `C = alpha_c * C + A * B` under `plan` (`alpha_c = 1.0` implements the
+/// fused contraction-accumulate of SIAL's `+=`).
+///
+/// # Panics
+/// Panics if block shapes are inconsistent with the plan.
+pub fn contract_into(plan: &ContractionPlan, a: &Block, b: &Block, alpha_c: f64, c: &mut Block) {
+    assert_eq!(a.shape().rank(), plan.a_labels.len(), "A rank mismatch");
+    assert_eq!(b.shape().rank(), plan.b_labels.len(), "B rank mismatch");
+    let expect = plan.output_shape(a.shape(), b.shape());
+    assert_eq!(*c.shape(), expect, "C shape mismatch");
+
+    let nc = plan.n_contracted;
+    let a_p = permute(a, &plan.a_perm);
+    let b_p = permute(b, &plan.b_perm);
+
+    let m: usize = a_p.shape().dims()[..a_p.shape().rank() - nc]
+        .iter()
+        .map(|&d| d as usize)
+        .product();
+    let k: usize = a_p.shape().dims()[a_p.shape().rank() - nc..]
+        .iter()
+        .map(|&d| d as usize)
+        .product();
+    let n: usize = b_p.shape().dims()[nc..].iter().map(|&d| d as usize).product();
+
+    if is_identity_permutation(&plan.out_perm) {
+        // GEMM straight into C's storage.
+        dgemm(
+            m,
+            n,
+            k,
+            1.0,
+            a_p.data(),
+            GemmLayout::NoTrans,
+            b_p.data(),
+            GemmLayout::NoTrans,
+            alpha_c,
+            c.data_mut(),
+        );
+    } else {
+        // GEMM to a raw (free_a, free_b) buffer, permute into place.
+        let raw_shape = {
+            let mut dims: Vec<usize> = a_p.shape().dims()[..a_p.shape().rank() - nc]
+                .iter()
+                .map(|&d| d as usize)
+                .collect();
+            dims.extend(b_p.shape().dims()[nc..].iter().map(|&d| d as usize));
+            if dims.is_empty() {
+                Shape::scalar()
+            } else {
+                Shape::new(&dims)
+            }
+        };
+        let mut raw = Block::zeros(raw_shape);
+        dgemm(
+            m,
+            n,
+            k,
+            1.0,
+            a_p.data(),
+            GemmLayout::NoTrans,
+            b_p.data(),
+            GemmLayout::NoTrans,
+            0.0,
+            raw.data_mut(),
+        );
+        let permuted = permute(&raw, &plan.out_perm);
+        if alpha_c == 0.0 {
+            *c = permuted;
+        } else {
+            if alpha_c != 1.0 {
+                c.scale(alpha_c);
+            }
+            c.accumulate(&permuted);
+        }
+    }
+}
+
+/// Reference contraction by explicit index summation. O(output · contracted)
+/// per element — used to validate [`contract`] in unit and property tests.
+pub fn naive_contract(plan: &ContractionPlan, a: &Block, b: &Block) -> Block {
+    let out_shape = plan.output_shape(a.shape(), b.shape());
+    let contracted: Vec<u32> = plan.a_perm[plan.a_perm.len() - plan.n_contracted..]
+        .iter()
+        .map(|&p| plan.a_labels[p])
+        .collect();
+    let contracted_dims: Vec<usize> = contracted
+        .iter()
+        .map(|&l| {
+            let p = plan.a_labels.iter().position(|&x| x == l).unwrap();
+            a.shape().dim(p)
+        })
+        .collect();
+    let sum_shape = if contracted_dims.is_empty() {
+        Shape::scalar()
+    } else {
+        Shape::new(&contracted_dims)
+    };
+
+    let value_of = |labels: &[u32], blk: &Block, env: &dyn Fn(u32) -> usize| -> f64 {
+        let idx: Vec<usize> = labels.iter().map(|&l| env(l)).collect();
+        blk.get(&idx)
+    };
+
+    Block::from_fn(out_shape, |out_idx| {
+        let mut total = 0.0;
+        for s_idx in sum_shape.indices() {
+            let env = |l: u32| -> usize {
+                if let Some(p) = plan.c_labels.iter().position(|&x| x == l) {
+                    out_idx[p]
+                } else {
+                    let p = contracted.iter().position(|&x| x == l).unwrap();
+                    s_idx[p]
+                }
+            };
+            total += value_of(&plan.a_labels, a, &env) * value_of(&plan.b_labels, b, &env);
+        }
+        total
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(shape: Shape, salt: f64) -> Block {
+        let mut v = salt;
+        Block::from_fn(shape, |_| {
+            v = (v * 1.3 + 0.7) % 5.0 - 2.0;
+            v
+        })
+    }
+
+    fn check(c: &[u32], al: &[u32], bl: &[u32], ash: &[usize], bsh: &[usize]) {
+        let plan = ContractionPlan::infer(c, al, bl).unwrap();
+        let a = ramp(Shape::new(ash), 0.3);
+        let b = ramp(Shape::new(bsh), 1.1);
+        let fast = contract(&plan, &a, &b);
+        let slow = naive_contract(&plan, &a, &b);
+        assert!(
+            fast.approx_eq(&slow, 1e-9),
+            "mismatch for c={c:?} a={al:?} b={bl:?}"
+        );
+    }
+
+    #[test]
+    fn matrix_multiply() {
+        check(&[0, 2], &[0, 1], &[1, 2], &[4, 5], &[5, 3]);
+    }
+
+    #[test]
+    fn paper_equation_2() {
+        // R(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J); labels: M=0 N=1 I=2 J=3 L=4 S=5
+        check(
+            &[0, 1, 2, 3],
+            &[0, 1, 4, 5],
+            &[4, 5, 2, 3],
+            &[3, 4, 2, 3],
+            &[2, 3, 3, 2],
+        );
+    }
+
+    #[test]
+    fn contraction_needing_output_permute() {
+        // C(I,M) = A(M,L) * B(L,I): output order interleaves the operands.
+        check(&[2, 0], &[0, 1], &[1, 2], &[4, 5], &[5, 3]);
+    }
+
+    #[test]
+    fn inner_indices_scattered() {
+        // Contraction indices not adjacent in either operand.
+        check(&[0, 3], &[0, 1, 2], &[2, 3, 1], &[3, 4, 5], &[5, 2, 4]);
+    }
+
+    #[test]
+    fn full_contraction_to_scalar() {
+        let plan = ContractionPlan::infer(&[], &[0, 1], &[0, 1]).unwrap();
+        let a = ramp(Shape::new(&[3, 4]), 0.2);
+        let b = ramp(Shape::new(&[3, 4]), 0.9);
+        let c = contract(&plan, &a, &b);
+        assert!((c.as_scalar() - a.dot(&b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outer_product() {
+        check(&[0, 1], &[0], &[1], &[4], &[3]);
+    }
+
+    #[test]
+    fn matvec() {
+        check(&[0], &[0, 1], &[1], &[4, 6], &[6]);
+    }
+
+    #[test]
+    fn six_dim_intermediate() {
+        // A(a,b,c,k) * B(k,l,m) -> C(a,b,c,l,m): the paper's §IV-E scenario.
+        check(
+            &[0, 1, 2, 5, 6],
+            &[0, 1, 2, 4],
+            &[4, 5, 6],
+            &[2, 3, 2, 4],
+            &[4, 3, 2],
+        );
+    }
+
+    #[test]
+    fn accumulate_into_existing() {
+        let plan = ContractionPlan::infer(&[0, 2], &[0, 1], &[1, 2]).unwrap();
+        let a = ramp(Shape::new(&[3, 4]), 0.5);
+        let b = ramp(Shape::new(&[4, 2]), 1.5);
+        let mut c = Block::filled(Shape::new(&[3, 2]), 2.0);
+        contract_into(&plan, &a, &b, 1.0, &mut c);
+        let mut expect = contract(&plan, &a, &b);
+        expect.accumulate(&Block::filled(Shape::new(&[3, 2]), 2.0));
+        assert!(c.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn flops_formula() {
+        let plan = ContractionPlan::infer(&[0, 2], &[0, 1], &[1, 2]).unwrap();
+        assert_eq!(
+            plan.flops(&Shape::new(&[4, 5]), &Shape::new(&[5, 3])),
+            2 * 4 * 3 * 5
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            ContractionPlan::infer(&[0], &[0, 0], &[1]).unwrap_err(),
+            ContractError::RepeatedLabel { label: 0 }
+        );
+        assert_eq!(
+            ContractionPlan::infer(&[9], &[0, 1], &[1, 0]).unwrap_err(),
+            ContractError::UnboundOutput { label: 9 }
+        );
+        assert_eq!(
+            ContractionPlan::infer(&[0], &[0, 1], &[0, 1]).unwrap_err(),
+            ContractError::BatchLabel { label: 0 }
+        );
+        assert_eq!(
+            ContractionPlan::infer(&[0], &[0, 1], &[2]).unwrap_err(),
+            ContractError::DanglingInput { label: 1 }
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! A native, cache-blocked DGEMM.
+//!
+//! The original SIP leans on a vendor BLAS for its contraction super
+//! instructions ("permute one of the arrays and then apply a DGEMM"). We
+//! provide a dependency-free equivalent: a register-tiled, cache-blocked
+//! `C = alpha * op(A) * op(B) + beta * C` for row-major matrices. It is not
+//! MKL, but it exercises the identical code path (the SIP treats the kernel
+//! as opaque) and is fast enough for test- and bench-scale blocks
+//! (seg = 8..32 → GEMM dims ≤ ~1024).
+
+/// Whether an operand participates as itself or transposed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GemmLayout {
+    /// Use the matrix as stored.
+    NoTrans,
+    /// Use the transpose of the stored matrix.
+    Trans,
+}
+
+const MC: usize = 64; // rows of A per L2 panel
+const KC: usize = 128; // depth per panel
+const NR: usize = 8; // register tile width
+
+/// `C(m x n) = alpha * op(A) * op(B) + beta * C` with row-major storage.
+///
+/// * `op(A)` is `m x k`: if `ta == NoTrans`, `a` is `m x k`; if `Trans`,
+///   `a` is stored `k x m`.
+/// * `op(B)` is `k x n`, analogously.
+///
+/// # Panics
+/// Panics if slice lengths don't match the stated dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    ta: GemmLayout,
+    b: &[f64],
+    tb: GemmLayout,
+    beta: f64,
+    c: &mut [f64],
+) {
+    assert_eq!(a.len(), m * k, "A dimension mismatch");
+    assert_eq!(b.len(), k * n, "B dimension mismatch");
+    assert_eq!(c.len(), m * n, "C dimension mismatch");
+
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for x in c.iter_mut() {
+            *x *= beta;
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Pack op(A) row-major (m x k) and op(B) row-major (k x n) panel by
+    // panel; packing makes the inner kernel layout-oblivious and sequential.
+    let mut apack = vec![0.0f64; MC.min(m) * KC.min(k)];
+    let mut bpack = vec![0.0f64; KC.min(k) * n];
+
+    let mut p0 = 0;
+    while p0 < k {
+        let pb = KC.min(k - p0);
+        // Pack B panel: rows p0..p0+pb of op(B).
+        for p in 0..pb {
+            for j in 0..n {
+                bpack[p * n + j] = match tb {
+                    GemmLayout::NoTrans => b[(p0 + p) * n + j],
+                    GemmLayout::Trans => b[j * k + (p0 + p)],
+                };
+            }
+        }
+        let mut i0 = 0;
+        while i0 < m {
+            let ib = MC.min(m - i0);
+            // Pack A panel: rows i0..i0+ib, cols p0..p0+pb of op(A).
+            for i in 0..ib {
+                for p in 0..pb {
+                    apack[i * pb + p] = match ta {
+                        GemmLayout::NoTrans => a[(i0 + i) * k + (p0 + p)],
+                        GemmLayout::Trans => a[(p0 + p) * m + (i0 + i)],
+                    };
+                }
+            }
+            // Inner kernel: C[i0.., ..] += alpha * apack * bpack.
+            for i in 0..ib {
+                let arow = &apack[i * pb..(i + 1) * pb];
+                let crow = &mut c[(i0 + i) * n..(i0 + i + 1) * n];
+                let mut j0 = 0;
+                while j0 < n {
+                    let jb = NR.min(n - j0);
+                    let mut acc = [0.0f64; NR];
+                    for (p, &av) in arow.iter().enumerate() {
+                        let brow = &bpack[p * n + j0..p * n + j0 + jb];
+                        for (t, &bv) in brow.iter().enumerate() {
+                            acc[t] += av * bv;
+                        }
+                    }
+                    for t in 0..jb {
+                        crow[j0 + t] += alpha * acc[t];
+                    }
+                    j0 += jb;
+                }
+            }
+            i0 += ib;
+        }
+        p0 += pb;
+    }
+}
+
+/// Reference (naive triple loop) used to validate [`dgemm`] in tests.
+#[allow(clippy::too_many_arguments)]
+pub fn naive_gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    ta: GemmLayout,
+    b: &[f64],
+    tb: GemmLayout,
+    beta: f64,
+    c: &mut [f64],
+) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for p in 0..k {
+                let av = match ta {
+                    GemmLayout::NoTrans => a[i * k + p],
+                    GemmLayout::Trans => a[p * m + i],
+                };
+                let bv = match tb {
+                    GemmLayout::NoTrans => b[p * n + j],
+                    GemmLayout::Trans => b[j * k + p],
+                };
+                s += av * bv;
+            }
+            c[i * n + j] = alpha * s + beta * c[i * n + j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i % 13) as f64 - 6.0).collect()
+    }
+
+    fn check(m: usize, n: usize, k: usize, ta: GemmLayout, tb: GemmLayout, alpha: f64, beta: f64) {
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let c0 = seq(m * n);
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        dgemm(m, n, k, alpha, &a, ta, &b, tb, beta, &mut c1);
+        naive_gemm(m, n, k, alpha, &a, ta, &b, tb, beta, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-9, "mismatch {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_nn() {
+        check(3, 4, 5, GemmLayout::NoTrans, GemmLayout::NoTrans, 1.0, 0.0);
+    }
+
+    #[test]
+    fn small_tn() {
+        check(3, 4, 5, GemmLayout::Trans, GemmLayout::NoTrans, 1.0, 0.0);
+    }
+
+    #[test]
+    fn small_nt() {
+        check(3, 4, 5, GemmLayout::NoTrans, GemmLayout::Trans, 1.0, 0.0);
+    }
+
+    #[test]
+    fn small_tt() {
+        check(3, 4, 5, GemmLayout::Trans, GemmLayout::Trans, 1.0, 0.0);
+    }
+
+    #[test]
+    fn alpha_beta() {
+        check(4, 4, 4, GemmLayout::NoTrans, GemmLayout::NoTrans, 2.5, -0.5);
+        check(4, 4, 4, GemmLayout::Trans, GemmLayout::Trans, -1.0, 1.0);
+    }
+
+    #[test]
+    fn panel_boundaries() {
+        // Sizes straddling MC/KC/NR boundaries.
+        check(65, 9, 129, GemmLayout::NoTrans, GemmLayout::NoTrans, 1.0, 0.0);
+        check(64, 8, 128, GemmLayout::Trans, GemmLayout::NoTrans, 1.0, 1.0);
+        check(1, 1, 1, GemmLayout::NoTrans, GemmLayout::NoTrans, 1.0, 0.0);
+        check(130, 17, 3, GemmLayout::NoTrans, GemmLayout::Trans, 1.0, 0.0);
+    }
+
+    #[test]
+    fn zero_alpha_keeps_beta_c() {
+        let a = seq(4);
+        let b = seq(4);
+        let mut c = vec![2.0; 4];
+        dgemm(2, 2, 2, 0.0, &a, GemmLayout::NoTrans, &b, GemmLayout::NoTrans, 0.5, &mut c);
+        assert!(c.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn identity_multiply() {
+        let n = 16;
+        let mut eye = vec![0.0; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let x = seq(n * n);
+        let mut c = vec![0.0; n * n];
+        dgemm(n, n, n, 1.0, &eye, GemmLayout::NoTrans, &x, GemmLayout::NoTrans, 0.0, &mut c);
+        for (u, v) in c.iter().zip(&x) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Block permutation — SIAL's permuting assignment.
+//!
+//! A SIAL statement such as `V1(K,J,I) = V2(I,J,K)` permutes the source block
+//! and assigns it. We express the permutation as `perm`, where output
+//! dimension `d` reads from input dimension `perm[d]`:
+//! `out[i0,..,ik] = in[i_{perm[0]}, .., i_{perm[k]}]` — i.e. `out` axis `d`
+//! ranges over `in` axis `perm[d]`.
+
+use crate::block::Block;
+use crate::shape::MAX_RANK;
+
+/// True if `perm` is `[0, 1, .., n-1]`.
+pub fn is_identity_permutation(perm: &[usize]) -> bool {
+    perm.iter().enumerate().all(|(i, &p)| i == p)
+}
+
+/// Inverse permutation: `invert(perm)[perm[i]] == i`.
+///
+/// # Panics
+/// Panics if `perm` is not a permutation of `0..perm.len()`.
+pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![usize::MAX; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        assert!(p < perm.len(), "invalid permutation entry {p}");
+        assert!(inv[p] == usize::MAX, "duplicate permutation entry {p}");
+        inv[p] = i;
+    }
+    inv
+}
+
+/// Applies `perm` to a list: `result[i] = items[perm[i]]`.
+pub fn apply_permutation<T: Copy>(perm: &[usize], items: &[T]) -> Vec<T> {
+    perm.iter().map(|&p| items[p]).collect()
+}
+
+/// Returns a new block `out` with `out` axis `d` ranging over `input` axis
+/// `perm[d]`.
+///
+/// The identity permutation degenerates to a clone. The loop is ordered so
+/// writes to the output are sequential (good for the destination cache line
+/// stream), with gather-reads from the source.
+///
+/// # Panics
+/// Panics if `perm.len() != input.rank()` or `perm` is not a permutation.
+pub fn permute(input: &Block, perm: &[usize]) -> Block {
+    let rank = input.shape().rank();
+    assert_eq!(perm.len(), rank, "permutation rank mismatch");
+    if is_identity_permutation(perm) {
+        return input.clone();
+    }
+    // Validate (also computed for the src stride gather below).
+    let _ = invert_permutation(perm);
+
+    let out_shape = input.shape().permuted(perm);
+    let in_strides = input.shape().strides();
+
+    // Stride of output axis d in the *input* data.
+    let mut gather = [0usize; MAX_RANK];
+    for (d, &p) in perm.iter().enumerate() {
+        gather[d] = in_strides[p];
+    }
+
+    let src = input.data();
+    let mut out = vec![0.0f64; out_shape.len()];
+
+    if rank == 0 {
+        out[0] = src[0];
+        return Block::from_data(out_shape, out);
+    }
+
+    // Odometer over the output shape, tracking the gathered source offset
+    // incrementally instead of recomputing a dot product per element.
+    let mut idx = [0usize; MAX_RANK];
+    let mut src_off = 0usize;
+    for slot in out.iter_mut() {
+        *slot = src[src_off];
+        // Advance odometer (last axis fastest).
+        let mut d = rank;
+        loop {
+            if d == 0 {
+                break;
+            }
+            d -= 1;
+            idx[d] += 1;
+            src_off += gather[d];
+            if idx[d] < out_shape.dim(d) {
+                break;
+            }
+            src_off -= gather[d] * idx[d];
+            idx[d] = 0;
+        }
+    }
+    Block::from_data(out_shape, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn identity_is_clone() {
+        let b = Block::from_fn(Shape::new(&[2, 3]), |i| (i[0] * 3 + i[1]) as f64);
+        let p = permute(&b, &[0, 1]);
+        assert_eq!(b, p);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let b = Block::from_fn(Shape::new(&[2, 3]), |i| (i[0] * 10 + i[1]) as f64);
+        let t = permute(&b, &[1, 0]);
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(t.get(&[j, i]), b.get(&[i, j]));
+            }
+        }
+    }
+
+    #[test]
+    fn rank4_rotation() {
+        let s = Shape::new(&[2, 3, 4, 5]);
+        let b = Block::from_fn(s, |i| (i[0] * 1000 + i[1] * 100 + i[2] * 10 + i[3]) as f64);
+        let perm = [3, 1, 0, 2];
+        let p = permute(&b, &perm);
+        assert_eq!(p.shape().dims(), &[5, 3, 2, 4]);
+        for idx in p.shape().indices() {
+            let o = &idx[..4];
+            // out[o] == in[o applied through inverse]: in index at axis perm[d] is o[d]
+            let mut src = [0usize; 4];
+            for d in 0..4 {
+                src[perm[d]] = o[d];
+            }
+            assert_eq!(p.get(o), b.get(&src));
+        }
+    }
+
+    #[test]
+    fn permute_then_inverse_is_identity() {
+        let s = Shape::new(&[3, 4, 2]);
+        let b = Block::from_fn(s, |i| (i[0] * 100 + i[1] * 10 + i[2]) as f64);
+        let perm = [2, 0, 1];
+        let inv = invert_permutation(&perm);
+        let round = permute(&permute(&b, &perm), &inv);
+        assert_eq!(b, round);
+    }
+
+    #[test]
+    fn scalar_permute() {
+        let b = Block::scalar(7.0);
+        let p = permute(&b, &[]);
+        assert_eq!(p.as_scalar(), 7.0);
+    }
+
+    #[test]
+    fn apply_permutation_list() {
+        assert_eq!(apply_permutation(&[2, 0, 1], &[10, 20, 30]), vec![30, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_permutation_panics() {
+        let b = Block::zeros(Shape::new(&[2, 2]));
+        let _ = permute(&b, &[0, 0]);
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let p = [3, 0, 2, 1];
+        let inv = invert_permutation(&p);
+        for i in 0..4 {
+            assert_eq!(inv[p[i]], i);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The worker block pool: "stacks of preallocated blocks … of various sizes".
+//!
+//! Per the paper (§V-B), each SIP worker divides its memory into stacks of
+//! preallocated blocks per size class, with the number of blocks of each size
+//! determined by the dry-run analysis. [`BlockPool`] reproduces this: storage
+//! is recycled by element-count class, a configurable byte budget bounds
+//! total residency, and [`PoolStats`] exposes the counters the dry run and
+//! profiler need (peak residency validates the dry-run estimate in tests).
+//!
+//! The pool is deliberately single-threaded: each worker owns its own pool,
+//! exactly as each MPI process owned its own stacks in the original SIP.
+
+use crate::block::Block;
+use crate::shape::Shape;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+
+/// Pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Hard ceiling on bytes of block storage live at once (handed out plus
+    /// cached in free stacks). Mirrors the per-worker memory the dry run
+    /// budgets against.
+    pub max_bytes: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        // 256 MiB default worker budget; the dry run overrides this.
+        PoolConfig {
+            max_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Counters describing pool behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquisitions satisfied from a free stack.
+    pub hits: u64,
+    /// Acquisitions that had to allocate fresh storage.
+    pub misses: u64,
+    /// Blocks currently handed out.
+    pub live_blocks: usize,
+    /// Bytes currently handed out.
+    pub live_bytes: usize,
+    /// Peak of `live_bytes` over the pool's lifetime.
+    pub peak_bytes: usize,
+    /// Bytes parked in free stacks.
+    pub free_bytes: usize,
+}
+
+/// Error when the byte budget would be exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolExhausted {
+    /// Bytes the failed acquisition needed.
+    pub requested: usize,
+    /// Bytes that were available under the budget.
+    pub available: usize,
+}
+
+impl fmt::Display for PoolExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "block pool exhausted: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for PoolExhausted {}
+
+struct PoolInner {
+    config: PoolConfig,
+    /// Free stacks keyed by element count (the size class).
+    stacks: BTreeMap<usize, Vec<Vec<f64>>>,
+    stats: PoolStats,
+}
+
+impl PoolInner {
+    fn acquire(&mut self, shape: Shape) -> Result<Block, PoolExhausted> {
+        let elems = shape.len();
+        let bytes = elems * std::mem::size_of::<f64>();
+        if let Some(stack) = self.stacks.get_mut(&elems) {
+            if let Some(mut data) = stack.pop() {
+                data.fill(0.0);
+                self.stats.hits += 1;
+                self.stats.live_blocks += 1;
+                self.stats.live_bytes += bytes;
+                self.stats.free_bytes -= bytes;
+                self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+                return Ok(Block::from_data(shape, data));
+            }
+        }
+        let total = self.stats.live_bytes + self.stats.free_bytes;
+        if total + bytes > self.config.max_bytes {
+            // Try reclaiming free storage of other classes before failing,
+            // largest classes first (they free the most per eviction).
+            let mut freed = 0usize;
+            let classes: Vec<usize> = self.stacks.keys().rev().copied().collect();
+            for class in classes {
+                if total + bytes - freed <= self.config.max_bytes {
+                    break;
+                }
+                if let Some(stack) = self.stacks.get_mut(&class) {
+                    while let Some(v) = stack.pop() {
+                        freed += v.len() * std::mem::size_of::<f64>();
+                        drop(v);
+                        if total + bytes - freed <= self.config.max_bytes {
+                            break;
+                        }
+                    }
+                }
+            }
+            self.stats.free_bytes -= freed;
+            if self.stats.live_bytes + self.stats.free_bytes + bytes > self.config.max_bytes {
+                return Err(PoolExhausted {
+                    requested: bytes,
+                    available: self.config.max_bytes
+                        - (self.stats.live_bytes + self.stats.free_bytes),
+                });
+            }
+        }
+        self.stats.misses += 1;
+        self.stats.live_blocks += 1;
+        self.stats.live_bytes += bytes;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.live_bytes);
+        Ok(Block::zeros(shape))
+    }
+
+    /// Parks a block's storage on its size-class stack. Blocks that were not
+    /// acquired from this pool are *adopted*: their storage becomes reusable
+    /// and the live counters saturate rather than underflow (the SIP hands
+    /// freshly computed blocks to the pool when a temp dies).
+    fn release(&mut self, block: Block) {
+        let bytes = block.len() * std::mem::size_of::<f64>();
+        let elems = block.len();
+        if self.stats.live_blocks > 0 {
+            self.stats.live_blocks -= 1;
+            self.stats.live_bytes = self.stats.live_bytes.saturating_sub(bytes);
+        }
+        self.stats.free_bytes += bytes;
+        self.stacks.entry(elems).or_default().push(block.into_data());
+    }
+}
+
+/// A size-classed recycling allocator for blocks, shared cheaply via `Rc`.
+#[derive(Clone)]
+pub struct BlockPool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl BlockPool {
+    /// Creates a pool with the given configuration.
+    pub fn new(config: PoolConfig) -> Self {
+        BlockPool {
+            inner: Rc::new(RefCell::new(PoolInner {
+                config,
+                stacks: BTreeMap::new(),
+                stats: PoolStats::default(),
+            })),
+        }
+    }
+
+    /// Acquires a zeroed block of `shape`, recycling storage when a block of
+    /// the same size class was released earlier.
+    pub fn acquire(&self, shape: Shape) -> Result<PooledBlock, PoolExhausted> {
+        let block = self.inner.borrow_mut().acquire(shape)?;
+        Ok(PooledBlock {
+            block: Some(block),
+            pool: Rc::clone(&self.inner),
+        })
+    }
+
+    /// Acquires a raw [`Block`] the caller must eventually [`release`].
+    ///
+    /// [`release`]: BlockPool::release
+    pub fn acquire_raw(&self, shape: Shape) -> Result<Block, PoolExhausted> {
+        self.inner.borrow_mut().acquire(shape)
+    }
+
+    /// Returns a raw block's storage to its size-class stack.
+    pub fn release(&self, block: Block) {
+        self.inner.borrow_mut().release(block);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.borrow().stats
+    }
+
+    /// Number of distinct size classes with parked storage.
+    pub fn size_classes(&self) -> usize {
+        self.inner.borrow().stacks.len()
+    }
+
+    /// Drops all parked free storage (e.g. between SIAL programs).
+    pub fn trim(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stacks.clear();
+        inner.stats.free_bytes = 0;
+    }
+}
+
+impl fmt::Debug for BlockPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlockPool({:?})", self.stats())
+    }
+}
+
+/// RAII handle to a pooled block; returns storage to the pool on drop.
+pub struct PooledBlock {
+    block: Option<Block>,
+    pool: Rc<RefCell<PoolInner>>,
+}
+
+impl PooledBlock {
+    /// Detaches the block from the pool (the storage will not be recycled;
+    /// the live-byte accounting is reduced as if released).
+    pub fn into_block(mut self) -> Block {
+        let block = self.block.take().expect("block already taken");
+        let mut inner = self.pool.borrow_mut();
+        let bytes = block.len() * std::mem::size_of::<f64>();
+        inner.stats.live_blocks -= 1;
+        inner.stats.live_bytes -= bytes;
+        block
+    }
+}
+
+impl Deref for PooledBlock {
+    type Target = Block;
+    fn deref(&self) -> &Block {
+        self.block.as_ref().expect("block taken")
+    }
+}
+
+impl DerefMut for PooledBlock {
+    fn deref_mut(&mut self) -> &mut Block {
+        self.block.as_mut().expect("block taken")
+    }
+}
+
+impl Drop for PooledBlock {
+    fn drop(&mut self) {
+        if let Some(block) = self.block.take() {
+            self.pool.borrow_mut().release(block);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(bytes: usize) -> BlockPool {
+        BlockPool::new(PoolConfig { max_bytes: bytes })
+    }
+
+    #[test]
+    fn recycles_same_size_class() {
+        let p = pool(1 << 20);
+        let s = Shape::new(&[8, 8]);
+        {
+            let _b = p.acquire(s).unwrap();
+        }
+        let _b2 = p.acquire(s).unwrap();
+        let st = p.stats();
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.hits, 1);
+    }
+
+    #[test]
+    fn recycled_blocks_are_zeroed() {
+        let p = pool(1 << 20);
+        let s = Shape::new(&[4]);
+        {
+            let mut b = p.acquire(s).unwrap();
+            b.fill(9.0);
+        }
+        let b2 = p.acquire(s).unwrap();
+        assert!(b2.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let p = pool(1024); // room for 128 doubles
+        let a = p.acquire(Shape::new(&[100])).unwrap();
+        let err = p.acquire_raw(Shape::new(&[100])).unwrap_err();
+        assert_eq!(err.requested, 800);
+        drop(a);
+        // After release the storage is parked but reclaimable.
+        assert!(p.acquire(Shape::new(&[100])).is_ok());
+    }
+
+    #[test]
+    fn reclaims_other_classes_under_pressure() {
+        let p = pool(1600); // 200 doubles
+        {
+            let _a = p.acquire(Shape::new(&[100])).unwrap();
+        }
+        // 800 bytes parked in class 100; a class-150 request needs 1200 and
+        // must evict the parked storage to fit.
+        let b = p.acquire(Shape::new(&[150]));
+        assert!(b.is_ok());
+        assert_eq!(p.stats().free_bytes, 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let p = pool(1 << 20);
+        let a = p.acquire(Shape::new(&[64])).unwrap();
+        let b = p.acquire(Shape::new(&[64])).unwrap();
+        drop(a);
+        drop(b);
+        assert_eq!(p.stats().peak_bytes, 2 * 64 * 8);
+        assert_eq!(p.stats().live_bytes, 0);
+    }
+
+    #[test]
+    fn into_block_detaches() {
+        let p = pool(1 << 20);
+        let b = p.acquire(Shape::new(&[16])).unwrap();
+        let owned = b.into_block();
+        assert_eq!(owned.len(), 16);
+        let st = p.stats();
+        assert_eq!(st.live_blocks, 0);
+        assert_eq!(st.free_bytes, 0);
+    }
+
+    #[test]
+    fn trim_drops_parked_storage() {
+        let p = pool(1 << 20);
+        {
+            let _ = p.acquire(Shape::new(&[32])).unwrap();
+        }
+        assert!(p.stats().free_bytes > 0);
+        p.trim();
+        assert_eq!(p.stats().free_bytes, 0);
+        assert_eq!(p.size_classes(), 0);
+    }
+
+    #[test]
+    fn distinct_classes_tracked() {
+        let p = pool(1 << 20);
+        {
+            let _a = p.acquire(Shape::new(&[8])).unwrap();
+            let _b = p.acquire(Shape::new(&[16])).unwrap();
+        }
+        assert_eq!(p.size_classes(), 2);
+    }
+}

@@ -1,0 +1,352 @@
+//! A human-readable disassembler for SIA bytecode.
+//!
+//! The SIP's per-instruction profiles reference program locations; the paper
+//! stresses that "the relationship between the source code and the profile
+//! data is transparent". The disassembler renders instructions with source
+//! names recovered from the descriptor tables so a profile line like
+//! `pc 12 bcontract tmp(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J)` reads like the
+//! SIAL statement it came from.
+
+use crate::ops::{
+    Arg, BinOp, BlockRef, BoolExpr, CmpOp, Instruction, PrintItem, PutMode, ScalarExpr,
+};
+use crate::program::Program;
+use std::fmt::Write as _;
+
+fn index_name(p: &Program, id: crate::program::IndexId) -> &str {
+    p.indices
+        .get(id.index())
+        .map(|d| d.name.as_str())
+        .unwrap_or("?idx")
+}
+
+fn block_ref(p: &Program, b: &BlockRef) -> String {
+    let arr = p
+        .arrays
+        .get(b.array.index())
+        .map(|d| d.name.as_str())
+        .unwrap_or("?arr");
+    let idxs: Vec<&str> = b.indices.iter().map(|&i| index_name(p, i)).collect();
+    format!("{arr}({})", idxs.join(","))
+}
+
+fn scalar_name(p: &Program, id: crate::program::ScalarId) -> &str {
+    p.scalars
+        .get(id.index())
+        .map(|d| d.name.as_str())
+        .unwrap_or("?scl")
+}
+
+fn scalar_expr(p: &Program, e: &ScalarExpr) -> String {
+    match e {
+        ScalarExpr::Lit(x) => format!("{x}"),
+        ScalarExpr::Scalar(id) => scalar_name(p, *id).to_string(),
+        ScalarExpr::IndexVal(id) => index_name(p, *id).to_string(),
+        ScalarExpr::Bin(op, l, r) => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+            };
+            format!("({} {o} {})", scalar_expr(p, l), scalar_expr(p, r))
+        }
+        ScalarExpr::Neg(x) => format!("(-{})", scalar_expr(p, x)),
+        ScalarExpr::Const(id) => p
+            .consts
+            .get(id.index())
+            .cloned()
+            .unwrap_or_else(|| "?const".into()),
+    }
+}
+
+fn bool_expr(p: &Program, e: &BoolExpr) -> String {
+    match e {
+        BoolExpr::Cmp(l, op, r) => {
+            let o = match op {
+                CmpOp::Eq => "==",
+                CmpOp::Ne => "!=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("{} {o} {}", scalar_expr(p, l), scalar_expr(p, r))
+        }
+        BoolExpr::And(l, r) => format!("({} && {})", bool_expr(p, l), bool_expr(p, r)),
+        BoolExpr::Or(l, r) => format!("({} || {})", bool_expr(p, l), bool_expr(p, r)),
+        BoolExpr::Not(x) => format!("!({})", bool_expr(p, x)),
+    }
+}
+
+fn string(p: &Program, id: crate::program::StringId) -> &str {
+    p.strings
+        .get(id.index())
+        .map(String::as_str)
+        .unwrap_or("?str")
+}
+
+/// Renders one instruction with names resolved against the program's tables.
+pub fn disassemble_instruction(p: &Program, ins: &Instruction) -> String {
+    use Instruction::*;
+    match ins {
+        PardoStart {
+            indices,
+            where_clauses,
+            end_pc,
+        } => {
+            let idxs: Vec<&str> = indices.iter().map(|&i| index_name(p, i)).collect();
+            let mut s = format!("pardo {}", idxs.join(","));
+            for w in where_clauses {
+                let _ = write!(s, " where {}", bool_expr(p, w));
+            }
+            let _ = write!(s, "  ; end={end_pc}");
+            s
+        }
+        PardoEnd { start_pc } => format!("endpardo  ; start={start_pc}"),
+        DoStart { index, end_pc } => {
+            format!("do {}  ; end={end_pc}", index_name(p, *index))
+        }
+        DoEnd { start_pc } => format!("enddo  ; start={start_pc}"),
+        DoInStart {
+            sub,
+            parent,
+            end_pc,
+            parallel,
+        } => format!(
+            "{} {} in {}  ; end={end_pc}",
+            if *parallel { "pardo" } else { "do" },
+            index_name(p, *sub),
+            index_name(p, *parent)
+        ),
+        DoInEnd { start_pc } => format!("enddo_in  ; start={start_pc}"),
+        ExitLoop { loop_start_pc, target } => {
+            format!("exit  ; loop={loop_start_pc} -> {target}")
+        }
+        JumpIfFalse { cond, target } => {
+            format!("jf ({}) -> {target}", bool_expr(p, cond))
+        }
+        Jump { target } => format!("jmp -> {target}"),
+        Call { proc } => format!(
+            "call {}",
+            p.procs
+                .get(proc.index())
+                .map(|d| d.name.as_str())
+                .unwrap_or("?proc")
+        ),
+        Return => "ret".into(),
+        Halt => "halt".into(),
+        Create { array } => format!(
+            "create {}",
+            p.arrays
+                .get(array.index())
+                .map(|d| d.name.as_str())
+                .unwrap_or("?arr")
+        ),
+        Delete { array } => format!(
+            "delete {}",
+            p.arrays
+                .get(array.index())
+                .map(|d| d.name.as_str())
+                .unwrap_or("?arr")
+        ),
+        Get { block } => format!("get {}", block_ref(p, block)),
+        Put { dest, src, mode } => format!(
+            "put {} {} {}",
+            block_ref(p, dest),
+            match mode {
+                PutMode::Replace => "=",
+                PutMode::Accumulate => "+=",
+            },
+            block_ref(p, src)
+        ),
+        Request { block } => format!("request {}", block_ref(p, block)),
+        Prepare { dest, src, mode } => format!(
+            "prepare {} {} {}",
+            block_ref(p, dest),
+            match mode {
+                PutMode::Replace => "=",
+                PutMode::Accumulate => "+=",
+            },
+            block_ref(p, src)
+        ),
+        BlocksToList { array, label } => format!(
+            "blocks_to_list {} \"{}\"",
+            p.arrays
+                .get(array.index())
+                .map(|d| d.name.as_str())
+                .unwrap_or("?arr"),
+            string(p, *label)
+        ),
+        ListToBlocks { array, label } => format!(
+            "list_to_blocks {} \"{}\"",
+            p.arrays
+                .get(array.index())
+                .map(|d| d.name.as_str())
+                .unwrap_or("?arr"),
+            string(p, *label)
+        ),
+        BlockFill { dest, value } => {
+            format!("{} = {}", block_ref(p, dest), scalar_expr(p, value))
+        }
+        BlockCopy { dest, src } => {
+            format!("{} = {}", block_ref(p, dest), block_ref(p, src))
+        }
+        BlockAccumulate { dest, src, sign } => format!(
+            "{} {}= {}",
+            block_ref(p, dest),
+            if *sign < 0.0 { "-" } else { "+" },
+            block_ref(p, src)
+        ),
+        BlockScale { dest, factor } => {
+            format!("{} *= {}", block_ref(p, dest), scalar_expr(p, factor))
+        }
+        BlockContract { dest, a, b, accumulate } => format!(
+            "{} {}= {} * {}",
+            block_ref(p, dest),
+            if *accumulate { "+" } else { "" },
+            block_ref(p, a),
+            block_ref(p, b)
+        ),
+        ScalarAssign { dest, expr } => {
+            format!("{} = {}", scalar_name(p, *dest), scalar_expr(p, expr))
+        }
+        ScalarFromBlock { dest, src, accumulate } => format!(
+            "{} {}= fold {}",
+            scalar_name(p, *dest),
+            if *accumulate { "+" } else { "" },
+            block_ref(p, src)
+        ),
+        ExecuteSuper { name, args } => {
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|a| match a {
+                    Arg::Block(b) => block_ref(p, b),
+                    Arg::Scalar(id) => scalar_name(p, *id).to_string(),
+                    Arg::Index(id) => index_name(p, *id).to_string(),
+                })
+                .collect();
+            format!("execute {} {}", string(p, *name), rendered.join(" "))
+        }
+        Print { items } => {
+            let rendered: Vec<String> = items
+                .iter()
+                .map(|i| match i {
+                    PrintItem::Str(id) => format!("\"{}\"", string(p, *id)),
+                    PrintItem::Expr(e) => scalar_expr(p, e),
+                })
+                .collect();
+            format!("print {}", rendered.join(" "))
+        }
+        SipBarrier => "sip_barrier".into(),
+        ServerBarrier => "server_barrier".into(),
+    }
+}
+
+/// Renders a full program listing: header, tables, and numbered code.
+pub fn disassemble(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "sial {}", p.name);
+    for (i, d) in p.indices.iter().enumerate() {
+        let _ = writeln!(out, "  index[{i}] {} : {:?} = {:?}..{:?}", d.name, d.kind, d.low, d.high);
+    }
+    for (i, d) in p.arrays.iter().enumerate() {
+        let dims: Vec<&str> = d.dims.iter().map(|&x| index_name(p, x)).collect();
+        let _ = writeln!(out, "  array[{i}] {:?} {}({})", d.kind, d.name, dims.join(","));
+    }
+    for (i, d) in p.scalars.iter().enumerate() {
+        let _ = writeln!(out, "  scalar[{i}] {} = {}", d.name, d.init);
+    }
+    for (i, c) in p.consts.iter().enumerate() {
+        let _ = writeln!(out, "  const[{i}] {c}");
+    }
+    for (i, d) in p.procs.iter().enumerate() {
+        let _ = writeln!(out, "  proc[{i}] {} @ {}", d.name, d.entry_pc);
+    }
+    let _ = writeln!(out, "code:");
+    for (pc, ins) in p.code.iter().enumerate() {
+        let _ = writeln!(out, "  {pc:4}  {}", disassemble_instruction(p, ins));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{
+        ArrayDecl, ArrayId, ArrayKind, IndexDecl, IndexId, IndexKind, Value,
+    };
+
+    fn tiny() -> Program {
+        Program {
+            name: "t".into(),
+            indices: vec![IndexDecl {
+                name: "M".into(),
+                kind: IndexKind::AoIndex,
+                low: Value::Lit(1),
+                high: Value::Lit(4),
+            }],
+            arrays: vec![ArrayDecl {
+                name: "R".into(),
+                kind: ArrayKind::Distributed,
+                dims: vec![IndexId(0), IndexId(0)],
+            }],
+            scalars: vec![],
+            consts: vec![],
+            procs: vec![],
+            strings: vec![],
+            code: vec![
+                Instruction::Get {
+                    block: BlockRef {
+                        array: ArrayId(0),
+                        indices: vec![IndexId(0), IndexId(0)],
+                    },
+                },
+                Instruction::Halt,
+            ],
+        }
+    }
+
+    #[test]
+    fn listing_contains_source_names() {
+        let text = disassemble(&tiny());
+        assert!(text.contains("get R(M,M)"), "{text}");
+        assert!(text.contains("halt"));
+        assert!(text.contains("array[0]"));
+    }
+
+    #[test]
+    fn contraction_reads_like_sial() {
+        let p = tiny();
+        let ins = Instruction::BlockContract {
+            dest: BlockRef {
+                array: ArrayId(0),
+                indices: vec![IndexId(0), IndexId(0)],
+            },
+            a: BlockRef {
+                array: ArrayId(0),
+                indices: vec![IndexId(0), IndexId(0)],
+            },
+            b: BlockRef {
+                array: ArrayId(0),
+                indices: vec![IndexId(0), IndexId(0)],
+            },
+            accumulate: false,
+        };
+        assert_eq!(disassemble_instruction(&p, &ins), "R(M,M) = R(M,M) * R(M,M)");
+    }
+
+    #[test]
+    fn robust_against_dangling_ids() {
+        let p = Program::default();
+        let ins = Instruction::Get {
+            block: BlockRef {
+                array: ArrayId(7),
+                indices: vec![IndexId(9)],
+            },
+        };
+        let s = disassemble_instruction(&p, &ins);
+        assert!(s.contains("?arr"));
+        assert!(s.contains("?idx"));
+    }
+}

@@ -1,0 +1,495 @@
+//! The SIA instruction set.
+//!
+//! Instructions fall into the four classes the paper names: computational
+//! super instructions, control, I/O, and synchronization (§V-A). Control
+//! flow uses explicit program-counter targets; loop instructions carry both
+//! ends so the interpreter (and the prefetcher, which "recognizes the loops
+//! that provide opportunities for effective overlapping") can find the loop
+//! body without re-scanning.
+
+use crate::program::{ArrayId, ConstId, IndexId, ProcId, ScalarId, StringId};
+use serde::{Deserialize, Serialize};
+
+/// A reference to one block of an array, addressed by index variables:
+/// `T(L,S,I,J)` becomes `BlockRef { array: T, indices: [L,S,I,J] }`.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct BlockRef {
+    /// The array being addressed.
+    pub array: ArrayId,
+    /// The index variable naming each dimension's segment.
+    pub indices: Vec<IndexId>,
+}
+
+/// Comparison operators in `if`/`where` conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two doubles.
+    pub fn eval(self, l: f64, r: f64) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+/// Binary arithmetic operators in scalar expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// Applies the operator.
+    pub fn eval(self, l: f64, r: f64) -> f64 {
+        match self {
+            BinOp::Add => l + r,
+            BinOp::Sub => l - r,
+            BinOp::Mul => l * r,
+            BinOp::Div => l / r,
+        }
+    }
+}
+
+/// A scalar-valued expression (over scalar variables, index values, and
+/// literals). Index variables evaluate to their current segment number.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum ScalarExpr {
+    /// Literal double.
+    Lit(f64),
+    /// Value of a named scalar variable.
+    Scalar(ScalarId),
+    /// Current value of an index variable (as a double).
+    IndexVal(IndexId),
+    /// Value of a symbolic constant (bound at initialization).
+    Const(ConstId),
+    /// Binary arithmetic.
+    Bin(BinOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// Negation.
+    Neg(Box<ScalarExpr>),
+}
+
+/// A boolean expression in `if` statements and pardo `where` clauses.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum BoolExpr {
+    /// Comparison of two scalar expressions.
+    Cmp(ScalarExpr, CmpOp, ScalarExpr),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+}
+
+/// Whether a `put`/`prepare` replaces the target block or accumulates into
+/// it. Per the paper, accumulates (`+=`) are atomic and need no barrier
+/// between them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PutMode {
+    /// `put R(..) = src` — replace.
+    Replace,
+    /// `put R(..) += src` — atomic accumulate.
+    Accumulate,
+}
+
+/// An argument to a user super instruction (`execute`).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Arg {
+    /// A block operand.
+    Block(BlockRef),
+    /// A named scalar operand.
+    Scalar(ScalarId),
+    /// The current value of an index variable.
+    Index(IndexId),
+}
+
+/// The instruction classes of §V-A, used by the profiler.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum InstructionClass {
+    /// Computationally intensive block operations.
+    Compute,
+    /// Loops, branches, procedure linkage.
+    Control,
+    /// Data movement: get/put/request/prepare/checkpoint.
+    Io,
+    /// Barriers.
+    Sync,
+}
+
+/// One SIA bytecode instruction.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum Instruction {
+    // ---- control ----------------------------------------------------------
+    /// Start of a `pardo` over `indices`, filtered by `where_clauses`. The
+    /// body is `(pc+1) .. end_pc`; `end_pc` holds the matching [`Instruction::PardoEnd`].
+    PardoStart {
+        /// Indices iterated in parallel.
+        indices: Vec<IndexId>,
+        /// Conjunction of `where` filters.
+        where_clauses: Vec<BoolExpr>,
+        /// Pc of the matching `PardoEnd`.
+        end_pc: u32,
+    },
+    /// End of a `pardo` body; workers fetch their next assigned iteration.
+    PardoEnd {
+        /// Pc of the matching `PardoStart`.
+        start_pc: u32,
+    },
+    /// Start of a sequential `do` over one index.
+    DoStart {
+        /// The loop index.
+        index: IndexId,
+        /// Pc of the matching `DoEnd`.
+        end_pc: u32,
+    },
+    /// End of a `do` body.
+    DoEnd {
+        /// Pc of the matching `DoStart`.
+        start_pc: u32,
+    },
+    /// Start of a `do sub in parent` loop over the subsegments of the
+    /// current segment of `parent` (§IV-E.3). `parallel` marks `pardo in`.
+    DoInStart {
+        /// The subindex iterated.
+        sub: IndexId,
+        /// Its super (parent) index, which must currently be defined.
+        parent: IndexId,
+        /// Pc of the matching `DoInEnd`.
+        end_pc: u32,
+        /// True for `pardo … in`.
+        parallel: bool,
+    },
+    /// End of a `do … in` body.
+    DoInEnd {
+        /// Pc of the matching `DoInStart`.
+        start_pc: u32,
+    },
+    /// `exit` — leave the innermost sequential loop: pop its frame and jump
+    /// past its end.
+    ExitLoop {
+        /// Pc of the `DoStart`/`DoInStart` being exited.
+        loop_start_pc: u32,
+        /// Branch target (one past the loop end).
+        target: u32,
+    },
+    /// Conditional branch: if `cond` is false, jump to `target`.
+    JumpIfFalse {
+        /// The condition.
+        cond: BoolExpr,
+        /// Branch target when false.
+        target: u32,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Branch target.
+        target: u32,
+    },
+    /// Call a procedure.
+    Call {
+        /// The callee.
+        proc: ProcId,
+    },
+    /// Return from a procedure (or end the program at top level).
+    Return,
+    /// Normal end of program.
+    Halt,
+
+    // ---- data management --------------------------------------------------
+    /// Bring a distributed/served array into existence (blocks allocate
+    /// lazily, "only when actually filled with data").
+    Create {
+        /// The array.
+        array: ArrayId,
+    },
+    /// Drop an array's blocks.
+    Delete {
+        /// The array.
+        array: ArrayId,
+    },
+
+    // ---- I/O super instructions -------------------------------------------
+    /// `get T(..)` — asynchronously fetch a block of a distributed array.
+    Get {
+        /// The block fetched.
+        block: BlockRef,
+    },
+    /// `put R(..) = src` / `put R(..) += src` — send a block to its home
+    /// worker.
+    Put {
+        /// Destination block of a distributed array.
+        dest: BlockRef,
+        /// Source block (local).
+        src: BlockRef,
+        /// Replace or accumulate.
+        mode: PutMode,
+    },
+    /// `request T(..)` — asynchronously fetch a block of a served array from
+    /// its I/O server.
+    Request {
+        /// The block fetched.
+        block: BlockRef,
+    },
+    /// `prepare S(..) = src` / `+=` — send a block to its I/O server.
+    Prepare {
+        /// Destination block of a served array.
+        dest: BlockRef,
+        /// Source block (local).
+        src: BlockRef,
+        /// Replace or accumulate.
+        mode: PutMode,
+    },
+    /// Serialize a distributed array to a named checkpoint list.
+    BlocksToList {
+        /// The array serialized.
+        array: ArrayId,
+        /// Checkpoint label (string table).
+        label: StringId,
+    },
+    /// Restore a distributed array from a named checkpoint list.
+    ListToBlocks {
+        /// The array restored.
+        array: ArrayId,
+        /// Checkpoint label (string table).
+        label: StringId,
+    },
+
+    // ---- computational super instructions ----------------------------------
+    /// `dest = s` — fill a block with a scalar.
+    BlockFill {
+        /// Destination block.
+        dest: BlockRef,
+        /// Fill value.
+        value: ScalarExpr,
+    },
+    /// `dest = src` — copy with an implicit permutation when the index
+    /// orders differ, or a slice/insertion when ranks mix sub- and
+    /// super-indices.
+    BlockCopy {
+        /// Destination block.
+        dest: BlockRef,
+        /// Source block.
+        src: BlockRef,
+    },
+    /// `dest += sign * src` (sign −1 for `-=`).
+    BlockAccumulate {
+        /// Destination block.
+        dest: BlockRef,
+        /// Source block.
+        src: BlockRef,
+        /// `+1.0` or `-1.0`.
+        sign: f64,
+    },
+    /// `dest *= factor`.
+    BlockScale {
+        /// The block scaled in place.
+        dest: BlockRef,
+        /// Scale factor.
+        factor: ScalarExpr,
+    },
+    /// `dest (+)= a * b` — the block contraction super instruction.
+    BlockContract {
+        /// Destination block.
+        dest: BlockRef,
+        /// Left operand.
+        a: BlockRef,
+        /// Right operand.
+        b: BlockRef,
+        /// True for `+=` (accumulate into dest).
+        accumulate: bool,
+    },
+    /// `scalar = expr` — scalar assignment.
+    ScalarAssign {
+        /// Destination scalar.
+        dest: ScalarId,
+        /// Value.
+        expr: ScalarExpr,
+    },
+    /// `scalar (+)= block · block` style reductions are lowered by the
+    /// compiler into contractions to scalar blocks; this instruction folds a
+    /// scalar-shaped block into a scalar variable.
+    ScalarFromBlock {
+        /// Destination scalar.
+        dest: ScalarId,
+        /// Source block (must be scalar-shaped).
+        src: BlockRef,
+        /// Accumulate rather than replace.
+        accumulate: bool,
+    },
+    /// `execute name args…` — invoke a registered user super instruction.
+    ExecuteSuper {
+        /// Name (string table) resolved in the SIP registry.
+        name: StringId,
+        /// Arguments.
+        args: Vec<Arg>,
+    },
+    /// `print items…` — diagnostic output through the SIP console.
+    Print {
+        /// Format items: scalar expressions or literal strings.
+        items: Vec<PrintItem>,
+    },
+
+    // ---- synchronization ---------------------------------------------------
+    /// Barrier ordering conflicting accesses to *distributed* arrays.
+    SipBarrier,
+    /// Barrier ordering conflicting accesses to *served* arrays.
+    ServerBarrier,
+}
+
+/// One item of a `print` statement.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum PrintItem {
+    /// A literal string (string table).
+    Str(StringId),
+    /// A scalar expression.
+    Expr(ScalarExpr),
+}
+
+impl Instruction {
+    /// The profiler class of this instruction (§V-A).
+    pub fn class(&self) -> InstructionClass {
+        use Instruction::*;
+        match self {
+            PardoStart { .. } | PardoEnd { .. } | DoStart { .. } | DoEnd { .. }
+            | DoInStart { .. } | DoInEnd { .. } | ExitLoop { .. } | JumpIfFalse { .. } | Jump { .. }
+            | Call { .. } | Return | Halt | Create { .. } | Delete { .. } => {
+                InstructionClass::Control
+            }
+            Get { .. } | Put { .. } | Request { .. } | Prepare { .. }
+            | BlocksToList { .. } | ListToBlocks { .. } | Print { .. } => InstructionClass::Io,
+            BlockFill { .. } | BlockCopy { .. } | BlockAccumulate { .. } | BlockScale { .. }
+            | BlockContract { .. } | ScalarAssign { .. } | ScalarFromBlock { .. }
+            | ExecuteSuper { .. } => InstructionClass::Compute,
+            SipBarrier | ServerBarrier => InstructionClass::Sync,
+        }
+    }
+
+    /// Short mnemonic for profiles and the disassembler.
+    pub fn mnemonic(&self) -> &'static str {
+        use Instruction::*;
+        match self {
+            PardoStart { .. } => "pardo",
+            PardoEnd { .. } => "endpardo",
+            DoStart { .. } => "do",
+            DoEnd { .. } => "enddo",
+            DoInStart { parallel: false, .. } => "do_in",
+            DoInStart { parallel: true, .. } => "pardo_in",
+            DoInEnd { .. } => "enddo_in",
+            ExitLoop { .. } => "exit",
+            JumpIfFalse { .. } => "jf",
+            Jump { .. } => "jmp",
+            Call { .. } => "call",
+            Return => "ret",
+            Halt => "halt",
+            Create { .. } => "create",
+            Delete { .. } => "delete",
+            Get { .. } => "get",
+            Put { .. } => "put",
+            Request { .. } => "request",
+            Prepare { .. } => "prepare",
+            BlocksToList { .. } => "blocks_to_list",
+            ListToBlocks { .. } => "list_to_blocks",
+            BlockFill { .. } => "bfill",
+            BlockCopy { .. } => "bcopy",
+            BlockAccumulate { .. } => "baccum",
+            BlockScale { .. } => "bscale",
+            BlockContract { .. } => "bcontract",
+            ScalarAssign { .. } => "sassign",
+            ScalarFromBlock { .. } => "sfold",
+            ExecuteSuper { .. } => "execute",
+            Print { .. } => "print",
+            SipBarrier => "sip_barrier",
+            ServerBarrier => "server_barrier",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval() {
+        assert!(CmpOp::Lt.eval(1.0, 2.0));
+        assert!(CmpOp::Ge.eval(2.0, 2.0));
+        assert!(!CmpOp::Ne.eval(2.0, 2.0));
+        assert!(CmpOp::Eq.eval(2.0, 2.0));
+        assert!(CmpOp::Le.eval(1.0, 2.0));
+        assert!(CmpOp::Gt.eval(3.0, 2.0));
+    }
+
+    #[test]
+    fn bin_eval() {
+        assert_eq!(BinOp::Add.eval(1.0, 2.0), 3.0);
+        assert_eq!(BinOp::Sub.eval(1.0, 2.0), -1.0);
+        assert_eq!(BinOp::Mul.eval(3.0, 2.0), 6.0);
+        assert_eq!(BinOp::Div.eval(3.0, 2.0), 1.5);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(Instruction::Halt.class(), InstructionClass::Control);
+        assert_eq!(Instruction::SipBarrier.class(), InstructionClass::Sync);
+        assert_eq!(
+            Instruction::Get {
+                block: BlockRef {
+                    array: ArrayId(0),
+                    indices: vec![]
+                }
+            }
+            .class(),
+            InstructionClass::Io
+        );
+        assert_eq!(
+            Instruction::ScalarAssign {
+                dest: ScalarId(0),
+                expr: ScalarExpr::Lit(0.0)
+            }
+            .class(),
+            InstructionClass::Compute
+        );
+    }
+
+    #[test]
+    fn mnemonics_distinct_for_do_in() {
+        let d = Instruction::DoInStart {
+            sub: IndexId(0),
+            parent: IndexId(1),
+            end_pc: 0,
+            parallel: false,
+        };
+        let p = Instruction::DoInStart {
+            sub: IndexId(0),
+            parent: IndexId(1),
+            end_pc: 0,
+            parallel: true,
+        };
+        assert_eq!(d.mnemonic(), "do_in");
+        assert_eq!(p.mnemonic(), "pardo_in");
+    }
+}

@@ -1,0 +1,27 @@
+//! # sia-chem — computational-chemistry workloads for the SIA
+//!
+//! ACES III is the application the SIA was built for: coupled-cluster
+//! electronic-structure methods whose tensors dwarf single-node memory. This
+//! crate supplies the reproduction's workload layer:
+//!
+//! * [`molecules`] — the evaluation molecules of the paper's Figures 2–7 as
+//!   problem descriptors (occupied orbitals, basis functions);
+//! * [`integrals`] — deterministic synthetic integral kernels registered as
+//!   `compute_integrals`/`compute_oei` super instructions (the SIP treats
+//!   kernels as opaque; only their block interface and cost matter);
+//! * [`workloads`] — SIAL program generators for the methods the paper
+//!   benchmarks: the §IV-D contraction, MP2 energy, CCSD iterations,
+//!   CCSD(T) triples, and the Fock matrix build — each packaged as a
+//!   [`Workload`] that can *run for real* on the SIP (small molecules) or be
+//!   *traced and simulated* at full size (paper molecules, paper machines).
+
+pub mod integrals;
+pub mod molecules;
+pub mod workloads;
+
+pub use integrals::{integral_cost_model, register_integrals};
+pub use molecules::{Molecule, CYTOSINE_OH, DIAMOND_NC, HMX, LUCIFERIN, RDX, WATER_21};
+pub use workloads::{
+    ccsd_converged, ccsd_iteration, ccsd_t_triples, contraction_demo, fock_build, mp2_energy,
+    Workload,
+};

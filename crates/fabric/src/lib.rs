@@ -1,0 +1,376 @@
+//! # sia-fabric — the SIA's communication substrate
+//!
+//! The original SIP runs its master, workers, and I/O servers as MPI
+//! processes and insists that "all message passing is asynchronous". This
+//! crate provides the same contract without MPI: a set of *ranks* (threads in
+//! one process) exchanging typed messages through nonblocking endpoints.
+//!
+//! Semantics mirror the MPI subset the SIP uses:
+//!
+//! * [`Endpoint::send`] is `mpi_isend`-like: it never blocks the sender and
+//!   returns a [`SendHandle`] that reports completion (delivery into the
+//!   receiver's queue).
+//! * [`Endpoint::try_recv`] / [`Endpoint::recv_timeout`] are the
+//!   `mpi_iprobe`/`mpi_recv` pair the SIP's progress loop uses: workers
+//!   "periodically check for messages and process them".
+//! * Per-(sender, receiver) FIFO ordering is guaranteed, as in MPI.
+//!
+//! The fabric is generic over the message type; `sia-runtime` instantiates it
+//! with the SIP protocol messages. Message sizes (for the traffic counters
+//! the profiler reports) come from the [`Message`] trait.
+
+pub mod stats;
+
+pub use stats::TrafficCounters;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A rank: the identity of one participant (master, worker, or I/O server).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rank(pub usize);
+
+impl fmt::Debug for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Messages carried by the fabric report an approximate payload size so the
+/// runtime can keep the traffic counters the paper's profiler exposes.
+pub trait Message: Send + 'static {
+    /// Approximate wire size in bytes (payload only).
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+/// A delivered message with its sender.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// The sending rank.
+    pub src: Rank,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Completion handle returned by [`Endpoint::send`] (the analogue of the
+/// `MPI_Request` from `mpi_isend`).
+///
+/// Delivery into the receiver's queue is immediate in-process, so the handle
+/// is complete as soon as `send` returns unless the receiver disappeared; it
+/// exists so runtime code keeps the request-based structure of the original
+/// and so tests can assert on delivery.
+#[derive(Debug)]
+pub struct SendHandle {
+    delivered: bool,
+}
+
+impl SendHandle {
+    /// True when the message reached the receiver's queue.
+    pub fn is_complete(&self) -> bool {
+        self.delivered
+    }
+}
+
+/// Error sending to a rank whose endpoint was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerGone(pub Rank);
+
+impl fmt::Display for PeerGone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer {} has shut down", self.0)
+    }
+}
+
+impl std::error::Error for PeerGone {}
+
+struct Shared {
+    stats: Vec<TrafficCounters>,
+    shutdown: AtomicBool,
+    epoch: AtomicU64,
+}
+
+/// One rank's connection to the fabric. Owned by the rank's thread.
+pub struct Endpoint<M: Message> {
+    rank: Rank,
+    inbox: Receiver<Envelope<M>>,
+    peers: Vec<Sender<Envelope<M>>>,
+    shared: Arc<Shared>,
+}
+
+impl<M: Message> Endpoint<M> {
+    /// This endpoint's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Total number of ranks in the fabric.
+    pub fn world_size(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Nonblocking send (the `mpi_isend` analogue).
+    ///
+    /// # Errors
+    /// [`PeerGone`] if the destination endpoint has been dropped.
+    pub fn send(&self, to: Rank, msg: M) -> Result<SendHandle, PeerGone> {
+        let bytes = msg.approx_bytes();
+        let env = Envelope {
+            src: self.rank,
+            msg,
+        };
+        match self.peers[to.0].send(env) {
+            Ok(()) => {
+                self.shared.stats[self.rank.0].record_send(to, bytes);
+                Ok(SendHandle { delivered: true })
+            }
+            Err(_) => Err(PeerGone(to)),
+        }
+    }
+
+    /// Nonblocking receive (the `mpi_iprobe` + `mpi_recv` analogue).
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        match self.inbox.try_recv() {
+            Ok(env) => {
+                self.shared.stats[self.rank.0].record_recv(env.src, env.msg.approx_bytes());
+                Some(env)
+            }
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive with a timeout, for progress loops that have nothing
+    /// to compute and must wait for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(env) => {
+                self.shared.stats[self.rank.0].record_recv(env.src, env.msg.approx_bytes());
+                Some(env)
+            }
+            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Number of messages waiting in this rank's queue.
+    pub fn pending(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Raises the fabric-wide shutdown flag (any rank may call this; e.g. the
+    /// master after `halt`).
+    pub fn raise_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once any rank raised shutdown.
+    pub fn shutdown_raised(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Traffic counters of this rank.
+    pub fn counters(&self) -> &TrafficCounters {
+        &self.shared.stats[self.rank.0]
+    }
+
+    /// Bumps and returns a fabric-wide epoch counter (used by the runtime to
+    /// number barrier generations).
+    pub fn next_epoch(&self) -> u64 {
+        self.shared.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+}
+
+impl<M: Message> fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Endpoint({}, world={})", self.rank, self.peers.len())
+    }
+}
+
+/// Builds a fabric of `n` ranks, returning one [`Endpoint`] per rank plus a
+/// [`FabricStats`] handle for post-run inspection.
+pub fn build<M: Message>(n: usize) -> (Vec<Endpoint<M>>, FabricStats) {
+    assert!(n > 0, "fabric needs at least one rank");
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let shared = Arc::new(Shared {
+        stats: (0..n).map(|_| TrafficCounters::new(n)).collect(),
+        shutdown: AtomicBool::new(false),
+        epoch: AtomicU64::new(0),
+    });
+    let endpoints = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(i, inbox)| Endpoint {
+            rank: Rank(i),
+            inbox,
+            peers: senders.clone(),
+            shared: Arc::clone(&shared),
+        })
+        .collect();
+    let stats = FabricStats {
+        shared: Arc::clone(&shared),
+    };
+    (endpoints, stats)
+}
+
+/// Read-only view over all ranks' traffic counters, usable after the rank
+/// threads have finished.
+pub struct FabricStats {
+    shared: Arc<Shared>,
+}
+
+impl FabricStats {
+    /// Number of ranks in the fabric.
+    pub fn world_size(&self) -> usize {
+        self.shared.stats.len()
+    }
+
+    /// Traffic counters of one rank.
+    pub fn counters_of(&self, rank: Rank) -> &TrafficCounters {
+        &self.shared.stats[rank.0]
+    }
+
+    /// Total bytes sent across the whole fabric.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.shared.stats.iter().map(|c| c.bytes_sent()).sum()
+    }
+
+    /// Total messages sent across the whole fabric.
+    pub fn total_messages_sent(&self) -> u64 {
+        self.shared.stats.iter().map(|c| c.messages_sent()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u64, Vec<u8>);
+
+    impl Message for Ping {
+        fn approx_bytes(&self) -> usize {
+            8 + self.1.len()
+        }
+    }
+
+    #[test]
+    fn send_and_receive() {
+        let (mut eps, _stats) = build::<Ping>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(Rank(1), Ping(7, vec![1, 2, 3])).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.src, Rank(0));
+        assert_eq!(env.msg, Ping(7, vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn fifo_per_pair() {
+        let (mut eps, _stats) = build::<Ping>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..100 {
+            a.send(Rank(1), Ping(i, vec![])).unwrap();
+        }
+        for i in 0..100 {
+            let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(env.msg.0, i);
+        }
+    }
+
+    #[test]
+    fn self_send_allowed() {
+        let (eps, _stats) = build::<Ping>(1);
+        let a = &eps[0];
+        a.send(Rank(0), Ping(1, vec![])).unwrap();
+        assert_eq!(a.pending(), 1);
+        assert!(a.try_recv().is_some());
+        assert!(a.try_recv().is_none());
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let (mut eps, _stats) = build::<Ping>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let h = thread::spawn(move || {
+            // Echo server: return each ping to its sender with value + 1.
+            for _ in 0..10 {
+                let env = b.recv_timeout(Duration::from_secs(5)).unwrap();
+                b.send(env.src, Ping(env.msg.0 + 1, vec![])).unwrap();
+            }
+        });
+        for i in 0..10 {
+            a.send(Rank(1), Ping(i, vec![])).unwrap();
+            let back = a.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(back.msg.0, i + 1);
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn peer_gone_reported() {
+        let (mut eps, _stats) = build::<Ping>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(b);
+        // The channel also holds senders inside `a`, so sending still works
+        // until all clones drop; dropping `b` drops only the receiver.
+        let err = a.send(Rank(1), Ping(0, vec![])).unwrap_err();
+        assert_eq!(err, PeerGone(Rank(1)));
+    }
+
+    #[test]
+    fn shutdown_flag_visible_to_all() {
+        let (eps, _stats) = build::<Ping>(3);
+        assert!(!eps[2].shutdown_raised());
+        eps[0].raise_shutdown();
+        assert!(eps[1].shutdown_raised());
+        assert!(eps[2].shutdown_raised());
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let (mut eps, _stats) = build::<Ping>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(Rank(1), Ping(0, vec![0; 100])).unwrap();
+        let _ = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(a.counters().messages_sent(), 1);
+        assert_eq!(a.counters().bytes_sent(), 108);
+        assert_eq!(b.counters().messages_received(), 1);
+        assert_eq!(b.counters().bytes_received(), 108);
+    }
+
+    #[test]
+    fn epoch_monotone() {
+        let (eps, _stats) = build::<Ping>(2);
+        let e1 = eps[0].next_epoch();
+        let e2 = eps[1].next_epoch();
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (eps, _stats) = build::<Ping>(1);
+        let t0 = std::time::Instant::now();
+        assert!(eps[0].recv_timeout(Duration::from_millis(10)).is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+}

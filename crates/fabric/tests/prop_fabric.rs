@@ -1,0 +1,98 @@
+//! Property tests for the fabric: no message loss, per-pair ordering, and
+//! byte accounting under randomized multi-rank traffic.
+
+use proptest::prelude::*;
+use sia_fabric::{build, Message, Rank};
+use std::time::Duration;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Tagged {
+    from: usize,
+    seq: u64,
+    payload: Vec<u8>,
+}
+
+impl Message for Tagged {
+    fn approx_bytes(&self) -> usize {
+        16 + self.payload.len()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every message sent is received exactly once, and messages from one
+    /// sender arrive in send order, across threads.
+    #[test]
+    fn delivery_exact_and_ordered(
+        senders in 1usize..5,
+        msgs_per_sender in 1u64..50,
+        payload_len in 0usize..64,
+    ) {
+        let world = senders + 1;
+        let (mut eps, stats) = build::<Tagged>(world);
+        let receiver = eps.remove(senders); // last rank receives
+        let handles: Vec<_> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                std::thread::spawn(move || {
+                    for seq in 0..msgs_per_sender {
+                        ep.send(
+                            Rank(senders),
+                            Tagged {
+                                from: i,
+                                seq,
+                                payload: vec![i as u8; payload_len],
+                            },
+                        )
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+
+        let total = senders as u64 * msgs_per_sender;
+        let mut next_seq = vec![0u64; senders];
+        let mut received = 0u64;
+        while received < total {
+            let env = receiver
+                .recv_timeout(Duration::from_secs(10))
+                .expect("no message lost");
+            prop_assert_eq!(env.src.0, env.msg.from);
+            prop_assert_eq!(env.msg.seq, next_seq[env.msg.from], "per-sender FIFO");
+            next_seq[env.msg.from] += 1;
+            prop_assert_eq!(env.msg.payload.len(), payload_len);
+            received += 1;
+        }
+        prop_assert!(receiver.try_recv().is_none(), "no extra messages");
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Byte accounting: total sent == total received.
+        let sent: u64 = (0..senders).map(|r| stats.counters_of(Rank(r)).bytes_sent()).sum();
+        let recv = stats.counters_of(Rank(senders)).bytes_received();
+        prop_assert_eq!(sent, recv);
+        prop_assert_eq!(stats.total_messages_sent(), total);
+    }
+
+    /// Bidirectional ping-pong never deadlocks and echoes values intact.
+    #[test]
+    fn ping_pong_roundtrips(rounds in 1u64..100) {
+        let (mut eps, _stats) = build::<Tagged>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let echo = std::thread::spawn(move || {
+            for _ in 0..rounds {
+                let env = b.recv_timeout(Duration::from_secs(10)).unwrap();
+                b.send(env.src, Tagged { seq: env.msg.seq + 1, ..env.msg }).unwrap();
+            }
+        });
+        for seq in 0..rounds {
+            a.send(Rank(1), Tagged { from: 0, seq, payload: vec![] }).unwrap();
+            let back = a.recv_timeout(Duration::from_secs(10)).unwrap();
+            prop_assert_eq!(back.msg.seq, seq + 1);
+        }
+        echo.join().unwrap();
+    }
+}

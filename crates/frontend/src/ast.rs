@@ -1,0 +1,407 @@
+//! The SIAL abstract syntax tree.
+
+/// The declared kind of an index variable (mirrors the keywords).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstIndexKind {
+    /// `aoindex`
+    Ao,
+    /// `moindex`
+    Mo,
+    /// `moaindex`
+    MoA,
+    /// `mobindex`
+    MoB,
+    /// `laindex`
+    La,
+    /// `index` (simple)
+    Simple,
+}
+
+/// The declared kind of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstArrayKind {
+    /// `static`
+    Static,
+    /// `temp`
+    Temp,
+    /// `local`
+    Local,
+    /// `distributed`
+    Distributed,
+    /// `served`
+    Served,
+}
+
+/// A bound in an index declaration: a literal or a symbolic-constant name.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bound {
+    /// A literal integer.
+    Lit(i64),
+    /// A symbolic constant resolved at initialization (e.g. `norb`).
+    Sym(String),
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `aoindex M = 1, norb`
+    Index {
+        /// Variable name.
+        name: String,
+        /// Index kind keyword used.
+        kind: AstIndexKind,
+        /// Lower bound.
+        low: Bound,
+        /// Upper bound.
+        high: Bound,
+        /// Source line.
+        line: u32,
+    },
+    /// `subindex ii of i`
+    Subindex {
+        /// Subindex name.
+        name: String,
+        /// Parent (super) index name.
+        parent: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `distributed R(M,N,I,J)` etc.
+    Array {
+        /// Array name.
+        name: String,
+        /// Storage class keyword used.
+        kind: AstArrayKind,
+        /// Index variable name per dimension.
+        dims: Vec<String>,
+        /// Source line.
+        line: u32,
+    },
+    /// `scalar energy` with optional `= 0.0`.
+    Scalar {
+        /// Scalar name.
+        name: String,
+        /// Initial value.
+        init: f64,
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Decl {
+    /// The declared name.
+    pub fn name(&self) -> &str {
+        match self {
+            Decl::Index { name, .. }
+            | Decl::Subindex { name, .. }
+            | Decl::Array { name, .. }
+            | Decl::Scalar { name, .. } => name,
+        }
+    }
+
+    /// Source line of the declaration.
+    pub fn line(&self) -> u32 {
+        match self {
+            Decl::Index { line, .. }
+            | Decl::Subindex { line, .. }
+            | Decl::Array { line, .. }
+            | Decl::Scalar { line, .. } => *line,
+        }
+    }
+}
+
+/// A reference to one block: array name + index variable names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockExpr {
+    /// Array name.
+    pub array: String,
+    /// Index variable per dimension.
+    pub indices: Vec<String>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A scalar-valued expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Named scalar variable, index variable, or symbolic constant — sema
+    /// decides which.
+    Name(String),
+    /// `l + r` etc.
+    Bin(crate::ast::BinOp, Box<Expr>, Box<Expr>),
+    /// `-x`
+    Neg(Box<Expr>),
+}
+
+/// Binary arithmetic operators (AST level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Comparison operators (AST level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A boolean expression (conditions and `where` clauses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `l op r`
+    Cmp(Expr, CmpOp, Expr),
+    /// `a and b`
+    And(Box<Cond>, Box<Cond>),
+    /// `a or b`
+    Or(Box<Cond>, Box<Cond>),
+    /// `not a`
+    Not(Box<Cond>),
+}
+
+/// The target of an assignment statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A block: `tmp(M,N,I,J)`.
+    Block(BlockExpr),
+    /// A scalar variable.
+    Scalar(String, u32),
+}
+
+/// Assignment operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+}
+
+/// The right-hand side of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rhs {
+    /// A scalar expression (fills a block dest, or assigns a scalar dest).
+    Scalar(Expr),
+    /// A single block (copy/permute/slice/insert).
+    Block(BlockExpr),
+    /// Contraction of two blocks.
+    Contract(BlockExpr, BlockExpr),
+    /// `expr * block` or `block * expr` — scaled block.
+    ScaledBlock(Expr, BlockExpr),
+}
+
+/// Which barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// `sip_barrier` (distributed arrays).
+    Sip,
+    /// `server_barrier` (served arrays).
+    Server,
+}
+
+/// Replace or accumulate for `put`/`prepare`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreMode {
+    /// `=`
+    Replace,
+    /// `+=`
+    Accumulate,
+}
+
+/// An argument of `execute`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecArg {
+    /// A block argument.
+    Block(BlockExpr),
+    /// A bare name (scalar or index — sema decides).
+    Name(String, u32),
+    /// A literal number.
+    Num(f64),
+}
+
+/// One item of a `print` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstPrintItem {
+    /// A string literal.
+    Str(String),
+    /// A scalar expression.
+    Expr(Expr),
+}
+
+/// A SIAL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `pardo …` / `endpardo`.
+    Pardo {
+        /// Parallel indices.
+        indices: Vec<String>,
+        /// `where` clauses (conjunction).
+        wheres: Vec<Cond>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line of the `pardo`.
+        line: u32,
+    },
+    /// `do i` / `enddo`.
+    Do {
+        /// Loop index.
+        index: String,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `do ii in i` / `pardo ii in i`.
+    DoIn {
+        /// Subindex.
+        sub: String,
+        /// Parent index.
+        parent: String,
+        /// True for `pardo … in`.
+        parallel: bool,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `if` / `else` / `endif`.
+    If {
+        /// Condition.
+        cond: Cond,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch.
+        els: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `call name`.
+    Call {
+        /// Procedure name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `get T(..)`.
+    Get(BlockExpr),
+    /// `put R(..) =|+= src(..)`.
+    Put {
+        /// Destination (distributed array block).
+        dest: BlockExpr,
+        /// Source (local block).
+        src: BlockExpr,
+        /// Replace or accumulate.
+        mode: StoreMode,
+    },
+    /// `request T(..)`.
+    Request(BlockExpr),
+    /// `prepare S(..) =|+= src(..)`.
+    Prepare {
+        /// Destination (served array block).
+        dest: BlockExpr,
+        /// Source (local block).
+        src: BlockExpr,
+        /// Replace or accumulate.
+        mode: StoreMode,
+    },
+    /// An assignment statement.
+    Assign {
+        /// Destination.
+        dest: LValue,
+        /// Operator.
+        op: AssignOp,
+        /// Right-hand side.
+        rhs: Rhs,
+        /// Source line.
+        line: u32,
+    },
+    /// `execute name args…`.
+    Execute {
+        /// Super-instruction name.
+        name: String,
+        /// Arguments.
+        args: Vec<ExecArg>,
+        /// Source line.
+        line: u32,
+    },
+    /// `sip_barrier` / `server_barrier`.
+    Barrier(BarrierKind, u32),
+    /// `blocks_to_list A "label"`.
+    BlocksToList {
+        /// Array serialized.
+        array: String,
+        /// Checkpoint label.
+        label: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `list_to_blocks A "label"`.
+    ListToBlocks {
+        /// Array restored.
+        array: String,
+        /// Checkpoint label.
+        label: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `print items…`.
+    Print {
+        /// Items.
+        items: Vec<AstPrintItem>,
+        /// Source line.
+        line: u32,
+    },
+    /// `exit` — leave the innermost `do`/`do in` loop.
+    Exit(u32),
+    /// `create A`.
+    Create(String, u32),
+    /// `delete A`.
+    Delete(String, u32),
+}
+
+/// A procedure definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcDef {
+    /// Procedure name.
+    pub name: String,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of `proc`.
+    pub line: u32,
+}
+
+/// A parsed SIAL program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstProgram {
+    /// Program name from the `sial` header.
+    pub name: String,
+    /// Top-level declarations.
+    pub decls: Vec<Decl>,
+    /// Procedures.
+    pub procs: Vec<ProcDef>,
+    /// Main body statements.
+    pub body: Vec<Stmt>,
+}

@@ -1,0 +1,767 @@
+//! Lowering: checked AST → SIA bytecode.
+//!
+//! Statements lower to small flat instruction sequences; control structures
+//! lower to paired loop instructions with patched pc targets. The compiler
+//! synthesizes hidden temp arrays (names starting with `$`) for scalar
+//! reductions and scaled accumulations, mirroring how the original SIAL
+//! compiler introduced compiler temporaries.
+
+use crate::ast::{self, AstProgram, BlockExpr, Cond, Expr, LValue, Rhs, Stmt};
+use crate::error::{CompileError, ErrorKind};
+use crate::sema::SemaInfo;
+use sia_bytecode::{
+    Arg, ArrayDecl, ArrayId, ArrayKind, BinOp, BlockRef, BoolExpr, CmpOp, Instruction as I,
+    IndexId, ProcDecl, ProcId, Program, PutMode, ScalarExpr, ScalarId,
+};
+
+fn lower_err(line: u32, msg: impl Into<String>) -> CompileError {
+    CompileError::new(ErrorKind::Lower, line, msg)
+}
+
+struct Lowerer<'a> {
+    info: &'a SemaInfo,
+    program: Program,
+    hidden_counter: u32,
+    /// Per active sequential loop: (start pc, pending `exit` pcs to patch).
+    loop_exits: Vec<(u32, Vec<u32>)>,
+}
+
+/// Lowers a checked AST into a bytecode [`Program`].
+pub fn compile_ast(ast: &AstProgram, info: &SemaInfo) -> Result<Program, CompileError> {
+    let mut l = Lowerer {
+        info,
+        program: Program {
+            name: ast.name.clone(),
+            indices: info.indices.clone(),
+            arrays: info.arrays.clone(),
+            scalars: info.scalars.clone(),
+            consts: info.consts.clone(),
+            procs: Vec::new(),
+            strings: Vec::new(),
+            code: Vec::new(),
+        },
+        hidden_counter: 0,
+        loop_exits: Vec::new(),
+    };
+    l.lower_stmts(&ast.body)?;
+    l.emit(I::Halt);
+    for p in &ast.procs {
+        let entry_pc = l.pc();
+        l.program.procs.push(ProcDecl {
+            name: p.name.clone(),
+            entry_pc,
+        });
+        l.lower_stmts(&p.body)?;
+        l.emit(I::Return);
+    }
+    Ok(l.program)
+}
+
+impl<'a> Lowerer<'a> {
+    fn pc(&self) -> u32 {
+        self.program.code.len() as u32
+    }
+
+    fn emit(&mut self, ins: I) -> u32 {
+        let pc = self.pc();
+        self.program.code.push(ins);
+        pc
+    }
+
+    fn index_id(&self, name: &str) -> IndexId {
+        IndexId(*self.info.index_ids.get(name).expect("sema resolved"))
+    }
+
+    fn array_id(&self, name: &str) -> ArrayId {
+        ArrayId(*self.info.array_ids.get(name).expect("sema resolved"))
+    }
+
+    fn block_ref(&self, b: &BlockExpr) -> BlockRef {
+        BlockRef {
+            array: self.array_id(&b.array),
+            indices: b.indices.iter().map(|n| self.index_id(n)).collect(),
+        }
+    }
+
+    /// Synthesizes a hidden temp array whose dims mirror `indices` (empty for
+    /// a scalar-shaped reduction block).
+    fn hidden_temp(&mut self, indices: &[IndexId]) -> ArrayId {
+        let id = ArrayId(self.program.arrays.len() as u32);
+        self.hidden_counter += 1;
+        self.program.arrays.push(ArrayDecl {
+            name: format!("$t{}", self.hidden_counter),
+            kind: ArrayKind::Temp,
+            dims: indices.to_vec(),
+        });
+        id
+    }
+
+    fn expr(&self, e: &Expr, line: u32) -> Result<ScalarExpr, CompileError> {
+        Ok(match e {
+            Expr::Num(n) => ScalarExpr::Lit(*n),
+            Expr::Name(n) => {
+                if let Some(&id) = self.info.scalar_ids.get(n) {
+                    ScalarExpr::Scalar(ScalarId(id))
+                } else if let Some(&id) = self.info.const_ids.get(n) {
+                    ScalarExpr::Const(sia_bytecode::ConstId(id))
+                } else if let Some(&id) = self.info.index_ids.get(n) {
+                    ScalarExpr::IndexVal(IndexId(id))
+                } else {
+                    return Err(lower_err(line, format!("unresolved name `{n}`")));
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let bop = match op {
+                    ast::BinOp::Add => BinOp::Add,
+                    ast::BinOp::Sub => BinOp::Sub,
+                    ast::BinOp::Mul => BinOp::Mul,
+                    ast::BinOp::Div => BinOp::Div,
+                };
+                ScalarExpr::Bin(
+                    bop,
+                    Box::new(self.expr(a, line)?),
+                    Box::new(self.expr(b, line)?),
+                )
+            }
+            Expr::Neg(x) => ScalarExpr::Neg(Box::new(self.expr(x, line)?)),
+        })
+    }
+
+    fn cond(&self, c: &Cond, line: u32) -> Result<BoolExpr, CompileError> {
+        Ok(match c {
+            Cond::Cmp(l, op, r) => {
+                let cop = match op {
+                    ast::CmpOp::Eq => CmpOp::Eq,
+                    ast::CmpOp::Ne => CmpOp::Ne,
+                    ast::CmpOp::Lt => CmpOp::Lt,
+                    ast::CmpOp::Le => CmpOp::Le,
+                    ast::CmpOp::Gt => CmpOp::Gt,
+                    ast::CmpOp::Ge => CmpOp::Ge,
+                };
+                BoolExpr::Cmp(self.expr(l, line)?, cop, self.expr(r, line)?)
+            }
+            Cond::And(a, b) => BoolExpr::And(
+                Box::new(self.cond(a, line)?),
+                Box::new(self.cond(b, line)?),
+            ),
+            Cond::Or(a, b) => BoolExpr::Or(
+                Box::new(self.cond(a, line)?),
+                Box::new(self.cond(b, line)?),
+            ),
+            Cond::Not(x) => BoolExpr::Not(Box::new(self.cond(x, line)?)),
+        })
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+        for s in stmts {
+            self.lower_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Pardo {
+                indices,
+                wheres,
+                body,
+                line,
+            } => {
+                let idx: Vec<IndexId> = indices.iter().map(|n| self.index_id(n)).collect();
+                let mut clauses = Vec::with_capacity(wheres.len());
+                for w in wheres {
+                    clauses.push(self.cond(w, *line)?);
+                }
+                let start = self.emit(I::PardoStart {
+                    indices: idx,
+                    where_clauses: clauses,
+                    end_pc: 0,
+                });
+                self.lower_stmts(body)?;
+                let end = self.emit(I::PardoEnd { start_pc: start });
+                if let I::PardoStart { end_pc, .. } = &mut self.program.code[start as usize] {
+                    *end_pc = end;
+                }
+                Ok(())
+            }
+            Stmt::Do { index, body, .. } => {
+                let start = self.emit(I::DoStart {
+                    index: self.index_id(index),
+                    end_pc: 0,
+                });
+                self.loop_exits.push((start, Vec::new()));
+                self.lower_stmts(body)?;
+                let (_, exits) = self.loop_exits.pop().expect("loop stack balanced");
+                let end = self.emit(I::DoEnd { start_pc: start });
+                if let I::DoStart { end_pc, .. } = &mut self.program.code[start as usize] {
+                    *end_pc = end;
+                }
+                for pc in exits {
+                    if let I::ExitLoop { target, .. } = &mut self.program.code[pc as usize] {
+                        *target = end + 1;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::DoIn {
+                sub,
+                parent,
+                parallel,
+                body,
+                ..
+            } => {
+                let start = self.emit(I::DoInStart {
+                    sub: self.index_id(sub),
+                    parent: self.index_id(parent),
+                    end_pc: 0,
+                    parallel: *parallel,
+                });
+                self.loop_exits.push((start, Vec::new()));
+                self.lower_stmts(body)?;
+                let (_, exits) = self.loop_exits.pop().expect("loop stack balanced");
+                let end = self.emit(I::DoInEnd { start_pc: start });
+                if let I::DoInStart { end_pc, .. } = &mut self.program.code[start as usize] {
+                    *end_pc = end;
+                }
+                for pc in exits {
+                    if let I::ExitLoop { target, .. } = &mut self.program.code[pc as usize] {
+                        *target = end + 1;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then,
+                els,
+                line,
+            } => {
+                let c = self.cond(cond, *line)?;
+                let jf = self.emit(I::JumpIfFalse { cond: c, target: 0 });
+                self.lower_stmts(then)?;
+                if els.is_empty() {
+                    let after = self.pc();
+                    if let I::JumpIfFalse { target, .. } = &mut self.program.code[jf as usize] {
+                        *target = after;
+                    }
+                } else {
+                    let jmp = self.emit(I::Jump { target: 0 });
+                    let else_start = self.pc();
+                    if let I::JumpIfFalse { target, .. } = &mut self.program.code[jf as usize] {
+                        *target = else_start;
+                    }
+                    self.lower_stmts(els)?;
+                    let after = self.pc();
+                    if let I::Jump { target } = &mut self.program.code[jmp as usize] {
+                        *target = after;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Call { name, .. } => {
+                let pos = self
+                    .info
+                    .proc_order
+                    .iter()
+                    .position(|p| p == name)
+                    .expect("sema resolved");
+                self.emit(I::Call {
+                    proc: ProcId(pos as u32),
+                });
+                Ok(())
+            }
+            Stmt::Get(b) => {
+                let block = self.block_ref(b);
+                self.emit(I::Get { block });
+                Ok(())
+            }
+            Stmt::Request(b) => {
+                let block = self.block_ref(b);
+                self.emit(I::Request { block });
+                Ok(())
+            }
+            Stmt::Put { dest, src, mode } => {
+                let d = self.block_ref(dest);
+                let s2 = self.block_ref(src);
+                self.emit(I::Put {
+                    dest: d,
+                    src: s2,
+                    mode: match mode {
+                        ast::StoreMode::Replace => PutMode::Replace,
+                        ast::StoreMode::Accumulate => PutMode::Accumulate,
+                    },
+                });
+                Ok(())
+            }
+            Stmt::Prepare { dest, src, mode } => {
+                let d = self.block_ref(dest);
+                let s2 = self.block_ref(src);
+                self.emit(I::Prepare {
+                    dest: d,
+                    src: s2,
+                    mode: match mode {
+                        ast::StoreMode::Replace => PutMode::Replace,
+                        ast::StoreMode::Accumulate => PutMode::Accumulate,
+                    },
+                });
+                Ok(())
+            }
+            Stmt::Assign {
+                dest,
+                op,
+                rhs,
+                line,
+            } => self.lower_assign(dest, *op, rhs, *line),
+            Stmt::Execute { name, args, line } => {
+                let name_id = self.program.intern(name);
+                let mut lowered = Vec::with_capacity(args.len());
+                for a in args {
+                    lowered.push(match a {
+                        ast::ExecArg::Block(b) => Arg::Block(self.block_ref(b)),
+                        ast::ExecArg::Name(n, _) => {
+                            if let Some(&id) = self.info.scalar_ids.get(n) {
+                                Arg::Scalar(ScalarId(id))
+                            } else if self.info.index_ids.contains_key(n) {
+                                Arg::Index(self.index_id(n))
+                            } else if self.info.const_ids.contains_key(n) {
+                                // Constants pass as scalar literals resolved at
+                                // runtime via a synthetic scalar — rejected for
+                                // now to keep `execute` signatures simple.
+                                return Err(lower_err(
+                                    *line,
+                                    format!("constant `{n}` cannot be an execute argument"),
+                                ));
+                            } else {
+                                return Err(lower_err(*line, format!("unresolved `{n}`")));
+                            }
+                        }
+                        ast::ExecArg::Num(_) => {
+                            return Err(lower_err(
+                                *line,
+                                "numeric literals as execute arguments are not supported; \
+                                 assign to a scalar first",
+                            ));
+                        }
+                    });
+                }
+                self.emit(I::ExecuteSuper {
+                    name: name_id,
+                    args: lowered,
+                });
+                Ok(())
+            }
+            Stmt::Exit(line) => {
+                let Some(loop_start) = self.loop_exits.last().map(|(s, _)| *s) else {
+                    return Err(lower_err(*line, "`exit` outside a loop"));
+                };
+                let pc = self.emit(I::ExitLoop {
+                    loop_start_pc: loop_start,
+                    target: 0,
+                });
+                self.loop_exits.last_mut().unwrap().1.push(pc);
+                Ok(())
+            }
+            Stmt::Barrier(kind, _) => {
+                self.emit(match kind {
+                    ast::BarrierKind::Sip => I::SipBarrier,
+                    ast::BarrierKind::Server => I::ServerBarrier,
+                });
+                Ok(())
+            }
+            Stmt::BlocksToList { array, label, .. } => {
+                let label_id = self.program.intern(label);
+                let array_id = self.array_id(array);
+                self.emit(I::BlocksToList {
+                    array: array_id,
+                    label: label_id,
+                });
+                Ok(())
+            }
+            Stmt::ListToBlocks { array, label, .. } => {
+                let label_id = self.program.intern(label);
+                let array_id = self.array_id(array);
+                self.emit(I::ListToBlocks {
+                    array: array_id,
+                    label: label_id,
+                });
+                Ok(())
+            }
+            Stmt::Print { items, line } => {
+                let mut lowered = Vec::with_capacity(items.len());
+                for item in items {
+                    lowered.push(match item {
+                        ast::AstPrintItem::Str(s) => {
+                            sia_bytecode::ops::PrintItem::Str(self.program.intern(s))
+                        }
+                        ast::AstPrintItem::Expr(e) => {
+                            sia_bytecode::ops::PrintItem::Expr(self.expr(e, *line)?)
+                        }
+                    });
+                }
+                self.emit(I::Print { items: lowered });
+                Ok(())
+            }
+            Stmt::Create(name, _) => {
+                let array = self.array_id(name);
+                self.emit(I::Create { array });
+                Ok(())
+            }
+            Stmt::Delete(name, _) => {
+                let array = self.array_id(name);
+                self.emit(I::Delete { array });
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_assign(
+        &mut self,
+        dest: &LValue,
+        op: ast::AssignOp,
+        rhs: &Rhs,
+        line: u32,
+    ) -> Result<(), CompileError> {
+        match dest {
+            LValue::Block(d) => {
+                let dref = self.block_ref(d);
+                match (op, rhs) {
+                    (ast::AssignOp::Set, Rhs::Scalar(e)) => {
+                        let value = self.expr(e, line)?;
+                        self.emit(I::BlockFill { dest: dref, value });
+                    }
+                    (ast::AssignOp::Mul, Rhs::Scalar(e)) => {
+                        let factor = self.expr(e, line)?;
+                        self.emit(I::BlockScale { dest: dref, factor });
+                    }
+                    (ast::AssignOp::Set, Rhs::Block(s)) => {
+                        let src = self.block_ref(s);
+                        self.emit(I::BlockCopy { dest: dref, src });
+                    }
+                    (ast::AssignOp::Add, Rhs::Block(s)) => {
+                        let src = self.block_ref(s);
+                        self.emit(I::BlockAccumulate {
+                            dest: dref,
+                            src,
+                            sign: 1.0,
+                        });
+                    }
+                    (ast::AssignOp::Sub, Rhs::Block(s)) => {
+                        let src = self.block_ref(s);
+                        self.emit(I::BlockAccumulate {
+                            dest: dref,
+                            src,
+                            sign: -1.0,
+                        });
+                    }
+                    (ast::AssignOp::Set, Rhs::Contract(a, b)) => {
+                        let a = self.block_ref(a);
+                        let b = self.block_ref(b);
+                        self.emit(I::BlockContract {
+                            dest: dref,
+                            a,
+                            b,
+                            accumulate: false,
+                        });
+                    }
+                    (ast::AssignOp::Add, Rhs::Contract(a, b)) => {
+                        let a = self.block_ref(a);
+                        let b = self.block_ref(b);
+                        self.emit(I::BlockContract {
+                            dest: dref,
+                            a,
+                            b,
+                            accumulate: true,
+                        });
+                    }
+                    (ast::AssignOp::Set, Rhs::ScaledBlock(e, s)) => {
+                        let src = self.block_ref(s);
+                        let factor = self.expr(e, line)?;
+                        self.emit(I::BlockCopy {
+                            dest: dref.clone(),
+                            src,
+                        });
+                        self.emit(I::BlockScale { dest: dref, factor });
+                    }
+                    (ast::AssignOp::Add, Rhs::ScaledBlock(e, s)) => {
+                        // dest += e * src lowers through a hidden temp so the
+                        // scale does not disturb src.
+                        let src = self.block_ref(s);
+                        let factor = self.expr(e, line)?;
+                        let tmp_arr = self.hidden_temp(&dref.indices);
+                        let tmp = BlockRef {
+                            array: tmp_arr,
+                            indices: dref.indices.clone(),
+                        };
+                        self.emit(I::BlockCopy {
+                            dest: tmp.clone(),
+                            src,
+                        });
+                        self.emit(I::BlockScale {
+                            dest: tmp.clone(),
+                            factor,
+                        });
+                        self.emit(I::BlockAccumulate {
+                            dest: dref,
+                            src: tmp,
+                            sign: 1.0,
+                        });
+                    }
+                    (op, rhs) => {
+                        return Err(lower_err(
+                            line,
+                            format!("unsupported block assignment {op:?} {rhs:?}"),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            LValue::Scalar(name, _) => {
+                let sid = ScalarId(*self.info.scalar_ids.get(name).expect("sema resolved"));
+                match (op, rhs) {
+                    (ast::AssignOp::Set, Rhs::Scalar(e)) => {
+                        let expr = self.expr(e, line)?;
+                        self.emit(I::ScalarAssign { dest: sid, expr });
+                    }
+                    (ast::AssignOp::Add, Rhs::Scalar(e)) => {
+                        let expr = ScalarExpr::Bin(
+                            BinOp::Add,
+                            Box::new(ScalarExpr::Scalar(sid)),
+                            Box::new(self.expr(e, line)?),
+                        );
+                        self.emit(I::ScalarAssign { dest: sid, expr });
+                    }
+                    (ast::AssignOp::Sub, Rhs::Scalar(e)) => {
+                        let expr = ScalarExpr::Bin(
+                            BinOp::Sub,
+                            Box::new(ScalarExpr::Scalar(sid)),
+                            Box::new(self.expr(e, line)?),
+                        );
+                        self.emit(I::ScalarAssign { dest: sid, expr });
+                    }
+                    (ast::AssignOp::Mul, Rhs::Scalar(e)) => {
+                        let expr = ScalarExpr::Bin(
+                            BinOp::Mul,
+                            Box::new(ScalarExpr::Scalar(sid)),
+                            Box::new(self.expr(e, line)?),
+                        );
+                        self.emit(I::ScalarAssign { dest: sid, expr });
+                    }
+                    (ast::AssignOp::Set | ast::AssignOp::Add, Rhs::Contract(a, b)) => {
+                        // s (+)= A(α) * B(α): contract to a hidden scalar-
+                        // shaped temp, then fold into the scalar variable.
+                        let a = self.block_ref(a);
+                        let b = self.block_ref(b);
+                        let tmp_arr = self.hidden_temp(&[]);
+                        let tmp = BlockRef {
+                            array: tmp_arr,
+                            indices: vec![],
+                        };
+                        self.emit(I::BlockContract {
+                            dest: tmp.clone(),
+                            a,
+                            b,
+                            accumulate: false,
+                        });
+                        self.emit(I::ScalarFromBlock {
+                            dest: sid,
+                            src: tmp,
+                            accumulate: matches!(op, ast::AssignOp::Add),
+                        });
+                    }
+                    (op, rhs) => {
+                        return Err(lower_err(
+                            line,
+                            format!("unsupported scalar assignment {op:?} {rhs:?}"),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::sema::analyze;
+
+    fn compile_src(src: &str) -> Program {
+        let ast = parse(src).unwrap();
+        let info = analyze(&ast).unwrap();
+        compile_ast(&ast, &info).unwrap()
+    }
+
+    const HEADER: &str = "sial t\naoindex M = 1, 4\naoindex N = 1, 4\naoindex L = 1, 4\ndistributed D(M,N)\nserved V(M,N)\ntemp x(M,N)\ntemp y(M,N)\nscalar s\n";
+
+    fn body(stmts: &str) -> Program {
+        compile_src(&format!("{HEADER}{stmts}\nendsial\n"))
+    }
+
+    #[test]
+    fn loop_pcs_patched() {
+        let p = body("pardo M, N\ndo L\nx(M,N) = 0.0\nenddo L\nendpardo");
+        match &p.code[0] {
+            I::PardoStart { end_pc, .. } => {
+                assert!(matches!(p.code[*end_pc as usize], I::PardoEnd { start_pc: 0 }));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &p.code[1] {
+            I::DoStart { end_pc, .. } => {
+                assert!(matches!(p.code[*end_pc as usize], I::DoEnd { start_pc: 1 }));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(p.code.last(), Some(I::Halt)));
+    }
+
+    #[test]
+    fn if_else_targets() {
+        let p = body("if s < 1.0\ns = 1.0\nelse\ns = 2.0\nendif\ns = 3.0");
+        // Layout: 0 jf -> else_start; 1 then; 2 jmp -> after; 3 else; 4 after.
+        match (&p.code[0], &p.code[2]) {
+            (I::JumpIfFalse { target: t1, .. }, I::Jump { target: t2 }) => {
+                assert_eq!(*t1, 3);
+                assert_eq!(*t2, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_without_else() {
+        let p = body("if s < 1.0\ns = 1.0\nendif\ns = 3.0");
+        match &p.code[0] {
+            I::JumpIfFalse { target, .. } => assert_eq!(*target, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_contraction_synthesizes_hidden_temp() {
+        let p = body("pardo M, N\ns += x(M,N) * y(M,N)\nendpardo");
+        let hidden: Vec<_> = p.arrays.iter().filter(|a| a.name.starts_with('$')).collect();
+        assert_eq!(hidden.len(), 1);
+        assert!(hidden[0].dims.is_empty());
+        assert!(p
+            .code
+            .iter()
+            .any(|i| matches!(i, I::ScalarFromBlock { accumulate: true, .. })));
+    }
+
+    #[test]
+    fn scaled_accumulate_uses_hidden_temp() {
+        let p = body("pardo M, N\nx(M,N) += 0.5 * y(M,N)\nendpardo");
+        assert!(p.arrays.iter().any(|a| a.name.starts_with("$t")));
+        let kinds: Vec<_> = p.code.iter().map(|i| i.mnemonic()).collect();
+        assert!(kinds.contains(&"bcopy"));
+        assert!(kinds.contains(&"bscale"));
+        assert!(kinds.contains(&"baccum"));
+    }
+
+    #[test]
+    fn procs_lowered_after_halt() {
+        let p = compile_src("sial t\nscalar s\nproc inc\ns = s + 1.0\nendproc\ncall inc\nendsial\n");
+        assert_eq!(p.procs.len(), 1);
+        let entry = p.procs[0].entry_pc as usize;
+        // Halt terminates main before the proc body.
+        assert!(matches!(p.code[entry - 1], I::Halt));
+        assert!(matches!(p.code.last(), Some(I::Return)));
+        assert!(matches!(p.code[0], I::Call { proc: ProcId(0) }));
+    }
+
+    #[test]
+    fn compound_scalar_ops() {
+        let p = body("s = 1.0\ns += 2.0\ns -= 1.0\ns *= 3.0");
+        let assigns = p
+            .code
+            .iter()
+            .filter(|i| matches!(i, I::ScalarAssign { .. }))
+            .count();
+        assert_eq!(assigns, 4);
+    }
+
+    #[test]
+    fn put_modes_lowered() {
+        let p = body("pardo M, N\nput D(M,N) = x(M,N)\nput D(M,N) += x(M,N)\nendpardo");
+        assert!(p.code.iter().any(|i| matches!(
+            i,
+            I::Put {
+                mode: PutMode::Replace,
+                ..
+            }
+        )));
+        assert!(p.code.iter().any(|i| matches!(
+            i,
+            I::Put {
+                mode: PutMode::Accumulate,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn exit_lowered_with_patched_target() {
+        let p = body("pardo M\ndo L\nif s > 2.0\nexit\nendif\ns = s + 1.0\nenddo L\nendpardo");
+        let (exit_pc, target) = p
+            .code
+            .iter()
+            .enumerate()
+            .find_map(|(pc, i)| match i {
+                I::ExitLoop { target, .. } => Some((pc as u32, *target)),
+                _ => None,
+            })
+            .expect("exit instruction present");
+        // Target is one past the DoEnd.
+        assert!(matches!(p.code[target as usize - 1], I::DoEnd { .. }));
+        assert!(exit_pc < target);
+    }
+
+    #[test]
+    fn exit_outside_loop_rejected() {
+        let ast = parse("sial t\nscalar s\nexit\nendsial\n").unwrap();
+        let err = analyze(&ast).unwrap_err();
+        assert!(err.message.contains("exit"), "{err}");
+    }
+
+    #[test]
+    fn full_paper_example_roundtrips_through_wire() {
+        let src = r#"
+sial ccsd_term
+aoindex M = 1, norb
+aoindex N = 1, norb
+aoindex L = 1, norb
+aoindex S = 1, norb
+moindex I = 1, nocc
+moindex J = 1, nocc
+distributed T(L,S,I,J)
+distributed R(M,N,I,J)
+temp V(M,N,L,S)
+temp tmp(M,N,I,J)
+temp tmpsum(M,N,I,J)
+pardo M, N, I, J
+  tmpsum(M,N,I,J) = 0.0
+  do L
+    do S
+      get T(L,S,I,J)
+      execute compute_integrals V(M,N,L,S)
+      tmp(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J)
+      tmpsum(M,N,I,J) += tmp(M,N,I,J)
+    enddo S
+  enddo L
+  put R(M,N,I,J) = tmpsum(M,N,I,J)
+endpardo M, N, I, J
+endsial
+"#;
+        let p = compile_src(src);
+        assert_eq!(p.consts, vec!["norb".to_string(), "nocc".to_string()]);
+        let bytes = sia_bytecode::encode_program(&p);
+        let q = sia_bytecode::decode_program(&bytes).unwrap();
+        assert_eq!(p, q);
+        // Disassembly mentions the contraction in SIAL-like form.
+        let listing = sia_bytecode::disassemble(&q);
+        assert!(listing.contains("tmp(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J)"), "{listing}");
+    }
+}

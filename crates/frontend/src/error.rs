@@ -1,0 +1,74 @@
+//! Compiler diagnostics.
+
+use std::fmt;
+
+/// What phase rejected the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Tokenizer error (bad character, malformed number/string).
+    Lex,
+    /// Grammar error.
+    Parse,
+    /// Name/type/structure error.
+    Sema,
+    /// Lowering error (should be rare; sema catches most).
+    Lower,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Lex => write!(f, "lex"),
+            ErrorKind::Parse => write!(f, "parse"),
+            ErrorKind::Sema => write!(f, "semantic"),
+            ErrorKind::Lower => write!(f, "lowering"),
+        }
+    }
+}
+
+/// A compiler error with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// The phase that failed.
+    pub kind: ErrorKind,
+    /// 1-based source line (0 when no location applies).
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl CompileError {
+    /// Constructs an error.
+    pub fn new(kind: ErrorKind, line: u32, message: impl Into<String>) -> Self {
+        CompileError {
+            kind,
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} error at line {}: {}", self.kind, self.line, self.message)
+        } else {
+            write!(f, "{} error: {}", self.kind, self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        let e = CompileError::new(ErrorKind::Parse, 7, "unexpected token");
+        assert_eq!(e.to_string(), "parse error at line 7: unexpected token");
+        let e = CompileError::new(ErrorKind::Sema, 0, "boom");
+        assert_eq!(e.to_string(), "semantic error: boom");
+    }
+}

@@ -1,0 +1,357 @@
+//! The SIAL lexer.
+
+use crate::error::{CompileError, ErrorKind};
+use crate::token::{Keyword, Spanned, Token};
+
+/// Tokenizes SIAL source. Consecutive newlines collapse to one
+/// [`Token::Newline`]; a trailing `Eof` is always present.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
+    let mut out: Vec<Spanned> = Vec::new();
+    let mut line: u32 = 1;
+    let bytes = source.as_bytes();
+    let mut i = 0;
+
+    let push = |tok: Token, line: u32, out: &mut Vec<Spanned>| {
+        if tok == Token::Newline {
+            match out.last() {
+                None | Some(Spanned { token: Token::Newline, .. }) => return,
+                _ => {}
+            }
+        }
+        out.push(Spanned { token: tok, line });
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '\n' => {
+                push(Token::Newline, line, &mut out);
+                line += 1;
+                i += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                push(Token::LParen, line, &mut out);
+                i += 1;
+            }
+            ')' => {
+                push(Token::RParen, line, &mut out);
+                i += 1;
+            }
+            ',' => {
+                push(Token::Comma, line, &mut out);
+                i += 1;
+            }
+            '+' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Token::PlusAssign, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Token::Plus, line, &mut out);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Token::MinusAssign, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Token::Minus, line, &mut out);
+                    i += 1;
+                }
+            }
+            '*' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Token::StarAssign, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Token::Star, line, &mut out);
+                    i += 1;
+                }
+            }
+            '/' => {
+                push(Token::Slash, line, &mut out);
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Token::EqEq, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Token::Assign, line, &mut out);
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Token::NotEq, line, &mut out);
+                    i += 2;
+                } else {
+                    return Err(CompileError::new(
+                        ErrorKind::Lex,
+                        line,
+                        "stray `!` (did you mean `!=`?)",
+                    ));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Token::Le, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Token::Lt, line, &mut out);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push(Token::Ge, line, &mut out);
+                    i += 2;
+                } else {
+                    push(Token::Gt, line, &mut out);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' && bytes[j] != b'\n' {
+                    j += 1;
+                }
+                if j >= bytes.len() || bytes[j] != b'"' {
+                    return Err(CompileError::new(
+                        ErrorKind::Lex,
+                        line,
+                        "unterminated string literal",
+                    ));
+                }
+                let s = std::str::from_utf8(&bytes[start..j])
+                    .map_err(|_| CompileError::new(ErrorKind::Lex, line, "invalid UTF-8"))?;
+                push(Token::Str(s.to_string()), line, &mut out);
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut j = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_digit() {
+                        j += 1;
+                    } else if b == '.' && !seen_dot && !seen_exp {
+                        seen_dot = true;
+                        j += 1;
+                    } else if (b == 'e' || b == 'E') && !seen_exp && j > start {
+                        seen_exp = true;
+                        j += 1;
+                        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                            j += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..j]).unwrap();
+                let n: f64 = text.parse().map_err(|_| {
+                    CompileError::new(ErrorKind::Lex, line, format!("bad number `{text}`"))
+                })?;
+                push(Token::Number(n), line, &mut out);
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..j]).unwrap();
+                let lower = text.to_ascii_lowercase();
+                match Keyword::from_str_lower(&lower) {
+                    Some(kw) => push(Token::Kw(kw), line, &mut out),
+                    None => push(Token::Ident(text.to_string()), line, &mut out),
+                }
+                i = j;
+            }
+            other => {
+                return Err(CompileError::new(
+                    ErrorKind::Lex,
+                    line,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    push(Token::Newline, line, &mut out);
+    out.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Keyword as K;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("PARDO pardo Pardo"),
+            vec![
+                Token::Kw(K::Pardo),
+                Token::Kw(K::Pardo),
+                Token::Kw(K::Pardo),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(
+            toks("tmpSum"),
+            vec![Token::Ident("tmpSum".into()), Token::Newline, Token::Eof]
+        );
+    }
+
+    #[test]
+    fn compound_operators() {
+        assert_eq!(
+            toks("+= -= *= == != <= >= < > ="),
+            vec![
+                Token::PlusAssign,
+                Token::MinusAssign,
+                Token::StarAssign,
+                Token::EqEq,
+                Token::NotEq,
+                Token::Le,
+                Token::Ge,
+                Token::Lt,
+                Token::Gt,
+                Token::Assign,
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("1 2.5 1e3 1.5e-2"),
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(1000.0),
+                Token::Number(0.015),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_stripped() {
+        assert_eq!(
+            toks("do L # loop over L\nenddo"),
+            vec![
+                Token::Kw(K::Do),
+                Token::Ident("L".into()),
+                Token::Newline,
+                Token::Kw(K::EndDo),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn newlines_collapse() {
+        assert_eq!(
+            toks("a\n\n\nb"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Newline,
+                Token::Ident("b".into()),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let spanned = lex("a\nb\nc").unwrap();
+        let lines: Vec<(String, u32)> = spanned
+            .iter()
+            .filter_map(|s| match &s.token {
+                Token::Ident(n) => Some((n.clone(), s.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("b".into(), 2), ("c".into(), 3)]
+        );
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            toks("print \"hello world\""),
+            vec![
+                Token::Kw(K::Print),
+                Token::Str("hello world".into()),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("\"oops\nmore\"").is_err());
+    }
+
+    #[test]
+    fn stray_bang_is_error() {
+        let err = lex("a ! b").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Lex);
+    }
+
+    #[test]
+    fn block_ref_tokens() {
+        assert_eq!(
+            toks("get T(L,S)"),
+            vec![
+                Token::Kw(K::Get),
+                Token::Ident("T".into()),
+                Token::LParen,
+                Token::Ident("L".into()),
+                Token::Comma,
+                Token::Ident("S".into()),
+                Token::RParen,
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+}

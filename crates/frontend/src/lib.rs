@@ -1,0 +1,64 @@
+//! # sial-frontend — the SIAL compiler
+//!
+//! SIAL ("sail") is the Super Instruction Assembly Language: a simple,
+//! line-oriented parallel language in which computational chemists write
+//! algorithms in terms of *blocks* of multidimensional arrays. This crate
+//! turns SIAL source into the SIA bytecode of [`sia_bytecode`]:
+//!
+//! ```text
+//! source --lex--> tokens --parse--> AST --sema--> checked AST --compile--> Program
+//! ```
+//!
+//! The paper's running example compiles as-is:
+//!
+//! ```
+//! let src = r#"
+//! sial ccsd_term
+//! aoindex M = 1, norb
+//! aoindex N = 1, norb
+//! aoindex L = 1, norb
+//! aoindex S = 1, norb
+//! moindex I = 1, nocc
+//! moindex J = 1, nocc
+//! distributed T(L,S,I,J)
+//! distributed R(M,N,I,J)
+//! temp V(M,N,L,S)
+//! temp tmp(M,N,I,J)
+//! temp tmpsum(M,N,I,J)
+//!
+//! pardo M, N, I, J
+//!   tmpsum(M,N,I,J) = 0.0
+//!   do L
+//!     do S
+//!       get T(L,S,I,J)
+//!       execute compute_integrals V(M,N,L,S)
+//!       tmp(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J)
+//!       tmpsum(M,N,I,J) += tmp(M,N,I,J)
+//!     enddo S
+//!   enddo L
+//!   put R(M,N,I,J) = tmpsum(M,N,I,J)
+//! endpardo M, N, I, J
+//! endsial
+//! "#;
+//! let program = sial_frontend::compile(src).expect("compiles");
+//! assert_eq!(program.name, "ccsd_term");
+//! ```
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod sema;
+pub mod token;
+
+pub use compile::compile_ast;
+pub use error::{CompileError, ErrorKind};
+pub use parser::parse;
+
+/// Compiles SIAL source text to SIA bytecode (lex → parse → sema → lower).
+pub fn compile(source: &str) -> Result<sia_bytecode::Program, CompileError> {
+    let ast = parser::parse(source)?;
+    let checked = sema::analyze(&ast)?;
+    compile::compile_ast(&ast, &checked)
+}

@@ -1,0 +1,1018 @@
+//! The SIAL parser: line-oriented recursive descent.
+
+use crate::ast::*;
+use crate::error::{CompileError, ErrorKind};
+use crate::lexer::lex;
+use crate::token::{Keyword as K, Spanned, Token as T};
+
+/// Parses SIAL source into an [`AstProgram`].
+pub fn parse(source: &str) -> Result<AstProgram, CompileError> {
+    let tokens = lex(source)?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, CompileError>;
+
+impl Parser {
+    fn new(tokens: Vec<Spanned>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &T {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek2(&self) -> &T {
+        self.tokens
+            .get(self.pos + 1)
+            .map(|s| &s.token)
+            .unwrap_or(&T::Eof)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> T {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(ErrorKind::Parse, self.line(), msg)
+    }
+
+    fn expect(&mut self, want: &T) -> PResult<()> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {want}, found {}", self.peek())))
+        }
+    }
+
+    fn accept(&mut self, want: &T) -> bool {
+        if self.peek() == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> PResult<String> {
+        match self.peek().clone() {
+            T::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other}"))),
+        }
+    }
+
+    fn expect_newline(&mut self) -> PResult<()> {
+        match self.peek() {
+            T::Newline => {
+                self.bump();
+                Ok(())
+            }
+            T::Eof => Ok(()),
+            other => Err(self.err(format!("expected end of line, found {other}"))),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), T::Newline) {
+            self.bump();
+        }
+    }
+
+    // ---- program structure ---------------------------------------------
+
+    fn program(&mut self) -> PResult<AstProgram> {
+        self.skip_newlines();
+        self.expect(&T::Kw(K::Sial))
+            .map_err(|_| self.err("a SIAL program must begin with `sial <name>`"))?;
+        let name = self.expect_ident("program name")?;
+        self.expect_newline()?;
+
+        let mut decls = Vec::new();
+        let mut procs = Vec::new();
+        let mut body = Vec::new();
+
+        loop {
+            self.skip_newlines();
+            match self.peek() {
+                T::Eof => break,
+                T::Kw(K::EndSial) => {
+                    self.bump();
+                    self.skip_newlines();
+                    if !matches!(self.peek(), T::Eof) {
+                        return Err(self.err("content after `endsial`"));
+                    }
+                    break;
+                }
+                T::Kw(
+                    K::AoIndex | K::MoIndex | K::MoAIndex | K::MoBIndex | K::LaIndex | K::Index
+                    | K::Subindex | K::Static | K::Temp | K::Local | K::Distributed | K::Served
+                    | K::Scalar,
+                ) => {
+                    if !body.is_empty() {
+                        return Err(self.err("declarations must precede executable statements"));
+                    }
+                    decls.push(self.declaration()?);
+                }
+                T::Kw(K::Proc) => {
+                    procs.push(self.proc_def()?);
+                }
+                _ => {
+                    body.push(self.statement()?);
+                }
+            }
+        }
+        Ok(AstProgram {
+            name,
+            decls,
+            procs,
+            body,
+        })
+    }
+
+    fn proc_def(&mut self) -> PResult<ProcDef> {
+        let line = self.line();
+        self.expect(&T::Kw(K::Proc))?;
+        let name = self.expect_ident("procedure name")?;
+        self.expect_newline()?;
+        let body = self.block_until(|t| matches!(t, T::Kw(K::EndProc)))?;
+        self.expect(&T::Kw(K::EndProc))?;
+        // Optional repeated name.
+        if let T::Ident(n) = self.peek().clone() {
+            if n == name {
+                self.bump();
+            } else {
+                return Err(self.err(format!("`endproc {n}` does not match `proc {name}`")));
+            }
+        }
+        self.expect_newline()?;
+        Ok(ProcDef { name, body, line })
+    }
+
+    /// Parses statements until `stop` matches the current token (newlines
+    /// skipped).
+    fn block_until(&mut self, stop: impl Fn(&T) -> bool) -> PResult<Vec<Stmt>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_newlines();
+            if stop(self.peek()) {
+                return Ok(out);
+            }
+            if matches!(self.peek(), T::Eof) {
+                return Err(self.err("unexpected end of input inside a block"));
+            }
+            out.push(self.statement()?);
+        }
+    }
+
+    // ---- declarations -----------------------------------------------------
+
+    fn bound(&mut self) -> PResult<Bound> {
+        match self.peek().clone() {
+            T::Number(n) => {
+                self.bump();
+                if n.fract() != 0.0 {
+                    return Err(self.err("index bounds must be integers"));
+                }
+                Ok(Bound::Lit(n as i64))
+            }
+            T::Ident(s) => {
+                self.bump();
+                Ok(Bound::Sym(s))
+            }
+            other => Err(self.err(format!("expected index bound, found {other}"))),
+        }
+    }
+
+    fn declaration(&mut self) -> PResult<Decl> {
+        let line = self.line();
+        let kw = match self.bump() {
+            T::Kw(k) => k,
+            _ => unreachable!("caller checked"),
+        };
+        match kw {
+            K::AoIndex | K::MoIndex | K::MoAIndex | K::MoBIndex | K::LaIndex | K::Index => {
+                let kind = match kw {
+                    K::AoIndex => AstIndexKind::Ao,
+                    K::MoIndex => AstIndexKind::Mo,
+                    K::MoAIndex => AstIndexKind::MoA,
+                    K::MoBIndex => AstIndexKind::MoB,
+                    K::LaIndex => AstIndexKind::La,
+                    _ => AstIndexKind::Simple,
+                };
+                let name = self.expect_ident("index name")?;
+                self.expect(&T::Assign)?;
+                let low = self.bound()?;
+                self.expect(&T::Comma)?;
+                let high = self.bound()?;
+                self.expect_newline()?;
+                Ok(Decl::Index {
+                    name,
+                    kind,
+                    low,
+                    high,
+                    line,
+                })
+            }
+            K::Subindex => {
+                let name = self.expect_ident("subindex name")?;
+                self.expect(&T::Kw(K::Of))?;
+                let parent = self.expect_ident("parent index name")?;
+                self.expect_newline()?;
+                Ok(Decl::Subindex { name, parent, line })
+            }
+            K::Static | K::Temp | K::Local | K::Distributed | K::Served => {
+                let kind = match kw {
+                    K::Static => AstArrayKind::Static,
+                    K::Temp => AstArrayKind::Temp,
+                    K::Local => AstArrayKind::Local,
+                    K::Distributed => AstArrayKind::Distributed,
+                    _ => AstArrayKind::Served,
+                };
+                let name = self.expect_ident("array name")?;
+                self.expect(&T::LParen)?;
+                let mut dims = vec![self.expect_ident("index name")?];
+                while self.accept(&T::Comma) {
+                    dims.push(self.expect_ident("index name")?);
+                }
+                self.expect(&T::RParen)?;
+                self.expect_newline()?;
+                Ok(Decl::Array {
+                    name,
+                    kind,
+                    dims,
+                    line,
+                })
+            }
+            K::Scalar => {
+                let name = self.expect_ident("scalar name")?;
+                let mut init = 0.0;
+                if self.accept(&T::Assign) {
+                    let neg = self.accept(&T::Minus);
+                    match self.bump() {
+                        T::Number(n) => init = if neg { -n } else { n },
+                        other => {
+                            return Err(self.err(format!(
+                                "expected numeric initializer, found {other}"
+                            )));
+                        }
+                    }
+                }
+                self.expect_newline()?;
+                Ok(Decl::Scalar { name, init, line })
+            }
+            _ => unreachable!("caller checked"),
+        }
+    }
+
+    // ---- expressions -------------------------------------------------------
+
+    fn block_expr(&mut self) -> PResult<BlockExpr> {
+        let line = self.line();
+        let array = self.expect_ident("array name")?;
+        self.expect(&T::LParen)?;
+        let mut indices = vec![self.expect_ident("index name")?];
+        while self.accept(&T::Comma) {
+            indices.push(self.expect_ident("index name")?);
+        }
+        self.expect(&T::RParen)?;
+        Ok(BlockExpr {
+            array,
+            indices,
+            line,
+        })
+    }
+
+    fn at_block_ref(&self) -> bool {
+        matches!(self.peek(), T::Ident(_)) && matches!(self.peek2(), T::LParen)
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.peek().clone() {
+            T::Number(n) => {
+                self.bump();
+                Ok(Expr::Num(n))
+            }
+            T::Ident(s) => {
+                if self.at_block_ref() {
+                    return Err(self.err(
+                        "block reference not allowed inside a scalar expression",
+                    ));
+                }
+                self.bump();
+                Ok(Expr::Name(s))
+            }
+            T::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.primary()?)))
+            }
+            T::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&T::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                T::Star => {
+                    // `expr * blockref` belongs to the statement level; stop
+                    // without consuming the `*`.
+                    if matches!(self.peek2(), T::Ident(_))
+                        && matches!(
+                            self.tokens.get(self.pos + 2).map(|s| &s.token),
+                            Some(T::LParen)
+                        )
+                    {
+                        return Ok(lhs);
+                    }
+                    BinOp::Mul
+                }
+                T::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.primary()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                T::Plus => BinOp::Add,
+                T::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn cmp(&mut self) -> PResult<Cond> {
+        if self.accept(&T::Kw(K::Not)) {
+            return Ok(Cond::Not(Box::new(self.cmp()?)));
+        }
+        if matches!(self.peek(), T::LParen) {
+            // Could be a parenthesized condition or a parenthesized scalar
+            // expr starting a comparison; try condition first by scanning for
+            // a comparison operator before the matching close paren.
+            if self.paren_wraps_cond() {
+                self.bump();
+                let c = self.cond()?;
+                self.expect(&T::RParen)?;
+                return Ok(c);
+            }
+        }
+        let l = self.expr()?;
+        let op = match self.peek() {
+            T::EqEq => CmpOp::Eq,
+            T::NotEq => CmpOp::Ne,
+            T::Lt => CmpOp::Lt,
+            T::Le => CmpOp::Le,
+            T::Gt => CmpOp::Gt,
+            T::Ge => CmpOp::Ge,
+            other => return Err(self.err(format!("expected comparison operator, found {other}"))),
+        };
+        self.bump();
+        let r = self.expr()?;
+        Ok(Cond::Cmp(l, op, r))
+    }
+
+    /// Heuristic: does the parenthesis at the cursor enclose a boolean
+    /// condition (contains a comparison/and/or at depth 1)?
+    fn paren_wraps_cond(&self) -> bool {
+        let mut depth = 0usize;
+        let mut i = self.pos;
+        while let Some(s) = self.tokens.get(i) {
+            match &s.token {
+                T::LParen => depth += 1,
+                T::RParen => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                T::EqEq | T::NotEq | T::Lt | T::Le | T::Gt | T::Ge
+                | T::Kw(K::And) | T::Kw(K::Or) | T::Kw(K::Not)
+                    if depth == 1 =>
+                {
+                    return true;
+                }
+                T::Newline | T::Eof => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+        false
+    }
+
+    fn cond(&mut self) -> PResult<Cond> {
+        let mut lhs = self.and_cond()?;
+        while self.accept(&T::Kw(K::Or)) {
+            let rhs = self.and_cond()?;
+            lhs = Cond::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_cond(&mut self) -> PResult<Cond> {
+        let mut lhs = self.cmp()?;
+        while self.accept(&T::Kw(K::And)) {
+            let rhs = self.cmp()?;
+            lhs = Cond::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    // ---- statements ----------------------------------------------------------
+
+    fn statement(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            T::Kw(K::Pardo) => self.pardo_stmt(),
+            T::Kw(K::Do) => self.do_stmt(),
+            T::Kw(K::If) => self.if_stmt(),
+            T::Kw(K::Call) => {
+                self.bump();
+                let name = self.expect_ident("procedure name")?;
+                self.expect_newline()?;
+                Ok(Stmt::Call { name, line })
+            }
+            T::Kw(K::Get) => {
+                self.bump();
+                let b = self.block_expr()?;
+                self.expect_newline()?;
+                Ok(Stmt::Get(b))
+            }
+            T::Kw(K::Request) => {
+                self.bump();
+                let b = self.block_expr()?;
+                self.expect_newline()?;
+                Ok(Stmt::Request(b))
+            }
+            T::Kw(K::Put) => {
+                self.bump();
+                let dest = self.block_expr()?;
+                let mode = self.store_mode()?;
+                let src = self.block_expr()?;
+                self.expect_newline()?;
+                Ok(Stmt::Put { dest, src, mode })
+            }
+            T::Kw(K::Prepare) => {
+                self.bump();
+                let dest = self.block_expr()?;
+                let mode = self.store_mode()?;
+                let src = self.block_expr()?;
+                self.expect_newline()?;
+                Ok(Stmt::Prepare { dest, src, mode })
+            }
+            T::Kw(K::Execute) => {
+                self.bump();
+                let name = self.expect_ident("super instruction name")?;
+                let mut args = Vec::new();
+                loop {
+                    match self.peek().clone() {
+                        T::Newline | T::Eof => break,
+                        T::Ident(s) => {
+                            if self.at_block_ref() {
+                                args.push(ExecArg::Block(self.block_expr()?));
+                            } else {
+                                let l = self.line();
+                                self.bump();
+                                args.push(ExecArg::Name(s, l));
+                            }
+                        }
+                        T::Number(n) => {
+                            self.bump();
+                            args.push(ExecArg::Num(n));
+                        }
+                        T::Comma => {
+                            self.bump();
+                        }
+                        other => {
+                            return Err(
+                                self.err(format!("bad `execute` argument: {other}"))
+                            );
+                        }
+                    }
+                }
+                self.expect_newline()?;
+                Ok(Stmt::Execute { name, args, line })
+            }
+            T::Kw(K::Print) => {
+                self.bump();
+                let mut items = Vec::new();
+                loop {
+                    match self.peek().clone() {
+                        T::Newline | T::Eof => break,
+                        T::Str(s) => {
+                            self.bump();
+                            items.push(AstPrintItem::Str(s));
+                        }
+                        T::Comma => {
+                            self.bump();
+                        }
+                        _ =>
+
+                            items.push(AstPrintItem::Expr(self.expr()?)),
+                    }
+                }
+                self.expect_newline()?;
+                Ok(Stmt::Print { items, line })
+            }
+            T::Kw(K::Exit) => {
+                self.bump();
+                self.expect_newline()?;
+                Ok(Stmt::Exit(line))
+            }
+            T::Kw(K::SipBarrier) => {
+                self.bump();
+                self.expect_newline()?;
+                Ok(Stmt::Barrier(BarrierKind::Sip, line))
+            }
+            T::Kw(K::ServerBarrier) => {
+                self.bump();
+                self.expect_newline()?;
+                Ok(Stmt::Barrier(BarrierKind::Server, line))
+            }
+            T::Kw(K::BlocksToList) => {
+                self.bump();
+                let array = self.expect_ident("array name")?;
+                let label = match self.bump() {
+                    T::Str(s) => s,
+                    other => {
+                        return Err(self.err(format!("expected checkpoint label, found {other}")))
+                    }
+                };
+                self.expect_newline()?;
+                Ok(Stmt::BlocksToList { array, label, line })
+            }
+            T::Kw(K::ListToBlocks) => {
+                self.bump();
+                let array = self.expect_ident("array name")?;
+                let label = match self.bump() {
+                    T::Str(s) => s,
+                    other => {
+                        return Err(self.err(format!("expected checkpoint label, found {other}")))
+                    }
+                };
+                self.expect_newline()?;
+                Ok(Stmt::ListToBlocks { array, label, line })
+            }
+            T::Kw(K::Create) => {
+                self.bump();
+                let a = self.expect_ident("array name")?;
+                self.expect_newline()?;
+                Ok(Stmt::Create(a, line))
+            }
+            T::Kw(K::Delete) => {
+                self.bump();
+                let a = self.expect_ident("array name")?;
+                self.expect_newline()?;
+                Ok(Stmt::Delete(a, line))
+            }
+            T::Ident(_) => self.assign_stmt(),
+            other => Err(self.err(format!("unexpected {other} at start of statement"))),
+        }
+    }
+
+    fn store_mode(&mut self) -> PResult<StoreMode> {
+        if self.accept(&T::Assign) {
+            Ok(StoreMode::Replace)
+        } else if self.accept(&T::PlusAssign) {
+            Ok(StoreMode::Accumulate)
+        } else {
+            Err(self.err(format!("expected `=` or `+=`, found {}", self.peek())))
+        }
+    }
+
+    fn pardo_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        self.expect(&T::Kw(K::Pardo))?;
+        let first = self.expect_ident("index name")?;
+        // `pardo ii in i` — parallel subsegment loop.
+        if self.accept(&T::Kw(K::In)) {
+            let parent = self.expect_ident("parent index name")?;
+            self.expect_newline()?;
+            let body = self.block_until(|t| matches!(t, T::Kw(K::EndPardo)))?;
+            self.expect(&T::Kw(K::EndPardo))?;
+            self.consume_index_list()?;
+            self.expect_newline()?;
+            return Ok(Stmt::DoIn {
+                sub: first,
+                parent,
+                parallel: true,
+                body,
+                line,
+            });
+        }
+        let mut indices = vec![first];
+        while self.accept(&T::Comma) {
+            indices.push(self.expect_ident("index name")?);
+        }
+        let mut wheres = Vec::new();
+        while self.accept(&T::Kw(K::Where)) {
+            wheres.push(self.cond()?);
+        }
+        self.expect_newline()?;
+        // Additional `where` lines immediately following.
+        loop {
+            self.skip_newlines();
+            if self.accept(&T::Kw(K::Where)) {
+                wheres.push(self.cond()?);
+                self.expect_newline()?;
+            } else {
+                break;
+            }
+        }
+        let body = self.block_until(|t| matches!(t, T::Kw(K::EndPardo)))?;
+        self.expect(&T::Kw(K::EndPardo))?;
+        self.consume_index_list()?;
+        self.expect_newline()?;
+        Ok(Stmt::Pardo {
+            indices,
+            wheres,
+            body,
+            line,
+        })
+    }
+
+    /// `enddo L` / `endpardo M, N, I, J` — consume the optional echo of the
+    /// loop indices.
+    fn consume_index_list(&mut self) -> PResult<()> {
+        while matches!(self.peek(), T::Ident(_)) {
+            self.bump();
+            if !self.accept(&T::Comma) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn do_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        self.expect(&T::Kw(K::Do))?;
+        let first = self.expect_ident("index name")?;
+        if self.accept(&T::Kw(K::In)) {
+            let parent = self.expect_ident("parent index name")?;
+            self.expect_newline()?;
+            let body = self.block_until(|t| matches!(t, T::Kw(K::EndDo)))?;
+            self.expect(&T::Kw(K::EndDo))?;
+            self.consume_index_list()?;
+            self.expect_newline()?;
+            return Ok(Stmt::DoIn {
+                sub: first,
+                parent,
+                parallel: false,
+                body,
+                line,
+            });
+        }
+        self.expect_newline()?;
+        let body = self.block_until(|t| matches!(t, T::Kw(K::EndDo)))?;
+        self.expect(&T::Kw(K::EndDo))?;
+        self.consume_index_list()?;
+        self.expect_newline()?;
+        Ok(Stmt::Do {
+            index: first,
+            body,
+            line,
+        })
+    }
+
+    fn if_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        self.expect(&T::Kw(K::If))?;
+        let cond = self.cond()?;
+        self.expect_newline()?;
+        let then = self.block_until(|t| matches!(t, T::Kw(K::Else) | T::Kw(K::EndIf)))?;
+        let els = if self.accept(&T::Kw(K::Else)) {
+            self.expect_newline()?;
+            self.block_until(|t| matches!(t, T::Kw(K::EndIf)))?
+        } else {
+            Vec::new()
+        };
+        self.expect(&T::Kw(K::EndIf))?;
+        self.expect_newline()?;
+        Ok(Stmt::If {
+            cond,
+            then,
+            els,
+            line,
+        })
+    }
+
+    fn assign_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        let dest = if self.at_block_ref() {
+            LValue::Block(self.block_expr()?)
+        } else {
+            let name = self.expect_ident("variable name")?;
+            LValue::Scalar(name, line)
+        };
+        let op = match self.bump() {
+            T::Assign => AssignOp::Set,
+            T::PlusAssign => AssignOp::Add,
+            T::MinusAssign => AssignOp::Sub,
+            T::StarAssign => AssignOp::Mul,
+            other => {
+                return Err(self.err(format!("expected assignment operator, found {other}")))
+            }
+        };
+        let rhs = self.rhs()?;
+        self.expect_newline()?;
+        Ok(Stmt::Assign {
+            dest,
+            op,
+            rhs,
+            line,
+        })
+    }
+
+    fn rhs(&mut self) -> PResult<Rhs> {
+        if self.at_block_ref() {
+            let first = self.block_expr()?;
+            if self.accept(&T::Star) {
+                if self.at_block_ref() {
+                    let second = self.block_expr()?;
+                    return Ok(Rhs::Contract(first, second));
+                }
+                let factor = self.expr()?;
+                return Ok(Rhs::ScaledBlock(factor, first));
+            }
+            return Ok(Rhs::Block(first));
+        }
+        let e = self.expr()?;
+        // `expr * blockref` — the mul level stopped before the `*`.
+        if matches!(self.peek(), T::Star) {
+            self.bump();
+            if self.at_block_ref() {
+                let b = self.block_expr()?;
+                return Ok(Rhs::ScaledBlock(e, b));
+            }
+            return Err(self.err("expected block reference after `*`"));
+        }
+        Ok(Rhs::Scalar(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_body(stmts: &str) -> AstProgram {
+        let src = format!(
+            "sial t\naoindex M = 1, 4\naoindex N = 1, 4\ndistributed A(M,N)\ntemp x(M,N)\nscalar s\n{stmts}\nendsial\n"
+        );
+        parse(&src).unwrap_or_else(|e| panic!("{e}\nsource:\n{src}"))
+    }
+
+    #[test]
+    fn paper_example_parses() {
+        let src = r#"
+sial ccsd_term
+aoindex M = 1, norb
+aoindex N = 1, norb
+aoindex L = 1, norb
+aoindex S = 1, norb
+moindex I = 1, nocc
+moindex J = 1, nocc
+distributed T(L,S,I,J)
+distributed R(M,N,I,J)
+temp V(M,N,L,S)
+temp tmp(M,N,I,J)
+temp tmpsum(M,N,I,J)
+pardo M, N, I, J
+  tmpsum(M,N,I,J) = 0.0
+  do L
+    do S
+      get T(L,S,I,J)
+      execute compute_integrals V(M,N,L,S)
+      tmp(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J)
+      tmpsum(M,N,I,J) += tmp(M,N,I,J)
+    enddo S
+  enddo L
+  put R(M,N,I,J) = tmpsum(M,N,I,J)
+endpardo M, N, I, J
+endsial
+"#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.name, "ccsd_term");
+        assert_eq!(p.decls.len(), 11);
+        assert_eq!(p.body.len(), 1);
+        match &p.body[0] {
+            Stmt::Pardo { indices, body, .. } => {
+                assert_eq!(indices, &["M", "N", "I", "J"]);
+                assert_eq!(body.len(), 3); // fill, do L, put
+            }
+            other => panic!("expected pardo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_clause_inline_and_following_line() {
+        let p = parse_body("pardo M, N where M < N\nwhere N <= 3\nx(M,N) = 0.0\nendpardo");
+        match &p.body[0] {
+            Stmt::Pardo { wheres, .. } => assert_eq!(wheres.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn subindex_loop_forms() {
+        let src = "sial t\naoindex i = 1, 4\naoindex j = 1, 4\nsubindex ii of i\nlocal Xi(i,j)\ntemp Xii(ii,j)\npardo j\ndo i\ndo ii in i\nXii(ii,j) = Xi(ii,j)\nenddo ii\nenddo i\nendpardo j\nendsial\n";
+        let p = parse(src).unwrap();
+        match &p.body[0] {
+            Stmt::Pardo { body, .. } => match &body[0] {
+                Stmt::Do { body, .. } => {
+                    assert!(matches!(&body[0], Stmt::DoIn { parallel: false, .. }));
+                }
+                _ => panic!(),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn pardo_in_parses_parallel() {
+        let p = parse_body("do M\npardo N in M\nx(M,N) = 1.0\nendpardo\nenddo");
+        match &p.body[0] {
+            Stmt::Do { body, .. } => {
+                assert!(matches!(&body[0], Stmt::DoIn { parallel: true, .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn scaled_block_both_orders() {
+        let p = parse_body("x(M,N) = 2.0 * A(M,N)\nx(M,N) = A(M,N) * 2.0");
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Assign {
+                rhs: Rhs::ScaledBlock(_, _),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &p.body[1],
+            Stmt::Assign {
+                rhs: Rhs::ScaledBlock(_, _),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn contraction_rhs() {
+        let p = parse_body("x(M,N) = A(M,N) * A(M,N)");
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Assign {
+                rhs: Rhs::Contract(_, _),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn scalar_assign_with_expr() {
+        let p = parse_body("s = 1.0 + 2.0 * 3.0 - s / 2.0");
+        match &p.body[0] {
+            Stmt::Assign {
+                dest: LValue::Scalar(n, _),
+                rhs: Rhs::Scalar(_),
+                ..
+            } => assert_eq!(n, "s"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else() {
+        let p = parse_body("if s < 1.0 and not (s == 0.0)\ns = 1.0\nelse\ns = 2.0\nendif");
+        match &p.body[0] {
+            Stmt::If { then, els, .. } => {
+                assert_eq!(then.len(), 1);
+                assert_eq!(els.len(), 1);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn put_and_prepare_modes() {
+        let p = parse_body("put A(M,N) = x(M,N)\nput A(M,N) += x(M,N)");
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Put {
+                mode: StoreMode::Replace,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &p.body[1],
+            Stmt::Put {
+                mode: StoreMode::Accumulate,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn proc_and_call() {
+        let src = "sial t\nscalar s\nproc bump\ns = s + 1.0\nendproc bump\ncall bump\nendsial\n";
+        let p = parse(src).unwrap();
+        assert_eq!(p.procs.len(), 1);
+        assert_eq!(p.procs[0].name, "bump");
+        assert!(matches!(&p.body[0], Stmt::Call { .. }));
+    }
+
+    #[test]
+    fn endproc_name_mismatch_rejected() {
+        let src = "sial t\nproc a\nendproc b\nendsial\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn checkpoint_statements() {
+        let p = parse_body("blocks_to_list A \"ck\"\nlist_to_blocks A \"ck\"");
+        assert!(matches!(&p.body[0], Stmt::BlocksToList { .. }));
+        assert!(matches!(&p.body[1], Stmt::ListToBlocks { .. }));
+    }
+
+    #[test]
+    fn barriers_create_delete() {
+        let p = parse_body("sip_barrier\nserver_barrier\ncreate A\ndelete A");
+        assert!(matches!(&p.body[0], Stmt::Barrier(BarrierKind::Sip, _)));
+        assert!(matches!(&p.body[1], Stmt::Barrier(BarrierKind::Server, _)));
+        assert!(matches!(&p.body[2], Stmt::Create(_, _)));
+        assert!(matches!(&p.body[3], Stmt::Delete(_, _)));
+    }
+
+    #[test]
+    fn print_statement() {
+        let p = parse_body("print \"energy =\", s");
+        match &p.body[0] {
+            Stmt::Print { items, .. } => assert_eq!(items.len(), 2),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn declarations_after_statements_rejected() {
+        let src = "sial t\nscalar s\ns = 1.0\nscalar q\nendsial\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("precede"));
+    }
+
+    #[test]
+    fn missing_sial_header_rejected() {
+        assert!(parse("scalar s\n").is_err());
+    }
+
+    #[test]
+    fn unclosed_loop_rejected() {
+        let src = "sial t\naoindex M = 1, 4\ntemp x(M)\ndo M\nx(M) = 0.0\nendsial\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn execute_with_mixed_args() {
+        let p = parse_body("execute foo A(M,N) s 3.5 M");
+        match &p.body[0] {
+            Stmt::Execute { name, args, .. } => {
+                assert_eq!(name, "foo");
+                assert_eq!(args.len(), 4);
+                assert!(matches!(args[0], ExecArg::Block(_)));
+                assert!(matches!(args[1], ExecArg::Name(_, _)));
+                assert!(matches!(args[2], ExecArg::Num(_)));
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! SIAL tokens.
+//!
+//! SIAL is line-oriented: one statement per line, `#` comments to end of
+//! line. The lexer therefore emits explicit [`Token::Newline`] tokens that
+//! the parser uses as statement terminators.
+
+use std::fmt;
+
+/// SIAL keywords. Keyword recognition is case-insensitive (the original
+/// corpus mixes `PARDO` and `pardo`), but identifiers keep their case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `sial` — program header.
+    Sial,
+    /// `endsial` — program end.
+    EndSial,
+    /// `aoindex` — atomic-orbital segment index declaration.
+    AoIndex,
+    /// `moindex` — molecular-orbital segment index declaration.
+    MoIndex,
+    /// `moaindex` — alpha-spin MO segment index declaration.
+    MoAIndex,
+    /// `mobindex` — beta-spin MO segment index declaration.
+    MoBIndex,
+    /// `laindex` — auxiliary segment index declaration.
+    LaIndex,
+    /// `index` — simple (iteration-count) index declaration.
+    Index,
+    /// `subindex` — subsegment index declaration.
+    Subindex,
+    /// `of` — in `subindex ii of i`.
+    Of,
+    /// `static` — replicated array.
+    Static,
+    /// `temp` — iteration-local block.
+    Temp,
+    /// `local` — node-local array.
+    Local,
+    /// `distributed` — RAM-distributed array.
+    Distributed,
+    /// `served` — disk-backed array.
+    Served,
+    /// `scalar` — scalar variable declaration.
+    Scalar,
+    /// `pardo` — parallel loop.
+    Pardo,
+    /// `endpardo`.
+    EndPardo,
+    /// `do` — sequential loop.
+    Do,
+    /// `enddo`.
+    EndDo,
+    /// `in` — in `do ii in i`.
+    In,
+    /// `where` — pardo filter clause.
+    Where,
+    /// `if`.
+    If,
+    /// `else`.
+    Else,
+    /// `endif`.
+    EndIf,
+    /// `proc` — procedure definition.
+    Proc,
+    /// `endproc`.
+    EndProc,
+    /// `call`.
+    Call,
+    /// `get` — fetch distributed block.
+    Get,
+    /// `put` — store distributed block.
+    Put,
+    /// `request` — fetch served block.
+    Request,
+    /// `prepare` — store served block.
+    Prepare,
+    /// `execute` — user super instruction.
+    Execute,
+    /// `print`.
+    Print,
+    /// `create`.
+    Create,
+    /// `delete`.
+    Delete,
+    /// `sip_barrier` — distributed-array barrier.
+    SipBarrier,
+    /// `server_barrier` — served-array barrier.
+    ServerBarrier,
+    /// `blocks_to_list` — checkpoint serialize.
+    BlocksToList,
+    /// `list_to_blocks` — checkpoint restore.
+    ListToBlocks,
+    /// `and` in boolean expressions.
+    And,
+    /// `or` in boolean expressions.
+    Or,
+    /// `not` in boolean expressions.
+    Not,
+    /// `exit` — leave the innermost sequential loop.
+    Exit,
+}
+
+impl Keyword {
+    /// Parses a keyword from a lowercased identifier.
+    pub fn from_str_lower(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "sial" => Sial,
+            "endsial" => EndSial,
+            "aoindex" => AoIndex,
+            "moindex" => MoIndex,
+            "moaindex" => MoAIndex,
+            "mobindex" => MoBIndex,
+            "laindex" => LaIndex,
+            "index" => Index,
+            "subindex" => Subindex,
+            "of" => Of,
+            "static" => Static,
+            "temp" => Temp,
+            "local" => Local,
+            "distributed" => Distributed,
+            "served" => Served,
+            "scalar" => Scalar,
+            "pardo" => Pardo,
+            "endpardo" => EndPardo,
+            "do" => Do,
+            "enddo" => EndDo,
+            "in" => In,
+            "where" => Where,
+            "if" => If,
+            "else" => Else,
+            "endif" => EndIf,
+            "proc" => Proc,
+            "endproc" => EndProc,
+            "call" => Call,
+            "get" => Get,
+            "put" => Put,
+            "request" => Request,
+            "prepare" => Prepare,
+            "execute" => Execute,
+            "print" => Print,
+            "create" => Create,
+            "delete" => Delete,
+            "sip_barrier" => SipBarrier,
+            "server_barrier" => ServerBarrier,
+            "blocks_to_list" => BlocksToList,
+            "list_to_blocks" => ListToBlocks,
+            "and" => And,
+            "or" => Or,
+            "not" => Not,
+            "exit" => Exit,
+            _ => return None,
+        })
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword.
+    Kw(Keyword),
+    /// An identifier (index, array, scalar, constant, or procedure name).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A double-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of line (statement terminator).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Kw(k) => write!(f, "keyword `{k:?}`"),
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Number(n) => write!(f, "number `{n}`"),
+            Token::Str(s) => write!(f, "string \"{s}\""),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Assign => write!(f, "`=`"),
+            Token::PlusAssign => write!(f, "`+=`"),
+            Token::MinusAssign => write!(f, "`-=`"),
+            Token::StarAssign => write!(f, "`*=`"),
+            Token::Plus => write!(f, "`+`"),
+            Token::Minus => write!(f, "`-`"),
+            Token::Star => write!(f, "`*`"),
+            Token::Slash => write!(f, "`/`"),
+            Token::EqEq => write!(f, "`==`"),
+            Token::NotEq => write!(f, "`!=`"),
+            Token::Lt => write!(f, "`<`"),
+            Token::Le => write!(f, "`<=`"),
+            Token::Gt => write!(f, "`>`"),
+            Token::Ge => write!(f, "`>=`"),
+            Token::Newline => write!(f, "end of line"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+}

@@ -1,0 +1,280 @@
+//! The worker block cache.
+//!
+//! Fetched remote blocks land here; a block "may be available … because it is
+//! still available in the block cache from a recent use. Replacement is done
+//! using a LRU strategy." Entries are either [`CacheEntry::Ready`] or
+//! [`CacheEntry::InFlight`] (a get/request/prefetch has been issued and the
+//! data has not arrived yet). In-flight entries are never evicted — evicting
+//! them would strand the arriving reply.
+//!
+//! The counters distinguish hits, misses, and *refetches* (a block that was
+//! evicted and had to be fetched again) — the metric behind the paper's
+//! BlueGene/P anecdote, where over-eager prefetching caused "eviction and
+//! refetching of blocks that would be reused".
+
+use crate::msg::BlockKey;
+use sia_blocks::Block;
+use std::collections::HashMap;
+
+/// State of one cached block.
+#[derive(Debug)]
+pub enum CacheEntry {
+    /// The data has arrived.
+    Ready(Block),
+    /// A fetch is outstanding.
+    InFlight,
+}
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied by a ready entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Lookups that found an in-flight entry (wait, not re-issue).
+    pub in_flight_hits: u64,
+    /// Evictions performed to make room.
+    pub evictions: u64,
+    /// Fetches of a key that had been evicted earlier in the run.
+    pub refetches: u64,
+}
+
+/// An LRU cache of blocks keyed by [`BlockKey`].
+pub struct BlockCache {
+    capacity: usize,
+    map: HashMap<BlockKey, (CacheEntry, u64)>,
+    clock: u64,
+    ever_fetched: HashMap<BlockKey, ()>,
+    stats: CacheStats,
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `capacity` blocks.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        BlockCache {
+            capacity,
+            map: HashMap::new(),
+            clock: 0,
+            ever_fetched: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks up a block, refreshing its LRU position. Returns `None` on miss.
+    pub fn lookup(&mut self, key: &BlockKey) -> Option<&CacheEntry> {
+        let t = self.tick();
+        match self.map.get_mut(key) {
+            Some((entry, stamp)) => {
+                *stamp = t;
+                match entry {
+                    CacheEntry::Ready(_) => self.stats.hits += 1,
+                    CacheEntry::InFlight => self.stats.in_flight_hits += 1,
+                }
+                Some(&self.map[key].0)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks without touching LRU order or counters.
+    pub fn peek(&self, key: &BlockKey) -> Option<&CacheEntry> {
+        self.map.get(key).map(|(e, _)| e)
+    }
+
+    /// Marks a fetch as outstanding (no-op if the key is already present).
+    /// Returns true if a new in-flight entry was created (i.e. the caller
+    /// should actually issue the fetch).
+    pub fn mark_in_flight(&mut self, key: BlockKey) -> bool {
+        if self.map.contains_key(&key) {
+            return false;
+        }
+        self.make_room();
+        if self.ever_fetched.insert(key, ()).is_some() {
+            self.stats.refetches += 1;
+        }
+        let t = self.tick();
+        self.map.insert(key, (CacheEntry::InFlight, t));
+        true
+    }
+
+    /// Stores arrived data, completing an in-flight entry (or inserting
+    /// fresh — e.g. a block pushed by a prefetching peer).
+    pub fn fill(&mut self, key: BlockKey, data: Block) {
+        let t = self.tick();
+        if let Some(slot) = self.map.get_mut(&key) {
+            *slot = (CacheEntry::Ready(data), t);
+            return;
+        }
+        self.make_room();
+        self.ever_fetched.insert(key, ());
+        self.map.insert(key, (CacheEntry::Ready(data), t));
+    }
+
+    /// Removes a specific entry (e.g. after a barrier invalidates cached
+    /// copies of an array).
+    pub fn invalidate(&mut self, key: &BlockKey) {
+        self.map.remove(key);
+    }
+
+    /// Drops every *ready* entry belonging to `array` (in-flight entries stay:
+    /// the reply will still arrive and refill them).
+    pub fn invalidate_array(&mut self, array: sia_bytecode::ArrayId) {
+        self.map
+            .retain(|k, (e, _)| k.array != array || matches!(e, CacheEntry::InFlight));
+    }
+
+    /// Evicts the least-recently-used ready entry if at capacity.
+    fn make_room(&mut self) {
+        while self.map.len() >= self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(_, (e, _))| matches!(e, CacheEntry::Ready(_)))
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    self.map.remove(&k);
+                    self.stats.evictions += 1;
+                }
+                // Everything is in flight; allow temporary overshoot rather
+                // than deadlock.
+                None => break,
+            }
+        }
+    }
+
+    /// Number of resident entries (ready + in flight).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_blocks::Shape;
+    use sia_bytecode::ArrayId;
+
+    fn key(i: i64) -> BlockKey {
+        BlockKey::new(ArrayId(0), &[i])
+    }
+
+    fn blk(v: f64) -> Block {
+        Block::filled(Shape::new(&[2]), v)
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = BlockCache::new(4);
+        c.fill(key(1), blk(1.0));
+        match c.lookup(&key(1)) {
+            Some(CacheEntry::Ready(b)) => assert_eq!(b.data()[0], 1.0),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn miss_counted() {
+        let mut c = BlockCache::new(4);
+        assert!(c.lookup(&key(9)).is_none());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = BlockCache::new(2);
+        c.fill(key(1), blk(1.0));
+        c.fill(key(2), blk(2.0));
+        // Touch 1 so 2 becomes LRU.
+        let _ = c.lookup(&key(1));
+        c.fill(key(3), blk(3.0));
+        assert!(c.peek(&key(2)).is_none(), "LRU entry evicted");
+        assert!(c.peek(&key(1)).is_some());
+        assert!(c.peek(&key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn in_flight_never_evicted() {
+        let mut c = BlockCache::new(2);
+        assert!(c.mark_in_flight(key(1)));
+        assert!(c.mark_in_flight(key(2)));
+        // Cache full of in-flight entries; a third insert overshoots rather
+        // than evicting an in-flight entry.
+        c.fill(key(3), blk(3.0));
+        assert_eq!(c.len(), 3);
+        assert!(c.peek(&key(1)).is_some());
+        assert!(c.peek(&key(2)).is_some());
+    }
+
+    #[test]
+    fn mark_in_flight_dedups() {
+        let mut c = BlockCache::new(4);
+        assert!(c.mark_in_flight(key(1)));
+        assert!(!c.mark_in_flight(key(1)), "second mark is a no-op");
+        c.fill(key(1), blk(1.0));
+        assert!(!c.mark_in_flight(key(1)), "ready entry needs no fetch");
+    }
+
+    #[test]
+    fn refetch_counted() {
+        let mut c = BlockCache::new(1);
+        c.fill(key(1), blk(1.0));
+        c.fill(key(2), blk(2.0)); // evicts 1
+        assert!(c.mark_in_flight(key(1)), "must fetch again");
+        assert_eq!(c.stats().refetches, 1);
+    }
+
+    #[test]
+    fn fill_completes_in_flight() {
+        let mut c = BlockCache::new(2);
+        c.mark_in_flight(key(1));
+        assert!(matches!(c.peek(&key(1)), Some(CacheEntry::InFlight)));
+        c.fill(key(1), blk(5.0));
+        assert!(matches!(c.peek(&key(1)), Some(CacheEntry::Ready(_))));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_array_spares_in_flight() {
+        let mut c = BlockCache::new(4);
+        c.fill(BlockKey::new(ArrayId(0), &[1]), blk(1.0));
+        c.fill(BlockKey::new(ArrayId(1), &[1]), blk(2.0));
+        c.mark_in_flight(BlockKey::new(ArrayId(0), &[2]));
+        c.invalidate_array(ArrayId(0));
+        assert!(c.peek(&BlockKey::new(ArrayId(0), &[1])).is_none());
+        assert!(c.peek(&BlockKey::new(ArrayId(0), &[2])).is_some());
+        assert!(c.peek(&BlockKey::new(ArrayId(1), &[1])).is_some());
+    }
+
+    #[test]
+    fn in_flight_lookup_counted_separately() {
+        let mut c = BlockCache::new(2);
+        c.mark_in_flight(key(1));
+        assert!(matches!(c.lookup(&key(1)), Some(CacheEntry::InFlight)));
+        assert_eq!(c.stats().in_flight_hits, 1);
+        assert_eq!(c.stats().hits, 0);
+    }
+}

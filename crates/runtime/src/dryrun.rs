@@ -1,0 +1,222 @@
+//! The dry run: memory-feasibility analysis before the real run.
+//!
+//! "The master inspects the SIAL program in 'dry-run' mode … an estimate of
+//! the memory requirements for each worker given the number of processors …
+//! the sizes of the arrays, and the distributed data layout. This feature
+//! allows the user to avoid wasting valuable supercomputing resources on an
+//! infeasible computation. … If the computation is not feasible with the
+//! available memory, this is reported to the user along with the number of
+//! processors that would be sufficient." (§V-B)
+
+use crate::layout::{Layout, SipConfig};
+use sia_bytecode::ArrayKind;
+
+/// The dry run's memory estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryEstimate {
+    /// Upper-bound bytes resident on one worker.
+    pub per_worker_bytes: u64,
+    /// Upper-bound bytes resident on one I/O server (cache only; disk is
+    /// assumed unbounded, as in the original).
+    pub per_server_bytes: u64,
+    /// Per-array per-worker contributions `(array name, bytes)`.
+    pub breakdown: Vec<(String, u64)>,
+    /// Size of the largest single block (drives cache sizing).
+    pub largest_block_bytes: u64,
+    /// Bytes attributed to the block cache.
+    pub cache_bytes: u64,
+}
+
+impl MemoryEstimate {
+    /// Does the estimate fit a per-worker budget?
+    pub fn feasible(&self, budget: u64) -> bool {
+        self.per_worker_bytes <= budget
+    }
+}
+
+/// Estimates per-worker memory for the layout's worker count.
+pub fn estimate(layout: &Layout, config: &SipConfig) -> MemoryEstimate {
+    per_worker(layout, config, layout.topology.workers as u64)
+}
+
+fn per_worker(layout: &Layout, config: &SipConfig, workers: u64) -> MemoryEstimate {
+    let workers = workers.max(1);
+    let mut breakdown = Vec::new();
+    let mut total: u64 = 0;
+    let mut largest: u64 = 0;
+    let mut largest_remote: u64 = 0;
+
+    for (i, decl) in layout.program.arrays.iter().enumerate() {
+        let id = sia_bytecode::ArrayId(i as u32);
+        let bb = layout.block_bytes(id);
+        largest = largest.max(bb);
+        let blocks = layout.total_blocks(id);
+        let bytes = match decl.kind {
+            // Distributed blocks spread evenly under the static placement.
+            ArrayKind::Distributed => {
+                largest_remote = largest_remote.max(bb);
+                blocks.div_ceil(workers) * bb
+            }
+            // Served blocks live on the servers; workers only cache them.
+            ArrayKind::Served => {
+                largest_remote = largest_remote.max(bb);
+                0
+            }
+            // Static arrays are fully replicated.
+            ArrayKind::Static => blocks * bb,
+            // Local arrays: upper bound is the full block set (the paper's
+            // locals are "fully formed in at least one dimension"; we bound
+            // by the whole array, which is what the original's conservative
+            // dry run reports too).
+            ArrayKind::Local => blocks * bb,
+            // One live block per temp.
+            ArrayKind::Temp => bb,
+        };
+        if bytes > 0 {
+            breakdown.push((decl.name.clone(), bytes));
+        }
+        total += bytes;
+    }
+    let cache_bytes = config.cache_blocks as u64 * largest_remote;
+    total += cache_bytes;
+    MemoryEstimate {
+        per_worker_bytes: total,
+        per_server_bytes: config.server_cache_blocks as u64 * largest,
+        breakdown,
+        largest_block_bytes: largest,
+        cache_bytes,
+    }
+}
+
+/// The smallest worker count whose per-worker estimate fits `budget`
+/// (`None` when even "infinitely many" workers cannot fit — the
+/// non-distributed residue alone exceeds the budget).
+pub fn sufficient_workers(layout: &Layout, config: &SipConfig, budget: u64) -> Option<usize> {
+    // Fixed part: everything that does not shrink with more workers.
+    let many = per_worker(layout, config, u64::MAX / 2);
+    if many.per_worker_bytes > budget {
+        return None;
+    }
+    // Binary search the worker count (estimate is monotone nonincreasing).
+    let (mut lo, mut hi) = (1u64, 1u64 << 32);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if per_worker(layout, config, mid).per_worker_bytes <= budget {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{SegmentConfig, Topology};
+    use sia_bytecode::{
+        ArrayDecl, ConstBindings, IndexDecl, IndexId, IndexKind, Program, Value,
+    };
+    use std::sync::Arc;
+
+    fn layout(workers: usize, arrays: Vec<ArrayDecl>) -> Layout {
+        let program = Program {
+            indices: vec![IndexDecl {
+                name: "i".into(),
+                kind: IndexKind::AoIndex,
+                low: Value::Lit(1),
+                high: Value::Lit(10),
+            }],
+            arrays,
+            ..Default::default()
+        };
+        Layout::new(
+            Arc::new(program),
+            &ConstBindings::new(),
+            SegmentConfig {
+                default: 8,
+                ..Default::default()
+            },
+            Topology::new(workers, 1),
+        )
+        .unwrap()
+    }
+
+    fn arr(name: &str, kind: ArrayKind, rank: usize) -> ArrayDecl {
+        ArrayDecl {
+            name: name.into(),
+            kind,
+            dims: vec![IndexId(0); rank],
+        }
+    }
+
+    fn config(cache_blocks: usize) -> SipConfig {
+        SipConfig {
+            cache_blocks,
+            server_cache_blocks: 4,
+            ..SipConfig::default()
+        }
+    }
+
+    #[test]
+    fn distributed_scales_with_workers() {
+        // 100 blocks of 8x8 doubles = 512 B each.
+        let arrays = vec![arr("D", ArrayKind::Distributed, 2)];
+        let e1 = per_worker(&layout(1, arrays.clone()), &config(0), 1);
+        let e4 = per_worker(&layout(4, arrays), &config(0), 4);
+        assert_eq!(e1.per_worker_bytes, 100 * 512);
+        assert_eq!(e4.per_worker_bytes, 25 * 512);
+    }
+
+    #[test]
+    fn static_replicated_temp_single() {
+        let arrays = vec![
+            arr("S", ArrayKind::Static, 2),
+            arr("T", ArrayKind::Temp, 2),
+        ];
+        let e = per_worker(&layout(4, arrays), &config(0), 4);
+        assert_eq!(e.per_worker_bytes, 100 * 512 + 512);
+    }
+
+    #[test]
+    fn served_costs_cache_only() {
+        let arrays = vec![arr("V", ArrayKind::Served, 2)];
+        let e = per_worker(&layout(2, arrays), &config(3), 2);
+        assert_eq!(e.per_worker_bytes, 3 * 512);
+        assert_eq!(e.cache_bytes, 3 * 512);
+        assert_eq!(e.per_server_bytes, 4 * 512);
+    }
+
+    #[test]
+    fn sufficient_workers_found() {
+        let arrays = vec![arr("D", ArrayKind::Distributed, 2)];
+        let l = layout(1, arrays);
+        let c = config(0);
+        // 100 blocks × 512 B; a 13-block budget needs ⌈100/12.?⌉…: find W
+        // with ceil(100/W)*512 ≤ 13*512 → ceil(100/W) ≤ 13 → W = 8.
+        let w = sufficient_workers(&l, &c, 13 * 512).unwrap();
+        assert_eq!(w, 8);
+        assert!(estimate(&layout(8, vec![arr("D", ArrayKind::Distributed, 2)]), &c)
+            .feasible(13 * 512));
+    }
+
+    #[test]
+    fn infeasible_at_any_scale() {
+        // Static array never shrinks.
+        let arrays = vec![arr("S", ArrayKind::Static, 2)];
+        let l = layout(1, arrays);
+        assert_eq!(sufficient_workers(&l, &config(0), 100), None);
+    }
+
+    #[test]
+    fn breakdown_names_arrays() {
+        let arrays = vec![
+            arr("D", ArrayKind::Distributed, 2),
+            arr("T", ArrayKind::Temp, 1),
+        ];
+        let e = estimate(&layout(2, arrays), &config(0));
+        let names: Vec<&str> = e.breakdown.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["D", "T"]);
+        assert_eq!(e.largest_block_bytes, 512);
+    }
+}

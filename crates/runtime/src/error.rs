@@ -1,0 +1,116 @@
+//! Runtime errors raised by the SIP.
+
+use crate::msg::BlockKey;
+use std::fmt;
+
+/// An error during SIP execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A symbolic constant had no binding or an index range was invalid.
+    Resolve(String),
+    /// A block of a distributed/served array was used without a prior
+    /// `get`/`request` (and was not in the cache).
+    BlockNotAvailable {
+        /// The missing block.
+        key: BlockKey,
+        /// What the interpreter was doing.
+        context: String,
+    },
+    /// A temp block was read before being written in this iteration.
+    TempUndefined {
+        /// Array name.
+        array: String,
+    },
+    /// A worker block pool ran out of memory.
+    PoolExhausted {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The dry run predicted the computation does not fit.
+    Infeasible {
+        /// Bytes needed per worker.
+        needed_per_worker: u64,
+        /// The configured budget.
+        budget: u64,
+        /// Workers that would make it fit (the paper: "reported to the user
+        /// along with the number of processors that would be sufficient").
+        sufficient_workers: usize,
+    },
+    /// Malformed bytecode reached the interpreter (compiler bug or corrupted
+    /// program file).
+    BadProgram(String),
+    /// A super instruction name was not found in the registry.
+    UnknownSuperInstruction(String),
+    /// A super instruction failed.
+    SuperInstruction {
+        /// Instruction name.
+        name: String,
+        /// Failure detail.
+        detail: String,
+    },
+    /// A peer rank disappeared mid-run.
+    PeerGone(String),
+    /// Checkpoint I/O failed.
+    Checkpoint(String),
+    /// Served-array disk I/O failed.
+    ServedIo(String),
+    /// Barrier misuse detected (conflicting accesses without separation).
+    BarrierMisuse(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Resolve(m) => write!(f, "initialization error: {m}"),
+            RuntimeError::BlockNotAvailable { key, context } => write!(
+                f,
+                "block {key:?} not available ({context}); missing get/request?"
+            ),
+            RuntimeError::TempUndefined { array } => {
+                write!(f, "temp block of `{array}` read before being written")
+            }
+            RuntimeError::PoolExhausted { detail } => {
+                write!(f, "worker memory exhausted: {detail}")
+            }
+            RuntimeError::Infeasible {
+                needed_per_worker,
+                budget,
+                sufficient_workers,
+            } => write!(
+                f,
+                "dry run: computation needs {needed_per_worker} bytes/worker \
+                 (budget {budget}); {sufficient_workers} workers would suffice"
+            ),
+            RuntimeError::BadProgram(m) => write!(f, "bad program: {m}"),
+            RuntimeError::UnknownSuperInstruction(n) => {
+                write!(f, "unknown super instruction `{n}`")
+            }
+            RuntimeError::SuperInstruction { name, detail } => {
+                write!(f, "super instruction `{name}` failed: {detail}")
+            }
+            RuntimeError::PeerGone(m) => write!(f, "lost contact with {m}"),
+            RuntimeError::Checkpoint(m) => write!(f, "checkpoint failure: {m}"),
+            RuntimeError::ServedIo(m) => write!(f, "served-array I/O failure: {m}"),
+            RuntimeError::BarrierMisuse(m) => write!(f, "barrier misuse: {m}"),
+            RuntimeError::Internal(m) => write!(f, "internal SIP error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<sia_bytecode::ResolveError> for RuntimeError {
+    fn from(e: sia_bytecode::ResolveError) -> Self {
+        RuntimeError::Resolve(e.to_string())
+    }
+}
+
+impl From<sia_blocks::pool::PoolExhausted> for RuntimeError {
+    fn from(e: sia_blocks::pool::PoolExhausted) -> Self {
+        RuntimeError::PoolExhausted {
+            detail: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,760 @@
+//! The bytecode interpreter: one worker executing SIA instructions.
+//!
+//! Every worker executes the *whole* program SPMD-style; the `pardo`
+//! machinery is the only place iterations are divided (by the master's
+//! guided scheduler). All potentially blocking points — block arrival, chunk
+//! assignment, barriers, collectives — go through
+//! `Worker::wait_until`, which keeps servicing incoming messages (so a
+//! worker waiting on a barrier still serves its home blocks to others) and
+//! accounts the time as *wait* for the profiler.
+
+use crate::error::RuntimeError;
+use crate::msg::{BarrierKind, BlockKey, SipMsg};
+use crate::registry::{SuperArg, SuperEnv};
+use crate::scheduler::{eval_bool, eval_scalar};
+use crate::worker::{LoopFrame, PardoState, Worker};
+use sia_blocks::{contract_into, permute, Block, ContractionPlan};
+use sia_bytecode::{
+    Arg, ArrayId, ArrayKind, BlockRef, BoolExpr, IndexId, Instruction as I, ScalarExpr,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Name of the intrinsic collective scalar sum (`execute sip_allreduce s`).
+pub const SIP_ALLREDUCE: &str = "sip_allreduce";
+/// Name of the intrinsic wall-clock super instruction (`execute sip_time s`).
+pub const SIP_TIME: &str = "sip_time";
+
+impl Worker {
+    /// Runs the program to `halt`. On success the worker still owes the
+    /// master a `WorkerDone` (sent by the runtime harness, which also keeps
+    /// the worker servicing peers until shutdown).
+    pub fn execute_program(&mut self) -> Result<(), RuntimeError> {
+        let program = Arc::clone(&self.layout.program);
+        let mut plans: HashMap<u32, ContractionPlan> = HashMap::new();
+        let t0 = Instant::now();
+        let mut pc: u32 = 0;
+        loop {
+            self.service_messages();
+            let ins = program.code.get(pc as usize).ok_or_else(|| {
+                RuntimeError::BadProgram(format!("pc {pc} out of range"))
+            })?;
+            let t_ins = Instant::now();
+            let mut wait = Duration::ZERO;
+            let next = self.step(pc, ins, &mut plans, &mut wait)?;
+            let busy = t_ins.elapsed().saturating_sub(wait);
+            self.profile.record(pc, busy, wait);
+            match next {
+                Some(n) => pc = n,
+                None => break,
+            }
+        }
+        self.profile.total_nanos = t0.elapsed().as_nanos() as u64;
+        self.profile.cache = self.cache.stats();
+        Ok(())
+    }
+
+    // ---- expression evaluation -----------------------------------------------
+
+    pub(crate) fn eval_expr(&self, e: &ScalarExpr) -> f64 {
+        let env = &self.env;
+        let scalars = &self.scalars;
+        let consts = &self.layout.consts;
+        eval_scalar(
+            e,
+            &|id: IndexId| env[id.index()],
+            &|i| scalars[i as usize],
+            &|i| consts[i as usize],
+        )
+    }
+
+    pub(crate) fn eval_cond(&self, c: &BoolExpr) -> bool {
+        let env = &self.env;
+        let scalars = &self.scalars;
+        let consts = &self.layout.consts;
+        eval_bool(
+            c,
+            &|id: IndexId| env[id.index()],
+            &|i| scalars[i as usize],
+            &|i| consts[i as usize],
+        )
+    }
+
+    fn alloc_for(&mut self, array: ArrayId, shape: sia_blocks::Shape) -> Result<Block, RuntimeError> {
+        if self.layout.array_kind(array) == ArrayKind::Temp {
+            Ok(self.pool.acquire_raw(shape)?)
+        } else {
+            Ok(Block::zeros(shape))
+        }
+    }
+
+    // ---- pardo machinery --------------------------------------------------------
+
+    /// Binds the next assigned iteration or leaves the loop. Returns the next
+    /// pc.
+    fn pardo_advance(&mut self, wait: &mut Duration) -> Result<u32, RuntimeError> {
+        // Request more work if the queue ran dry.
+        let (start_pc, epoch, need_request) = {
+            let p = self.pardo.as_ref().expect("pardo_advance outside pardo");
+            (
+                p.start_pc,
+                p.epoch,
+                p.queue.is_empty() && !p.exhausted && !p.requested,
+            )
+        };
+        if need_request {
+            let master = self.layout.topology.master();
+            self.endpoint
+                .send(
+                    master,
+                    SipMsg::ChunkRequest {
+                        pardo_pc: start_pc,
+                        epoch,
+                    },
+                )
+                .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+            if let Some(p) = &mut self.pardo {
+                p.requested = true;
+            }
+        }
+        *wait += self.wait_until("pardo chunk", |w| {
+            let p = w.pardo.as_ref().unwrap();
+            !p.queue.is_empty() || p.exhausted
+        })?;
+        let p = self.pardo.as_mut().unwrap();
+        match p.queue.pop_front() {
+            Some(vals) => {
+                let indices = p.indices.clone();
+                let body_pc = p.start_pc + 1;
+                for (idx, v) in indices.iter().zip(vals) {
+                    self.set_index(*idx, v);
+                }
+                self.profile.iterations += 1;
+                Ok(body_pc)
+            }
+            None => {
+                debug_assert!(p.exhausted);
+                let end_pc = p.end_pc;
+                let indices = p.indices.clone();
+                self.pardo = None;
+                for idx in indices {
+                    self.set_index(idx, 0);
+                }
+                self.free_temps();
+                Ok(end_pc + 1)
+            }
+        }
+    }
+
+    // ---- prefetch -----------------------------------------------------------------
+
+    /// The SIP "looks ahead and requests several blocks that it expects will
+    /// be needed soon": when a `get`/`request` sits inside a sequential loop,
+    /// also fetch the blocks the next iterations of the *innermost* loop will
+    /// ask for.
+    fn prefetch_ahead(&mut self, array: ArrayId, ref_indices: &[IndexId]) -> Result<(), RuntimeError> {
+        if self.config.prefetch_depth == 0 {
+            return Ok(());
+        }
+        let Some(frame) = self.loop_stack.last().cloned() else {
+            return Ok(());
+        };
+        let Some(pos) = ref_indices.iter().position(|&i| i == frame.index) else {
+            return Ok(());
+        };
+        let mut segs = self.seg_values(ref_indices)?;
+        for d in 1..=self.config.prefetch_depth as i64 {
+            let v = frame.current + d;
+            if v > frame.high {
+                break;
+            }
+            segs[pos] = v;
+            let (key, _) = self.layout.storage_target(array, ref_indices, &segs);
+            self.issue_fetch(key)?;
+        }
+        Ok(())
+    }
+
+    // ---- instruction dispatch --------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn step(
+        &mut self,
+        pc: u32,
+        ins: &I,
+        plans: &mut HashMap<u32, ContractionPlan>,
+        wait: &mut Duration,
+    ) -> Result<Option<u32>, RuntimeError> {
+        match ins {
+            // ---- control ------------------------------------------------------
+            I::PardoStart {
+                indices, end_pc, ..
+            } => {
+                if self.pardo.is_some() {
+                    return Err(RuntimeError::BadProgram("nested pardo".into()));
+                }
+                let epoch = {
+                    let e = self.pardo_epochs.entry(pc).or_insert(0);
+                    *e += 1;
+                    *e
+                };
+                self.pardo = Some(PardoState {
+                    start_pc: pc,
+                    epoch,
+                    end_pc: *end_pc,
+                    indices: indices.clone(),
+                    queue: Default::default(),
+                    requested: false,
+                    exhausted: false,
+                });
+                Ok(Some(self.pardo_advance(wait)?))
+            }
+            I::PardoEnd { .. } => {
+                self.free_temps();
+                Ok(Some(self.pardo_advance(wait)?))
+            }
+            I::DoStart { index, end_pc } => {
+                let (lo, hi) = self.layout.range(*index);
+                if lo > hi {
+                    return Ok(Some(*end_pc + 1));
+                }
+                self.loop_stack.push(LoopFrame {
+                    start_pc: pc,
+                    index: *index,
+                    current: lo,
+                    high: hi,
+                });
+                self.set_index(*index, lo);
+                Ok(Some(pc + 1))
+            }
+            I::DoEnd { start_pc } => self.loop_end(*start_pc, pc),
+            I::DoInStart {
+                sub,
+                parent,
+                end_pc,
+                ..
+            } => {
+                let pval = self.index_value(*parent);
+                if pval == 0 {
+                    return Err(RuntimeError::BadProgram(
+                        "do-in with undefined parent index".into(),
+                    ));
+                }
+                let (lo, hi) = self.layout.sub_range(pval);
+                if lo > hi {
+                    return Ok(Some(*end_pc + 1));
+                }
+                self.loop_stack.push(LoopFrame {
+                    start_pc: pc,
+                    index: *sub,
+                    current: lo,
+                    high: hi,
+                });
+                self.set_index(*sub, lo);
+                Ok(Some(pc + 1))
+            }
+            I::DoInEnd { start_pc } => self.loop_end(*start_pc, pc),
+            I::ExitLoop { loop_start_pc, target } => {
+                // Pop loop frames down to and including the exited loop.
+                loop {
+                    let Some(frame) = self.loop_stack.pop() else {
+                        return Err(RuntimeError::BadProgram(
+                            "exit without a matching loop frame".into(),
+                        ));
+                    };
+                    self.set_index(frame.index, 0);
+                    if frame.start_pc == *loop_start_pc {
+                        break;
+                    }
+                }
+                Ok(Some(*target))
+            }
+            I::JumpIfFalse { cond, target } => {
+                if self.eval_cond(cond) {
+                    Ok(Some(pc + 1))
+                } else {
+                    Ok(Some(*target))
+                }
+            }
+            I::Jump { target } => Ok(Some(*target)),
+            I::Call { proc } => {
+                let entry = self
+                    .layout
+                    .program
+                    .procs
+                    .get(proc.index())
+                    .ok_or_else(|| RuntimeError::BadProgram("bad proc id".into()))?
+                    .entry_pc;
+                self.call_stack.push(pc + 1);
+                Ok(Some(entry))
+            }
+            I::Return => match self.call_stack.pop() {
+                Some(ret) => Ok(Some(ret)),
+                None => Err(RuntimeError::BadProgram("return outside procedure".into())),
+            },
+            I::Halt => Ok(None),
+
+            // ---- data management ------------------------------------------------
+            I::Create { .. } => Ok(Some(pc + 1)), // allocation is lazy
+            I::Delete { array } => {
+                match self.layout.array_kind(*array) {
+                    ArrayKind::Distributed => {
+                        self.dist_store.retain(|k, _| k.array != *array);
+                        self.cache.invalidate_array(*array);
+                    }
+                    ArrayKind::Served => {
+                        self.cache.invalidate_array(*array);
+                        // One worker notifies the I/O servers; the op is
+                        // idempotent but there is no need for W copies.
+                        if self.worker_index() == 0 {
+                            for j in 0..self.layout.topology.io_servers {
+                                let io = self.layout.topology.io_server(j);
+                                let _ = self.endpoint.send(io, SipMsg::DeleteArray { array: *array });
+                            }
+                        }
+                    }
+                    ArrayKind::Local | ArrayKind::Static => {
+                        self.local_store.retain(|k, _| k.array != *array);
+                    }
+                    ArrayKind::Temp => {
+                        self.temps.remove(array);
+                    }
+                }
+                Ok(Some(pc + 1))
+            }
+
+            // ---- I/O -------------------------------------------------------------
+            I::Get { block } | I::Request { block } => {
+                let segs = self.seg_values(&block.indices)?;
+                let (key, _) = self.layout.storage_target(block.array, &block.indices, &segs);
+                self.issue_fetch(key)?;
+                self.prefetch_ahead(block.array, &block.indices)?;
+                Ok(Some(pc + 1))
+            }
+            I::Put { dest, src, mode } => {
+                let data = self.read_block(src.array, &src.indices, wait)?;
+                let segs = self.seg_values(&dest.indices)?;
+                let (key, slice) = self.layout.storage_target(dest.array, &dest.indices, &segs);
+                if slice.is_some() {
+                    return Err(RuntimeError::BadProgram(
+                        "sub-addressed put destination is not supported".into(),
+                    ));
+                }
+                let home = self.layout.topology.home_of_distributed(&key);
+                if home == self.endpoint.rank() {
+                    self.apply_put_local(key, data, *mode);
+                } else {
+                    self.endpoint
+                        .send(home, SipMsg::PutBlock { key, data, mode: *mode })
+                        .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+                    self.outstanding_puts += 1;
+                }
+                Ok(Some(pc + 1))
+            }
+            I::Prepare { dest, src, mode } => {
+                if self.layout.topology.io_servers == 0 {
+                    return Err(RuntimeError::ServedIo(
+                        "prepare with io_servers = 0".into(),
+                    ));
+                }
+                let data = self.read_block(src.array, &src.indices, wait)?;
+                let segs = self.seg_values(&dest.indices)?;
+                let (key, slice) = self.layout.storage_target(dest.array, &dest.indices, &segs);
+                if slice.is_some() {
+                    return Err(RuntimeError::BadProgram(
+                        "sub-addressed prepare destination is not supported".into(),
+                    ));
+                }
+                let home = self.layout.topology.home_of_served(&key);
+                self.endpoint
+                    .send(home, SipMsg::PrepareBlock { key, data, mode: *mode })
+                    .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+                self.outstanding_prepares += 1;
+                // The freshest copy is at the server now.
+                self.cache.invalidate(&key);
+                Ok(Some(pc + 1))
+            }
+            I::BlocksToList { array, label } => {
+                if self.layout.array_kind(*array) != ArrayKind::Distributed {
+                    return Err(RuntimeError::Checkpoint(
+                        "blocks_to_list supports distributed arrays".into(),
+                    ));
+                }
+                let master = self.layout.topology.master();
+                let mine: Vec<(BlockKey, Block)> = self
+                    .dist_store
+                    .iter()
+                    .filter(|(k, _)| k.array == *array)
+                    .map(|(k, b)| (*k, b.clone()))
+                    .collect();
+                for (key, data) in mine {
+                    self.endpoint
+                        .send(master, SipMsg::CkptBlock { label: label.0, key, data })
+                        .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+                }
+                self.endpoint
+                    .send(
+                        master,
+                        SipMsg::CkptDone {
+                            label: label.0,
+                            restore: false,
+                        },
+                    )
+                    .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+                let lbl = label.0;
+                *wait += self.wait_until("checkpoint", |w| w.ckpt_released.contains(&lbl))?;
+                self.ckpt_released.remove(&lbl);
+                Ok(Some(pc + 1))
+            }
+            I::ListToBlocks { array, label } => {
+                if self.layout.array_kind(*array) != ArrayKind::Distributed {
+                    return Err(RuntimeError::Checkpoint(
+                        "list_to_blocks supports distributed arrays".into(),
+                    ));
+                }
+                let master = self.layout.topology.master();
+                self.endpoint
+                    .send(
+                        master,
+                        SipMsg::CkptDone {
+                            label: label.0,
+                            restore: true,
+                        },
+                    )
+                    .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+                let lbl = label.0;
+                *wait += self.wait_until("checkpoint restore", |w| w.ckpt_released.contains(&lbl))?;
+                self.ckpt_released.remove(&lbl);
+                self.cache.invalidate_array(*array);
+                Ok(Some(pc + 1))
+            }
+
+            // ---- computational super instructions ---------------------------------
+            I::BlockFill { dest, value } => {
+                let v = self.eval_expr(value);
+                let shape = self.layout.block_shape(&dest.indices);
+                let mut b = self.alloc_for(dest.array, shape)?;
+                b.fill(v);
+                self.write_block(dest.array, &dest.indices, b)?;
+                Ok(Some(pc + 1))
+            }
+            I::BlockCopy { dest, src } => {
+                let data = self.read_block(src.array, &src.indices, wait)?;
+                let permuted = permute_to(dest, src, &data)?;
+                self.write_block(dest.array, &dest.indices, permuted)?;
+                Ok(Some(pc + 1))
+            }
+            I::BlockAccumulate { dest, src, sign } => {
+                let data = self.read_block(src.array, &src.indices, wait)?;
+                let permuted = permute_to(dest, src, &data)?;
+                let sign = *sign;
+                self.modify_block(dest.array, &dest.indices, |b| b.axpy(sign, &permuted))?;
+                Ok(Some(pc + 1))
+            }
+            I::BlockScale { dest, factor } => {
+                let v = self.eval_expr(factor);
+                self.modify_block(dest.array, &dest.indices, |b| b.scale(v))?;
+                Ok(Some(pc + 1))
+            }
+            I::BlockContract { dest, a, b, accumulate } => {
+                let plan = match plans.get(&pc) {
+                    Some(p) => p.clone(),
+                    None => {
+                        let p = ContractionPlan::infer(
+                            &labels(&dest.indices),
+                            &labels(&a.indices),
+                            &labels(&b.indices),
+                        )
+                        .map_err(|e| RuntimeError::BadProgram(format!("contraction: {e}")))?;
+                        plans.insert(pc, p.clone());
+                        p
+                    }
+                };
+                let ablk = self.read_block(a.array, &a.indices, wait)?;
+                let bblk = self.read_block(b.array, &b.indices, wait)?;
+                let out_shape = plan.output_shape(ablk.shape(), bblk.shape());
+                if *accumulate {
+                    // Accumulating into a not-yet-written temp starts from
+                    // zero (the `R += a*b` idiom).
+                    let need_init = self.layout.array_kind(dest.array) == ArrayKind::Temp
+                        && !self.temp_defined(dest.array, &dest.indices)?;
+                    if need_init {
+                        let z = self.alloc_for(dest.array, out_shape)?;
+                        self.write_block(dest.array, &dest.indices, z)?;
+                    }
+                    self.modify_block(dest.array, &dest.indices, |d| {
+                        contract_into(&plan, &ablk, &bblk, 1.0, d);
+                    })?;
+                } else {
+                    let mut out = self.alloc_for(dest.array, out_shape)?;
+                    contract_into(&plan, &ablk, &bblk, 0.0, &mut out);
+                    self.write_block(dest.array, &dest.indices, out)?;
+                }
+                Ok(Some(pc + 1))
+            }
+            I::ScalarAssign { dest, expr } => {
+                self.scalars[dest.index()] = self.eval_expr(expr);
+                Ok(Some(pc + 1))
+            }
+            I::ScalarFromBlock { dest, src, accumulate } => {
+                let b = self.read_block(src.array, &src.indices, wait)?;
+                if b.len() != 1 {
+                    return Err(RuntimeError::BadProgram(
+                        "scalar fold of non-scalar block".into(),
+                    ));
+                }
+                let v = b.data()[0];
+                if *accumulate {
+                    self.scalars[dest.index()] += v;
+                } else {
+                    self.scalars[dest.index()] = v;
+                }
+                Ok(Some(pc + 1))
+            }
+            I::ExecuteSuper { name, args } => {
+                let name_str = self.layout.program.strings[name.index()].clone();
+                self.execute_super(&name_str, args, wait)?;
+                Ok(Some(pc + 1))
+            }
+            I::Print { items } => {
+                if self.worker_index() == 0 {
+                    let mut line = String::new();
+                    for item in items {
+                        if !line.is_empty() {
+                            line.push(' ');
+                        }
+                        match item {
+                            sia_bytecode::ops::PrintItem::Str(id) => {
+                                line.push_str(&self.layout.program.strings[id.index()]);
+                            }
+                            sia_bytecode::ops::PrintItem::Expr(e) => {
+                                line.push_str(&format!("{}", self.eval_expr(e)));
+                            }
+                        }
+                    }
+                    println!("[sial] {line}");
+                }
+                Ok(Some(pc + 1))
+            }
+
+            // ---- synchronization ------------------------------------------------------
+            I::SipBarrier => {
+                *wait += self.barrier(BarrierKind::Sip)?;
+                self.invalidate_cached_kind(ArrayKind::Distributed);
+                self.dist_epoch += 1;
+                Ok(Some(pc + 1))
+            }
+            I::ServerBarrier => {
+                *wait += self.barrier(BarrierKind::Server)?;
+                self.invalidate_cached_kind(ArrayKind::Served);
+                Ok(Some(pc + 1))
+            }
+        }
+    }
+
+    fn loop_end(&mut self, start_pc: u32, pc: u32) -> Result<Option<u32>, RuntimeError> {
+        let frame = self
+            .loop_stack
+            .last_mut()
+            .ok_or_else(|| RuntimeError::BadProgram("loop end without start".into()))?;
+        if frame.start_pc != start_pc {
+            return Err(RuntimeError::BadProgram("mismatched loop nesting".into()));
+        }
+        frame.current += 1;
+        if frame.current <= frame.high {
+            let (idx, v) = (frame.index, frame.current);
+            self.set_index(idx, v);
+            Ok(Some(start_pc + 1))
+        } else {
+            let idx = frame.index;
+            self.loop_stack.pop();
+            self.set_index(idx, 0);
+            Ok(Some(pc + 1))
+        }
+    }
+
+    fn temp_defined(&self, array: ArrayId, ref_indices: &[IndexId]) -> Result<bool, RuntimeError> {
+        let segs = self.seg_values(ref_indices)?;
+        let (key, _) = self.layout.storage_target(array, ref_indices, &segs);
+        Ok(matches!(self.temps.get(&array), Some((k, _)) if *k == key))
+    }
+
+    fn barrier(&mut self, kind: BarrierKind) -> Result<Duration, RuntimeError> {
+        // Conflicting accesses must be complete before we report in: drain
+        // outstanding acks first.
+        let mut total = match kind {
+            BarrierKind::Sip => self.wait_until("put acks", |w| w.outstanding_puts == 0)?,
+            BarrierKind::Server => {
+                self.wait_until("prepare acks", |w| w.outstanding_prepares == 0)?
+            }
+        };
+        let master = self.layout.topology.master();
+        self.endpoint
+            .send(master, SipMsg::BarrierEnter { kind })
+            .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+        total += self.wait_until("barrier release", |w| w.barrier_release == Some(kind))?;
+        self.barrier_release = None;
+        Ok(total)
+    }
+
+    fn execute_super(
+        &mut self,
+        name: &str,
+        args: &[Arg],
+        wait: &mut Duration,
+    ) -> Result<(), RuntimeError> {
+        // Intrinsic collectives are handled by the runtime, not the registry.
+        if name == SIP_ALLREDUCE {
+            let [Arg::Scalar(id)] = args else {
+                return Err(RuntimeError::BadProgram(
+                    "sip_allreduce takes exactly one scalar argument".into(),
+                ));
+            };
+            let master = self.layout.topology.master();
+            self.endpoint
+                .send(
+                    master,
+                    SipMsg::ReduceContrib {
+                        value: self.scalars[id.index()],
+                    },
+                )
+                .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+            *wait += self.wait_until("allreduce", |w| w.reduce_result.is_some())?;
+            self.scalars[id.index()] = self.reduce_result.take().unwrap();
+            return Ok(());
+        }
+        if name == SIP_TIME {
+            let [Arg::Scalar(id)] = args else {
+                return Err(RuntimeError::BadProgram(
+                    "sip_time takes exactly one scalar argument".into(),
+                ));
+            };
+            self.scalars[id.index()] = self.started.elapsed().as_secs_f64();
+            return Ok(());
+        }
+
+        // Marshal arguments.
+        let mut marshalled: Vec<SuperArg> = Vec::with_capacity(args.len());
+        // (slot index in `marshalled`, origin) for write-back of blocks.
+        enum Origin {
+            Temp(ArrayId, BlockKey),
+            Local(BlockKey, ArrayId),
+            Scalar(usize),
+        }
+        let mut origins: Vec<(usize, Origin)> = Vec::new();
+        for arg in args {
+            match arg {
+                Arg::Block(r) => {
+                    let kind = self.layout.array_kind(r.array);
+                    let segs = self.seg_values(&r.indices)?;
+                    let (key, slice) = self.layout.storage_target(r.array, &r.indices, &segs);
+                    if slice.is_some() {
+                        return Err(RuntimeError::BadProgram(
+                            "sub-addressed execute argument is not supported".into(),
+                        ));
+                    }
+                    let block = match kind {
+                        ArrayKind::Temp => match self.temps.remove(&r.array) {
+                            Some((k, b)) if k == key => b,
+                            Some((_, old)) => {
+                                // Stale temp from another iteration: recycle
+                                // and hand the kernel a fresh zero block.
+                                self.pool.release(old);
+                                self.alloc_for(r.array, self.layout.block_shape(&r.indices))?
+                            }
+                            None => {
+                                self.alloc_for(r.array, self.layout.block_shape(&r.indices))?
+                            }
+                        },
+                        ArrayKind::Local | ArrayKind::Static => {
+                            match self.local_store.remove(&key) {
+                                Some(b) => b,
+                                None => Block::zeros(self.layout.block_shape(&r.indices)),
+                            }
+                        }
+                        other => {
+                            return Err(RuntimeError::BadProgram(format!(
+                                "execute block arguments must be temp/local/static, got {other:?}"
+                            )));
+                        }
+                    };
+                    let origin = match kind {
+                        ArrayKind::Temp => Origin::Temp(r.array, key),
+                        _ => Origin::Local(key, r.array),
+                    };
+                    origins.push((marshalled.len(), origin));
+                    marshalled.push(SuperArg::Block {
+                        segs,
+                        block,
+                    });
+                }
+                Arg::Scalar(id) => {
+                    origins.push((marshalled.len(), Origin::Scalar(id.index())));
+                    marshalled.push(SuperArg::Scalar(self.scalars[id.index()]));
+                }
+                Arg::Index(id) => {
+                    marshalled.push(SuperArg::Index(self.index_value(*id)));
+                }
+            }
+        }
+        let env = SuperEnv {
+            worker: self.worker_index(),
+            workers: self.layout.topology.workers,
+        };
+        let registry = self.registry.clone();
+        let result = registry.invoke(name, &mut marshalled, &env);
+        // Write back regardless of success so state stays consistent.
+        for (slot, origin) in origins.into_iter().rev() {
+            match (origin, &mut marshalled[slot]) {
+                (Origin::Temp(array, key), SuperArg::Block { block, .. }) => {
+                    let b = std::mem::replace(block, Block::scalar(0.0));
+                    if let Some((_, old)) = self.temps.insert(array, (key, b)) {
+                        self.pool.release(old);
+                    }
+                }
+                (Origin::Local(key, _array), SuperArg::Block { block, .. }) => {
+                    let b = std::mem::replace(block, Block::scalar(0.0));
+                    self.local_store.insert(key, b);
+                }
+                (Origin::Scalar(i), SuperArg::Scalar(v)) => {
+                    self.scalars[i] = *v;
+                }
+                _ => {
+                    return Err(RuntimeError::Internal(
+                        "argument marshalling mismatch".into(),
+                    ));
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Index-id labels for contraction planning.
+fn labels(indices: &[IndexId]) -> Vec<u32> {
+    indices.iter().map(|i| i.0).collect()
+}
+
+/// Permutes `data` (laid out per `src` ref order) into `dest` ref order.
+fn permute_to(dest: &BlockRef, src: &BlockRef, data: &Block) -> Result<Block, RuntimeError> {
+    if dest.indices == src.indices {
+        return Ok(data.clone());
+    }
+    if dest.indices.len() != src.indices.len() {
+        return Err(RuntimeError::BadProgram(
+            "copy between blocks of different rank".into(),
+        ));
+    }
+    let perm: Option<Vec<usize>> = dest
+        .indices
+        .iter()
+        .map(|d| src.indices.iter().position(|s| s == d))
+        .collect();
+    let Some(perm) = perm else {
+        return Err(RuntimeError::BadProgram(
+            "copy with mismatched index sets".into(),
+        ));
+    };
+    Ok(permute(data, &perm))
+}

@@ -1,0 +1,612 @@
+//! Run configuration, rank topology, and the resolved data layout.
+//!
+//! [`Layout`] is built once at initialization: it resolves symbolic
+//! constants, index ranges, segment sizes (the crucial tuning parameter the
+//! paper keeps *out* of SIAL source), block shapes, and home placement. It is
+//! shared read-only by the master, every worker, the dry run, and the trace
+//! generator, so all of them agree on placement and sizes by construction.
+
+use crate::error::RuntimeError;
+use crate::msg::BlockKey;
+use sia_blocks::Shape;
+use sia_bytecode::{ArrayId, ArrayKind, ConstBindings, IndexId, IndexKind, Program};
+use sia_fabric::Rank;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Segment sizes per index type. "The same segment size applies to all
+/// indices of a given type and is constant for the duration of the
+/// computation."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentConfig {
+    /// Segment size used when no per-type override applies.
+    pub default: usize,
+    /// Override for `aoindex`.
+    pub ao: Option<usize>,
+    /// Override for `moindex`.
+    pub mo: Option<usize>,
+    /// Override for `moaindex`.
+    pub moa: Option<usize>,
+    /// Override for `mobindex`.
+    pub mob: Option<usize>,
+    /// Override for `laindex`.
+    pub la: Option<usize>,
+    /// Subsegments per segment (for subindices); must divide every segment
+    /// size it is used with.
+    pub nsub: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            default: 8,
+            ao: None,
+            mo: None,
+            moa: None,
+            mob: None,
+            la: None,
+            nsub: 2,
+        }
+    }
+}
+
+impl SegmentConfig {
+    /// The segment size for an index kind (subindices resolve through their
+    /// parent elsewhere; passing one here returns the default).
+    pub fn seg_for(&self, kind: IndexKind) -> usize {
+        match kind {
+            IndexKind::AoIndex => self.ao.unwrap_or(self.default),
+            IndexKind::MoIndex => self.mo.unwrap_or(self.default),
+            IndexKind::MoAIndex => self.moa.unwrap_or(self.default),
+            IndexKind::MoBIndex => self.mob.unwrap_or(self.default),
+            IndexKind::LaIndex => self.la.unwrap_or(self.default),
+            IndexKind::Simple | IndexKind::Subindex { .. } => self.default,
+        }
+    }
+}
+
+/// SIP run configuration.
+#[derive(Debug, Clone)]
+pub struct SipConfig {
+    /// Number of worker ranks.
+    pub workers: usize,
+    /// Number of I/O server ranks (0 disables served arrays).
+    pub io_servers: usize,
+    /// Segment sizes.
+    pub segments: SegmentConfig,
+    /// Block-cache capacity (blocks) per worker.
+    pub cache_blocks: usize,
+    /// How many upcoming loop iterations the prefetcher requests ahead.
+    pub prefetch_depth: usize,
+    /// Per-worker block pool budget in bytes.
+    pub pool_bytes: usize,
+    /// Per-I/O-server in-memory cache capacity (blocks).
+    pub server_cache_blocks: usize,
+    /// Collect all distributed arrays to the master at the end of the run
+    /// (for tests and small examples).
+    pub collect_distributed: bool,
+    /// Directory for served-array block files and checkpoints; a fresh
+    /// temporary directory is created when `None`.
+    pub run_dir: Option<PathBuf>,
+    /// Per-worker memory budget the dry run checks against (`None` skips the
+    /// feasibility gate but the estimate is still produced).
+    pub memory_budget: Option<u64>,
+    /// Guided-scheduling divisor: first chunks are
+    /// `remaining / (chunk_factor * workers)`, shrinking as work drains.
+    /// Ignored when `chunk_policy` is set explicitly.
+    pub chunk_factor: usize,
+    /// Chunk-sizing policy override (`None` = guided with `chunk_factor`).
+    pub chunk_policy: Option<crate::scheduler::ChunkPolicy>,
+    /// Distributed-block placement strategy.
+    pub placement: Placement,
+}
+
+impl Default for SipConfig {
+    fn default() -> Self {
+        SipConfig {
+            workers: 2,
+            io_servers: 1,
+            segments: SegmentConfig::default(),
+            cache_blocks: 64,
+            prefetch_depth: 2,
+            pool_bytes: 256 << 20,
+            server_cache_blocks: 64,
+            collect_distributed: false,
+            run_dir: None,
+            memory_budget: None,
+            chunk_factor: 2,
+            chunk_policy: None,
+            placement: Placement::default(),
+        }
+    }
+}
+
+/// Distributed-block placement strategy.
+///
+/// The paper uses "a simple, static strategy" and argues elaborate placement
+/// buys little because communication overlaps computation anyway — and that
+/// "the approach to data distribution could be modified and improved at any
+/// time without requiring any change in the SIAL programs". This enum is that
+/// modification point; the ablation harness compares the strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// FNV hash of (array, segments) modulo workers — the SIP default.
+    #[default]
+    Hash,
+    /// Weighted segment sum modulo workers: preserves neighbour locality but
+    /// creates stride hotspots on structured access patterns.
+    RoundRobin,
+}
+
+/// Rank topology: rank 0 is the master, then workers, then I/O servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Worker count.
+    pub workers: usize,
+    /// I/O server count.
+    pub io_servers: usize,
+    /// Distributed-block placement strategy.
+    pub placement: Placement,
+}
+
+impl Topology {
+    /// A topology with the default (hash) placement.
+    pub fn new(workers: usize, io_servers: usize) -> Self {
+        Topology {
+            workers,
+            io_servers,
+            placement: Placement::Hash,
+        }
+    }
+
+    /// Total rank count.
+    pub fn world_size(&self) -> usize {
+        1 + self.workers + self.io_servers
+    }
+
+    /// The master's rank.
+    pub fn master(&self) -> Rank {
+        Rank(0)
+    }
+
+    /// Rank of worker `i` (0-based).
+    pub fn worker(&self, i: usize) -> Rank {
+        debug_assert!(i < self.workers);
+        Rank(1 + i)
+    }
+
+    /// Rank of I/O server `j` (0-based).
+    pub fn io_server(&self, j: usize) -> Rank {
+        debug_assert!(j < self.io_servers);
+        Rank(1 + self.workers + j)
+    }
+
+    /// True if `r` is a worker rank.
+    pub fn is_worker(&self, r: Rank) -> bool {
+        r.0 >= 1 && r.0 <= self.workers
+    }
+
+    /// The worker index of a worker rank.
+    pub fn worker_index(&self, r: Rank) -> usize {
+        debug_assert!(self.is_worker(r));
+        r.0 - 1
+    }
+
+    /// Home worker of a distributed block (simple static placement).
+    pub fn home_of_distributed(&self, key: &BlockKey) -> Rank {
+        let slot = match self.placement {
+            Placement::Hash => key.placement_hash() % self.workers as u64,
+            Placement::RoundRobin => {
+                let mut sum: u64 = key.array.0 as u64;
+                for (d, &seg) in key.segs().iter().enumerate() {
+                    sum += (seg.max(0) as u64) << (2 * d);
+                }
+                sum % self.workers as u64
+            }
+        };
+        self.worker(slot as usize)
+    }
+
+    /// Home I/O server of a served block.
+    pub fn home_of_served(&self, key: &BlockKey) -> Rank {
+        debug_assert!(self.io_servers > 0, "served arrays need I/O servers");
+        self.io_server((key.placement_hash() % self.io_servers as u64) as usize)
+    }
+}
+
+/// The fully resolved data layout for one run.
+#[derive(Debug)]
+pub struct Layout {
+    /// The program.
+    pub program: Arc<Program>,
+    /// Resolved symbolic constants (indexed by `ConstId`).
+    pub consts: Vec<i64>,
+    /// Segment configuration.
+    pub segments: SegmentConfig,
+    /// Rank topology.
+    pub topology: Topology,
+    /// Per index: inclusive segment range (subindex ranges derived from the
+    /// parent's range × nsub).
+    index_ranges: Vec<(i64, i64)>,
+    /// Per index: the block extent its segments denote (seg size; for a
+    /// subindex, seg/nsub).
+    index_extents: Vec<usize>,
+}
+
+impl Layout {
+    /// Resolves a layout. Fails if constants are unbound, ranges invalid, or
+    /// a segment size is not divisible by `nsub` where subindices need it.
+    pub fn new(
+        program: Arc<Program>,
+        bindings: &ConstBindings,
+        segments: SegmentConfig,
+        topology: Topology,
+    ) -> Result<Self, RuntimeError> {
+        let consts = program.resolve_consts(bindings)?;
+        let n = program.indices.len();
+        let mut index_ranges = vec![(0i64, 0i64); n];
+        let mut index_extents = vec![0usize; n];
+
+        for (i, decl) in program.indices.iter().enumerate() {
+            match decl.kind {
+                IndexKind::Subindex { parent } => {
+                    let pdecl = &program.indices[parent.index()];
+                    let (plo, phi) = program.index_range(parent, &consts)?;
+                    let pseg = segments.seg_for(pdecl.kind);
+                    if segments.nsub == 0 || !pseg.is_multiple_of(segments.nsub) {
+                        return Err(RuntimeError::Resolve(format!(
+                            "segment size {pseg} of `{}` is not divisible by nsub {}",
+                            pdecl.name, segments.nsub
+                        )));
+                    }
+                    let nsub = segments.nsub as i64;
+                    index_ranges[i] = ((plo - 1) * nsub + 1, phi * nsub);
+                    index_extents[i] = pseg / segments.nsub;
+                }
+                kind => {
+                    index_ranges[i] = program.index_range(IndexId(i as u32), &consts)?;
+                    index_extents[i] = segments.seg_for(kind);
+                }
+            }
+        }
+        Ok(Layout {
+            program,
+            consts,
+            segments,
+            topology,
+            index_ranges,
+            index_extents,
+        })
+    }
+
+    /// Inclusive segment range of an index.
+    pub fn range(&self, idx: IndexId) -> (i64, i64) {
+        self.index_ranges[idx.index()]
+    }
+
+    /// Number of segments an index ranges over.
+    pub fn range_len(&self, idx: IndexId) -> u64 {
+        let (lo, hi) = self.range(idx);
+        (hi - lo + 1) as u64
+    }
+
+    /// The block extent (elements) one segment of this index denotes.
+    pub fn extent(&self, idx: IndexId) -> usize {
+        self.index_extents[idx.index()]
+    }
+
+    /// True if `idx` is a subindex; returns its parent.
+    pub fn parent_of(&self, idx: IndexId) -> Option<IndexId> {
+        match self.program.indices[idx.index()].kind {
+            IndexKind::Subindex { parent } => Some(parent),
+            _ => None,
+        }
+    }
+
+    /// The subsegment range (inclusive) within parent segment `pval`.
+    pub fn sub_range(&self, pval: i64) -> (i64, i64) {
+        let n = self.segments.nsub as i64;
+        ((pval - 1) * n + 1, pval * n)
+    }
+
+    /// Parent segment containing subsegment `sval`, plus the subsegment's
+    /// 0-based offset within it.
+    pub fn sub_parent_seg(&self, sval: i64) -> (i64, usize) {
+        let n = self.segments.nsub as i64;
+        let parent = (sval - 1) / n + 1;
+        let off = ((sval - 1) % n) as usize;
+        (parent, off)
+    }
+
+    /// Shape of the block addressed by `ref_indices` (the *reference*'s
+    /// indices, which may be subindices of the declared dims).
+    pub fn block_shape(&self, ref_indices: &[IndexId]) -> Shape {
+        let dims: Vec<usize> = ref_indices.iter().map(|&i| self.extent(i)).collect();
+        if dims.is_empty() {
+            Shape::scalar()
+        } else {
+            Shape::new(&dims)
+        }
+    }
+
+    /// Shape of a block of `array` as declared (all dims at declared extent).
+    pub fn declared_block_shape(&self, array: ArrayId) -> Shape {
+        let decl = &self.program.arrays[array.index()];
+        self.block_shape(&decl.dims)
+    }
+
+    /// Total number of blocks of `array` over its declared index ranges.
+    pub fn total_blocks(&self, array: ArrayId) -> u64 {
+        let decl = &self.program.arrays[array.index()];
+        decl.dims.iter().map(|&d| self.range_len(d)).product()
+    }
+
+    /// Bytes of one declared block of `array`.
+    pub fn block_bytes(&self, array: ArrayId) -> u64 {
+        self.declared_block_shape(array).len() as u64 * 8
+    }
+
+    /// Whether the ref addresses subblocks of `array`'s declared blocks
+    /// (i.e. some ref index is a subindex whose parent kind matches a
+    /// super-declared dim). Returns per-dimension flags.
+    pub fn sub_addressed_dims(&self, array: ArrayId, ref_indices: &[IndexId]) -> Vec<bool> {
+        let decl = &self.program.arrays[array.index()];
+        ref_indices
+            .iter()
+            .zip(&decl.dims)
+            .map(|(&r, &d)| {
+                self.parent_of(r).is_some() && self.parent_of(d).is_none()
+            })
+            .collect()
+    }
+
+    /// The key of the *storage* block containing the referenced (possibly
+    /// sub-addressed) block, plus the slice window within it when
+    /// sub-addressed. `seg_vals` are the current values of `ref_indices`.
+    ///
+    /// Returns `(key, Option<(offsets, extents)>)`.
+    #[allow(clippy::type_complexity)]
+    pub fn storage_target(
+        &self,
+        array: ArrayId,
+        ref_indices: &[IndexId],
+        seg_vals: &[i64],
+    ) -> (BlockKey, Option<(Vec<usize>, Vec<usize>)>) {
+        let subdims = self.sub_addressed_dims(array, ref_indices);
+        if !subdims.iter().any(|&b| b) {
+            return (BlockKey::new(array, seg_vals), None);
+        }
+        let decl = &self.program.arrays[array.index()];
+        let mut storage_segs = Vec::with_capacity(seg_vals.len());
+        let mut offsets = Vec::with_capacity(seg_vals.len());
+        let mut extents = Vec::with_capacity(seg_vals.len());
+        for (d, (&v, &is_sub)) in seg_vals.iter().zip(&subdims).enumerate() {
+            let decl_extent = self.extent(decl.dims[d]);
+            if is_sub {
+                let (pseg, off) = self.sub_parent_seg(v);
+                let sub_extent = self.extent(ref_indices[d]);
+                storage_segs.push(pseg);
+                offsets.push(off * sub_extent);
+                extents.push(sub_extent);
+            } else {
+                storage_segs.push(v);
+                offsets.push(0);
+                extents.push(decl_extent);
+            }
+        }
+        (
+            BlockKey::new(array, &storage_segs),
+            Some((offsets, extents)),
+        )
+    }
+
+    /// The array's declaration.
+    pub fn array(&self, id: ArrayId) -> &sia_bytecode::ArrayDecl {
+        &self.program.arrays[id.index()]
+    }
+
+    /// The array's kind.
+    pub fn array_kind(&self, id: ArrayId) -> ArrayKind {
+        self.program.arrays[id.index()].kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_bytecode::{ArrayDecl, IndexDecl, Value};
+
+    fn layout_with(segments: SegmentConfig) -> Layout {
+        // Indices: i (ao, 1..4), j (mo, 1..2), ii (sub of i).
+        let program = Program {
+            name: "t".into(),
+            indices: vec![
+                IndexDecl {
+                    name: "i".into(),
+                    kind: IndexKind::AoIndex,
+                    low: Value::Lit(1),
+                    high: Value::Lit(4),
+                },
+                IndexDecl {
+                    name: "j".into(),
+                    kind: IndexKind::MoIndex,
+                    low: Value::Lit(1),
+                    high: Value::Lit(2),
+                },
+                IndexDecl {
+                    name: "ii".into(),
+                    kind: IndexKind::Subindex { parent: IndexId(0) },
+                    low: Value::Lit(0),
+                    high: Value::Lit(0),
+                },
+            ],
+            arrays: vec![
+                ArrayDecl {
+                    name: "X".into(),
+                    kind: ArrayKind::Distributed,
+                    dims: vec![IndexId(0), IndexId(1)],
+                },
+                ArrayDecl {
+                    name: "Xii".into(),
+                    kind: ArrayKind::Temp,
+                    dims: vec![IndexId(2), IndexId(1)],
+                },
+            ],
+            ..Default::default()
+        };
+        Layout::new(
+            Arc::new(program),
+            &ConstBindings::new(),
+            segments,
+            Topology::new(3, 1),
+        )
+        .unwrap()
+    }
+
+    fn segs(ao: usize, mo: usize, nsub: usize) -> SegmentConfig {
+        SegmentConfig {
+            default: 4,
+            ao: Some(ao),
+            mo: Some(mo),
+            nsub,
+            ..SegmentConfig::default()
+        }
+    }
+
+    #[test]
+    fn ranges_and_extents() {
+        let l = layout_with(segs(16, 8, 4));
+        assert_eq!(l.range(IndexId(0)), (1, 4));
+        assert_eq!(l.range(IndexId(1)), (1, 2));
+        assert_eq!(l.extent(IndexId(0)), 16);
+        assert_eq!(l.extent(IndexId(1)), 8);
+        // Subindex: range expands by nsub, extent shrinks by nsub.
+        assert_eq!(l.range(IndexId(2)), (1, 16));
+        assert_eq!(l.extent(IndexId(2)), 4);
+    }
+
+    #[test]
+    fn shapes() {
+        let l = layout_with(segs(16, 8, 4));
+        assert_eq!(
+            l.declared_block_shape(ArrayId(0)).dims(),
+            &[16, 8]
+        );
+        assert_eq!(
+            l.declared_block_shape(ArrayId(1)).dims(),
+            &[4, 8]
+        );
+        assert_eq!(l.total_blocks(ArrayId(0)), 8);
+        assert_eq!(l.total_blocks(ArrayId(1)), 32);
+        assert_eq!(l.block_bytes(ArrayId(0)), 16 * 8 * 8);
+    }
+
+    #[test]
+    fn sub_parent_mapping() {
+        let l = layout_with(segs(16, 8, 4));
+        // Subsegments 1..=4 live in parent 1, 5..=8 in parent 2, ...
+        assert_eq!(l.sub_parent_seg(1), (1, 0));
+        assert_eq!(l.sub_parent_seg(4), (1, 3));
+        assert_eq!(l.sub_parent_seg(5), (2, 0));
+        assert_eq!(l.sub_range(2), (5, 8));
+    }
+
+    #[test]
+    fn storage_target_plain() {
+        let l = layout_with(segs(16, 8, 4));
+        let (key, slice) = l.storage_target(ArrayId(0), &[IndexId(0), IndexId(1)], &[3, 2]);
+        assert_eq!(key, BlockKey::new(ArrayId(0), &[3, 2]));
+        assert!(slice.is_none());
+    }
+
+    #[test]
+    fn storage_target_sub_addressed() {
+        let l = layout_with(segs(16, 8, 4));
+        // X(ii, j) with ii=6: parent seg 2, offset 1 within → elements 4..8.
+        let (key, slice) = l.storage_target(ArrayId(0), &[IndexId(2), IndexId(1)], &[6, 2]);
+        assert_eq!(key, BlockKey::new(ArrayId(0), &[2, 2]));
+        let (offs, exts) = slice.unwrap();
+        assert_eq!(offs, vec![4, 0]);
+        assert_eq!(exts, vec![4, 8]);
+    }
+
+    #[test]
+    fn indivisible_nsub_rejected() {
+        let program = Program {
+            indices: vec![
+                IndexDecl {
+                    name: "i".into(),
+                    kind: IndexKind::AoIndex,
+                    low: Value::Lit(1),
+                    high: Value::Lit(2),
+                },
+                IndexDecl {
+                    name: "ii".into(),
+                    kind: IndexKind::Subindex { parent: IndexId(0) },
+                    low: Value::Lit(0),
+                    high: Value::Lit(0),
+                },
+            ],
+            ..Default::default()
+        };
+        let err = Layout::new(
+            Arc::new(program),
+            &ConstBindings::new(),
+            SegmentConfig {
+                default: 10,
+                nsub: 3,
+                ..SegmentConfig::default()
+            },
+            Topology::new(1, 0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::Resolve(_)));
+    }
+
+    #[test]
+    fn topology_ranks() {
+        let t = Topology::new(3, 2);
+        assert_eq!(t.world_size(), 6);
+        assert_eq!(t.master(), Rank(0));
+        assert_eq!(t.worker(0), Rank(1));
+        assert_eq!(t.worker(2), Rank(3));
+        assert_eq!(t.io_server(0), Rank(4));
+        assert_eq!(t.io_server(1), Rank(5));
+        assert!(t.is_worker(Rank(1)));
+        assert!(!t.is_worker(Rank(0)));
+        assert!(!t.is_worker(Rank(4)));
+        assert_eq!(t.worker_index(Rank(3)), 2);
+    }
+
+    #[test]
+    fn round_robin_homes_stable_and_in_range() {
+        let t = Topology {
+            workers: 5,
+            io_servers: 1,
+            placement: Placement::RoundRobin,
+        };
+        for i in 0..20 {
+            let k = BlockKey::new(ArrayId(1), &[i, i + 2]);
+            let h = t.home_of_distributed(&k);
+            assert!(t.is_worker(h));
+            assert_eq!(h, t.home_of_distributed(&k));
+        }
+        // Adjacent blocks land on different (neighbouring) workers.
+        let h1 = t.home_of_distributed(&BlockKey::new(ArrayId(0), &[1, 1]));
+        let h2 = t.home_of_distributed(&BlockKey::new(ArrayId(0), &[2, 1]));
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn homes_are_stable_and_in_range() {
+        let t = Topology::new(3, 2);
+        for i in 0..20 {
+            let k = BlockKey::new(ArrayId(0), &[i, i + 1]);
+            let h = t.home_of_distributed(&k);
+            assert!(t.is_worker(h));
+            assert_eq!(h, t.home_of_distributed(&k));
+            let s = t.home_of_served(&k);
+            assert!(s.0 >= 4 && s.0 <= 5);
+        }
+    }
+}

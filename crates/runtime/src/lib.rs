@@ -1,0 +1,363 @@
+//! # sia-runtime — the SIP (Super Instruction Processor)
+//!
+//! A parallel virtual machine executing SIA bytecode, reproducing the runtime
+//! of *A Block-Oriented Language and Runtime System for Tensor Algebra with
+//! Very Large Arrays* (SC 2010):
+//!
+//! * a **master** that dry-runs the program for memory feasibility, doles out
+//!   pardo chunks with guided scheduling, and coordinates barriers,
+//!   collectives, and checkpoints;
+//! * **workers** that interpret the bytecode SPMD-style with a block pool,
+//!   an LRU block cache, asynchronous get/put with prefetch look-ahead, and
+//!   per-instruction profiling;
+//! * **I/O servers** backing `served` arrays on disk with write-behind LRU
+//!   caches.
+//!
+//! The MPI layer of the original is replaced by [`sia_fabric`] (ranks are
+//! threads); everything above it — the protocol, the overlap machinery, the
+//! scheduling policies — follows the paper.
+//!
+//! ```
+//! use sia_runtime::{Sip, SipConfig};
+//! use sia_bytecode::ConstBindings;
+//!
+//! let src = r#"
+//! sial axpy
+//! aoindex i = 1, n
+//! distributed X(i)
+//! temp t(i)
+//! scalar total
+//! pardo i
+//!   t(i) = 2.5
+//!   put X(i) = t(i)
+//! endpardo i
+//! sip_barrier
+//! pardo i
+//!   get X(i)
+//!   total += X(i) * X(i)
+//! endpardo i
+//! sip_barrier
+//! execute sip_allreduce total
+//! endsial
+//! "#;
+//! let program = sial_frontend::compile(src).unwrap();
+//! let mut bindings = ConstBindings::new();
+//! bindings.insert("n".into(), 4);
+//! let mut config = SipConfig::default();
+//! config.workers = 2;
+//! let out = Sip::new(config).run(program, &bindings).unwrap();
+//! // 4 segments × 8 elements × 2.5² each:
+//! assert!((out.scalars["total"] - 4.0 * 8.0 * 6.25).abs() < 1e-9);
+//! ```
+
+pub mod cache;
+pub mod dryrun;
+pub mod error;
+pub mod interp;
+pub mod ioserver;
+pub mod layout;
+pub mod master;
+pub mod msg;
+pub mod profile;
+pub mod registry;
+pub mod scheduler;
+pub mod trace;
+pub mod worker;
+
+pub use dryrun::MemoryEstimate;
+pub use error::RuntimeError;
+pub use layout::{Layout, Placement, SegmentConfig, SipConfig, Topology};
+pub use msg::{BlockKey, SipMsg};
+pub use profile::ProfileReport;
+pub use registry::{SuperArg, SuperEnv, SuperRegistry};
+
+use sia_blocks::Block;
+use sia_bytecode::{ConstBindings, Program};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Fabric traffic totals for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSummary {
+    /// Messages sent across all ranks.
+    pub messages: u64,
+    /// Bytes sent across all ranks.
+    pub bytes: u64,
+}
+
+/// Per-rank traffic (index = rank: 0 master, then workers, then I/O servers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RankTraffic {
+    /// Messages sent by this rank.
+    pub sent_messages: u64,
+    /// Bytes sent by this rank.
+    pub sent_bytes: u64,
+    /// Messages received by this rank.
+    pub received_messages: u64,
+    /// Bytes received by this rank.
+    pub received_bytes: u64,
+}
+
+/// Everything a SIP run returns.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Final scalar values (worker 0's view; collectives make these global).
+    pub scalars: BTreeMap<String, f64>,
+    /// Distributed arrays gathered to the master (only when
+    /// `collect_distributed` is set): array name → segment key → block.
+    pub collected: BTreeMap<String, BTreeMap<Vec<i64>, Block>>,
+    /// Merged per-instruction profile.
+    pub profile: ProfileReport,
+    /// Diagnostics from all ranks (barrier misuse detections, …).
+    pub warnings: Vec<String>,
+    /// The dry-run estimate computed before execution.
+    pub dry_run: MemoryEstimate,
+    /// Fabric traffic totals.
+    pub traffic: TrafficSummary,
+    /// Per-rank traffic (rank 0 = master, then workers, then I/O servers) —
+    /// the load-balance view the placement ablation reads.
+    pub traffic_per_rank: Vec<RankTraffic>,
+}
+
+/// The SIP entry point: configure, register super instructions, run.
+pub struct Sip {
+    config: SipConfig,
+    registry: SuperRegistry,
+}
+
+impl Sip {
+    /// Creates a SIP with the given configuration and an empty registry.
+    pub fn new(config: SipConfig) -> Self {
+        Sip {
+            config,
+            registry: SuperRegistry::new(),
+        }
+    }
+
+    /// Mutable access to the super-instruction registry.
+    pub fn registry_mut(&mut self) -> &mut SuperRegistry {
+        &mut self.registry
+    }
+
+    /// Replaces the registry wholesale.
+    pub fn with_registry(mut self, registry: SuperRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SipConfig {
+        &self.config
+    }
+
+    /// Runs a program to completion.
+    ///
+    /// Performs the dry run first; if a `memory_budget` is configured and the
+    /// estimate exceeds it, returns [`RuntimeError::Infeasible`] *without*
+    /// launching the run (reporting a sufficient worker count, as the paper
+    /// prescribes).
+    pub fn run(
+        &self,
+        program: Program,
+        bindings: &ConstBindings,
+    ) -> Result<RunOutput, RuntimeError> {
+        let topology = Topology {
+            workers: self.config.workers,
+            io_servers: self.config.io_servers,
+            placement: self.config.placement,
+        };
+        if topology.workers == 0 {
+            return Err(RuntimeError::Resolve("need at least one worker".into()));
+        }
+        let program = Arc::new(program);
+        let layout = Arc::new(Layout::new(
+            Arc::clone(&program),
+            bindings,
+            self.config.segments,
+            topology,
+        )?);
+
+        // ---- dry run -------------------------------------------------------
+        let estimate = dryrun::estimate(&layout, &self.config);
+        if let Some(budget) = self.config.memory_budget {
+            if !estimate.feasible(budget) {
+                let sufficient =
+                    dryrun::sufficient_workers(&layout, &self.config, budget).unwrap_or(usize::MAX);
+                return Err(RuntimeError::Infeasible {
+                    needed_per_worker: estimate.per_worker_bytes,
+                    budget,
+                    sufficient_workers: sufficient,
+                });
+            }
+        }
+
+        // ---- run directory ---------------------------------------------------
+        let (run_dir, owned_dir) = match &self.config.run_dir {
+            Some(d) => (d.clone(), false),
+            None => {
+                let d = std::env::temp_dir().join(format!(
+                    "sia-run-{}-{}",
+                    std::process::id(),
+                    std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_nanos())
+                        .unwrap_or(0)
+                ));
+                (d, true)
+            }
+        };
+        std::fs::create_dir_all(&run_dir)
+            .map_err(|e| RuntimeError::ServedIo(format!("create run dir: {e}")))?;
+
+        // ---- spawn the virtual machine -----------------------------------------
+        let (mut endpoints, stats) = sia_fabric::build::<SipMsg>(topology.world_size());
+        let mut io_eps: Vec<_> = endpoints.split_off(1 + topology.workers);
+        let worker_eps: Vec<_> = endpoints.split_off(1);
+        let master_ep = endpoints.pop().expect("master endpoint");
+
+        let chunk_policy = self.config.chunk_policy.unwrap_or(
+            scheduler::ChunkPolicy::Guided {
+                factor: self.config.chunk_factor,
+            },
+        );
+        let master = master::Master::new(
+            Arc::clone(&layout),
+            master_ep,
+            chunk_policy,
+            run_dir.clone(),
+        );
+
+        let result = std::thread::scope(|scope| {
+            // Workers.
+            for ep in worker_eps {
+                let layout = Arc::clone(&layout);
+                let config = self.config.clone();
+                let registry = self.registry.clone();
+                let collect = self.config.collect_distributed;
+                scope.spawn(move || {
+                    let mut w = worker::Worker::new(layout, config, ep, registry);
+                    run_worker(&mut w, collect);
+                });
+            }
+            // I/O servers.
+            let served_dir = run_dir.join("served");
+            for ep in io_eps.drain(..) {
+                let layout = Arc::clone(&layout);
+                let dir = served_dir.clone();
+                let cap = self.config.server_cache_blocks;
+                scope.spawn(move || {
+                    match ioserver::IoServer::new(layout, ep, dir, cap) {
+                        Ok(mut server) => {
+                            let _ = server.run();
+                        }
+                        Err(_) => { /* workers will fail on prepare/request */ }
+                    }
+                });
+            }
+            // The master runs on the calling thread.
+            master.run()
+        });
+
+        if owned_dir {
+            let _ = std::fs::remove_dir_all(&run_dir);
+        }
+
+        let master_out = result?;
+
+        // ---- assemble output -----------------------------------------------------
+        let mut scalars = BTreeMap::new();
+        if let Some(first) = master_out.scalars.first() {
+            for (decl, value) in layout.program.scalars.iter().zip(first) {
+                scalars.insert(decl.name.clone(), *value);
+            }
+        }
+        let mut collected: BTreeMap<String, BTreeMap<Vec<i64>, Block>> = BTreeMap::new();
+        for (key, block) in master_out.collected {
+            let name = layout.program.arrays[key.array.index()].name.clone();
+            collected
+                .entry(name)
+                .or_default()
+                .insert(key.segs().iter().map(|&s| s as i64).collect(), block);
+        }
+        let profile = ProfileReport::merge(&layout.program, &master_out.profiles);
+        let traffic_per_rank: Vec<RankTraffic> = (0..topology.world_size())
+            .map(|r| {
+                let c = stats.counters_of(sia_fabric::Rank(r));
+                RankTraffic {
+                    sent_messages: c.messages_sent(),
+                    sent_bytes: c.bytes_sent(),
+                    received_messages: c.messages_received(),
+                    received_bytes: c.bytes_received(),
+                }
+            })
+            .collect();
+        Ok(RunOutput {
+            scalars,
+            collected,
+            profile,
+            warnings: master_out.warnings,
+            dry_run: estimate,
+            traffic: TrafficSummary {
+                messages: stats.total_messages_sent(),
+                bytes: stats.total_bytes_sent(),
+            },
+            traffic_per_rank,
+        })
+    }
+
+    /// Runs the dry-run analysis only (no threads spawned).
+    pub fn dry_run(
+        &self,
+        program: Program,
+        bindings: &ConstBindings,
+    ) -> Result<MemoryEstimate, RuntimeError> {
+        let topology = Topology {
+            workers: self.config.workers,
+            io_servers: self.config.io_servers,
+            placement: self.config.placement,
+        };
+        let layout = Layout::new(
+            Arc::new(program),
+            bindings,
+            self.config.segments,
+            topology,
+        )?;
+        Ok(dryrun::estimate(&layout, &self.config))
+    }
+}
+
+/// Convenience: compile-free run directory default used by examples.
+pub fn default_run_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sia-{tag}-{}", std::process::id()))
+}
+
+fn run_worker(w: &mut worker::Worker, collect: bool) {
+    let master = w.layout.topology.master();
+    match w.execute_program() {
+        Ok(()) => {
+            let blocks: Vec<(BlockKey, Block)> = if collect {
+                w.dist_store.drain().collect()
+            } else {
+                Vec::new()
+            };
+            let msg = SipMsg::WorkerDone {
+                scalars: w.scalars.clone(),
+                blocks,
+                profile: std::mem::take(&mut w.profile),
+                warnings: std::mem::take(&mut w.warnings),
+            };
+            let _ = w.endpoint.send(master, msg);
+            w.service_until_shutdown();
+        }
+        Err(e) => {
+            let _ = w.endpoint.send(
+                master,
+                SipMsg::WorkerFailed {
+                    error: e.to_string(),
+                },
+            );
+            w.service_until_shutdown();
+        }
+    }
+}

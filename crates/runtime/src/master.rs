@@ -1,0 +1,474 @@
+//! The SIP master: setup, guided chunk scheduling, barrier and collective
+//! coordination, and checkpoint files.
+//!
+//! "The master is responsible for allocating work to the workers … the set of
+//! iterations … is divided into 'chunks' and doled out to the workers"
+//! (§V-B). The master also arbitrates both barrier kinds, folds scalar
+//! all-reduces, and owns the checkpoint facility built on
+//! `blocks_to_list`/`list_to_blocks`.
+
+use crate::error::RuntimeError;
+use crate::layout::Layout;
+use crate::msg::{BarrierKind, BlockKey, SipMsg};
+use crate::profile::WorkerProfile;
+use crate::scheduler::{ChunkPolicy, GuidedScheduler, IterationSpace};
+use sia_blocks::{Block, Shape};
+use sia_bytecode::{ArrayId, Instruction, PutMode};
+use sia_fabric::{Endpoint, Rank};
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct PardoSched {
+    space: IterationSpace,
+    sched: GuidedScheduler,
+    /// Workers told "no more chunks" (scheduler dropped when all have been).
+    drained_notices: usize,
+}
+
+#[derive(Default)]
+struct CkptSave {
+    blocks: Vec<(BlockKey, Block)>,
+    done: usize,
+}
+
+/// Everything the master knows at the end of a run.
+pub struct MasterOutput {
+    /// Final scalars per worker (index = worker index).
+    pub scalars: Vec<Vec<f64>>,
+    /// Collected distributed blocks (when collection was enabled).
+    pub collected: HashMap<BlockKey, Block>,
+    /// Per-worker profiles.
+    pub profiles: Vec<WorkerProfile>,
+    /// Warnings raised across all ranks.
+    pub warnings: Vec<String>,
+}
+
+/// The master rank's controller.
+pub struct Master {
+    layout: Arc<Layout>,
+    endpoint: Endpoint<SipMsg>,
+    chunk_policy: ChunkPolicy,
+    run_dir: PathBuf,
+    schedulers: HashMap<(u32, u64), PardoSched>,
+    barrier_waiting: HashMap<u8, Vec<Rank>>,
+    reduce_waiting: Vec<Rank>,
+    reduce_sum: f64,
+    ckpt_saves: HashMap<u32, CkptSave>,
+    ckpt_restore_ready: HashMap<u32, usize>,
+    done: Vec<Option<(Vec<f64>, WorkerProfile)>>,
+    collected: HashMap<BlockKey, Block>,
+    warnings: Vec<String>,
+    done_count: usize,
+}
+
+impl Master {
+    /// Creates the master controller.
+    pub fn new(
+        layout: Arc<Layout>,
+        endpoint: Endpoint<SipMsg>,
+        chunk_policy: ChunkPolicy,
+        run_dir: PathBuf,
+    ) -> Self {
+        let w = layout.topology.workers;
+        Master {
+            layout,
+            endpoint,
+            chunk_policy,
+            run_dir,
+            schedulers: HashMap::new(),
+            barrier_waiting: HashMap::new(),
+            reduce_waiting: Vec::new(),
+            reduce_sum: 0.0,
+            ckpt_saves: HashMap::new(),
+            ckpt_restore_ready: HashMap::new(),
+            done: (0..w).map(|_| None).collect(),
+            collected: HashMap::new(),
+            warnings: Vec::new(),
+            done_count: 0,
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.layout.topology.workers
+    }
+
+    fn broadcast_workers(&self, make: impl Fn() -> SipMsg) {
+        for i in 0..self.workers() {
+            let _ = self
+                .endpoint
+                .send(self.layout.topology.worker(i), make());
+        }
+    }
+
+    /// Lazily builds the filtered iteration space for a pardo. The master
+    /// evaluates where clauses against the *initial* scalar table (scalars
+    /// are worker-local; using them in where clauses is static by design).
+    fn scheduler_for(
+        &mut self,
+        pardo_pc: u32,
+        epoch: u64,
+    ) -> Result<&mut PardoSched, RuntimeError> {
+        if !self.schedulers.contains_key(&(pardo_pc, epoch)) {
+            let Some(Instruction::PardoStart {
+                indices,
+                where_clauses,
+                ..
+            }) = self.layout.program.code.get(pardo_pc as usize)
+            else {
+                return Err(RuntimeError::BadProgram(format!(
+                    "chunk request for pc {pardo_pc} which is not a pardo"
+                )));
+            };
+            let ranges: Vec<(i64, i64)> =
+                indices.iter().map(|&i| self.layout.range(i)).collect();
+            let scalars: Vec<f64> = self.layout.program.scalars.iter().map(|s| s.init).collect();
+            let consts = self.layout.consts.clone();
+            let space = IterationSpace::enumerate(
+                indices,
+                &ranges,
+                where_clauses,
+                &|i| scalars[i as usize],
+                &|i| consts[i as usize],
+            );
+            let sched =
+                GuidedScheduler::with_policy(space.len() as u64, self.workers(), self.chunk_policy);
+            self.schedulers.insert(
+                (pardo_pc, epoch),
+                PardoSched {
+                    space,
+                    sched,
+                    drained_notices: 0,
+                },
+            );
+        }
+        Ok(self.schedulers.get_mut(&(pardo_pc, epoch)).unwrap())
+    }
+
+    fn handle_chunk_request(
+        &mut self,
+        src: Rank,
+        pardo_pc: u32,
+        epoch: u64,
+    ) -> Result<(), RuntimeError> {
+        let workers = self.workers();
+        let sched = self.scheduler_for(pardo_pc, epoch)?;
+        match sched.sched.next_chunk() {
+            Some(range) => {
+                let iters: Vec<Vec<i64>> = range
+                    .map(|i| sched.space.iters[i as usize].clone())
+                    .collect();
+                let _ = self.endpoint.send(
+                    src,
+                    SipMsg::ChunkAssign {
+                        pardo_pc,
+                        epoch,
+                        iters,
+                    },
+                );
+            }
+            None => {
+                sched.drained_notices += 1;
+                if sched.drained_notices >= workers {
+                    // Every worker has moved past this encounter.
+                    self.schedulers.remove(&(pardo_pc, epoch));
+                }
+                let _ = self
+                    .endpoint
+                    .send(src, SipMsg::NoMoreChunks { pardo_pc, epoch });
+            }
+        }
+        Ok(())
+    }
+
+    fn barrier_slot(kind: BarrierKind) -> u8 {
+        match kind {
+            BarrierKind::Sip => 0,
+            BarrierKind::Server => 1,
+        }
+    }
+
+    fn handle_barrier(&mut self, src: Rank, kind: BarrierKind) {
+        let slot = Self::barrier_slot(kind);
+        let w = self.workers();
+        let waiting = self.barrier_waiting.entry(slot).or_default();
+        waiting.push(src);
+        if waiting.len() == w {
+            waiting.clear();
+            self.broadcast_workers(|| SipMsg::BarrierRelease { kind });
+        }
+    }
+
+    fn handle_reduce(&mut self, src: Rank, value: f64) {
+        self.reduce_sum += value;
+        self.reduce_waiting.push(src);
+        if self.reduce_waiting.len() == self.workers() {
+            let total = self.reduce_sum;
+            self.reduce_waiting.clear();
+            self.reduce_sum = 0.0;
+            self.broadcast_workers(|| SipMsg::ReduceResult { value: total });
+        }
+    }
+
+    fn ckpt_path(&self, label: u32) -> PathBuf {
+        let name = self
+            .layout
+            .program
+            .strings
+            .get(label as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("label{label}"));
+        // Sanitize: labels are user strings.
+        let safe: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        self.run_dir.join(format!("ckpt_{safe}.sialck"))
+    }
+
+    fn handle_ckpt_done(&mut self, label: u32, restore: bool) -> Result<(), RuntimeError> {
+        if restore {
+            let ready = self.ckpt_restore_ready.entry(label).or_insert(0);
+            *ready += 1;
+            if *ready == self.workers() {
+                self.ckpt_restore_ready.remove(&label);
+                let blocks = read_checkpoint(&self.ckpt_path(label))?;
+                for (key, data) in blocks {
+                    let home = self.layout.topology.home_of_distributed(&key);
+                    let _ = self.endpoint.send(
+                        home,
+                        SipMsg::PutBlock {
+                            key,
+                            data,
+                            mode: PutMode::Replace,
+                        },
+                    );
+                }
+                // FIFO per pair: each worker sees its restored blocks before
+                // the release.
+                self.broadcast_workers(|| SipMsg::CkptRelease { label });
+            }
+        } else {
+            let save = self.ckpt_saves.entry(label).or_default();
+            save.done += 1;
+            if save.done == self.workers() {
+                let save = self.ckpt_saves.remove(&label).unwrap();
+                write_checkpoint(&self.ckpt_path(label), &save.blocks)?;
+                self.broadcast_workers(|| SipMsg::CkptRelease { label });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the master loop until all workers are done (or one failed).
+    pub fn run(mut self) -> Result<MasterOutput, RuntimeError> {
+        loop {
+            let Some(env) = self.endpoint.recv_timeout(Duration::from_millis(5)) else {
+                if self.endpoint.shutdown_raised() {
+                    return Err(RuntimeError::PeerGone("shutdown during run".into()));
+                }
+                continue;
+            };
+            let src = env.src;
+            match env.msg {
+                SipMsg::ChunkRequest { pardo_pc, epoch } => {
+                    self.handle_chunk_request(src, pardo_pc, epoch)?;
+                }
+                SipMsg::BarrierEnter { kind } => self.handle_barrier(src, kind),
+                SipMsg::ReduceContrib { value } => self.handle_reduce(src, value),
+                SipMsg::CkptBlock { label, key, data } => {
+                    self.ckpt_saves
+                        .entry(label)
+                        .or_default()
+                        .blocks
+                        .push((key, data));
+                }
+                SipMsg::CkptDone { label, restore } => {
+                    self.handle_ckpt_done(label, restore)?;
+                }
+                SipMsg::PutAck { .. } => {} // from checkpoint restores
+                SipMsg::WorkerDone {
+                    scalars,
+                    blocks,
+                    profile,
+                    warnings,
+                } => {
+                    let w = self.layout.topology.worker_index(src);
+                    if self.done[w].is_none() {
+                        self.done_count += 1;
+                    }
+                    self.done[w] = Some((scalars, profile));
+                    self.collected.extend(blocks);
+                    self.warnings.extend(warnings);
+                    if self.done_count == self.workers() {
+                        // Everyone finished: release the service loops.
+                        self.broadcast_workers(|| SipMsg::Shutdown);
+                        for j in 0..self.layout.topology.io_servers {
+                            let _ = self
+                                .endpoint
+                                .send(self.layout.topology.io_server(j), SipMsg::Shutdown);
+                        }
+                        let mut scalars_out = Vec::with_capacity(self.workers());
+                        let mut profiles = Vec::with_capacity(self.workers());
+                        for slot in self.done.drain(..) {
+                            let (s, p) = slot.expect("all workers done");
+                            scalars_out.push(s);
+                            profiles.push(p);
+                        }
+                        return Ok(MasterOutput {
+                            scalars: scalars_out,
+                            collected: self.collected,
+                            profiles,
+                            warnings: self.warnings,
+                        });
+                    }
+                }
+                SipMsg::WorkerFailed { error } => {
+                    self.endpoint.raise_shutdown();
+                    self.broadcast_workers(|| SipMsg::Shutdown);
+                    for j in 0..self.layout.topology.io_servers {
+                        let _ = self
+                            .endpoint
+                            .send(self.layout.topology.io_server(j), SipMsg::Shutdown);
+                    }
+                    return Err(RuntimeError::Internal(format!(
+                        "worker {src} failed: {error}"
+                    )));
+                }
+                other => {
+                    self.warnings
+                        .push(format!("master ignored unexpected message: {other:?}"));
+                }
+            }
+        }
+    }
+}
+
+// ---- checkpoint files -----------------------------------------------------------
+
+/// Writes a checkpoint: magic, block count, then per block the key and data.
+pub fn write_checkpoint(path: &Path, blocks: &[(BlockKey, Block)]) -> Result<(), RuntimeError> {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(b"SIACKPT1");
+    buf.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+    for (key, block) in blocks {
+        buf.extend_from_slice(&key.array.0.to_le_bytes());
+        buf.push(key.rank);
+        for &s in key.segs() {
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        let dims = block.shape().dims();
+        buf.push(dims.len() as u8);
+        for &d in dims {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        for v in block.data() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    fs::File::create(&tmp)
+        .and_then(|mut f| f.write_all(&buf))
+        .and_then(|_| fs::rename(&tmp, path))
+        .map_err(|e| RuntimeError::Checkpoint(format!("write {}: {e}", path.display())))
+}
+
+/// Reads a checkpoint written by [`write_checkpoint`].
+pub fn read_checkpoint(path: &Path) -> Result<Vec<(BlockKey, Block)>, RuntimeError> {
+    let mut raw = Vec::new();
+    fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut raw))
+        .map_err(|e| RuntimeError::Checkpoint(format!("read {}: {e}", path.display())))?;
+    let fail = |m: &str| RuntimeError::Checkpoint(format!("{m} in {}", path.display()));
+    if raw.len() < 16 || &raw[..8] != b"SIACKPT1" {
+        return Err(fail("bad header"));
+    }
+    let count = u64::from_le_bytes(raw[8..16].try_into().unwrap()) as usize;
+    let mut off = 16;
+    let mut take = |n: usize| -> Result<std::ops::Range<usize>, RuntimeError> {
+        if off + n > raw.len() {
+            return Err(RuntimeError::Checkpoint("truncated checkpoint".into()));
+        }
+        let r = off..off + n;
+        off += n;
+        Ok(r)
+    };
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let array = u32::from_le_bytes(raw[take(4)?].try_into().unwrap());
+        let rank = raw[take(1)?][0] as usize;
+        let mut segs = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            segs.push(i32::from_le_bytes(raw[take(4)?].try_into().unwrap()) as i64);
+        }
+        let drank = raw[take(1)?][0] as usize;
+        let mut dims = Vec::with_capacity(drank);
+        for _ in 0..drank {
+            dims.push(u32::from_le_bytes(raw[take(4)?].try_into().unwrap()) as usize);
+        }
+        let shape = if dims.is_empty() {
+            Shape::scalar()
+        } else {
+            Shape::new(&dims)
+        };
+        let mut data = Vec::with_capacity(shape.len());
+        for _ in 0..shape.len() {
+            data.push(f64::from_le_bytes(raw[take(8)?].try_into().unwrap()));
+        }
+        out.push((
+            BlockKey::new(ArrayId(array), &segs),
+            Block::from_data(shape, data),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "sia-ckpt-test-{tag}-{}.sialck",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let path = tmpfile("rt");
+        let blocks = vec![
+            (
+                BlockKey::new(ArrayId(2), &[1, 2, 3]),
+                Block::from_fn(Shape::new(&[2, 2]), |i| (i[0] + i[1]) as f64),
+            ),
+            (
+                BlockKey::new(ArrayId(2), &[4, 5, 6]),
+                Block::filled(Shape::new(&[3]), -1.5),
+            ),
+        ];
+        write_checkpoint(&path, &blocks).unwrap();
+        let back = read_checkpoint(&path).unwrap();
+        assert_eq!(blocks, back);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_checkpoint_roundtrip() {
+        let path = tmpfile("empty");
+        write_checkpoint(&path, &[]).unwrap();
+        assert!(read_checkpoint(&path).unwrap().is_empty());
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_rejected() {
+        let path = tmpfile("bad");
+        fs::write(&path, b"NOTACKPT").unwrap();
+        assert!(read_checkpoint(&path).is_err());
+        let _ = fs::remove_file(path);
+    }
+}

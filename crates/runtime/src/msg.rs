@@ -1,0 +1,296 @@
+//! The SIP wire protocol: messages exchanged between master, workers, and
+//! I/O servers over the fabric.
+
+use sia_blocks::Block;
+use sia_bytecode::{ArrayId, PutMode};
+use sia_fabric::Message;
+
+/// Identifies one block of one array by its segment numbers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockKey {
+    /// The array.
+    pub array: ArrayId,
+    /// Segment number per dimension (1-based), padded with 0.
+    pub segs: [i32; 8],
+    /// Number of meaningful entries in `segs`.
+    pub rank: u8,
+}
+
+impl BlockKey {
+    /// Builds a key from a slice of segment numbers.
+    pub fn new(array: ArrayId, segs: &[i64]) -> Self {
+        assert!(segs.len() <= 8, "rank too large");
+        let mut s = [0i32; 8];
+        for (i, &v) in segs.iter().enumerate() {
+            s[i] = v as i32;
+        }
+        BlockKey {
+            array,
+            segs: s,
+            rank: segs.len() as u8,
+        }
+    }
+
+    /// The meaningful segment numbers.
+    pub fn segs(&self) -> &[i32] {
+        &self.segs[..self.rank as usize]
+    }
+
+    /// A stable small hash used for home placement (the "simple, static
+    /// strategy" of §V-B). FNV-1a over array id and segments.
+    pub fn placement_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        mix(self.array.0 as u64);
+        for &s in self.segs() {
+            mix(s as u64);
+        }
+        h
+    }
+}
+
+impl std::fmt::Debug for BlockKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{}{:?}", self.array.0, self.segs())
+    }
+}
+
+/// Which barrier a coordination message refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// `sip_barrier` — distributed arrays.
+    Sip,
+    /// `server_barrier` — served arrays.
+    Server,
+}
+
+/// One SIP protocol message.
+#[derive(Debug)]
+pub enum SipMsg {
+    // ---- scheduling (worker <-> master) ------------------------------------
+    /// Worker asks for a chunk of pardo iterations.
+    ChunkRequest {
+        /// Pc of the `PardoStart`.
+        pardo_pc: u32,
+        /// Which encounter of this pardo (a pardo inside a `do` loop runs
+        /// once per outer iteration; every encounter gets a fresh iteration
+        /// space).
+        epoch: u64,
+    },
+    /// Master assigns a chunk of iterations (index values per iteration).
+    ChunkAssign {
+        /// Pc of the `PardoStart`.
+        pardo_pc: u32,
+        /// The encounter this chunk belongs to.
+        epoch: u64,
+        /// Each iteration's value per pardo index.
+        iters: Vec<Vec<i64>>,
+    },
+    /// Master: the pardo's iteration space is exhausted.
+    NoMoreChunks {
+        /// Pc of the `PardoStart`.
+        pardo_pc: u32,
+        /// The encounter that is exhausted.
+        epoch: u64,
+    },
+
+    // ---- block traffic (worker <-> worker / io server) ----------------------
+    /// Fetch a distributed block from its home.
+    GetBlock {
+        /// The block wanted.
+        key: BlockKey,
+    },
+    /// A block in flight (reply to `GetBlock`/`RequestBlock`).
+    BlockData {
+        /// The block's identity.
+        key: BlockKey,
+        /// Its contents.
+        data: Block,
+    },
+    /// Store (or accumulate into) a distributed block at its home.
+    PutBlock {
+        /// Destination block.
+        key: BlockKey,
+        /// Payload.
+        data: Block,
+        /// Replace or accumulate.
+        mode: PutMode,
+    },
+    /// Home acknowledges a `PutBlock` (workers drain acks before barriers).
+    PutAck {
+        /// The block acknowledged.
+        key: BlockKey,
+    },
+    /// Fetch a served block from its I/O server.
+    RequestBlock {
+        /// The block wanted.
+        key: BlockKey,
+    },
+    /// Store (or accumulate into) a served block at its I/O server.
+    PrepareBlock {
+        /// Destination block.
+        key: BlockKey,
+        /// Payload.
+        data: Block,
+        /// Replace or accumulate.
+        mode: PutMode,
+    },
+    /// I/O server acknowledges a `PrepareBlock`.
+    PrepareAck {
+        /// The block acknowledged.
+        key: BlockKey,
+    },
+    /// Delete all blocks of an array (distributed at homes, served at I/O
+    /// servers).
+    DeleteArray {
+        /// The array dropped.
+        array: ArrayId,
+    },
+
+    // ---- barriers -----------------------------------------------------------
+    /// Worker entered a barrier.
+    BarrierEnter {
+        /// Which barrier.
+        kind: BarrierKind,
+    },
+    /// Master releases a barrier.
+    BarrierRelease {
+        /// Which barrier.
+        kind: BarrierKind,
+    },
+
+    // ---- collectives ----------------------------------------------------------
+    /// Worker contributes to a scalar all-reduce (`execute sip_allreduce s`).
+    ReduceContrib {
+        /// Contribution.
+        value: f64,
+    },
+    /// Master returns the reduced value.
+    ReduceResult {
+        /// The global sum.
+        value: f64,
+    },
+
+    // ---- checkpointing ----------------------------------------------------------
+    /// Worker ships one authoritative block for `blocks_to_list`.
+    CkptBlock {
+        /// Checkpoint label id (program string table).
+        label: u32,
+        /// The block's identity.
+        key: BlockKey,
+        /// Its contents.
+        data: Block,
+    },
+    /// Worker finished shipping blocks for a checkpoint (or is ready to
+    /// receive a restore).
+    CkptDone {
+        /// Checkpoint label id.
+        label: u32,
+        /// True for `list_to_blocks` (restore), false for `blocks_to_list`.
+        restore: bool,
+    },
+    /// Master: checkpoint/restore completed; continue.
+    CkptRelease {
+        /// Checkpoint label id.
+        label: u32,
+    },
+
+    // ---- lifecycle ------------------------------------------------------------
+    /// Worker finished the program (carries its final scalars and, when
+    /// collection is on, its authoritative distributed blocks).
+    WorkerDone {
+        /// Final scalar values.
+        scalars: Vec<f64>,
+        /// Collected blocks (empty unless `collect_distributed`).
+        blocks: Vec<(BlockKey, Block)>,
+        /// Serialized per-worker profile.
+        profile: crate::profile::WorkerProfile,
+        /// Diagnostics (e.g. barrier-misuse detections).
+        warnings: Vec<String>,
+    },
+    /// Worker aborted with an error.
+    WorkerFailed {
+        /// The error message.
+        error: String,
+    },
+    /// Master tells everyone to exit their service loops.
+    Shutdown,
+}
+
+impl Message for SipMsg {
+    fn approx_bytes(&self) -> usize {
+        let block_bytes = |b: &Block| b.len() * 8 + 32;
+        match self {
+            SipMsg::BlockData { data, .. }
+            | SipMsg::PutBlock { data, .. }
+            | SipMsg::PrepareBlock { data, .. }
+            | SipMsg::CkptBlock { data, .. } => block_bytes(data),
+            SipMsg::ChunkAssign { iters, .. } => {
+                16 + iters.iter().map(|v| v.len() * 8).sum::<usize>()
+            }
+            SipMsg::WorkerDone { scalars, blocks, .. } => {
+                16 + scalars.len() * 8
+                    + blocks.iter().map(|(_, b)| block_bytes(b)).sum::<usize>()
+            }
+            _ => 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_blocks::Shape;
+
+    #[test]
+    fn key_roundtrip() {
+        let k = BlockKey::new(ArrayId(3), &[1, 2, 3, 4]);
+        assert_eq!(k.segs(), &[1, 2, 3, 4]);
+        assert_eq!(k.rank, 4);
+    }
+
+    #[test]
+    fn placement_hash_distinguishes() {
+        let a = BlockKey::new(ArrayId(0), &[1, 2]);
+        let b = BlockKey::new(ArrayId(0), &[2, 1]);
+        let c = BlockKey::new(ArrayId(1), &[1, 2]);
+        assert_ne!(a.placement_hash(), b.placement_hash());
+        assert_ne!(a.placement_hash(), c.placement_hash());
+        // Deterministic.
+        assert_eq!(a.placement_hash(), BlockKey::new(ArrayId(0), &[1, 2]).placement_hash());
+    }
+
+    #[test]
+    fn placement_hash_spreads() {
+        // 1000 keys over 7 buckets: no bucket should be empty or hold more
+        // than half the keys.
+        let mut buckets = [0usize; 7];
+        for i in 0..10 {
+            for j in 0..10 {
+                for k in 0..10 {
+                    let key = BlockKey::new(ArrayId(0), &[i, j, k]);
+                    buckets[(key.placement_hash() % 7) as usize] += 1;
+                }
+            }
+        }
+        for &b in &buckets {
+            assert!(b > 0 && b < 500, "bad spread: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn message_sizes_scale_with_payload() {
+        let small = SipMsg::BlockData {
+            key: BlockKey::new(ArrayId(0), &[1]),
+            data: Block::zeros(Shape::new(&[2])),
+        };
+        let big = SipMsg::BlockData {
+            key: BlockKey::new(ArrayId(0), &[1]),
+            data: Block::zeros(Shape::new(&[100])),
+        };
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+}

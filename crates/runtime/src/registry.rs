@@ -1,0 +1,234 @@
+//! The super-instruction registry.
+//!
+//! "Non-intrinsic super instructions can be added to the SIP without changing
+//! the SIAL language itself and are invoked from SIAL programs using the
+//! `execute` command." Where ACES III registers Fortran kernels, we register
+//! Rust closures. A super instruction sees only its arguments — blocks,
+//! scalars, index values — and performs no communication, exactly the
+//! contract of §III.
+
+use crate::error::RuntimeError;
+use sia_blocks::Block;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One resolved argument of an `execute` call. Blocks and scalars are
+/// writable (a super instruction's outputs are blocks/scalars it was passed);
+/// index values are read-only.
+pub enum SuperArg {
+    /// A block argument with its segment coordinates.
+    Block {
+        /// Segment values the SIAL reference carried.
+        segs: Vec<i64>,
+        /// The block (written back after the call).
+        block: Block,
+    },
+    /// A scalar argument (written back after the call).
+    Scalar(f64),
+    /// The current value of an index argument.
+    Index(i64),
+}
+
+impl SuperArg {
+    /// The block, or an error naming the instruction.
+    pub fn block_mut(&mut self) -> Result<&mut Block, String> {
+        match self {
+            SuperArg::Block { block, .. } => Ok(block),
+            _ => Err("expected a block argument".into()),
+        }
+    }
+
+    /// The segment coordinates of a block argument.
+    pub fn segs(&self) -> Result<&[i64], String> {
+        match self {
+            SuperArg::Block { segs, .. } => Ok(segs),
+            _ => Err("expected a block argument".into()),
+        }
+    }
+
+    /// The scalar value.
+    pub fn scalar(&self) -> Result<f64, String> {
+        match self {
+            SuperArg::Scalar(v) => Ok(*v),
+            SuperArg::Index(v) => Ok(*v as f64),
+            _ => Err("expected a scalar argument".into()),
+        }
+    }
+
+    /// Writes a scalar argument.
+    pub fn set_scalar(&mut self, v: f64) -> Result<(), String> {
+        match self {
+            SuperArg::Scalar(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            _ => Err("expected a scalar argument".into()),
+        }
+    }
+}
+
+/// Read-only execution environment handed to super instructions.
+#[derive(Debug, Clone, Copy)]
+pub struct SuperEnv {
+    /// This worker's 0-based index.
+    pub worker: usize,
+    /// Total workers.
+    pub workers: usize,
+}
+
+/// A registered super instruction.
+pub type SuperFn =
+    dyn Fn(&mut [SuperArg], &SuperEnv) -> Result<(), String> + Send + Sync + 'static;
+
+/// Registry mapping `execute` names to implementations. Cheap to clone; the
+/// SIP hands one clone to every worker.
+#[derive(Clone, Default)]
+pub struct SuperRegistry {
+    fns: HashMap<String, Arc<SuperFn>>,
+}
+
+impl SuperRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a super instruction.
+    pub fn register(
+        &mut self,
+        name: &str,
+        f: impl Fn(&mut [SuperArg], &SuperEnv) -> Result<(), String> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.fns.insert(name.to_string(), Arc::new(f));
+        self
+    }
+
+    /// Invokes a super instruction.
+    pub fn invoke(
+        &self,
+        name: &str,
+        args: &mut [SuperArg],
+        env: &SuperEnv,
+    ) -> Result<(), RuntimeError> {
+        let Some(f) = self.fns.get(name) else {
+            return Err(RuntimeError::UnknownSuperInstruction(name.to_string()));
+        };
+        f(args, env).map_err(|detail| RuntimeError::SuperInstruction {
+            name: name.to_string(),
+            detail,
+        })
+    }
+
+    /// True if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fns.contains_key(name)
+    }
+
+    /// Registered names (sorted).
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.fns.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl fmt::Debug for SuperRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SuperRegistry({:?})", self.names())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_blocks::Shape;
+
+    fn env() -> SuperEnv {
+        SuperEnv {
+            worker: 0,
+            workers: 1,
+        }
+    }
+
+    #[test]
+    fn register_and_invoke() {
+        let mut reg = SuperRegistry::new();
+        reg.register("fill_7", |args, _env| {
+            args[0].block_mut()?.fill(7.0);
+            Ok(())
+        });
+        let mut args = vec![SuperArg::Block {
+            segs: vec![1, 2],
+            block: Block::zeros(Shape::new(&[2, 2])),
+        }];
+        reg.invoke("fill_7", &mut args, &env()).unwrap();
+        assert!(args[0].block_mut().unwrap().data().iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn unknown_name_is_error() {
+        let reg = SuperRegistry::new();
+        let err = reg.invoke("nope", &mut [], &env()).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnknownSuperInstruction(_)));
+    }
+
+    #[test]
+    fn failure_carries_name_and_detail() {
+        let mut reg = SuperRegistry::new();
+        reg.register("boom", |_args, _env| Err("bad day".into()));
+        let err = reg.invoke("boom", &mut [], &env()).unwrap_err();
+        match err {
+            RuntimeError::SuperInstruction { name, detail } => {
+                assert_eq!(name, "boom");
+                assert_eq!(detail, "bad day");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_args_read_write() {
+        let mut reg = SuperRegistry::new();
+        reg.register("double", |args, _env| {
+            let v = args[0].scalar()?;
+            args[0].set_scalar(v * 2.0)
+        });
+        let mut args = vec![SuperArg::Scalar(21.0)];
+        reg.invoke("double", &mut args, &env()).unwrap();
+        assert_eq!(args[0].scalar().unwrap(), 42.0);
+    }
+
+    #[test]
+    fn index_args_are_read_only_scalars() {
+        let mut args = [SuperArg::Index(5)];
+        assert_eq!(args[0].scalar().unwrap(), 5.0);
+        assert!(args[0].set_scalar(1.0).is_err());
+        assert!(args[0].block_mut().is_err());
+    }
+
+    #[test]
+    fn segs_visible_to_kernel() {
+        let mut reg = SuperRegistry::new();
+        reg.register("seg_sum", |args, _env| {
+            let segs: Vec<i64> = args[0].segs()?.to_vec();
+            let b = args[0].block_mut()?;
+            b.fill(segs.iter().sum::<i64>() as f64);
+            Ok(())
+        });
+        let mut args = vec![SuperArg::Block {
+            segs: vec![3, 4],
+            block: Block::zeros(Shape::new(&[2])),
+        }];
+        reg.invoke("seg_sum", &mut args, &env()).unwrap();
+        assert_eq!(args[0].block_mut().unwrap().data()[0], 7.0);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut reg = SuperRegistry::new();
+        reg.register("b", |_, _| Ok(()));
+        reg.register("a", |_, _| Ok(()));
+        assert_eq!(reg.names(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,386 @@
+//! Pardo iteration enumeration and guided chunk scheduling.
+//!
+//! The master "divides [the iterations] into 'chunks' and doles them out …
+//! When a worker completes its chunk, it requests another chunk from the
+//! master. The chunk size decreases as the computation proceeds" — the
+//! guided-scheduling scheme of OpenMP. [`IterationSpace`] materializes the
+//! filtered cross product of the pardo indices; [`GuidedScheduler`] hands out
+//! shrinking chunks of it.
+
+use sia_bytecode::{BoolExpr, IndexId, ScalarExpr};
+
+/// Evaluates a scalar expression given index values and scalar/const tables.
+/// Shared by the master (where-clause filtering) and workers (interpreter).
+pub fn eval_scalar(
+    e: &ScalarExpr,
+    index_val: &dyn Fn(IndexId) -> i64,
+    scalar_val: &dyn Fn(u32) -> f64,
+    const_val: &dyn Fn(u32) -> i64,
+) -> f64 {
+    match e {
+        ScalarExpr::Lit(x) => *x,
+        ScalarExpr::Scalar(id) => scalar_val(id.0),
+        ScalarExpr::IndexVal(id) => index_val(*id) as f64,
+        ScalarExpr::Const(id) => const_val(id.0) as f64,
+        ScalarExpr::Bin(op, l, r) => op.eval(
+            eval_scalar(l, index_val, scalar_val, const_val),
+            eval_scalar(r, index_val, scalar_val, const_val),
+        ),
+        ScalarExpr::Neg(x) => -eval_scalar(x, index_val, scalar_val, const_val),
+    }
+}
+
+/// Evaluates a boolean expression with the same environment hooks.
+pub fn eval_bool(
+    e: &BoolExpr,
+    index_val: &dyn Fn(IndexId) -> i64,
+    scalar_val: &dyn Fn(u32) -> f64,
+    const_val: &dyn Fn(u32) -> i64,
+) -> bool {
+    match e {
+        BoolExpr::Cmp(l, op, r) => op.eval(
+            eval_scalar(l, index_val, scalar_val, const_val),
+            eval_scalar(r, index_val, scalar_val, const_val),
+        ),
+        BoolExpr::And(a, b) => {
+            eval_bool(a, index_val, scalar_val, const_val)
+                && eval_bool(b, index_val, scalar_val, const_val)
+        }
+        BoolExpr::Or(a, b) => {
+            eval_bool(a, index_val, scalar_val, const_val)
+                || eval_bool(b, index_val, scalar_val, const_val)
+        }
+        BoolExpr::Not(x) => !eval_bool(x, index_val, scalar_val, const_val),
+    }
+}
+
+/// The filtered iteration space of one pardo: every combination of index
+/// values (over their declared ranges) passing all where clauses, flattened
+/// in row-major order (last index fastest).
+#[derive(Debug, Clone)]
+pub struct IterationSpace {
+    /// The pardo's indices.
+    pub indices: Vec<IndexId>,
+    /// The surviving iterations, each a value per index.
+    pub iters: Vec<Vec<i64>>,
+}
+
+impl IterationSpace {
+    /// Enumerates the space. `ranges` gives the inclusive range per pardo
+    /// index (parallel to `indices`); `wheres` are evaluated with the given
+    /// scalar/const environments.
+    pub fn enumerate(
+        indices: &[IndexId],
+        ranges: &[(i64, i64)],
+        wheres: &[BoolExpr],
+        scalar_val: &dyn Fn(u32) -> f64,
+        const_val: &dyn Fn(u32) -> i64,
+    ) -> Self {
+        assert_eq!(indices.len(), ranges.len());
+        let mut iters = Vec::new();
+        let mut cur: Vec<i64> = ranges.iter().map(|&(lo, _)| lo).collect();
+        if indices.is_empty() {
+            return IterationSpace {
+                indices: indices.to_vec(),
+                iters,
+            };
+        }
+        'outer: loop {
+            let index_val = |id: IndexId| -> i64 {
+                indices
+                    .iter()
+                    .position(|&x| x == id)
+                    .map(|p| cur[p])
+                    .unwrap_or(0)
+            };
+            if wheres
+                .iter()
+                .all(|w| eval_bool(w, &index_val, scalar_val, const_val))
+            {
+                iters.push(cur.clone());
+            }
+            // Odometer, last index fastest.
+            let mut d = indices.len();
+            loop {
+                if d == 0 {
+                    break 'outer;
+                }
+                d -= 1;
+                cur[d] += 1;
+                if cur[d] <= ranges[d].1 {
+                    break;
+                }
+                cur[d] = ranges[d].0;
+            }
+        }
+        IterationSpace {
+            indices: indices.to_vec(),
+            iters,
+        }
+    }
+
+    /// Number of surviving iterations.
+    pub fn len(&self) -> usize {
+        self.iters.len()
+    }
+
+    /// True when no iterations survive the filters.
+    pub fn is_empty(&self) -> bool {
+        self.iters.is_empty()
+    }
+}
+
+/// How the master sizes pardo chunks.
+///
+/// The SIP uses guided scheduling ("the chunk size decreases as the
+/// computation proceeds. This is similar to … guided scheduling in
+/// OpenMP"). The alternative policies exist for the ablation harness
+/// (`cargo run -p sia-bench --bin ablations`): fixed-size chunking shows
+/// the tail-imbalance guided avoids, and single-task chunking shows the
+/// master-traffic cost of maximal balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkPolicy {
+    /// `chunk = max(remaining / (factor·workers), 1)` — the SIP default.
+    Guided {
+        /// The divisor factor (2 in the original).
+        factor: usize,
+    },
+    /// Every chunk has the same size.
+    Fixed {
+        /// Tasks per chunk.
+        size: u64,
+    },
+}
+
+impl Default for ChunkPolicy {
+    fn default() -> Self {
+        ChunkPolicy::Guided { factor: 2 }
+    }
+}
+
+/// Chunk scheduler over a number of tasks, parameterized by [`ChunkPolicy`].
+#[derive(Debug)]
+pub struct GuidedScheduler {
+    total: u64,
+    next: u64,
+    workers: usize,
+    policy: ChunkPolicy,
+}
+
+impl GuidedScheduler {
+    /// Creates a guided scheduler over `total` tasks for `workers` workers
+    /// (the SIP default policy).
+    pub fn new(total: u64, workers: usize, factor: usize) -> Self {
+        Self::with_policy(
+            total,
+            workers,
+            ChunkPolicy::Guided {
+                factor: factor.max(1),
+            },
+        )
+    }
+
+    /// Creates a scheduler with an explicit policy.
+    pub fn with_policy(total: u64, workers: usize, policy: ChunkPolicy) -> Self {
+        GuidedScheduler {
+            total,
+            next: 0,
+            workers: workers.max(1),
+            policy,
+        }
+    }
+
+    /// The next chunk as a range of flattened task ids, or `None` when the
+    /// space is exhausted.
+    pub fn next_chunk(&mut self) -> Option<std::ops::Range<u64>> {
+        if self.next >= self.total {
+            return None;
+        }
+        let remaining = self.total - self.next;
+        let size = match self.policy {
+            ChunkPolicy::Guided { factor } => {
+                (remaining / (factor.max(1) as u64 * self.workers as u64)).max(1)
+            }
+            ChunkPolicy::Fixed { size } => size.max(1),
+        };
+        let start = self.next;
+        self.next += size.min(remaining);
+        Some(start..self.next)
+    }
+
+    /// Remaining unassigned tasks.
+    pub fn remaining(&self) -> u64 {
+        self.total - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sia_bytecode::{CmpOp, ScalarExpr as SE};
+
+    fn no_scalars(_: u32) -> f64 {
+        0.0
+    }
+    fn no_consts(_: u32) -> i64 {
+        0
+    }
+
+    #[test]
+    fn full_cross_product() {
+        let sp = IterationSpace::enumerate(
+            &[IndexId(0), IndexId(1)],
+            &[(1, 3), (1, 2)],
+            &[],
+            &no_scalars,
+            &no_consts,
+        );
+        assert_eq!(sp.len(), 6);
+        assert_eq!(sp.iters[0], vec![1, 1]);
+        assert_eq!(sp.iters[1], vec![1, 2]); // last index fastest
+        assert_eq!(sp.iters[5], vec![3, 2]);
+    }
+
+    #[test]
+    fn where_filters_triangle() {
+        // where i < j over 1..4 x 1..4 → 6 iterations.
+        let w = BoolExpr::Cmp(
+            SE::IndexVal(IndexId(0)),
+            CmpOp::Lt,
+            SE::IndexVal(IndexId(1)),
+        );
+        let sp = IterationSpace::enumerate(
+            &[IndexId(0), IndexId(1)],
+            &[(1, 4), (1, 4)],
+            &[w],
+            &no_scalars,
+            &no_consts,
+        );
+        assert_eq!(sp.len(), 6);
+        assert!(sp.iters.iter().all(|v| v[0] < v[1]));
+    }
+
+    #[test]
+    fn where_matches_brute_force() {
+        // Conjunction of two clauses equals filtering the cross product.
+        let w1 = BoolExpr::Cmp(
+            SE::IndexVal(IndexId(0)),
+            CmpOp::Le,
+            SE::IndexVal(IndexId(1)),
+        );
+        let w2 = BoolExpr::Cmp(
+            SE::Bin(
+                sia_bytecode::BinOp::Add,
+                Box::new(SE::IndexVal(IndexId(0))),
+                Box::new(SE::IndexVal(IndexId(1))),
+            ),
+            CmpOp::Ne,
+            SE::Lit(4.0),
+        );
+        let sp = IterationSpace::enumerate(
+            &[IndexId(0), IndexId(1)],
+            &[(1, 5), (2, 4)],
+            &[w1.clone(), w2.clone()],
+            &no_scalars,
+            &no_consts,
+        );
+        let mut expect = 0;
+        for i in 1..=5i64 {
+            for j in 2..=4i64 {
+                if i <= j && i + j != 4 {
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(sp.len(), expect);
+    }
+
+    #[test]
+    fn empty_where_space() {
+        let w = BoolExpr::Cmp(SE::IndexVal(IndexId(0)), CmpOp::Gt, SE::Lit(100.0));
+        let sp = IterationSpace::enumerate(&[IndexId(0)], &[(1, 5)], &[w], &no_scalars, &no_consts);
+        assert!(sp.is_empty());
+    }
+
+    #[test]
+    fn guided_chunks_partition_exactly() {
+        let mut s = GuidedScheduler::new(100, 4, 2);
+        let mut seen = [false; 100];
+        let mut sizes = Vec::new();
+        while let Some(r) = s.next_chunk() {
+            sizes.push(r.end - r.start);
+            for i in r {
+                assert!(!seen[i as usize], "task {i} assigned twice");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "all tasks assigned");
+        // Guided: sizes non-increasing, first chunk is remaining/(f*w) = 12.
+        assert_eq!(sizes[0], 12);
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "sizes must not increase: {sizes:?}");
+        }
+        assert_eq!(*sizes.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn fixed_policy_uniform_chunks() {
+        let mut s = GuidedScheduler::with_policy(100, 4, ChunkPolicy::Fixed { size: 7 });
+        let mut sizes = Vec::new();
+        let mut next = 0;
+        while let Some(r) = s.next_chunk() {
+            assert_eq!(r.start, next);
+            next = r.end;
+            sizes.push(r.end - r.start);
+        }
+        assert_eq!(next, 100);
+        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s == 7));
+        assert_eq!(*sizes.last().unwrap(), 100 % 7);
+    }
+
+    #[test]
+    fn fixed_policy_size_zero_clamped() {
+        let mut s = GuidedScheduler::with_policy(5, 4, ChunkPolicy::Fixed { size: 0 });
+        let mut count = 0;
+        while s.next_chunk().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 5, "size 0 clamps to 1");
+    }
+
+    #[test]
+    fn guided_handles_tiny_spaces() {
+        let mut s = GuidedScheduler::new(1, 8, 2);
+        assert_eq!(s.next_chunk(), Some(0..1));
+        assert_eq!(s.next_chunk(), None);
+        let mut s = GuidedScheduler::new(0, 8, 2);
+        assert_eq!(s.next_chunk(), None);
+    }
+
+    #[test]
+    fn eval_scalar_all_forms() {
+        let e = SE::Bin(
+            sia_bytecode::BinOp::Mul,
+            Box::new(SE::Neg(Box::new(SE::Lit(2.0)))),
+            Box::new(SE::Bin(
+                sia_bytecode::BinOp::Add,
+                Box::new(SE::IndexVal(IndexId(0))),
+                Box::new(SE::Const(sia_bytecode::ConstId(0))),
+            )),
+        );
+        let v = eval_scalar(&e, &|_| 3, &no_scalars, &|_| 4);
+        assert_eq!(v, -14.0);
+    }
+
+    #[test]
+    fn eval_bool_connectives() {
+        let t = BoolExpr::Cmp(SE::Lit(1.0), CmpOp::Lt, SE::Lit(2.0));
+        let f = BoolExpr::Cmp(SE::Lit(1.0), CmpOp::Gt, SE::Lit(2.0));
+        let and = BoolExpr::And(Box::new(t.clone()), Box::new(f.clone()));
+        let or = BoolExpr::Or(Box::new(t.clone()), Box::new(f.clone()));
+        let not = BoolExpr::Not(Box::new(f.clone()));
+        assert!(!eval_bool(&and, &|_| 0, &no_scalars, &no_consts));
+        assert!(eval_bool(&or, &|_| 0, &no_scalars, &no_consts));
+        assert!(eval_bool(&not, &|_| 0, &no_scalars, &no_consts));
+    }
+}

@@ -1,0 +1,578 @@
+//! Worker state and the asynchronous progress engine.
+//!
+//! Each worker "loops through the instruction table executing bytecode
+//! instructions, periodically checking for messages and processing them"
+//! (§V-B). This module holds the worker's stores (home blocks, cache,
+//! temps, locals), its pardo machinery, outstanding-ack tracking, and the
+//! message pump; the instruction dispatch lives in [`crate::interp`].
+
+use crate::cache::{BlockCache, CacheEntry};
+use crate::error::RuntimeError;
+use crate::layout::{Layout, SipConfig};
+use crate::msg::{BarrierKind, BlockKey, SipMsg};
+use crate::profile::WorkerProfile;
+use crate::registry::SuperRegistry;
+use sia_blocks::{BlockPool, PoolConfig};
+use sia_blocks::Block;
+use sia_bytecode::{ArrayId, ArrayKind, IndexId, PutMode};
+use sia_fabric::{Endpoint, Rank};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An active sequential loop.
+#[derive(Debug, Clone)]
+pub(crate) struct LoopFrame {
+    /// Pc of the `DoStart`/`DoInStart`.
+    pub start_pc: u32,
+    /// The loop index.
+    pub index: IndexId,
+    /// Current value.
+    pub current: i64,
+    /// Inclusive upper bound.
+    pub high: i64,
+}
+
+/// The in-progress pardo of a worker.
+#[derive(Debug)]
+pub(crate) struct PardoState {
+    pub start_pc: u32,
+    /// Which encounter of this pardo this is (increments every time the
+    /// worker reaches the PardoStart).
+    pub epoch: u64,
+    pub end_pc: u32,
+    pub indices: Vec<IndexId>,
+    /// Assigned iterations not yet executed.
+    pub queue: VecDeque<Vec<i64>>,
+    /// A ChunkRequest is outstanding.
+    pub requested: bool,
+    /// Master said the space is exhausted.
+    pub exhausted: bool,
+}
+
+/// One SIP worker.
+pub struct Worker {
+    pub(crate) layout: Arc<Layout>,
+    pub(crate) config: SipConfig,
+    pub(crate) endpoint: Endpoint<SipMsg>,
+    pub(crate) registry: SuperRegistry,
+
+    // ---- data state ----
+    /// Blocks of distributed arrays homed at this worker (authoritative).
+    pub(crate) dist_store: HashMap<BlockKey, Block>,
+    /// Blocks of local and static arrays.
+    pub(crate) local_store: HashMap<BlockKey, Block>,
+    /// One live block per temp array.
+    pub(crate) temps: HashMap<ArrayId, (BlockKey, Block)>,
+    /// Cache of fetched remote (distributed/served) blocks.
+    pub(crate) cache: BlockCache,
+    /// Pool recycling temp-block storage.
+    pub(crate) pool: BlockPool,
+    /// Named scalar values.
+    pub(crate) scalars: Vec<f64>,
+    /// Current index values (0 = undefined; segments are 1-based).
+    pub(crate) env: Vec<i64>,
+
+    // ---- control state ----
+    pub(crate) loop_stack: Vec<LoopFrame>,
+    pub(crate) call_stack: Vec<u32>,
+    pub(crate) pardo: Option<PardoState>,
+    /// Encounter counters per pardo pc.
+    pub(crate) pardo_epochs: HashMap<u32, u64>,
+
+    // ---- communication state ----
+    pub(crate) outstanding_puts: u64,
+    pub(crate) outstanding_prepares: u64,
+    pub(crate) barrier_release: Option<BarrierKind>,
+    pub(crate) reduce_result: Option<f64>,
+    pub(crate) ckpt_released: HashSet<u32>,
+    pub(crate) shutdown_seen: bool,
+
+    // ---- conflict detection ----
+    /// Barrier epoch for distributed arrays.
+    pub(crate) dist_epoch: u64,
+    /// Last epoch a Replace-put landed per block (home side).
+    pub(crate) replace_epoch: HashMap<BlockKey, u64>,
+    /// Last epoch a get was served per block (home side).
+    pub(crate) serve_epoch: HashMap<BlockKey, u64>,
+
+    // ---- reporting ----
+    pub(crate) profile: WorkerProfile,
+    pub(crate) warnings: Vec<String>,
+    /// Worker start time (backs the `sip_time` intrinsic).
+    pub(crate) started: Instant,
+}
+
+impl Worker {
+    /// Creates a worker bound to its fabric endpoint.
+    pub fn new(
+        layout: Arc<Layout>,
+        config: SipConfig,
+        endpoint: Endpoint<SipMsg>,
+        registry: SuperRegistry,
+    ) -> Self {
+        let n_idx = layout.program.indices.len();
+        let scalars = layout.program.scalars.iter().map(|s| s.init).collect();
+        Worker {
+            cache: BlockCache::new(config.cache_blocks),
+            pool: BlockPool::new(PoolConfig {
+                max_bytes: config.pool_bytes,
+            }),
+            layout,
+            config,
+            endpoint,
+            registry,
+            dist_store: HashMap::new(),
+            local_store: HashMap::new(),
+            temps: HashMap::new(),
+            scalars,
+            env: vec![0; n_idx],
+            loop_stack: Vec::new(),
+            call_stack: Vec::new(),
+            pardo: None,
+            pardo_epochs: HashMap::new(),
+            outstanding_puts: 0,
+            outstanding_prepares: 0,
+            barrier_release: None,
+            reduce_result: None,
+            ckpt_released: HashSet::new(),
+            shutdown_seen: false,
+            dist_epoch: 0,
+            replace_epoch: HashMap::new(),
+            serve_epoch: HashMap::new(),
+            profile: WorkerProfile::default(),
+            warnings: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// This worker's 0-based index.
+    pub fn worker_index(&self) -> usize {
+        self.layout.topology.worker_index(self.endpoint.rank())
+    }
+
+
+    // ---- message pump ---------------------------------------------------------
+
+    /// Drains the inbox, handling every pending message.
+    pub(crate) fn service_messages(&mut self) {
+        while let Some(env) = self.endpoint.try_recv() {
+            self.handle(env.src, env.msg);
+        }
+    }
+
+    /// Keeps serving peers (gets/puts against blocks homed here) after this
+    /// worker's program finished, until the master broadcasts shutdown.
+    pub(crate) fn service_until_shutdown(&mut self) {
+        loop {
+            if self.shutdown_seen || self.endpoint.shutdown_raised() {
+                return;
+            }
+            if let Some(env) = self.endpoint.recv_timeout(Duration::from_millis(1)) {
+                let src = env.src;
+                self.handle(src, env.msg);
+            }
+        }
+    }
+
+    fn handle(&mut self, src: Rank, msg: SipMsg) {
+        match msg {
+            SipMsg::GetBlock { key } => {
+                // Serve from the authoritative store; unfilled blocks read as
+                // zero ("blocks are allocated … only when actually filled"),
+                // which is what makes symmetric-array declarations cheap.
+                let data = match self.dist_store.get(&key) {
+                    Some(b) => b.clone(),
+                    None => Block::zeros(
+                        self.layout
+                            .declared_block_shape(key.array),
+                    ),
+                };
+                // Conflict check: serving a block Replace-put in this same
+                // epoch means the program raced a read against a write.
+                if self.replace_epoch.get(&key) == Some(&self.dist_epoch) {
+                    self.warnings.push(format!(
+                        "possible barrier misuse: block {key:?} read and replaced in the \
+                         same sip_barrier epoch"
+                    ));
+                }
+                self.serve_epoch.insert(key, self.dist_epoch);
+                let _ = self.endpoint.send(src, SipMsg::BlockData { key, data });
+            }
+            SipMsg::PutBlock { key, data, mode } => {
+                self.apply_put_local(key, data, mode);
+                let _ = self.endpoint.send(src, SipMsg::PutAck { key });
+            }
+            SipMsg::PutAck { .. } => {
+                self.outstanding_puts = self.outstanding_puts.saturating_sub(1);
+            }
+            SipMsg::PrepareAck { .. } => {
+                self.outstanding_prepares = self.outstanding_prepares.saturating_sub(1);
+            }
+            SipMsg::BlockData { key, data } => {
+                self.cache.fill(key, data);
+            }
+            SipMsg::ChunkAssign { pardo_pc, epoch, iters } => {
+                if let Some(p) = &mut self.pardo {
+                    if p.start_pc == pardo_pc && p.epoch == epoch {
+                        p.queue.extend(iters);
+                        p.requested = false;
+                    }
+                }
+            }
+            SipMsg::NoMoreChunks { pardo_pc, epoch } => {
+                if let Some(p) = &mut self.pardo {
+                    if p.start_pc == pardo_pc && p.epoch == epoch {
+                        p.exhausted = true;
+                        p.requested = false;
+                    }
+                }
+            }
+            SipMsg::BarrierRelease { kind } => {
+                self.barrier_release = Some(kind);
+            }
+            SipMsg::ReduceResult { value } => {
+                self.reduce_result = Some(value);
+            }
+            SipMsg::CkptRelease { label } => {
+                self.ckpt_released.insert(label);
+            }
+            SipMsg::DeleteArray { array } => {
+                self.dist_store.retain(|k, _| k.array != array);
+                self.cache.invalidate_array(array);
+            }
+            SipMsg::Shutdown => {
+                self.shutdown_seen = true;
+            }
+            // Messages a worker never receives.
+            SipMsg::ChunkRequest { .. }
+            | SipMsg::RequestBlock { .. }
+            | SipMsg::PrepareBlock { .. }
+            | SipMsg::BarrierEnter { .. }
+            | SipMsg::ReduceContrib { .. }
+            | SipMsg::CkptBlock { .. }
+            | SipMsg::CkptDone { .. }
+            | SipMsg::WorkerDone { .. }
+            | SipMsg::WorkerFailed { .. } => {
+                self.warnings
+                    .push(format!("worker received unexpected message from {src}"));
+            }
+        }
+    }
+
+    /// Applies a put to the authoritative store (used by the home for remote
+    /// puts and by the owner for local ones).
+    pub(crate) fn apply_put_local(&mut self, key: BlockKey, data: Block, mode: PutMode) {
+        match mode {
+            PutMode::Replace => {
+                if self.serve_epoch.get(&key) == Some(&self.dist_epoch) {
+                    self.warnings.push(format!(
+                        "possible barrier misuse: block {key:?} replaced after being read \
+                         in the same sip_barrier epoch"
+                    ));
+                }
+                self.replace_epoch.insert(key, self.dist_epoch);
+                self.dist_store.insert(key, data);
+            }
+            PutMode::Accumulate => match self.dist_store.get_mut(&key) {
+                Some(existing) => existing.accumulate(&data),
+                None => {
+                    self.dist_store.insert(key, data);
+                }
+            },
+        }
+        // A fresher value exists; drop any stale cached copy.
+        self.cache.invalidate(&key);
+    }
+
+    /// Waits (servicing messages) until `done(self)` holds. Returns the time
+    /// spent waiting. Aborts with an error if shutdown is raised mid-wait.
+    pub(crate) fn wait_until(
+        &mut self,
+        what: &str,
+        mut done: impl FnMut(&Self) -> bool,
+    ) -> Result<Duration, RuntimeError> {
+        let t0 = Instant::now();
+        loop {
+            self.service_messages();
+            if done(self) {
+                return Ok(t0.elapsed());
+            }
+            if self.shutdown_seen || self.endpoint.shutdown_raised() {
+                return Err(RuntimeError::PeerGone(format!(
+                    "run aborted while waiting for {what}"
+                )));
+            }
+            // Block briefly on the inbox rather than spinning.
+            if let Some(env) = self.endpoint.recv_timeout(Duration::from_micros(200)) {
+                let src = env.src;
+                self.handle(src, env.msg);
+            }
+        }
+    }
+
+    // ---- index environment -------------------------------------------------------
+
+    pub(crate) fn index_value(&self, id: IndexId) -> i64 {
+        self.env[id.index()]
+    }
+
+    pub(crate) fn set_index(&mut self, id: IndexId, v: i64) {
+        self.env[id.index()] = v;
+    }
+
+    /// Values of a ref's indices (errors if any is unbound — sema prevents,
+    /// but corrupted bytecode shouldn't panic).
+    pub(crate) fn seg_values(&self, indices: &[IndexId]) -> Result<Vec<i64>, RuntimeError> {
+        indices
+            .iter()
+            .map(|&i| {
+                let v = self.index_value(i);
+                if v == 0 {
+                    Err(RuntimeError::BadProgram(format!(
+                        "index `{}` used while undefined",
+                        self.layout.program.indices[i.index()].name
+                    )))
+                } else {
+                    Ok(v)
+                }
+            })
+            .collect()
+    }
+
+    // ---- block access ---------------------------------------------------------------
+
+    /// Issues the asynchronous fetch behind `get`/`request` (no-op when the
+    /// block is local or already cached/in flight). Returns whether a message
+    /// was actually sent.
+    pub(crate) fn issue_fetch(&mut self, key: BlockKey) -> Result<bool, RuntimeError> {
+        let kind = self.layout.array_kind(key.array);
+        let home = match kind {
+            ArrayKind::Distributed => self.layout.topology.home_of_distributed(&key),
+            ArrayKind::Served => {
+                if self.layout.topology.io_servers == 0 {
+                    return Err(RuntimeError::ServedIo(
+                        "program uses served arrays but io_servers = 0".into(),
+                    ));
+                }
+                self.layout.topology.home_of_served(&key)
+            }
+            other => {
+                return Err(RuntimeError::BadProgram(format!(
+                    "get/request on {other:?} array"
+                )));
+            }
+        };
+        if home == self.endpoint.rank() {
+            return Ok(false); // read directly from dist_store at use time
+        }
+        if !self.cache.mark_in_flight(key) {
+            return Ok(false); // already cached or in flight
+        }
+        let msg = match kind {
+            ArrayKind::Distributed => SipMsg::GetBlock { key },
+            _ => SipMsg::RequestBlock { key },
+        };
+        self.endpoint
+            .send(home, msg)
+            .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+        Ok(true)
+    }
+
+    /// Reads the block a ref denotes, waiting for in-flight fetches. Returns
+    /// an owned copy (see crate docs: correctness over zero-copy).
+    ///
+    /// `wait` accumulates blocked time for the profiler.
+    pub(crate) fn read_block(
+        &mut self,
+        array: ArrayId,
+        ref_indices: &[IndexId],
+        wait: &mut Duration,
+    ) -> Result<Block, RuntimeError> {
+        let segs = self.seg_values(ref_indices)?;
+        let (key, slice) = self.layout.storage_target(array, ref_indices, &segs);
+        let kind = self.layout.array_kind(array);
+        let whole = match kind {
+            ArrayKind::Temp => match self.temps.get(&array) {
+                Some((stored_key, block)) if *stored_key == key => block.clone(),
+                _ => {
+                    return Err(RuntimeError::TempUndefined {
+                        array: self.layout.array(array).name.clone(),
+                    });
+                }
+            },
+            ArrayKind::Local | ArrayKind::Static => match self.local_store.get(&key) {
+                Some(b) => b.clone(),
+                None => {
+                    return Err(RuntimeError::BlockNotAvailable {
+                        key,
+                        context: format!(
+                            "local/static block of `{}` never written",
+                            self.layout.array(array).name
+                        ),
+                    });
+                }
+            },
+            ArrayKind::Distributed | ArrayKind::Served => self.read_remote(key, wait)?,
+        };
+        match slice {
+            None => Ok(whole),
+            Some((offsets, extents)) => {
+                let spec = sia_blocks::SliceSpec::new(&offsets, &extents);
+                sia_blocks::extract_slice(&whole, &spec).map_err(|e| {
+                    RuntimeError::Internal(format!("slice extraction failed: {e}"))
+                })
+            }
+        }
+    }
+
+    /// Reads a distributed/served block: own store, then cache, then fetch
+    /// (a well-tuned program issued `get` earlier, so the fetch overlapped
+    /// computation; the wait here is what the profiler reports).
+    fn read_remote(&mut self, key: BlockKey, wait: &mut Duration) -> Result<Block, RuntimeError> {
+        let kind = self.layout.array_kind(key.array);
+        if kind == ArrayKind::Distributed
+            && self.layout.topology.home_of_distributed(&key) == self.endpoint.rank()
+        {
+            return Ok(match self.dist_store.get(&key) {
+                Some(b) => b.clone(),
+                None => Block::zeros(self.layout.declared_block_shape(key.array)),
+            });
+        }
+        match self.cache.lookup(&key) {
+            Some(CacheEntry::Ready(b)) => return Ok(b.clone()),
+            Some(CacheEntry::InFlight) => {}
+            None => {
+                // Late fetch — the contraction operator "ensures that the
+                // necessary blocks are available and waits … if necessary".
+                self.issue_fetch(key)?;
+            }
+        }
+        let waited = self.wait_until(&format!("block {key:?}"), |w| {
+            matches!(w.cache.peek(&key), Some(CacheEntry::Ready(_)))
+        })?;
+        *wait += waited;
+        match self.cache.lookup(&key) {
+            Some(CacheEntry::Ready(b)) => Ok(b.clone()),
+            _ => Err(RuntimeError::Internal("block vanished after wait".into())),
+        }
+    }
+
+    /// Writes `block` to the storage a ref denotes (temp/local/static only;
+    /// distributed/served writes go through put/prepare).
+    pub(crate) fn write_block(
+        &mut self,
+        array: ArrayId,
+        ref_indices: &[IndexId],
+        block: Block,
+    ) -> Result<(), RuntimeError> {
+        let segs = self.seg_values(ref_indices)?;
+        let (key, slice) = self.layout.storage_target(array, ref_indices, &segs);
+        let kind = self.layout.array_kind(array);
+        match slice {
+            None => match kind {
+                ArrayKind::Temp => {
+                    if let Some((_, old)) = self.temps.insert(array, (key, block)) {
+                        self.pool.release(old);
+                    }
+                    Ok(())
+                }
+                ArrayKind::Local | ArrayKind::Static => {
+                    self.local_store.insert(key, block);
+                    Ok(())
+                }
+                other => Err(RuntimeError::BadProgram(format!(
+                    "direct write to {other:?} array"
+                ))),
+            },
+            Some((offsets, extents)) => {
+                // Insertion: write the subblock into the (existing or fresh)
+                // parent block.
+                let spec = sia_blocks::SliceSpec::new(&offsets, &extents);
+                let parent_shape = self.layout.declared_block_shape(array);
+                match kind {
+                    ArrayKind::Temp => {
+                        let entry = self.temps.entry(array).or_insert_with(|| {
+                            (key, Block::zeros(parent_shape))
+                        });
+                        if entry.0 != key {
+                            *entry = (key, Block::zeros(parent_shape));
+                        }
+                        sia_blocks::insert_slice(&mut entry.1, &spec, &block)
+                            .map_err(|e| RuntimeError::Internal(format!("insert failed: {e}")))
+                    }
+                    ArrayKind::Local | ArrayKind::Static => {
+                        let parent = self
+                            .local_store
+                            .entry(key)
+                            .or_insert_with(|| Block::zeros(parent_shape));
+                        sia_blocks::insert_slice(parent, &spec, &block)
+                            .map_err(|e| RuntimeError::Internal(format!("insert failed: {e}")))
+                    }
+                    other => Err(RuntimeError::BadProgram(format!(
+                        "direct write to {other:?} array"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Mutates a writable block in place (for `+=`, `*=` on temps/locals).
+    pub(crate) fn modify_block(
+        &mut self,
+        array: ArrayId,
+        ref_indices: &[IndexId],
+        f: impl FnOnce(&mut Block),
+    ) -> Result<(), RuntimeError> {
+        let segs = self.seg_values(ref_indices)?;
+        let (key, slice) = self.layout.storage_target(array, ref_indices, &segs);
+        if slice.is_some() {
+            // Read-modify-write through the slice path.
+            let mut wait = Duration::ZERO;
+            let mut sub = self.read_block(array, ref_indices, &mut wait)?;
+            f(&mut sub);
+            return self.write_block(array, ref_indices, sub);
+        }
+        match self.layout.array_kind(array) {
+            ArrayKind::Temp => match self.temps.get_mut(&array) {
+                Some((stored_key, block)) if *stored_key == key => {
+                    f(block);
+                    Ok(())
+                }
+                _ => Err(RuntimeError::TempUndefined {
+                    array: self.layout.array(array).name.clone(),
+                }),
+            },
+            ArrayKind::Local | ArrayKind::Static => match self.local_store.get_mut(&key) {
+                Some(block) => {
+                    f(block);
+                    Ok(())
+                }
+                None => Err(RuntimeError::BlockNotAvailable {
+                    key,
+                    context: "in-place update of unwritten local/static block".into(),
+                }),
+            },
+            other => Err(RuntimeError::BadProgram(format!(
+                "in-place update of {other:?} array"
+            ))),
+        }
+    }
+
+    /// Frees all temp blocks (end of a pardo iteration) back to the pool.
+    pub(crate) fn free_temps(&mut self) {
+        for (_, (_, block)) in self.temps.drain() {
+            self.pool.release(block);
+        }
+    }
+
+    /// Invalidate cached copies of every array of `kind` (stale after a
+    /// barrier).
+    pub(crate) fn invalidate_cached_kind(&mut self, kind: ArrayKind) {
+        for (i, decl) in self.layout.program.arrays.iter().enumerate() {
+            if decl.kind == kind {
+                self.cache.invalidate_array(ArrayId(i as u32));
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! `sial` — the SIA command-line driver.
+//!
+//! ```text
+//! sial check   prog.sial                      # compile, report diagnostics
+//! sial compile prog.sial -o prog.siab        # emit SIA bytecode
+//! sial disasm  prog.sial|prog.siab           # show the bytecode listing
+//! sial dryrun  prog.sial --workers 64 --seg 16 --bind norb=20 --bind nocc=4
+//! sial run     prog.sial --workers 4 --seg 8 --bind n=6 [--chem]
+//! sial simulate prog.sial --workers 4096 --machine xt5 --seg 24 --bind norb=20
+//! ```
+//!
+//! `--chem` registers the synthetic chemistry kernels (`compute_integrals`,
+//! `scale_by_denominator`, …) so the programs in `crates/chem` run as-is.
+
+use sia::subsystems::chem::{integral_cost_model, register_integrals};
+use sia::subsystems::sim::machine;
+use sia::subsystems::sim::{simulate, SimConfig};
+use sia::{ConstBindings, SegmentConfig, Sip, SipConfig, SuperRegistry};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sial <check|compile|disasm|dryrun|run|simulate> <file> [options]\n\
+         options:\n\
+           -o <file>          output path (compile)\n\
+           --workers <n>      worker count (default 2)\n\
+           --io <n>           I/O server count (default 1)\n\
+           --seg <n>          segment size (default 8)\n\
+           --nsub <n>         subsegments per segment (default 2)\n\
+           --prefetch <n>     prefetch look-ahead depth (default 2)\n\
+           --cache <n>        block-cache capacity (default 64)\n\
+           --budget <bytes>   per-worker memory budget for the dry-run gate\n\
+           --bind k=v         bind a symbolic constant (repeatable)\n\
+           --machine <name>   simulate: sun|xt4|xt5|altix|bgp (default xt5)\n\
+           --chem             register the synthetic chemistry kernels\n\
+           --profile          print the per-instruction profile after a run"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    output: Option<String>,
+    config: SipConfig,
+    bindings: ConstBindings,
+    chem: bool,
+    profile: bool,
+    seg: usize,
+    machine: &'static str,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        output: None,
+        config: SipConfig {
+            collect_distributed: false,
+            ..Default::default()
+        },
+        bindings: ConstBindings::new(),
+        chem: false,
+        profile: false,
+        seg: 8,
+        machine: "xt5",
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut need = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "-o" => opts.output = Some(need("-o")?),
+            "--workers" => opts.config.workers = need("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--io" => opts.config.io_servers = need("--io")?.parse().map_err(|e| format!("--io: {e}"))?,
+            "--seg" => opts.seg = need("--seg")?.parse().map_err(|e| format!("--seg: {e}"))?,
+            "--nsub" => opts.config.segments.nsub = need("--nsub")?.parse().map_err(|e| format!("--nsub: {e}"))?,
+            "--prefetch" => opts.config.prefetch_depth = need("--prefetch")?.parse().map_err(|e| format!("--prefetch: {e}"))?,
+            "--cache" => opts.config.cache_blocks = need("--cache")?.parse().map_err(|e| format!("--cache: {e}"))?,
+            "--budget" => opts.config.memory_budget = Some(need("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?),
+            "--bind" => {
+                let kv = need("--bind")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--bind expects k=v, got `{kv}`"))?;
+                let v: i64 = v.parse().map_err(|e| format!("--bind {k}: {e}"))?;
+                opts.bindings.insert(k.to_string(), v);
+            }
+            "--machine" => {
+                let name = need("--machine")?;
+                opts.machine = match name.as_str() {
+                    "sun" => "sun",
+                    "xt4" => "xt4",
+                    "xt5" => "xt5",
+                    "altix" => "altix",
+                    "bgp" => "bgp",
+                    other => return Err(format!("unknown machine `{other}`")),
+                };
+            }
+            "--chem" => opts.chem = true,
+            "--profile" => opts.profile = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    opts.config.segments = SegmentConfig {
+        default: opts.seg,
+        nsub: opts.config.segments.nsub,
+        ..Default::default()
+    };
+    Ok(opts)
+}
+
+fn load_program(path: &str) -> Result<sia::Program, String> {
+    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if data.starts_with(b"SIAB") {
+        sia::bytecode::decode_program(&data).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let text = String::from_utf8(data).map_err(|_| format!("{path}: not UTF-8"))?;
+        sia::compile(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file, rest) = match args.as_slice() {
+        [cmd, file, rest @ ..] => (cmd.as_str(), file.as_str(), rest),
+        _ => return usage(),
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+
+    match cmd {
+        "check" => match load_program(file) {
+            Ok(p) => {
+                println!(
+                    "{}: ok — {} instructions, {} arrays, {} indices, {} constants",
+                    file,
+                    p.code.len(),
+                    p.arrays.len(),
+                    p.indices.len(),
+                    p.consts.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "compile" => match load_program(file) {
+            Ok(p) => {
+                let out = opts.output.unwrap_or_else(|| {
+                    Path::new(file)
+                        .with_extension("siab")
+                        .to_string_lossy()
+                        .into_owned()
+                });
+                let bytes = sia::bytecode::encode_program(&p);
+                match std::fs::write(&out, &bytes) {
+                    Ok(()) => {
+                        println!("wrote {out} ({} bytes)", bytes.len());
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{out}: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "disasm" => match load_program(file) {
+            Ok(p) => {
+                print!("{}", sia::disassemble(&p));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "dryrun" => match load_program(file) {
+            Ok(p) => {
+                let sip = Sip::new(opts.config.clone());
+                match sip.dry_run(p, &opts.bindings) {
+                    Ok(est) => {
+                        println!(
+                            "per-worker estimate: {:.1} MiB ({} workers)",
+                            est.per_worker_bytes as f64 / (1 << 20) as f64,
+                            opts.config.workers
+                        );
+                        println!(
+                            "per-server estimate: {:.1} MiB; largest block {} KiB; cache {:.1} MiB",
+                            est.per_server_bytes as f64 / (1 << 20) as f64,
+                            est.largest_block_bytes / 1024,
+                            est.cache_bytes as f64 / (1 << 20) as f64
+                        );
+                        for (name, bytes) in &est.breakdown {
+                            println!("  {name:<20} {:.2} MiB", *bytes as f64 / (1 << 20) as f64);
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "run" => match load_program(file) {
+            Ok(p) => {
+                let mut registry = SuperRegistry::new();
+                if opts.chem {
+                    // The occupied count for denominators: `nocc` binding ×
+                    // segment size when present.
+                    let n_occ = opts
+                        .bindings
+                        .get("nocc")
+                        .map(|&o| o as usize * opts.seg)
+                        .unwrap_or(opts.seg);
+                    register_integrals(&mut registry, opts.seg, n_occ);
+                }
+                let sip = Sip::new(opts.config).with_registry(registry);
+                match sip.run(p, &opts.bindings) {
+                    Ok(out) => {
+                        for (name, value) in &out.scalars {
+                            println!("{name} = {value:.12}");
+                        }
+                        for w in &out.warnings {
+                            eprintln!("warning: {w}");
+                        }
+                        println!(
+                            "iterations: {}, wait: {:.1}%, traffic: {} msgs / {} KiB",
+                            out.profile.iterations,
+                            out.profile.wait_fraction() * 100.0,
+                            out.traffic.messages,
+                            out.traffic.bytes / 1024
+                        );
+                        if opts.profile {
+                            println!("\n{}", out.profile);
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        "simulate" => match load_program(file) {
+            Ok(p) => {
+                let layout = sia::runtime::Layout::new(
+                    std::sync::Arc::new(p),
+                    &opts.bindings,
+                    opts.config.segments,
+                    sia::runtime::Topology::new(opts.config.workers.max(1), 1),
+                );
+                let layout = match layout {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let trace =
+                    match sia::runtime::trace::generate(&layout, &integral_cost_model()) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                let m = match opts.machine {
+                    "sun" => machine::SUN_OPTERON_IB,
+                    "xt4" => machine::CRAY_XT4,
+                    "altix" => machine::SGI_ALTIX,
+                    "bgp" => machine::BLUEGENE_P,
+                    _ => machine::CRAY_XT5,
+                };
+                let mut cfg = SimConfig::sip(m, opts.config.workers.max(1) as u64);
+                cfg.prefetch_depth = opts.config.prefetch_depth as u32;
+                cfg.cache_blocks = opts.config.cache_blocks as u64;
+                let r = simulate(&trace, &cfg);
+                println!("machine: {}", m.name);
+                println!(
+                    "simulated time: {:.3} s over {} workers (wait {:.1}%)",
+                    r.total_time,
+                    opts.config.workers,
+                    r.wait_fraction * 100.0
+                );
+                println!(
+                    "work: {:.3} Tflop, {:.2} GiB moved",
+                    r.total_flops as f64 / 1e12,
+                    r.total_bytes as f64 / (1u64 << 30) as f64
+                );
+                for ph in &r.phases {
+                    if ph.time > 1e-3 * r.total_time {
+                        println!("  {:<16} {:>10.3} s", ph.label, ph.time);
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

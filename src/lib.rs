@@ -1,0 +1,18 @@
+//! Umbrella crate for the Super Instruction Architecture (SIA) workspace.
+//!
+//! Re-exports the public facade from [`sia_core`] so that examples and
+//! downstream users can depend on a single crate. See the `README.md` for a
+//! tour and `DESIGN.md` for the system inventory.
+
+pub use sia_core::*;
+
+/// Convenience re-exports of the individual subsystem crates.
+pub mod subsystems {
+    pub use sia_blocks as blocks;
+    pub use sia_bytecode as bytecode;
+    pub use sia_chem as chem;
+    pub use sia_fabric as fabric;
+    pub use sia_runtime as runtime;
+    pub use sia_sim as sim;
+    pub use sial_frontend as frontend;
+}

@@ -1,0 +1,228 @@
+//! Integration tests of the `sial` command-line driver, run against the
+//! built binary (`CARGO_BIN_EXE_sial`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sial() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sial"))
+}
+
+fn write_demo(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("sia-cli-{tag}-{}.sial", std::process::id()));
+    std::fs::write(
+        &path,
+        r#"
+sial cli_demo
+aoindex i = 1, n
+distributed X(i)
+temp t(i)
+scalar s
+pardo i
+  t(i) = 1.5
+  put X(i) = t(i)
+endpardo i
+sip_barrier
+pardo i
+  get X(i)
+  s += X(i) * X(i)
+endpardo i
+sip_barrier
+execute sip_allreduce s
+endsial
+"#,
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn check_reports_table_sizes() {
+    let path = write_demo("check");
+    let out = sial().args(["check", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok —"), "{stdout}");
+    assert!(stdout.contains("instructions"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_rejects_bad_source() {
+    let path = std::env::temp_dir().join(format!("sia-cli-bad-{}.sial", std::process::id()));
+    std::fs::write(&path, "sial broken\npardo\nendsial\n").unwrap();
+    let out = sial().args(["check", path.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn compile_disasm_run_pipeline() {
+    let src = write_demo("pipeline");
+    let bin = src.with_extension("siab");
+    // compile
+    let out = sial()
+        .args(["compile", src.to_str().unwrap(), "-o", bin.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(bin.exists());
+    // disasm the binary form
+    let out = sial().args(["disasm", bin.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let listing = String::from_utf8_lossy(&out.stdout);
+    assert!(listing.contains("pardo i"), "{listing}");
+    assert!(listing.contains("put X(i) = t(i)"), "{listing}");
+    // run the binary form: s = n segments × seg elements × 1.5².
+    let out = sial()
+        .args([
+            "run",
+            bin.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--seg",
+            "4",
+            "--bind",
+            "n=5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("s = 45.0"), "{stdout}");
+    let _ = std::fs::remove_file(src);
+    let _ = std::fs::remove_file(bin);
+}
+
+#[test]
+fn dryrun_prints_estimate() {
+    let path = write_demo("dryrun");
+    let out = sial()
+        .args([
+            "dryrun",
+            path.to_str().unwrap(),
+            "--workers",
+            "4",
+            "--seg",
+            "8",
+            "--bind",
+            "n=16",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("per-worker estimate"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn simulate_prints_scaling_result() {
+    let path = write_demo("sim");
+    let out = sial()
+        .args([
+            "simulate",
+            path.to_str().unwrap(),
+            "--workers",
+            "512",
+            "--machine",
+            "xt4",
+            "--seg",
+            "8",
+            "--bind",
+            "n=64",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Cray XT4"), "{stdout}");
+    assert!(stdout.contains("simulated time"), "{stdout}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn usage_on_missing_args() {
+    let out = sial().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_machine_rejected() {
+    let path = write_demo("badmachine");
+    let out = sial()
+        .args(["simulate", path.to_str().unwrap(), "--machine", "cray-3"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown machine"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn shipped_programs_run() {
+    // Every program under programs/ must at least pass `check`; the
+    // chemistry ones run with --chem.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("programs");
+    let mut found = 0;
+    for entry in std::fs::read_dir(&root).unwrap().flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("sial") {
+            continue;
+        }
+        found += 1;
+        let out = sial().args(["check", path.to_str().unwrap()]).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}: {}",
+            path.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert!(found >= 4, "expected the shipped programs, found {found}");
+
+    // Run the triangular demo end to end (no chemistry kernels needed).
+    let tri = root.join("triangular.sial");
+    let out = sial()
+        .args([
+            "run",
+            tri.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--seg",
+            "4",
+            "--nsub",
+            "2",
+            "--bind",
+            "n=4",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Upper triangle of a 4×4 block grid = 10 blocks.
+    assert!(stdout.contains("total = 10.0"), "{stdout}");
+
+    // And the MP2 demo with the chemistry kernels.
+    let mp2 = root.join("mp2.sial");
+    let out = sial()
+        .args([
+            "run",
+            mp2.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--seg",
+            "4",
+            "--bind",
+            "nocc=2",
+            "--bind",
+            "nvrt=4",
+            "--chem",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("emp2 ="));
+}
