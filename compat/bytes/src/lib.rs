@@ -1,0 +1,205 @@
+//! Hermetic, in-tree subset of the `bytes` crate.
+//!
+//! The SIA workspace builds in offline environments where crates.io is
+//! unreachable, so external dependencies are replaced by small local crates
+//! exposing exactly the API surface the workspace uses (see `compat/`).
+//! This one covers the cursor/builder pair the bytecode wire codec needs:
+//! [`Bytes`] (an owned, consumable byte cursor) and [`BytesMut`] (an
+//! append-only builder), with the little-endian accessors of the upstream
+//! [`Buf`]/[`BufMut`] traits.
+
+use std::ops::Deref;
+
+/// Read side: sequential little-endian extraction from a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+    /// Consumes `n` bytes into a new [`Bytes`].
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+}
+
+/// Write side: sequential little-endian appends.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+/// An owned byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Builds a buffer by copying `s`.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes {
+            data: s.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// The unread bytes as a vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// Number of unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes {
+            data: self.take(n).to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// An append-only byte builder, frozen into [`Bytes`] when complete.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates a builder with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the builder into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_i64_le(-42);
+        b.put_f64_le(1.5);
+        b.put_slice(b"xyz");
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f64_le(), 1.5);
+        assert_eq!(r.copy_to_bytes(3).as_ref(), b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn deref_and_slicing() {
+        let b = Bytes::copy_from_slice(b"hello");
+        assert_eq!(&b[..2], b"he");
+        assert_eq!(b.to_vec(), b"hello".to_vec());
+    }
+}

@@ -1,0 +1,261 @@
+//! Hermetic, in-tree micro-benchmark harness (see `compat/` rationale in
+//! `compat/bytes`).
+//!
+//! Implements the `criterion` API subset the SIA bench suites use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`black_box`],
+//! [`BenchmarkId`], [`Throughput`], and the `criterion_group!` /
+//! `criterion_main!` macros — with real wall-clock measurement: each
+//! benchmark is warmed up, then timed over batches sized to the target
+//! sample count, and the per-iteration median/mean plus derived throughput
+//! are printed to stdout. There are no HTML reports or statistics beyond
+//! that; `cargo bench` output is a plain table.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units the measured time is normalized against when reporting throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as MiB/s).
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group: function name plus an optional
+/// parameter rendered as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function parameter sweeps.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `self.iters` times back to back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state; one per `criterion_group!` runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u32,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2) as u32;
+        self
+    }
+
+    /// Sets the per-iteration work used to derive throughput numbers.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with no parameter.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark; `input` is passed through to the
+    /// closure as upstream criterion does.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (parity with upstream; settings die with the group).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up: find an iteration count that takes a measurable slice of
+        // time (~10ms per sample), capped so huge benches still finish.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let t = b.elapsed;
+            if t >= Duration::from_millis(10) || iters >= 1 << 20 {
+                break t.as_secs_f64() / iters as f64;
+            }
+            iters *= 2;
+        };
+        let target_sample = Duration::from_millis(10).as_secs_f64();
+        let iters_per_sample = ((target_sample / per_iter.max(1e-12)) as u64).clamp(1, 1 << 20);
+
+        // Keep total time bounded regardless of requested sample count.
+        let budget = Duration::from_secs(3);
+        let start = Instant::now();
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size as usize);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.2} Melem/s", n as f64 / median / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.2} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{label:<28} median {:>12}  mean {:>12}{rate}",
+            self.name,
+            fmt_time(median),
+            fmt_time(mean),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Collects benchmark functions into a runner, as upstream's simple form
+/// does. Only `criterion_group!(name, fn, ...)` is supported (no custom
+/// config closure).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("gemm", 64).to_string(), "gemm/64");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| black_box(2u64 + 2));
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -3,7 +3,10 @@
 //! central tuning parameter — plus raw GEMM and permutation.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sia_blocks::{contract, dgemm, permute, Block, ContractionPlan, GemmLayout, Shape};
+use sia_blocks::{
+    contract, contract_into_ctx, dgemm, dgemm_with, permute, Block, BlockPool, ContractCtx,
+    ContractionPlan, GemmConfig, GemmLayout, PoolConfig, Shape,
+};
 
 fn ramp(shape: Shape) -> Block {
     let mut v = 0.3;
@@ -73,6 +76,69 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
+/// Transpose folding on vs off, on the fold-friendly `C(M,N) = A(L,M)*B(L,N)`
+/// shape: the ablation shows what the planner saves over always materializing
+/// operands in GEMM order.
+fn bench_fold_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contract_fold");
+    for n in [64usize, 128, 256] {
+        let plan = ContractionPlan::infer(&[1, 2], &[0, 1], &[0, 2]).unwrap();
+        let a = ramp(Shape::new(&[n, n]));
+        let b = ramp(Shape::new(&[n, n]));
+        let pool = BlockPool::new(PoolConfig {
+            max_bytes: 64 << 20,
+        });
+        group.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
+        for fold in [true, false] {
+            let name = if fold { "fold" } else { "no_fold" };
+            let mut ctx = ContractCtx::with_pool(pool.clone()).fold_transposes(fold);
+            let mut out = Block::zeros(plan.output_shape(a.shape(), b.shape()));
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |bench, _| {
+                bench.iter(|| {
+                    contract_into_ctx(&mut ctx, &plan, black_box(&a), black_box(&b), 0.0, &mut out)
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The threaded GEMM at bench-relevant sizes (thread counts beyond the
+/// machine's core count just measure scheduling overhead).
+fn bench_gemm_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dgemm_threads");
+    for threads in [1usize, 2, 4] {
+        let n = 256usize;
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 13) as f64 - 6.0).collect();
+        let b = a.clone();
+        let cfg = GemmConfig { threads };
+        group.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, _| {
+                let mut out = vec![0.0f64; n * n];
+                bench.iter(|| {
+                    dgemm_with(
+                        cfg,
+                        n,
+                        n,
+                        n,
+                        1.0,
+                        black_box(&a),
+                        GemmLayout::NoTrans,
+                        black_box(&b),
+                        GemmLayout::NoTrans,
+                        0.0,
+                        &mut out,
+                    );
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// The permutation the contraction engine leans on (SIAL's `V1(K,J,I) =
 /// V2(I,J,K)`).
 fn bench_permute(c: &mut Criterion) {
@@ -95,6 +161,8 @@ criterion_group!(
     bench_block_contraction,
     bench_matrix_contraction,
     bench_gemm,
+    bench_fold_ablation,
+    bench_gemm_threads,
     bench_permute
 );
 criterion_main!(benches);

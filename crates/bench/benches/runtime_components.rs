@@ -117,7 +117,9 @@ endsial
 fn bench_pool(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_pool");
     group.bench_function("acquire_release_recycled", |b| {
-        let pool = BlockPool::new(PoolConfig { max_bytes: 64 << 20 });
+        let pool = BlockPool::new(PoolConfig {
+            max_bytes: 64 << 20,
+        });
         let shape = Shape::cube(4, 8);
         // Prime the size class.
         pool.release(Block::zeros(shape));

@@ -37,7 +37,9 @@ fn bench_des_fine_grained(c: &mut Criterion) {
     // stress case (chunk events through the serialized master model).
     let mut group = c.benchmark_group("des_fine_grained");
     group.sample_size(10);
-    let trace = fock_build(&sia_chem::DIAMOND_NC, 48).trace(1024, 1).unwrap();
+    let trace = fock_build(&sia_chem::DIAMOND_NC, 48)
+        .trace(1024, 1)
+        .unwrap();
     group.bench_function("diamond_fock_72k", |b| {
         b.iter(|| simulate(black_box(&trace), &SimConfig::sip(CRAY_XT5, 72_000)));
     });

@@ -37,7 +37,10 @@ fn placement_ablation() {
         "Ablation 1: block placement on the real SIP (4 workers)",
         &["placement", "recv imbalance (max/mean)", "wall time (ms)"],
     );
-    for (name, placement) in [("hash (SIP)", Placement::Hash), ("round-robin", Placement::RoundRobin)] {
+    for (name, placement) in [
+        ("hash (SIP)", Placement::Hash),
+        ("round-robin", Placement::RoundRobin),
+    ] {
         let cfg = SipConfig {
             workers: 4,
             io_servers: 1,
@@ -111,7 +114,12 @@ fn overlap_ablation() {
     // Sweep the communication:computation balance; report the overlap win.
     let mut table = FigTable::new(
         "Ablation 3: prefetch overlap across comm/comp balances (sim, 512 cores)",
-        &["flops per fetched byte", "no overlap (s)", "overlap (s)", "speedup"],
+        &[
+            "flops per fetched byte",
+            "no overlap (s)",
+            "overlap (s)",
+            "speedup",
+        ],
     );
     for flops_per_byte in [1u64, 8, 64, 512] {
         let bytes_per_iter = 1_000_000u64;

@@ -1,0 +1,185 @@
+//! Contraction hot-path baseline: GEMM throughput (seed kernel replica vs
+//! the MR×NR kernel at 1/2/4 threads), block-contraction GFLOP/s across
+//! segment sizes, and the transpose-folding ablation. Writes the numbers to
+//! `BENCH_contraction.json` at the repo root so future PRs can track the
+//! perf trajectory.
+//!
+//! ```text
+//! cargo run --release -p sia-bench --bin bench_contraction
+//! ```
+
+use sia_blocks::{
+    contract_into_ctx, dgemm_with, Block, BlockPool, ContractCtx, ContractionPlan, GemmConfig,
+    GemmLayout, PoolConfig, Shape,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The pre-overhaul GEMM (MC=64/KC=128, scalar 1×NR inner loop, no
+/// transpose support), kept verbatim as the seed baseline.
+fn seed_dgemm(m: usize, n: usize, k: usize, alpha: f64, a: &[f64], b: &[f64], c: &mut [f64]) {
+    const MC: usize = 64;
+    const KC: usize = 128;
+    const NR: usize = 8;
+    c.fill(0.0);
+    let mut apack = vec![0.0f64; MC.min(m) * KC.min(k)];
+    let mut bpack = vec![0.0f64; KC.min(k) * n];
+    let mut p0 = 0;
+    while p0 < k {
+        let pb = KC.min(k - p0);
+        for p in 0..pb {
+            for j in 0..n {
+                bpack[p * n + j] = b[(p0 + p) * n + j];
+            }
+        }
+        let mut i0 = 0;
+        while i0 < m {
+            let ib = MC.min(m - i0);
+            for i in 0..ib {
+                for p in 0..pb {
+                    apack[i * pb + p] = a[(i0 + i) * k + (p0 + p)];
+                }
+            }
+            for i in 0..ib {
+                let arow = &apack[i * pb..(i + 1) * pb];
+                let crow = &mut c[(i0 + i) * n..(i0 + i + 1) * n];
+                let mut j0 = 0;
+                while j0 < n {
+                    let jb = NR.min(n - j0);
+                    let mut acc = [0.0f64; NR];
+                    for (p, &av) in arow.iter().enumerate() {
+                        let brow = &bpack[p * n + j0..p * n + j0 + jb];
+                        for (t, &bv) in brow.iter().enumerate() {
+                            acc[t] += av * bv;
+                        }
+                    }
+                    for t in 0..jb {
+                        crow[j0 + t] += alpha * acc[t];
+                    }
+                    j0 += jb;
+                }
+            }
+            i0 += ib;
+        }
+        p0 += pb;
+    }
+}
+
+/// Mean seconds per call after one warm-up, over enough reps for ~1s total.
+fn time(mut f: impl FnMut()) -> f64 {
+    f();
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_secs_f64();
+    let reps = ((1.0 / once.max(1e-9)) as usize).clamp(1, 50);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn ramp(shape: Shape) -> Block {
+    let mut v = 0.3;
+    Block::from_fn(shape, |_| {
+        v = (v * 1.3 + 0.7) % 5.0 - 2.0;
+        v
+    })
+}
+
+fn main() {
+    let mut json = String::from("{\n");
+    let gf = |flops: f64, secs: f64| flops / secs / 1e9;
+
+    // ---- raw GEMM at 512^3: seed kernel vs MR×NR at 1/2/4 threads ----------
+    let n = 512usize;
+    let a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64).collect();
+    let b = a.clone();
+    let mut c = vec![0.0f64; n * n];
+    let flops = 2.0 * (n as f64).powi(3);
+
+    let seed = gf(flops, time(|| seed_dgemm(n, n, n, 1.0, &a, &b, &mut c)));
+    println!("gemm 512^3 seed kernel   : {seed:.2} GFLOP/s");
+    json.push_str(&format!("  \"gemm_512_seed_gflops\": {seed:.3},\n"));
+
+    let mut threaded = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let cfg = GemmConfig { threads };
+        let g = gf(
+            flops,
+            time(|| {
+                dgemm_with(
+                    cfg,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    &a,
+                    GemmLayout::NoTrans,
+                    &b,
+                    GemmLayout::NoTrans,
+                    0.0,
+                    &mut c,
+                )
+            }),
+        );
+        println!("gemm 512^3 MRxNR t={threads}    : {g:.2} GFLOP/s");
+        json.push_str(&format!("  \"gemm_512_t{threads}_gflops\": {g:.3},\n"));
+        threaded.push(g);
+    }
+    println!(
+        "speedup vs seed (t=1): {:.2}x; t=2 vs t=1: {:.2}x (on {} host cpus)",
+        threaded[0] / seed,
+        threaded[1] / threaded[0],
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+
+    // ---- block contraction across segment sizes ----------------------------
+    // The paper's R(M,N,I,J) = V(M,N,L,S)·T(L,S,I,J) on one block pair.
+    let plan = ContractionPlan::infer(&[0, 1, 2, 3], &[0, 1, 4, 5], &[4, 5, 2, 3]).unwrap();
+    let pool = BlockPool::new(PoolConfig {
+        max_bytes: 512 << 20,
+    });
+    for seg in [8usize, 16, 32] {
+        let va = ramp(Shape::cube(4, seg));
+        let vb = ramp(Shape::cube(4, seg));
+        let mut out = Block::zeros(plan.output_shape(va.shape(), vb.shape()));
+        let mut ctx = ContractCtx::with_pool(pool.clone());
+        let g = gf(
+            plan.flops(va.shape(), vb.shape()) as f64,
+            time(|| contract_into_ctx(&mut ctx, &plan, &va, &vb, 0.0, &mut out)),
+        );
+        println!("contraction rank4 seg={seg:<2} : {g:.2} GFLOP/s");
+        json.push_str(&format!("  \"contract_seg{seg}_gflops\": {g:.3},\n"));
+    }
+
+    // ---- transpose-folding ablation ----------------------------------------
+    // Fold-friendly rank-2 shape C(M,N) = A(L,M)·B(L,N) at 256^3.
+    let m = 256usize;
+    let plan2 = ContractionPlan::infer(&[1, 2], &[0, 1], &[0, 2]).unwrap();
+    let fa = ramp(Shape::new(&[m, m]));
+    let fb = ramp(Shape::new(&[m, m]));
+    let mut out = Block::zeros(plan2.output_shape(fa.shape(), fb.shape()));
+    for fold in [true, false] {
+        let mut ctx = ContractCtx::with_pool(pool.clone()).fold_transposes(fold);
+        let secs = time(|| contract_into_ctx(&mut ctx, &plan2, &fa, &fb, 0.0, &mut out));
+        let name = if fold { "fold" } else { "no_fold" };
+        println!("contract 256^2 {name:<8}: {:.3} ms", secs * 1e3);
+        json.push_str(&format!(
+            "  \"contract_256_{name}_ms\": {:.4},\n",
+            secs * 1e3
+        ));
+    }
+
+    json.push_str(&format!(
+        "  \"host_cpus\": {},\n  \"note\": \"thread scaling is bounded by host cpu count\"\n}}\n",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    ));
+
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_contraction.json");
+    match fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

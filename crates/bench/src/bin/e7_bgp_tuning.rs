@@ -53,7 +53,13 @@ fn main() {
 
     let mut table = FigTable::new(
         "E7a (§VI-A): (H2O)21H+ CCSD iteration, 512 processors (simulated)",
-        &["configuration", "cache blocks", "prefetch", "time", "vs XT5"],
+        &[
+            "configuration",
+            "cache blocks",
+            "prefetch",
+            "time",
+            "vs XT5",
+        ],
     );
     table.row(vec![
         "Cray XT5, tuned".into(),

@@ -17,9 +17,7 @@ use sia_sim::{machine::SUN_OPTERON_IB, simulate, SimConfig};
 fn main() {
     let seg = 26;
     let workload = ccsd_iteration(&LUCIFERIN, seg, 1);
-    let trace = workload
-        .trace(32, 1)
-        .expect("luciferin CCSD trace");
+    let trace = workload.trace(32, 1).expect("luciferin CCSD trace");
 
     let procs: &[u64] = if sia_bench::quick() {
         &[32, 256]

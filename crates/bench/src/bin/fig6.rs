@@ -26,7 +26,9 @@ fn main() {
     let procs: &[u64] = if sia_bench::quick() {
         &[12_000, 72_000, 108_000]
     } else {
-        &[12_000, 24_000, 36_000, 48_000, 60_000, 72_000, 84_000, 96_000, 108_000]
+        &[
+            12_000, 24_000, 36_000, 48_000, 60_000, 72_000, 84_000, 96_000, 108_000,
+        ]
     };
 
     let trace = fock_build(&DIAMOND_NC, default_seg)
@@ -51,10 +53,7 @@ fn main() {
     table.print();
 
     // Non-monotonicity check: the best core count should not be the largest.
-    if let Some(&(best_p, _)) = times
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-    {
+    if let Some(&(best_p, _)) = times.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()) {
         let (last_p, _) = *times.last().unwrap();
         println!(
             "fastest at {best_p} cores{}",

@@ -38,7 +38,13 @@ fn main() {
 
     let mut table = FigTable::new(
         "Figure 7: cytosine+OH UHF MP2, SGI Altix 4700 — ACES III vs GA baseline",
-        &["procs", "ACES III (1GB)", "GA (1GB)", "GA (2GB)", "GA (4GB)"],
+        &[
+            "procs",
+            "ACES III (1GB)",
+            "GA (1GB)",
+            "GA (2GB)",
+            "GA (4GB)",
+        ],
     );
     for &p in procs {
         let sia = simulate(

@@ -93,7 +93,9 @@ pub fn results_dir() -> PathBuf {
 
 /// Reduced sweeps for CI/smoke runs.
 pub fn quick() -> bool {
-    std::env::var("SIA_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("SIA_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// Formats seconds as `123.4 s` or `5.67 min` like the paper's axes.

@@ -74,7 +74,10 @@ fn fig6_shape_knee_and_segment_retune() {
         .map(|&p| simulate(&trace32, &SimConfig::sip(CRAY_XT5, p)).total_time)
         .collect();
     // Scaling from 24k to 72k, then no improvement (the paper's regression).
-    assert!(times[1] < times[0] * 0.6, "24k→72k must speed up: {times:?}");
+    assert!(
+        times[1] < times[0] * 0.6,
+        "24k→72k must speed up: {times:?}"
+    );
     assert!(
         times[2] > times[1] * 0.98,
         "beyond the knee, more cores must not help: {times:?}"
@@ -99,7 +102,10 @@ fn fig7_shape_ga_memory_gate_and_offset() {
 
     // SIA at 1 GB/core completes at every count (feasibility by design).
     for p in [16u64, 64, 256] {
-        let r = simulate(&trace, &SimConfig::sip(SGI_ALTIX.with_mem_per_core(1 << 30), p));
+        let r = simulate(
+            &trace,
+            &SimConfig::sip(SGI_ALTIX.with_mem_per_core(1 << 30), p),
+        );
         assert!(r.total_time.is_finite() && r.total_time > 0.0);
     }
     // GA at 1 GB/core never runs.
@@ -130,7 +136,10 @@ fn fig7_shape_ga_memory_gate_and_offset() {
         panic!("GA@2GB must run at 32 procs");
     };
     // And where both run, SIA is faster (the constant offset).
-    let sia = simulate(&trace, &SimConfig::sip(SGI_ALTIX.with_mem_per_core(1 << 30), 32));
+    let sia = simulate(
+        &trace,
+        &SimConfig::sip(SGI_ALTIX.with_mem_per_core(1 << 30), 32),
+    );
     assert!(
         ga_report.total_time > 1.5 * sia.total_time,
         "GA {} vs SIA {}",

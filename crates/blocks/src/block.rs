@@ -7,11 +7,10 @@
 //! method call.
 
 use crate::shape::Shape;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense, row-major block of `f64` values.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Block {
     shape: Shape,
     data: Vec<f64>,

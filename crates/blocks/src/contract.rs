@@ -13,8 +13,9 @@
 //! the bytecode and reused for every block the loop touches.
 
 use crate::block::Block;
-use crate::gemm::{dgemm, GemmLayout};
-use crate::permute::{is_identity_permutation, permute};
+use crate::gemm::{dgemm_with, GemmConfig, GemmLayout};
+use crate::permute::{is_identity_permutation, permute_into};
+use crate::pool::BlockPool;
 use crate::shape::Shape;
 use std::fmt;
 
@@ -42,7 +43,10 @@ impl fmt::Display for ContractError {
                 write!(f, "index label {label} repeated within one operand")
             }
             ContractError::UnboundOutput { label } => {
-                write!(f, "output index label {label} not present in either operand")
+                write!(
+                    f,
+                    "output index label {label} not present in either operand"
+                )
             }
             ContractError::BatchLabel { label } => write!(
                 f,
@@ -58,6 +62,20 @@ impl fmt::Display for ContractError {
 }
 
 impl std::error::Error for ContractError {}
+
+/// How an operand reaches GEMM form without (or with) materialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandFold {
+    /// Stored order is already the GEMM order — use the data in place with
+    /// `GemmLayout::NoTrans`.
+    Identity,
+    /// Stored order is the GEMM order with the free/contracted groups
+    /// swapped — the stored matrix is the transpose of the wanted one, so
+    /// use the data in place with `GemmLayout::Trans`.
+    FoldedTranspose,
+    /// General reordering — a permuted copy must be materialized.
+    Permute,
+}
 
 /// A precomputed contraction: which axes of each operand are free or
 /// contracted, and the permutations bringing the operands into GEMM form.
@@ -78,6 +96,26 @@ pub struct ContractionPlan {
     pub out_perm: Vec<usize>,
     /// Number of contracted axes.
     pub n_contracted: usize,
+    /// How A reaches its `[free_a.., contracted..]` GEMM form.
+    pub a_fold: OperandFold,
+    /// How B reaches its `[contracted.., free_b..]` GEMM form.
+    pub b_fold: OperandFold,
+}
+
+/// Classifies a GEMM-form permutation: identity, a pure swap of the two
+/// flattened groups (stored = target rotated left by `split`), or general.
+fn classify_fold(perm: &[usize], split: usize) -> OperandFold {
+    if is_identity_permutation(perm) {
+        OperandFold::Identity
+    } else if perm
+        .iter()
+        .enumerate()
+        .all(|(d, &p)| p == (d + split) % perm.len())
+    {
+        OperandFold::FoldedTranspose
+    } else {
+        OperandFold::Permute
+    }
 }
 
 impl ContractionPlan {
@@ -86,7 +124,11 @@ impl ContractionPlan {
     /// Contracted labels are those shared by `A` and `B` and absent from `C`.
     /// Every output label must come from exactly one operand; every
     /// non-contracted input label must appear in the output.
-    pub fn infer(c_labels: &[u32], a_labels: &[u32], b_labels: &[u32]) -> Result<Self, ContractError> {
+    pub fn infer(
+        c_labels: &[u32],
+        a_labels: &[u32],
+        b_labels: &[u32],
+    ) -> Result<Self, ContractError> {
         use crate::shape::MAX_RANK;
         if a_labels.len() > MAX_RANK || b_labels.len() > MAX_RANK || c_labels.len() > MAX_RANK {
             return Err(ContractError::RankTooLarge);
@@ -152,6 +194,9 @@ impl ContractionPlan {
         let raw: Vec<u32> = free_a.iter().chain(free_b.iter()).copied().collect();
         let out_perm: Vec<usize> = c_labels.iter().map(|&l| pos(&raw, l)).collect();
 
+        let n_contracted = contracted.len();
+        let a_fold = classify_fold(&a_perm, n_contracted);
+        let b_fold = classify_fold(&b_perm, b_labels.len() - n_contracted);
         Ok(ContractionPlan {
             c_labels: c_labels.to_vec(),
             a_labels: a_labels.to_vec(),
@@ -159,7 +204,9 @@ impl ContractionPlan {
             a_perm,
             b_perm,
             out_perm,
-            n_contracted: contracted.len(),
+            n_contracted,
+            a_fold,
+            b_fold,
         })
     }
 
@@ -201,6 +248,113 @@ impl ContractionPlan {
     }
 }
 
+/// Counters describing how the contraction hot path behaved: copies folded
+/// away, copies materialized, and where the scratch for the latter came
+/// from. Aggregated per worker and surfaced in the SIP profile summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContractStats {
+    /// Contractions executed.
+    pub contractions: u64,
+    /// Operand permutes skipped by using the data in place (identity or
+    /// transpose-folded into the GEMM layout).
+    pub permutes_avoided: u64,
+    /// Operand permutes that had to materialize a reordered copy.
+    pub permutes_performed: u64,
+    /// Scratch buffers served from the block pool's recycled storage.
+    pub scratch_pool_hits: u64,
+    /// Scratch buffers that required a fresh allocation.
+    pub scratch_pool_misses: u64,
+    /// Bytes of operand data that were never copied thanks to folding.
+    pub bytes_not_copied: u64,
+}
+
+impl ContractStats {
+    /// Accumulates another worker's counters into this one.
+    pub fn merge(&mut self, other: &ContractStats) {
+        self.contractions += other.contractions;
+        self.permutes_avoided += other.permutes_avoided;
+        self.permutes_performed += other.permutes_performed;
+        self.scratch_pool_hits += other.scratch_pool_hits;
+        self.scratch_pool_misses += other.scratch_pool_misses;
+        self.bytes_not_copied += other.bytes_not_copied;
+    }
+}
+
+/// Execution context for contractions: where scratch comes from, how the
+/// GEMM runs, and whether layout folding is enabled. One lives per SIP
+/// worker (sharing the worker's block pool); a default context gives the
+/// standalone `contract`/`contract_into` entry points sane behavior.
+#[derive(Debug, Clone, Default)]
+pub struct ContractCtx {
+    pool: Option<BlockPool>,
+    /// GEMM tuning (thread count) used for every contraction in this ctx.
+    pub gemm: GemmConfig,
+    /// When false, operands are always materialized in GEMM order — the
+    /// pre-folding behavior, kept for ablation runs.
+    pub no_fold: bool,
+    /// Running counters; reset with [`ContractCtx::take_stats`].
+    pub stats: ContractStats,
+}
+
+impl ContractCtx {
+    /// A context with no pool (scratch is plainly allocated) and folding on.
+    pub fn new() -> Self {
+        ContractCtx::default()
+    }
+
+    /// A context drawing scratch from `pool`.
+    pub fn with_pool(pool: BlockPool) -> Self {
+        ContractCtx {
+            pool: Some(pool),
+            ..ContractCtx::default()
+        }
+    }
+
+    /// Sets the GEMM tuning (builder style).
+    pub fn gemm(mut self, cfg: GemmConfig) -> Self {
+        self.gemm = cfg;
+        self
+    }
+
+    /// Disables transpose folding (builder style, for ablations).
+    pub fn fold_transposes(mut self, on: bool) -> Self {
+        self.no_fold = !on;
+        self
+    }
+
+    /// Returns the counters accumulated so far and resets them.
+    pub fn take_stats(&mut self) -> ContractStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Acquires zeroed scratch of `shape`, recycled from the pool when one
+    /// is attached and has parked storage of that size class.
+    fn scratch(&mut self, shape: Shape) -> Block {
+        if let Some(pool) = &self.pool {
+            let hits_before = pool.stats().hits;
+            if let Ok(blk) = pool.acquire_raw(shape) {
+                if pool.stats().hits > hits_before {
+                    self.stats.scratch_pool_hits += 1;
+                } else {
+                    self.stats.scratch_pool_misses += 1;
+                }
+                return blk;
+            }
+            // Pool budget exhausted: fall through to a plain allocation
+            // rather than failing the contraction.
+        }
+        self.stats.scratch_pool_misses += 1;
+        Block::zeros(shape)
+    }
+
+    /// Returns scratch storage for reuse by later contractions.
+    fn free(&mut self, blk: Block) {
+        if let Some(pool) = &self.pool {
+            pool.release(blk);
+        }
+    }
+}
+
 /// `C = A * B` under `plan`. Allocates the output block.
 pub fn contract(plan: &ContractionPlan, a: &Block, b: &Block) -> Block {
     let mut c = Block::zeros(plan.output_shape(a.shape(), b.shape()));
@@ -208,82 +362,150 @@ pub fn contract(plan: &ContractionPlan, a: &Block, b: &Block) -> Block {
     c
 }
 
+/// `C = alpha_c * C + A * B` under `plan` with a throwaway default context
+/// (folding on, no pool, single-threaded GEMM). See [`contract_into_ctx`].
+pub fn contract_into(plan: &ContractionPlan, a: &Block, b: &Block, alpha_c: f64, c: &mut Block) {
+    contract_into_ctx(&mut ContractCtx::new(), plan, a, b, alpha_c, c);
+}
+
 /// `C = alpha_c * C + A * B` under `plan` (`alpha_c = 1.0` implements the
 /// fused contraction-accumulate of SIAL's `+=`).
 ///
+/// The hot path: each operand is classified (see [`OperandFold`]) and either
+/// used in place — with the transpose folded into the GEMM's layout flag —
+/// or materialized into pool-backed scratch with the blocked permute kernel.
+/// When the output needs no reordering the GEMM writes straight into `C`
+/// (including the `alpha_c` accumulate, via GEMM's beta).
+///
 /// # Panics
 /// Panics if block shapes are inconsistent with the plan.
-pub fn contract_into(plan: &ContractionPlan, a: &Block, b: &Block, alpha_c: f64, c: &mut Block) {
+pub fn contract_into_ctx(
+    ctx: &mut ContractCtx,
+    plan: &ContractionPlan,
+    a: &Block,
+    b: &Block,
+    alpha_c: f64,
+    c: &mut Block,
+) {
     assert_eq!(a.shape().rank(), plan.a_labels.len(), "A rank mismatch");
     assert_eq!(b.shape().rank(), plan.b_labels.len(), "B rank mismatch");
     let expect = plan.output_shape(a.shape(), b.shape());
     assert_eq!(*c.shape(), expect, "C shape mismatch");
+    ctx.stats.contractions += 1;
 
     let nc = plan.n_contracted;
-    let a_p = permute(a, &plan.a_perm);
-    let b_p = permute(b, &plan.b_perm);
+    let nf_a = plan.a_perm.len() - nc;
+    let m: usize = plan.a_perm[..nf_a]
+        .iter()
+        .map(|&p| a.shape().dim(p))
+        .product();
+    let k: usize = plan.a_perm[nf_a..]
+        .iter()
+        .map(|&p| a.shape().dim(p))
+        .product();
+    let n: usize = plan.b_perm[nc..]
+        .iter()
+        .map(|&p| b.shape().dim(p))
+        .product();
 
-    let m: usize = a_p.shape().dims()[..a_p.shape().rank() - nc]
-        .iter()
-        .map(|&d| d as usize)
-        .product();
-    let k: usize = a_p.shape().dims()[a_p.shape().rank() - nc..]
-        .iter()
-        .map(|&d| d as usize)
-        .product();
-    let n: usize = b_p.shape().dims()[nc..].iter().map(|&d| d as usize).product();
+    // Bring each operand into GEMM form: in place when the stored layout
+    // already is the wanted matrix or its transpose, otherwise a permuted
+    // copy in scratch.
+    let (ta, a_scratch) = prepare_operand(ctx, a, &plan.a_perm, plan.a_fold);
+    let (tb, b_scratch) = prepare_operand(ctx, b, &plan.b_perm, plan.b_fold);
+    let a_data = a_scratch.as_ref().map_or(a.data(), |s| s.data());
+    let b_data = b_scratch.as_ref().map_or(b.data(), |s| s.data());
 
     if is_identity_permutation(&plan.out_perm) {
         // GEMM straight into C's storage.
-        dgemm(
+        dgemm_with(
+            ctx.gemm,
             m,
             n,
             k,
             1.0,
-            a_p.data(),
-            GemmLayout::NoTrans,
-            b_p.data(),
-            GemmLayout::NoTrans,
+            a_data,
+            ta,
+            b_data,
+            tb,
             alpha_c,
             c.data_mut(),
         );
     } else {
-        // GEMM to a raw (free_a, free_b) buffer, permute into place.
-        let raw_shape = {
-            let mut dims: Vec<usize> = a_p.shape().dims()[..a_p.shape().rank() - nc]
-                .iter()
-                .map(|&d| d as usize)
-                .collect();
-            dims.extend(b_p.shape().dims()[nc..].iter().map(|&d| d as usize));
-            if dims.is_empty() {
-                Shape::scalar()
-            } else {
-                Shape::new(&dims)
-            }
+        // GEMM to a raw (free_a, free_b) scratch buffer, permute into place.
+        let raw_dims: Vec<usize> = plan.a_perm[..nf_a]
+            .iter()
+            .map(|&p| a.shape().dim(p))
+            .chain(plan.b_perm[nc..].iter().map(|&p| b.shape().dim(p)))
+            .collect();
+        let raw_shape = if raw_dims.is_empty() {
+            Shape::scalar()
+        } else {
+            Shape::new(&raw_dims)
         };
-        let mut raw = Block::zeros(raw_shape);
-        dgemm(
+        let mut raw = ctx.scratch(raw_shape);
+        dgemm_with(
+            ctx.gemm,
             m,
             n,
             k,
             1.0,
-            a_p.data(),
-            GemmLayout::NoTrans,
-            b_p.data(),
-            GemmLayout::NoTrans,
+            a_data,
+            ta,
+            b_data,
+            tb,
             0.0,
             raw.data_mut(),
         );
-        let permuted = permute(&raw, &plan.out_perm);
         if alpha_c == 0.0 {
-            *c = permuted;
+            permute_into(&raw, &plan.out_perm, c.data_mut());
         } else {
+            let mut permuted = ctx.scratch(*c.shape());
+            permute_into(&raw, &plan.out_perm, permuted.data_mut());
             if alpha_c != 1.0 {
                 c.scale(alpha_c);
             }
             c.accumulate(&permuted);
+            ctx.free(permuted);
+        }
+        ctx.free(raw);
+    }
+
+    if let Some(s) = a_scratch {
+        ctx.free(s);
+    }
+    if let Some(s) = b_scratch {
+        ctx.free(s);
+    }
+}
+
+/// Classifies one operand for the GEMM: returns the layout flag plus the
+/// materialized scratch copy when folding wasn't possible (or is disabled).
+fn prepare_operand(
+    ctx: &mut ContractCtx,
+    op: &Block,
+    perm: &[usize],
+    fold: OperandFold,
+) -> (GemmLayout, Option<Block>) {
+    if !ctx.no_fold {
+        match fold {
+            OperandFold::Identity => {
+                ctx.stats.permutes_avoided += 1;
+                ctx.stats.bytes_not_copied += (op.len() * std::mem::size_of::<f64>()) as u64;
+                return (GemmLayout::NoTrans, None);
+            }
+            OperandFold::FoldedTranspose => {
+                ctx.stats.permutes_avoided += 1;
+                ctx.stats.bytes_not_copied += (op.len() * std::mem::size_of::<f64>()) as u64;
+                return (GemmLayout::Trans, None);
+            }
+            OperandFold::Permute => {}
         }
     }
+    ctx.stats.permutes_performed += 1;
+    let mut scratch = ctx.scratch(op.shape().permuted(perm));
+    permute_into(op, perm, scratch.data_mut());
+    (GemmLayout::NoTrans, Some(scratch))
 }
 
 /// Reference contraction by explicit index summation. O(output · contracted)
@@ -432,6 +654,132 @@ mod tests {
             plan.flops(&Shape::new(&[4, 5]), &Shape::new(&[5, 3])),
             2 * 4 * 3 * 5
         );
+    }
+
+    #[test]
+    fn fold_classification() {
+        // C(M,N) = A(L,M) * B(L,N): A is stored [contracted, free] → folded
+        // transpose; B is stored [contracted, free] → identity for B's form.
+        let plan = ContractionPlan::infer(&[1, 2], &[0, 1], &[0, 2]).unwrap();
+        assert_eq!(plan.a_fold, OperandFold::FoldedTranspose);
+        assert_eq!(plan.b_fold, OperandFold::Identity);
+
+        // C(M,N) = A(M,L) * B(L,N): both already in GEMM order.
+        let plan = ContractionPlan::infer(&[0, 2], &[0, 1], &[1, 2]).unwrap();
+        assert_eq!(plan.a_fold, OperandFold::Identity);
+        assert_eq!(plan.b_fold, OperandFold::Identity);
+
+        // C(M,N) = A(M,L) * B(N,L): B stored [free, contracted] → folded.
+        let plan = ContractionPlan::infer(&[0, 2], &[0, 1], &[2, 1]).unwrap();
+        assert_eq!(plan.a_fold, OperandFold::Identity);
+        assert_eq!(plan.b_fold, OperandFold::FoldedTranspose);
+
+        // Rank-4 group swap: A(L,S,M,N) with C(M,N,..) contracting L,S.
+        let plan = ContractionPlan::infer(&[2, 3, 4], &[0, 1, 2, 3], &[0, 1, 4]).unwrap();
+        assert_eq!(plan.a_fold, OperandFold::FoldedTranspose);
+
+        // Interleaved axes can't fold: B stores the contracted label in the
+        // middle of its free labels.
+        let plan = ContractionPlan::infer(&[1, 2, 3], &[0, 1], &[2, 0, 3]).unwrap();
+        assert_eq!(plan.b_fold, OperandFold::Permute);
+    }
+
+    #[test]
+    fn folded_paths_match_naive() {
+        // Every fold combination, checked against the reference.
+        for (c, al, bl, ash, bsh) in [
+            // A folded-transpose, B identity.
+            (
+                vec![1u32, 2],
+                vec![0u32, 1],
+                vec![0u32, 2],
+                vec![5usize, 4],
+                vec![5usize, 3],
+            ),
+            // A identity, B folded-transpose.
+            (vec![0, 2], vec![0, 1], vec![2, 1], vec![4, 5], vec![3, 5]),
+            // Both folded.
+            (vec![1, 2], vec![0, 1], vec![2, 0], vec![5, 4], vec![3, 5]),
+            // Rank-4 grouped fold (paper's eq. 2 shape).
+            (
+                vec![0, 1, 2, 3],
+                vec![4, 5, 0, 1],
+                vec![4, 5, 2, 3],
+                vec![2, 3, 3, 4],
+                vec![2, 3, 3, 2],
+            ),
+        ] {
+            check(&c, &al, &bl, &ash, &bsh);
+        }
+    }
+
+    #[test]
+    fn ctx_counts_folds_and_disables() {
+        let plan = ContractionPlan::infer(&[1, 2], &[0, 1], &[0, 2]).unwrap();
+        let a = ramp(Shape::new(&[5, 4]), 0.4);
+        let b = ramp(Shape::new(&[5, 3]), 1.2);
+        let mut c = Block::zeros(Shape::new(&[4, 3]));
+
+        let mut ctx = ContractCtx::new();
+        contract_into_ctx(&mut ctx, &plan, &a, &b, 0.0, &mut c);
+        assert_eq!(ctx.stats.contractions, 1);
+        assert_eq!(ctx.stats.permutes_avoided, 2);
+        assert_eq!(ctx.stats.permutes_performed, 0);
+        assert_eq!(ctx.stats.bytes_not_copied, ((5 * 4 + 5 * 3) * 8) as u64);
+        let folded = c.clone();
+
+        // Folding off: same numbers, two materialized permutes.
+        let mut ctx = ContractCtx::new().fold_transposes(false);
+        let mut c2 = Block::zeros(Shape::new(&[4, 3]));
+        contract_into_ctx(&mut ctx, &plan, &a, &b, 0.0, &mut c2);
+        assert_eq!(ctx.stats.permutes_avoided, 0);
+        assert_eq!(ctx.stats.permutes_performed, 2);
+        assert!(folded.approx_eq(&c2, 1e-12));
+    }
+
+    #[test]
+    fn ctx_scratch_reuses_pool() {
+        use crate::pool::{BlockPool, PoolConfig};
+        // A plan forcing materialized scratch: B must permute, and the
+        // output needs a reorder, so scratch is drawn repeatedly.
+        let plan = ContractionPlan::infer(&[2, 0], &[0, 1], &[1, 2]).unwrap();
+        let a = ramp(Shape::new(&[4, 5]), 0.3);
+        let b = ramp(Shape::new(&[5, 3]), 1.1);
+        let pool = BlockPool::new(PoolConfig::default());
+        let mut ctx = ContractCtx::with_pool(pool);
+        let mut c = Block::zeros(Shape::new(&[3, 4]));
+        contract_into_ctx(&mut ctx, &plan, &a, &b, 0.0, &mut c);
+        let first = ctx.stats;
+        assert!(first.scratch_pool_misses > 0, "first run allocates");
+        contract_into_ctx(&mut ctx, &plan, &a, &b, 0.0, &mut c);
+        let second = ctx.stats;
+        assert_eq!(
+            second.scratch_pool_misses, first.scratch_pool_misses,
+            "second run allocates nothing new"
+        );
+        assert!(second.scratch_pool_hits > first.scratch_pool_hits);
+        assert!(c.approx_eq(&naive_contract(&plan, &a, &b), 1e-9));
+    }
+
+    #[test]
+    fn ctx_accumulate_with_output_permute() {
+        let plan = ContractionPlan::infer(&[2, 0], &[0, 1], &[1, 2]).unwrap();
+        let a = ramp(Shape::new(&[4, 5]), 0.5);
+        let b = ramp(Shape::new(&[5, 3]), 1.5);
+        let base = ramp(Shape::new(&[3, 4]), 2.0);
+        let mut c = base.clone();
+        let mut ctx = ContractCtx::new();
+        contract_into_ctx(&mut ctx, &plan, &a, &b, 1.0, &mut c);
+        let mut expect = naive_contract(&plan, &a, &b);
+        expect.accumulate(&base);
+        assert!(c.approx_eq(&expect, 1e-9));
+
+        // And with a scaling alpha_c.
+        let mut c = base.clone();
+        contract_into_ctx(&mut ctx, &plan, &a, &b, -0.5, &mut c);
+        let mut expect = naive_contract(&plan, &a, &b);
+        expect.axpy(-0.5, &base);
+        assert!(c.approx_eq(&expect, 1e-9));
     }
 
     #[test]

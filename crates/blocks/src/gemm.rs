@@ -2,11 +2,19 @@
 //!
 //! The original SIP leans on a vendor BLAS for its contraction super
 //! instructions ("permute one of the arrays and then apply a DGEMM"). We
-//! provide a dependency-free equivalent: a register-tiled, cache-blocked
-//! `C = alpha * op(A) * op(B) + beta * C` for row-major matrices. It is not
-//! MKL, but it exercises the identical code path (the SIP treats the kernel
-//! as opaque) and is fast enough for test- and bench-scale blocks
-//! (seg = 8..32 → GEMM dims ≤ ~1024).
+//! provide a dependency-free equivalent: a BLIS-style register-tiled,
+//! cache-blocked `C = alpha * op(A) * op(B) + beta * C` for row-major
+//! matrices. It is not MKL, but it exercises the identical code path (the
+//! SIP treats the kernel as opaque) and is fast enough for test- and
+//! bench-scale blocks.
+//!
+//! Structure: the k dimension is split into KC-deep panels; op(B) panels are
+//! packed into NR-wide column slivers and op(A) panels into MR-tall row
+//! slivers (both zero-padded at the edges) so the MR x NR microkernel runs
+//! over contiguous memory with a full register tile of accumulators. The
+//! M dimension can additionally be split across threads — each thread owns a
+//! disjoint row range of C, packing its own slivers — which is how the SIP
+//! exploits idle cores inside one worker (configure via [`GemmConfig`]).
 
 /// Whether an operand participates as itself or transposed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -17,11 +25,29 @@ pub enum GemmLayout {
     Trans,
 }
 
-const MC: usize = 64; // rows of A per L2 panel
-const KC: usize = 128; // depth per panel
+/// Tuning knobs for [`dgemm_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GemmConfig {
+    /// Worker threads to split the M dimension across (1 = run inline).
+    pub threads: usize,
+}
+
+impl Default for GemmConfig {
+    fn default() -> Self {
+        GemmConfig { threads: 1 }
+    }
+}
+
+const MC: usize = 128; // rows of op(A) per cache panel
+const KC: usize = 256; // depth per cache panel
+const MR: usize = 4; // register tile height
 const NR: usize = 8; // register tile width
 
-/// `C(m x n) = alpha * op(A) * op(B) + beta * C` with row-major storage.
+/// Below this many multiply-adds, spawning threads costs more than it saves.
+const MIN_FLOPS_PER_THREAD: usize = 1 << 16;
+
+/// `C(m x n) = alpha * op(A) * op(B) + beta * C` with row-major storage,
+/// single-threaded. See [`dgemm_with`] for the threaded form.
 ///
 /// * `op(A)` is `m x k`: if `ta == NoTrans`, `a` is `m x k`; if `Trans`,
 ///   `a` is stored `k x m`.
@@ -31,6 +57,25 @@ const NR: usize = 8; // register tile width
 /// Panics if slice lengths don't match the stated dimensions.
 #[allow(clippy::too_many_arguments)]
 pub fn dgemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    ta: GemmLayout,
+    b: &[f64],
+    tb: GemmLayout,
+    beta: f64,
+    c: &mut [f64],
+) {
+    dgemm_with(GemmConfig::default(), m, n, k, alpha, a, ta, b, tb, beta, c);
+}
+
+/// [`dgemm`] with explicit tuning: `cfg.threads > 1` splits the M dimension
+/// across scoped threads, each owning a disjoint row band of `C`.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_with(
+    cfg: GemmConfig,
     m: usize,
     n: usize,
     k: usize,
@@ -57,58 +102,284 @@ pub fn dgemm(
         return;
     }
 
-    // Pack op(A) row-major (m x k) and op(B) row-major (k x n) panel by
-    // panel; packing makes the inner kernel layout-oblivious and sequential.
-    let mut apack = vec![0.0f64; MC.min(m) * KC.min(k)];
-    let mut bpack = vec![0.0f64; KC.min(k) * n];
+    let threads = cfg
+        .threads
+        .max(1)
+        .min(m.div_ceil(MR))
+        .min((m * n * k / MIN_FLOPS_PER_THREAD).max(1));
+
+    if threads <= 1 {
+        gemm_rows(0, m, m, n, k, alpha, a, ta, b, tb, c);
+        return;
+    }
+
+    // Split C into `threads` disjoint row bands (MR-aligned so sliver
+    // packing never straddles a band boundary); each thread packs its own
+    // A/B panels and writes only its own band.
+    let rows_per = m.div_ceil(threads).div_ceil(MR) * MR;
+    std::thread::scope(|scope| {
+        let mut rest = c;
+        let mut row0 = 0;
+        while row0 < m {
+            let band = rows_per.min(m - row0);
+            let (mine, tail) = rest.split_at_mut(band * n);
+            rest = tail;
+            let r0 = row0;
+            scope.spawn(move || {
+                gemm_rows(r0, band, m, n, k, alpha, a, ta, b, tb, mine);
+            });
+            row0 += band;
+        }
+    });
+}
+
+/// Computes rows `row0 .. row0+rows` of `C += alpha * op(A) * op(B)`, where
+/// `c_band` holds exactly those rows. `m_total` is op(A)'s full row count
+/// (needed for the `Trans` stride).
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    row0: usize,
+    rows: usize,
+    m_total: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    ta: GemmLayout,
+    b: &[f64],
+    tb: GemmLayout,
+    c_band: &mut [f64],
+) {
+    let kernel = select_microkernel();
+    let n_slivers = n.div_ceil(NR);
+    let mut apack = vec![0.0f64; MC.min(rows).div_ceil(MR) * MR * KC.min(k)];
+    let mut bpack = vec![0.0f64; KC.min(k) * n_slivers * NR];
 
     let mut p0 = 0;
     while p0 < k {
         let pb = KC.min(k - p0);
-        // Pack B panel: rows p0..p0+pb of op(B).
-        for p in 0..pb {
-            for j in 0..n {
-                bpack[p * n + j] = match tb {
-                    GemmLayout::NoTrans => b[(p0 + p) * n + j],
-                    GemmLayout::Trans => b[j * k + (p0 + p)],
-                };
-            }
-        }
+        pack_b(&mut bpack, b, tb, p0, pb, n, k);
         let mut i0 = 0;
-        while i0 < m {
-            let ib = MC.min(m - i0);
-            // Pack A panel: rows i0..i0+ib, cols p0..p0+pb of op(A).
-            for i in 0..ib {
-                for p in 0..pb {
-                    apack[i * pb + p] = match ta {
-                        GemmLayout::NoTrans => a[(i0 + i) * k + (p0 + p)],
-                        GemmLayout::Trans => a[(p0 + p) * m + (i0 + i)],
-                    };
+        while i0 < rows {
+            let ib = MC.min(rows - i0);
+            pack_a(&mut apack, a, ta, row0 + i0, ib, p0, pb, m_total, k);
+            // Microkernel sweep over the packed panel.
+            let mut ii = 0;
+            while ii < ib {
+                let mr = MR.min(ib - ii);
+                let ap = &apack[(ii / MR) * MR * pb..(ii / MR + 1) * MR * pb];
+                for js in 0..n_slivers {
+                    let j0 = js * NR;
+                    let nr = NR.min(n - j0);
+                    let bp = &bpack[js * NR * pb..(js + 1) * NR * pb];
+                    kernel(
+                        ap,
+                        bp,
+                        pb,
+                        alpha,
+                        &mut c_band[(i0 + ii) * n..],
+                        n,
+                        j0,
+                        mr,
+                        nr,
+                    );
                 }
-            }
-            // Inner kernel: C[i0.., ..] += alpha * apack * bpack.
-            for i in 0..ib {
-                let arow = &apack[i * pb..(i + 1) * pb];
-                let crow = &mut c[(i0 + i) * n..(i0 + i + 1) * n];
-                let mut j0 = 0;
-                while j0 < n {
-                    let jb = NR.min(n - j0);
-                    let mut acc = [0.0f64; NR];
-                    for (p, &av) in arow.iter().enumerate() {
-                        let brow = &bpack[p * n + j0..p * n + j0 + jb];
-                        for (t, &bv) in brow.iter().enumerate() {
-                            acc[t] += av * bv;
-                        }
-                    }
-                    for t in 0..jb {
-                        crow[j0 + t] += alpha * acc[t];
-                    }
-                    j0 += jb;
-                }
+                ii += MR;
             }
             i0 += ib;
         }
         p0 += pb;
+    }
+}
+
+type MicroKernelFn = fn(&[f64], &[f64], usize, f64, &mut [f64], usize, usize, usize, usize);
+
+/// Picks the widest microkernel the running CPU supports. The binary stays
+/// portable (baseline codegen); the AVX2+FMA variant is compiled behind
+/// `#[target_feature]` and only entered after runtime detection.
+fn select_microkernel() -> MicroKernelFn {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return microkernel_avx2;
+        }
+    }
+    microkernel
+}
+
+/// AVX2+FMA instantiation of the same register tile: the fixed-size
+/// MR x NR loops in [`microkernel_body`] vectorize to FMA on 256-bit
+/// registers once the target features are enabled.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn microkernel_avx2(
+    ap: &[f64],
+    bp: &[f64],
+    pb: usize,
+    alpha: f64,
+    c_rows: &mut [f64],
+    n: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn inner(
+        ap: &[f64],
+        bp: &[f64],
+        pb: usize,
+        alpha: f64,
+        c_rows: &mut [f64],
+        n: usize,
+        j0: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        microkernel_body(ap, bp, pb, alpha, c_rows, n, j0, mr, nr);
+    }
+    // Safety: only reachable via select_microkernel's feature detection.
+    unsafe { inner(ap, bp, pb, alpha, c_rows, n, j0, mr, nr) }
+}
+
+/// Packs op(B) rows `p0..p0+pb` into NR-wide column slivers: sliver `js`
+/// occupies `bpack[js*NR*pb ..]`, laid out p-major with NR contiguous values
+/// per depth step, zero-padded past column `n`.
+fn pack_b(bpack: &mut [f64], b: &[f64], tb: GemmLayout, p0: usize, pb: usize, n: usize, k: usize) {
+    let n_slivers = n.div_ceil(NR);
+    for js in 0..n_slivers {
+        let j0 = js * NR;
+        let nr = NR.min(n - j0);
+        let sliver = &mut bpack[js * NR * pb..(js + 1) * NR * pb];
+        match tb {
+            GemmLayout::NoTrans => {
+                for p in 0..pb {
+                    let row = &b[(p0 + p) * n + j0..(p0 + p) * n + j0 + nr];
+                    sliver[p * NR..p * NR + nr].copy_from_slice(row);
+                    sliver[p * NR + nr..(p + 1) * NR].fill(0.0);
+                }
+            }
+            GemmLayout::Trans => {
+                // Stream stored rows (contiguous) and scatter down the
+                // sliver; the sliver stays cache-resident while each source
+                // row is read exactly once, instead of gathering nr values
+                // per depth step with a k-element stride.
+                if nr < NR {
+                    sliver.fill(0.0);
+                }
+                for t in 0..nr {
+                    let row = &b[(j0 + t) * k + p0..(j0 + t) * k + p0 + pb];
+                    for (p, &v) in row.iter().enumerate() {
+                        sliver[p * NR + t] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Packs op(A) rows `gi0..gi0+ib`, depth `p0..p0+pb`, into MR-tall row
+/// slivers laid out p-major with MR contiguous values per depth step,
+/// zero-padded past the last row.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    apack: &mut [f64],
+    a: &[f64],
+    ta: GemmLayout,
+    gi0: usize,
+    ib: usize,
+    p0: usize,
+    pb: usize,
+    m_total: usize,
+    k: usize,
+) {
+    match ta {
+        GemmLayout::NoTrans => {
+            let mut ii = 0;
+            while ii < ib {
+                let mr = MR.min(ib - ii);
+                let sliver = &mut apack[(ii / MR) * MR * pb..(ii / MR + 1) * MR * pb];
+                for p in 0..pb {
+                    for r in 0..mr {
+                        sliver[p * MR + r] = a[(gi0 + ii + r) * k + (p0 + p)];
+                    }
+                    sliver[p * MR + mr..(p + 1) * MR].fill(0.0);
+                }
+                ii += MR;
+            }
+        }
+        GemmLayout::Trans => {
+            // Stream each stored row (contiguous in A) once, scattering its
+            // MR-wide pieces across the slivers it feeds. Successive depth
+            // steps land 32 bytes apart in each sliver, so the write working
+            // set is one cache line per sliver — far cheaper than the
+            // MR-element strided gathers the per-sliver order would do.
+            if !ib.is_multiple_of(MR) {
+                let last = ib / MR;
+                apack[last * MR * pb..(last + 1) * MR * pb].fill(0.0);
+            }
+            for p in 0..pb {
+                let row = &a[(p0 + p) * m_total + gi0..(p0 + p) * m_total + gi0 + ib];
+                let mut ii = 0;
+                while ii < ib {
+                    let mr = MR.min(ib - ii);
+                    let base = (ii / MR) * MR * pb + p * MR;
+                    apack[base..base + mr].copy_from_slice(&row[ii..ii + mr]);
+                    ii += MR;
+                }
+            }
+        }
+    }
+}
+
+/// Baseline-codegen instantiation of the register tile.
+#[allow(clippy::too_many_arguments)]
+fn microkernel(
+    ap: &[f64],
+    bp: &[f64],
+    pb: usize,
+    alpha: f64,
+    c_rows: &mut [f64],
+    n: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    microkernel_body(ap, bp, pb, alpha, c_rows, n, j0, mr, nr);
+}
+
+/// The MR x NR register tile: accumulates `alpha * ap * bp` over `pb` depth
+/// steps into `c_rows` (a slice starting at C's row `i`, full row stride
+/// `n`), writing only the `mr x nr` valid corner.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn microkernel_body(
+    ap: &[f64],
+    bp: &[f64],
+    pb: usize,
+    alpha: f64,
+    c_rows: &mut [f64],
+    n: usize,
+    j0: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f64; NR]; MR];
+    for (av, bv) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(pb) {
+        // Fixed-size inner loops: the compiler keeps `acc` in registers and
+        // vectorizes the NR dimension.
+        for r in 0..MR {
+            let ar = av[r];
+            for t in 0..NR {
+                acc[r][t] += ar * bv[t];
+            }
+        }
+    }
+    for (r, row_acc) in acc.iter().enumerate().take(mr) {
+        let crow = &mut c_rows[r * n + j0..r * n + j0 + nr];
+        for (t, cv) in crow.iter_mut().enumerate() {
+            *cv += alpha * row_acc[t];
+        }
     }
 }
 
@@ -153,17 +424,31 @@ mod tests {
         (0..n).map(|i| (i % 13) as f64 - 6.0).collect()
     }
 
-    fn check(m: usize, n: usize, k: usize, ta: GemmLayout, tb: GemmLayout, alpha: f64, beta: f64) {
+    #[allow(clippy::too_many_arguments)]
+    fn check_with(
+        cfg: GemmConfig,
+        m: usize,
+        n: usize,
+        k: usize,
+        ta: GemmLayout,
+        tb: GemmLayout,
+        alpha: f64,
+        beta: f64,
+    ) {
         let a = seq(m * k);
         let b = seq(k * n);
         let c0 = seq(m * n);
         let mut c1 = c0.clone();
         let mut c2 = c0.clone();
-        dgemm(m, n, k, alpha, &a, ta, &b, tb, beta, &mut c1);
+        dgemm_with(cfg, m, n, k, alpha, &a, ta, &b, tb, beta, &mut c1);
         naive_gemm(m, n, k, alpha, &a, ta, &b, tb, beta, &mut c2);
         for (x, y) in c1.iter().zip(&c2) {
             assert!((x - y).abs() < 1e-9, "mismatch {x} vs {y}");
         }
+    }
+
+    fn check(m: usize, n: usize, k: usize, ta: GemmLayout, tb: GemmLayout, alpha: f64, beta: f64) {
+        check_with(GemmConfig::default(), m, n, k, ta, tb, alpha, beta);
     }
 
     #[test]
@@ -194,11 +479,91 @@ mod tests {
 
     #[test]
     fn panel_boundaries() {
-        // Sizes straddling MC/KC/NR boundaries.
-        check(65, 9, 129, GemmLayout::NoTrans, GemmLayout::NoTrans, 1.0, 0.0);
-        check(64, 8, 128, GemmLayout::Trans, GemmLayout::NoTrans, 1.0, 1.0);
+        // Sizes straddling MC/KC/MR/NR boundaries.
+        check(
+            129,
+            9,
+            257,
+            GemmLayout::NoTrans,
+            GemmLayout::NoTrans,
+            1.0,
+            0.0,
+        );
+        check(
+            128,
+            8,
+            256,
+            GemmLayout::Trans,
+            GemmLayout::NoTrans,
+            1.0,
+            1.0,
+        );
         check(1, 1, 1, GemmLayout::NoTrans, GemmLayout::NoTrans, 1.0, 0.0);
         check(130, 17, 3, GemmLayout::NoTrans, GemmLayout::Trans, 1.0, 0.0);
+        check(5, 11, 7, GemmLayout::Trans, GemmLayout::Trans, 1.5, -2.0);
+    }
+
+    #[test]
+    fn threaded_matches_naive() {
+        for threads in [2, 3, 4] {
+            let cfg = GemmConfig { threads };
+            check_with(
+                cfg,
+                97,
+                63,
+                150,
+                GemmLayout::NoTrans,
+                GemmLayout::NoTrans,
+                1.0,
+                0.0,
+            );
+            check_with(
+                cfg,
+                97,
+                63,
+                150,
+                GemmLayout::Trans,
+                GemmLayout::NoTrans,
+                2.0,
+                1.0,
+            );
+            check_with(
+                cfg,
+                64,
+                64,
+                300,
+                GemmLayout::NoTrans,
+                GemmLayout::Trans,
+                1.0,
+                -0.5,
+            );
+            check_with(
+                cfg,
+                64,
+                64,
+                300,
+                GemmLayout::Trans,
+                GemmLayout::Trans,
+                -1.0,
+                0.0,
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_tiny_falls_back_inline() {
+        // Far below MIN_FLOPS_PER_THREAD: must still be correct (and not
+        // spawn MR-starved bands).
+        check_with(
+            GemmConfig { threads: 8 },
+            3,
+            3,
+            3,
+            GemmLayout::NoTrans,
+            GemmLayout::NoTrans,
+            1.0,
+            0.0,
+        );
     }
 
     #[test]
@@ -206,7 +571,18 @@ mod tests {
         let a = seq(4);
         let b = seq(4);
         let mut c = vec![2.0; 4];
-        dgemm(2, 2, 2, 0.0, &a, GemmLayout::NoTrans, &b, GemmLayout::NoTrans, 0.5, &mut c);
+        dgemm(
+            2,
+            2,
+            2,
+            0.0,
+            &a,
+            GemmLayout::NoTrans,
+            &b,
+            GemmLayout::NoTrans,
+            0.5,
+            &mut c,
+        );
         assert!(c.iter().all(|&x| x == 1.0));
     }
 
@@ -219,7 +595,18 @@ mod tests {
         }
         let x = seq(n * n);
         let mut c = vec![0.0; n * n];
-        dgemm(n, n, n, 1.0, &eye, GemmLayout::NoTrans, &x, GemmLayout::NoTrans, 0.0, &mut c);
+        dgemm(
+            n,
+            n,
+            n,
+            1.0,
+            &eye,
+            GemmLayout::NoTrans,
+            &x,
+            GemmLayout::NoTrans,
+            0.0,
+            &mut c,
+        );
         for (u, v) in c.iter().zip(&x) {
             assert!((u - v).abs() < 1e-12);
         }

@@ -36,9 +36,14 @@ pub mod shape;
 pub mod slice;
 
 pub use block::Block;
-pub use contract::{contract, contract_into, naive_contract, ContractError, ContractionPlan};
-pub use gemm::{dgemm, GemmLayout};
-pub use permute::{apply_permutation, invert_permutation, is_identity_permutation, permute};
+pub use contract::{
+    contract, contract_into, contract_into_ctx, naive_contract, ContractCtx, ContractError,
+    ContractStats, ContractionPlan, OperandFold,
+};
+pub use gemm::{dgemm, dgemm_with, GemmConfig, GemmLayout};
+pub use permute::{
+    apply_permutation, invert_permutation, is_identity_permutation, permute, permute_into,
+};
 pub use pool::{BlockPool, PoolConfig, PoolStats, PooledBlock};
 pub use shape::{Shape, MAX_RANK};
 pub use slice::{extract_slice, insert_slice, SliceError, SliceSpec};

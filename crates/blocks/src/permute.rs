@@ -36,46 +36,141 @@ pub fn apply_permutation<T: Copy>(perm: &[usize], items: &[T]) -> Vec<T> {
 /// Returns a new block `out` with `out` axis `d` ranging over `input` axis
 /// `perm[d]`.
 ///
-/// The identity permutation degenerates to a clone. The loop is ordered so
-/// writes to the output are sequential (good for the destination cache line
-/// stream), with gather-reads from the source.
+/// The identity permutation degenerates to a clone. See [`permute_into`] for
+/// the allocation-free kernel underneath.
 ///
 /// # Panics
 /// Panics if `perm.len() != input.rank()` or `perm` is not a permutation.
 pub fn permute(input: &Block, perm: &[usize]) -> Block {
-    let rank = input.shape().rank();
-    assert_eq!(perm.len(), rank, "permutation rank mismatch");
     if is_identity_permutation(perm) {
+        assert_eq!(
+            perm.len(),
+            input.shape().rank(),
+            "permutation rank mismatch"
+        );
         return input.clone();
     }
-    // Validate (also computed for the src stride gather below).
-    let _ = invert_permutation(perm);
+    let out_shape = input.shape().permuted(perm);
+    let mut out = vec![0.0f64; out_shape.len()];
+    permute_into(input, perm, &mut out);
+    Block::from_data(out_shape, out)
+}
+
+/// Cache-blocked permutation into caller-provided storage (`dst.len()` must
+/// equal `input.len()`), enabling scratch reuse from a block pool.
+///
+/// Three tiers, picked per call:
+/// 1. a trailing run of unpermuted axes is moved with `copy_from_slice`
+///    (identity degenerates to one memcpy);
+/// 2. a swap of the innermost two axes runs as a tiled 2D transpose, so both
+///    source and destination touch whole cache lines per tile;
+/// 3. anything else falls back to a strided gather whose innermost loop is a
+///    fixed-stride sweep over the last output axis.
+///
+/// # Panics
+/// Panics if `perm.len() != input.rank()`, `perm` is not a permutation, or
+/// `dst` has the wrong length.
+pub fn permute_into(input: &Block, perm: &[usize], dst: &mut [f64]) {
+    let rank = input.shape().rank();
+    assert_eq!(perm.len(), rank, "permutation rank mismatch");
+    let _ = invert_permutation(perm); // validate
+    assert_eq!(dst.len(), input.len(), "destination length mismatch");
+
+    let src = input.data();
+    if rank == 0 {
+        dst[0] = src[0];
+        return;
+    }
 
     let out_shape = input.shape().permuted(perm);
     let in_strides = input.shape().strides();
-
     // Stride of output axis d in the *input* data.
     let mut gather = [0usize; MAX_RANK];
     for (d, &p) in perm.iter().enumerate() {
         gather[d] = in_strides[p];
     }
 
-    let src = input.data();
-    let mut out = vec![0.0f64; out_shape.len()];
-
-    if rank == 0 {
-        out[0] = src[0];
-        return Block::from_data(out_shape, out);
+    // Tier 1: trailing axes that stay in place form contiguous runs shared
+    // by source and destination.
+    let mut fixed_tail = 0;
+    while fixed_tail < rank && perm[rank - 1 - fixed_tail] == rank - 1 - fixed_tail {
+        fixed_tail += 1;
+    }
+    if fixed_tail == rank {
+        dst.copy_from_slice(src);
+        return;
+    }
+    if fixed_tail > 0 {
+        let run: usize = (rank - fixed_tail..rank)
+            .map(|d| input.shape().dim(d))
+            .product();
+        if run >= 4 {
+            let outer_rank = rank - fixed_tail;
+            for_each_outer(&out_shape, &gather, outer_rank, |out_off, src_off| {
+                dst[out_off * run..(out_off + 1) * run]
+                    .copy_from_slice(&src[src_off..src_off + run]);
+            });
+            return;
+        }
     }
 
-    // Odometer over the output shape, tracking the gathered source offset
-    // incrementally instead of recomputing a dot product per element.
+    // Tier 2: innermost two axes swapped — a 2D transpose of contiguous
+    // (r x c) slabs, tiled so reads and writes both stay cache-resident.
+    if rank >= 2 && perm[rank - 1] == rank - 2 && perm[rank - 2] == rank - 1 {
+        const TILE: usize = 32;
+        let r = input.shape().dim(rank - 2); // source rows (stride c)
+        let c = input.shape().dim(rank - 1); // source cols (stride 1)
+        let slab = r * c;
+        for_each_outer(&out_shape, &gather, rank - 2, |out_off, src_off| {
+            let d = &mut dst[out_off * slab..(out_off + 1) * slab];
+            let s = &src[src_off..src_off + slab];
+            let mut jt = 0;
+            while jt < c {
+                let jb = TILE.min(c - jt);
+                let mut it = 0;
+                while it < r {
+                    let ib = TILE.min(r - it);
+                    for j in jt..jt + jb {
+                        for i in it..it + ib {
+                            d[j * r + i] = s[i * c + j];
+                        }
+                    }
+                    it += ib;
+                }
+                jt += jb;
+            }
+        });
+        return;
+    }
+
+    // Tier 3: strided gather, innermost loop hoisted out of the odometer.
+    let n_last = out_shape.dim(rank - 1);
+    let g_last = gather[rank - 1];
+    for_each_outer(&out_shape, &gather, rank - 1, |out_off, src_off| {
+        let row = &mut dst[out_off * n_last..(out_off + 1) * n_last];
+        let mut s = src_off;
+        for slot in row.iter_mut() {
+            *slot = src[s];
+            s += g_last;
+        }
+    });
+}
+
+/// Drives an odometer over the first `outer_rank` axes of `out_shape`,
+/// calling `body(outer_index_linear, src_offset)` for each setting, where
+/// `src_offset` is the gathered base offset into the source data.
+fn for_each_outer(
+    out_shape: &crate::shape::Shape,
+    gather: &[usize; MAX_RANK],
+    outer_rank: usize,
+    mut body: impl FnMut(usize, usize),
+) {
+    let outer_len: usize = (0..outer_rank).map(|d| out_shape.dim(d)).product();
     let mut idx = [0usize; MAX_RANK];
     let mut src_off = 0usize;
-    for slot in out.iter_mut() {
-        *slot = src[src_off];
-        // Advance odometer (last axis fastest).
-        let mut d = rank;
+    for out_off in 0..outer_len {
+        body(out_off, src_off);
+        let mut d = outer_rank;
         loop {
             if d == 0 {
                 break;
@@ -90,7 +185,6 @@ pub fn permute(input: &Block, perm: &[usize]) -> Block {
             idx[d] = 0;
         }
     }
-    Block::from_data(out_shape, out)
 }
 
 #[cfg(test)]
@@ -154,7 +248,10 @@ mod tests {
 
     #[test]
     fn apply_permutation_list() {
-        assert_eq!(apply_permutation(&[2, 0, 1], &[10, 20, 30]), vec![30, 10, 20]);
+        assert_eq!(
+            apply_permutation(&[2, 0, 1], &[10, 20, 30]),
+            vec![30, 10, 20]
+        );
     }
 
     #[test]
@@ -171,5 +268,78 @@ mod tests {
         for i in 0..4 {
             assert_eq!(inv[p[i]], i);
         }
+    }
+
+    /// Every rank-4 permutation, on a shape big enough to cross the 2D
+    /// transpose tile boundary and exercise all three kernel tiers.
+    #[test]
+    fn all_rank4_permutations_match_gather() {
+        let s = Shape::new(&[3, 5, 34, 33]);
+        let b = Block::from_fn(s, |i| {
+            (i[0] * 10_000 + i[1] * 1000 + i[2] * 50 + i[3]) as f64
+        });
+        let mut perm = [0usize; 4];
+        let mut perms = Vec::new();
+        permutations(&mut perm, &mut [false; 4], 0, &mut perms);
+        assert_eq!(perms.len(), 24);
+        for perm in perms {
+            let p = permute(&b, &perm);
+            assert_eq!(p.len(), b.len(), "perm {perm:?}");
+            for idx in p.shape().indices() {
+                let o = &idx[..4];
+                let mut srci = [0usize; 4];
+                for d in 0..4 {
+                    srci[perm[d]] = o[d];
+                }
+                assert_eq!(p.get(o), b.get(&srci), "perm {perm:?} at {o:?}");
+            }
+        }
+    }
+
+    fn permutations(
+        cur: &mut [usize; 4],
+        used: &mut [bool; 4],
+        d: usize,
+        out: &mut Vec<[usize; 4]>,
+    ) {
+        if d == 4 {
+            out.push(*cur);
+            return;
+        }
+        for v in 0..4 {
+            if !used[v] {
+                used[v] = true;
+                cur[d] = v;
+                permutations(cur, used, d + 1, out);
+                used[v] = false;
+            }
+        }
+    }
+
+    #[test]
+    fn permute_into_matches_permute() {
+        let s = Shape::new(&[4, 6, 5]);
+        let b = Block::from_fn(s, |i| (i[0] * 100 + i[1] * 10 + i[2]) as f64);
+        for perm in [
+            [0, 1, 2],
+            [2, 1, 0],
+            [1, 0, 2],
+            [0, 2, 1],
+            [2, 0, 1],
+            [1, 2, 0],
+        ] {
+            let expect = permute(&b, &perm);
+            let mut dst = vec![f64::NAN; b.len()];
+            permute_into(&b, &perm, &mut dst);
+            assert_eq!(dst, expect.data(), "perm {perm:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn permute_into_wrong_len_panics() {
+        let b = Block::zeros(Shape::new(&[2, 2]));
+        let mut dst = vec![0.0; 3];
+        permute_into(&b, &[1, 0], &mut dst);
     }
 }

@@ -144,7 +144,10 @@ impl PoolInner {
             self.stats.live_bytes = self.stats.live_bytes.saturating_sub(bytes);
         }
         self.stats.free_bytes += bytes;
-        self.stacks.entry(elems).or_default().push(block.into_data());
+        self.stacks
+            .entry(elems)
+            .or_default()
+            .push(block.into_data());
     }
 }
 

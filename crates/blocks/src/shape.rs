@@ -5,7 +5,6 @@
 //! (10^4 .. 6.25·10^6) doubles. Blocks are stored row-major (last index
 //! fastest), matching the C side of the original SIP.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum rank of a block. The paper notes that intermediates of rank > 4
@@ -16,7 +15,7 @@ pub const MAX_RANK: usize = 8;
 /// The shape of a dense block: an inline list of up to [`MAX_RANK`] extents.
 ///
 /// A rank-0 shape is a scalar block with exactly one element.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: [u32; MAX_RANK],
     rank: u8,
@@ -228,10 +227,7 @@ mod tests {
     fn index_iter_covers_all_in_order() {
         let s = Shape::new(&[2, 3]);
         let idxs: Vec<_> = s.indices().map(|i| (i[0], i[1])).collect();
-        assert_eq!(
-            idxs,
-            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
-        );
+        assert_eq!(idxs, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl SliceSpec {
     /// # Panics
     /// Panics if lengths differ, exceed [`MAX_RANK`], or any extent is zero.
     pub fn new(offsets: &[usize], extents: &[usize]) -> Self {
-        assert_eq!(offsets.len(), extents.len(), "offset/extent length mismatch");
+        assert_eq!(
+            offsets.len(),
+            extents.len(),
+            "offset/extent length mismatch"
+        );
         assert!(offsets.len() <= MAX_RANK);
         assert!(extents.iter().all(|&e| e > 0), "zero slice extent");
         SliceSpec {

@@ -4,9 +4,72 @@
 
 use proptest::prelude::*;
 use sia_blocks::{
-    contract, dgemm, extract_slice, insert_slice, invert_permutation, naive_contract, permute,
-    Block, BlockPool, ContractionPlan, GemmLayout, PoolConfig, Shape, SliceSpec,
+    contract, contract_into_ctx, dgemm, extract_slice, insert_slice, invert_permutation,
+    naive_contract, permute, Block, BlockPool, ContractCtx, ContractionPlan, GemmLayout,
+    PoolConfig, Shape, SliceSpec,
 };
+
+/// Splitmix-style step used to derive deterministic shuffles/data from a seed.
+fn next_rand(s: &mut u64) -> u64 {
+    *s = s
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *s
+}
+
+/// A random contraction: a plan over shuffled labels plus matching operand
+/// blocks. Covers 0–2 contracted labels and 0–2 free labels per operand, so
+/// it hits outer products, dot products, matrix multiplies, and rank-4
+/// tensor contractions, with every operand/output label order.
+fn arb_contraction() -> impl Strategy<Value = (ContractionPlan, Block, Block, f64)> {
+    (
+        0usize..3,                           // contracted labels
+        0usize..3,                           // labels free in A
+        0usize..3,                           // labels free in B
+        prop::collection::vec(1usize..5, 6), // dimension per label
+        any::<u64>(),                        // shuffle + data seed
+        -2.0..2.0f64,                        // alpha_c
+    )
+        .prop_map(|(n_c, mut a_f, mut b_f, dims, seed, alpha_c)| {
+            // Keep both operands at rank >= 1.
+            if n_c + a_f == 0 {
+                a_f = 1;
+            }
+            if n_c + b_f == 0 {
+                b_f = 1;
+            }
+            let mut s = seed;
+            let mut shuffled = |mut labels: Vec<u32>| {
+                for i in (1..labels.len()).rev() {
+                    let j = (next_rand(&mut s) % (i as u64 + 1)) as usize;
+                    labels.swap(i, j);
+                }
+                labels
+            };
+            // Labels: contracted = 0..n_c, A-free = n_c.., B-free after that.
+            let a_labels = shuffled((0..(n_c + a_f) as u32).collect());
+            let b_labels = shuffled(
+                (0..n_c as u32)
+                    .chain((n_c + a_f) as u32..(n_c + a_f + b_f) as u32)
+                    .collect(),
+            );
+            let c_labels = shuffled((n_c as u32..(n_c + a_f + b_f) as u32).collect());
+            let plan = ContractionPlan::infer(&c_labels, &a_labels, &b_labels)
+                .expect("generated labels form a valid contraction");
+            let shape_of = |labels: &[u32]| {
+                let d: Vec<usize> = labels.iter().map(|&l| dims[l as usize]).collect();
+                if d.is_empty() {
+                    Shape::scalar()
+                } else {
+                    Shape::new(&d)
+                }
+            };
+            let mut val = move || (next_rand(&mut s) % 9) as f64 - 4.0;
+            let a = Block::from_fn(shape_of(&a_labels), |_| val());
+            let b = Block::from_fn(shape_of(&b_labels), |_| val());
+            (plan, a, b, alpha_c)
+        })
+}
 
 fn arb_block(max_rank: usize, max_dim: usize) -> impl Strategy<Value = Block> {
     prop::collection::vec(1..=max_dim, 1..=max_rank).prop_flat_map(|dims| {
@@ -197,4 +260,91 @@ proptest! {
         let want = f * s + alpha * o;
         prop_assert!(b.data().iter().all(|&x| (x - want).abs() < 1e-12));
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The pooled, folding contraction context matches the naive reference
+    /// (`C = alpha_c*C + A*B`) for random shapes, label orders, and alpha_c
+    /// — with transpose folding both enabled and ablated.
+    #[test]
+    fn ctx_contraction_matches_naive((plan, a, b, alpha_c) in arb_contraction()) {
+        let out_shape = plan.output_shape(a.shape(), b.shape());
+        let c0 = Block::from_fn(out_shape, |i| {
+            (i.iter().enumerate().map(|(d, &x)| (d + 2) * x).sum::<usize>() % 7) as f64 - 3.0
+        });
+        let naive = naive_contract(&plan, &a, &b);
+        let expect = Block::from_data(
+            out_shape,
+            c0.data()
+                .iter()
+                .zip(naive.data())
+                .map(|(&c, &ab)| alpha_c * c + ab)
+                .collect(),
+        );
+        let pool = BlockPool::new(PoolConfig { max_bytes: 1 << 20 });
+        for fold in [true, false] {
+            let mut ctx = ContractCtx::with_pool(pool.clone()).fold_transposes(fold);
+            let mut c = c0.clone();
+            contract_into_ctx(&mut ctx, &plan, &a, &b, alpha_c, &mut c);
+            prop_assert!(c.approx_eq(&expect, 1e-9), "fold={fold}");
+            let st = ctx.take_stats();
+            prop_assert_eq!(st.contractions, 1);
+            if !fold {
+                // Ablated: every operand must have been materialized.
+                prop_assert_eq!(st.permutes_avoided, 0);
+                prop_assert_eq!(st.permutes_performed, 2);
+            }
+        }
+        // Pool discipline: all scratch was returned.
+        prop_assert_eq!(pool.stats().live_blocks, 0);
+    }
+}
+
+/// Regression: the canonical rank-2 contraction `C(M,N) = Σ_L A(L,M)*B(L,N)`
+/// (and its mirror with B holding the transpose) must run with ZERO permute
+/// materializations — A's transpose folds into the GEMM layout flag, B (resp.
+/// A) is already in GEMM order, and the identity output order lets the GEMM
+/// write straight into C.
+#[test]
+fn rank2_transpose_contractions_avoid_all_permutes() {
+    let l = 6;
+    let m = 5;
+    let n = 4;
+    let a_val = |i: &[usize]| ((i[0] * 3 + i[1] * 7) % 11) as f64 - 5.0;
+    let b_val = |i: &[usize]| ((i[0] * 5 + i[1] * 2) % 13) as f64 - 6.0;
+
+    // C(M,N) = A(L,M) * B(L,N): labels L=0 (contracted), M=1, N=2.
+    let folded_a = (
+        ContractionPlan::infer(&[1, 2], &[0, 1], &[0, 2]).unwrap(),
+        Block::from_fn(Shape::new(&[l, m]), a_val),
+        Block::from_fn(Shape::new(&[l, n]), b_val),
+    );
+    // C(M,N) = A(M,L) * B(N,L): same contraction, transposes on the other side.
+    let folded_b = (
+        ContractionPlan::infer(&[1, 2], &[1, 0], &[2, 0]).unwrap(),
+        Block::from_fn(Shape::new(&[m, l]), a_val),
+        Block::from_fn(Shape::new(&[n, l]), b_val),
+    );
+
+    let pool = BlockPool::new(PoolConfig { max_bytes: 1 << 20 });
+    let mut ctx = ContractCtx::with_pool(pool.clone());
+    for (plan, a, b) in [folded_a, folded_b] {
+        let mut c = Block::zeros(plan.output_shape(a.shape(), b.shape()));
+        contract_into_ctx(&mut ctx, &plan, &a, &b, 0.0, &mut c);
+        assert!(c.approx_eq(&naive_contract(&plan, &a, &b), 1e-12));
+        let st = ctx.take_stats();
+        assert_eq!(st.permutes_performed, 0, "no permute copies allowed");
+        assert_eq!(st.permutes_avoided, 2, "both operands fold");
+        assert_eq!(
+            st.scratch_pool_hits + st.scratch_pool_misses,
+            0,
+            "hot path must not allocate scratch at all"
+        );
+        assert_eq!(st.bytes_not_copied, ((a.len() + b.len()) * 8) as u64);
+    }
+    // Nothing was drawn from the pool either.
+    let ps = pool.stats();
+    assert_eq!(ps.hits + ps.misses, 0);
 }

@@ -120,7 +120,10 @@ pub fn disassemble_instruction(p: &Program, ins: &Instruction) -> String {
             index_name(p, *parent)
         ),
         DoInEnd { start_pc } => format!("enddo_in  ; start={start_pc}"),
-        ExitLoop { loop_start_pc, target } => {
+        ExitLoop {
+            loop_start_pc,
+            target,
+        } => {
             format!("exit  ; loop={loop_start_pc} -> {target}")
         }
         JumpIfFalse { cond, target } => {
@@ -201,7 +204,12 @@ pub fn disassemble_instruction(p: &Program, ins: &Instruction) -> String {
         BlockScale { dest, factor } => {
             format!("{} *= {}", block_ref(p, dest), scalar_expr(p, factor))
         }
-        BlockContract { dest, a, b, accumulate } => format!(
+        BlockContract {
+            dest,
+            a,
+            b,
+            accumulate,
+        } => format!(
             "{} {}= {} * {}",
             block_ref(p, dest),
             if *accumulate { "+" } else { "" },
@@ -211,7 +219,11 @@ pub fn disassemble_instruction(p: &Program, ins: &Instruction) -> String {
         ScalarAssign { dest, expr } => {
             format!("{} = {}", scalar_name(p, *dest), scalar_expr(p, expr))
         }
-        ScalarFromBlock { dest, src, accumulate } => format!(
+        ScalarFromBlock {
+            dest,
+            src,
+            accumulate,
+        } => format!(
             "{} {}= fold {}",
             scalar_name(p, *dest),
             if *accumulate { "+" } else { "" },
@@ -248,11 +260,21 @@ pub fn disassemble(p: &Program) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "sial {}", p.name);
     for (i, d) in p.indices.iter().enumerate() {
-        let _ = writeln!(out, "  index[{i}] {} : {:?} = {:?}..{:?}", d.name, d.kind, d.low, d.high);
+        let _ = writeln!(
+            out,
+            "  index[{i}] {} : {:?} = {:?}..{:?}",
+            d.name, d.kind, d.low, d.high
+        );
     }
     for (i, d) in p.arrays.iter().enumerate() {
         let dims: Vec<&str> = d.dims.iter().map(|&x| index_name(p, x)).collect();
-        let _ = writeln!(out, "  array[{i}] {:?} {}({})", d.kind, d.name, dims.join(","));
+        let _ = writeln!(
+            out,
+            "  array[{i}] {:?} {}({})",
+            d.kind,
+            d.name,
+            dims.join(",")
+        );
     }
     for (i, d) in p.scalars.iter().enumerate() {
         let _ = writeln!(out, "  scalar[{i}] {} = {}", d.name, d.init);
@@ -273,9 +295,7 @@ pub fn disassemble(p: &Program) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::{
-        ArrayDecl, ArrayId, ArrayKind, IndexDecl, IndexId, IndexKind, Value,
-    };
+    use crate::program::{ArrayDecl, ArrayId, ArrayKind, IndexDecl, IndexId, IndexKind, Value};
 
     fn tiny() -> Program {
         Program {
@@ -333,7 +353,10 @@ mod tests {
             },
             accumulate: false,
         };
-        assert_eq!(disassemble_instruction(&p, &ins), "R(M,M) = R(M,M) * R(M,M)");
+        assert_eq!(
+            disassemble_instruction(&p, &ins),
+            "R(M,M) = R(M,M) * R(M,M)"
+        );
     }
 
     #[test]

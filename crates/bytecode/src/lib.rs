@@ -25,7 +25,7 @@ pub use ops::{
     Arg, BinOp, BlockRef, BoolExpr, CmpOp, Instruction, InstructionClass, PutMode, ScalarExpr,
 };
 pub use program::{
-    ArrayDecl, ArrayId, ArrayKind, ConstBindings, ConstId, IndexDecl, IndexId, IndexKind,
-    ProcDecl, ProcId, Program, ResolveError, ScalarDecl, ScalarId, StringId, Value,
+    ArrayDecl, ArrayId, ArrayKind, ConstBindings, ConstId, IndexDecl, IndexId, IndexKind, ProcDecl,
+    ProcId, Program, ResolveError, ScalarDecl, ScalarId, StringId, Value,
 };
 pub use wire::{decode_program, encode_program, WireError};

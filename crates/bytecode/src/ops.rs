@@ -8,11 +8,10 @@
 //! body without re-scanning.
 
 use crate::program::{ArrayId, ConstId, IndexId, ProcId, ScalarId, StringId};
-use serde::{Deserialize, Serialize};
 
 /// A reference to one block of an array, addressed by index variables:
 /// `T(L,S,I,J)` becomes `BlockRef { array: T, indices: [L,S,I,J] }`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BlockRef {
     /// The array being addressed.
     pub array: ArrayId,
@@ -21,7 +20,7 @@ pub struct BlockRef {
 }
 
 /// Comparison operators in `if`/`where` conditions.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CmpOp {
     /// `==`
     Eq,
@@ -52,7 +51,7 @@ impl CmpOp {
 }
 
 /// Binary arithmetic operators in scalar expressions.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -78,7 +77,7 @@ impl BinOp {
 
 /// A scalar-valued expression (over scalar variables, index values, and
 /// literals). Index variables evaluate to their current segment number.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum ScalarExpr {
     /// Literal double.
     Lit(f64),
@@ -95,7 +94,7 @@ pub enum ScalarExpr {
 }
 
 /// A boolean expression in `if` statements and pardo `where` clauses.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum BoolExpr {
     /// Comparison of two scalar expressions.
     Cmp(ScalarExpr, CmpOp, ScalarExpr),
@@ -110,7 +109,7 @@ pub enum BoolExpr {
 /// Whether a `put`/`prepare` replaces the target block or accumulates into
 /// it. Per the paper, accumulates (`+=`) are atomic and need no barrier
 /// between them.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PutMode {
     /// `put R(..) = src` — replace.
     Replace,
@@ -119,7 +118,7 @@ pub enum PutMode {
 }
 
 /// An argument to a user super instruction (`execute`).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Arg {
     /// A block operand.
     Block(BlockRef),
@@ -130,7 +129,7 @@ pub enum Arg {
 }
 
 /// The instruction classes of §V-A, used by the profiler.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum InstructionClass {
     /// Computationally intensive block operations.
     Compute,
@@ -143,7 +142,7 @@ pub enum InstructionClass {
 }
 
 /// One SIA bytecode instruction.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum Instruction {
     // ---- control ----------------------------------------------------------
     /// Start of a `pardo` over `indices`, filtered by `where_clauses`. The
@@ -362,7 +361,7 @@ pub enum Instruction {
 }
 
 /// One item of a `print` statement.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum PrintItem {
     /// A literal string (string table).
     Str(StringId),
@@ -375,15 +374,34 @@ impl Instruction {
     pub fn class(&self) -> InstructionClass {
         use Instruction::*;
         match self {
-            PardoStart { .. } | PardoEnd { .. } | DoStart { .. } | DoEnd { .. }
-            | DoInStart { .. } | DoInEnd { .. } | ExitLoop { .. } | JumpIfFalse { .. } | Jump { .. }
-            | Call { .. } | Return | Halt | Create { .. } | Delete { .. } => {
-                InstructionClass::Control
-            }
-            Get { .. } | Put { .. } | Request { .. } | Prepare { .. }
-            | BlocksToList { .. } | ListToBlocks { .. } | Print { .. } => InstructionClass::Io,
-            BlockFill { .. } | BlockCopy { .. } | BlockAccumulate { .. } | BlockScale { .. }
-            | BlockContract { .. } | ScalarAssign { .. } | ScalarFromBlock { .. }
+            PardoStart { .. }
+            | PardoEnd { .. }
+            | DoStart { .. }
+            | DoEnd { .. }
+            | DoInStart { .. }
+            | DoInEnd { .. }
+            | ExitLoop { .. }
+            | JumpIfFalse { .. }
+            | Jump { .. }
+            | Call { .. }
+            | Return
+            | Halt
+            | Create { .. }
+            | Delete { .. } => InstructionClass::Control,
+            Get { .. }
+            | Put { .. }
+            | Request { .. }
+            | Prepare { .. }
+            | BlocksToList { .. }
+            | ListToBlocks { .. }
+            | Print { .. } => InstructionClass::Io,
+            BlockFill { .. }
+            | BlockCopy { .. }
+            | BlockAccumulate { .. }
+            | BlockScale { .. }
+            | BlockContract { .. }
+            | ScalarAssign { .. }
+            | ScalarFromBlock { .. }
             | ExecuteSuper { .. } => InstructionClass::Compute,
             SipBarrier | ServerBarrier => InstructionClass::Sync,
         }
@@ -397,7 +415,9 @@ impl Instruction {
             PardoEnd { .. } => "endpardo",
             DoStart { .. } => "do",
             DoEnd { .. } => "enddo",
-            DoInStart { parallel: false, .. } => "do_in",
+            DoInStart {
+                parallel: false, ..
+            } => "do_in",
             DoInStart { parallel: true, .. } => "pardo_in",
             DoInEnd { .. } => "enddo_in",
             ExitLoop { .. } => "exit",

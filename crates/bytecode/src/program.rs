@@ -6,7 +6,6 @@
 //! "predefined constants").
 
 use crate::ops::Instruction;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -14,7 +13,7 @@ macro_rules! table_id {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub u32);
 
@@ -60,7 +59,7 @@ table_id!(
 );
 
 /// A literal or symbolic integer appearing in a declaration (index bounds).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Value {
     /// A concrete integer known at compile time.
     Lit(i64),
@@ -74,7 +73,7 @@ pub enum Value {
 /// atomic orbital and molecular orbital"), letting the type system check
 /// consistent use. `Simple` indices count iterations and do not address
 /// segments; `Subindex` addresses subsegments of its parent.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum IndexKind {
     /// Atomic-orbital segment index.
     AoIndex,
@@ -112,7 +111,7 @@ impl IndexKind {
 }
 
 /// Declaration of an index variable: a kind and an inclusive segment range.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct IndexDecl {
     /// Source name.
     pub name: String,
@@ -125,7 +124,7 @@ pub struct IndexDecl {
 }
 
 /// The five SIAL array kinds (§IV-A of the paper).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ArrayKind {
     /// Small, replicated on every worker.
     Static,
@@ -150,7 +149,7 @@ impl ArrayKind {
 /// Declaration of an array: a kind and the index variables defining its
 /// shape ("the shape of an array is defined in its declaration by specifying
 /// index variables for each dimension").
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ArrayDecl {
     /// Source name.
     pub name: String,
@@ -161,7 +160,7 @@ pub struct ArrayDecl {
 }
 
 /// Declaration of a named scalar (double) variable.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ScalarDecl {
     /// Source name.
     pub name: String,
@@ -170,7 +169,7 @@ pub struct ScalarDecl {
 }
 
 /// Declaration of a procedure: a name and the pc of its first instruction.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ProcDecl {
     /// Source name.
     pub name: String,
@@ -179,7 +178,7 @@ pub struct ProcDecl {
 }
 
 /// A compiled SIAL program: descriptor tables plus the instruction table.
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Program {
     /// Program name (from the `sial` header line).
     pub name: String,
@@ -294,11 +293,7 @@ impl Program {
 
     /// The inclusive segment range of an index variable under the resolved
     /// constants, validating it.
-    pub fn index_range(
-        &self,
-        id: IndexId,
-        consts: &[i64],
-    ) -> Result<(i64, i64), ResolveError> {
+    pub fn index_range(&self, id: IndexId, consts: &[i64]) -> Result<(i64, i64), ResolveError> {
         let decl = &self.indices[id.index()];
         let low = self.eval_value(decl.low, consts);
         let high = self.eval_value(decl.high, consts);

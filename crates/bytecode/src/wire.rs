@@ -135,7 +135,10 @@ fn get_value(buf: &mut Bytes) -> R<Value> {
     match get_u8(buf)? {
         0 => Ok(Value::Lit(get_i64(buf)?)),
         1 => Ok(Value::Sym(ConstId(get_u32(buf)?))),
-        t => Err(WireError::BadTag { what: "Value", tag: t }),
+        t => Err(WireError::BadTag {
+            what: "Value",
+            tag: t,
+        }),
     }
 }
 
@@ -165,7 +168,12 @@ fn get_index_kind(buf: &mut Bytes) -> R<IndexKind> {
         6 => IndexKind::Subindex {
             parent: IndexId(get_u32(buf)?),
         },
-        t => return Err(WireError::BadTag { what: "IndexKind", tag: t }),
+        t => {
+            return Err(WireError::BadTag {
+                what: "IndexKind",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -186,7 +194,12 @@ fn get_array_kind(buf: &mut Bytes) -> R<ArrayKind> {
         2 => ArrayKind::Local,
         3 => ArrayKind::Distributed,
         4 => ArrayKind::Served,
-        t => return Err(WireError::BadTag { what: "ArrayKind", tag: t }),
+        t => {
+            return Err(WireError::BadTag {
+                what: "ArrayKind",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -248,7 +261,12 @@ fn get_scalar_expr(buf: &mut Bytes) -> R<ScalarExpr> {
                 1 => BinOp::Sub,
                 2 => BinOp::Mul,
                 3 => BinOp::Div,
-                t => return Err(WireError::BadTag { what: "BinOp", tag: t }),
+                t => {
+                    return Err(WireError::BadTag {
+                        what: "BinOp",
+                        tag: t,
+                    })
+                }
             };
             let l = get_scalar_expr(buf)?;
             let r = get_scalar_expr(buf)?;
@@ -256,7 +274,12 @@ fn get_scalar_expr(buf: &mut Bytes) -> R<ScalarExpr> {
         }
         4 => ScalarExpr::Neg(Box::new(get_scalar_expr(buf)?)),
         5 => ScalarExpr::Const(ConstId(get_u32(buf)?)),
-        t => return Err(WireError::BadTag { what: "ScalarExpr", tag: t }),
+        t => {
+            return Err(WireError::BadTag {
+                what: "ScalarExpr",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -279,7 +302,12 @@ fn get_cmp(buf: &mut Bytes) -> R<CmpOp> {
         3 => CmpOp::Le,
         4 => CmpOp::Gt,
         5 => CmpOp::Ge,
-        t => return Err(WireError::BadTag { what: "CmpOp", tag: t }),
+        t => {
+            return Err(WireError::BadTag {
+                what: "CmpOp",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -319,7 +347,12 @@ fn get_bool_expr(buf: &mut Bytes) -> R<BoolExpr> {
         1 => BoolExpr::And(Box::new(get_bool_expr(buf)?), Box::new(get_bool_expr(buf)?)),
         2 => BoolExpr::Or(Box::new(get_bool_expr(buf)?), Box::new(get_bool_expr(buf)?)),
         3 => BoolExpr::Not(Box::new(get_bool_expr(buf)?)),
-        t => return Err(WireError::BadTag { what: "BoolExpr", tag: t }),
+        t => {
+            return Err(WireError::BadTag {
+                what: "BoolExpr",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -334,7 +367,12 @@ fn get_put_mode(buf: &mut Bytes) -> R<PutMode> {
     Ok(match get_u8(buf)? {
         0 => PutMode::Replace,
         1 => PutMode::Accumulate,
-        t => return Err(WireError::BadTag { what: "PutMode", tag: t }),
+        t => {
+            return Err(WireError::BadTag {
+                what: "PutMode",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -360,7 +398,12 @@ fn get_arg(buf: &mut Bytes) -> R<Arg> {
         0 => Arg::Block(get_block_ref(buf)?),
         1 => Arg::Scalar(ScalarId(get_u32(buf)?)),
         2 => Arg::Index(IndexId(get_u32(buf)?)),
-        t => return Err(WireError::BadTag { what: "Arg", tag: t }),
+        t => {
+            return Err(WireError::BadTag {
+                what: "Arg",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -481,7 +524,12 @@ fn put_instruction(out: &mut BytesMut, ins: &Instruction) {
             put_block_ref(out, dest);
             put_scalar_expr(out, factor);
         }
-        BlockContract { dest, a, b, accumulate } => {
+        BlockContract {
+            dest,
+            a,
+            b,
+            accumulate,
+        } => {
             out.put_u8(23);
             put_block_ref(out, dest);
             put_block_ref(out, a);
@@ -493,7 +541,11 @@ fn put_instruction(out: &mut BytesMut, ins: &Instruction) {
             out.put_u32_le(dest.0);
             put_scalar_expr(out, expr);
         }
-        ScalarFromBlock { dest, src, accumulate } => {
+        ScalarFromBlock {
+            dest,
+            src,
+            accumulate,
+        } => {
             out.put_u8(25);
             out.put_u32_le(dest.0);
             put_block_ref(out, src);
@@ -519,7 +571,10 @@ fn put_instruction(out: &mut BytesMut, ins: &Instruction) {
         }
         SipBarrier => out.put_u8(28),
         ServerBarrier => out.put_u8(29),
-        ExitLoop { loop_start_pc, target } => {
+        ExitLoop {
+            loop_start_pc,
+            target,
+        } => {
             out.put_u8(30);
             out.put_u32_le(*loop_start_pc);
             out.put_u32_le(*target);
@@ -536,24 +591,32 @@ fn get_instruction(buf: &mut Bytes) -> R<Instruction> {
             where_clauses: get_vec(buf, get_bool_expr)?,
             end_pc: get_u32(buf)?,
         },
-        1 => PardoEnd { start_pc: get_u32(buf)? },
+        1 => PardoEnd {
+            start_pc: get_u32(buf)?,
+        },
         2 => DoStart {
             index: IndexId(get_u32(buf)?),
             end_pc: get_u32(buf)?,
         },
-        3 => DoEnd { start_pc: get_u32(buf)? },
+        3 => DoEnd {
+            start_pc: get_u32(buf)?,
+        },
         4 => DoInStart {
             sub: IndexId(get_u32(buf)?),
             parent: IndexId(get_u32(buf)?),
             end_pc: get_u32(buf)?,
             parallel: get_u8(buf)? != 0,
         },
-        5 => DoInEnd { start_pc: get_u32(buf)? },
+        5 => DoInEnd {
+            start_pc: get_u32(buf)?,
+        },
         6 => JumpIfFalse {
             cond: get_bool_expr(buf)?,
             target: get_u32(buf)?,
         },
-        7 => Jump { target: get_u32(buf)? },
+        7 => Jump {
+            target: get_u32(buf)?,
+        },
         8 => Call {
             proc: ProcId(get_u32(buf)?),
         },
@@ -630,7 +693,12 @@ fn get_instruction(buf: &mut Bytes) -> R<Instruction> {
                 Ok(match get_u8(b)? {
                     0 => PrintItem::Str(StringId(get_u32(b)?)),
                     1 => PrintItem::Expr(get_scalar_expr(b)?),
-                    t => return Err(WireError::BadTag { what: "PrintItem", tag: t }),
+                    t => {
+                        return Err(WireError::BadTag {
+                            what: "PrintItem",
+                            tag: t,
+                        })
+                    }
                 })
             })?,
         },
@@ -640,7 +708,12 @@ fn get_instruction(buf: &mut Bytes) -> R<Instruction> {
             loop_start_pc: get_u32(buf)?,
             target: get_u32(buf)?,
         },
-        t => return Err(WireError::BadTag { what: "Instruction", tag: t }),
+        t => {
+            return Err(WireError::BadTag {
+                what: "Instruction",
+                tag: t,
+            })
+        }
     })
 }
 

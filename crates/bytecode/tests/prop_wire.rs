@@ -5,8 +5,8 @@ use proptest::prelude::*;
 use sia_bytecode::ops::PrintItem;
 use sia_bytecode::{
     decode_program, encode_program, Arg, ArrayDecl, ArrayId, ArrayKind, BinOp, BlockRef, BoolExpr,
-    CmpOp, ConstId, IndexDecl, IndexId, IndexKind, Instruction, ProcDecl, ProcId, Program,
-    PutMode, ScalarDecl, ScalarExpr, ScalarId, StringId, Value,
+    CmpOp, ConstId, IndexDecl, IndexId, IndexKind, Instruction, ProcDecl, ProcId, Program, PutMode,
+    ScalarDecl, ScalarExpr, ScalarId, StringId, Value,
 };
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -79,14 +79,10 @@ fn arb_bool_expr() -> impl Strategy<Value = BoolExpr> {
 }
 
 fn arb_block_ref() -> impl Strategy<Value = BlockRef> {
-    (
-        0u32..8,
-        prop::collection::vec(0u32..8, 0..5),
-    )
-        .prop_map(|(a, idx)| BlockRef {
-            array: ArrayId(a),
-            indices: idx.into_iter().map(IndexId).collect(),
-        })
+    (0u32..8, prop::collection::vec(0u32..8, 0..5)).prop_map(|(a, idx)| BlockRef {
+        array: ArrayId(a),
+        indices: idx.into_iter().map(IndexId).collect(),
+    })
 }
 
 fn arb_put_mode() -> impl Strategy<Value = PutMode> {
@@ -126,26 +122,46 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         Just(Instruction::Return),
         Just(Instruction::Halt),
         arb_block_ref().prop_map(|b| Instruction::Get { block: b }),
-        (arb_block_ref(), arb_block_ref(), arb_put_mode())
-            .prop_map(|(d, s, m)| Instruction::Put { dest: d, src: s, mode: m }),
+        (arb_block_ref(), arb_block_ref(), arb_put_mode()).prop_map(|(d, s, m)| Instruction::Put {
+            dest: d,
+            src: s,
+            mode: m
+        }),
         arb_block_ref().prop_map(|b| Instruction::Request { block: b }),
-        (arb_block_ref(), arb_block_ref(), arb_put_mode())
-            .prop_map(|(d, s, m)| Instruction::Prepare { dest: d, src: s, mode: m }),
+        (arb_block_ref(), arb_block_ref(), arb_put_mode()).prop_map(|(d, s, m)| {
+            Instruction::Prepare {
+                dest: d,
+                src: s,
+                mode: m,
+            }
+        }),
         (arb_block_ref(), arb_scalar_expr())
             .prop_map(|(d, v)| Instruction::BlockFill { dest: d, value: v }),
         (arb_block_ref(), arb_block_ref())
             .prop_map(|(d, s)| Instruction::BlockCopy { dest: d, src: s }),
-        (arb_block_ref(), arb_block_ref(), -1.0..1.0f64)
-            .prop_map(|(d, s, sign)| Instruction::BlockAccumulate { dest: d, src: s, sign }),
-        (arb_block_ref(), arb_block_ref(), arb_block_ref(), any::<bool>())
+        (arb_block_ref(), arb_block_ref(), -1.0..1.0f64).prop_map(|(d, s, sign)| {
+            Instruction::BlockAccumulate {
+                dest: d,
+                src: s,
+                sign,
+            }
+        }),
+        (
+            arb_block_ref(),
+            arb_block_ref(),
+            arb_block_ref(),
+            any::<bool>()
+        )
             .prop_map(|(d, a, b, acc)| Instruction::BlockContract {
                 dest: d,
                 a,
                 b,
                 accumulate: acc
             }),
-        (0u32..8, arb_scalar_expr())
-            .prop_map(|(d, e)| Instruction::ScalarAssign { dest: ScalarId(d), expr: e }),
+        (0u32..8, arb_scalar_expr()).prop_map(|(d, e)| Instruction::ScalarAssign {
+            dest: ScalarId(d),
+            expr: e
+        }),
         (
             0u32..4,
             prop::collection::vec(
@@ -182,7 +198,12 @@ fn arb_program() -> impl Strategy<Value = Program> {
     (
         "[a-z_][a-z0-9_]{0,10}",
         prop::collection::vec(
-            ("[a-zA-Z][a-zA-Z0-9]{0,6}", arb_index_kind(), arb_value(), arb_value()),
+            (
+                "[a-zA-Z][a-zA-Z0-9]{0,6}",
+                arb_index_kind(),
+                arb_value(),
+                arb_value(),
+            ),
             0..6,
         ),
         prop::collection::vec(
@@ -210,7 +231,12 @@ fn arb_program() -> impl Strategy<Value = Program> {
                 name,
                 indices: indices
                     .into_iter()
-                    .map(|(name, kind, low, high)| IndexDecl { name, kind, low, high })
+                    .map(|(name, kind, low, high)| IndexDecl {
+                        name,
+                        kind,
+                        low,
+                        high,
+                    })
                     .collect(),
                 arrays: arrays
                     .into_iter()

@@ -30,7 +30,11 @@ pub fn eri(mu: usize, nu: usize, la: usize, si: usize) -> f64 {
 /// coordinates.
 pub fn oei(mu: usize, nu: usize) -> f64 {
     let d = mu.abs_diff(nu) as f64;
-    let diag = if mu == nu { -2.0 - (mu % 7) as f64 * 0.2 } else { 0.0 };
+    let diag = if mu == nu {
+        -2.0 - (mu % 7) as f64 * 0.2
+    } else {
+        0.0
+    };
     diag - 0.5 / (1.0 + d * d)
 }
 

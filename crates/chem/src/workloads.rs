@@ -716,11 +716,11 @@ mod tests {
             .phases
             .iter()
             .filter_map(|p| match p {
-                TracePhase::Pardo { iterations, per_iter, .. }
-                    if per_iter.gets > 0 && per_iter.prepares > 0 =>
-                {
-                    Some(*iterations)
-                }
+                TracePhase::Pardo {
+                    iterations,
+                    per_iter,
+                    ..
+                } if per_iter.gets > 0 && per_iter.prepares > 0 => Some(*iterations),
                 _ => None,
             })
             .next()

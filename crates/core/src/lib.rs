@@ -272,7 +272,9 @@ endsial
 
     #[test]
     fn compile_error_surfaces() {
-        let err = Sia::builder().run("sial broken\npardo\nendsial").unwrap_err();
+        let err = Sia::builder()
+            .run("sial broken\npardo\nendsial")
+            .unwrap_err();
         assert!(matches!(err, SiaError::Compile(_)));
         assert!(err.to_string().contains("error"));
     }

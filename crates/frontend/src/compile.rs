@@ -10,8 +10,8 @@ use crate::ast::{self, AstProgram, BlockExpr, Cond, Expr, LValue, Rhs, Stmt};
 use crate::error::{CompileError, ErrorKind};
 use crate::sema::SemaInfo;
 use sia_bytecode::{
-    Arg, ArrayDecl, ArrayId, ArrayKind, BinOp, BlockRef, BoolExpr, CmpOp, Instruction as I,
-    IndexId, ProcDecl, ProcId, Program, PutMode, ScalarExpr, ScalarId,
+    Arg, ArrayDecl, ArrayId, ArrayKind, BinOp, BlockRef, BoolExpr, CmpOp, IndexId,
+    Instruction as I, ProcDecl, ProcId, Program, PutMode, ScalarExpr, ScalarId,
 };
 
 fn lower_err(line: u32, msg: impl Into<String>) -> CompileError {
@@ -140,14 +140,12 @@ impl<'a> Lowerer<'a> {
                 };
                 BoolExpr::Cmp(self.expr(l, line)?, cop, self.expr(r, line)?)
             }
-            Cond::And(a, b) => BoolExpr::And(
-                Box::new(self.cond(a, line)?),
-                Box::new(self.cond(b, line)?),
-            ),
-            Cond::Or(a, b) => BoolExpr::Or(
-                Box::new(self.cond(a, line)?),
-                Box::new(self.cond(b, line)?),
-            ),
+            Cond::And(a, b) => {
+                BoolExpr::And(Box::new(self.cond(a, line)?), Box::new(self.cond(b, line)?))
+            }
+            Cond::Or(a, b) => {
+                BoolExpr::Or(Box::new(self.cond(a, line)?), Box::new(self.cond(b, line)?))
+            }
             Cond::Not(x) => BoolExpr::Not(Box::new(self.cond(x, line)?)),
         })
     }
@@ -604,7 +602,10 @@ mod tests {
         let p = body("pardo M, N\ndo L\nx(M,N) = 0.0\nenddo L\nendpardo");
         match &p.code[0] {
             I::PardoStart { end_pc, .. } => {
-                assert!(matches!(p.code[*end_pc as usize], I::PardoEnd { start_pc: 0 }));
+                assert!(matches!(
+                    p.code[*end_pc as usize],
+                    I::PardoEnd { start_pc: 0 }
+                ));
             }
             other => panic!("{other:?}"),
         }
@@ -642,13 +643,20 @@ mod tests {
     #[test]
     fn scalar_contraction_synthesizes_hidden_temp() {
         let p = body("pardo M, N\ns += x(M,N) * y(M,N)\nendpardo");
-        let hidden: Vec<_> = p.arrays.iter().filter(|a| a.name.starts_with('$')).collect();
+        let hidden: Vec<_> = p
+            .arrays
+            .iter()
+            .filter(|a| a.name.starts_with('$'))
+            .collect();
         assert_eq!(hidden.len(), 1);
         assert!(hidden[0].dims.is_empty());
-        assert!(p
-            .code
-            .iter()
-            .any(|i| matches!(i, I::ScalarFromBlock { accumulate: true, .. })));
+        assert!(p.code.iter().any(|i| matches!(
+            i,
+            I::ScalarFromBlock {
+                accumulate: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -663,7 +671,8 @@ mod tests {
 
     #[test]
     fn procs_lowered_after_halt() {
-        let p = compile_src("sial t\nscalar s\nproc inc\ns = s + 1.0\nendproc\ncall inc\nendsial\n");
+        let p =
+            compile_src("sial t\nscalar s\nproc inc\ns = s + 1.0\nendproc\ncall inc\nendsial\n");
         assert_eq!(p.procs.len(), 1);
         let entry = p.procs[0].entry_pc as usize;
         // Halt terminates main before the proc body.
@@ -762,6 +771,9 @@ endsial
         assert_eq!(p, q);
         // Disassembly mentions the contraction in SIAL-like form.
         let listing = sia_bytecode::disassemble(&q);
-        assert!(listing.contains("tmp(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J)"), "{listing}");
+        assert!(
+            listing.contains("tmp(M,N,I,J) = V(M,N,L,S) * T(L,S,I,J)"),
+            "{listing}"
+        );
     }
 }

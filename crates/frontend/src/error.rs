@@ -51,7 +51,11 @@ impl CompileError {
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line > 0 {
-            write!(f, "{} error at line {}: {}", self.kind, self.line, self.message)
+            write!(
+                f,
+                "{} error at line {}: {}",
+                self.kind, self.line, self.message
+            )
         } else {
             write!(f, "{} error: {}", self.kind, self.message)
         }

@@ -14,7 +14,11 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
     let push = |tok: Token, line: u32, out: &mut Vec<Spanned>| {
         if tok == Token::Newline {
             match out.last() {
-                None | Some(Spanned { token: Token::Newline, .. }) => return,
+                None
+                | Some(Spanned {
+                    token: Token::Newline,
+                    ..
+                }) => return,
                 _ => {}
             }
         }

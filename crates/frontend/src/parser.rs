@@ -121,8 +121,18 @@ impl Parser {
                     break;
                 }
                 T::Kw(
-                    K::AoIndex | K::MoIndex | K::MoAIndex | K::MoBIndex | K::LaIndex | K::Index
-                    | K::Subindex | K::Static | K::Temp | K::Local | K::Distributed | K::Served
+                    K::AoIndex
+                    | K::MoIndex
+                    | K::MoAIndex
+                    | K::MoBIndex
+                    | K::LaIndex
+                    | K::Index
+                    | K::Subindex
+                    | K::Static
+                    | K::Temp
+                    | K::Local
+                    | K::Distributed
+                    | K::Served
                     | K::Scalar,
                 ) => {
                     if !body.is_empty() {
@@ -268,9 +278,9 @@ impl Parser {
                     match self.bump() {
                         T::Number(n) => init = if neg { -n } else { n },
                         other => {
-                            return Err(self.err(format!(
-                                "expected numeric initializer, found {other}"
-                            )));
+                            return Err(
+                                self.err(format!("expected numeric initializer, found {other}"))
+                            );
                         }
                     }
                 }
@@ -311,9 +321,7 @@ impl Parser {
             }
             T::Ident(s) => {
                 if self.at_block_ref() {
-                    return Err(self.err(
-                        "block reference not allowed inside a scalar expression",
-                    ));
+                    return Err(self.err("block reference not allowed inside a scalar expression"));
                 }
                 self.bump();
                 Ok(Expr::Name(s))
@@ -416,8 +424,15 @@ impl Parser {
                         return false;
                     }
                 }
-                T::EqEq | T::NotEq | T::Lt | T::Le | T::Gt | T::Ge
-                | T::Kw(K::And) | T::Kw(K::Or) | T::Kw(K::Not)
+                T::EqEq
+                | T::NotEq
+                | T::Lt
+                | T::Le
+                | T::Gt
+                | T::Ge
+                | T::Kw(K::And)
+                | T::Kw(K::Or)
+                | T::Kw(K::Not)
                     if depth == 1 =>
                 {
                     return true;
@@ -514,9 +529,7 @@ impl Parser {
                             self.bump();
                         }
                         other => {
-                            return Err(
-                                self.err(format!("bad `execute` argument: {other}"))
-                            );
+                            return Err(self.err(format!("bad `execute` argument: {other}")));
                         }
                     }
                 }
@@ -536,9 +549,7 @@ impl Parser {
                         T::Comma => {
                             self.bump();
                         }
-                        _ =>
-
-                            items.push(AstPrintItem::Expr(self.expr()?)),
+                        _ => items.push(AstPrintItem::Expr(self.expr()?)),
                     }
                 }
                 self.expect_newline()?;
@@ -739,9 +750,7 @@ impl Parser {
             T::PlusAssign => AssignOp::Add,
             T::MinusAssign => AssignOp::Sub,
             T::StarAssign => AssignOp::Mul,
-            other => {
-                return Err(self.err(format!("expected assignment operator, found {other}")))
-            }
+            other => return Err(self.err(format!("expected assignment operator, found {other}"))),
         };
         let rhs = self.rhs()?;
         self.expect_newline()?;
@@ -849,7 +858,13 @@ endsial
         match &p.body[0] {
             Stmt::Pardo { body, .. } => match &body[0] {
                 Stmt::Do { body, .. } => {
-                    assert!(matches!(&body[0], Stmt::DoIn { parallel: false, .. }));
+                    assert!(matches!(
+                        &body[0],
+                        Stmt::DoIn {
+                            parallel: false,
+                            ..
+                        }
+                    ));
                 }
                 _ => panic!(),
             },

@@ -8,8 +8,7 @@
 use crate::ast::*;
 use crate::error::{CompileError, ErrorKind};
 use sia_bytecode::{
-    ArrayDecl as BcArray, ArrayKind, IndexDecl as BcIndex, IndexKind, ScalarDecl as BcScalar,
-    Value,
+    ArrayDecl as BcArray, ArrayKind, IndexDecl as BcIndex, IndexKind, ScalarDecl as BcScalar, Value,
 };
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -81,7 +80,12 @@ pub fn analyze(ast: &AstProgram) -> Result<SemaInfo, CompileError> {
 impl<'a> Analyzer<'a> {
     // ---- declarations -----------------------------------------------------
 
-    fn declare_name(&mut self, name: &str, line: u32, taken: &mut BTreeSet<String>) -> Result<(), CompileError> {
+    fn declare_name(
+        &mut self,
+        name: &str,
+        line: u32,
+        taken: &mut BTreeSet<String>,
+    ) -> Result<(), CompileError> {
         if !taken.insert(name.to_string()) {
             return Err(err(line, format!("`{name}` declared more than once")));
         }
@@ -130,7 +134,9 @@ impl<'a> Analyzer<'a> {
                 };
                 let low_v = self.bound_value(low);
                 let high_v = self.bound_value(high);
-                self.info.index_ids.insert(name.clone(), self.info.indices.len() as u32);
+                self.info
+                    .index_ids
+                    .insert(name.clone(), self.info.indices.len() as u32);
                 self.info.indices.push(BcIndex {
                     name: name.clone(),
                     kind: bc_kind,
@@ -143,34 +149,36 @@ impl<'a> Analyzer<'a> {
         // that use them).
         for d in &self.ast.decls {
             if let Decl::Subindex { name, parent, line } = d {
-                    self.declare_name(name, *line, &mut taken)?;
-                    let Some(&pid) = self.info.index_ids.get(parent) else {
-                        return Err(err(*line, format!("unknown parent index `{parent}`")));
-                    };
-                    let pkind = self.info.indices[pid as usize].kind;
-                    if !pkind.is_segment() {
-                        return Err(err(
-                            *line,
-                            format!("`{parent}` is a simple index and cannot have subindices"),
-                        ));
-                    }
-                    if matches!(pkind, IndexKind::Subindex { .. }) {
-                        return Err(err(
-                            *line,
-                            format!("`{parent}` is itself a subindex; nesting is not supported"),
-                        ));
-                    }
-                    self.info.index_ids.insert(name.clone(), self.info.indices.len() as u32);
-                    self.info.indices.push(BcIndex {
-                        name: name.clone(),
-                        kind: IndexKind::Subindex {
-                            parent: sia_bytecode::IndexId(pid),
-                        },
-                        // Subindex ranges derive from the parent at runtime
-                        // (the subsegment count is a runtime parameter).
-                        low: Value::Lit(0),
-                        high: Value::Lit(0),
-                    });
+                self.declare_name(name, *line, &mut taken)?;
+                let Some(&pid) = self.info.index_ids.get(parent) else {
+                    return Err(err(*line, format!("unknown parent index `{parent}`")));
+                };
+                let pkind = self.info.indices[pid as usize].kind;
+                if !pkind.is_segment() {
+                    return Err(err(
+                        *line,
+                        format!("`{parent}` is a simple index and cannot have subindices"),
+                    ));
+                }
+                if matches!(pkind, IndexKind::Subindex { .. }) {
+                    return Err(err(
+                        *line,
+                        format!("`{parent}` is itself a subindex; nesting is not supported"),
+                    ));
+                }
+                self.info
+                    .index_ids
+                    .insert(name.clone(), self.info.indices.len() as u32);
+                self.info.indices.push(BcIndex {
+                    name: name.clone(),
+                    kind: IndexKind::Subindex {
+                        parent: sia_bytecode::IndexId(pid),
+                    },
+                    // Subindex ranges derive from the parent at runtime
+                    // (the subsegment count is a runtime parameter).
+                    low: Value::Lit(0),
+                    high: Value::Lit(0),
+                });
             }
         }
         // Third pass: arrays and scalars.
@@ -213,7 +221,9 @@ impl<'a> Analyzer<'a> {
                     if dim_ids.is_empty() {
                         return Err(err(*line, format!("array `{name}` has no dimensions")));
                     }
-                    self.info.array_ids.insert(name.clone(), self.info.arrays.len() as u32);
+                    self.info
+                        .array_ids
+                        .insert(name.clone(), self.info.arrays.len() as u32);
                     self.info.arrays.push(BcArray {
                         name: name.clone(),
                         kind: bc_kind,
@@ -222,7 +232,9 @@ impl<'a> Analyzer<'a> {
                 }
                 Decl::Scalar { name, init, line } => {
                     self.declare_name(name, *line, &mut taken)?;
-                    self.info.scalar_ids.insert(name.clone(), self.info.scalars.len() as u32);
+                    self.info
+                        .scalar_ids
+                        .insert(name.clone(), self.info.scalars.len() as u32);
                     self.info.scalars.push(BcScalar {
                         name: name.clone(),
                         init: *init,
@@ -338,7 +350,12 @@ impl<'a> Analyzer<'a> {
 
     /// Checks a scalar expression; `extra_ok` lists index names additionally
     /// allowed (used by `where` clauses to restrict to the pardo indices).
-    fn check_expr(&self, e: &Expr, line: u32, restrict: Option<&[String]>) -> Result<(), CompileError> {
+    fn check_expr(
+        &self,
+        e: &Expr,
+        line: u32,
+        restrict: Option<&[String]>,
+    ) -> Result<(), CompileError> {
         match e {
             Expr::Num(_) => Ok(()),
             Expr::Name(n) => {
@@ -370,7 +387,12 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    fn check_cond(&self, c: &Cond, line: u32, restrict: Option<&[String]>) -> Result<(), CompileError> {
+    fn check_cond(
+        &self,
+        c: &Cond,
+        line: u32,
+        restrict: Option<&[String]>,
+    ) -> Result<(), CompileError> {
         match c {
             Cond::Cmp(l, _, r) => {
                 self.check_expr(l, line, restrict)?;
@@ -502,7 +524,9 @@ impl<'a> Analyzer<'a> {
                     if matches!(self.index_kind(id), IndexKind::Subindex { .. }) {
                         return Err(err(
                             *line,
-                            format!("subindex `{n}` cannot head a plain pardo; use `pardo {n} in …`"),
+                            format!(
+                                "subindex `{n}` cannot head a plain pardo; use `pardo {n} in …`"
+                            ),
                         ));
                     }
                     self.bind_index(n, *line)?;
@@ -595,7 +619,10 @@ impl<'a> Analyzer<'a> {
                 if kind != ArrayKind::Distributed {
                     return Err(err(
                         b.line,
-                        format!("`get` requires a distributed array; `{}` is {kind:?}", b.array),
+                        format!(
+                            "`get` requires a distributed array; `{}` is {kind:?}",
+                            b.array
+                        ),
                     ));
                 }
                 Ok(())
@@ -606,7 +633,10 @@ impl<'a> Analyzer<'a> {
                 if kind != ArrayKind::Served {
                     return Err(err(
                         b.line,
-                        format!("`request` requires a served array; `{}` is {kind:?}", b.array),
+                        format!(
+                            "`request` requires a served array; `{}` is {kind:?}",
+                            b.array
+                        ),
                     ));
                 }
                 Ok(())
@@ -618,7 +648,10 @@ impl<'a> Analyzer<'a> {
                 if kind != ArrayKind::Distributed {
                     return Err(err(
                         dest.line,
-                        format!("`put` requires a distributed array; `{}` is {kind:?}", dest.array),
+                        format!(
+                            "`put` requires a distributed array; `{}` is {kind:?}",
+                            dest.array
+                        ),
                     ));
                 }
                 if self.array_kind(&src.array, src.line)?.is_remote() {
@@ -636,7 +669,10 @@ impl<'a> Analyzer<'a> {
                 if kind != ArrayKind::Served {
                     return Err(err(
                         dest.line,
-                        format!("`prepare` requires a served array; `{}` is {kind:?}", dest.array),
+                        format!(
+                            "`prepare` requires a served array; `{}` is {kind:?}",
+                            dest.array
+                        ),
                     ));
                 }
                 if self.array_kind(&src.array, src.line)?.is_remote() {
@@ -779,9 +815,10 @@ impl<'a> Analyzer<'a> {
                     return Err(err(line, format!("unknown scalar `{name}`")));
                 }
                 match (op, rhs) {
-                    (AssignOp::Set | AssignOp::Add | AssignOp::Sub | AssignOp::Mul, Rhs::Scalar(e)) => {
-                        self.check_expr(e, line, None)
-                    }
+                    (
+                        AssignOp::Set | AssignOp::Add | AssignOp::Sub | AssignOp::Mul,
+                        Rhs::Scalar(e),
+                    ) => self.check_expr(e, line, None),
                     (AssignOp::Set | AssignOp::Add, Rhs::Contract(a, b)) => {
                         self.check_readable(a)?;
                         self.check_readable(b)?;
@@ -825,8 +862,10 @@ mod tests {
 
     #[test]
     fn nested_pardo_rejected() {
-        let e = analyze_src(&with_body("pardo M\npardo N\nx(M,N) = 0.0\nendpardo\nendpardo"))
-            .unwrap_err();
+        let e = analyze_src(&with_body(
+            "pardo M\npardo N\nx(M,N) = 0.0\nendpardo\nendpardo",
+        ))
+        .unwrap_err();
         assert!(e.message.contains("nested"));
     }
 
@@ -838,8 +877,7 @@ mod tests {
 
     #[test]
     fn kind_mismatch_rejected() {
-        let e =
-            analyze_src(&with_body("pardo M, I\nx(M,I) = 0.0\nendpardo")).unwrap_err();
+        let e = analyze_src(&with_body("pardo M, I\nx(M,I) = 0.0\nendpardo")).unwrap_err();
         assert!(e.message.contains("kind"), "{e}");
     }
 
@@ -871,8 +909,8 @@ mod tests {
     #[test]
     fn contraction_structure_checked() {
         // y(M,N) = x(M,N) * x(M,N): M,N in both operands AND the result.
-        let e = analyze_src(&with_body("pardo M, N\ny(M,N) = x(M,N) * x(M,N)\nendpardo"))
-            .unwrap_err();
+        let e =
+            analyze_src(&with_body("pardo M, N\ny(M,N) = x(M,N) * x(M,N)\nendpardo")).unwrap_err();
         assert!(e.message.contains("both operands"));
     }
 
@@ -894,8 +932,7 @@ mod tests {
     fn where_restricted_to_pardo_indices() {
         let ok = analyze_src(&with_body("pardo M, N where M < N\nx(M,N) = 0.0\nendpardo"));
         assert!(ok.is_ok());
-        let e = analyze_src(&with_body("pardo M where M < N\nx(M,M) = 0.0\nendpardo"))
-            .unwrap_err();
+        let e = analyze_src(&with_body("pardo M where M < N\nx(M,M) = 0.0\nendpardo")).unwrap_err();
         assert!(e.message.contains("pardo's own indices"));
     }
 

@@ -114,9 +114,7 @@ pub fn sufficient_workers(layout: &Layout, config: &SipConfig, budget: u64) -> O
 mod tests {
     use super::*;
     use crate::layout::{SegmentConfig, Topology};
-    use sia_bytecode::{
-        ArrayDecl, ConstBindings, IndexDecl, IndexId, IndexKind, Program, Value,
-    };
+    use sia_bytecode::{ArrayDecl, ConstBindings, IndexDecl, IndexId, IndexKind, Program, Value};
     use std::sync::Arc;
 
     fn layout(workers: usize, arrays: Vec<ArrayDecl>) -> Layout {
@@ -170,10 +168,7 @@ mod tests {
 
     #[test]
     fn static_replicated_temp_single() {
-        let arrays = vec![
-            arr("S", ArrayKind::Static, 2),
-            arr("T", ArrayKind::Temp, 2),
-        ];
+        let arrays = vec![arr("S", ArrayKind::Static, 2), arr("T", ArrayKind::Temp, 2)];
         let e = per_worker(&layout(4, arrays), &config(0), 4);
         assert_eq!(e.per_worker_bytes, 100 * 512 + 512);
     }
@@ -196,8 +191,9 @@ mod tests {
         // with ceil(100/W)*512 ≤ 13*512 → ceil(100/W) ≤ 13 → W = 8.
         let w = sufficient_workers(&l, &c, 13 * 512).unwrap();
         assert_eq!(w, 8);
-        assert!(estimate(&layout(8, vec![arr("D", ArrayKind::Distributed, 2)]), &c)
-            .feasible(13 * 512));
+        assert!(
+            estimate(&layout(8, vec![arr("D", ArrayKind::Distributed, 2)]), &c).feasible(13 * 512)
+        );
     }
 
     #[test]

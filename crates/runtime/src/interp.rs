@@ -13,7 +13,7 @@ use crate::msg::{BarrierKind, BlockKey, SipMsg};
 use crate::registry::{SuperArg, SuperEnv};
 use crate::scheduler::{eval_bool, eval_scalar};
 use crate::worker::{LoopFrame, PardoState, Worker};
-use sia_blocks::{contract_into, permute, Block, ContractionPlan};
+use sia_blocks::{contract_into_ctx, permute, Block, ContractionPlan};
 use sia_bytecode::{
     Arg, ArrayId, ArrayKind, BlockRef, BoolExpr, IndexId, Instruction as I, ScalarExpr,
 };
@@ -37,9 +37,10 @@ impl Worker {
         let mut pc: u32 = 0;
         loop {
             self.service_messages();
-            let ins = program.code.get(pc as usize).ok_or_else(|| {
-                RuntimeError::BadProgram(format!("pc {pc} out of range"))
-            })?;
+            let ins = program
+                .code
+                .get(pc as usize)
+                .ok_or_else(|| RuntimeError::BadProgram(format!("pc {pc} out of range")))?;
             let t_ins = Instant::now();
             let mut wait = Duration::ZERO;
             let next = self.step(pc, ins, &mut plans, &mut wait)?;
@@ -52,6 +53,9 @@ impl Worker {
         }
         self.profile.total_nanos = t0.elapsed().as_nanos() as u64;
         self.profile.cache = self.cache.stats();
+        self.profile
+            .contraction
+            .merge(&self.contract_ctx.take_stats());
         Ok(())
     }
 
@@ -81,7 +85,11 @@ impl Worker {
         )
     }
 
-    fn alloc_for(&mut self, array: ArrayId, shape: sia_blocks::Shape) -> Result<Block, RuntimeError> {
+    fn alloc_for(
+        &mut self,
+        array: ArrayId,
+        shape: sia_blocks::Shape,
+    ) -> Result<Block, RuntimeError> {
         if self.layout.array_kind(array) == ArrayKind::Temp {
             Ok(self.pool.acquire_raw(shape)?)
         } else {
@@ -153,7 +161,11 @@ impl Worker {
     /// be needed soon": when a `get`/`request` sits inside a sequential loop,
     /// also fetch the blocks the next iterations of the *innermost* loop will
     /// ask for.
-    fn prefetch_ahead(&mut self, array: ArrayId, ref_indices: &[IndexId]) -> Result<(), RuntimeError> {
+    fn prefetch_ahead(
+        &mut self,
+        array: ArrayId,
+        ref_indices: &[IndexId],
+    ) -> Result<(), RuntimeError> {
         if self.config.prefetch_depth == 0 {
             return Ok(());
         }
@@ -255,7 +267,10 @@ impl Worker {
                 Ok(Some(pc + 1))
             }
             I::DoInEnd { start_pc } => self.loop_end(*start_pc, pc),
-            I::ExitLoop { loop_start_pc, target } => {
+            I::ExitLoop {
+                loop_start_pc,
+                target,
+            } => {
                 // Pop loop frames down to and including the exited loop.
                 loop {
                     let Some(frame) = self.loop_stack.pop() else {
@@ -310,7 +325,9 @@ impl Worker {
                         if self.worker_index() == 0 {
                             for j in 0..self.layout.topology.io_servers {
                                 let io = self.layout.topology.io_server(j);
-                                let _ = self.endpoint.send(io, SipMsg::DeleteArray { array: *array });
+                                let _ = self
+                                    .endpoint
+                                    .send(io, SipMsg::DeleteArray { array: *array });
                             }
                         }
                     }
@@ -327,7 +344,9 @@ impl Worker {
             // ---- I/O -------------------------------------------------------------
             I::Get { block } | I::Request { block } => {
                 let segs = self.seg_values(&block.indices)?;
-                let (key, _) = self.layout.storage_target(block.array, &block.indices, &segs);
+                let (key, _) = self
+                    .layout
+                    .storage_target(block.array, &block.indices, &segs);
                 self.issue_fetch(key)?;
                 self.prefetch_ahead(block.array, &block.indices)?;
                 Ok(Some(pc + 1))
@@ -346,7 +365,14 @@ impl Worker {
                     self.apply_put_local(key, data, *mode);
                 } else {
                     self.endpoint
-                        .send(home, SipMsg::PutBlock { key, data, mode: *mode })
+                        .send(
+                            home,
+                            SipMsg::PutBlock {
+                                key,
+                                data,
+                                mode: *mode,
+                            },
+                        )
                         .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
                     self.outstanding_puts += 1;
                 }
@@ -354,9 +380,7 @@ impl Worker {
             }
             I::Prepare { dest, src, mode } => {
                 if self.layout.topology.io_servers == 0 {
-                    return Err(RuntimeError::ServedIo(
-                        "prepare with io_servers = 0".into(),
-                    ));
+                    return Err(RuntimeError::ServedIo("prepare with io_servers = 0".into()));
                 }
                 let data = self.read_block(src.array, &src.indices, wait)?;
                 let segs = self.seg_values(&dest.indices)?;
@@ -368,7 +392,14 @@ impl Worker {
                 }
                 let home = self.layout.topology.home_of_served(&key);
                 self.endpoint
-                    .send(home, SipMsg::PrepareBlock { key, data, mode: *mode })
+                    .send(
+                        home,
+                        SipMsg::PrepareBlock {
+                            key,
+                            data,
+                            mode: *mode,
+                        },
+                    )
                     .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
                 self.outstanding_prepares += 1;
                 // The freshest copy is at the server now.
@@ -390,7 +421,14 @@ impl Worker {
                     .collect();
                 for (key, data) in mine {
                     self.endpoint
-                        .send(master, SipMsg::CkptBlock { label: label.0, key, data })
+                        .send(
+                            master,
+                            SipMsg::CkptBlock {
+                                label: label.0,
+                                key,
+                                data,
+                            },
+                        )
                         .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
                 }
                 self.endpoint
@@ -424,7 +462,8 @@ impl Worker {
                     )
                     .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
                 let lbl = label.0;
-                *wait += self.wait_until("checkpoint restore", |w| w.ckpt_released.contains(&lbl))?;
+                *wait +=
+                    self.wait_until("checkpoint restore", |w| w.ckpt_released.contains(&lbl))?;
                 self.ckpt_released.remove(&lbl);
                 self.cache.invalidate_array(*array);
                 Ok(Some(pc + 1))
@@ -457,7 +496,12 @@ impl Worker {
                 self.modify_block(dest.array, &dest.indices, |b| b.scale(v))?;
                 Ok(Some(pc + 1))
             }
-            I::BlockContract { dest, a, b, accumulate } => {
+            I::BlockContract {
+                dest,
+                a,
+                b,
+                accumulate,
+            } => {
                 let plan = match plans.get(&pc) {
                     Some(p) => p.clone(),
                     None => {
@@ -474,30 +518,48 @@ impl Worker {
                 let ablk = self.read_block(a.array, &a.indices, wait)?;
                 let bblk = self.read_block(b.array, &b.indices, wait)?;
                 let out_shape = plan.output_shape(ablk.shape(), bblk.shape());
-                if *accumulate {
-                    // Accumulating into a not-yet-written temp starts from
-                    // zero (the `R += a*b` idiom).
-                    let need_init = self.layout.array_kind(dest.array) == ArrayKind::Temp
-                        && !self.temp_defined(dest.array, &dest.indices)?;
-                    if need_init {
-                        let z = self.alloc_for(dest.array, out_shape)?;
-                        self.write_block(dest.array, &dest.indices, z)?;
+                // Contract through the worker's context (pooled scratch,
+                // configured GEMM threading, fold counters). The ctx is
+                // taken out of `self` for the duration so the closures below
+                // can borrow it alongside `self`'s block stores.
+                let mut ctx = std::mem::take(&mut self.contract_ctx);
+                let result = (|| -> Result<(), RuntimeError> {
+                    if *accumulate {
+                        // Accumulating into a not-yet-written temp starts
+                        // from zero (the `R += a*b` idiom): contract straight
+                        // into fresh pooled storage instead of round-tripping
+                        // a zero-filled block through an accumulate.
+                        let need_init = self.layout.array_kind(dest.array) == ArrayKind::Temp
+                            && !self.temp_defined(dest.array, &dest.indices)?;
+                        if need_init {
+                            let mut out = self.alloc_for(dest.array, out_shape)?;
+                            contract_into_ctx(&mut ctx, &plan, &ablk, &bblk, 0.0, &mut out);
+                            self.write_block(dest.array, &dest.indices, out)?;
+                        } else {
+                            self.modify_block(dest.array, &dest.indices, |d| {
+                                contract_into_ctx(&mut ctx, &plan, &ablk, &bblk, 1.0, d);
+                            })?;
+                        }
+                    } else {
+                        let mut out = self.alloc_for(dest.array, out_shape)?;
+                        contract_into_ctx(&mut ctx, &plan, &ablk, &bblk, 0.0, &mut out);
+                        self.write_block(dest.array, &dest.indices, out)?;
                     }
-                    self.modify_block(dest.array, &dest.indices, |d| {
-                        contract_into(&plan, &ablk, &bblk, 1.0, d);
-                    })?;
-                } else {
-                    let mut out = self.alloc_for(dest.array, out_shape)?;
-                    contract_into(&plan, &ablk, &bblk, 0.0, &mut out);
-                    self.write_block(dest.array, &dest.indices, out)?;
-                }
+                    Ok(())
+                })();
+                self.contract_ctx = ctx;
+                result?;
                 Ok(Some(pc + 1))
             }
             I::ScalarAssign { dest, expr } => {
                 self.scalars[dest.index()] = self.eval_expr(expr);
                 Ok(Some(pc + 1))
             }
-            I::ScalarFromBlock { dest, src, accumulate } => {
+            I::ScalarFromBlock {
+                dest,
+                src,
+                accumulate,
+            } => {
                 let b = self.read_block(src.array, &src.indices, wait)?;
                 if b.len() != 1 {
                     return Err(RuntimeError::BadProgram(
@@ -580,7 +642,7 @@ impl Worker {
         Ok(matches!(self.temps.get(&array), Some((k, _)) if *k == key))
     }
 
-    fn barrier(&mut self, kind: BarrierKind) -> Result<Duration, RuntimeError> {
+    pub(crate) fn barrier(&mut self, kind: BarrierKind) -> Result<Duration, RuntimeError> {
         // Conflicting accesses must be complete before we report in: drain
         // outstanding acks first.
         let mut total = match kind {
@@ -663,9 +725,7 @@ impl Worker {
                                 self.pool.release(old);
                                 self.alloc_for(r.array, self.layout.block_shape(&r.indices))?
                             }
-                            None => {
-                                self.alloc_for(r.array, self.layout.block_shape(&r.indices))?
-                            }
+                            None => self.alloc_for(r.array, self.layout.block_shape(&r.indices))?,
                         },
                         ArrayKind::Local | ArrayKind::Static => {
                             match self.local_store.remove(&key) {
@@ -684,10 +744,7 @@ impl Worker {
                         _ => Origin::Local(key, r.array),
                     };
                     origins.push((marshalled.len(), origin));
-                    marshalled.push(SuperArg::Block {
-                        segs,
-                        block,
-                    });
+                    marshalled.push(SuperArg::Block { segs, block });
                 }
                 Arg::Scalar(id) => {
                     origins.push((marshalled.len(), Origin::Scalar(id.index())));

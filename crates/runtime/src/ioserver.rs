@@ -259,14 +259,10 @@ impl IoServer {
     fn delete_array(&mut self, array: sia_bytecode::ArrayId) -> Result<(), RuntimeError> {
         self.cache.retain(|k, _| k.array != array);
         let prefix = format!("a{}_", array.0);
-        let entries = fs::read_dir(&self.dir)
-            .map_err(|e| RuntimeError::ServedIo(format!("readdir: {e}")))?;
+        let entries =
+            fs::read_dir(&self.dir).map_err(|e| RuntimeError::ServedIo(format!("readdir: {e}")))?;
         for entry in entries.flatten() {
-            if entry
-                .file_name()
-                .to_string_lossy()
-                .starts_with(&prefix)
-            {
+            if entry.file_name().to_string_lossy().starts_with(&prefix) {
                 let _ = fs::remove_file(entry.path());
             }
         }
@@ -326,7 +322,9 @@ impl IoServer {
 mod tests {
     use super::*;
     use crate::layout::{SegmentConfig, Topology};
-    use sia_bytecode::{ArrayDecl, ArrayId, ArrayKind, ConstBindings, IndexDecl, IndexId, IndexKind, Program, Value};
+    use sia_bytecode::{
+        ArrayDecl, ArrayId, ArrayKind, ConstBindings, IndexDecl, IndexId, IndexKind, Program, Value,
+    };
     use std::sync::Arc;
 
     fn test_layout() -> Arc<Layout> {
@@ -452,7 +450,10 @@ mod tests {
         s.flush_all().unwrap();
         s.delete_array(ArrayId(0)).unwrap();
         let got = s.load(key).unwrap();
-        assert!(got.data().iter().all(|&x| x == 0.0), "deleted block reads zero");
+        assert!(
+            got.data().iter().all(|&x| x == 0.0),
+            "deleted block reads zero"
+        );
     }
 
     #[test]
@@ -471,8 +472,12 @@ mod tests {
         let dir = tmpdir("lazy");
         let mut s = test_server(&dir, 8);
         for i in 1..=3 {
-            s.prepare(BlockKey::new(ArrayId(0), &[i, i]), blk(i as f64), PutMode::Replace)
-                .unwrap();
+            s.prepare(
+                BlockKey::new(ArrayId(0), &[i, i]),
+                blk(i as f64),
+                PutMode::Replace,
+            )
+            .unwrap();
         }
         assert_eq!(s.stats().disk_writes, 0, "prepares are lazy");
         assert!(s.flush_one().unwrap());

@@ -99,6 +99,11 @@ pub struct SipConfig {
     pub chunk_policy: Option<crate::scheduler::ChunkPolicy>,
     /// Distributed-block placement strategy.
     pub placement: Placement,
+    /// Intra-worker threads for the block-contraction GEMM (1 = serial).
+    pub gemm_threads: usize,
+    /// Feed transpose-shaped operand permutations to the GEMM as layout
+    /// flags instead of materializing permuted copies (ablation switch).
+    pub fold_transposes: bool,
 }
 
 impl Default for SipConfig {
@@ -117,6 +122,8 @@ impl Default for SipConfig {
             chunk_factor: 2,
             chunk_policy: None,
             placement: Placement::default(),
+            gemm_threads: 1,
+            fold_transposes: true,
         }
     }
 }
@@ -354,9 +361,7 @@ impl Layout {
         ref_indices
             .iter()
             .zip(&decl.dims)
-            .map(|(&r, &d)| {
-                self.parent_of(r).is_some() && self.parent_of(d).is_none()
-            })
+            .map(|(&r, &d)| self.parent_of(r).is_some() && self.parent_of(d).is_none())
             .collect()
     }
 
@@ -488,14 +493,8 @@ mod tests {
     #[test]
     fn shapes() {
         let l = layout_with(segs(16, 8, 4));
-        assert_eq!(
-            l.declared_block_shape(ArrayId(0)).dims(),
-            &[16, 8]
-        );
-        assert_eq!(
-            l.declared_block_shape(ArrayId(1)).dims(),
-            &[4, 8]
-        );
+        assert_eq!(l.declared_block_shape(ArrayId(0)).dims(), &[16, 8]);
+        assert_eq!(l.declared_block_shape(ArrayId(1)).dims(), &[4, 8]);
         assert_eq!(l.total_blocks(ArrayId(0)), 8);
         assert_eq!(l.total_blocks(ArrayId(1)), 32);
         assert_eq!(l.block_bytes(ArrayId(0)), 16 * 8 * 8);

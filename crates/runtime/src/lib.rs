@@ -216,11 +216,12 @@ impl Sip {
         let worker_eps: Vec<_> = endpoints.split_off(1);
         let master_ep = endpoints.pop().expect("master endpoint");
 
-        let chunk_policy = self.config.chunk_policy.unwrap_or(
-            scheduler::ChunkPolicy::Guided {
+        let chunk_policy = self
+            .config
+            .chunk_policy
+            .unwrap_or(scheduler::ChunkPolicy::Guided {
                 factor: self.config.chunk_factor,
-            },
-        );
+            });
         let master = master::Master::new(
             Arc::clone(&layout),
             master_ep,
@@ -317,12 +318,7 @@ impl Sip {
             io_servers: self.config.io_servers,
             placement: self.config.placement,
         };
-        let layout = Layout::new(
-            Arc::new(program),
-            bindings,
-            self.config.segments,
-            topology,
-        )?;
+        let layout = Layout::new(Arc::new(program), bindings, self.config.segments, topology)?;
         Ok(dryrun::estimate(&layout, &self.config))
     }
 }
@@ -336,8 +332,17 @@ fn run_worker(w: &mut worker::Worker, collect: bool) {
     let master = w.layout.topology.master();
     match w.execute_program() {
         Ok(()) => {
+            // A peer's put to a block homed here can still be in flight when
+            // our own program text ends. Before snapshotting the store for
+            // collection, cross an end-of-run barrier: every worker first
+            // drains its own put acks (an ack means the home applied the
+            // put), so once all workers have entered, every put has landed.
             let blocks: Vec<(BlockKey, Block)> = if collect {
-                w.dist_store.drain().collect()
+                match w.barrier(crate::msg::BarrierKind::Sip) {
+                    Ok(_) => w.dist_store.drain().collect(),
+                    // The run is aborting; the master won't read these.
+                    Err(_) => Vec::new(),
+                }
             } else {
                 Vec::new()
             };

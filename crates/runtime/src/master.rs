@@ -98,9 +98,7 @@ impl Master {
 
     fn broadcast_workers(&self, make: impl Fn() -> SipMsg) {
         for i in 0..self.workers() {
-            let _ = self
-                .endpoint
-                .send(self.layout.topology.worker(i), make());
+            let _ = self.endpoint.send(self.layout.topology.worker(i), make());
         }
     }
 
@@ -123,8 +121,7 @@ impl Master {
                     "chunk request for pc {pardo_pc} which is not a pardo"
                 )));
             };
-            let ranges: Vec<(i64, i64)> =
-                indices.iter().map(|&i| self.layout.range(i)).collect();
+            let ranges: Vec<(i64, i64)> = indices.iter().map(|&i| self.layout.range(i)).collect();
             let scalars: Vec<f64> = self.layout.program.scalars.iter().map(|s| s.init).collect();
             let consts = self.layout.consts.clone();
             let space = IterationSpace::enumerate(
@@ -431,10 +428,7 @@ mod tests {
     use super::*;
 
     fn tmpfile(tag: &str) -> PathBuf {
-        std::env::temp_dir().join(format!(
-            "sia-ckpt-test-{tag}-{}.sialck",
-            std::process::id()
-        ))
+        std::env::temp_dir().join(format!("sia-ckpt-test-{tag}-{}.sialck", std::process::id()))
     }
 
     #[test]

@@ -231,10 +231,9 @@ impl Message for SipMsg {
             SipMsg::ChunkAssign { iters, .. } => {
                 16 + iters.iter().map(|v| v.len() * 8).sum::<usize>()
             }
-            SipMsg::WorkerDone { scalars, blocks, .. } => {
-                16 + scalars.len() * 8
-                    + blocks.iter().map(|(_, b)| block_bytes(b)).sum::<usize>()
-            }
+            SipMsg::WorkerDone {
+                scalars, blocks, ..
+            } => 16 + scalars.len() * 8 + blocks.iter().map(|(_, b)| block_bytes(b)).sum::<usize>(),
             _ => 32,
         }
     }
@@ -260,7 +259,10 @@ mod tests {
         assert_ne!(a.placement_hash(), b.placement_hash());
         assert_ne!(a.placement_hash(), c.placement_hash());
         // Deterministic.
-        assert_eq!(a.placement_hash(), BlockKey::new(ArrayId(0), &[1, 2]).placement_hash());
+        assert_eq!(
+            a.placement_hash(),
+            BlockKey::new(ArrayId(0), &[1, 2]).placement_hash()
+        );
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub struct WorkerProfile {
     pub wait_nanos: u64,
     /// Cache counters.
     pub cache: crate::cache::CacheStats,
+    /// Contraction hot-path counters (transpose folds, scratch-pool reuse).
+    pub contraction: sia_blocks::ContractStats,
     /// Pardo iterations executed.
     pub iterations: u64,
 }
@@ -67,6 +69,8 @@ pub struct ProfileReport {
     pub worker_waits: Vec<Duration>,
     /// Summed cache statistics.
     pub cache: crate::cache::CacheStats,
+    /// Summed contraction hot-path counters.
+    pub contraction: sia_blocks::ContractStats,
     /// Total pardo iterations executed.
     pub iterations: u64,
 }
@@ -76,6 +80,7 @@ impl ProfileReport {
     pub fn merge(program: &Program, profiles: &[WorkerProfile]) -> Self {
         let mut per_pc: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
         let mut cache = crate::cache::CacheStats::default();
+        let mut contraction = sia_blocks::ContractStats::default();
         let mut iterations = 0;
         for p in profiles {
             for (&pc, &(c, b, w)) in &p.per_pc {
@@ -89,6 +94,7 @@ impl ProfileReport {
             cache.in_flight_hits += p.cache.in_flight_hits;
             cache.evictions += p.cache.evictions;
             cache.refetches += p.cache.refetches;
+            contraction.merge(&p.contraction);
             iterations += p.iterations;
         }
         let mut lines: Vec<ProfileLine> = per_pc
@@ -121,6 +127,7 @@ impl ProfileReport {
                 .map(|p| Duration::from_nanos(p.wait_nanos))
                 .collect(),
             cache,
+            contraction,
             iterations,
         }
     }
@@ -168,7 +175,22 @@ impl fmt::Display for ProfileReport {
             "cache: {} hits, {} misses, {} evictions, {} refetches",
             self.cache.hits, self.cache.misses, self.cache.evictions, self.cache.refetches
         )?;
-        writeln!(f, "{:>5} {:>10} {:>12} {:>12}  instruction", "pc", "count", "busy", "wait")?;
+        writeln!(
+            f,
+            "contract: {} contractions, {} permutes avoided ({} bytes uncopied), \
+             {} permutes performed, scratch pool {} hits / {} misses",
+            self.contraction.contractions,
+            self.contraction.permutes_avoided,
+            self.contraction.bytes_not_copied,
+            self.contraction.permutes_performed,
+            self.contraction.scratch_pool_hits,
+            self.contraction.scratch_pool_misses
+        )?;
+        writeln!(
+            f,
+            "{:>5} {:>10} {:>12} {:>12}  instruction",
+            "pc", "count", "busy", "wait"
+        )?;
         for l in self.lines.iter().take(25) {
             writeln!(
                 f,

@@ -78,8 +78,7 @@ pub struct SuperEnv {
 }
 
 /// A registered super instruction.
-pub type SuperFn =
-    dyn Fn(&mut [SuperArg], &SuperEnv) -> Result<(), String> + Send + Sync + 'static;
+pub type SuperFn = dyn Fn(&mut [SuperArg], &SuperEnv) -> Result<(), String> + Send + Sync + 'static;
 
 /// Registry mapping `execute` names to implementations. Cheap to clone; the
 /// SIP hands one clone to every worker.
@@ -163,7 +162,12 @@ mod tests {
             block: Block::zeros(Shape::new(&[2, 2])),
         }];
         reg.invoke("fill_7", &mut args, &env()).unwrap();
-        assert!(args[0].block_mut().unwrap().data().iter().all(|&x| x == 7.0));
+        assert!(args[0]
+            .block_mut()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&x| x == 7.0));
     }
 
     #[test]

@@ -188,18 +188,24 @@ impl<'a> Walker<'a> {
         let env = &self.env;
         let sc = &self.scalars;
         let c = &self.layout.consts;
-        eval_scalar(e, &|id: IndexId| env[id.index()], &|i| sc[i as usize], &|i| {
-            c[i as usize]
-        })
+        eval_scalar(
+            e,
+            &|id: IndexId| env[id.index()],
+            &|i| sc[i as usize],
+            &|i| c[i as usize],
+        )
     }
 
     fn cond(&self, e: &sia_bytecode::BoolExpr) -> bool {
         let env = &self.env;
         let sc = &self.scalars;
         let c = &self.layout.consts;
-        eval_bool(e, &|id: IndexId| env[id.index()], &|i| sc[i as usize], &|i| {
-            c[i as usize]
-        })
+        eval_bool(
+            e,
+            &|id: IndexId| env[id.index()],
+            &|i| sc[i as usize],
+            &|i| c[i as usize],
+        )
     }
 
     fn ref_bytes(&self, r: &BlockRef) -> u64 {
@@ -237,12 +243,7 @@ impl<'a> Walker<'a> {
     /// Walks `[from, to)` accumulating into `self.serial` unless inside a
     /// pardo body walk (then `iter_acc` is a Some(&mut profile) target).
     #[allow(clippy::too_many_lines)]
-    fn walk_range(
-        &mut self,
-        from: u32,
-        to: u32,
-        ctx: &mut IterCtx,
-    ) -> Result<(), RuntimeError> {
+    fn walk_range(&mut self, from: u32, to: u32, ctx: &mut IterCtx) -> Result<(), RuntimeError> {
         let program = Arc::clone(&self.layout.program);
         let mut pc = from;
         while pc < to {
@@ -424,10 +425,7 @@ impl<'a> Walker<'a> {
         Ok(())
     }
 
-    fn acc<'b>(
-        &'b mut self,
-        ctx: &'b mut IterCtx<'_>,
-    ) -> &'b mut IterProfile {
+    fn acc<'b>(&'b mut self, ctx: &'b mut IterCtx<'_>) -> &'b mut IterProfile {
         match ctx {
             Some((acc, _)) => acc,
             None => &mut self.serial,
@@ -443,7 +441,10 @@ impl<'a> Walker<'a> {
         wheres: &[sia_bytecode::BoolExpr],
     ) -> (u64, Option<Vec<i64>>) {
         let ranges: Vec<(i64, i64)> = indices.iter().map(|&i| self.layout.range(i)).collect();
-        let product: u64 = ranges.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).product();
+        let product: u64 = ranges
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1) as u64)
+            .product();
         if product == 0 {
             return (0, None);
         }

@@ -12,8 +12,8 @@ use crate::layout::{Layout, SipConfig};
 use crate::msg::{BarrierKind, BlockKey, SipMsg};
 use crate::profile::WorkerProfile;
 use crate::registry::SuperRegistry;
-use sia_blocks::{BlockPool, PoolConfig};
 use sia_blocks::Block;
+use sia_blocks::{BlockPool, ContractCtx, GemmConfig, PoolConfig};
 use sia_bytecode::{ArrayId, ArrayKind, IndexId, PutMode};
 use sia_fabric::{Endpoint, Rank};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -68,6 +68,10 @@ pub struct Worker {
     pub(crate) cache: BlockCache,
     /// Pool recycling temp-block storage.
     pub(crate) pool: BlockPool,
+    /// Contraction context: scratch drawn from `pool`, GEMM tuning and
+    /// transpose-folding policy from the run config, plus hot-path counters
+    /// that land in the profile.
+    pub(crate) contract_ctx: ContractCtx,
     /// Named scalar values.
     pub(crate) scalars: Vec<f64>,
     /// Current index values (0 = undefined; segments are 1-based).
@@ -113,11 +117,17 @@ impl Worker {
     ) -> Self {
         let n_idx = layout.program.indices.len();
         let scalars = layout.program.scalars.iter().map(|s| s.init).collect();
+        let pool = BlockPool::new(PoolConfig {
+            max_bytes: config.pool_bytes,
+        });
         Worker {
             cache: BlockCache::new(config.cache_blocks),
-            pool: BlockPool::new(PoolConfig {
-                max_bytes: config.pool_bytes,
-            }),
+            contract_ctx: ContractCtx::with_pool(pool.clone())
+                .gemm(GemmConfig {
+                    threads: config.gemm_threads,
+                })
+                .fold_transposes(config.fold_transposes),
+            pool,
             layout,
             config,
             endpoint,
@@ -151,7 +161,6 @@ impl Worker {
         self.layout.topology.worker_index(self.endpoint.rank())
     }
 
-
     // ---- message pump ---------------------------------------------------------
 
     /// Drains the inbox, handling every pending message.
@@ -183,10 +192,7 @@ impl Worker {
                 // which is what makes symmetric-array declarations cheap.
                 let data = match self.dist_store.get(&key) {
                     Some(b) => b.clone(),
-                    None => Block::zeros(
-                        self.layout
-                            .declared_block_shape(key.array),
-                    ),
+                    None => Block::zeros(self.layout.declared_block_shape(key.array)),
                 };
                 // Conflict check: serving a block Replace-put in this same
                 // epoch means the program raced a read against a write.
@@ -212,7 +218,11 @@ impl Worker {
             SipMsg::BlockData { key, data } => {
                 self.cache.fill(key, data);
             }
-            SipMsg::ChunkAssign { pardo_pc, epoch, iters } => {
+            SipMsg::ChunkAssign {
+                pardo_pc,
+                epoch,
+                iters,
+            } => {
                 if let Some(p) = &mut self.pardo {
                     if p.start_pc == pardo_pc && p.epoch == epoch {
                         p.queue.extend(iters);
@@ -419,9 +429,8 @@ impl Worker {
             None => Ok(whole),
             Some((offsets, extents)) => {
                 let spec = sia_blocks::SliceSpec::new(&offsets, &extents);
-                sia_blocks::extract_slice(&whole, &spec).map_err(|e| {
-                    RuntimeError::Internal(format!("slice extraction failed: {e}"))
-                })
+                sia_blocks::extract_slice(&whole, &spec)
+                    .map_err(|e| RuntimeError::Internal(format!("slice extraction failed: {e}")))
             }
         }
     }
@@ -492,9 +501,10 @@ impl Worker {
                 let parent_shape = self.layout.declared_block_shape(array);
                 match kind {
                     ArrayKind::Temp => {
-                        let entry = self.temps.entry(array).or_insert_with(|| {
-                            (key, Block::zeros(parent_shape))
-                        });
+                        let entry = self
+                            .temps
+                            .entry(array)
+                            .or_insert_with(|| (key, Block::zeros(parent_shape)));
                         if entry.0 != key {
                             *entry = (key, Block::zeros(parent_shape));
                         }

@@ -131,7 +131,10 @@ fn full_protocol_over_fabric() {
     client.send(io, SipMsg::Shutdown).unwrap();
     let stats = server.join().unwrap();
     assert_eq!(stats.prepares, 6);
-    assert!(stats.disk_writes >= 5, "all dirty blocks flushed: {stats:?}");
+    assert!(
+        stats.disk_writes >= 5,
+        "all dirty blocks flushed: {stats:?}"
+    );
 
     // The files are complete: a fresh server over the same directory serves
     // the accumulated value from disk alone.

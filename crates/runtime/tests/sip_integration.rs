@@ -116,10 +116,11 @@ endsial
     let x = &out.collected["X"][&vec![1, 1]];
     assert!(x.data().iter().all(|&v| (v - 25.0).abs() < 1e-12));
     let _ = &out.warnings; // accumulates need no barrier: no misuse warnings
-    assert!(out
-        .warnings
-        .iter()
-        .all(|w| !w.contains("barrier misuse")), "{:?}", out.warnings);
+    assert!(
+        out.warnings.iter().all(|w| !w.contains("barrier misuse")),
+        "{:?}",
+        out.warnings
+    );
 }
 
 #[test]
@@ -187,14 +188,18 @@ endsial
     };
     // The registry kernel computes globals as (segment-1)*seg + local index,
     // i.e. 0-based.
-    let v = |m: usize, nn: usize, l: usize, s: usize| -> f64 {
-        integral_value(seg, &[m, nn, l, s])
-    };
+    let v =
+        |m: usize, nn: usize, l: usize, s: usize| -> f64 { integral_value(seg, &[m, nn, l, s]) };
     // Check every element of every collected R block.
     let r = &out.collected["R"];
     assert_eq!(r.len(), norb * norb * nocc * nocc);
     for (key, block) in r {
-        let (mb, nb, ib, jb) = (key[0] as usize, key[1] as usize, key[2] as usize, key[3] as usize);
+        let (mb, nb, ib, jb) = (
+            key[0] as usize,
+            key[1] as usize,
+            key[2] as usize,
+            key[3] as usize,
+        );
         for idx in block.shape().indices() {
             let m = (mb - 1) * seg + idx[0];
             let nn = (nb - 1) * seg + idx[1];
@@ -380,9 +385,7 @@ endsial
     // 64³ blocks × 4³ doubles × 8 = 134 MB total; budget of 8 MB per worker
     // needs ≥ 17 workers.
     cfg.memory_budget = Some(8 << 20);
-    let err = Sip::new(cfg)
-        .run(program, &bindings(&[]))
-        .unwrap_err();
+    let err = Sip::new(cfg).run(program, &bindings(&[])).unwrap_err();
     match err {
         RuntimeError::Infeasible {
             sufficient_workers, ..
@@ -560,7 +563,11 @@ endsial
     let out = Sip::new(cfg).run(program, &bindings(&[("n", 16)])).unwrap();
     let r = &out.collected["R"][&vec![1]];
     // s = Σ over 16 segments × 4 elements of 2.0² = 256; acc filled with s.
-    assert!(r.data().iter().all(|&v| (v - 256.0).abs() < 1e-9), "{:?}", r.data());
+    assert!(
+        r.data().iter().all(|&v| (v - 256.0).abs() < 1e-9),
+        "{:?}",
+        r.data()
+    );
     // Prefetch should have produced in-flight completions and hits.
     assert!(out.profile.cache.hits + out.profile.cache.in_flight_hits > 0);
 }
@@ -822,5 +829,8 @@ endsial
     };
     let hash = run(sia_runtime::Placement::Hash);
     let rr = run(sia_runtime::Placement::RoundRobin);
-    assert!((hash - rr).abs() < 1e-9, "placement must not change results");
+    assert!(
+        (hash - rr).abs() < 1e-9,
+        "placement must not change results"
+    );
 }

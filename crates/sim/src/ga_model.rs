@@ -84,8 +84,8 @@ impl GaOutcome {
 /// `dist_bytes_total` bytes.
 pub fn simulate_ga(trace: &Trace, cfg: &GaConfig, dist_bytes_total: u64) -> GaOutcome {
     // Rigid layout feasibility gate.
-    let needed = (dist_bytes_total as f64 * cfg.rigidity / cfg.workers as f64) as u64
-        + cfg.replicated_bytes;
+    let needed =
+        (dist_bytes_total as f64 * cfg.rigidity / cfg.workers as f64) as u64 + cfg.replicated_bytes;
     if needed > cfg.machine.mem_per_core {
         return GaOutcome::OutOfMemory {
             needed_per_core: needed,

@@ -145,13 +145,8 @@ pub const BLUEGENE_P: MachineModel = MachineModel {
 };
 
 /// All presets, for sweep harnesses.
-pub const ALL_MACHINES: &[MachineModel] = &[
-    SUN_OPTERON_IB,
-    CRAY_XT4,
-    CRAY_XT5,
-    SGI_ALTIX,
-    BLUEGENE_P,
-];
+pub const ALL_MACHINES: &[MachineModel] =
+    &[SUN_OPTERON_IB, CRAY_XT4, CRAY_XT5, SGI_ALTIX, BLUEGENE_P];
 
 #[cfg(test)]
 mod tests {

@@ -74,5 +74,8 @@ fn main() {
         "convergence loop: ecorr = {:.12} after {} sweeps (cap was 25)",
         out.scalars["ecorr"], out.scalars["iters_run"]
     );
-    assert!(out.scalars["iters_run"] < 25.0, "must converge before the cap");
+    assert!(
+        out.scalars["iters_run"] < 25.0,
+        "must converge before the cap"
+    );
 }

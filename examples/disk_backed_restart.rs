@@ -102,7 +102,11 @@ fn main() {
     // Show what landed on disk.
     let served = run_dir.join("served");
     let mut block_files: Vec<_> = std::fs::read_dir(&served)
-        .map(|rd| rd.flatten().map(|e| e.file_name().to_string_lossy().into_owned()).collect())
+        .map(|rd| {
+            rd.flatten()
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .collect()
+        })
         .unwrap_or_default();
     block_files.sort();
     println!(

@@ -81,7 +81,11 @@ fn main() {
         })
         .register("compute_integrals", |args, _env| {
             let segs: Vec<i64> = args[0].segs()?.to_vec();
-            let salt: f64 = segs.iter().enumerate().map(|(d, &s)| (d as f64 + 1.0) * s as f64).sum();
+            let salt: f64 = segs
+                .iter()
+                .enumerate()
+                .map(|(d, &s)| (d as f64 + 1.0) * s as f64)
+                .sum();
             args[0].block_mut()?.fill(1.0 / (1.0 + salt));
             Ok(())
         })

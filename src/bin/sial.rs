@@ -71,13 +71,37 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         };
         match a.as_str() {
             "-o" => opts.output = Some(need("-o")?),
-            "--workers" => opts.config.workers = need("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?,
-            "--io" => opts.config.io_servers = need("--io")?.parse().map_err(|e| format!("--io: {e}"))?,
+            "--workers" => {
+                opts.config.workers = need("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--io" => {
+                opts.config.io_servers = need("--io")?.parse().map_err(|e| format!("--io: {e}"))?
+            }
             "--seg" => opts.seg = need("--seg")?.parse().map_err(|e| format!("--seg: {e}"))?,
-            "--nsub" => opts.config.segments.nsub = need("--nsub")?.parse().map_err(|e| format!("--nsub: {e}"))?,
-            "--prefetch" => opts.config.prefetch_depth = need("--prefetch")?.parse().map_err(|e| format!("--prefetch: {e}"))?,
-            "--cache" => opts.config.cache_blocks = need("--cache")?.parse().map_err(|e| format!("--cache: {e}"))?,
-            "--budget" => opts.config.memory_budget = Some(need("--budget")?.parse().map_err(|e| format!("--budget: {e}"))?),
+            "--nsub" => {
+                opts.config.segments.nsub = need("--nsub")?
+                    .parse()
+                    .map_err(|e| format!("--nsub: {e}"))?
+            }
+            "--prefetch" => {
+                opts.config.prefetch_depth = need("--prefetch")?
+                    .parse()
+                    .map_err(|e| format!("--prefetch: {e}"))?
+            }
+            "--cache" => {
+                opts.config.cache_blocks = need("--cache")?
+                    .parse()
+                    .map_err(|e| format!("--cache: {e}"))?
+            }
+            "--budget" => {
+                opts.config.memory_budget = Some(
+                    need("--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?,
+                )
+            }
             "--bind" => {
                 let kv = need("--bind")?;
                 let (k, v) = kv
@@ -279,14 +303,13 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
-                let trace =
-                    match sia::runtime::trace::generate(&layout, &integral_cost_model()) {
-                        Ok(t) => t,
-                        Err(e) => {
-                            eprintln!("{e}");
-                            return ExitCode::FAILURE;
-                        }
-                    };
+                let trace = match sia::runtime::trace::generate(&layout, &integral_cost_model()) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
                 let m = match opts.machine {
                     "sun" => machine::SUN_OPTERON_IB,
                     "xt4" => machine::CRAY_XT4,

@@ -39,8 +39,15 @@ endsial
 #[test]
 fn check_reports_table_sizes() {
     let path = write_demo("check");
-    let out = sial().args(["check", path.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = sial()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("ok —"), "{stdout}");
     assert!(stdout.contains("instructions"), "{stdout}");
@@ -51,7 +58,10 @@ fn check_reports_table_sizes() {
 fn check_rejects_bad_source() {
     let path = std::env::temp_dir().join(format!("sia-cli-bad-{}.sial", std::process::id()));
     std::fs::write(&path, "sial broken\npardo\nendsial\n").unwrap();
-    let out = sial().args(["check", path.to_str().unwrap()]).output().unwrap();
+    let out = sial()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
     let _ = std::fs::remove_file(path);
@@ -63,13 +73,25 @@ fn compile_disasm_run_pipeline() {
     let bin = src.with_extension("siab");
     // compile
     let out = sial()
-        .args(["compile", src.to_str().unwrap(), "-o", bin.to_str().unwrap()])
+        .args([
+            "compile",
+            src.to_str().unwrap(),
+            "-o",
+            bin.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(bin.exists());
     // disasm the binary form
-    let out = sial().args(["disasm", bin.to_str().unwrap()]).output().unwrap();
+    let out = sial()
+        .args(["disasm", bin.to_str().unwrap()])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let listing = String::from_utf8_lossy(&out.stdout);
     assert!(listing.contains("pardo i"), "{listing}");
@@ -88,7 +110,11 @@ fn compile_disasm_run_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("s = 45.0"), "{stdout}");
     let _ = std::fs::remove_file(src);
@@ -111,7 +137,11 @@ fn dryrun_prints_estimate() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("per-worker estimate"), "{stdout}");
     let _ = std::fs::remove_file(path);
@@ -135,7 +165,11 @@ fn simulate_prints_scaling_result() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Cray XT4"), "{stdout}");
     assert!(stdout.contains("simulated time"), "{stdout}");
@@ -173,7 +207,10 @@ fn shipped_programs_run() {
             continue;
         }
         found += 1;
-        let out = sial().args(["check", path.to_str().unwrap()]).output().unwrap();
+        let out = sial()
+            .args(["check", path.to_str().unwrap()])
+            .output()
+            .unwrap();
         assert!(
             out.status.success(),
             "{}: {}",
@@ -200,7 +237,11 @@ fn shipped_programs_run() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // Upper triangle of a 4×4 block grid = 10 blocks.
     assert!(stdout.contains("total = 10.0"), "{stdout}");
@@ -223,6 +264,10 @@ fn shipped_programs_run() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("emp2 ="));
 }

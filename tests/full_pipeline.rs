@@ -40,10 +40,7 @@ fn source_wire_disasm_run_roundtrip() {
     let decoded = sia::bytecode::decode_program(&bytes).unwrap();
     assert_eq!(program, decoded);
     // Disassembly is stable across the roundtrip.
-    assert_eq!(
-        sia::disassemble(&program),
-        sia::disassemble(&decoded)
-    );
+    assert_eq!(sia::disassemble(&program), sia::disassemble(&decoded));
     // And the decoded program runs.
     let mut cfg = config(2);
     cfg.segments.default = workload.seg;
