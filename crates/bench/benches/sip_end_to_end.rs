@@ -28,12 +28,12 @@ fn bench_real_sip(c: &mut Criterion) {
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    let config = SipConfig {
-                        workers,
-                        io_servers: 0,
-                        collect_distributed: false,
-                        ..Default::default()
-                    };
+                    let config = SipConfig::builder()
+                        .workers(workers)
+                        .io_servers(0)
+                        .collect_distributed(false)
+                        .build()
+                        .unwrap();
                     workload.run_real(config).expect("run succeeds")
                 });
             },
@@ -45,13 +45,13 @@ fn bench_real_sip(c: &mut Criterion) {
             &depth,
             |b, &depth| {
                 b.iter(|| {
-                    let config = SipConfig {
-                        workers: 2,
-                        io_servers: 0,
-                        prefetch_depth: depth,
-                        collect_distributed: false,
-                        ..Default::default()
-                    };
+                    let config = SipConfig::builder()
+                        .workers(2)
+                        .io_servers(0)
+                        .prefetch_depth(depth)
+                        .collect_distributed(false)
+                        .build()
+                        .unwrap();
                     workload.run_real(config).expect("run succeeds")
                 });
             },

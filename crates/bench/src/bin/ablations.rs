@@ -41,13 +41,13 @@ fn placement_ablation() {
         ("hash (SIP)", Placement::Hash),
         ("round-robin", Placement::RoundRobin),
     ] {
-        let cfg = SipConfig {
-            workers: 4,
-            io_servers: 1,
-            placement,
-            collect_distributed: false,
-            ..Default::default()
-        };
+        let cfg = SipConfig::builder()
+            .workers(4)
+            .io_servers(1)
+            .placement(placement)
+            .collect_distributed(false)
+            .build()
+            .unwrap();
         let t0 = std::time::Instant::now();
         match workload.run_real(cfg) {
             Ok(out) => {

@@ -108,14 +108,14 @@ fn main() {
         &["cache blocks", "refetches", "evictions", "wait fraction"],
     );
     for cache in [4usize, 8, 16, 32, 64] {
-        let cfg = SipConfig {
-            workers: 3,
-            io_servers: 1,
-            prefetch_depth: 8,
-            cache_blocks: cache,
-            collect_distributed: false,
-            ..SipConfig::default()
-        };
+        let cfg = SipConfig::builder()
+            .workers(3)
+            .io_servers(1)
+            .prefetch_depth(8)
+            .cache_blocks(cache)
+            .collect_distributed(false)
+            .build()
+            .unwrap();
         match real.run_real(cfg) {
             Ok(out) => table.row(vec![
                 cache.to_string(),

@@ -39,14 +39,14 @@ fn main() {
         ],
     );
     for depth in [0usize, 2, 4] {
-        let cfg = SipConfig {
-            workers: 4,
-            io_servers: 1,
-            prefetch_depth: depth,
-            cache_blocks: 128,
-            collect_distributed: false,
-            ..SipConfig::default()
-        };
+        let cfg = SipConfig::builder()
+            .workers(4)
+            .io_servers(1)
+            .prefetch_depth(depth)
+            .cache_blocks(128)
+            .collect_distributed(false)
+            .build()
+            .unwrap();
         match workload.run_real(cfg) {
             Ok(out) => {
                 table.row(vec![

@@ -671,11 +671,13 @@ mod tests {
         let m = tiny();
         let w = ccsd_converged(&m, 2, 20, 1.0e-4);
         let out = w
-            .run_real(sia_runtime::SipConfig {
-                workers: 2,
-                io_servers: 0,
-                ..Default::default()
-            })
+            .run_real(
+                sia_runtime::SipConfig::builder()
+                    .workers(2)
+                    .io_servers(0)
+                    .build()
+                    .unwrap(),
+            )
             .unwrap();
         let iters = out.scalars["iters_run"];
         assert!(iters >= 1.0, "at least one sweep");
@@ -691,11 +693,13 @@ mod tests {
         let m = tiny();
         let w = ccsd_converged(&m, 2, 10, 1.0e-6);
         let run = |workers| {
-            w.run_real(sia_runtime::SipConfig {
-                workers,
-                io_servers: 0,
-                ..Default::default()
-            })
+            w.run_real(
+                sia_runtime::SipConfig::builder()
+                    .workers(workers)
+                    .io_servers(0)
+                    .build()
+                    .unwrap(),
+            )
             .unwrap()
             .scalars["ecorr"]
         };

@@ -43,8 +43,10 @@ pub use sia_sim as sim;
 pub use sial_frontend as frontend;
 
 pub use sia_bytecode::{ConstBindings, Program};
+pub use sia_fabric::{FaultPlan, FaultSnapshot};
 pub use sia_runtime::{
-    MemoryEstimate, ProfileReport, RunOutput, RuntimeError, SegmentConfig, Sip, SipConfig,
+    CommKind, ConfigError, CrashSchedule, FaultConfig, FaultStats, MemoryEstimate, ProfileReport,
+    RecoveryStats, RunOutput, RuntimeError, SegmentConfig, Sip, SipConfig, SipConfigBuilder,
     SuperArg, SuperEnv, SuperRegistry,
 };
 pub use sia_sim::{MachineModel, SimConfig, SimReport};
@@ -109,10 +111,10 @@ impl Sia {
     /// Starts a builder with defaults (2 workers, 1 I/O server, segment 8).
     pub fn builder() -> Self {
         Sia {
-            config: SipConfig {
-                collect_distributed: true,
-                ..SipConfig::default()
-            },
+            config: SipConfig::builder()
+                .collect_distributed(true)
+                .build()
+                .expect("default config is valid"),
             registry: SuperRegistry::new(),
             bindings: ConstBindings::new(),
             cost_model: default_cost_model(),

@@ -19,11 +19,14 @@
 //! with the SIP protocol messages. Message sizes (for the traffic counters
 //! the profiler reports) come from the [`Message`] trait.
 
+pub mod fault;
 pub mod stats;
 
+pub use fault::{CrashSpec, FaultCounters, FaultPlan, FaultSnapshot};
 pub use stats::TrafficCounters;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use fault::{Injector, Verdict};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -52,13 +55,57 @@ pub trait Message: Send + 'static {
     fn approx_bytes(&self) -> usize {
         std::mem::size_of_val(self)
     }
+
+    /// Whether a [`FaultPlan`] may perturb this message. Defaults to `true`;
+    /// runtimes return `false` for control-plane traffic (barriers, chunk
+    /// scheduling, shutdown) that is assumed reliable.
+    fn faultable(&self) -> bool {
+        true
+    }
+
+    /// A copy for duplicate injection. Defaults to `None`, which downgrades
+    /// a duplicate verdict to a single delivery; clonable protocols return
+    /// `Some(self.clone())`.
+    fn dup(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
-/// A delivered message with its sender.
+/// Correlates a request with its reply so in-flight operations can be
+/// matched, deduplicated, and retried idempotently. Allocated by
+/// [`Endpoint::next_req_id`]; the issuing rank lives in the high bits, so
+/// ids are unique fabric-wide without coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReqId(pub u64);
+
+impl ReqId {
+    /// The "no request" sentinel (useful for unsolicited replies).
+    pub const NONE: ReqId = ReqId(0);
+
+    /// The rank that allocated this id.
+    pub fn origin(&self) -> Rank {
+        Rank((self.0 >> 48) as usize)
+    }
+}
+
+impl fmt::Display for ReqId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req{:x}", self.0)
+    }
+}
+
+/// A delivered message with its sender and a per-link sequence number.
 #[derive(Debug)]
 pub struct Envelope<M> {
     /// The sending rank.
     pub src: Rank,
+    /// Position in the sender→receiver stream (1-based). A duplicated
+    /// message carries the same number as its original, so receivers can
+    /// recognise fabric-level duplicates.
+    pub seq: u64,
     /// The payload.
     pub msg: M,
 }
@@ -82,20 +129,44 @@ impl SendHandle {
     }
 }
 
-/// Error sending to a rank whose endpoint was dropped.
+/// Why a send failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PeerGone(pub Rank);
+pub enum SendErrorKind {
+    /// The destination endpoint has been dropped.
+    PeerGone,
+    /// The fabric-wide shutdown flag was raised before the send.
+    Shutdown,
+    /// This endpoint was killed by [`Endpoint::kill`] or a scheduled crash.
+    Crashed,
+}
 
-impl fmt::Display for PeerGone {
+/// Typed error from [`Endpoint::send`]. Unlike the earlier fabric, sends
+/// after shutdown fail loudly instead of silently succeeding into a queue
+/// nobody will drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError {
+    /// The intended destination.
+    pub to: Rank,
+    /// What went wrong.
+    pub kind: SendErrorKind,
+}
+
+impl fmt::Display for SendError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "peer {} has shut down", self.0)
+        match self.kind {
+            SendErrorKind::PeerGone => write!(f, "peer {} has shut down", self.to),
+            SendErrorKind::Shutdown => write!(f, "send to {} after fabric shutdown", self.to),
+            SendErrorKind::Crashed => write!(f, "send to {} from a crashed rank", self.to),
+        }
     }
 }
 
-impl std::error::Error for PeerGone {}
+impl std::error::Error for SendError {}
 
 struct Shared {
     stats: Vec<TrafficCounters>,
+    faults: Vec<FaultCounters>,
+    crashed: Vec<AtomicBool>,
     shutdown: AtomicBool,
     epoch: AtomicU64,
 }
@@ -106,6 +177,12 @@ pub struct Endpoint<M: Message> {
     inbox: Receiver<Envelope<M>>,
     peers: Vec<Sender<Envelope<M>>>,
     shared: Arc<Shared>,
+    /// Next sequence number per destination link.
+    link_seq: Vec<AtomicU64>,
+    /// Next request-id counter (rank-prefixed in [`next_req_id`](Self::next_req_id)).
+    req_seq: AtomicU64,
+    /// Fault injector; `None` on a perfect fabric.
+    injector: Option<Injector<Envelope<M>>>,
 }
 
 impl<M: Message> Endpoint<M> {
@@ -121,25 +198,84 @@ impl<M: Message> Endpoint<M> {
 
     /// Nonblocking send (the `mpi_isend` analogue).
     ///
+    /// Under a [`FaultPlan`], a faultable message may be silently dropped
+    /// (the handle still reports completion — exactly the failure mode a
+    /// lossy network presents to `mpi_isend`), duplicated, or delayed.
+    ///
     /// # Errors
-    /// [`PeerGone`] if the destination endpoint has been dropped.
-    pub fn send(&self, to: Rank, msg: M) -> Result<SendHandle, PeerGone> {
+    /// A typed [`SendError`]: [`PeerGone`](SendErrorKind::PeerGone) if the
+    /// destination endpoint was dropped, [`Shutdown`](SendErrorKind::Shutdown)
+    /// if the fabric-wide shutdown flag is up, and
+    /// [`Crashed`](SendErrorKind::Crashed) if this rank was killed.
+    pub fn send(&self, to: Rank, msg: M) -> Result<SendHandle, SendError> {
+        if self.is_crashed() {
+            return Err(SendError {
+                to,
+                kind: SendErrorKind::Crashed,
+            });
+        }
+        if self.shutdown_raised() {
+            return Err(SendError {
+                to,
+                kind: SendErrorKind::Shutdown,
+            });
+        }
+        let now = self.tick();
         let bytes = msg.approx_bytes();
+        let faultable = msg.faultable();
         let env = Envelope {
             src: self.rank,
+            seq: self.link_seq[to.0].fetch_add(1, Ordering::Relaxed) + 1,
             msg,
         };
-        match self.peers[to.0].send(env) {
-            Ok(()) => {
-                self.shared.stats[self.rank.0].record_send(to, bytes);
+        let verdict = match &self.injector {
+            Some(inj) if faultable => inj.verdict(&self.shared.faults[self.rank.0]),
+            _ => Verdict::Deliver,
+        };
+        // Whatever the verdict, the sender sees a completed isend: traffic
+        // counters record the attempt, and loss is only observable through
+        // the missing reply.
+        self.shared.stats[self.rank.0].record_send(to, bytes);
+        match verdict {
+            Verdict::Drop => Ok(SendHandle { delivered: true }),
+            Verdict::Delay(span) => {
+                let inj = self.injector.as_ref().unwrap();
+                inj.hold(now + span, to.0, env);
                 Ok(SendHandle { delivered: true })
             }
-            Err(_) => Err(PeerGone(to)),
+            Verdict::Deliver | Verdict::Duplicate => {
+                let dup = if verdict == Verdict::Duplicate {
+                    env.msg.dup().map(|m| Envelope {
+                        src: env.src,
+                        seq: env.seq,
+                        msg: m,
+                    })
+                } else {
+                    None
+                };
+                match self.peers[to.0].send(env) {
+                    Ok(()) => {
+                        if let Some(d) = dup {
+                            let _ = self.peers[to.0].send(d);
+                        }
+                        Ok(SendHandle { delivered: true })
+                    }
+                    Err(_) => Err(SendError {
+                        to,
+                        kind: SendErrorKind::PeerGone,
+                    }),
+                }
+            }
         }
     }
 
     /// Nonblocking receive (the `mpi_iprobe` + `mpi_recv` analogue).
     pub fn try_recv(&self) -> Option<Envelope<M>> {
+        if self.is_crashed() {
+            return None;
+        }
+        let now = self.tick();
+        self.release_due(now);
         match self.inbox.try_recv() {
             Ok(env) => {
                 self.shared.stats[self.rank.0].record_recv(env.src, env.msg.approx_bytes());
@@ -152,6 +288,11 @@ impl<M: Message> Endpoint<M> {
     /// Blocking receive with a timeout, for progress loops that have nothing
     /// to compute and must wait for a message.
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Envelope<M>> {
+        if self.is_crashed() {
+            return None;
+        }
+        let now = self.tick();
+        self.release_due(now);
         match self.inbox.recv_timeout(timeout) {
             Ok(env) => {
                 self.shared.stats[self.rank.0].record_recv(env.src, env.msg.approx_bytes());
@@ -159,6 +300,60 @@ impl<M: Message> Endpoint<M> {
             }
             Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => None,
         }
+    }
+
+    /// Advances the fault clock (no-op on a perfect fabric) and fires any
+    /// scheduled crash for this rank.
+    fn tick(&self) -> u64 {
+        match &self.injector {
+            Some(inj) => {
+                let now = inj.tick();
+                if inj.crash_due(self.rank.0, now) {
+                    self.kill();
+                }
+                now
+            }
+            None => 0,
+        }
+    }
+
+    /// Delivers held-back messages whose release op has passed.
+    fn release_due(&self, now: u64) {
+        if let Some(inj) = &self.injector {
+            for (to, env) in inj.due(now) {
+                let _ = self.peers[to].send(env);
+            }
+        }
+    }
+
+    /// Kills this endpoint: subsequent sends fail with
+    /// [`SendErrorKind::Crashed`] and receives return nothing. Used by the
+    /// runtime's deterministic crash schedule; irreversible.
+    pub fn kill(&self) {
+        self.shared.crashed[self.rank.0].store(true, Ordering::SeqCst);
+        self.shared.faults[self.rank.0].mark_crashed();
+    }
+
+    /// True once this rank was killed.
+    pub fn is_crashed(&self) -> bool {
+        self.shared.crashed[self.rank.0].load(Ordering::SeqCst)
+    }
+
+    /// True once `rank` was killed (visible fabric-wide, like a failure
+    /// detector's verdict).
+    pub fn peer_crashed(&self, rank: Rank) -> bool {
+        self.shared.crashed[rank.0].load(Ordering::SeqCst)
+    }
+
+    /// Allocates a fabric-unique request id for request/reply correlation.
+    pub fn next_req_id(&self) -> ReqId {
+        let n = self.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        ReqId(((self.rank.0 as u64) << 48) | (n & 0xffff_ffff_ffff))
+    }
+
+    /// This rank's fault counters (all zero on a perfect fabric).
+    pub fn fault_snapshot(&self) -> FaultSnapshot {
+        self.shared.faults[self.rank.0].snapshot()
     }
 
     /// Number of messages waiting in this rank's queue.
@@ -195,10 +390,38 @@ impl<M: Message> fmt::Debug for Endpoint<M> {
     }
 }
 
-/// Builds a fabric of `n` ranks, returning one [`Endpoint`] per rank plus a
-/// [`FabricStats`] handle for post-run inspection.
+impl<M: Message> Drop for Endpoint<M> {
+    fn drop(&mut self) {
+        // Flush held-back messages so a delay near the end of a run behaves
+        // like a late delivery, not a drop (drops are counted separately).
+        if let Some(inj) = &self.injector {
+            if !self.is_crashed() {
+                for (to, env) in inj.drain_all() {
+                    let _ = self.peers[to].send(env);
+                }
+            }
+        }
+    }
+}
+
+/// Builds a perfect-delivery fabric of `n` ranks, returning one [`Endpoint`]
+/// per rank plus a [`FabricStats`] handle for post-run inspection.
 pub fn build<M: Message>(n: usize) -> (Vec<Endpoint<M>>, FabricStats) {
+    build_with_faults(n, None)
+}
+
+/// Builds a fabric of `n` ranks, optionally injecting faults from a seeded
+/// [`FaultPlan`]. The plan must pass [`FaultPlan::validate`].
+pub fn build_with_faults<M: Message>(
+    n: usize,
+    plan: Option<FaultPlan>,
+) -> (Vec<Endpoint<M>>, FabricStats) {
     assert!(n > 0, "fabric needs at least one rank");
+    if let Some(p) = &plan {
+        if let Err(e) = p.validate(n) {
+            panic!("invalid fault plan: {e}");
+        }
+    }
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
@@ -208,6 +431,8 @@ pub fn build<M: Message>(n: usize) -> (Vec<Endpoint<M>>, FabricStats) {
     }
     let shared = Arc::new(Shared {
         stats: (0..n).map(|_| TrafficCounters::new(n)).collect(),
+        faults: (0..n).map(|_| FaultCounters::default()).collect(),
+        crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
         shutdown: AtomicBool::new(false),
         epoch: AtomicU64::new(0),
     });
@@ -219,6 +444,9 @@ pub fn build<M: Message>(n: usize) -> (Vec<Endpoint<M>>, FabricStats) {
             inbox,
             peers: senders.clone(),
             shared: Arc::clone(&shared),
+            link_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            req_seq: AtomicU64::new(0),
+            injector: plan.clone().map(|p| Injector::new(p, i)),
         })
         .collect();
     let stats = FabricStats {
@@ -253,6 +481,20 @@ impl FabricStats {
     pub fn total_messages_sent(&self) -> u64 {
         self.shared.stats.iter().map(|c| c.messages_sent()).sum()
     }
+
+    /// Fault counters of one rank (all zero on a perfect fabric).
+    pub fn fault_snapshot_of(&self, rank: Rank) -> FaultSnapshot {
+        self.shared.faults[rank.0].snapshot()
+    }
+
+    /// Fault counters summed over all ranks.
+    pub fn total_faults(&self) -> FaultSnapshot {
+        let mut total = FaultSnapshot::default();
+        for f in &self.shared.faults {
+            total.absorb(&f.snapshot());
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -260,12 +502,16 @@ mod tests {
     use super::*;
     use std::thread;
 
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, Clone, PartialEq)]
     struct Ping(u64, Vec<u8>);
 
     impl Message for Ping {
         fn approx_bytes(&self) -> usize {
             8 + self.1.len()
+        }
+
+        fn dup(&self) -> Option<Self> {
+            Some(self.clone())
         }
     }
 
@@ -333,7 +579,170 @@ mod tests {
         // The channel also holds senders inside `a`, so sending still works
         // until all clones drop; dropping `b` drops only the receiver.
         let err = a.send(Rank(1), Ping(0, vec![])).unwrap_err();
-        assert_eq!(err, PeerGone(Rank(1)));
+        assert_eq!(
+            err,
+            SendError {
+                to: Rank(1),
+                kind: SendErrorKind::PeerGone
+            }
+        );
+    }
+
+    #[test]
+    fn send_after_shutdown_fails() {
+        let (eps, _stats) = build::<Ping>(2);
+        eps[0].send(Rank(1), Ping(1, vec![])).unwrap();
+        eps[1].raise_shutdown();
+        let err = eps[0].send(Rank(1), Ping(2, vec![])).unwrap_err();
+        assert_eq!(err.kind, SendErrorKind::Shutdown);
+        // The pre-shutdown message is still deliverable.
+        assert!(eps[1].try_recv().is_some());
+    }
+
+    #[test]
+    fn sequence_numbers_per_link() {
+        let (mut eps, _stats) = build::<Ping>(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(Rank(1), Ping(0, vec![])).unwrap();
+        a.send(Rank(2), Ping(1, vec![])).unwrap();
+        a.send(Rank(1), Ping(2, vec![])).unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().seq, 1);
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().seq, 2);
+        assert_eq!(c.recv_timeout(Duration::from_secs(1)).unwrap().seq, 1);
+    }
+
+    #[test]
+    fn req_ids_unique_and_rank_tagged() {
+        let (eps, _stats) = build::<Ping>(3);
+        let r1 = eps[2].next_req_id();
+        let r2 = eps[2].next_req_id();
+        assert_ne!(r1, r2);
+        assert_eq!(r1.origin(), Rank(2));
+        assert_ne!(r1, ReqId::NONE);
+    }
+
+    #[test]
+    fn killed_endpoint_goes_dark() {
+        let (mut eps, stats) = build::<Ping>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(Rank(1), Ping(1, vec![])).unwrap();
+        b.kill();
+        assert!(b.recv_timeout(Duration::from_millis(5)).is_none());
+        let err = b.send(Rank(0), Ping(2, vec![])).unwrap_err();
+        assert_eq!(err.kind, SendErrorKind::Crashed);
+        assert!(a.peer_crashed(Rank(1)));
+        assert!(stats.fault_snapshot_of(Rank(1)).crashed);
+    }
+
+    #[test]
+    fn fault_plan_drops_deterministically() {
+        let sent_and_got = |seed| {
+            let mut plan = FaultPlan::seeded(seed);
+            plan.drop = 0.3;
+            let (mut eps, stats) = build_with_faults::<Ping>(2, Some(plan));
+            let b = eps.pop().unwrap();
+            let a = eps.pop().unwrap();
+            for i in 0..200 {
+                a.send(Rank(1), Ping(i, vec![])).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Some(env) = b.try_recv() {
+                got.push(env.msg.0);
+            }
+            (got, stats.fault_snapshot_of(Rank(0)).dropped)
+        };
+        let (got1, dropped1) = sent_and_got(42);
+        let (got2, dropped2) = sent_and_got(42);
+        assert_eq!(got1, got2, "same seed must lose the same messages");
+        assert_eq!(dropped1, dropped2);
+        assert!(dropped1 > 20, "~30% of 200 should drop, got {dropped1}");
+        assert_eq!(got1.len() as u64, 200 - dropped1);
+        let (got3, _) = sent_and_got(43);
+        assert_ne!(got1, got3, "different seeds should differ");
+    }
+
+    #[test]
+    fn fault_plan_duplicates_carry_same_seq() {
+        let mut plan = FaultPlan::seeded(7);
+        plan.duplicate = 1.0;
+        let (mut eps, stats) = build_with_faults::<Ping>(2, Some(plan));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(Rank(1), Ping(5, vec![])).unwrap();
+        let first = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        let second = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(first.msg, second.msg);
+        assert_eq!(first.seq, second.seq);
+        assert_eq!(stats.fault_snapshot_of(Rank(0)).duplicated, 1);
+    }
+
+    #[test]
+    fn delayed_messages_eventually_arrive() {
+        let mut plan = FaultPlan::seeded(11);
+        plan.delay = 1.0;
+        plan.max_delay_ops = 4;
+        let (mut eps, stats) = build_with_faults::<Ping>(2, Some(plan));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..20 {
+            a.send(Rank(1), Ping(i, vec![])).unwrap();
+        }
+        drop(a); // flushes anything still held back
+        let mut got = Vec::new();
+        while let Some(env) = b.try_recv() {
+            got.push(env.msg.0);
+        }
+        assert_eq!(got.len(), 20, "no delayed message may be lost");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_eq!(stats.fault_snapshot_of(Rank(0)).delayed, 20);
+    }
+
+    #[test]
+    fn scheduled_crash_fires_on_op_count() {
+        let mut plan = FaultPlan::seeded(3);
+        plan.crashes.push(CrashSpec {
+            rank: 0,
+            after_ops: 5,
+        });
+        let (mut eps, _stats) = build_with_faults::<Ping>(2, Some(plan));
+        let _b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let mut ok = 0;
+        for i in 0..10 {
+            if a.send(Rank(1), Ping(i, vec![])).is_ok() {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 5, "sends past the crash op must fail");
+        assert!(a.is_crashed());
+    }
+
+    #[test]
+    fn non_faultable_messages_pass_unperturbed() {
+        #[derive(Debug)]
+        struct Ctl(u64);
+        impl Message for Ctl {
+            fn faultable(&self) -> bool {
+                false
+            }
+        }
+        let mut plan = FaultPlan::seeded(9);
+        plan.drop = 1.0;
+        let (mut eps, stats) = build_with_faults::<Ctl>(2, Some(plan));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..50 {
+            a.send(Rank(1), Ctl(i)).unwrap();
+        }
+        for i in 0..50 {
+            assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().msg.0, i);
+        }
+        assert_eq!(stats.fault_snapshot_of(Rank(0)).dropped, 0);
     }
 
     #[test]

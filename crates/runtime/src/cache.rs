@@ -38,6 +38,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Fetches of a key that had been evicted earlier in the run.
     pub refetches: u64,
+    /// In-flight entries whose fetch was re-issued (reply presumed lost).
+    pub reissues: u64,
 }
 
 /// An LRU cache of blocks keyed by [`BlockKey`].
@@ -105,6 +107,24 @@ impl BlockCache {
         let t = self.tick();
         self.map.insert(key, (CacheEntry::InFlight, t));
         true
+    }
+
+    /// Re-arms an in-flight entry whose reply is presumed lost, so the
+    /// caller can re-issue the fetch. Returns true when the entry exists and
+    /// is in flight (LRU position refreshed — the re-issued fetch is the
+    /// most recent interest in the block); a ready or absent entry returns
+    /// false and is left untouched. This is what makes `InFlight` tolerate
+    /// re-issue: a duplicate reply later simply re-fills a ready entry.
+    pub fn refresh_in_flight(&mut self, key: &BlockKey) -> bool {
+        let t = self.tick();
+        match self.map.get_mut(key) {
+            Some((CacheEntry::InFlight, stamp)) => {
+                *stamp = t;
+                self.stats.reissues += 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Stores arrived data, completing an in-flight entry (or inserting
@@ -267,6 +287,28 @@ mod tests {
         assert!(c.peek(&BlockKey::new(ArrayId(0), &[1])).is_none());
         assert!(c.peek(&BlockKey::new(ArrayId(0), &[2])).is_some());
         assert!(c.peek(&BlockKey::new(ArrayId(1), &[1])).is_some());
+    }
+
+    #[test]
+    fn in_flight_tolerates_reissue() {
+        let mut c = BlockCache::new(4);
+        assert!(c.mark_in_flight(key(1)));
+        // The reply was dropped; the retry layer re-arms the entry instead
+        // of being refused by mark_in_flight.
+        assert!(!c.mark_in_flight(key(1)));
+        assert!(c.refresh_in_flight(&key(1)), "in-flight entry re-armed");
+        assert_eq!(c.stats().reissues, 1);
+        // The re-issued fetch's reply (or a late duplicate of the original)
+        // completes the entry as usual …
+        c.fill(key(1), blk(7.0));
+        assert!(matches!(c.peek(&key(1)), Some(CacheEntry::Ready(_))));
+        // … and a second, duplicated reply just refreshes it.
+        c.fill(key(1), blk(7.0));
+        assert_eq!(c.len(), 1);
+        // Ready and absent entries refuse the re-arm.
+        assert!(!c.refresh_in_flight(&key(1)));
+        assert!(!c.refresh_in_flight(&key(2)));
+        assert_eq!(c.stats().reissues, 1);
     }
 
     #[test]

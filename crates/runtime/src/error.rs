@@ -1,7 +1,31 @@
 //! Runtime errors raised by the SIP.
 
 use crate::msg::BlockKey;
+use sia_fabric::{Rank, SendError, SendErrorKind};
 use std::fmt;
+
+/// What kind of communication failure occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommKind {
+    /// An operation exhausted its retry budget without an acknowledgement.
+    Timeout,
+    /// The peer was declared (or observed) dead.
+    RankDead,
+    /// The run was poisoned: another rank failed and raised shutdown, so
+    /// this rank is aborting rather than wait on messages that will never
+    /// arrive.
+    Poisoned,
+}
+
+impl fmt::Display for CommKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommKind::Timeout => write!(f, "timeout"),
+            CommKind::RankDead => write!(f, "rank dead"),
+            CommKind::Poisoned => write!(f, "run poisoned"),
+        }
+    }
+}
 
 /// An error during SIP execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,8 +72,18 @@ pub enum RuntimeError {
         /// Failure detail.
         detail: String,
     },
-    /// A peer rank disappeared mid-run.
-    PeerGone(String),
+    /// A communication failure: a timed-out operation, a dead peer, or a
+    /// run poisoned by another rank's failure.
+    Comm {
+        /// What happened.
+        kind: CommKind,
+        /// The peer involved (the waiting rank itself for `Poisoned`).
+        rank: Rank,
+        /// The block being moved, when the failure is tied to one.
+        key: Option<BlockKey>,
+        /// What the rank was doing.
+        context: String,
+    },
     /// Checkpoint I/O failed.
     Checkpoint(String),
     /// Served-array disk I/O failed.
@@ -90,7 +124,18 @@ impl fmt::Display for RuntimeError {
             RuntimeError::SuperInstruction { name, detail } => {
                 write!(f, "super instruction `{name}` failed: {detail}")
             }
-            RuntimeError::PeerGone(m) => write!(f, "lost contact with {m}"),
+            RuntimeError::Comm {
+                kind,
+                rank,
+                key,
+                context,
+            } => {
+                write!(f, "comm failure ({kind}) with rank {rank}")?;
+                if let Some(k) = key {
+                    write!(f, " moving {k:?}")?;
+                }
+                write!(f, ": {context}")
+            }
             RuntimeError::Checkpoint(m) => write!(f, "checkpoint failure: {m}"),
             RuntimeError::ServedIo(m) => write!(f, "served-array I/O failure: {m}"),
             RuntimeError::BarrierMisuse(m) => write!(f, "barrier misuse: {m}"),
@@ -111,6 +156,20 @@ impl From<sia_blocks::pool::PoolExhausted> for RuntimeError {
     fn from(e: sia_blocks::pool::PoolExhausted) -> Self {
         RuntimeError::PoolExhausted {
             detail: e.to_string(),
+        }
+    }
+}
+
+impl From<SendError> for RuntimeError {
+    fn from(e: SendError) -> Self {
+        RuntimeError::Comm {
+            kind: match e.kind {
+                SendErrorKind::PeerGone | SendErrorKind::Crashed => CommKind::RankDead,
+                SendErrorKind::Shutdown => CommKind::Poisoned,
+            },
+            rank: e.to,
+            key: None,
+            context: e.to_string(),
         }
     }
 }

@@ -9,10 +9,11 @@
 //! accounts the time as *wait* for the profiler.
 
 use crate::error::RuntimeError;
+use crate::ft::TakeoverChunk;
 use crate::msg::{BarrierKind, BlockKey, SipMsg};
 use crate::registry::{SuperArg, SuperEnv};
 use crate::scheduler::{eval_bool, eval_scalar};
-use crate::worker::{LoopFrame, PardoState, Worker};
+use crate::worker::{Fetch, LoopFrame, PardoState, Worker};
 use sia_blocks::{contract_into_ctx, permute, Block, ContractionPlan};
 use sia_bytecode::{
     Arg, ArrayId, ArrayKind, BlockRef, BoolExpr, IndexId, Instruction as I, ScalarExpr,
@@ -25,6 +26,10 @@ use std::time::{Duration, Instant};
 pub const SIP_ALLREDUCE: &str = "sip_allreduce";
 /// Name of the intrinsic wall-clock super instruction (`execute sip_time s`).
 pub const SIP_TIME: &str = "sip_time";
+///// Name of the intrinsic restart-resume query (`execute sip_resume_epoch s`):
+/// sets the scalar to the number of completed served-array epochs found in
+/// the run directory's manifest, so restarted programs can skip them.
+pub const SIP_RESUME_EPOCH: &str = "sip_resume_epoch";
 
 impl Worker {
     /// Runs the program to `halt`. On success the worker still owes the
@@ -37,6 +42,8 @@ impl Worker {
         let mut pc: u32 = 0;
         loop {
             self.service_messages();
+            self.maybe_heartbeat();
+            self.pump_retries()?;
             let ins = program
                 .code
                 .get(pc as usize)
@@ -113,15 +120,13 @@ impl Worker {
         };
         if need_request {
             let master = self.layout.topology.master();
-            self.endpoint
-                .send(
-                    master,
-                    SipMsg::ChunkRequest {
-                        pardo_pc: start_pc,
-                        epoch,
-                    },
-                )
-                .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+            self.endpoint.send(
+                master,
+                SipMsg::ChunkRequest {
+                    pardo_pc: start_pc,
+                    epoch,
+                },
+            )?;
             if let Some(p) = &mut self.pardo {
                 p.requested = true;
             }
@@ -138,6 +143,7 @@ impl Worker {
                 for (idx, v) in indices.iter().zip(vals) {
                     self.set_index(*idx, v);
                 }
+                self.op_seq = 0;
                 self.profile.iterations += 1;
                 Ok(body_pc)
             }
@@ -176,6 +182,7 @@ impl Worker {
             return Ok(());
         };
         let mut segs = self.seg_values(ref_indices)?;
+        let mut wait = Duration::ZERO; // NoWait never blocks; discarded.
         for d in 1..=self.config.prefetch_depth as i64 {
             let v = frame.current + d;
             if v > frame.high {
@@ -183,7 +190,7 @@ impl Worker {
             }
             segs[pos] = v;
             let (key, _) = self.layout.storage_target(array, ref_indices, &segs);
-            self.issue_fetch(key)?;
+            self.access_key(key, Fetch::NoWait, &mut wait)?;
         }
         Ok(())
     }
@@ -224,6 +231,11 @@ impl Worker {
             }
             I::PardoEnd { .. } => {
                 self.free_temps();
+                if let Some(p) = &self.pardo {
+                    let (pardo_pc, epoch) = (p.start_pc, p.epoch);
+                    self.note_pardo_iter_done(pardo_pc, epoch);
+                }
+                self.maybe_crash()?;
                 Ok(Some(self.pardo_advance(wait)?))
             }
             I::DoStart { index, end_pc } => {
@@ -347,7 +359,7 @@ impl Worker {
                 let (key, _) = self
                     .layout
                     .storage_target(block.array, &block.indices, &segs);
-                self.issue_fetch(key)?;
+                self.access_key(key, Fetch::NoWait, wait)?;
                 self.prefetch_ahead(block.array, &block.indices)?;
                 Ok(Some(pc + 1))
             }
@@ -360,21 +372,12 @@ impl Worker {
                         "sub-addressed put destination is not supported".into(),
                     ));
                 }
-                let home = self.layout.topology.home_of_distributed(&key);
+                let op = self.derive_op(pc, &key);
+                let home = self.dist_home(&key);
                 if home == self.endpoint.rank() {
-                    self.apply_put_local(key, data, *mode);
+                    self.apply_put_deduped(key, data, *mode, op);
                 } else {
-                    self.endpoint
-                        .send(
-                            home,
-                            SipMsg::PutBlock {
-                                key,
-                                data,
-                                mode: *mode,
-                            },
-                        )
-                        .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
-                    self.outstanding_puts += 1;
+                    self.send_put(home, key, data, *mode, op)?;
                 }
                 Ok(Some(pc + 1))
             }
@@ -390,18 +393,9 @@ impl Worker {
                         "sub-addressed prepare destination is not supported".into(),
                     ));
                 }
+                let op = self.derive_op(pc, &key);
                 let home = self.layout.topology.home_of_served(&key);
-                self.endpoint
-                    .send(
-                        home,
-                        SipMsg::PrepareBlock {
-                            key,
-                            data,
-                            mode: *mode,
-                        },
-                    )
-                    .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
-                self.outstanding_prepares += 1;
+                self.send_prepare(home, key, data, *mode, op)?;
                 // The freshest copy is at the server now.
                 self.cache.invalidate(&key);
                 Ok(Some(pc + 1))
@@ -420,26 +414,22 @@ impl Worker {
                     .map(|(k, b)| (*k, b.clone()))
                     .collect();
                 for (key, data) in mine {
-                    self.endpoint
-                        .send(
-                            master,
-                            SipMsg::CkptBlock {
-                                label: label.0,
-                                key,
-                                data,
-                            },
-                        )
-                        .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
-                }
-                self.endpoint
-                    .send(
+                    self.endpoint.send(
                         master,
-                        SipMsg::CkptDone {
+                        SipMsg::CkptBlock {
                             label: label.0,
-                            restore: false,
+                            key,
+                            data,
                         },
-                    )
-                    .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+                    )?;
+                }
+                self.endpoint.send(
+                    master,
+                    SipMsg::CkptDone {
+                        label: label.0,
+                        restore: false,
+                    },
+                )?;
                 let lbl = label.0;
                 *wait += self.wait_until("checkpoint", |w| w.ckpt_released.contains(&lbl))?;
                 self.ckpt_released.remove(&lbl);
@@ -452,15 +442,13 @@ impl Worker {
                     ));
                 }
                 let master = self.layout.topology.master();
-                self.endpoint
-                    .send(
-                        master,
-                        SipMsg::CkptDone {
-                            label: label.0,
-                            restore: true,
-                        },
-                    )
-                    .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+                self.endpoint.send(
+                    master,
+                    SipMsg::CkptDone {
+                        label: label.0,
+                        restore: true,
+                    },
+                )?;
                 let lbl = label.0;
                 *wait +=
                     self.wait_until("checkpoint restore", |w| w.ckpt_released.contains(&lbl))?;
@@ -605,6 +593,7 @@ impl Worker {
                 *wait += self.barrier(BarrierKind::Sip)?;
                 self.invalidate_cached_kind(ArrayKind::Distributed);
                 self.dist_epoch += 1;
+                self.on_sip_barrier_released();
                 Ok(Some(pc + 1))
             }
             I::ServerBarrier => {
@@ -646,18 +635,105 @@ impl Worker {
         // Conflicting accesses must be complete before we report in: drain
         // outstanding acks first.
         let mut total = match kind {
-            BarrierKind::Sip => self.wait_until("put acks", |w| w.outstanding_puts == 0)?,
-            BarrierKind::Server => {
-                self.wait_until("prepare acks", |w| w.outstanding_prepares == 0)?
-            }
+            BarrierKind::Sip => self.wait_until("put acks", |w| w.puts_drained())?,
+            BarrierKind::Server => self.wait_until("prepare acks", |w| w.prepares_drained())?,
         };
         let master = self.layout.topology.master();
-        self.endpoint
-            .send(master, SipMsg::BarrierEnter { kind })
-            .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
-        total += self.wait_until("barrier release", |w| w.barrier_release == Some(kind))?;
+        self.endpoint.send(master, SipMsg::BarrierEnter { kind })?;
+        if self.ft.is_some() {
+            // Under fault tolerance a parked worker may be handed re-queued
+            // chunks of a dead rank (the master defers the release until
+            // every re-queued chunk is acknowledged).
+            loop {
+                if let Some(chunk) = self.ft.as_mut().and_then(|ft| ft.takeovers.pop_front()) {
+                    self.run_takeover_chunk(chunk)?;
+                    continue;
+                }
+                if self.barrier_release == Some(kind) {
+                    break;
+                }
+                total += self.wait_until("barrier release", |w| {
+                    w.barrier_release == Some(kind)
+                        || w.ft.as_ref().is_some_and(|ft| !ft.takeovers.is_empty())
+                })?;
+            }
+        } else {
+            total += self.wait_until("barrier release", |w| w.barrier_release == Some(kind))?;
+        }
         self.barrier_release = None;
         Ok(total)
+    }
+
+    /// Executes a re-queued chunk of a dead worker while parked at the
+    /// post-pardo barrier. The iterations replay with `in_takeover` set, so
+    /// op-id derivation matches the original execution and every put the
+    /// corpse managed to deliver is suppressed as a duplicate. The chunk is
+    /// acknowledged only after its puts drain, so the master's release
+    /// implies the replayed data is home.
+    fn run_takeover_chunk(&mut self, chunk: TakeoverChunk) -> Result<(), RuntimeError> {
+        let program = Arc::clone(&self.layout.program);
+        let (indices, end_pc) = match program.code.get(chunk.pardo_pc as usize) {
+            Some(I::PardoStart {
+                indices, end_pc, ..
+            }) => (indices.clone(), *end_pc),
+            _ => {
+                return Err(RuntimeError::Internal(
+                    "takeover chunk does not point at a pardo".into(),
+                ));
+            }
+        };
+        if let Some(ft) = self.ft.as_mut() {
+            ft.in_takeover = true;
+        }
+        let mut plans: HashMap<u32, ContractionPlan> = HashMap::new();
+        let result = (|| -> Result<(), RuntimeError> {
+            for iter in &chunk.iters {
+                for (idx, v) in indices.iter().zip(iter) {
+                    self.set_index(*idx, *v);
+                }
+                self.op_seq = 0;
+                self.profile.iterations += 1;
+                let mut pc = chunk.pardo_pc + 1;
+                while pc != end_pc {
+                    let ins = program
+                        .code
+                        .get(pc as usize)
+                        .ok_or_else(|| RuntimeError::BadProgram(format!("pc {pc} out of range")))?;
+                    let mut wait = Duration::ZERO;
+                    match self.step(pc, ins, &mut plans, &mut wait)? {
+                        Some(n) => pc = n,
+                        None => {
+                            return Err(RuntimeError::BadProgram(
+                                "halt inside a pardo body".into(),
+                            ));
+                        }
+                    }
+                }
+                self.free_temps();
+                self.pardo_iters_done += 1;
+            }
+            // The master counts this chunk complete only once its data is
+            // durable at the (surviving) homes.
+            self.wait_until("takeover put acks", |w| w.puts_drained())?;
+            Ok(())
+        })();
+        if let Some(ft) = self.ft.as_mut() {
+            ft.in_takeover = false;
+        }
+        for idx in indices {
+            self.set_index(idx, 0);
+        }
+        result?;
+        let master = self.layout.topology.master();
+        self.endpoint.send(
+            master,
+            SipMsg::ChunkDone {
+                pardo_pc: chunk.pardo_pc,
+                epoch: chunk.epoch,
+                chunk: chunk.chunk,
+            },
+        )?;
+        Ok(())
     }
 
     fn execute_super(
@@ -674,14 +750,12 @@ impl Worker {
                 ));
             };
             let master = self.layout.topology.master();
-            self.endpoint
-                .send(
-                    master,
-                    SipMsg::ReduceContrib {
-                        value: self.scalars[id.index()],
-                    },
-                )
-                .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
+            self.endpoint.send(
+                master,
+                SipMsg::ReduceContrib {
+                    value: self.scalars[id.index()],
+                },
+            )?;
             *wait += self.wait_until("allreduce", |w| w.reduce_result.is_some())?;
             self.scalars[id.index()] = self.reduce_result.take().unwrap();
             return Ok(());
@@ -693,6 +767,15 @@ impl Worker {
                 ));
             };
             self.scalars[id.index()] = self.started.elapsed().as_secs_f64();
+            return Ok(());
+        }
+        if name == SIP_RESUME_EPOCH {
+            let [Arg::Scalar(id)] = args else {
+                return Err(RuntimeError::BadProgram(
+                    "sip_resume_epoch takes exactly one scalar argument".into(),
+                ));
+            };
+            self.scalars[id.index()] = self.config.resumed_epochs as f64;
             return Ok(());
         }
 

@@ -12,7 +12,7 @@
 
 use crate::error::RuntimeError;
 use crate::layout::Layout;
-use crate::msg::{BlockKey, SipMsg};
+use crate::msg::{BlockKey, OpId, SipMsg};
 use sia_blocks::{Block, Shape};
 use sia_bytecode::PutMode;
 use sia_fabric::Endpoint;
@@ -36,6 +36,9 @@ pub struct ServerStats {
     pub zero_serves: u64,
     /// Prepares received.
     pub prepares: u64,
+    /// Duplicate prepares suppressed (retries, fabric duplication, or chunk
+    /// re-execution after a rank failure).
+    pub dup_prepares_suppressed: u64,
 }
 
 struct Entry {
@@ -53,6 +56,11 @@ pub struct IoServer {
     cache: HashMap<BlockKey, Entry>,
     clock: u64,
     stats: ServerStats,
+    /// Applied prepare op ids → served epoch they arrived in (duplicate
+    /// suppression; pruned two epochs back at each `EpochMark`).
+    applied_ops: HashMap<u64, u64>,
+    /// Completed served epochs (advanced by `EpochMark`).
+    epoch: u64,
 }
 
 fn key_filename(key: &BlockKey) -> String {
@@ -135,6 +143,8 @@ impl IoServer {
             cache: HashMap::new(),
             clock: 0,
             stats: ServerStats::default(),
+            applied_ops: HashMap::new(),
+            epoch: 0,
         })
     }
 
@@ -256,6 +266,41 @@ impl IoServer {
         Ok(())
     }
 
+    /// Applies a prepare unless its op id was already applied (a duplicate
+    /// from a sender retry, fabric duplication, or chunk re-execution).
+    /// Duplicates are suppressed but still acknowledged, so the sender's
+    /// retry loop settles.
+    fn prepare_deduped(
+        &mut self,
+        key: BlockKey,
+        data: Block,
+        mode: PutMode,
+        op: OpId,
+    ) -> Result<(), RuntimeError> {
+        if op.is_tracked() && self.applied_ops.insert(op.0, self.epoch).is_some() {
+            self.stats.dup_prepares_suppressed += 1;
+            return Ok(());
+        }
+        self.prepare(key, data, mode)
+    }
+
+    /// Commits a served epoch: flushes everything dirty, records the epoch
+    /// in this server's manifest, and prunes the duplicate-suppression
+    /// window (nothing can retry across two committed epochs).
+    fn mark_epoch(&mut self, epoch: u64) -> Result<(), RuntimeError> {
+        self.flush_all()?;
+        self.epoch = epoch;
+        let path = self
+            .dir
+            .join(format!("manifest_r{}.txt", self.endpoint.rank().0));
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, format!("{epoch}\n"))
+            .and_then(|_| fs::rename(&tmp, &path))
+            .map_err(|e| RuntimeError::ServedIo(format!("manifest {}: {e}", path.display())))?;
+        self.applied_ops.retain(|_, e| *e + 2 > epoch);
+        Ok(())
+    }
+
     fn delete_array(&mut self, array: sia_bytecode::ArrayId) -> Result<(), RuntimeError> {
         self.cache.retain(|k, _| k.array != array);
         let prefix = format!("a{}_", array.0);
@@ -287,13 +332,26 @@ impl IoServer {
                 Some(env) => {
                     let src = env.src;
                     match env.msg {
-                        SipMsg::RequestBlock { key } => {
+                        SipMsg::RequestBlock { key, req } => {
                             let data = self.load(key)?;
-                            let _ = self.endpoint.send(src, SipMsg::BlockData { key, data });
+                            let _ = self
+                                .endpoint
+                                .send(src, SipMsg::BlockData { key, data, req });
                         }
-                        SipMsg::PrepareBlock { key, data, mode } => {
-                            self.prepare(key, data, mode)?;
-                            let _ = self.endpoint.send(src, SipMsg::PrepareAck { key });
+                        SipMsg::PrepareBlock {
+                            key,
+                            data,
+                            mode,
+                            op,
+                        } => {
+                            self.prepare_deduped(key, data, mode, op)?;
+                            let _ = self.endpoint.send(src, SipMsg::PrepareAck { key, op });
+                        }
+                        SipMsg::EpochMark { epoch } => {
+                            self.mark_epoch(epoch)?;
+                            let _ = self
+                                .endpoint
+                                .send(self.layout.topology.master(), SipMsg::EpochAck { epoch });
                         }
                         SipMsg::DeleteArray { array } => {
                             self.delete_array(array)?;
@@ -465,6 +523,52 @@ mod tests {
         let back = read_block_file(&path).unwrap().unwrap();
         assert_eq!(b, back);
         assert!(read_block_file(&dir.join("missing.blk")).unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_prepare_suppressed() {
+        let dir = tmpdir("dup");
+        let mut s = test_server(&dir, 8);
+        let key = BlockKey::new(ArrayId(0), &[2, 3]);
+        let op = OpId(0xdead_beef);
+        // An accumulate retried (or duplicated by the fabric, or re-executed
+        // by a takeover chunk) must count exactly once.
+        s.prepare_deduped(key, blk(2.0), PutMode::Accumulate, op)
+            .unwrap();
+        s.prepare_deduped(key, blk(2.0), PutMode::Accumulate, op)
+            .unwrap();
+        assert_eq!(s.load(key).unwrap(), blk(2.0));
+        assert_eq!(s.stats().dup_prepares_suppressed, 1);
+        // A different op id is a genuinely new operation.
+        s.prepare_deduped(key, blk(3.0), PutMode::Accumulate, OpId(0xfeed))
+            .unwrap();
+        assert_eq!(s.load(key).unwrap(), blk(5.0));
+        // Untracked ops bypass suppression entirely.
+        s.prepare_deduped(key, blk(1.0), PutMode::Replace, OpId::NONE)
+            .unwrap();
+        s.prepare_deduped(key, blk(1.0), PutMode::Replace, OpId::NONE)
+            .unwrap();
+        assert_eq!(s.stats().dup_prepares_suppressed, 1);
+    }
+
+    #[test]
+    fn epoch_mark_flushes_and_writes_manifest() {
+        let dir = tmpdir("epoch");
+        let mut s = test_server(&dir, 8);
+        let key = BlockKey::new(ArrayId(0), &[1, 2]);
+        s.prepare_deduped(key, blk(4.0), PutMode::Replace, OpId(7))
+            .unwrap();
+        s.mark_epoch(1).unwrap();
+        assert!(s.stats().disk_writes >= 1, "mark flushes dirty blocks");
+        let manifest = dir.join(format!("manifest_r{}.txt", s.endpoint.rank().0));
+        assert_eq!(fs::read_to_string(manifest).unwrap().trim(), "1");
+        // The suppression window prunes entries two epochs back.
+        s.mark_epoch(2).unwrap();
+        s.mark_epoch(3).unwrap();
+        assert!(
+            !s.applied_ops.contains_key(&7),
+            "old applied ops are pruned"
+        );
     }
 
     #[test]

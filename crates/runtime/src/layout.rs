@@ -10,9 +10,67 @@ use crate::error::RuntimeError;
 use crate::msg::BlockKey;
 use sia_blocks::Shape;
 use sia_bytecode::{ArrayId, ArrayKind, ConstBindings, IndexId, IndexKind, Program};
-use sia_fabric::Rank;
+use sia_fabric::{FaultPlan, Rank};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// A deterministic, runtime-triggered worker crash: worker `worker` kills
+/// its endpoint after executing `after_iterations` pardo iterations. Firing
+/// at an iteration boundary (never mid-block-write) keeps the failure model
+/// clean: a crashed worker's last epoch checkpoint is always consistent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// Worker index (0-based) to crash.
+    pub worker: usize,
+    /// Pardo iterations the worker completes before dying.
+    pub after_iterations: u64,
+}
+
+/// Fault-tolerance configuration: the fabric-level fault plan plus the
+/// runtime's retry, heartbeat, and liveness parameters. Present in
+/// [`SipConfig::fault`] only when the run should exercise recovery paths;
+/// `None` keeps every hot path identical to the fault-free build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Seeded fabric fault plan (drop/duplicate/delay probabilities).
+    pub plan: FaultPlan,
+    /// Optional deterministic worker crash.
+    pub crash: Option<CrashSchedule>,
+    /// How long an unacknowledged GET/REQUEST/PUT/PREPARE waits before its
+    /// first retry.
+    pub retry_timeout: Duration,
+    /// Multiplier applied to the timeout after each retry.
+    pub retry_backoff: f64,
+    /// Retries before the operation fails with a `Comm { Timeout }` error.
+    pub max_retries: u32,
+    /// How often workers beacon a heartbeat to the master.
+    pub heartbeat_interval: Duration,
+    /// Silence span after which the master declares a worker dead.
+    pub liveness_timeout: Duration,
+}
+
+impl FaultConfig {
+    /// A fault configuration around a seeded plan, with retry/liveness
+    /// parameters tuned for in-process fabrics (tens of milliseconds).
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultConfig {
+            plan,
+            crash: None,
+            retry_timeout: Duration::from_millis(40),
+            retry_backoff: 2.0,
+            max_retries: 8,
+            heartbeat_interval: Duration::from_millis(10),
+            liveness_timeout: Duration::from_millis(300),
+        }
+    }
+
+    /// True when a worker crash is scheduled (enables epoch checkpointing
+    /// and the master's liveness monitor aggressiveness).
+    pub fn expects_crash(&self) -> bool {
+        self.crash.is_some() || !self.plan.crashes.is_empty()
+    }
+}
 
 /// Segment sizes per index type. "The same segment size applies to all
 /// indices of a given type and is constant for the duration of the
@@ -104,6 +162,19 @@ pub struct SipConfig {
     /// Feed transpose-shaped operand permutations to the GEMM as layout
     /// flags instead of materializing permuted copies (ablation switch).
     pub fold_transposes: bool,
+    /// Poll interval of service loops that are idle but must keep draining
+    /// messages (e.g. a finished worker serving GETs until shutdown).
+    pub service_poll: Duration,
+    /// Poll interval while blocked on a specific event (block arrival,
+    /// chunk assignment, barrier release).
+    pub wait_poll: Duration,
+    /// Fault injection and recovery; `None` (the default) runs on a perfect
+    /// fabric with all recovery machinery disabled.
+    pub fault: Option<FaultConfig>,
+    /// Completed served-array epochs read from `run_dir`'s manifest at
+    /// startup; surfaced to programs via `execute sip_resume_epoch s`. Set
+    /// by the runtime, not by users.
+    pub resumed_epochs: u64,
 }
 
 impl Default for SipConfig {
@@ -124,7 +195,238 @@ impl Default for SipConfig {
             placement: Placement::default(),
             gemm_threads: 1,
             fold_transposes: true,
+            service_poll: Duration::from_millis(1),
+            wait_poll: Duration::from_micros(200),
+            fault: None,
+            resumed_epochs: 0,
         }
+    }
+}
+
+impl SipConfig {
+    /// A validating builder — the preferred way to construct a config.
+    ///
+    /// ```
+    /// use sia_runtime::SipConfig;
+    /// let config = SipConfig::builder()
+    ///     .workers(4)
+    ///     .io_servers(1)
+    ///     .segment_size(8)
+    ///     .collect_distributed(true)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(config.workers, 4);
+    /// ```
+    pub fn builder() -> SipConfigBuilder {
+        SipConfigBuilder {
+            config: SipConfig::default(),
+        }
+    }
+
+    /// True when fault tolerance (retry/recovery machinery) is active.
+    pub fn fault_tolerant(&self) -> bool {
+        self.fault.is_some()
+    }
+}
+
+/// Invalid [`SipConfig`] reported by [`SipConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid SIP config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`SipConfig`]; every setter mirrors a config field, and
+/// [`build`](Self::build) validates the combination.
+#[derive(Debug, Clone)]
+pub struct SipConfigBuilder {
+    config: SipConfig,
+}
+
+impl SipConfigBuilder {
+    /// Number of worker ranks (must be ≥ 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Number of I/O server ranks (0 disables served arrays).
+    pub fn io_servers(mut self, n: usize) -> Self {
+        self.config.io_servers = n;
+        self
+    }
+
+    /// Full segment configuration.
+    pub fn segments(mut self, s: SegmentConfig) -> Self {
+        self.config.segments = s;
+        self
+    }
+
+    /// Shorthand: the default segment size, keeping other segment fields.
+    pub fn segment_size(mut self, n: usize) -> Self {
+        self.config.segments.default = n;
+        self
+    }
+
+    /// Block-cache capacity (blocks) per worker.
+    pub fn cache_blocks(mut self, n: usize) -> Self {
+        self.config.cache_blocks = n;
+        self
+    }
+
+    /// Prefetch look-ahead depth.
+    pub fn prefetch_depth(mut self, n: usize) -> Self {
+        self.config.prefetch_depth = n;
+        self
+    }
+
+    /// Per-worker block pool budget in bytes.
+    pub fn pool_bytes(mut self, n: usize) -> Self {
+        self.config.pool_bytes = n;
+        self
+    }
+
+    /// Per-I/O-server in-memory cache capacity (blocks).
+    pub fn server_cache_blocks(mut self, n: usize) -> Self {
+        self.config.server_cache_blocks = n;
+        self
+    }
+
+    /// Collect all distributed arrays to the master at the end of the run.
+    pub fn collect_distributed(mut self, yes: bool) -> Self {
+        self.config.collect_distributed = yes;
+        self
+    }
+
+    /// Directory for served-array block files and checkpoints.
+    pub fn run_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.run_dir = Some(dir.into());
+        self
+    }
+
+    /// Per-worker memory budget for the dry-run feasibility gate.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.config.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Guided-scheduling divisor.
+    pub fn chunk_factor(mut self, n: usize) -> Self {
+        self.config.chunk_factor = n;
+        self
+    }
+
+    /// Chunk-sizing policy override.
+    pub fn chunk_policy(mut self, p: crate::scheduler::ChunkPolicy) -> Self {
+        self.config.chunk_policy = Some(p);
+        self
+    }
+
+    /// Distributed-block placement strategy.
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.config.placement = p;
+        self
+    }
+
+    /// Intra-worker threads for the block-contraction GEMM.
+    pub fn gemm_threads(mut self, n: usize) -> Self {
+        self.config.gemm_threads = n;
+        self
+    }
+
+    /// Transpose-folding ablation switch.
+    pub fn fold_transposes(mut self, yes: bool) -> Self {
+        self.config.fold_transposes = yes;
+        self
+    }
+
+    /// Idle service-loop poll interval.
+    pub fn service_poll(mut self, d: Duration) -> Self {
+        self.config.service_poll = d;
+        self
+    }
+
+    /// Blocked-wait poll interval.
+    pub fn wait_poll(mut self, d: Duration) -> Self {
+        self.config.wait_poll = d;
+        self
+    }
+
+    /// Fault injection and recovery configuration.
+    pub fn fault(mut self, f: FaultConfig) -> Self {
+        self.config.fault = Some(f);
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<SipConfig, ConfigError> {
+        let c = self.config;
+        if c.workers < 1 {
+            return Err(ConfigError("workers must be ≥ 1".into()));
+        }
+        if c.cache_blocks < 1 {
+            return Err(ConfigError("cache_blocks must be ≥ 1".into()));
+        }
+        if c.segments.default < 1 {
+            return Err(ConfigError("segment size must be ≥ 1".into()));
+        }
+        if c.segments.nsub < 1 {
+            return Err(ConfigError("nsub must be ≥ 1".into()));
+        }
+        if c.prefetch_depth > c.cache_blocks {
+            return Err(ConfigError(format!(
+                "prefetch_depth {} exceeds cache_blocks {}; the prefetcher \
+                 would evict its own in-flight blocks",
+                c.prefetch_depth, c.cache_blocks
+            )));
+        }
+        if c.pool_bytes == 0 {
+            return Err(ConfigError("pool_bytes must be nonzero".into()));
+        }
+        if c.chunk_factor == 0 {
+            return Err(ConfigError("chunk_factor must be ≥ 1".into()));
+        }
+        if c.service_poll.is_zero() || c.wait_poll.is_zero() {
+            return Err(ConfigError("poll intervals must be nonzero".into()));
+        }
+        if let Some(f) = &c.fault {
+            let world = 1 + c.workers + c.io_servers;
+            f.plan
+                .validate(world)
+                .map_err(|e| ConfigError(format!("fault plan: {e}")))?;
+            if f.plan.seed == 0 && f.plan.is_active() {
+                return Err(ConfigError(
+                    "an active fault plan needs an explicit nonzero seed so \
+                     failures reproduce"
+                        .into(),
+                ));
+            }
+            if let Some(crash) = &f.crash {
+                if crash.worker >= c.workers {
+                    return Err(ConfigError(format!(
+                        "crash schedule targets worker {} of {}",
+                        crash.worker, c.workers
+                    )));
+                }
+                if c.workers < 2 {
+                    return Err(ConfigError(
+                        "crash recovery needs at least 2 workers".into(),
+                    ));
+                }
+            }
+            if f.retry_backoff < 1.0 {
+                return Err(ConfigError("retry_backoff must be ≥ 1.0".into()));
+            }
+            if f.retry_timeout.is_zero() {
+                return Err(ConfigError("retry_timeout must be nonzero".into()));
+            }
+        }
+        Ok(c)
     }
 }
 
@@ -201,6 +503,36 @@ impl Topology {
 
     /// Home worker of a distributed block (simple static placement).
     pub fn home_of_distributed(&self, key: &BlockKey) -> Rank {
+        self.worker(self.initial_slot(key))
+    }
+
+    /// Home worker of a distributed block when some workers are dead.
+    ///
+    /// `dead` is indexed by worker index. Keys whose initial slot is alive
+    /// keep their home (surviving data never moves); keys homed at a dead
+    /// worker walk a deterministic rehash chain until they land on a
+    /// survivor, so every rank that agrees on the dead set agrees on the
+    /// new home.
+    pub fn home_of_distributed_excluding(&self, key: &BlockKey, dead: &[bool]) -> Rank {
+        let mut slot = self.initial_slot(key);
+        if !dead.iter().any(|&d| d) {
+            return self.worker(slot);
+        }
+        debug_assert!(dead.len() == self.workers);
+        debug_assert!(dead.iter().any(|&d| !d), "all workers dead");
+        let mut h = key.placement_hash();
+        while dead[slot] {
+            // splitmix64-style remix for the next candidate.
+            h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z ^= z >> 27;
+            slot = (z % self.workers as u64) as usize;
+        }
+        self.worker(slot)
+    }
+
+    fn initial_slot(&self, key: &BlockKey) -> usize {
         let slot = match self.placement {
             Placement::Hash => key.placement_hash() % self.workers as u64,
             Placement::RoundRobin => {
@@ -211,7 +543,7 @@ impl Topology {
                 sum % self.workers as u64
             }
         };
-        self.worker(slot as usize)
+        slot as usize
     }
 
     /// Home I/O server of a served block.

@@ -53,6 +53,7 @@
 pub mod cache;
 pub mod dryrun;
 pub mod error;
+pub(crate) mod ft;
 pub mod interp;
 pub mod ioserver;
 pub mod layout;
@@ -65,11 +66,15 @@ pub mod trace;
 pub mod worker;
 
 pub use dryrun::MemoryEstimate;
-pub use error::RuntimeError;
-pub use layout::{Layout, Placement, SegmentConfig, SipConfig, Topology};
-pub use msg::{BlockKey, SipMsg};
-pub use profile::ProfileReport;
+pub use error::{CommKind, RuntimeError};
+pub use layout::{
+    ConfigError, CrashSchedule, FaultConfig, Layout, Placement, SegmentConfig, SipConfig,
+    SipConfigBuilder, Topology,
+};
+pub use msg::{BlockKey, OpId, SipMsg};
+pub use profile::{FaultStats, ProfileReport, RecoveryStats};
 pub use registry::{SuperArg, SuperEnv, SuperRegistry};
+pub use sia_fabric::{CrashSpec, FaultPlan, FaultSnapshot};
 
 use sia_blocks::Block;
 use sia_bytecode::{ConstBindings, Program};
@@ -210,8 +215,17 @@ impl Sip {
         std::fs::create_dir_all(&run_dir)
             .map_err(|e| RuntimeError::ServedIo(format!("create run dir: {e}")))?;
 
+        // Workers see the resolved run directory (epoch checkpoints land
+        // there) and the served-epoch count a previous, interrupted run left
+        // behind (surfaced to programs via `execute sip_resume_epoch s`).
+        let mut worker_config = self.config.clone();
+        worker_config.run_dir = Some(run_dir.clone());
+        worker_config.resumed_epochs = master::read_epoch_manifest(&run_dir);
+
         // ---- spawn the virtual machine -----------------------------------------
-        let (mut endpoints, stats) = sia_fabric::build::<SipMsg>(topology.world_size());
+        let fault_plan = self.config.fault.as_ref().map(|f| f.plan.clone());
+        let (mut endpoints, stats) =
+            sia_fabric::build_with_faults::<SipMsg>(topology.world_size(), fault_plan);
         let mut io_eps: Vec<_> = endpoints.split_off(1 + topology.workers);
         let worker_eps: Vec<_> = endpoints.split_off(1);
         let master_ep = endpoints.pop().expect("master endpoint");
@@ -227,13 +241,14 @@ impl Sip {
             master_ep,
             chunk_policy,
             run_dir.clone(),
+            self.config.fault.clone(),
         );
 
         let result = std::thread::scope(|scope| {
             // Workers.
             for ep in worker_eps {
                 let layout = Arc::clone(&layout);
-                let config = self.config.clone();
+                let config = worker_config.clone();
                 let registry = self.registry.clone();
                 let collect = self.config.collect_distributed;
                 scope.spawn(move || {
@@ -281,7 +296,9 @@ impl Sip {
                 .or_default()
                 .insert(key.segs().iter().map(|&s| s as i64).collect(), block);
         }
-        let profile = ProfileReport::merge(&layout.program, &master_out.profiles);
+        let mut profile = ProfileReport::merge(&layout.program, &master_out.profiles);
+        profile.recovery = master_out.recovery;
+        profile.fabric_faults = stats.total_faults();
         let traffic_per_rank: Vec<RankTraffic> = (0..topology.world_size())
             .map(|r| {
                 let c = stats.counters_of(sia_fabric::Rank(r));
@@ -331,6 +348,9 @@ pub fn default_run_dir(tag: &str) -> PathBuf {
 fn run_worker(w: &mut worker::Worker, collect: bool) {
     let master = w.layout.topology.master();
     match w.execute_program() {
+        // A worker that executed its scheduled crash unwinds silently: its
+        // endpoint is dead and the master recovers around it.
+        Err(_) if w.endpoint.is_crashed() => {}
         Ok(()) => {
             // A peer's put to a block homed here can still be in flight when
             // our own program text ends. Before snapshotting the store for

@@ -1,32 +1,46 @@
 //! The SIP master: setup, guided chunk scheduling, barrier and collective
-//! coordination, and checkpoint files.
+//! coordination, checkpoint files, and — under fault tolerance — the
+//! liveness monitor and rank-failure recovery.
 //!
 //! "The master is responsible for allocating work to the workers … the set of
 //! iterations … is divided into 'chunks' and doled out to the workers"
 //! (§V-B). The master also arbitrates both barrier kinds, folds scalar
 //! all-reduces, and owns the checkpoint facility built on
 //! `blocks_to_list`/`list_to_blocks`.
+//!
+//! Under fault tolerance the master additionally tracks worker heartbeats,
+//! declares silent workers dead, restores a dead worker's last epoch
+//! checkpoint to the surviving homes, broadcasts `RankDead`, and re-queues
+//! the corpse's unacknowledged pardo chunks to workers parked at the
+//! post-pardo barrier (see DESIGN.md "Fault model & recovery").
 
-use crate::error::RuntimeError;
-use crate::layout::Layout;
-use crate::msg::{BarrierKind, BlockKey, SipMsg};
-use crate::profile::WorkerProfile;
+use crate::error::{CommKind, RuntimeError};
+use crate::ft;
+use crate::layout::{FaultConfig, Layout};
+use crate::msg::{BarrierKind, BlockKey, OpId, SipMsg};
+use crate::profile::{RecoveryStats, WorkerProfile};
 use crate::scheduler::{ChunkPolicy, GuidedScheduler, IterationSpace};
 use sia_blocks::{Block, Shape};
 use sia_bytecode::{ArrayId, Instruction, PutMode};
 use sia_fabric::{Endpoint, Rank};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct PardoSched {
     space: IterationSpace,
     sched: GuidedScheduler,
     /// Workers told "no more chunks" (scheduler dropped when all have been).
     drained_notices: usize,
+    /// Next chunk id within this (pardo, epoch).
+    next_chunk: u64,
+    /// Unacknowledged chunks by id (tracked only under fault tolerance):
+    /// assignee's worker index plus the iterations, retained so the chunk
+    /// can be re-queued verbatim if the assignee dies.
+    outstanding: HashMap<u64, (usize, Vec<Vec<i64>>)>,
 }
 
 #[derive(Default)]
@@ -35,9 +49,33 @@ struct CkptSave {
     done: usize,
 }
 
+/// A batch of master-issued restore puts awaiting acks (retried on timeout).
+/// Restore puts are Replace-mode and untracked, so duplicates from retries
+/// are naturally idempotent.
+struct PutFlight {
+    pending: HashMap<BlockKey, (Rank, Block)>,
+    sent_at: Instant,
+    timeout: Duration,
+    attempts: u32,
+    then: AfterFlight,
+}
+
+/// What to do once a [`PutFlight`] fully acks.
+enum AfterFlight {
+    /// Finish declaring a rank dead: broadcast `RankDead` and re-queue its
+    /// chunks.
+    Recovery {
+        dead_widx: usize,
+        inherited_ops: Vec<u64>,
+    },
+    /// Release a `list_to_blocks` rendezvous.
+    CkptRelease { label: u32 },
+}
+
 /// Everything the master knows at the end of a run.
 pub struct MasterOutput {
-    /// Final scalars per worker (index = worker index).
+    /// Final scalars per worker (index = worker index; empty for a worker
+    /// that died and was recovered around).
     pub scalars: Vec<Vec<f64>>,
     /// Collected distributed blocks (when collection was enabled).
     pub collected: HashMap<BlockKey, Block>,
@@ -45,6 +83,8 @@ pub struct MasterOutput {
     pub profiles: Vec<WorkerProfile>,
     /// Warnings raised across all ranks.
     pub warnings: Vec<String>,
+    /// Master-side recovery counters (all zero on fault-free runs).
+    pub recovery: RecoveryStats,
 }
 
 /// The master rank's controller.
@@ -53,6 +93,7 @@ pub struct Master {
     endpoint: Endpoint<SipMsg>,
     chunk_policy: ChunkPolicy,
     run_dir: PathBuf,
+    fault: Option<FaultConfig>,
     schedulers: HashMap<(u32, u64), PardoSched>,
     barrier_waiting: HashMap<u8, Vec<Rank>>,
     reduce_waiting: Vec<Rank>,
@@ -63,15 +104,36 @@ pub struct Master {
     collected: HashMap<BlockKey, Block>,
     warnings: Vec<String>,
     done_count: usize,
+    // ---- fault tolerance ----------------------------------------------------
+    /// Liveness: last message seen from each worker.
+    last_seen: Vec<Instant>,
+    /// Workers still considered alive.
+    alive: Vec<bool>,
+    /// Deaths detected while another recovery was in flight.
+    pending_deaths: VecDeque<usize>,
+    /// In-flight restore puts (recovery or checkpoint restore).
+    flight: Option<PutFlight>,
+    /// Re-queued chunks awaiting a parked worker.
+    takeover_queue: VecDeque<(u32, u64, u64, Vec<Vec<i64>>)>,
+    /// Dispatched takeover chunks awaiting their `ChunkDone`.
+    takeover_outstanding: HashSet<(u32, u64, u64)>,
+    takeover_rr: usize,
+    recovery: RecoveryStats,
+    /// Completed served-array epochs (manifest counter).
+    served_epochs: u64,
+    /// A served-epoch commit in progress: (epoch, acks still missing).
+    epoch_pending: Option<(u64, usize)>,
 }
 
 impl Master {
-    /// Creates the master controller.
+    /// Creates the master controller. `fault` enables the liveness monitor,
+    /// chunk-ack tracking, and served-epoch manifests.
     pub fn new(
         layout: Arc<Layout>,
         endpoint: Endpoint<SipMsg>,
         chunk_policy: ChunkPolicy,
         run_dir: PathBuf,
+        fault: Option<FaultConfig>,
     ) -> Self {
         let w = layout.topology.workers;
         Master {
@@ -79,6 +141,7 @@ impl Master {
             endpoint,
             chunk_policy,
             run_dir,
+            fault,
             schedulers: HashMap::new(),
             barrier_waiting: HashMap::new(),
             reduce_waiting: Vec::new(),
@@ -89,11 +152,25 @@ impl Master {
             collected: HashMap::new(),
             warnings: Vec::new(),
             done_count: 0,
+            last_seen: vec![Instant::now(); w],
+            alive: vec![true; w],
+            pending_deaths: VecDeque::new(),
+            flight: None,
+            takeover_queue: VecDeque::new(),
+            takeover_outstanding: HashSet::new(),
+            takeover_rr: 0,
+            recovery: RecoveryStats::default(),
+            served_epochs: 0,
+            epoch_pending: None,
         }
     }
 
     fn workers(&self) -> usize {
         self.layout.topology.workers
+    }
+
+    fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
     }
 
     fn broadcast_workers(&self, make: impl Fn() -> SipMsg) {
@@ -139,6 +216,8 @@ impl Master {
                     space,
                     sched,
                     drained_notices: 0,
+                    next_chunk: 0,
+                    outstanding: HashMap::new(),
                 },
             );
         }
@@ -151,25 +230,36 @@ impl Master {
         pardo_pc: u32,
         epoch: u64,
     ) -> Result<(), RuntimeError> {
-        let workers = self.workers();
+        let ft_on = self.fault.is_some();
+        let alive = self.alive_count();
+        let widx = self.layout.topology.worker_index(src);
         let sched = self.scheduler_for(pardo_pc, epoch)?;
         match sched.sched.next_chunk() {
             Some(range) => {
                 let iters: Vec<Vec<i64>> = range
                     .map(|i| sched.space.iters[i as usize].clone())
                     .collect();
+                let chunk = sched.next_chunk;
+                sched.next_chunk += 1;
+                if ft_on {
+                    sched.outstanding.insert(chunk, (widx, iters.clone()));
+                }
                 let _ = self.endpoint.send(
                     src,
                     SipMsg::ChunkAssign {
                         pardo_pc,
                         epoch,
+                        chunk,
                         iters,
                     },
                 );
             }
             None => {
                 sched.drained_notices += 1;
-                if sched.drained_notices >= workers {
+                // Under fault tolerance the scheduler is retained until the
+                // sip-barrier release: its outstanding map is what lets the
+                // master re-queue a dead assignee's chunks.
+                if !ft_on && sched.drained_notices >= alive {
                     // Every worker has moved past this encounter.
                     self.schedulers.remove(&(pardo_pc, epoch));
                 }
@@ -190,19 +280,95 @@ impl Master {
 
     fn handle_barrier(&mut self, src: Rank, kind: BarrierKind) {
         let slot = Self::barrier_slot(kind);
-        let w = self.workers();
-        let waiting = self.barrier_waiting.entry(slot).or_default();
-        waiting.push(src);
-        if waiting.len() == w {
-            waiting.clear();
-            self.broadcast_workers(|| SipMsg::BarrierRelease { kind });
+        self.barrier_waiting.entry(slot).or_default().push(src);
+        self.try_release(kind);
+    }
+
+    /// Releases a barrier if its conditions hold. Under fault tolerance the
+    /// sip barrier additionally waits for recovery to settle: no restore in
+    /// flight, no re-queued chunk unassigned or unacknowledged.
+    fn try_release(&mut self, kind: BarrierKind) {
+        let slot = Self::barrier_slot(kind);
+        let target = self.alive_count();
+        let waiting_n = self.barrier_waiting.get(&slot).map_or(0, Vec::len);
+        if waiting_n < target {
+            return;
         }
+        if self.fault.is_some() {
+            match kind {
+                BarrierKind::Sip => {
+                    if self.flight.is_some() || !self.pending_deaths.is_empty() {
+                        return;
+                    }
+                    self.dispatch_takeovers();
+                    if !self.takeover_queue.is_empty()
+                        || !self.takeover_outstanding.is_empty()
+                        || self.schedulers.values().any(|s| !s.outstanding.is_empty())
+                    {
+                        return;
+                    }
+                    // Every chunk of the epoch is acknowledged: the pardo
+                    // encounter is history, recovery state can be dropped.
+                    self.schedulers.clear();
+                }
+                BarrierKind::Server => {
+                    if self.layout.topology.io_servers > 0 {
+                        // Commit a served-array epoch before releasing: the
+                        // I/O servers flush and write their manifests, then
+                        // the master records the epoch as durable.
+                        if self.epoch_pending.is_some() {
+                            return;
+                        }
+                        let epoch = self.served_epochs + 1;
+                        for j in 0..self.layout.topology.io_servers {
+                            let _ = self.endpoint.send(
+                                self.layout.topology.io_server(j),
+                                SipMsg::EpochMark { epoch },
+                            );
+                        }
+                        self.epoch_pending = Some((epoch, self.layout.topology.io_servers));
+                        return; // released when the last EpochAck arrives
+                    }
+                }
+            }
+        }
+        if let Some(w) = self.barrier_waiting.get_mut(&slot) {
+            w.clear();
+        }
+        self.broadcast_workers(|| SipMsg::BarrierRelease { kind });
+    }
+
+    fn handle_epoch_ack(&mut self, epoch: u64) {
+        let Some((e, remaining)) = &mut self.epoch_pending else {
+            return;
+        };
+        if *e != epoch {
+            return;
+        }
+        *remaining -= 1;
+        if *remaining > 0 {
+            return;
+        }
+        self.epoch_pending = None;
+        self.served_epochs = epoch;
+        if let Err(e) = write_epoch_manifest(&self.run_dir, epoch) {
+            self.warnings.push(format!("epoch manifest: {e}"));
+        }
+        if let Some(w) = self
+            .barrier_waiting
+            .get_mut(&Self::barrier_slot(BarrierKind::Server))
+        {
+            w.clear();
+        }
+        self.broadcast_workers(|| SipMsg::BarrierRelease {
+            kind: BarrierKind::Server,
+        });
     }
 
     fn handle_reduce(&mut self, src: Rank, value: f64) {
         self.reduce_sum += value;
         self.reduce_waiting.push(src);
-        if self.reduce_waiting.len() == self.workers() {
+        if self.reduce_waiting.len() == self.alive_count() {
             let total = self.reduce_sum;
             self.reduce_waiting.clear();
             self.reduce_sum = 0.0;
@@ -230,28 +396,51 @@ impl Master {
         if restore {
             let ready = self.ckpt_restore_ready.entry(label).or_insert(0);
             *ready += 1;
-            if *ready == self.workers() {
+            if *ready == self.alive_count() {
                 self.ckpt_restore_ready.remove(&label);
                 let blocks = read_checkpoint(&self.ckpt_path(label))?;
+                let dead: Vec<bool> = self.alive.iter().map(|a| !a).collect();
+                let track = self.fault.is_some() && self.flight.is_none();
+                let mut pending: HashMap<BlockKey, (Rank, Block)> = HashMap::new();
                 for (key, data) in blocks {
-                    let home = self.layout.topology.home_of_distributed(&key);
+                    let home = self
+                        .layout
+                        .topology
+                        .home_of_distributed_excluding(&key, &dead);
                     let _ = self.endpoint.send(
                         home,
                         SipMsg::PutBlock {
                             key,
-                            data,
+                            data: data.clone(),
                             mode: PutMode::Replace,
+                            op: OpId::NONE,
                         },
                     );
+                    if track {
+                        pending.insert(key, (home, data));
+                    }
                 }
-                // FIFO per pair: each worker sees its restored blocks before
-                // the release.
-                self.broadcast_workers(|| SipMsg::CkptRelease { label });
+                if track && !pending.is_empty() {
+                    // Restore puts ride the faultable data plane: hold the
+                    // release until every one is acknowledged (retrying).
+                    let f = self.fault.as_ref().unwrap();
+                    self.flight = Some(PutFlight {
+                        pending,
+                        sent_at: Instant::now(),
+                        timeout: f.retry_timeout,
+                        attempts: 0,
+                        then: AfterFlight::CkptRelease { label },
+                    });
+                } else {
+                    // FIFO per pair: each worker sees its restored blocks
+                    // before the release.
+                    self.broadcast_workers(|| SipMsg::CkptRelease { label });
+                }
             }
         } else {
             let save = self.ckpt_saves.entry(label).or_default();
             save.done += 1;
-            if save.done == self.workers() {
+            if save.done == self.alive_count() {
                 let save = self.ckpt_saves.remove(&label).unwrap();
                 write_checkpoint(&self.ckpt_path(label), &save.blocks)?;
                 self.broadcast_workers(|| SipMsg::CkptRelease { label });
@@ -260,22 +449,295 @@ impl Master {
         Ok(())
     }
 
+    // ---- rank-failure recovery ----------------------------------------------
+
+    /// Per-loop bookkeeping: liveness checks, queued deaths, flight retries.
+    fn tick(&mut self) -> Result<(), RuntimeError> {
+        let Some(f) = &self.fault else {
+            return Ok(());
+        };
+        let (liveness, retry_timeout, backoff, max_retries) = (
+            f.liveness_timeout,
+            f.retry_timeout,
+            f.retry_backoff,
+            f.max_retries,
+        );
+        // The liveness monitor only arms when a crash is plausible: workers
+        // inside long serial kernels do not beat, and a drop-only plan must
+        // never false-positive a healthy rank.
+        if f.expects_crash() {
+            for w in 0..self.workers() {
+                if self.alive[w]
+                    && self.done[w].is_none()
+                    && self.last_seen[w].elapsed() > liveness
+                    && !self.pending_deaths.contains(&w)
+                {
+                    self.pending_deaths.push_back(w);
+                }
+            }
+        }
+        if self.flight.is_none() {
+            if let Some(w) = self.pending_deaths.pop_front() {
+                self.start_recovery(w, retry_timeout)?;
+            }
+        }
+        if let Some(fl) = &mut self.flight {
+            if fl.sent_at.elapsed() > fl.timeout {
+                fl.attempts += 1;
+                if fl.attempts > max_retries {
+                    let (_, (home, _)) = fl.pending.iter().next().expect("nonempty flight");
+                    return Err(RuntimeError::Comm {
+                        kind: CommKind::Timeout,
+                        rank: *home,
+                        key: None,
+                        context: "restore put unacknowledged after retries".into(),
+                    });
+                }
+                fl.sent_at = Instant::now();
+                fl.timeout = fl.timeout.mul_f64(backoff);
+                for (key, (home, data)) in &fl.pending {
+                    let _ = self.endpoint.send(
+                        *home,
+                        SipMsg::PutBlock {
+                            key: *key,
+                            data: data.clone(),
+                            mode: PutMode::Replace,
+                            op: OpId::NONE,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Declares worker `widx` dead: re-queues its unacknowledged chunks and
+    /// starts restoring its last epoch checkpoint to the surviving homes.
+    /// `RankDead` is broadcast only once the restore fully acks, so
+    /// survivors never replay journals onto pre-restore state.
+    fn start_recovery(&mut self, widx: usize, retry_timeout: Duration) -> Result<(), RuntimeError> {
+        let dead_rank = self.layout.topology.worker(widx);
+        self.alive[widx] = false;
+        self.recovery.ranks_died += 1;
+        self.warnings
+            .push(format!("worker {widx} declared dead; recovering"));
+        for (&(pc, ep), s) in &mut self.schedulers {
+            let mine: Vec<u64> = s
+                .outstanding
+                .iter()
+                .filter(|(_, (w, _))| *w == widx)
+                .map(|(&c, _)| c)
+                .collect();
+            for c in mine {
+                let (_, iters) = s.outstanding.remove(&c).unwrap();
+                self.takeover_queue.push_back((pc, ep, c, iters));
+                self.recovery.requeued_chunks += 1;
+            }
+        }
+        for w in self.barrier_waiting.values_mut() {
+            w.retain(|r| *r != dead_rank);
+        }
+        self.reduce_waiting.retain(|r| *r != dead_rank);
+        let path = ft::epoch_ckpt_path(&self.run_dir, widx);
+        let (blocks, ops) = match ft::read_epoch_checkpoint(&path) {
+            Ok((_, blocks, ops)) => (blocks, ops),
+            // No checkpoint: the worker died before its first sip barrier,
+            // so everything it homed belongs to unacked chunks or journals.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => (Vec::new(), Vec::new()),
+            Err(e) => {
+                return Err(RuntimeError::Checkpoint(format!(
+                    "epoch checkpoint {}: {e}",
+                    path.display()
+                )));
+            }
+        };
+        let dead: Vec<bool> = self.alive.iter().map(|a| !a).collect();
+        let mut pending: HashMap<BlockKey, (Rank, Block)> = HashMap::new();
+        for (key, data) in blocks {
+            let home = self
+                .layout
+                .topology
+                .home_of_distributed_excluding(&key, &dead);
+            let _ = self.endpoint.send(
+                home,
+                SipMsg::PutBlock {
+                    key,
+                    data: data.clone(),
+                    mode: PutMode::Replace,
+                    op: OpId::NONE,
+                },
+            );
+            pending.insert(key, (home, data));
+            self.recovery.restored_blocks += 1;
+        }
+        if pending.is_empty() {
+            self.finish_recovery(widx, ops);
+        } else {
+            self.flight = Some(PutFlight {
+                pending,
+                sent_at: Instant::now(),
+                timeout: retry_timeout,
+                attempts: 0,
+                then: AfterFlight::Recovery {
+                    dead_widx: widx,
+                    inherited_ops: ops,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    fn finish_recovery(&mut self, widx: usize, inherited_ops: Vec<u64>) {
+        let dead_rank = self.layout.topology.worker(widx);
+        for i in 0..self.workers() {
+            if self.alive[i] {
+                let _ = self.endpoint.send(
+                    self.layout.topology.worker(i),
+                    SipMsg::RankDead {
+                        rank: dead_rank,
+                        inherited_ops: inherited_ops.clone(),
+                    },
+                );
+            }
+        }
+        self.dispatch_takeovers();
+        self.try_release(BarrierKind::Sip);
+        self.try_release(BarrierKind::Server);
+    }
+
+    /// Hands queued takeover chunks to workers parked at the sip barrier
+    /// (round-robin). No-op until at least one survivor is parked.
+    fn dispatch_takeovers(&mut self) {
+        if self.takeover_queue.is_empty() {
+            return;
+        }
+        let waiting: Vec<Rank> = self
+            .barrier_waiting
+            .get(&Self::barrier_slot(BarrierKind::Sip))
+            .cloned()
+            .unwrap_or_default();
+        if waiting.is_empty() {
+            return;
+        }
+        while let Some((pardo_pc, epoch, chunk, iters)) = self.takeover_queue.pop_front() {
+            let target = waiting[self.takeover_rr % waiting.len()];
+            self.takeover_rr += 1;
+            let _ = self.endpoint.send(
+                target,
+                SipMsg::Takeover {
+                    pardo_pc,
+                    epoch,
+                    chunk,
+                    iters,
+                },
+            );
+            self.takeover_outstanding.insert((pardo_pc, epoch, chunk));
+            self.recovery.takeover_chunks += 1;
+        }
+    }
+
+    fn handle_put_ack(&mut self, key: BlockKey) {
+        let Some(fl) = &mut self.flight else {
+            return;
+        };
+        fl.pending.remove(&key);
+        if !fl.pending.is_empty() {
+            return;
+        }
+        let fl = self.flight.take().unwrap();
+        match fl.then {
+            AfterFlight::Recovery {
+                dead_widx,
+                inherited_ops,
+            } => self.finish_recovery(dead_widx, inherited_ops),
+            AfterFlight::CkptRelease { label } => {
+                self.broadcast_workers(|| SipMsg::CkptRelease { label });
+            }
+        }
+    }
+
+    /// Finalizes the run once every live worker reported done and no
+    /// recovery is in flight.
+    fn maybe_finish(&mut self) -> Option<MasterOutput> {
+        if self.done_count < self.alive_count()
+            || self.flight.is_some()
+            || !self.pending_deaths.is_empty()
+        {
+            return None;
+        }
+        if !self.takeover_queue.is_empty() || !self.takeover_outstanding.is_empty() {
+            self.warnings.push(format!(
+                "{} re-queued chunks never ran (no sip_barrier after the pardo?)",
+                self.takeover_queue.len() + self.takeover_outstanding.len()
+            ));
+        }
+        // Everyone finished: release the service loops.
+        self.broadcast_workers(|| SipMsg::Shutdown);
+        for j in 0..self.layout.topology.io_servers {
+            let _ = self
+                .endpoint
+                .send(self.layout.topology.io_server(j), SipMsg::Shutdown);
+        }
+        let mut scalars_out = Vec::with_capacity(self.workers());
+        let mut profiles = Vec::with_capacity(self.workers());
+        for slot in self.done.drain(..) {
+            // A dead worker contributes an empty scalar set and profile.
+            let (s, p) = slot.unwrap_or_default();
+            scalars_out.push(s);
+            profiles.push(p);
+        }
+        Some(MasterOutput {
+            scalars: scalars_out,
+            collected: std::mem::take(&mut self.collected),
+            profiles,
+            warnings: std::mem::take(&mut self.warnings),
+            recovery: self.recovery,
+        })
+    }
+
     /// Runs the master loop until all workers are done (or one failed).
     pub fn run(mut self) -> Result<MasterOutput, RuntimeError> {
+        let poll = if self.fault.is_some() {
+            Duration::from_millis(2)
+        } else {
+            Duration::from_millis(5)
+        };
         loop {
-            let Some(env) = self.endpoint.recv_timeout(Duration::from_millis(5)) else {
+            self.tick()?;
+            let Some(env) = self.endpoint.recv_timeout(poll) else {
                 if self.endpoint.shutdown_raised() {
-                    return Err(RuntimeError::PeerGone("shutdown during run".into()));
+                    return Err(RuntimeError::Comm {
+                        kind: CommKind::Poisoned,
+                        rank: self.endpoint.rank(),
+                        key: None,
+                        context: "shutdown during run".into(),
+                    });
                 }
                 continue;
             };
             let src = env.src;
+            if self.layout.topology.is_worker(src) {
+                self.last_seen[self.layout.topology.worker_index(src)] = Instant::now();
+            }
             match env.msg {
                 SipMsg::ChunkRequest { pardo_pc, epoch } => {
                     self.handle_chunk_request(src, pardo_pc, epoch)?;
                 }
+                SipMsg::ChunkDone {
+                    pardo_pc,
+                    epoch,
+                    chunk,
+                } => {
+                    if let Some(s) = self.schedulers.get_mut(&(pardo_pc, epoch)) {
+                        s.outstanding.remove(&chunk);
+                    }
+                    self.takeover_outstanding.remove(&(pardo_pc, epoch, chunk));
+                    self.try_release(BarrierKind::Sip);
+                }
                 SipMsg::BarrierEnter { kind } => self.handle_barrier(src, kind),
                 SipMsg::ReduceContrib { value } => self.handle_reduce(src, value),
+                SipMsg::Heartbeat => {} // last_seen already refreshed above
+                SipMsg::EpochAck { epoch } => self.handle_epoch_ack(epoch),
                 SipMsg::CkptBlock { label, key, data } => {
                     self.ckpt_saves
                         .entry(label)
@@ -286,7 +748,7 @@ impl Master {
                 SipMsg::CkptDone { label, restore } => {
                     self.handle_ckpt_done(label, restore)?;
                 }
-                SipMsg::PutAck { .. } => {} // from checkpoint restores
+                SipMsg::PutAck { key, .. } => self.handle_put_ack(key),
                 SipMsg::WorkerDone {
                     scalars,
                     blocks,
@@ -300,37 +762,18 @@ impl Master {
                     self.done[w] = Some((scalars, profile));
                     self.collected.extend(blocks);
                     self.warnings.extend(warnings);
-                    if self.done_count == self.workers() {
-                        // Everyone finished: release the service loops.
-                        self.broadcast_workers(|| SipMsg::Shutdown);
-                        for j in 0..self.layout.topology.io_servers {
-                            let _ = self
-                                .endpoint
-                                .send(self.layout.topology.io_server(j), SipMsg::Shutdown);
-                        }
-                        let mut scalars_out = Vec::with_capacity(self.workers());
-                        let mut profiles = Vec::with_capacity(self.workers());
-                        for slot in self.done.drain(..) {
-                            let (s, p) = slot.expect("all workers done");
-                            scalars_out.push(s);
-                            profiles.push(p);
-                        }
-                        return Ok(MasterOutput {
-                            scalars: scalars_out,
-                            collected: self.collected,
-                            profiles,
-                            warnings: self.warnings,
-                        });
+                    if let Some(out) = self.maybe_finish() {
+                        return Ok(out);
                     }
                 }
                 SipMsg::WorkerFailed { error } => {
-                    self.endpoint.raise_shutdown();
                     self.broadcast_workers(|| SipMsg::Shutdown);
                     for j in 0..self.layout.topology.io_servers {
                         let _ = self
                             .endpoint
                             .send(self.layout.topology.io_server(j), SipMsg::Shutdown);
                     }
+                    self.endpoint.raise_shutdown();
                     return Err(RuntimeError::Internal(format!(
                         "worker {src} failed: {error}"
                     )));
@@ -340,8 +783,34 @@ impl Master {
                         .push(format!("master ignored unexpected message: {other:?}"));
                 }
             }
+            if self.done_count > 0 {
+                if let Some(out) = self.maybe_finish() {
+                    return Ok(out);
+                }
+            }
         }
     }
+}
+
+// ---- served-epoch manifest ------------------------------------------------------
+
+/// Name of the master's served-epoch manifest inside the run directory.
+pub const EPOCH_MANIFEST: &str = "epochs.manifest";
+
+/// Records `epoch` completed served-array epochs (atomic tmp + rename).
+pub fn write_epoch_manifest(run_dir: &Path, epoch: u64) -> std::io::Result<()> {
+    let path = run_dir.join(EPOCH_MANIFEST);
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, format!("{epoch}\n"))?;
+    fs::rename(&tmp, path)
+}
+
+/// Reads the served-epoch manifest; 0 when absent (fresh run directory).
+pub fn read_epoch_manifest(run_dir: &Path) -> u64 {
+    fs::read_to_string(run_dir.join(EPOCH_MANIFEST))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 // ---- checkpoint files -----------------------------------------------------------
@@ -464,5 +933,17 @@ mod tests {
         fs::write(&path, b"NOTACKPT").unwrap();
         assert!(read_checkpoint(&path).is_err());
         let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn epoch_manifest_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("sia-manifest-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(read_epoch_manifest(&dir), 0, "absent manifest reads 0");
+        write_epoch_manifest(&dir, 3).unwrap();
+        assert_eq!(read_epoch_manifest(&dir), 3);
+        write_epoch_manifest(&dir, 4).unwrap();
+        assert_eq!(read_epoch_manifest(&dir), 4);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -3,7 +3,34 @@
 
 use sia_blocks::Block;
 use sia_bytecode::{ArrayId, PutMode};
-use sia_fabric::Message;
+use sia_fabric::{Message, Rank, ReqId};
+
+/// Identifies one side-effecting operation (a PUT or PREPARE) so receivers
+/// can suppress duplicates from retries, fabric-level duplication, or chunk
+/// re-execution after a rank failure.
+///
+/// Ids are *content-derived* (instruction pc, index environment, epoch), not
+/// allocated: a re-executed pardo iteration produces the same id on a
+/// different worker, which is exactly what makes re-queueing chunks after a
+/// crash idempotent. `OpId::NONE` marks untracked operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct OpId(pub u64);
+
+impl OpId {
+    /// The "untracked" sentinel.
+    pub const NONE: OpId = OpId(0);
+
+    /// True when the operation carries a real id.
+    pub fn is_tracked(&self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl std::fmt::Debug for OpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "op{:x}", self.0)
+    }
+}
 
 /// Identifies one block of one array by its segment numbers.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -68,7 +95,7 @@ pub enum BarrierKind {
 }
 
 /// One SIP protocol message.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum SipMsg {
     // ---- scheduling (worker <-> master) ------------------------------------
     /// Worker asks for a chunk of pardo iterations.
@@ -86,6 +113,8 @@ pub enum SipMsg {
         pardo_pc: u32,
         /// The encounter this chunk belongs to.
         epoch: u64,
+        /// Chunk id within this (pardo, epoch), acknowledged by `ChunkDone`.
+        chunk: u64,
         /// Each iteration's value per pardo index.
         iters: Vec<Vec<i64>>,
     },
@@ -96,12 +125,36 @@ pub enum SipMsg {
         /// The encounter that is exhausted.
         epoch: u64,
     },
+    /// Worker acknowledges completion of an assigned chunk (sent under fault
+    /// tolerance so the master can re-queue work lost with a dead rank).
+    ChunkDone {
+        /// Pc of the `PardoStart`.
+        pardo_pc: u32,
+        /// The encounter the chunk belonged to.
+        epoch: u64,
+        /// The chunk id from `ChunkAssign`/`Takeover`.
+        chunk: u64,
+    },
+    /// Master hands a re-queued chunk to a worker already parked at the
+    /// barrier after the pardo (recovery path).
+    Takeover {
+        /// Pc of the `PardoStart`.
+        pardo_pc: u32,
+        /// The encounter the chunk belonged to.
+        epoch: u64,
+        /// Chunk id, acknowledged by `ChunkDone`.
+        chunk: u64,
+        /// Each iteration's value per pardo index.
+        iters: Vec<Vec<i64>>,
+    },
 
     // ---- block traffic (worker <-> worker / io server) ----------------------
     /// Fetch a distributed block from its home.
     GetBlock {
         /// The block wanted.
         key: BlockKey,
+        /// Correlates the `BlockData` reply.
+        req: ReqId,
     },
     /// A block in flight (reply to `GetBlock`/`RequestBlock`).
     BlockData {
@@ -109,6 +162,8 @@ pub enum SipMsg {
         key: BlockKey,
         /// Its contents.
         data: Block,
+        /// The request this answers (`ReqId::NONE` for unsolicited pushes).
+        req: ReqId,
     },
     /// Store (or accumulate into) a distributed block at its home.
     PutBlock {
@@ -118,16 +173,22 @@ pub enum SipMsg {
         data: Block,
         /// Replace or accumulate.
         mode: PutMode,
+        /// Duplicate-suppression id (`OpId::NONE` when untracked).
+        op: OpId,
     },
     /// Home acknowledges a `PutBlock` (workers drain acks before barriers).
     PutAck {
         /// The block acknowledged.
         key: BlockKey,
+        /// The operation acknowledged.
+        op: OpId,
     },
     /// Fetch a served block from its I/O server.
     RequestBlock {
         /// The block wanted.
         key: BlockKey,
+        /// Correlates the `BlockData` reply.
+        req: ReqId,
     },
     /// Store (or accumulate into) a served block at its I/O server.
     PrepareBlock {
@@ -137,11 +198,15 @@ pub enum SipMsg {
         data: Block,
         /// Replace or accumulate.
         mode: PutMode,
+        /// Duplicate-suppression id (`OpId::NONE` when untracked).
+        op: OpId,
     },
     /// I/O server acknowledges a `PrepareBlock`.
     PrepareAck {
         /// The block acknowledged.
         key: BlockKey,
+        /// The operation acknowledged.
+        op: OpId,
     },
     /// Delete all blocks of an array (distributed at homes, served at I/O
     /// servers).
@@ -198,6 +263,31 @@ pub enum SipMsg {
         label: u32,
     },
 
+    // ---- fault tolerance ----------------------------------------------------
+    /// Worker liveness beacon (sent periodically under fault tolerance).
+    Heartbeat,
+    /// Master declares a worker dead; survivors re-route its keys and replay
+    /// their current-epoch puts that were homed there.
+    RankDead {
+        /// The dead worker's fabric rank.
+        rank: Rank,
+        /// Duplicate-suppression ids the dead rank had already applied (from
+        /// its epoch checkpoint), inherited by the re-homed blocks so journal
+        /// replay cannot double-apply accumulates.
+        inherited_ops: Vec<u64>,
+    },
+    /// Master asks I/O servers to flush and write a consistency manifest for
+    /// the served-array epoch ending at a server barrier.
+    EpochMark {
+        /// The completed-epoch count after this mark.
+        epoch: u64,
+    },
+    /// I/O server acknowledges an `EpochMark` (manifest durable).
+    EpochAck {
+        /// The epoch acknowledged.
+        epoch: u64,
+    },
+
     // ---- lifecycle ------------------------------------------------------------
     /// Worker finished the program (carries its final scalars and, when
     /// collection is on, its authoritative distributed blocks).
@@ -234,8 +324,30 @@ impl Message for SipMsg {
             SipMsg::WorkerDone {
                 scalars, blocks, ..
             } => 16 + scalars.len() * 8 + blocks.iter().map(|(_, b)| block_bytes(b)).sum::<usize>(),
+            SipMsg::RankDead { inherited_ops, .. } => 16 + inherited_ops.len() * 8,
             _ => 32,
         }
+    }
+
+    /// Only data-plane traffic is faultable: block fetches, puts, prepares,
+    /// and their acks. Control-plane messages (scheduling, barriers,
+    /// collectives, lifecycle) ride a reliable channel, mirroring clusters
+    /// whose management network is separate from the data interconnect.
+    fn faultable(&self) -> bool {
+        matches!(
+            self,
+            SipMsg::GetBlock { .. }
+                | SipMsg::BlockData { .. }
+                | SipMsg::PutBlock { .. }
+                | SipMsg::PutAck { .. }
+                | SipMsg::RequestBlock { .. }
+                | SipMsg::PrepareBlock { .. }
+                | SipMsg::PrepareAck { .. }
+        )
+    }
+
+    fn dup(&self) -> Option<Self> {
+        Some(self.clone())
     }
 }
 
@@ -288,10 +400,12 @@ mod tests {
         let small = SipMsg::BlockData {
             key: BlockKey::new(ArrayId(0), &[1]),
             data: Block::zeros(Shape::new(&[2])),
+            req: ReqId::NONE,
         };
         let big = SipMsg::BlockData {
             key: BlockKey::new(ArrayId(0), &[1]),
             data: Block::zeros(Shape::new(&[100])),
+            req: ReqId::NONE,
         };
         assert!(big.approx_bytes() > small.approx_bytes());
     }

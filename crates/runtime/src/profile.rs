@@ -13,6 +13,65 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
+/// Per-worker fault-tolerance counters (all zero on fault-free runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// PUT retries after an ack timeout.
+    pub put_retries: u64,
+    /// PREPARE retries after an ack timeout.
+    pub prepare_retries: u64,
+    /// GET/REQUEST re-issues after a reply timeout.
+    pub fetch_retries: u64,
+    /// Duplicate PUTs suppressed on the receiving side.
+    pub dup_puts_suppressed: u64,
+    /// Journaled puts replayed to a new home after a rank death.
+    pub journal_replays: u64,
+    /// Operations re-routed because their home died.
+    pub reroutes: u64,
+}
+
+impl FaultStats {
+    /// Total retried operations (the `--profile` headline number).
+    pub fn retries(&self) -> u64 {
+        self.put_retries + self.prepare_retries + self.fetch_retries
+    }
+
+    /// Accumulates another worker's counters.
+    pub fn absorb(&mut self, o: &FaultStats) {
+        self.put_retries += o.put_retries;
+        self.prepare_retries += o.prepare_retries;
+        self.fetch_retries += o.fetch_retries;
+        self.dup_puts_suppressed += o.dup_puts_suppressed;
+        self.journal_replays += o.journal_replays;
+        self.reroutes += o.reroutes;
+    }
+
+    /// True when anything fault-related happened.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+}
+
+/// Master-side recovery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Workers declared dead by the liveness monitor.
+    pub ranks_died: u64,
+    /// Pardo chunks re-queued from dead workers to survivors.
+    pub requeued_chunks: u64,
+    /// Blocks restored from a dead worker's epoch checkpoint.
+    pub restored_blocks: u64,
+    /// Re-queued chunks dispatched to workers parked at a barrier.
+    pub takeover_chunks: u64,
+}
+
+impl RecoveryStats {
+    /// True when any recovery action ran.
+    pub fn any(&self) -> bool {
+        *self != RecoveryStats::default()
+    }
+}
+
 /// One worker's raw counters (shipped to the master in `WorkerDone`).
 #[derive(Debug, Clone, Default)]
 pub struct WorkerProfile {
@@ -28,6 +87,8 @@ pub struct WorkerProfile {
     pub contraction: sia_blocks::ContractStats,
     /// Pardo iterations executed.
     pub iterations: u64,
+    /// Fault-tolerance counters (retries, duplicate suppression).
+    pub fault: FaultStats,
 }
 
 impl WorkerProfile {
@@ -73,6 +134,13 @@ pub struct ProfileReport {
     pub contraction: sia_blocks::ContractStats,
     /// Total pardo iterations executed.
     pub iterations: u64,
+    /// Summed fault-tolerance counters.
+    pub fault: FaultStats,
+    /// Master-side recovery counters (filled in by the runtime after the
+    /// merge; zero on fault-free runs).
+    pub recovery: RecoveryStats,
+    /// Fabric-level injection counters (filled in by the runtime).
+    pub fabric_faults: sia_fabric::FaultSnapshot,
 }
 
 impl ProfileReport {
@@ -82,6 +150,7 @@ impl ProfileReport {
         let mut cache = crate::cache::CacheStats::default();
         let mut contraction = sia_blocks::ContractStats::default();
         let mut iterations = 0;
+        let mut fault = FaultStats::default();
         for p in profiles {
             for (&pc, &(c, b, w)) in &p.per_pc {
                 let e = per_pc.entry(pc).or_insert((0, 0, 0));
@@ -94,8 +163,10 @@ impl ProfileReport {
             cache.in_flight_hits += p.cache.in_flight_hits;
             cache.evictions += p.cache.evictions;
             cache.refetches += p.cache.refetches;
+            cache.reissues += p.cache.reissues;
             contraction.merge(&p.contraction);
             iterations += p.iterations;
+            fault.absorb(&p.fault);
         }
         let mut lines: Vec<ProfileLine> = per_pc
             .into_iter()
@@ -129,6 +200,9 @@ impl ProfileReport {
             cache,
             contraction,
             iterations,
+            fault,
+            recovery: RecoveryStats::default(),
+            fabric_faults: sia_fabric::FaultSnapshot::default(),
         }
     }
 
@@ -186,6 +260,44 @@ impl fmt::Display for ProfileReport {
             self.contraction.scratch_pool_hits,
             self.contraction.scratch_pool_misses
         )?;
+        if self.fabric_faults != sia_fabric::FaultSnapshot::default() {
+            writeln!(
+                f,
+                "fabric faults: {} dropped, {} duplicated, {} delayed{}",
+                self.fabric_faults.dropped,
+                self.fabric_faults.duplicated,
+                self.fabric_faults.delayed,
+                if self.fabric_faults.crashed {
+                    ", rank crash"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        if self.fault.any() {
+            writeln!(
+                f,
+                "retries: {} put, {} prepare, {} fetch; {} duplicate puts suppressed, \
+                 {} journal replays, {} re-routes",
+                self.fault.put_retries,
+                self.fault.prepare_retries,
+                self.fault.fetch_retries,
+                self.fault.dup_puts_suppressed,
+                self.fault.journal_replays,
+                self.fault.reroutes
+            )?;
+        }
+        if self.recovery.any() {
+            writeln!(
+                f,
+                "recovery: {} ranks died, {} chunks re-queued, {} blocks restored, \
+                 {} takeover chunks",
+                self.recovery.ranks_died,
+                self.recovery.requeued_chunks,
+                self.recovery.restored_blocks,
+                self.recovery.takeover_chunks
+            )?;
+        }
         writeln!(
             f,
             "{:>5} {:>10} {:>12} {:>12}  instruction",

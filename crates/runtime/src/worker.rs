@@ -7,18 +7,29 @@
 //! message pump; the instruction dispatch lives in [`crate::interp`].
 
 use crate::cache::{BlockCache, CacheEntry};
-use crate::error::RuntimeError;
+use crate::error::{CommKind, RuntimeError};
+use crate::ft::{self, FetchState, FtState, JournalEntry, PendingOp, TakeoverChunk};
 use crate::layout::{Layout, SipConfig};
-use crate::msg::{BarrierKind, BlockKey, SipMsg};
+use crate::msg::{BarrierKind, BlockKey, OpId, SipMsg};
 use crate::profile::WorkerProfile;
 use crate::registry::SuperRegistry;
 use sia_blocks::Block;
 use sia_blocks::{BlockPool, ContractCtx, GemmConfig, PoolConfig};
 use sia_bytecode::{ArrayId, ArrayKind, IndexId, PutMode};
-use sia_fabric::{Endpoint, Rank};
+use sia_fabric::{Endpoint, Rank, ReqId};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How a block access treats a non-resident block: issue the fetch and
+/// return immediately (`get`/`request`/prefetch), or block until the data
+/// is resident (operand reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Fetch {
+    NoWait,
+    Wait,
+}
 
 /// An active sequential loop.
 #[derive(Debug, Clone)]
@@ -92,6 +103,20 @@ pub struct Worker {
     pub(crate) ckpt_released: HashSet<u32>,
     pub(crate) shutdown_seen: bool,
 
+    // ---- fault tolerance ----
+    /// Fault-tolerance state (`None` on fault-free runs — every hot path
+    /// then keeps its original counter-based ack tracking).
+    pub(crate) ft: Option<Box<FtState>>,
+    /// Resolved run directory for epoch checkpoints (set by the runtime on
+    /// fault-tolerant runs).
+    pub(crate) run_dir: Option<PathBuf>,
+    /// Total pardo iterations executed (drives the deterministic crash
+    /// schedule).
+    pub(crate) pardo_iters_done: u64,
+    /// Per-iteration op-id sequence (reset when an iteration binds, so a
+    /// re-executed iteration reproduces its op ids).
+    pub(crate) op_seq: u64,
+
     // ---- conflict detection ----
     /// Barrier epoch for distributed arrays.
     pub(crate) dist_epoch: u64,
@@ -120,6 +145,11 @@ impl Worker {
         let pool = BlockPool::new(PoolConfig {
             max_bytes: config.pool_bytes,
         });
+        let ft = config
+            .fault
+            .as_ref()
+            .map(|f| Box::new(FtState::new(f.clone(), config.workers)));
+        let run_dir = config.run_dir.clone();
         Worker {
             cache: BlockCache::new(config.cache_blocks),
             contract_ctx: ContractCtx::with_pool(pool.clone())
@@ -147,6 +177,10 @@ impl Worker {
             reduce_result: None,
             ckpt_released: HashSet::new(),
             shutdown_seen: false,
+            ft,
+            run_dir,
+            pardo_iters_done: 0,
+            op_seq: 0,
             dist_epoch: 0,
             replace_epoch: HashMap::new(),
             serve_epoch: HashMap::new(),
@@ -174,10 +208,12 @@ impl Worker {
     /// worker's program finished, until the master broadcasts shutdown.
     pub(crate) fn service_until_shutdown(&mut self) {
         loop {
-            if self.shutdown_seen || self.endpoint.shutdown_raised() {
+            if self.shutdown_seen || self.endpoint.shutdown_raised() || self.endpoint.is_crashed() {
                 return;
             }
-            if let Some(env) = self.endpoint.recv_timeout(Duration::from_millis(1)) {
+            self.maybe_heartbeat();
+            let _ = self.pump_retries();
+            if let Some(env) = self.endpoint.recv_timeout(self.config.service_poll) {
                 let src = env.src;
                 self.handle(src, env.msg);
             }
@@ -186,7 +222,7 @@ impl Worker {
 
     fn handle(&mut self, src: Rank, msg: SipMsg) {
         match msg {
-            SipMsg::GetBlock { key } => {
+            SipMsg::GetBlock { key, req } => {
                 // Serve from the authoritative store; unfilled blocks read as
                 // zero ("blocks are allocated … only when actually filled"),
                 // which is what makes symmetric-array declarations cheap.
@@ -203,32 +239,77 @@ impl Worker {
                     ));
                 }
                 self.serve_epoch.insert(key, self.dist_epoch);
-                let _ = self.endpoint.send(src, SipMsg::BlockData { key, data });
+                let _ = self
+                    .endpoint
+                    .send(src, SipMsg::BlockData { key, data, req });
             }
-            SipMsg::PutBlock { key, data, mode } => {
-                self.apply_put_local(key, data, mode);
-                let _ = self.endpoint.send(src, SipMsg::PutAck { key });
+            SipMsg::PutBlock {
+                key,
+                data,
+                mode,
+                op,
+            } => {
+                self.apply_put_deduped(key, data, mode, op);
+                let _ = self.endpoint.send(src, SipMsg::PutAck { key, op });
             }
-            SipMsg::PutAck { .. } => {
-                self.outstanding_puts = self.outstanding_puts.saturating_sub(1);
-            }
-            SipMsg::PrepareAck { .. } => {
-                self.outstanding_prepares = self.outstanding_prepares.saturating_sub(1);
-            }
-            SipMsg::BlockData { key, data } => {
+            SipMsg::PutAck { op, .. } => match self.ft.as_mut() {
+                Some(ft) if op.is_tracked() => {
+                    ft.pending.remove(&op.0);
+                }
+                _ => {
+                    self.outstanding_puts = self.outstanding_puts.saturating_sub(1);
+                }
+            },
+            SipMsg::PrepareAck { op, .. } => match self.ft.as_mut() {
+                Some(ft) if op.is_tracked() => {
+                    ft.pending.remove(&op.0);
+                }
+                _ => {
+                    self.outstanding_prepares = self.outstanding_prepares.saturating_sub(1);
+                }
+            },
+            SipMsg::BlockData { key, data, .. } => {
+                if let Some(ft) = self.ft.as_mut() {
+                    ft.fetches.remove(&key);
+                }
                 self.cache.fill(key, data);
             }
             SipMsg::ChunkAssign {
                 pardo_pc,
                 epoch,
+                chunk,
                 iters,
             } => {
                 if let Some(p) = &mut self.pardo {
                     if p.start_pc == pardo_pc && p.epoch == epoch {
+                        if let Some(ft) = self.ft.as_mut() {
+                            ft.chunk_acks.push_back((chunk, iters.len()));
+                        }
                         p.queue.extend(iters);
                         p.requested = false;
                     }
                 }
+            }
+            SipMsg::Takeover {
+                pardo_pc,
+                epoch,
+                chunk,
+                iters,
+            } => {
+                if let Some(ft) = self.ft.as_mut() {
+                    ft.takeovers.push_back(TakeoverChunk {
+                        pardo_pc,
+                        epoch,
+                        chunk,
+                        iters,
+                    });
+                }
+            }
+            SipMsg::RankDead {
+                rank,
+                inherited_ops,
+            } => {
+                self.on_rank_dead(rank, inherited_ops);
             }
             SipMsg::NoMoreChunks { pardo_pc, epoch } => {
                 if let Some(p) = &mut self.pardo {
@@ -254,14 +335,19 @@ impl Worker {
             SipMsg::Shutdown => {
                 self.shutdown_seen = true;
             }
+            // A stray heartbeat (e.g. duplicated routing in tests) is harmless.
+            SipMsg::Heartbeat => {}
             // Messages a worker never receives.
             SipMsg::ChunkRequest { .. }
+            | SipMsg::ChunkDone { .. }
             | SipMsg::RequestBlock { .. }
             | SipMsg::PrepareBlock { .. }
             | SipMsg::BarrierEnter { .. }
             | SipMsg::ReduceContrib { .. }
             | SipMsg::CkptBlock { .. }
             | SipMsg::CkptDone { .. }
+            | SipMsg::EpochMark { .. }
+            | SipMsg::EpochAck { .. }
             | SipMsg::WorkerDone { .. }
             | SipMsg::WorkerFailed { .. } => {
                 self.warnings
@@ -295,8 +381,9 @@ impl Worker {
         self.cache.invalidate(&key);
     }
 
-    /// Waits (servicing messages) until `done(self)` holds. Returns the time
-    /// spent waiting. Aborts with an error if shutdown is raised mid-wait.
+    /// Waits (servicing messages and pumping retries) until `done(self)`
+    /// holds. Returns the time spent waiting. Aborts with an error if
+    /// shutdown is raised mid-wait or the retry budget runs out.
     pub(crate) fn wait_until(
         &mut self,
         what: &str,
@@ -305,16 +392,29 @@ impl Worker {
         let t0 = Instant::now();
         loop {
             self.service_messages();
+            self.maybe_heartbeat();
+            self.pump_retries()?;
             if done(self) {
                 return Ok(t0.elapsed());
             }
             if self.shutdown_seen || self.endpoint.shutdown_raised() {
-                return Err(RuntimeError::PeerGone(format!(
-                    "run aborted while waiting for {what}"
-                )));
+                return Err(RuntimeError::Comm {
+                    kind: CommKind::Poisoned,
+                    rank: self.endpoint.rank(),
+                    key: None,
+                    context: format!("run aborted while waiting for {what}"),
+                });
+            }
+            if self.endpoint.is_crashed() {
+                return Err(RuntimeError::Comm {
+                    kind: CommKind::RankDead,
+                    rank: self.endpoint.rank(),
+                    key: None,
+                    context: format!("rank crashed while waiting for {what}"),
+                });
             }
             // Block briefly on the inbox rather than spinning.
-            if let Some(env) = self.endpoint.recv_timeout(Duration::from_micros(200)) {
+            if let Some(env) = self.endpoint.recv_timeout(self.config.wait_poll) {
                 let src = env.src;
                 self.handle(src, env.msg);
             }
@@ -352,13 +452,35 @@ impl Worker {
 
     // ---- block access ---------------------------------------------------------------
 
-    /// Issues the asynchronous fetch behind `get`/`request` (no-op when the
-    /// block is local or already cached/in flight). Returns whether a message
-    /// was actually sent.
-    pub(crate) fn issue_fetch(&mut self, key: BlockKey) -> Result<bool, RuntimeError> {
+    /// Home of a distributed block, skipping dead workers under fault
+    /// tolerance.
+    pub(crate) fn dist_home(&self, key: &BlockKey) -> Rank {
+        match &self.ft {
+            Some(ft) => self
+                .layout
+                .topology
+                .home_of_distributed_excluding(key, &ft.dead),
+            None => self.layout.topology.home_of_distributed(key),
+        }
+    }
+
+    /// The single entry point for distributed/served block access.
+    ///
+    /// [`Fetch::NoWait`] issues the asynchronous fetch behind
+    /// `get`/`request`/prefetch (a no-op when the block is homed here,
+    /// cached, or already in flight) and returns `None`. [`Fetch::Wait`]
+    /// returns the block, blocking on an in-flight fetch — or issuing a late
+    /// one — if necessary; the time blocked is added to `wait` for the
+    /// profiler.
+    pub(crate) fn access_key(
+        &mut self,
+        key: BlockKey,
+        fetch: Fetch,
+        wait: &mut Duration,
+    ) -> Result<Option<Block>, RuntimeError> {
         let kind = self.layout.array_kind(key.array);
         let home = match kind {
-            ArrayKind::Distributed => self.layout.topology.home_of_distributed(&key),
+            ArrayKind::Distributed => self.dist_home(&key),
             ArrayKind::Served => {
                 if self.layout.topology.io_servers == 0 {
                     return Err(RuntimeError::ServedIo(
@@ -369,24 +491,86 @@ impl Worker {
             }
             other => {
                 return Err(RuntimeError::BadProgram(format!(
-                    "get/request on {other:?} array"
+                    "block access on {other:?} array"
                 )));
             }
         };
         if home == self.endpoint.rank() {
-            return Ok(false); // read directly from dist_store at use time
+            // Authoritative store; nothing to fetch. Unfilled blocks read as
+            // zero ("blocks are allocated … only when actually filled").
+            return Ok(match fetch {
+                Fetch::NoWait => None,
+                Fetch::Wait => Some(match self.dist_store.get(&key) {
+                    Some(b) => b.clone(),
+                    None => Block::zeros(self.layout.declared_block_shape(key.array)),
+                }),
+            });
         }
-        if !self.cache.mark_in_flight(key) {
-            return Ok(false); // already cached or in flight
+        if fetch == Fetch::NoWait {
+            if self.cache.mark_in_flight(key) {
+                self.send_fetch(home, key, kind)?;
+            }
+            return Ok(None);
+        }
+        match self.cache.lookup(&key) {
+            Some(CacheEntry::Ready(b)) => return Ok(Some(b.clone())),
+            Some(CacheEntry::InFlight) => {}
+            None => {
+                // Late fetch — the contraction operator "ensures that the
+                // necessary blocks are available and waits … if necessary".
+                if self.cache.mark_in_flight(key) {
+                    self.send_fetch(home, key, kind)?;
+                }
+            }
+        }
+        let waited = self.wait_until(&format!("block {key:?}"), |w| {
+            matches!(w.cache.peek(&key), Some(CacheEntry::Ready(_)))
+        })?;
+        *wait += waited;
+        match self.cache.lookup(&key) {
+            Some(CacheEntry::Ready(b)) => Ok(Some(b.clone())),
+            _ => Err(RuntimeError::Internal("block vanished after wait".into())),
+        }
+    }
+
+    /// Sends the GET/REQUEST for a block just marked in flight, registering
+    /// it for retry under fault tolerance.
+    fn send_fetch(
+        &mut self,
+        home: Rank,
+        key: BlockKey,
+        kind: ArrayKind,
+    ) -> Result<(), RuntimeError> {
+        let req = if self.ft.is_some() {
+            self.endpoint.next_req_id()
+        } else {
+            ReqId::NONE
+        };
+        if let Some(ft) = self.ft.as_mut() {
+            let timeout = ft.cfg.retry_timeout;
+            ft.fetches.insert(
+                key,
+                FetchState {
+                    req,
+                    served: kind == ArrayKind::Served,
+                    sent_at: Instant::now(),
+                    timeout,
+                    attempts: 0,
+                },
+            );
         }
         let msg = match kind {
-            ArrayKind::Distributed => SipMsg::GetBlock { key },
-            _ => SipMsg::RequestBlock { key },
+            ArrayKind::Served => SipMsg::RequestBlock { key, req },
+            _ => SipMsg::GetBlock { key, req },
         };
-        self.endpoint
-            .send(home, msg)
-            .map_err(|e| RuntimeError::PeerGone(e.to_string()))?;
-        Ok(true)
+        if self.ft.is_some() {
+            // The fetch is registered for retry; a send failure means the
+            // home just died and the retry will re-route after RankDead.
+            let _ = self.endpoint.send(home, msg);
+        } else {
+            self.endpoint.send(home, msg)?;
+        }
+        Ok(())
     }
 
     /// Reads the block a ref denotes, waiting for in-flight fetches. Returns
@@ -423,7 +607,11 @@ impl Worker {
                     });
                 }
             },
-            ArrayKind::Distributed | ArrayKind::Served => self.read_remote(key, wait)?,
+            ArrayKind::Distributed | ArrayKind::Served => {
+                self.access_key(key, Fetch::Wait, wait)?.ok_or_else(|| {
+                    RuntimeError::Internal("wait-mode access returned no block".into())
+                })?
+            }
         };
         match slice {
             None => Ok(whole),
@@ -432,38 +620,6 @@ impl Worker {
                 sia_blocks::extract_slice(&whole, &spec)
                     .map_err(|e| RuntimeError::Internal(format!("slice extraction failed: {e}")))
             }
-        }
-    }
-
-    /// Reads a distributed/served block: own store, then cache, then fetch
-    /// (a well-tuned program issued `get` earlier, so the fetch overlapped
-    /// computation; the wait here is what the profiler reports).
-    fn read_remote(&mut self, key: BlockKey, wait: &mut Duration) -> Result<Block, RuntimeError> {
-        let kind = self.layout.array_kind(key.array);
-        if kind == ArrayKind::Distributed
-            && self.layout.topology.home_of_distributed(&key) == self.endpoint.rank()
-        {
-            return Ok(match self.dist_store.get(&key) {
-                Some(b) => b.clone(),
-                None => Block::zeros(self.layout.declared_block_shape(key.array)),
-            });
-        }
-        match self.cache.lookup(&key) {
-            Some(CacheEntry::Ready(b)) => return Ok(b.clone()),
-            Some(CacheEntry::InFlight) => {}
-            None => {
-                // Late fetch — the contraction operator "ensures that the
-                // necessary blocks are available and waits … if necessary".
-                self.issue_fetch(key)?;
-            }
-        }
-        let waited = self.wait_until(&format!("block {key:?}"), |w| {
-            matches!(w.cache.peek(&key), Some(CacheEntry::Ready(_)))
-        })?;
-        *wait += waited;
-        match self.cache.lookup(&key) {
-            Some(CacheEntry::Ready(b)) => Ok(b.clone()),
-            _ => Err(RuntimeError::Internal("block vanished after wait".into())),
         }
     }
 
@@ -583,6 +739,490 @@ impl Worker {
             if decl.kind == kind {
                 self.cache.invalidate_array(ArrayId(i as u32));
             }
+        }
+    }
+
+    // ---- fault tolerance --------------------------------------------------------
+
+    /// Sends a PUT to `home`, tracking the op for retry/journal replay under
+    /// fault tolerance (or counting an outstanding ack on the fault-free
+    /// fast path).
+    pub(crate) fn send_put(
+        &mut self,
+        home: Rank,
+        key: BlockKey,
+        data: Block,
+        mode: PutMode,
+        op: OpId,
+    ) -> Result<(), RuntimeError> {
+        if let Some(ft) = self.ft.as_mut() {
+            let timeout = ft.cfg.retry_timeout;
+            if ft.cfg.expects_crash() {
+                ft.journal.push(JournalEntry {
+                    op: op.0,
+                    key,
+                    data: data.clone(),
+                    mode,
+                });
+            }
+            ft.pending.insert(
+                op.0,
+                PendingOp {
+                    key,
+                    data: data.clone(),
+                    mode,
+                    served: false,
+                    sent_at: Instant::now(),
+                    timeout,
+                    attempts: 0,
+                },
+            );
+            // Tracked for retry: a failed send to a dying home re-routes
+            // once the master broadcasts RankDead.
+            let _ = self.endpoint.send(
+                home,
+                SipMsg::PutBlock {
+                    key,
+                    data,
+                    mode,
+                    op,
+                },
+            );
+        } else {
+            self.outstanding_puts += 1;
+            self.endpoint.send(
+                home,
+                SipMsg::PutBlock {
+                    key,
+                    data,
+                    mode,
+                    op,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Sends a PREPARE to an I/O server, tracking the op for retry under
+    /// fault tolerance. I/O servers never die in the fault model, so
+    /// prepares are not journaled.
+    pub(crate) fn send_prepare(
+        &mut self,
+        home: Rank,
+        key: BlockKey,
+        data: Block,
+        mode: PutMode,
+        op: OpId,
+    ) -> Result<(), RuntimeError> {
+        if let Some(ft) = self.ft.as_mut() {
+            let timeout = ft.cfg.retry_timeout;
+            ft.pending.insert(
+                op.0,
+                PendingOp {
+                    key,
+                    data: data.clone(),
+                    mode,
+                    served: true,
+                    sent_at: Instant::now(),
+                    timeout,
+                    attempts: 0,
+                },
+            );
+            let _ = self.endpoint.send(
+                home,
+                SipMsg::PrepareBlock {
+                    key,
+                    data,
+                    mode,
+                    op,
+                },
+            );
+        } else {
+            self.outstanding_prepares += 1;
+            self.endpoint.send(
+                home,
+                SipMsg::PrepareBlock {
+                    key,
+                    data,
+                    mode,
+                    op,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// True when every PUT has been acknowledged.
+    pub(crate) fn puts_drained(&self) -> bool {
+        match &self.ft {
+            Some(ft) => !ft.pending.values().any(|p| !p.served),
+            None => self.outstanding_puts == 0,
+        }
+    }
+
+    /// True when every PREPARE has been acknowledged.
+    pub(crate) fn prepares_drained(&self) -> bool {
+        match &self.ft {
+            Some(ft) => !ft.pending.values().any(|p| p.served),
+            None => self.outstanding_prepares == 0,
+        }
+    }
+
+    /// Derives the duplicate-suppression id for a PUT/PREPARE at `pc` on
+    /// `key`, consuming one slot of the per-iteration op sequence. Untracked
+    /// (`OpId::NONE`) on fault-free runs. Inside pardos and takeover replays
+    /// the id is worker-independent (re-execution of the iteration
+    /// reproduces it anywhere); outside, the worker index is mixed in so
+    /// each rank's SPMD accumulate counts once.
+    pub(crate) fn derive_op(&mut self, pc: u32, key: &BlockKey) -> OpId {
+        let Some(ft) = &self.ft else {
+            return OpId::NONE;
+        };
+        let seq = self.op_seq;
+        self.op_seq += 1;
+        let spmd = if self.pardo.is_some() || ft.in_takeover {
+            None
+        } else {
+            Some(self.worker_index())
+        };
+        OpId(ft::derive_op_id(
+            pc,
+            self.dist_epoch,
+            key,
+            &self.env,
+            seq,
+            spmd,
+        ))
+    }
+
+    /// Applies a put (local or arriving over the wire) with duplicate
+    /// suppression: a tracked op already in the applied window is dropped.
+    /// This is what makes retries, fabric duplication, and chunk
+    /// re-execution idempotent.
+    pub(crate) fn apply_put_deduped(
+        &mut self,
+        key: BlockKey,
+        data: Block,
+        mode: PutMode,
+        op: OpId,
+    ) {
+        let epoch = self.dist_epoch;
+        let duplicate = op.is_tracked()
+            && !self
+                .ft
+                .as_mut()
+                .map(|ft| ft.note_applied(op.0, epoch))
+                .unwrap_or(true);
+        if duplicate {
+            self.profile.fault.dup_puts_suppressed += 1;
+        } else {
+            self.apply_put_local(key, data, mode);
+        }
+    }
+
+    /// Retries timed-out tracked operations (no-op on fault-free runs).
+    /// Errors when an operation exhausts its retry budget.
+    pub(crate) fn pump_retries(&mut self) -> Result<(), RuntimeError> {
+        let Some(ft) = self.ft.as_mut() else {
+            return Ok(());
+        };
+        if ft.pending.is_empty() && ft.fetches.is_empty() {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let max_retries = ft.cfg.max_retries;
+        let backoff = ft.cfg.retry_backoff;
+        let topology = &self.layout.topology;
+        let mut resend: Vec<(Rank, SipMsg)> = Vec::new();
+        let mut put_retries = 0u64;
+        let mut prepare_retries = 0u64;
+        for (&op, p) in ft.pending.iter_mut() {
+            if now.duration_since(p.sent_at) < p.timeout {
+                continue;
+            }
+            let home = if p.served {
+                topology.home_of_served(&p.key)
+            } else {
+                topology.home_of_distributed_excluding(&p.key, &ft.dead)
+            };
+            if p.attempts >= max_retries {
+                return Err(RuntimeError::Comm {
+                    kind: CommKind::Timeout,
+                    rank: home,
+                    key: Some(p.key),
+                    context: format!(
+                        "{} unacknowledged after {} attempts",
+                        if p.served { "PREPARE" } else { "PUT" },
+                        p.attempts + 1
+                    ),
+                });
+            }
+            p.attempts += 1;
+            p.sent_at = now;
+            p.timeout = p.timeout.mul_f64(backoff);
+            let msg = if p.served {
+                prepare_retries += 1;
+                SipMsg::PrepareBlock {
+                    key: p.key,
+                    data: p.data.clone(),
+                    mode: p.mode,
+                    op: OpId(op),
+                }
+            } else {
+                put_retries += 1;
+                SipMsg::PutBlock {
+                    key: p.key,
+                    data: p.data.clone(),
+                    mode: p.mode,
+                    op: OpId(op),
+                }
+            };
+            resend.push((home, msg));
+        }
+        let mut fetch_retries = 0u64;
+        let mut refreshed: Vec<BlockKey> = Vec::new();
+        for (key, f) in ft.fetches.iter_mut() {
+            if now.duration_since(f.sent_at) < f.timeout {
+                continue;
+            }
+            let home = if f.served {
+                topology.home_of_served(key)
+            } else {
+                topology.home_of_distributed_excluding(key, &ft.dead)
+            };
+            if f.attempts >= max_retries {
+                return Err(RuntimeError::Comm {
+                    kind: CommKind::Timeout,
+                    rank: home,
+                    key: Some(*key),
+                    context: format!(
+                        "{} reply lost after {} attempts",
+                        if f.served { "REQUEST" } else { "GET" },
+                        f.attempts + 1
+                    ),
+                });
+            }
+            f.attempts += 1;
+            f.sent_at = now;
+            f.timeout = f.timeout.mul_f64(backoff);
+            fetch_retries += 1;
+            refreshed.push(*key);
+            let msg = if f.served {
+                SipMsg::RequestBlock {
+                    key: *key,
+                    req: f.req,
+                }
+            } else {
+                SipMsg::GetBlock {
+                    key: *key,
+                    req: f.req,
+                }
+            };
+            resend.push((home, msg));
+        }
+        self.profile.fault.put_retries += put_retries;
+        self.profile.fault.prepare_retries += prepare_retries;
+        self.profile.fault.fetch_retries += fetch_retries;
+        for key in &refreshed {
+            self.cache.refresh_in_flight(key);
+        }
+        for (to, msg) in resend {
+            // A send error means the peer is gone; the liveness monitor will
+            // declare it dead and re-route, so keep retrying until then.
+            let _ = self.endpoint.send(to, msg);
+        }
+        Ok(())
+    }
+
+    /// Beacons a heartbeat to the master when one is due.
+    pub(crate) fn maybe_heartbeat(&mut self) {
+        let master = self.layout.topology.master();
+        let Some(ft) = self.ft.as_mut() else {
+            return;
+        };
+        if ft.crashed || ft.last_beat.elapsed() < ft.cfg.heartbeat_interval {
+            return;
+        }
+        ft.last_beat = Instant::now();
+        let _ = self.endpoint.send(master, SipMsg::Heartbeat);
+    }
+
+    /// Fires the deterministic crash schedule (and notices fabric-scheduled
+    /// crashes): once this worker has completed its configured number of
+    /// pardo iterations, it kills its endpoint and unwinds. Called at
+    /// iteration boundaries so a crashed rank's last epoch checkpoint is
+    /// always consistent.
+    pub(crate) fn maybe_crash(&mut self) -> Result<(), RuntimeError> {
+        let widx = self.worker_index();
+        let rank = self.endpoint.rank();
+        if self.endpoint.is_crashed() {
+            if let Some(ft) = self.ft.as_mut() {
+                ft.crashed = true;
+            }
+            return Err(RuntimeError::Comm {
+                kind: CommKind::RankDead,
+                rank,
+                key: None,
+                context: "rank crashed (fabric fault schedule)".into(),
+            });
+        }
+        let iters = self.pardo_iters_done;
+        let Some(ft) = self.ft.as_mut() else {
+            return Ok(());
+        };
+        let Some(crash) = ft.cfg.crash else {
+            return Ok(());
+        };
+        if ft.crashed || crash.worker != widx || iters < crash.after_iterations {
+            return Ok(());
+        }
+        ft.crashed = true;
+        self.endpoint.kill();
+        Err(RuntimeError::Comm {
+            kind: CommKind::RankDead,
+            rank,
+            key: None,
+            context: "injected crash (crash schedule)".into(),
+        })
+    }
+
+    /// Bookkeeping after one completed pardo iteration: drives the crash
+    /// schedule and, under fault tolerance, chunk acknowledgements.
+    pub(crate) fn note_pardo_iter_done(&mut self, pardo_pc: u32, epoch: u64) {
+        self.pardo_iters_done += 1;
+        let master = self.layout.topology.master();
+        let Some(ft) = self.ft.as_mut() else {
+            return;
+        };
+        if ft.in_takeover {
+            return; // the takeover runner acks the whole chunk itself
+        }
+        let Some(front) = ft.chunk_acks.front_mut() else {
+            return;
+        };
+        front.1 = front.1.saturating_sub(1);
+        if front.1 == 0 {
+            let chunk = front.0;
+            ft.chunk_acks.pop_front();
+            let _ = self.endpoint.send(
+                master,
+                SipMsg::ChunkDone {
+                    pardo_pc,
+                    epoch,
+                    chunk,
+                },
+            );
+        }
+    }
+
+    /// Runs the fault-tolerance epoch transition after a `sip_barrier`
+    /// release (the epoch counter has already advanced): checkpoint the
+    /// authoritative blocks when a crash is possible, clear the put journal,
+    /// and prune the applied-op window.
+    pub(crate) fn on_sip_barrier_released(&mut self) {
+        let widx = self.worker_index();
+        let epoch = self.dist_epoch;
+        let Some(ft) = self.ft.as_mut() else {
+            return;
+        };
+        if ft.cfg.expects_crash() {
+            if let Some(dir) = &self.run_dir {
+                let path = ft::epoch_ckpt_path(dir, widx);
+                if let Err(e) = ft::write_epoch_checkpoint(
+                    &path,
+                    epoch,
+                    self.dist_store.iter().map(|(k, b)| (*k, b.clone())),
+                    &ft.applied,
+                ) {
+                    self.warnings.push(format!("epoch checkpoint failed: {e}"));
+                }
+            }
+        }
+        ft.journal.clear();
+        ft.prune_applied(epoch);
+    }
+
+    /// Handles a `RankDead` broadcast: marks the worker dead, inherits the
+    /// corpse's applied-op window (so journal replay cannot double-apply
+    /// what its restored checkpoint already contains), replays current-epoch
+    /// puts that were homed there, and re-routes in-flight fetches.
+    fn on_rank_dead(&mut self, dead_rank: Rank, inherited_ops: Vec<u64>) {
+        if !self.layout.topology.is_worker(dead_rank) {
+            return;
+        }
+        let dead_idx = self.layout.topology.worker_index(dead_rank);
+        let epoch = self.dist_epoch;
+        let topology = self.layout.topology;
+        let Some(ft) = self.ft.as_mut() else {
+            return;
+        };
+        if ft.dead.get(dead_idx).copied().unwrap_or(true) {
+            return; // unknown index or already processed
+        }
+        let prev_dead = ft.dead.clone();
+        ft.dead[dead_idx] = true;
+        for op in inherited_ops {
+            ft.applied.entry(op).or_insert(epoch);
+        }
+        let retry_timeout = ft.cfg.retry_timeout;
+        let mut sends: Vec<(Rank, SipMsg)> = Vec::new();
+        // Replay this epoch's puts that were homed at the corpse. The
+        // master restored the corpse's last checkpoint to the new homes
+        // *before* broadcasting the death, so replay lands on (or dedups
+        // against) consistent state. The journal is a superset of the
+        // pending puts, so unacked dead-homed puts are re-armed here too.
+        let mut replays = 0u64;
+        for e in &ft.journal {
+            if topology.home_of_distributed_excluding(&e.key, &prev_dead) != dead_rank {
+                continue;
+            }
+            let new_home = topology.home_of_distributed_excluding(&e.key, &ft.dead);
+            replays += 1;
+            ft.pending.insert(
+                e.op,
+                PendingOp {
+                    key: e.key,
+                    data: e.data.clone(),
+                    mode: e.mode,
+                    served: false,
+                    sent_at: Instant::now(),
+                    timeout: retry_timeout,
+                    attempts: 0,
+                },
+            );
+            sends.push((
+                new_home,
+                SipMsg::PutBlock {
+                    key: e.key,
+                    data: e.data.clone(),
+                    mode: e.mode,
+                    op: OpId(e.op),
+                },
+            ));
+        }
+        // Re-route unanswered fetches that were addressed to the corpse.
+        let mut reroutes = 0u64;
+        for (key, f) in ft.fetches.iter_mut() {
+            if f.served || topology.home_of_distributed_excluding(key, &prev_dead) != dead_rank {
+                continue;
+            }
+            let new_home = topology.home_of_distributed_excluding(key, &ft.dead);
+            f.sent_at = Instant::now();
+            f.timeout = retry_timeout;
+            f.attempts = 0;
+            reroutes += 1;
+            sends.push((
+                new_home,
+                SipMsg::GetBlock {
+                    key: *key,
+                    req: f.req,
+                },
+            ));
+        }
+        self.profile.fault.journal_replays += replays;
+        self.profile.fault.reroutes += reroutes;
+        for (to, msg) in sends {
+            let _ = self.endpoint.send(to, msg);
         }
     }
 }

@@ -7,8 +7,9 @@ use sia_bytecode::{
     ArrayDecl, ArrayId, ArrayKind, ConstBindings, IndexDecl, IndexId, IndexKind, Program, PutMode,
     Value,
 };
+use sia_fabric::ReqId;
 use sia_runtime::ioserver::IoServer;
-use sia_runtime::{BlockKey, Layout, SegmentConfig, SipMsg, Topology};
+use sia_runtime::{BlockKey, Layout, OpId, SegmentConfig, SipMsg, Topology};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -75,6 +76,7 @@ fn full_protocol_over_fabric() {
                     key: BlockKey::new(ArrayId(0), &[i, i]),
                     data: blk(i as f64),
                     mode: PutMode::Replace,
+                    op: OpId::NONE,
                 },
             )
             .unwrap();
@@ -95,6 +97,7 @@ fn full_protocol_over_fabric() {
                 key: BlockKey::new(ArrayId(0), &[3, 3]),
                 data: blk(10.0),
                 mode: PutMode::Accumulate,
+                op: OpId::NONE,
             },
         )
         .unwrap();
@@ -110,11 +113,12 @@ fn full_protocol_over_fabric() {
                 io,
                 SipMsg::RequestBlock {
                     key: BlockKey::new(ArrayId(0), &[i, i]),
+                    req: ReqId::NONE,
                 },
             )
             .unwrap();
         match client.recv_timeout(Duration::from_secs(5)).unwrap().msg {
-            SipMsg::BlockData { key, data } => {
+            SipMsg::BlockData { key, data, .. } => {
                 assert_eq!(key, BlockKey::new(ArrayId(0), &[i, i]));
                 let want = if i == 3 { 13.0 } else { i as f64 };
                 assert!(
@@ -152,6 +156,7 @@ fn full_protocol_over_fabric() {
             sia_fabric::Rank(1),
             SipMsg::RequestBlock {
                 key: BlockKey::new(ArrayId(0), &[3, 3]),
+                req: ReqId::NONE,
             },
         )
         .unwrap();
@@ -186,6 +191,7 @@ fn delete_array_over_fabric() {
                 key: BlockKey::new(ArrayId(0), &[1, 1]),
                 data: Block::filled(Shape::new(&[4, 4]), 7.0),
                 mode: PutMode::Replace,
+                op: OpId::NONE,
             },
         )
         .unwrap();
@@ -199,6 +205,7 @@ fn delete_array_over_fabric() {
             io,
             SipMsg::RequestBlock {
                 key: BlockKey::new(ArrayId(0), &[1, 1]),
+                req: ReqId::NONE,
             },
         )
         .unwrap();

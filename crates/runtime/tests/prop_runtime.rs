@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use sia_bytecode::{BoolExpr, CmpOp, ConstBindings, IndexId, ScalarExpr};
 use sia_runtime::scheduler::{GuidedScheduler, IterationSpace};
-use sia_runtime::{SegmentConfig, Sip, SipConfig};
+use sia_runtime::{Sip, SipConfig};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -80,13 +80,13 @@ proptest! {
             "sial acc\naoindex i = 1, {n}\naoindex k = 1, 1\ndistributed X(k,k)\ntemp one(k,k)\npardo i, k\none(k,k) = {value}\nput X(k,k) += one(k,k)\nendpardo i, k\nsip_barrier\nendsial\n"
         );
         let program = sial_frontend::compile(&src).unwrap();
-        let config = SipConfig {
-            workers,
-            io_servers: 0,
-            segments: SegmentConfig { default: 2, ..Default::default() },
-            collect_distributed: true,
-            ..Default::default()
-        };
+        let config = SipConfig::builder()
+            .workers(workers)
+            .io_servers(0)
+            .segment_size(2)
+            .collect_distributed(true)
+            .build()
+            .unwrap();
         let out = Sip::new(config).run(program, &ConstBindings::new()).unwrap();
         let block = &out.collected["X"][&vec![1, 1]];
         let want = n as f64 * value;
@@ -104,13 +104,13 @@ proptest! {
             "sial mem\naoindex i = 1, {n}\ndistributed X(i,i)\ntemp t(i,i)\npardo i\nt(i,i) = 1.0\nput X(i,i) = t(i,i)\nendpardo i\nsip_barrier\nendsial\n"
         );
         let program = sial_frontend::compile(&src).unwrap();
-        let config = SipConfig {
-            workers,
-            io_servers: 0,
-            segments: SegmentConfig { default: 3, ..Default::default() },
-            collect_distributed: true,
-            ..Default::default()
-        };
+        let config = SipConfig::builder()
+            .workers(workers)
+            .io_servers(0)
+            .segment_size(3)
+            .collect_distributed(true)
+            .build()
+            .unwrap();
         let sip = Sip::new(config);
         let estimate = sip.dry_run(program.clone(), &ConstBindings::new()).unwrap();
         let out = sip.run(program, &ConstBindings::new()).unwrap();
@@ -137,12 +137,12 @@ proptest! {
             "sial cond\naoindex i = 1, {hi}\nscalar count\npardo i\nif 2.0 * i - 1.0 > {threshold}.0\ncount += 1.0\nendif\nendpardo i\nsip_barrier\nexecute sip_allreduce count\nendsial\n"
         );
         let program = sial_frontend::compile(&src).unwrap();
-        let config = SipConfig {
-            workers: 2,
-            io_servers: 0,
-            segments: SegmentConfig { default: 2, ..Default::default() },
-            ..Default::default()
-        };
+        let config = SipConfig::builder()
+            .workers(2)
+            .io_servers(0)
+            .segment_size(2)
+            .build()
+            .unwrap();
         let out = Sip::new(config).run(program, &ConstBindings::new()).unwrap();
         let want = (1..=hi).filter(|i| 2 * i - 1 > threshold).count() as f64;
         prop_assert!((out.scalars["count"] - want).abs() < 1e-12);

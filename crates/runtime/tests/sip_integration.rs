@@ -6,19 +6,19 @@ use sia_runtime::{RuntimeError, SegmentConfig, Sip, SipConfig, SuperRegistry};
 use std::collections::BTreeMap;
 
 fn config(workers: usize) -> SipConfig {
-    SipConfig {
-        workers,
-        io_servers: 1,
-        segments: SegmentConfig {
+    SipConfig::builder()
+        .workers(workers)
+        .io_servers(1)
+        .segments(SegmentConfig {
             default: 4,
             nsub: 2,
             ..Default::default()
-        },
-        cache_blocks: 64,
-        prefetch_depth: 2,
-        collect_distributed: true,
-        ..Default::default()
-    }
+        })
+        .cache_blocks(64)
+        .prefetch_depth(2)
+        .collect_distributed(true)
+        .build()
+        .unwrap()
 }
 
 fn bindings(pairs: &[(&str, i64)]) -> ConstBindings {

@@ -32,13 +32,13 @@ fn main() {
 
     let mut energies = Vec::new();
     for workers in [1usize, 2, 4] {
-        let config = SipConfig {
-            workers,
-            io_servers: 1,
-            cache_blocks: 128,
-            prefetch_depth: 2,
-            ..SipConfig::default()
-        };
+        let config = SipConfig::builder()
+            .workers(workers)
+            .io_servers(1)
+            .cache_blocks(128)
+            .prefetch_depth(2)
+            .build()
+            .expect("valid config");
         let out = workload.run_real(config).expect("CCSD run succeeds");
         let e = out.scalars["ecorr"];
         println!(
@@ -64,11 +64,13 @@ fn main() {
     // Figure 2's "16 iterations to converge".
     let converged = ccsd_converged(&molecule, seg, 25, 1.0e-8);
     let out = converged
-        .run_real(SipConfig {
-            workers: 2,
-            io_servers: 0,
-            ..SipConfig::default()
-        })
+        .run_real(
+            SipConfig::builder()
+                .workers(2)
+                .io_servers(0)
+                .build()
+                .expect("valid config"),
+        )
         .expect("converged CCSD runs");
     println!(
         "convergence loop: ecorr = {:.12} after {} sweeps (cap was 25)",

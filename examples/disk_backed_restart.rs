@@ -71,15 +71,15 @@ fn main() {
     let run_dir = std::env::temp_dir().join("sia-disk-backed-example");
     let _ = std::fs::remove_dir_all(&run_dir);
 
-    let mut config = sia::SipConfig {
-        workers: 2,
-        io_servers: 2,
-        server_cache_blocks: 3, // force spills to disk
-        collect_distributed: true,
-        run_dir: Some(run_dir.clone()),
-        ..Default::default()
-    };
-    config.segments.default = seg;
+    let config = sia::SipConfig::builder()
+        .workers(2)
+        .io_servers(2)
+        .server_cache_blocks(3) // force spills to disk
+        .collect_distributed(true)
+        .run_dir(run_dir.clone())
+        .segment_size(seg)
+        .build()
+        .expect("valid config");
 
     let out = Sia::builder()
         .config(config)

@@ -26,12 +26,12 @@ fn main() {
     for m in molecules::ALL {
         let workload = ccsd_iteration(m, seg, 1);
         let layout = workload.layout(256, 2).expect("layout");
-        let config = SipConfig {
-            workers: 256,
-            io_servers: 2,
-            cache_blocks: 64,
-            ..Default::default()
-        };
+        let config = SipConfig::builder()
+            .workers(256)
+            .io_servers(2)
+            .cache_blocks(64)
+            .build()
+            .expect("valid config");
         let est = dryrun::estimate(&layout, &config);
         let sufficient = dryrun::sufficient_workers(&layout, &config, 1 << 30)
             .map(|w| w.to_string())
@@ -49,13 +49,13 @@ fn main() {
     // actionable refusal instead of an OOM hours in.
     println!("\nfeasibility gate:");
     let workload = ccsd_iteration(&molecules::WATER_21, seg, 1);
-    let mut config = SipConfig {
-        workers: 8,
-        io_servers: 1,
-        memory_budget: Some(512 << 20),
-        ..Default::default()
-    };
-    config.segments.default = seg;
+    let config = SipConfig::builder()
+        .workers(8)
+        .io_servers(1)
+        .memory_budget(512 << 20)
+        .segment_size(seg)
+        .build()
+        .expect("valid config");
     match workload.run_real(config) {
         Err(RuntimeError::Infeasible {
             needed_per_worker,

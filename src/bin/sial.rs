@@ -15,7 +15,10 @@
 use sia::subsystems::chem::{integral_cost_model, register_integrals};
 use sia::subsystems::sim::machine;
 use sia::subsystems::sim::{simulate, SimConfig};
-use sia::{ConstBindings, SegmentConfig, Sip, SipConfig, SuperRegistry};
+use sia::{
+    ConstBindings, CrashSchedule, FaultConfig, FaultPlan, SegmentConfig, Sip, SipConfig,
+    SuperRegistry,
+};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -31,12 +34,48 @@ fn usage() -> ExitCode {
            --prefetch <n>     prefetch look-ahead depth (default 2)\n\
            --cache <n>        block-cache capacity (default 64)\n\
            --budget <bytes>   per-worker memory budget for the dry-run gate\n\
+           --run-dir <dir>    served-array / checkpoint directory (enables restart)\n\
            --bind k=v         bind a symbolic constant (repeatable)\n\
+           --fault-seed <n>   enable fault injection with this RNG seed\n\
+           --fault-plan <s>   fault spec: drop=0.05,dup=0.01,delay=0.02,crash=1@8\n\
+                              (crash=W@I kills worker W after I pardo iterations)\n\
            --machine <name>   simulate: sun|xt4|xt5|altix|bgp (default xt5)\n\
            --chem             register the synthetic chemistry kernels\n\
            --profile          print the per-instruction profile after a run"
     );
     ExitCode::from(2)
+}
+
+/// Parses a `--fault-plan` spec (`drop=0.05,dup=0.01,delay=0.02,crash=1@8`)
+/// into a fabric plan plus an optional runtime crash schedule.
+fn parse_fault_spec(spec: &str, seed: u64) -> Result<FaultConfig, String> {
+    let mut plan = FaultPlan::seeded(seed);
+    let mut crash = None;
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--fault-plan expects k=v parts, got `{part}`"))?;
+        match k {
+            "drop" => plan.drop = v.parse().map_err(|e| format!("fault drop: {e}"))?,
+            "dup" | "duplicate" => {
+                plan.duplicate = v.parse().map_err(|e| format!("fault dup: {e}"))?
+            }
+            "delay" => plan.delay = v.parse().map_err(|e| format!("fault delay: {e}"))?,
+            "crash" => {
+                let (w, i) = v
+                    .split_once('@')
+                    .ok_or_else(|| format!("crash expects W@I, got `{v}`"))?;
+                crash = Some(CrashSchedule {
+                    worker: w.parse().map_err(|e| format!("crash worker: {e}"))?,
+                    after_iterations: i.parse().map_err(|e| format!("crash iterations: {e}"))?,
+                });
+            }
+            other => return Err(format!("unknown fault-plan key `{other}`")),
+        }
+    }
+    let mut fault = FaultConfig::new(plan);
+    fault.crash = crash;
+    Ok(fault)
 }
 
 struct Opts {
@@ -50,18 +89,16 @@ struct Opts {
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut opts = Opts {
-        output: None,
-        config: SipConfig {
-            collect_distributed: false,
-            ..Default::default()
-        },
-        bindings: ConstBindings::new(),
-        chem: false,
-        profile: false,
-        seg: 8,
-        machine: "xt5",
-    };
+    let mut output = None;
+    let mut bindings = ConstBindings::new();
+    let mut chem = false;
+    let mut profile = false;
+    let mut seg = 8usize;
+    let mut nsub = 2usize;
+    let mut machine = "xt5";
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_spec: Option<String> = None;
+    let mut builder = SipConfig::builder().collect_distributed(false);
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut need = |name: &str| {
@@ -70,49 +107,65 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
-            "-o" => opts.output = Some(need("-o")?),
+            "-o" => output = Some(need("-o")?),
             "--workers" => {
-                opts.config.workers = need("--workers")?
-                    .parse()
-                    .map_err(|e| format!("--workers: {e}"))?
+                builder = builder.workers(
+                    need("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
             }
             "--io" => {
-                opts.config.io_servers = need("--io")?.parse().map_err(|e| format!("--io: {e}"))?
+                builder =
+                    builder.io_servers(need("--io")?.parse().map_err(|e| format!("--io: {e}"))?)
             }
-            "--seg" => opts.seg = need("--seg")?.parse().map_err(|e| format!("--seg: {e}"))?,
+            "--seg" => seg = need("--seg")?.parse().map_err(|e| format!("--seg: {e}"))?,
             "--nsub" => {
-                opts.config.segments.nsub = need("--nsub")?
+                nsub = need("--nsub")?
                     .parse()
                     .map_err(|e| format!("--nsub: {e}"))?
             }
             "--prefetch" => {
-                opts.config.prefetch_depth = need("--prefetch")?
-                    .parse()
-                    .map_err(|e| format!("--prefetch: {e}"))?
+                builder = builder.prefetch_depth(
+                    need("--prefetch")?
+                        .parse()
+                        .map_err(|e| format!("--prefetch: {e}"))?,
+                )
             }
             "--cache" => {
-                opts.config.cache_blocks = need("--cache")?
-                    .parse()
-                    .map_err(|e| format!("--cache: {e}"))?
+                builder = builder.cache_blocks(
+                    need("--cache")?
+                        .parse()
+                        .map_err(|e| format!("--cache: {e}"))?,
+                )
             }
             "--budget" => {
-                opts.config.memory_budget = Some(
+                builder = builder.memory_budget(
                     need("--budget")?
                         .parse()
                         .map_err(|e| format!("--budget: {e}"))?,
                 )
             }
+            "--run-dir" => builder = builder.run_dir(need("--run-dir")?),
             "--bind" => {
                 let kv = need("--bind")?;
                 let (k, v) = kv
                     .split_once('=')
                     .ok_or_else(|| format!("--bind expects k=v, got `{kv}`"))?;
                 let v: i64 = v.parse().map_err(|e| format!("--bind {k}: {e}"))?;
-                opts.bindings.insert(k.to_string(), v);
+                bindings.insert(k.to_string(), v);
             }
+            "--fault-seed" => {
+                fault_seed = Some(
+                    need("--fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("--fault-seed: {e}"))?,
+                )
+            }
+            "--fault-plan" => fault_spec = Some(need("--fault-plan")?),
             "--machine" => {
                 let name = need("--machine")?;
-                opts.machine = match name.as_str() {
+                machine = match name.as_str() {
                     "sun" => "sun",
                     "xt4" => "xt4",
                     "xt5" => "xt5",
@@ -121,17 +174,33 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     other => return Err(format!("unknown machine `{other}`")),
                 };
             }
-            "--chem" => opts.chem = true,
-            "--profile" => opts.profile = true,
+            "--chem" => chem = true,
+            "--profile" => profile = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
-    opts.config.segments = SegmentConfig {
-        default: opts.seg,
-        nsub: opts.config.segments.nsub,
+    builder = builder.segments(SegmentConfig {
+        default: seg,
+        nsub,
         ..Default::default()
-    };
-    Ok(opts)
+    });
+    if fault_spec.is_some() && fault_seed.is_none() {
+        return Err("--fault-plan needs --fault-seed for a reproducible run".into());
+    }
+    if let Some(seed) = fault_seed {
+        let spec = fault_spec.as_deref().unwrap_or("");
+        builder = builder.fault(parse_fault_spec(spec, seed)?);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+    Ok(Opts {
+        output,
+        config,
+        bindings,
+        chem,
+        profile,
+        seg,
+        machine,
+    })
 }
 
 fn load_program(path: &str) -> Result<sia::Program, String> {

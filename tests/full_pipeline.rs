@@ -22,12 +22,12 @@ fn tiny() -> Molecule {
 }
 
 fn config(workers: usize) -> SipConfig {
-    SipConfig {
-        workers,
-        io_servers: 1,
-        collect_distributed: true,
-        ..Default::default()
-    }
+    SipConfig::builder()
+        .workers(workers)
+        .io_servers(1)
+        .collect_distributed(true)
+        .build()
+        .unwrap()
 }
 
 #[test]
