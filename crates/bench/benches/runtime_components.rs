@@ -19,7 +19,7 @@ fn bench_block_cache(c: &mut Criterion) {
             for i in 0..1000i64 {
                 let key = BlockKey::new(ArrayId(0), &[i % 300, i / 300]);
                 if cache.lookup(&key).is_none() {
-                    cache.fill(key, Block::zeros(Shape::new(&[8])));
+                    cache.fill(key, Block::zeros(Shape::new(&[8])).into());
                 }
             }
             black_box(cache.stats())

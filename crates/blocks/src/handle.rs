@@ -1,0 +1,155 @@
+//! Shared, copy-on-write block handles.
+//!
+//! The SIP data plane moves the same block through many holders — the home
+//! store that owns it, the cache entry on a remote rank, the fault-tolerance
+//! journal, an epoch checkpoint, and the in-process fabric envelope carrying
+//! it between ranks. A [`BlockHandle`] lets all of those holders share one
+//! allocation: cloning a handle bumps a reference count instead of copying
+//! the payload, and mutation goes through [`BlockHandle::make_mut`], which
+//! copies only when the block is actually shared (copy-on-write).
+
+use crate::block::Block;
+use crate::shape::Shape;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A reference-counted, copy-on-write handle to a [`Block`].
+///
+/// `Clone` is O(1) (an `Arc` increment). Reads go through `Deref<Target =
+/// Block>`. Writes go through [`make_mut`](BlockHandle::make_mut), which
+/// deep-copies the payload only if another holder still shares it.
+#[derive(Clone, PartialEq)]
+pub struct BlockHandle(Arc<Block>);
+
+impl BlockHandle {
+    /// Wraps a block in a fresh (unshared) handle.
+    pub fn new(block: Block) -> Self {
+        BlockHandle(Arc::new(block))
+    }
+
+    /// A zero-filled block of the given shape, behind a fresh handle.
+    pub fn zeros(shape: Shape) -> Self {
+        Self::new(Block::zeros(shape))
+    }
+
+    /// Mutable access, copy-on-write: if the handle is unique this is free;
+    /// if it is shared, the payload is cloned first so no other holder
+    /// observes the mutation.
+    pub fn make_mut(&mut self) -> &mut Block {
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// Unwraps into an owned [`Block`]; deep-copies only if still shared.
+    pub fn into_block(self) -> Block {
+        match Arc::try_unwrap(self.0) {
+            Ok(b) => b,
+            Err(arc) => (*arc).clone(),
+        }
+    }
+
+    /// Do two handles share the same allocation?
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// Number of live holders of this allocation.
+    pub fn holders(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+
+    /// Is at least one other holder sharing this allocation?
+    pub fn is_shared(&self) -> bool {
+        Arc::strong_count(&self.0) > 1
+    }
+
+    /// Payload heap bytes (the `f64` data; the fixed header is negligible).
+    pub fn heap_bytes(&self) -> u64 {
+        self.0.len() as u64 * 8
+    }
+}
+
+impl Deref for BlockHandle {
+    type Target = Block;
+    fn deref(&self) -> &Block {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<Block> for BlockHandle {
+    fn borrow(&self) -> &Block {
+        &self.0
+    }
+}
+
+impl From<Block> for BlockHandle {
+    fn from(block: Block) -> Self {
+        BlockHandle::new(block)
+    }
+}
+
+impl std::fmt::Debug for BlockHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BlockHandle({:?}, holders={})", &*self.0, self.holders())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    fn block(v: f64) -> Block {
+        Block::filled(Shape::new(&[4]), v)
+    }
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = BlockHandle::new(block(1.0));
+        let b = a.clone();
+        assert!(BlockHandle::ptr_eq(&a, &b));
+        assert_eq!(a.holders(), 2);
+        assert!(a.is_shared());
+    }
+
+    #[test]
+    fn cow_mutation_never_aliases_another_holder() {
+        // The satellite CoW property: across a sweep of holder counts and
+        // mutation orders, a mutated handle never changes what any other
+        // holder reads, and the mutated handle no longer shares storage.
+        for holders in 1..5usize {
+            let mut a = BlockHandle::new(block(1.0));
+            let others: Vec<BlockHandle> = (0..holders).map(|_| a.clone()).collect();
+            a.make_mut().fill(9.0);
+            for o in &others {
+                assert_eq!(o.data()[0], 1.0, "holder observed a CoW mutation");
+                assert!(!BlockHandle::ptr_eq(&a, o));
+            }
+            assert_eq!(a.data()[0], 9.0);
+        }
+    }
+
+    #[test]
+    fn unique_mutation_is_in_place() {
+        let mut a = BlockHandle::new(block(1.0));
+        let before = a.data().as_ptr();
+        a.make_mut().fill(2.0);
+        assert_eq!(a.data().as_ptr(), before, "unique make_mut must not copy");
+    }
+
+    #[test]
+    fn into_block_unwraps() {
+        let a = BlockHandle::new(block(3.0));
+        let b = a.clone().into_block(); // shared: copies
+        assert_eq!(b.data()[0], 3.0);
+        let c = a.into_block(); // unique: moves
+        assert_eq!(c.data()[0], 3.0);
+    }
+
+    #[test]
+    fn deref_reads_and_bytes() {
+        let a = BlockHandle::zeros(Shape::new(&[2, 3]));
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.heap_bytes(), 48);
+        assert_eq!(a.sum(), 0.0);
+    }
+}

@@ -30,6 +30,7 @@
 pub mod block;
 pub mod contract;
 pub mod gemm;
+pub mod handle;
 pub mod permute;
 pub mod pool;
 pub mod shape;
@@ -41,6 +42,7 @@ pub use contract::{
     ContractStats, ContractionPlan, OperandFold,
 };
 pub use gemm::{dgemm, dgemm_with, GemmConfig, GemmLayout};
+pub use handle::BlockHandle;
 pub use permute::{
     apply_permutation, invert_permutation, is_identity_permutation, permute, permute_into,
 };

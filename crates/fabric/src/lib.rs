@@ -65,7 +65,11 @@ pub trait Message: Send + 'static {
 
     /// A copy for duplicate injection. Defaults to `None`, which downgrades
     /// a duplicate verdict to a single delivery; clonable protocols return
-    /// `Some(self.clone())`.
+    /// `Some(self.clone())`. Messages that carry block payloads behind an
+    /// `Arc` (the runtime's `BlockHandle`) make both delivery and
+    /// duplication zero-copy: the envelope moves the sender's allocation to
+    /// the receiver, and a duplicate is another share of it, never a deep
+    /// copy of the data plane.
     fn dup(&self) -> Option<Self>
     where
         Self: Sized,
@@ -524,6 +528,41 @@ mod tests {
         let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
         assert_eq!(env.src, Rank(0));
         assert_eq!(env.msg, Ping(7, vec![1, 2, 3]));
+    }
+
+    /// A message shaped like the runtime's block traffic: the data plane
+    /// lives behind an `Arc`, so clones share the allocation.
+    #[derive(Debug, Clone)]
+    struct BlockMsg(Arc<Vec<f64>>);
+
+    impl Message for BlockMsg {
+        fn approx_bytes(&self) -> usize {
+            self.0.len() * 8
+        }
+
+        fn dup(&self) -> Option<Self> {
+            Some(self.clone())
+        }
+    }
+
+    #[test]
+    fn in_process_delivery_shares_payload_allocation() {
+        // The envelope moves the sender's Arc to the receiver: same
+        // allocation on both sides, no data-plane copy. Duplicate injection
+        // is another O(1) share of it.
+        let retained = Arc::new(vec![1.5f64; 1024]);
+        let (mut eps, _stats) = build::<BlockMsg>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(Rank(1), BlockMsg(Arc::clone(&retained))).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(
+            Arc::ptr_eq(&env.msg.0, &retained),
+            "delivery must share the sender's allocation"
+        );
+        let dup = env.msg.dup().unwrap();
+        assert!(Arc::ptr_eq(&dup.0, &retained));
+        assert_eq!(Arc::strong_count(&retained), 3);
     }
 
     #[test]

@@ -7,20 +7,39 @@
 //! data has not arrived yet). In-flight entries are never evicted — evicting
 //! them would strand the arriving reply.
 //!
+//! Zero-copy delivery makes "is this block still in use?" subtle: an
+//! in-process fill *shares* the home rank's allocation, so the `Arc` holder
+//! count of a perfectly idle cached copy is already ≥ 2. Each ready entry
+//! therefore records the holder count observed when its data arrived (the
+//! delivery baseline: the cache itself, the home pin, FT journal shares).
+//! Only a holder acquired *afterwards* — the instruction currently reading
+//! the block through `lookup` — raises the live count above that baseline
+//! and pins the entry against eviction: prefetch pressure must not recycle
+//! a block the current instruction is reading, but the home rank keeping
+//! its own authoritative copy alive must not make the cache un-evictable.
+//!
+//! Capacity is accounted in **bytes**, not entry count, so arrays with
+//! different block shapes share the cache fairly and the dry-run's
+//! `cache_blocks × largest_remote_block` sizing is exact.
+//!
 //! The counters distinguish hits, misses, and *refetches* (a block that was
 //! evicted and had to be fetched again) — the metric behind the paper's
 //! BlueGene/P anecdote, where over-eager prefetching caused "eviction and
-//! refetching of blocks that would be reused".
+//! refetching of blocks that would be reused". Refetch detection uses a
+//! fixed-size hash filter (8 KiB, one bit per hash bucket) rather than a
+//! per-key map, so its memory no longer grows with the number of distinct
+//! keys ever fetched; hash collisions can at worst over-count refetches on
+//! huge key populations, and the counter is diagnostic only.
 
 use crate::msg::BlockKey;
-use sia_blocks::Block;
+use sia_blocks::BlockHandle;
 use std::collections::HashMap;
 
 /// State of one cached block.
 #[derive(Debug)]
 pub enum CacheEntry {
     /// The data has arrived.
-    Ready(Block),
+    Ready(BlockHandle),
     /// A fetch is outstanding.
     InFlight,
 }
@@ -42,24 +61,63 @@ pub struct CacheStats {
     pub reissues: u64,
 }
 
-/// An LRU cache of blocks keyed by [`BlockKey`].
+/// Fixed-size one-bit-per-bucket filter remembering which keys have ever
+/// been fetched, for refetch detection with bounded memory.
+struct RefetchFilter {
+    bits: Box<[u64]>,
+}
+
+const REFETCH_FILTER_BITS: usize = 1 << 16;
+
+impl RefetchFilter {
+    fn new() -> Self {
+        RefetchFilter {
+            bits: vec![0u64; REFETCH_FILTER_BITS / 64].into_boxed_slice(),
+        }
+    }
+
+    /// Sets the key's bucket; returns whether it was already set.
+    fn test_and_set(&mut self, key: &BlockKey) -> bool {
+        let h = key.placement_hash() as usize & (REFETCH_FILTER_BITS - 1);
+        let (word, bit) = (h / 64, h % 64);
+        let was = (self.bits[word] >> bit) & 1 == 1;
+        self.bits[word] |= 1 << bit;
+        was
+    }
+}
+
+/// One resident entry plus its LRU stamp and delivery baseline.
+struct Slot {
+    entry: CacheEntry,
+    /// LRU clock stamp of the last touch.
+    stamp: u64,
+    /// Holder count of the handle when the data arrived. Holders acquired
+    /// later (a consumer reading through `lookup`) push the live count above
+    /// this and protect the entry; the delivery shares themselves (home pin,
+    /// journal copy) do not.
+    base_holders: usize,
+}
+
+/// A byte-accounted LRU cache of block handles keyed by [`BlockKey`].
 pub struct BlockCache {
-    capacity: usize,
-    map: HashMap<BlockKey, (CacheEntry, u64)>,
+    capacity_bytes: u64,
+    map: HashMap<BlockKey, Slot>,
     clock: u64,
-    ever_fetched: HashMap<BlockKey, ()>,
+    ready_bytes: u64,
+    ever_fetched: RefetchFilter,
     stats: CacheStats,
 }
 
 impl BlockCache {
-    /// Creates a cache holding at most `capacity` blocks.
-    pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
+    /// Creates a cache holding at most `capacity_bytes` of ready block data.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "cache capacity must be positive");
         BlockCache {
-            capacity,
+            capacity_bytes,
             map: HashMap::new(),
             clock: 0,
-            ever_fetched: HashMap::new(),
+            ready_bytes: 0,
+            ever_fetched: RefetchFilter::new(),
             stats: CacheStats::default(),
         }
     }
@@ -73,13 +131,13 @@ impl BlockCache {
     pub fn lookup(&mut self, key: &BlockKey) -> Option<&CacheEntry> {
         let t = self.tick();
         match self.map.get_mut(key) {
-            Some((entry, stamp)) => {
-                *stamp = t;
-                match entry {
+            Some(slot) => {
+                slot.stamp = t;
+                match &slot.entry {
                     CacheEntry::Ready(_) => self.stats.hits += 1,
                     CacheEntry::InFlight => self.stats.in_flight_hits += 1,
                 }
-                Some(&self.map[key].0)
+                Some(&slot.entry)
             }
             None => {
                 self.stats.misses += 1;
@@ -90,22 +148,29 @@ impl BlockCache {
 
     /// Peeks without touching LRU order or counters.
     pub fn peek(&self, key: &BlockKey) -> Option<&CacheEntry> {
-        self.map.get(key).map(|(e, _)| e)
+        self.map.get(key).map(|s| &s.entry)
     }
 
     /// Marks a fetch as outstanding (no-op if the key is already present).
     /// Returns true if a new in-flight entry was created (i.e. the caller
-    /// should actually issue the fetch).
+    /// should actually issue the fetch). In-flight entries carry no data, so
+    /// no room is made until the reply arrives.
     pub fn mark_in_flight(&mut self, key: BlockKey) -> bool {
         if self.map.contains_key(&key) {
             return false;
         }
-        self.make_room();
-        if self.ever_fetched.insert(key, ()).is_some() {
+        if self.ever_fetched.test_and_set(&key) {
             self.stats.refetches += 1;
         }
         let t = self.tick();
-        self.map.insert(key, (CacheEntry::InFlight, t));
+        self.map.insert(
+            key,
+            Slot {
+                entry: CacheEntry::InFlight,
+                stamp: t,
+                base_holders: 0,
+            },
+        );
         true
     }
 
@@ -118,7 +183,11 @@ impl BlockCache {
     pub fn refresh_in_flight(&mut self, key: &BlockKey) -> bool {
         let t = self.tick();
         match self.map.get_mut(key) {
-            Some((CacheEntry::InFlight, stamp)) => {
+            Some(Slot {
+                entry: CacheEntry::InFlight,
+                stamp,
+                ..
+            }) => {
                 *stamp = t;
                 self.stats.reissues += 1;
                 true
@@ -128,50 +197,120 @@ impl BlockCache {
     }
 
     /// Stores arrived data, completing an in-flight entry (or inserting
-    /// fresh — e.g. a block pushed by a prefetching peer).
-    pub fn fill(&mut self, key: BlockKey, data: Block) {
+    /// fresh — e.g. a block pushed by a prefetching peer). The handle is
+    /// shared with the sender's allocation; no copy is made here.
+    pub fn fill(&mut self, key: BlockKey, data: BlockHandle) {
+        let incoming = data.heap_bytes();
+        // The delivery baseline: this local binding stands in for the slot
+        // that will hold the handle, so the count is exactly the shares that
+        // came with the data (home pin, journal copy), not a consumer's.
+        let base = data.holders();
         let t = self.tick();
         if let Some(slot) = self.map.get_mut(&key) {
-            *slot = (CacheEntry::Ready(data), t);
+            if let CacheEntry::Ready(old) = &slot.entry {
+                self.ready_bytes -= old.heap_bytes();
+            }
+            slot.entry = CacheEntry::Ready(data);
+            slot.stamp = t;
+            slot.base_holders = base;
+            self.ready_bytes += incoming;
+            self.make_room_keeping(Some(&key));
             return;
         }
-        self.make_room();
-        self.ever_fetched.insert(key, ());
-        self.map.insert(key, (CacheEntry::Ready(data), t));
+        self.ever_fetched.test_and_set(&key);
+        self.map.insert(
+            key,
+            Slot {
+                entry: CacheEntry::Ready(data),
+                stamp: t,
+                base_holders: base,
+            },
+        );
+        self.ready_bytes += incoming;
+        self.make_room_keeping(Some(&key));
     }
 
     /// Removes a specific entry (e.g. after a barrier invalidates cached
     /// copies of an array).
     pub fn invalidate(&mut self, key: &BlockKey) {
-        self.map.remove(key);
+        if let Some(Slot {
+            entry: CacheEntry::Ready(h),
+            ..
+        }) = self.map.remove(key)
+        {
+            self.ready_bytes -= h.heap_bytes();
+        }
     }
 
     /// Drops every *ready* entry belonging to `array` (in-flight entries stay:
     /// the reply will still arrive and refill them).
     pub fn invalidate_array(&mut self, array: sia_bytecode::ArrayId) {
-        self.map
-            .retain(|k, (e, _)| k.array != array || matches!(e, CacheEntry::InFlight));
+        let bytes = &mut self.ready_bytes;
+        self.map.retain(|k, slot| {
+            if k.array != array {
+                return true;
+            }
+            match &slot.entry {
+                CacheEntry::InFlight => true,
+                CacheEntry::Ready(h) => {
+                    *bytes -= h.heap_bytes();
+                    false
+                }
+            }
+        });
     }
 
-    /// Evicts the least-recently-used ready entry if at capacity.
-    fn make_room(&mut self) {
-        while self.map.len() >= self.capacity {
+    /// Evicts least-recently-used ready entries until at or under capacity,
+    /// sparing `keep` — the entry a fill just completed, which a get may be
+    /// waiting on and no consumer has had a chance to hold yet. In-flight
+    /// entries and entries a consumer acquired a hold on after delivery are
+    /// never evicted; if only those remain, the cache overshoots
+    /// temporarily rather than stranding a reply or a live reference.
+    fn make_room_keeping(&mut self, keep: Option<&BlockKey>) {
+        let _ = self.evict_until_keeping(self.capacity_bytes, keep);
+    }
+
+    /// Evicts consumer-free ready entries (LRU-first) until `target_bytes`
+    /// of ready data remain (or nothing evictable is left). An entry is
+    /// consumer-free when its handle has no holders beyond the delivery
+    /// baseline recorded at fill time. Returns the bytes freed. Exposed so
+    /// the block manager can apply budget pressure beyond ordinary capacity
+    /// replacement.
+    pub fn evict_until(&mut self, target_bytes: u64) -> u64 {
+        self.evict_until_keeping(target_bytes, None)
+    }
+
+    fn evict_until_keeping(&mut self, target_bytes: u64, keep: Option<&BlockKey>) -> u64 {
+        let mut freed = 0;
+        while self.ready_bytes > target_bytes {
             let victim = self
                 .map
                 .iter()
-                .filter(|(_, (e, _))| matches!(e, CacheEntry::Ready(_)))
-                .min_by_key(|(_, (_, stamp))| *stamp)
+                .filter(|(k, s)| {
+                    keep != Some(*k)
+                        && matches!(&s.entry, CacheEntry::Ready(h) if h.holders() <= s.base_holders)
+                })
+                .min_by_key(|(_, s)| s.stamp)
                 .map(|(k, _)| *k);
             match victim {
                 Some(k) => {
-                    self.map.remove(&k);
+                    if let Some(Slot {
+                        entry: CacheEntry::Ready(h),
+                        ..
+                    }) = self.map.remove(&k)
+                    {
+                        let b = h.heap_bytes();
+                        self.ready_bytes -= b;
+                        freed += b;
+                    }
                     self.stats.evictions += 1;
                 }
-                // Everything is in flight; allow temporary overshoot rather
-                // than deadlock.
+                // Everything left is in flight or held by a live consumer;
+                // allow temporary overshoot rather than deadlock.
                 None => break,
             }
         }
+        freed
     }
 
     /// Number of resident entries (ready + in flight).
@@ -184,6 +323,16 @@ impl BlockCache {
         self.map.is_empty()
     }
 
+    /// Bytes of ready block data currently resident.
+    pub fn ready_bytes(&self) -> u64 {
+        self.ready_bytes
+    }
+
+    /// The configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         self.stats
@@ -193,38 +342,42 @@ impl BlockCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sia_blocks::Shape;
+    use sia_blocks::{Block, Shape};
     use sia_bytecode::ArrayId;
 
     fn key(i: i64) -> BlockKey {
         BlockKey::new(ArrayId(0), &[i])
     }
 
-    fn blk(v: f64) -> Block {
-        Block::filled(Shape::new(&[2]), v)
+    /// A 2-element block: 16 bytes of payload.
+    fn blk(v: f64) -> BlockHandle {
+        BlockHandle::new(Block::filled(Shape::new(&[2]), v))
     }
+
+    const B: u64 = 16;
 
     #[test]
     fn fill_then_hit() {
-        let mut c = BlockCache::new(4);
+        let mut c = BlockCache::new(4 * B);
         c.fill(key(1), blk(1.0));
         match c.lookup(&key(1)) {
             Some(CacheEntry::Ready(b)) => assert_eq!(b.data()[0], 1.0),
             other => panic!("{other:?}"),
         }
         assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.ready_bytes(), B);
     }
 
     #[test]
     fn miss_counted() {
-        let mut c = BlockCache::new(4);
+        let mut c = BlockCache::new(4 * B);
         assert!(c.lookup(&key(9)).is_none());
         assert_eq!(c.stats().misses, 1);
     }
 
     #[test]
     fn lru_eviction_order() {
-        let mut c = BlockCache::new(2);
+        let mut c = BlockCache::new(2 * B);
         c.fill(key(1), blk(1.0));
         c.fill(key(2), blk(2.0));
         // Touch 1 so 2 becomes LRU.
@@ -234,15 +387,79 @@ mod tests {
         assert!(c.peek(&key(1)).is_some());
         assert!(c.peek(&key(3)).is_some());
         assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.ready_bytes(), 2 * B);
+    }
+
+    #[test]
+    fn byte_accurate_eviction_mixed_sizes() {
+        // One large block displaces several small ones — entry-count LRU
+        // would keep them all and blow the byte budget.
+        let small = |v| BlockHandle::new(Block::filled(Shape::new(&[2]), v)); // 16 B
+        let large = BlockHandle::new(Block::filled(Shape::new(&[12]), 9.0)); // 96 B
+        let mut c = BlockCache::new(8 * B); // 128 B
+        for i in 0..4 {
+            c.fill(key(i), small(i as f64));
+        }
+        assert_eq!(c.ready_bytes(), 4 * B);
+        c.fill(key(100), large);
+        // 64 + 96 = 160 > 128: the two oldest small blocks must go.
+        assert_eq!(c.ready_bytes(), 2 * B + 96);
+        assert!(c.peek(&key(0)).is_none());
+        assert!(c.peek(&key(1)).is_none());
+        assert!(c.peek(&key(2)).is_some());
+        assert!(c.peek(&key(3)).is_some());
+        assert!(c.peek(&key(100)).is_some());
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn consumer_held_entries_pinned_against_eviction() {
+        // A handle the "current instruction" acquired *after* delivery is
+        // never evicted, even under pressure — the prefetch-vs-working-set
+        // guarantee.
+        let mut c = BlockCache::new(2 * B);
+        c.fill(key(1), blk(1.0));
+        let held = match c.lookup(&key(1)) {
+            Some(CacheEntry::Ready(h)) => h.clone(), // consumer takes a hold
+            other => panic!("{other:?}"),
+        };
+        c.fill(key(2), blk(2.0));
+        c.fill(key(3), blk(3.0)); // pressure: must evict, but not key 1
+        assert!(c.peek(&key(1)).is_some(), "held entry survived");
+        assert!(c.peek(&key(2)).is_none(), "consumer-free LRU entry evicted");
+        drop(held);
+        c.fill(key(4), blk(4.0)); // key 1 back at its baseline → evictable
+        assert!(c.peek(&key(1)).is_none());
+        assert_eq!(c.ready_bytes(), 2 * B);
+    }
+
+    #[test]
+    fn delivery_shares_do_not_pin() {
+        // An in-process fill shares the home rank's allocation, so the
+        // handle is "shared" from the moment it arrives. Those delivery
+        // shares are the baseline, not a consumer hold: the entry must stay
+        // evictable or a zero-copy fabric would make the cache unbounded.
+        let home_pin = blk(1.0); // stands in for the home rank's copy
+        let mut c = BlockCache::new(2 * B);
+        c.fill(key(1), home_pin.clone());
+        c.fill(key(2), blk(2.0));
+        c.fill(key(3), blk(3.0)); // pressure: key 1 is LRU and evictable
+        assert!(c.peek(&key(1)).is_none(), "delivery share did not pin");
+        assert!(c.peek(&key(2)).is_some());
+        assert!(c.peek(&key(3)).is_some());
+        assert_eq!(c.ready_bytes(), 2 * B);
+        assert!(
+            home_pin.data().iter().all(|&v| v == 1.0),
+            "home copy intact"
+        );
     }
 
     #[test]
     fn in_flight_never_evicted() {
-        let mut c = BlockCache::new(2);
+        let mut c = BlockCache::new(2 * B);
         assert!(c.mark_in_flight(key(1)));
         assert!(c.mark_in_flight(key(2)));
-        // Cache full of in-flight entries; a third insert overshoots rather
-        // than evicting an in-flight entry.
+        // In-flight entries hold no bytes; a fill coexists with them.
         c.fill(key(3), blk(3.0));
         assert_eq!(c.len(), 3);
         assert!(c.peek(&key(1)).is_some());
@@ -251,7 +468,7 @@ mod tests {
 
     #[test]
     fn mark_in_flight_dedups() {
-        let mut c = BlockCache::new(4);
+        let mut c = BlockCache::new(4 * B);
         assert!(c.mark_in_flight(key(1)));
         assert!(!c.mark_in_flight(key(1)), "second mark is a no-op");
         c.fill(key(1), blk(1.0));
@@ -260,7 +477,7 @@ mod tests {
 
     #[test]
     fn refetch_counted() {
-        let mut c = BlockCache::new(1);
+        let mut c = BlockCache::new(B);
         c.fill(key(1), blk(1.0));
         c.fill(key(2), blk(2.0)); // evicts 1
         assert!(c.mark_in_flight(key(1)), "must fetch again");
@@ -269,17 +486,18 @@ mod tests {
 
     #[test]
     fn fill_completes_in_flight() {
-        let mut c = BlockCache::new(2);
+        let mut c = BlockCache::new(2 * B);
         c.mark_in_flight(key(1));
         assert!(matches!(c.peek(&key(1)), Some(CacheEntry::InFlight)));
         c.fill(key(1), blk(5.0));
         assert!(matches!(c.peek(&key(1)), Some(CacheEntry::Ready(_))));
         assert_eq!(c.len(), 1);
+        assert_eq!(c.ready_bytes(), B);
     }
 
     #[test]
     fn invalidate_array_spares_in_flight() {
-        let mut c = BlockCache::new(4);
+        let mut c = BlockCache::new(4 * B);
         c.fill(BlockKey::new(ArrayId(0), &[1]), blk(1.0));
         c.fill(BlockKey::new(ArrayId(1), &[1]), blk(2.0));
         c.mark_in_flight(BlockKey::new(ArrayId(0), &[2]));
@@ -287,11 +505,12 @@ mod tests {
         assert!(c.peek(&BlockKey::new(ArrayId(0), &[1])).is_none());
         assert!(c.peek(&BlockKey::new(ArrayId(0), &[2])).is_some());
         assert!(c.peek(&BlockKey::new(ArrayId(1), &[1])).is_some());
+        assert_eq!(c.ready_bytes(), B, "bytes credited on invalidation");
     }
 
     #[test]
     fn in_flight_tolerates_reissue() {
-        let mut c = BlockCache::new(4);
+        let mut c = BlockCache::new(4 * B);
         assert!(c.mark_in_flight(key(1)));
         // The reply was dropped; the retry layer re-arms the entry instead
         // of being refused by mark_in_flight.
@@ -305,6 +524,7 @@ mod tests {
         // … and a second, duplicated reply just refreshes it.
         c.fill(key(1), blk(7.0));
         assert_eq!(c.len(), 1);
+        assert_eq!(c.ready_bytes(), B, "duplicate fill does not double-count");
         // Ready and absent entries refuse the re-arm.
         assert!(!c.refresh_in_flight(&key(1)));
         assert!(!c.refresh_in_flight(&key(2)));
@@ -313,10 +533,24 @@ mod tests {
 
     #[test]
     fn in_flight_lookup_counted_separately() {
-        let mut c = BlockCache::new(2);
+        let mut c = BlockCache::new(2 * B);
         c.mark_in_flight(key(1));
         assert!(matches!(c.lookup(&key(1)), Some(CacheEntry::InFlight)));
         assert_eq!(c.stats().in_flight_hits, 1);
         assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn evict_until_frees_and_reports() {
+        let mut c = BlockCache::new(8 * B);
+        for i in 0..6 {
+            c.fill(key(i), blk(i as f64));
+        }
+        let freed = c.evict_until(2 * B);
+        assert_eq!(freed, 4 * B);
+        assert_eq!(c.ready_bytes(), 2 * B);
+        // Oldest went first.
+        assert!(c.peek(&key(0)).is_none());
+        assert!(c.peek(&key(5)).is_some());
     }
 }

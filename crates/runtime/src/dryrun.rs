@@ -44,7 +44,6 @@ fn per_worker(layout: &Layout, config: &SipConfig, workers: u64) -> MemoryEstima
     let mut breakdown = Vec::new();
     let mut total: u64 = 0;
     let mut largest: u64 = 0;
-    let mut largest_remote: u64 = 0;
 
     for (i, decl) in layout.program.arrays.iter().enumerate() {
         let id = sia_bytecode::ArrayId(i as u32);
@@ -53,15 +52,9 @@ fn per_worker(layout: &Layout, config: &SipConfig, workers: u64) -> MemoryEstima
         let blocks = layout.total_blocks(id);
         let bytes = match decl.kind {
             // Distributed blocks spread evenly under the static placement.
-            ArrayKind::Distributed => {
-                largest_remote = largest_remote.max(bb);
-                blocks.div_ceil(workers) * bb
-            }
+            ArrayKind::Distributed => blocks.div_ceil(workers) * bb,
             // Served blocks live on the servers; workers only cache them.
-            ArrayKind::Served => {
-                largest_remote = largest_remote.max(bb);
-                0
-            }
+            ArrayKind::Served => 0,
             // Static arrays are fully replicated.
             ArrayKind::Static => blocks * bb,
             // Local arrays: upper bound is the full block set (the paper's
@@ -77,7 +70,9 @@ fn per_worker(layout: &Layout, config: &SipConfig, workers: u64) -> MemoryEstima
         }
         total += bytes;
     }
-    let cache_bytes = config.cache_blocks as u64 * largest_remote;
+    // The same sizing the worker's BlockManager uses at runtime, so the
+    // prediction and the enforced ceiling are in the same units.
+    let cache_bytes = config.cache_blocks as u64 * layout.largest_remote_block_bytes();
     total += cache_bytes;
     MemoryEstimate {
         per_worker_bytes: total,

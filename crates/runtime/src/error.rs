@@ -60,6 +60,15 @@ pub enum RuntimeError {
         /// along with the number of processors that would be sufficient").
         sufficient_workers: usize,
     },
+    /// The enforced runtime memory budget was exceeded and eviction
+    /// pressure could not bring resident bytes back under it (everything
+    /// left is pinned or in use).
+    OverBudget {
+        /// Unevictable resident bytes at the point of failure.
+        resident_bytes: u64,
+        /// The configured budget.
+        budget: u64,
+    },
     /// Malformed bytecode reached the interpreter (compiler bug or corrupted
     /// program file).
     BadProgram(String),
@@ -112,10 +121,29 @@ impl fmt::Display for RuntimeError {
                 needed_per_worker,
                 budget,
                 sufficient_workers,
+            } => {
+                write!(
+                    f,
+                    "dry run: computation needs {needed_per_worker} bytes/worker \
+                     (budget {budget}); "
+                )?;
+                if *sufficient_workers == usize::MAX {
+                    write!(
+                        f,
+                        "no worker count would suffice (replicated arrays and the \
+                         cache alone exceed the budget)"
+                    )
+                } else {
+                    write!(f, "{sufficient_workers} workers would suffice")
+                }
+            }
+            RuntimeError::OverBudget {
+                resident_bytes,
+                budget,
             } => write!(
                 f,
-                "dry run: computation needs {needed_per_worker} bytes/worker \
-                 (budget {budget}); {sufficient_workers} workers would suffice"
+                "memory budget exceeded: {resident_bytes} resident bytes against a \
+                 {budget}-byte budget after eviction pressure"
             ),
             RuntimeError::BadProgram(m) => write!(f, "bad program: {m}"),
             RuntimeError::UnknownSuperInstruction(n) => {

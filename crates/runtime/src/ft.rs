@@ -18,8 +18,8 @@
 //!   replay their current-epoch put journals that were homed at the corpse.
 
 use crate::layout::FaultConfig;
-use crate::msg::BlockKey;
-use sia_blocks::{Block, Shape};
+use crate::msg::{BlockKey, OpId, SipMsg};
+use sia_blocks::{Block, BlockHandle, Shape};
 use sia_bytecode::{ArrayId, PutMode};
 use sia_fabric::ReqId;
 use std::collections::{HashMap, VecDeque};
@@ -28,11 +28,12 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// A tracked, unacknowledged PUT or PREPARE. The payload is retained so the
-/// operation can be retried (or re-routed to a new home) verbatim.
+/// operation can be retried (or re-routed to a new home) verbatim; the
+/// handle shares the wire message's allocation, so retention is free.
 #[derive(Debug, Clone)]
 pub(crate) struct PendingOp {
     pub key: BlockKey,
-    pub data: Block,
+    pub data: BlockHandle,
     pub mode: PutMode,
     /// True for PREPARE (served, homed at an I/O server), false for PUT.
     pub served: bool,
@@ -59,7 +60,7 @@ pub(crate) struct FetchState {
 pub(crate) struct JournalEntry {
     pub op: u64,
     pub key: BlockKey,
-    pub data: Block,
+    pub data: BlockHandle,
     pub mode: PutMode,
 }
 
@@ -132,6 +133,60 @@ impl FtState {
     pub(crate) fn prune_applied(&mut self, current_epoch: u64) {
         self.applied.retain(|_, e| *e + 2 > current_epoch);
     }
+
+    /// Arms (or re-arms) a tracked PUT/PREPARE flight and returns the wire
+    /// message to send. This is the single construction point for flights:
+    /// first sends, journal replays after a rank death, and the fault-free
+    /// path (via [`flight_msg`]) all build the same shape. The retained
+    /// pending payload and the wire payload share one allocation.
+    pub(crate) fn arm_flight(
+        &mut self,
+        op: OpId,
+        key: BlockKey,
+        data: BlockHandle,
+        mode: PutMode,
+        served: bool,
+    ) -> SipMsg {
+        self.pending.insert(
+            op.0,
+            PendingOp {
+                key,
+                data: data.clone(),
+                mode,
+                served,
+                sent_at: Instant::now(),
+                timeout: self.cfg.retry_timeout,
+                attempts: 0,
+            },
+        );
+        flight_msg(op, key, data, mode, served)
+    }
+}
+
+/// Builds the wire message for a PUT (distributed home) or PREPARE (served,
+/// I/O server) flight.
+pub(crate) fn flight_msg(
+    op: OpId,
+    key: BlockKey,
+    data: BlockHandle,
+    mode: PutMode,
+    served: bool,
+) -> SipMsg {
+    if served {
+        SipMsg::PrepareBlock {
+            key,
+            data,
+            mode,
+            op,
+        }
+    } else {
+        SipMsg::PutBlock {
+            key,
+            data,
+            mode,
+            op,
+        }
+    }
 }
 
 /// Derives a content-based op id: FNV-1a over the instruction pc, the
@@ -186,11 +241,12 @@ pub(crate) fn epoch_ckpt_path(run_dir: &Path, widx: usize) -> PathBuf {
 
 /// Writes a worker's epoch checkpoint: its authoritative distributed blocks
 /// plus the applied-op window, atomically (tmp + rename) so a reader only
-/// ever sees a complete epoch.
+/// ever sees a complete epoch. The snapshot handles share the authoritative
+/// store's allocations — no block is copied to be checkpointed.
 pub(crate) fn write_epoch_checkpoint(
     path: &Path,
     epoch: u64,
-    blocks: impl Iterator<Item = (BlockKey, Block)>,
+    blocks: &[(BlockKey, BlockHandle)],
     applied: &HashMap<u64, u64>,
 ) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
@@ -198,9 +254,8 @@ pub(crate) fn write_epoch_checkpoint(
         let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
         f.write_all(EPOCH_MAGIC)?;
         f.write_all(&epoch.to_le_bytes())?;
-        let blocks: Vec<(BlockKey, Block)> = blocks.collect();
         f.write_all(&(blocks.len() as u64).to_le_bytes())?;
-        for (key, block) in &blocks {
+        for (key, block) in blocks {
             f.write_all(&key.array.0.to_le_bytes())?;
             f.write_all(&[key.rank])?;
             for s in key.segs() {
@@ -331,7 +386,7 @@ mod tests {
         let mut applied = HashMap::new();
         applied.insert(77u64, 3u64);
         applied.insert(99u64, 3u64);
-        write_epoch_checkpoint(&path, 3, [(key, block.clone())].into_iter(), &applied).unwrap();
+        write_epoch_checkpoint(&path, 3, &[(key, block.clone().into())], &applied).unwrap();
         let (epoch, blocks, ops) = read_epoch_checkpoint(&path).unwrap();
         assert_eq!(epoch, 3);
         assert_eq!(blocks.len(), 1);

@@ -14,7 +14,7 @@ use crate::msg::{BarrierKind, BlockKey, SipMsg};
 use crate::registry::{SuperArg, SuperEnv};
 use crate::scheduler::{eval_bool, eval_scalar};
 use crate::worker::{Fetch, LoopFrame, PardoState, Worker};
-use sia_blocks::{contract_into_ctx, permute, Block, ContractionPlan};
+use sia_blocks::{contract_into_ctx, permute, Block, BlockHandle, ContractionPlan};
 use sia_bytecode::{
     Arg, ArrayId, ArrayKind, BlockRef, BoolExpr, IndexId, Instruction as I, ScalarExpr,
 };
@@ -44,6 +44,7 @@ impl Worker {
             self.service_messages();
             self.maybe_heartbeat();
             self.pump_retries()?;
+            self.mem.enforce_budget()?;
             let ins = program
                 .code
                 .get(pc as usize)
@@ -59,7 +60,8 @@ impl Worker {
             }
         }
         self.profile.total_nanos = t0.elapsed().as_nanos() as u64;
-        self.profile.cache = self.cache.stats();
+        self.profile.cache = self.mem.cache_stats();
+        self.profile.memory = self.mem.stats();
         self.profile
             .contraction
             .merge(&self.contract_ctx.take_stats());
@@ -327,11 +329,11 @@ impl Worker {
             I::Delete { array } => {
                 match self.layout.array_kind(*array) {
                     ArrayKind::Distributed => {
-                        self.dist_store.retain(|k, _| k.array != *array);
-                        self.cache.invalidate_array(*array);
+                        self.mem.home_remove_array(*array);
+                        self.mem.cache_invalidate_array(*array);
                     }
                     ArrayKind::Served => {
-                        self.cache.invalidate_array(*array);
+                        self.mem.cache_invalidate_array(*array);
                         // One worker notifies the I/O servers; the op is
                         // idempotent but there is no need for W copies.
                         if self.worker_index() == 0 {
@@ -344,10 +346,12 @@ impl Worker {
                         }
                     }
                     ArrayKind::Local | ArrayKind::Static => {
-                        self.local_store.retain(|k, _| k.array != *array);
+                        self.mem.local_remove_array(*array);
                     }
                     ArrayKind::Temp => {
-                        self.temps.remove(array);
+                        if let Some((_, old)) = self.temps.remove(array) {
+                            self.release_handle(old);
+                        }
                     }
                 }
                 Ok(Some(pc + 1))
@@ -397,7 +401,7 @@ impl Worker {
                 let home = self.layout.topology.home_of_served(&key);
                 self.send_prepare(home, key, data, *mode, op)?;
                 // The freshest copy is at the server now.
-                self.cache.invalidate(&key);
+                self.mem.cache_invalidate(&key);
                 Ok(Some(pc + 1))
             }
             I::BlocksToList { array, label } => {
@@ -407,12 +411,9 @@ impl Worker {
                     ));
                 }
                 let master = self.layout.topology.master();
-                let mine: Vec<(BlockKey, Block)> = self
-                    .dist_store
-                    .iter()
-                    .filter(|(k, _)| k.array == *array)
-                    .map(|(k, b)| (*k, b.clone()))
-                    .collect();
+                // Handles alias the home blocks: the checkpoint messages ride
+                // on the authoritative allocations instead of deep copies.
+                let mine = self.mem.home_array_shares(*array);
                 for (key, data) in mine {
                     self.endpoint.send(
                         master,
@@ -453,7 +454,7 @@ impl Worker {
                 *wait +=
                     self.wait_until("checkpoint restore", |w| w.ckpt_released.contains(&lbl))?;
                 self.ckpt_released.remove(&lbl);
-                self.cache.invalidate_array(*array);
+                self.mem.cache_invalidate_array(*array);
                 Ok(Some(pc + 1))
             }
 
@@ -469,6 +470,9 @@ impl Worker {
             I::BlockCopy { dest, src } => {
                 let data = self.read_block(src.array, &src.indices, wait)?;
                 let permuted = permute_to(dest, src, &data)?;
+                if BlockHandle::ptr_eq(&permuted, &data) {
+                    self.mem.note_share(&permuted);
+                }
                 self.write_block(dest.array, &dest.indices, permuted)?;
                 Ok(Some(pc + 1))
             }
@@ -799,23 +803,29 @@ impl Worker {
                             "sub-addressed execute argument is not supported".into(),
                         ));
                     }
+                    // Kernels take blocks by value: unwrap the handle, deep
+                    // copying only if another holder still shares it.
+                    let unwrap = |w: &mut Worker, h: BlockHandle| -> Block {
+                        if h.is_shared() {
+                            w.mem.note_deep_copy();
+                        }
+                        h.into_block()
+                    };
                     let block = match kind {
                         ArrayKind::Temp => match self.temps.remove(&r.array) {
-                            Some((k, b)) if k == key => b,
+                            Some((k, b)) if k == key => unwrap(self, b),
                             Some((_, old)) => {
                                 // Stale temp from another iteration: recycle
                                 // and hand the kernel a fresh zero block.
-                                self.pool.release(old);
+                                self.release_handle(old);
                                 self.alloc_for(r.array, self.layout.block_shape(&r.indices))?
                             }
                             None => self.alloc_for(r.array, self.layout.block_shape(&r.indices))?,
                         },
-                        ArrayKind::Local | ArrayKind::Static => {
-                            match self.local_store.remove(&key) {
-                                Some(b) => b,
-                                None => Block::zeros(self.layout.block_shape(&r.indices)),
-                            }
-                        }
+                        ArrayKind::Local | ArrayKind::Static => match self.mem.local_take(&key) {
+                            Some(b) => unwrap(self, b),
+                            None => Block::zeros(self.layout.block_shape(&r.indices)),
+                        },
                         other => {
                             return Err(RuntimeError::BadProgram(format!(
                                 "execute block arguments must be temp/local/static, got {other:?}"
@@ -849,13 +859,13 @@ impl Worker {
             match (origin, &mut marshalled[slot]) {
                 (Origin::Temp(array, key), SuperArg::Block { block, .. }) => {
                     let b = std::mem::replace(block, Block::scalar(0.0));
-                    if let Some((_, old)) = self.temps.insert(array, (key, b)) {
-                        self.pool.release(old);
+                    if let Some((_, old)) = self.temps.insert(array, (key, b.into())) {
+                        self.release_handle(old);
                     }
                 }
                 (Origin::Local(key, _array), SuperArg::Block { block, .. }) => {
                     let b = std::mem::replace(block, Block::scalar(0.0));
-                    self.local_store.insert(key, b);
+                    self.mem.local_insert(key, b.into());
                 }
                 (Origin::Scalar(i), SuperArg::Scalar(v)) => {
                     self.scalars[i] = *v;
@@ -877,7 +887,13 @@ fn labels(indices: &[IndexId]) -> Vec<u32> {
 }
 
 /// Permutes `data` (laid out per `src` ref order) into `dest` ref order.
-fn permute_to(dest: &BlockRef, src: &BlockRef, data: &Block) -> Result<Block, RuntimeError> {
+/// The identity permutation shares the handle — `T(i,j) = V(i,j)` moves no
+/// payload bytes.
+fn permute_to(
+    dest: &BlockRef,
+    src: &BlockRef,
+    data: &BlockHandle,
+) -> Result<BlockHandle, RuntimeError> {
     if dest.indices == src.indices {
         return Ok(data.clone());
     }
@@ -896,5 +912,5 @@ fn permute_to(dest: &BlockRef, src: &BlockRef, data: &Block) -> Result<Block, Ru
             "copy with mismatched index sets".into(),
         ));
     };
-    Ok(permute(data, &perm))
+    Ok(BlockHandle::new(permute(data, &perm)))
 }

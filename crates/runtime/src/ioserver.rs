@@ -13,7 +13,7 @@
 use crate::error::RuntimeError;
 use crate::layout::Layout;
 use crate::msg::{BlockKey, OpId, SipMsg};
-use sia_blocks::{Block, Shape};
+use sia_blocks::{Block, BlockHandle, Shape};
 use sia_bytecode::PutMode;
 use sia_fabric::Endpoint;
 use std::collections::HashMap;
@@ -42,7 +42,7 @@ pub struct ServerStats {
 }
 
 struct Entry {
-    block: Block,
+    block: BlockHandle,
     dirty: bool,
     stamp: u64,
 }
@@ -201,23 +201,25 @@ impl IoServer {
         Ok(())
     }
 
-    fn load(&mut self, key: BlockKey) -> Result<Block, RuntimeError> {
+    fn load(&mut self, key: BlockKey) -> Result<BlockHandle, RuntimeError> {
         if let Some(e) = self.cache.get_mut(&key) {
             self.stats.cache_hits += 1;
             e.stamp = self.clock + 1;
             self.clock += 1;
+            // The served copy aliases the cache entry: the reply envelope
+            // rides on the same allocation.
             return Ok(e.block.clone());
         }
         let path = self.path_of(&key);
-        let block = match read_block_file(&path)? {
+        let block: BlockHandle = match read_block_file(&path)? {
             Some(b) => {
                 self.stats.disk_reads += 1;
-                b
+                b.into()
             }
             None => {
                 // Never prepared: zeros, consistent with lazy allocation.
                 self.stats.zero_serves += 1;
-                Block::zeros(self.layout.declared_block_shape(key.array))
+                BlockHandle::zeros(self.layout.declared_block_shape(key.array))
             }
         };
         self.make_room()?;
@@ -233,7 +235,12 @@ impl IoServer {
         Ok(block)
     }
 
-    fn prepare(&mut self, key: BlockKey, data: Block, mode: PutMode) -> Result<(), RuntimeError> {
+    fn prepare(
+        &mut self,
+        key: BlockKey,
+        data: BlockHandle,
+        mode: PutMode,
+    ) -> Result<(), RuntimeError> {
         self.stats.prepares += 1;
         match mode {
             PutMode::Replace => {
@@ -251,7 +258,7 @@ impl IoServer {
             PutMode::Accumulate => {
                 // Accumulate needs the current value (cache or disk).
                 let mut cur = self.load(key)?;
-                cur.accumulate(&data);
+                cur.make_mut().accumulate(&data);
                 let stamp = self.tick();
                 self.cache.insert(
                     key,
@@ -273,7 +280,7 @@ impl IoServer {
     fn prepare_deduped(
         &mut self,
         key: BlockKey,
-        data: Block,
+        data: BlockHandle,
         mode: PutMode,
         op: OpId,
     ) -> Result<(), RuntimeError> {
@@ -431,8 +438,8 @@ mod tests {
         d
     }
 
-    fn blk(v: f64) -> Block {
-        Block::filled(Shape::new(&[4, 4]), v)
+    fn blk(v: f64) -> BlockHandle {
+        BlockHandle::new(Block::filled(Shape::new(&[4, 4]), v))
     }
 
     #[test]

@@ -737,6 +737,24 @@ impl Layout {
         )
     }
 
+    /// Bytes of the largest declared block among remote (distributed or
+    /// served) arrays — the unit the worker block cache is sized in, and the
+    /// same quantity the dry run uses to convert `cache_blocks` to bytes.
+    /// Zero when the program has no remote arrays.
+    pub fn largest_remote_block_bytes(&self) -> u64 {
+        (0..self.program.arrays.len())
+            .map(|i| ArrayId(i as u32))
+            .filter(|&id| {
+                matches!(
+                    self.array_kind(id),
+                    ArrayKind::Distributed | ArrayKind::Served
+                )
+            })
+            .map(|id| self.block_bytes(id))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The array's declaration.
     pub fn array(&self, id: ArrayId) -> &sia_bytecode::ArrayDecl {
         &self.program.arrays[id.index()]

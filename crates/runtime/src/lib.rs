@@ -58,6 +58,7 @@ pub mod interp;
 pub mod ioserver;
 pub mod layout;
 pub mod master;
+pub mod memory;
 pub mod msg;
 pub mod profile;
 pub mod registry;
@@ -71,6 +72,7 @@ pub use layout::{
     ConfigError, CrashSchedule, FaultConfig, Layout, Placement, SegmentConfig, SipConfig,
     SipConfigBuilder, Topology,
 };
+pub use memory::{BlockManager, MemoryStats};
 pub use msg::{BlockKey, OpId, SipMsg};
 pub use profile::{FaultStats, ProfileReport, RecoveryStats};
 pub use registry::{SuperArg, SuperEnv, SuperRegistry};
@@ -299,6 +301,7 @@ impl Sip {
         let mut profile = ProfileReport::merge(&layout.program, &master_out.profiles);
         profile.recovery = master_out.recovery;
         profile.fabric_faults = stats.total_faults();
+        profile.dry_run_estimate_bytes = estimate.per_worker_bytes;
         let traffic_per_rank: Vec<RankTraffic> = (0..topology.world_size())
             .map(|r| {
                 let c = stats.counters_of(sia_fabric::Rank(r));
@@ -357,9 +360,9 @@ fn run_worker(w: &mut worker::Worker, collect: bool) {
             // collection, cross an end-of-run barrier: every worker first
             // drains its own put acks (an ack means the home applied the
             // put), so once all workers have entered, every put has landed.
-            let blocks: Vec<(BlockKey, Block)> = if collect {
+            let blocks: Vec<(BlockKey, sia_blocks::BlockHandle)> = if collect {
                 match w.barrier(crate::msg::BarrierKind::Sip) {
-                    Ok(_) => w.dist_store.drain().collect(),
+                    Ok(_) => w.mem.drain_home(),
                     // The run is aborting; the master won't read these.
                     Err(_) => Vec::new(),
                 }
@@ -369,7 +372,7 @@ fn run_worker(w: &mut worker::Worker, collect: bool) {
             let msg = SipMsg::WorkerDone {
                 scalars: w.scalars.clone(),
                 blocks,
-                profile: std::mem::take(&mut w.profile),
+                profile: Box::new(std::mem::take(&mut w.profile)),
                 warnings: std::mem::take(&mut w.warnings),
             };
             let _ = w.endpoint.send(master, msg);

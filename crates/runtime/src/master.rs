@@ -20,7 +20,7 @@ use crate::layout::{FaultConfig, Layout};
 use crate::msg::{BarrierKind, BlockKey, OpId, SipMsg};
 use crate::profile::{RecoveryStats, WorkerProfile};
 use crate::scheduler::{ChunkPolicy, GuidedScheduler, IterationSpace};
-use sia_blocks::{Block, Shape};
+use sia_blocks::{Block, BlockHandle, Shape};
 use sia_bytecode::{ArrayId, Instruction, PutMode};
 use sia_fabric::{Endpoint, Rank};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -45,15 +45,16 @@ struct PardoSched {
 
 #[derive(Default)]
 struct CkptSave {
-    blocks: Vec<(BlockKey, Block)>,
+    blocks: Vec<(BlockKey, BlockHandle)>,
     done: usize,
 }
 
 /// A batch of master-issued restore puts awaiting acks (retried on timeout).
 /// Restore puts are Replace-mode and untracked, so duplicates from retries
-/// are naturally idempotent.
+/// are naturally idempotent. The pending map shares each payload with the
+/// wire message, so a retry re-sends the same allocation.
 struct PutFlight {
-    pending: HashMap<BlockKey, (Rank, Block)>,
+    pending: HashMap<BlockKey, (Rank, BlockHandle)>,
     sent_at: Instant,
     timeout: Duration,
     attempts: u32,
@@ -401,8 +402,9 @@ impl Master {
                 let blocks = read_checkpoint(&self.ckpt_path(label))?;
                 let dead: Vec<bool> = self.alive.iter().map(|a| !a).collect();
                 let track = self.fault.is_some() && self.flight.is_none();
-                let mut pending: HashMap<BlockKey, (Rank, Block)> = HashMap::new();
+                let mut pending: HashMap<BlockKey, (Rank, BlockHandle)> = HashMap::new();
                 for (key, data) in blocks {
+                    let data: BlockHandle = data.into();
                     let home = self
                         .layout
                         .topology
@@ -552,8 +554,9 @@ impl Master {
             }
         };
         let dead: Vec<bool> = self.alive.iter().map(|a| !a).collect();
-        let mut pending: HashMap<BlockKey, (Rank, Block)> = HashMap::new();
+        let mut pending: HashMap<BlockKey, (Rank, BlockHandle)> = HashMap::new();
         for (key, data) in blocks {
+            let data: BlockHandle = data.into();
             let home = self
                 .layout
                 .topology
@@ -759,8 +762,12 @@ impl Master {
                     if self.done[w].is_none() {
                         self.done_count += 1;
                     }
-                    self.done[w] = Some((scalars, profile));
-                    self.collected.extend(blocks);
+                    self.done[w] = Some((scalars, *profile));
+                    // End-of-run boundary: materialize owned blocks out of
+                    // the handles (the worker has dropped its side, so this
+                    // unwraps without copying).
+                    self.collected
+                        .extend(blocks.into_iter().map(|(k, h)| (k, h.into_block())));
                     self.warnings.extend(warnings);
                     if let Some(out) = self.maybe_finish() {
                         return Ok(out);
@@ -816,11 +823,17 @@ pub fn read_epoch_manifest(run_dir: &Path) -> u64 {
 // ---- checkpoint files -----------------------------------------------------------
 
 /// Writes a checkpoint: magic, block count, then per block the key and data.
-pub fn write_checkpoint(path: &Path, blocks: &[(BlockKey, Block)]) -> Result<(), RuntimeError> {
+/// Accepts anything that borrows a [`Block`] — owned blocks and
+/// [`BlockHandle`]s alike — so callers never materialize copies to save.
+pub fn write_checkpoint<B: std::borrow::Borrow<Block>>(
+    path: &Path,
+    blocks: &[(BlockKey, B)],
+) -> Result<(), RuntimeError> {
     let mut buf: Vec<u8> = Vec::new();
     buf.extend_from_slice(b"SIACKPT1");
     buf.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
     for (key, block) in blocks {
+        let block = block.borrow();
         buf.extend_from_slice(&key.array.0.to_le_bytes());
         buf.push(key.rank);
         for &s in key.segs() {
@@ -922,7 +935,7 @@ mod tests {
     #[test]
     fn empty_checkpoint_roundtrip() {
         let path = tmpfile("empty");
-        write_checkpoint(&path, &[]).unwrap();
+        write_checkpoint::<Block>(&path, &[]).unwrap();
         assert!(read_checkpoint(&path).unwrap().is_empty());
         let _ = fs::remove_file(path);
     }

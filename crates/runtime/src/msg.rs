@@ -1,7 +1,7 @@
 //! The SIP wire protocol: messages exchanged between master, workers, and
 //! I/O servers over the fabric.
 
-use sia_blocks::Block;
+use sia_blocks::BlockHandle;
 use sia_bytecode::{ArrayId, PutMode};
 use sia_fabric::{Message, Rank, ReqId};
 
@@ -156,12 +156,14 @@ pub enum SipMsg {
         /// Correlates the `BlockData` reply.
         req: ReqId,
     },
-    /// A block in flight (reply to `GetBlock`/`RequestBlock`).
+    /// A block in flight (reply to `GetBlock`/`RequestBlock`). The payload
+    /// is a shared handle: in-process delivery (and fault-injection
+    /// duplication) costs a reference-count bump, not a copy.
     BlockData {
         /// The block's identity.
         key: BlockKey,
-        /// Its contents.
-        data: Block,
+        /// Its contents (shared with the sender's store).
+        data: BlockHandle,
         /// The request this answers (`ReqId::NONE` for unsolicited pushes).
         req: ReqId,
     },
@@ -169,8 +171,8 @@ pub enum SipMsg {
     PutBlock {
         /// Destination block.
         key: BlockKey,
-        /// Payload.
-        data: Block,
+        /// Payload (shared with the sender's retry/journal state).
+        data: BlockHandle,
         /// Replace or accumulate.
         mode: PutMode,
         /// Duplicate-suppression id (`OpId::NONE` when untracked).
@@ -194,8 +196,8 @@ pub enum SipMsg {
     PrepareBlock {
         /// Destination block.
         key: BlockKey,
-        /// Payload.
-        data: Block,
+        /// Payload (shared with the sender's retry state).
+        data: BlockHandle,
         /// Replace or accumulate.
         mode: PutMode,
         /// Duplicate-suppression id (`OpId::NONE` when untracked).
@@ -246,8 +248,8 @@ pub enum SipMsg {
         label: u32,
         /// The block's identity.
         key: BlockKey,
-        /// Its contents.
-        data: Block,
+        /// Its contents (shared with the authoritative store).
+        data: BlockHandle,
     },
     /// Worker finished shipping blocks for a checkpoint (or is ready to
     /// receive a restore).
@@ -295,9 +297,10 @@ pub enum SipMsg {
         /// Final scalar values.
         scalars: Vec<f64>,
         /// Collected blocks (empty unless `collect_distributed`).
-        blocks: Vec<(BlockKey, Block)>,
-        /// Serialized per-worker profile.
-        profile: crate::profile::WorkerProfile,
+        blocks: Vec<(BlockKey, BlockHandle)>,
+        /// Serialized per-worker profile (boxed: it dwarfs every other
+        /// variant and would bloat the whole message enum inline).
+        profile: Box<crate::profile::WorkerProfile>,
         /// Diagnostics (e.g. barrier-misuse detections).
         warnings: Vec<String>,
     },
@@ -312,7 +315,7 @@ pub enum SipMsg {
 
 impl Message for SipMsg {
     fn approx_bytes(&self) -> usize {
-        let block_bytes = |b: &Block| b.len() * 8 + 32;
+        let block_bytes = |b: &BlockHandle| b.len() * 8 + 32;
         match self {
             SipMsg::BlockData { data, .. }
             | SipMsg::PutBlock { data, .. }
@@ -346,6 +349,8 @@ impl Message for SipMsg {
         )
     }
 
+    /// Duplicating a data-plane message is cheap: block payloads are
+    /// `BlockHandle`s, so the duplicate shares the original's allocation.
     fn dup(&self) -> Option<Self> {
         Some(self.clone())
     }
@@ -354,7 +359,7 @@ impl Message for SipMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sia_blocks::Shape;
+    use sia_blocks::{Block, Shape};
 
     #[test]
     fn key_roundtrip() {
@@ -399,14 +404,31 @@ mod tests {
     fn message_sizes_scale_with_payload() {
         let small = SipMsg::BlockData {
             key: BlockKey::new(ArrayId(0), &[1]),
-            data: Block::zeros(Shape::new(&[2])),
+            data: Block::zeros(Shape::new(&[2])).into(),
             req: ReqId::NONE,
         };
         let big = SipMsg::BlockData {
             key: BlockKey::new(ArrayId(0), &[1]),
-            data: Block::zeros(Shape::new(&[100])),
+            data: Block::zeros(Shape::new(&[100])).into(),
             req: ReqId::NONE,
         };
         assert!(big.approx_bytes() > small.approx_bytes());
+    }
+
+    #[test]
+    fn dup_shares_payload_allocation() {
+        let data = BlockHandle::new(Block::zeros(Shape::new(&[64])));
+        let msg = SipMsg::BlockData {
+            key: BlockKey::new(ArrayId(0), &[1]),
+            data: data.clone(),
+            req: ReqId::NONE,
+        };
+        let dup = msg.dup().unwrap();
+        match dup {
+            SipMsg::BlockData { data: d, .. } => {
+                assert!(BlockHandle::ptr_eq(&d, &data), "dup copied the payload")
+            }
+            other => panic!("{other:?}"),
+        }
     }
 }

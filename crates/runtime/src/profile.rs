@@ -83,6 +83,8 @@ pub struct WorkerProfile {
     pub wait_nanos: u64,
     /// Cache counters.
     pub cache: crate::cache::CacheStats,
+    /// Block-manager byte accounting and zero-copy counters.
+    pub memory: crate::memory::MemoryStats,
     /// Contraction hot-path counters (transpose folds, scratch-pool reuse).
     pub contraction: sia_blocks::ContractStats,
     /// Pardo iterations executed.
@@ -130,6 +132,13 @@ pub struct ProfileReport {
     pub worker_waits: Vec<Duration>,
     /// Summed cache statistics.
     pub cache: crate::cache::CacheStats,
+    /// Merged block-manager stats: peak bytes are per-worker maxima,
+    /// counters are fleet sums.
+    pub memory: crate::memory::MemoryStats,
+    /// The dry run's per-worker byte estimate (filled in by the runtime
+    /// after the merge), so `--profile` can put the predicted and the
+    /// observed peak side by side.
+    pub dry_run_estimate_bytes: u64,
     /// Summed contraction hot-path counters.
     pub contraction: sia_blocks::ContractStats,
     /// Total pardo iterations executed.
@@ -148,6 +157,7 @@ impl ProfileReport {
     pub fn merge(program: &Program, profiles: &[WorkerProfile]) -> Self {
         let mut per_pc: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
         let mut cache = crate::cache::CacheStats::default();
+        let mut memory = crate::memory::MemoryStats::default();
         let mut contraction = sia_blocks::ContractStats::default();
         let mut iterations = 0;
         let mut fault = FaultStats::default();
@@ -164,6 +174,7 @@ impl ProfileReport {
             cache.evictions += p.cache.evictions;
             cache.refetches += p.cache.refetches;
             cache.reissues += p.cache.reissues;
+            memory.absorb(&p.memory);
             contraction.merge(&p.contraction);
             iterations += p.iterations;
             fault.absorb(&p.fault);
@@ -198,6 +209,8 @@ impl ProfileReport {
                 .map(|p| Duration::from_nanos(p.wait_nanos))
                 .collect(),
             cache,
+            memory,
+            dry_run_estimate_bytes: 0,
             contraction,
             iterations,
             fault,
@@ -248,6 +261,23 @@ impl fmt::Display for ProfileReport {
             f,
             "cache: {} hits, {} misses, {} evictions, {} refetches",
             self.cache.hits, self.cache.misses, self.cache.evictions, self.cache.refetches
+        )?;
+        writeln!(
+            f,
+            "memory: {} bytes/worker high water (dry run predicted {}{}), \
+             {} clones avoided ({} bytes uncopied), {} deep copies, \
+             {} budget evictions",
+            self.memory.high_water_bytes,
+            self.dry_run_estimate_bytes,
+            if self.memory.budget_bytes > 0 {
+                format!(", budget {}", self.memory.budget_bytes)
+            } else {
+                String::new()
+            },
+            self.memory.clones_avoided,
+            self.memory.bytes_clone_avoided,
+            self.memory.deep_copies,
+            self.memory.budget_evictions
         )?;
         writeln!(
             f,

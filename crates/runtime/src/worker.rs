@@ -6,14 +6,15 @@
 //! temps, locals), its pardo machinery, outstanding-ack tracking, and the
 //! message pump; the instruction dispatch lives in [`crate::interp`].
 
-use crate::cache::{BlockCache, CacheEntry};
+use crate::cache::CacheEntry;
 use crate::error::{CommKind, RuntimeError};
-use crate::ft::{self, FetchState, FtState, JournalEntry, PendingOp, TakeoverChunk};
+use crate::ft::{self, FetchState, FtState, JournalEntry, TakeoverChunk};
 use crate::layout::{Layout, SipConfig};
+use crate::memory::BlockManager;
 use crate::msg::{BarrierKind, BlockKey, OpId, SipMsg};
 use crate::profile::WorkerProfile;
 use crate::registry::SuperRegistry;
-use sia_blocks::Block;
+use sia_blocks::{Block, BlockHandle};
 use sia_blocks::{BlockPool, ContractCtx, GemmConfig, PoolConfig};
 use sia_bytecode::{ArrayId, ArrayKind, IndexId, PutMode};
 use sia_fabric::{Endpoint, Rank, ReqId};
@@ -69,14 +70,12 @@ pub struct Worker {
     pub(crate) registry: SuperRegistry,
 
     // ---- data state ----
-    /// Blocks of distributed arrays homed at this worker (authoritative).
-    pub(crate) dist_store: HashMap<BlockKey, Block>,
-    /// Blocks of local and static arrays.
-    pub(crate) local_store: HashMap<BlockKey, Block>,
+    /// The unified block store: authoritative home blocks of distributed
+    /// arrays, local/static blocks, and the byte-LRU cache of fetched
+    /// remote copies — byte-accounted, budget-enforced.
+    pub(crate) mem: BlockManager,
     /// One live block per temp array.
-    pub(crate) temps: HashMap<ArrayId, (BlockKey, Block)>,
-    /// Cache of fetched remote (distributed/served) blocks.
-    pub(crate) cache: BlockCache,
+    pub(crate) temps: HashMap<ArrayId, (BlockKey, BlockHandle)>,
     /// Pool recycling temp-block storage.
     pub(crate) pool: BlockPool,
     /// Contraction context: scratch drawn from `pool`, GEMM tuning and
@@ -150,8 +149,11 @@ impl Worker {
             .as_ref()
             .map(|f| Box::new(FtState::new(f.clone(), config.workers)));
         let run_dir = config.run_dir.clone();
+        // Cache capacity in bytes, matching the dry run's sizing formula
+        // (`cache_blocks × largest remote block`).
+        let cache_bytes = (config.cache_blocks as u64 * layout.largest_remote_block_bytes()).max(1);
         Worker {
-            cache: BlockCache::new(config.cache_blocks),
+            mem: BlockManager::new(cache_bytes, config.memory_budget),
             contract_ctx: ContractCtx::with_pool(pool.clone())
                 .gemm(GemmConfig {
                     threads: config.gemm_threads,
@@ -162,8 +164,6 @@ impl Worker {
             config,
             endpoint,
             registry,
-            dist_store: HashMap::new(),
-            local_store: HashMap::new(),
             temps: HashMap::new(),
             scalars,
             env: vec![0; n_idx],
@@ -223,12 +223,13 @@ impl Worker {
     fn handle(&mut self, src: Rank, msg: SipMsg) {
         match msg {
             SipMsg::GetBlock { key, req } => {
-                // Serve from the authoritative store; unfilled blocks read as
+                // Serve from the authoritative store; the reply shares the
+                // store's allocation (zero-copy). Unfilled blocks read as
                 // zero ("blocks are allocated … only when actually filled"),
                 // which is what makes symmetric-array declarations cheap.
-                let data = match self.dist_store.get(&key) {
-                    Some(b) => b.clone(),
-                    None => Block::zeros(self.layout.declared_block_shape(key.array)),
+                let data = match self.mem.serve_home(&key) {
+                    Some(h) => h,
+                    None => BlockHandle::zeros(self.layout.declared_block_shape(key.array)),
                 };
                 // Conflict check: serving a block Replace-put in this same
                 // epoch means the program raced a read against a write.
@@ -272,7 +273,8 @@ impl Worker {
                 if let Some(ft) = self.ft.as_mut() {
                     ft.fetches.remove(&key);
                 }
-                self.cache.fill(key, data);
+                // The cache entry shares the envelope's allocation.
+                self.mem.cache_fill(key, data);
             }
             SipMsg::ChunkAssign {
                 pardo_pc,
@@ -329,8 +331,8 @@ impl Worker {
                 self.ckpt_released.insert(label);
             }
             SipMsg::DeleteArray { array } => {
-                self.dist_store.retain(|k, _| k.array != array);
-                self.cache.invalidate_array(array);
+                self.mem.home_remove_array(array);
+                self.mem.cache_invalidate_array(array);
             }
             SipMsg::Shutdown => {
                 self.shutdown_seen = true;
@@ -357,8 +359,10 @@ impl Worker {
     }
 
     /// Applies a put to the authoritative store (used by the home for remote
-    /// puts and by the owner for local ones).
-    pub(crate) fn apply_put_local(&mut self, key: BlockKey, data: Block, mode: PutMode) {
+    /// puts and by the owner for local ones). A Replace adopts the payload
+    /// handle outright; an Accumulate mutates the resident block
+    /// copy-on-write (in place unless a concurrent serve still shares it).
+    pub(crate) fn apply_put_local(&mut self, key: BlockKey, data: BlockHandle, mode: PutMode) {
         match mode {
             PutMode::Replace => {
                 if self.serve_epoch.get(&key) == Some(&self.dist_epoch) {
@@ -368,17 +372,17 @@ impl Worker {
                     ));
                 }
                 self.replace_epoch.insert(key, self.dist_epoch);
-                self.dist_store.insert(key, data);
+                self.mem.home_insert(key, data);
             }
-            PutMode::Accumulate => match self.dist_store.get_mut(&key) {
-                Some(existing) => existing.accumulate(&data),
+            PutMode::Accumulate => match self.mem.home_entry_mut(&key) {
+                Some(existing) => existing.make_mut().accumulate(&data),
                 None => {
-                    self.dist_store.insert(key, data);
+                    self.mem.home_insert(key, data);
                 }
             },
         }
         // A fresher value exists; drop any stale cached copy.
-        self.cache.invalidate(&key);
+        self.mem.cache_invalidate(&key);
     }
 
     /// Waits (servicing messages and pumping retries) until `done(self)`
@@ -477,7 +481,7 @@ impl Worker {
         key: BlockKey,
         fetch: Fetch,
         wait: &mut Duration,
-    ) -> Result<Option<Block>, RuntimeError> {
+    ) -> Result<Option<BlockHandle>, RuntimeError> {
         let kind = self.layout.array_kind(key.array);
         let home = match kind {
             ArrayKind::Distributed => self.dist_home(&key),
@@ -496,40 +500,53 @@ impl Worker {
             }
         };
         if home == self.endpoint.rank() {
-            // Authoritative store; nothing to fetch. Unfilled blocks read as
-            // zero ("blocks are allocated … only when actually filled").
+            // Authoritative store; nothing to fetch. The handle shares the
+            // store's allocation. Unfilled blocks read as zero ("blocks are
+            // allocated … only when actually filled").
             return Ok(match fetch {
                 Fetch::NoWait => None,
-                Fetch::Wait => Some(match self.dist_store.get(&key) {
-                    Some(b) => b.clone(),
-                    None => Block::zeros(self.layout.declared_block_shape(key.array)),
+                Fetch::Wait => Some(match self.mem.serve_home(&key) {
+                    Some(h) => h,
+                    None => BlockHandle::zeros(self.layout.declared_block_shape(key.array)),
                 }),
             });
         }
         if fetch == Fetch::NoWait {
-            if self.cache.mark_in_flight(key) {
+            if self.mem.cache_mark_in_flight(key) {
                 self.send_fetch(home, key, kind)?;
             }
             return Ok(None);
         }
-        match self.cache.lookup(&key) {
-            Some(CacheEntry::Ready(b)) => return Ok(Some(b.clone())),
-            Some(CacheEntry::InFlight) => {}
-            None => {
-                // Late fetch — the contraction operator "ensures that the
-                // necessary blocks are available and waits … if necessary".
-                if self.cache.mark_in_flight(key) {
-                    self.send_fetch(home, key, kind)?;
+        loop {
+            let hit = match self.mem.cache_lookup(&key) {
+                Some(CacheEntry::Ready(b)) => Some(b.clone()),
+                Some(CacheEntry::InFlight) => None,
+                None => {
+                    // Late fetch — the contraction operator "ensures that the
+                    // necessary blocks are available and waits … if
+                    // necessary". Also reached when cache pressure evicted a
+                    // filled entry before this waiter observed it: the next
+                    // round trip re-fetches (counted as a refetch).
+                    if self.mem.cache_mark_in_flight(key) {
+                        self.send_fetch(home, key, kind)?;
+                    }
+                    None
                 }
+            };
+            if let Some(h) = hit {
+                // Sharing the cached handle pins it against eviction while
+                // the caller holds it.
+                self.mem.note_share(&h);
+                return Ok(Some(h));
             }
-        }
-        let waited = self.wait_until(&format!("block {key:?}"), |w| {
-            matches!(w.cache.peek(&key), Some(CacheEntry::Ready(_)))
-        })?;
-        *wait += waited;
-        match self.cache.lookup(&key) {
-            Some(CacheEntry::Ready(b)) => Ok(Some(b.clone())),
-            _ => Err(RuntimeError::Internal("block vanished after wait".into())),
+            // Wait until the entry leaves the in-flight state: Ready (the
+            // next lookup shares it — eviction only runs on this thread, so
+            // it cannot vanish in between) or evicted/absent (loop re-arms
+            // the fetch).
+            let waited = self.wait_until(&format!("block {key:?}"), |w| {
+                !matches!(w.mem.cache_peek(&key), Some(CacheEntry::InFlight))
+            })?;
+            *wait += waited;
         }
     }
 
@@ -574,7 +591,9 @@ impl Worker {
     }
 
     /// Reads the block a ref denotes, waiting for in-flight fetches. Returns
-    /// an owned copy (see crate docs: correctness over zero-copy).
+    /// a shared handle aliasing the resident block — mutation by the caller
+    /// goes through copy-on-write, so correctness is preserved without the
+    /// old defensive deep copy.
     ///
     /// `wait` accumulates blocked time for the profiler.
     pub(crate) fn read_block(
@@ -582,21 +601,25 @@ impl Worker {
         array: ArrayId,
         ref_indices: &[IndexId],
         wait: &mut Duration,
-    ) -> Result<Block, RuntimeError> {
+    ) -> Result<BlockHandle, RuntimeError> {
         let segs = self.seg_values(ref_indices)?;
         let (key, slice) = self.layout.storage_target(array, ref_indices, &segs);
         let kind = self.layout.array_kind(array);
         let whole = match kind {
             ArrayKind::Temp => match self.temps.get(&array) {
-                Some((stored_key, block)) if *stored_key == key => block.clone(),
+                Some((stored_key, block)) if *stored_key == key => {
+                    let h = block.clone();
+                    self.mem.note_share(&h);
+                    h
+                }
                 _ => {
                     return Err(RuntimeError::TempUndefined {
                         array: self.layout.array(array).name.clone(),
                     });
                 }
             },
-            ArrayKind::Local | ArrayKind::Static => match self.local_store.get(&key) {
-                Some(b) => b.clone(),
+            ArrayKind::Local | ArrayKind::Static => match self.mem.local_share(&key) {
+                Some(h) => h,
                 None => {
                     return Err(RuntimeError::BlockNotAvailable {
                         key,
@@ -618,19 +641,23 @@ impl Worker {
             Some((offsets, extents)) => {
                 let spec = sia_blocks::SliceSpec::new(&offsets, &extents);
                 sia_blocks::extract_slice(&whole, &spec)
+                    .map(BlockHandle::new)
                     .map_err(|e| RuntimeError::Internal(format!("slice extraction failed: {e}")))
             }
         }
     }
 
     /// Writes `block` to the storage a ref denotes (temp/local/static only;
-    /// distributed/served writes go through put/prepare).
+    /// distributed/served writes go through put/prepare). Accepts anything
+    /// convertible to a [`BlockHandle`], so a shared handle is stored without
+    /// materializing a copy.
     pub(crate) fn write_block(
         &mut self,
         array: ArrayId,
         ref_indices: &[IndexId],
-        block: Block,
+        block: impl Into<BlockHandle>,
     ) -> Result<(), RuntimeError> {
+        let block = block.into();
         let segs = self.seg_values(ref_indices)?;
         let (key, slice) = self.layout.storage_target(array, ref_indices, &segs);
         let kind = self.layout.array_kind(array);
@@ -638,12 +665,12 @@ impl Worker {
             None => match kind {
                 ArrayKind::Temp => {
                     if let Some((_, old)) = self.temps.insert(array, (key, block)) {
-                        self.pool.release(old);
+                        self.release_handle(old);
                     }
                     Ok(())
                 }
                 ArrayKind::Local | ArrayKind::Static => {
-                    self.local_store.insert(key, block);
+                    self.mem.local_insert(key, block);
                     Ok(())
                 }
                 other => Err(RuntimeError::BadProgram(format!(
@@ -660,19 +687,18 @@ impl Worker {
                         let entry = self
                             .temps
                             .entry(array)
-                            .or_insert_with(|| (key, Block::zeros(parent_shape)));
+                            .or_insert_with(|| (key, BlockHandle::zeros(parent_shape)));
                         if entry.0 != key {
-                            *entry = (key, Block::zeros(parent_shape));
+                            *entry = (key, BlockHandle::zeros(parent_shape));
                         }
-                        sia_blocks::insert_slice(&mut entry.1, &spec, &block)
+                        sia_blocks::insert_slice(entry.1.make_mut(), &spec, &block)
                             .map_err(|e| RuntimeError::Internal(format!("insert failed: {e}")))
                     }
                     ArrayKind::Local | ArrayKind::Static => {
                         let parent = self
-                            .local_store
-                            .entry(key)
-                            .or_insert_with(|| Block::zeros(parent_shape));
-                        sia_blocks::insert_slice(parent, &spec, &block)
+                            .mem
+                            .local_mut_or_insert(key, || BlockHandle::zeros(parent_shape));
+                        sia_blocks::insert_slice(parent.make_mut(), &spec, &block)
                             .map_err(|e| RuntimeError::Internal(format!("insert failed: {e}")))
                     }
                     other => Err(RuntimeError::BadProgram(format!(
@@ -696,22 +722,22 @@ impl Worker {
             // Read-modify-write through the slice path.
             let mut wait = Duration::ZERO;
             let mut sub = self.read_block(array, ref_indices, &mut wait)?;
-            f(&mut sub);
+            f(sub.make_mut());
             return self.write_block(array, ref_indices, sub);
         }
         match self.layout.array_kind(array) {
             ArrayKind::Temp => match self.temps.get_mut(&array) {
                 Some((stored_key, block)) if *stored_key == key => {
-                    f(block);
+                    f(block.make_mut());
                     Ok(())
                 }
                 _ => Err(RuntimeError::TempUndefined {
                     array: self.layout.array(array).name.clone(),
                 }),
             },
-            ArrayKind::Local | ArrayKind::Static => match self.local_store.get_mut(&key) {
+            ArrayKind::Local | ArrayKind::Static => match self.mem.local_get_mut(&key) {
                 Some(block) => {
-                    f(block);
+                    f(block.make_mut());
                     Ok(())
                 }
                 None => Err(RuntimeError::BlockNotAvailable {
@@ -725,10 +751,20 @@ impl Worker {
         }
     }
 
+    /// Returns a handle's storage to the pool if this was the last holder;
+    /// a still-shared handle is simply dropped (the other holder — a flight
+    /// in the retry state, a journal entry — keeps the allocation alive).
+    pub(crate) fn release_handle(&mut self, h: BlockHandle) {
+        if !h.is_shared() {
+            self.pool.release(h.into_block());
+        }
+    }
+
     /// Frees all temp blocks (end of a pardo iteration) back to the pool.
     pub(crate) fn free_temps(&mut self) {
-        for (_, (_, block)) in self.temps.drain() {
-            self.pool.release(block);
+        let drained: Vec<BlockHandle> = self.temps.drain().map(|(_, (_, b))| b).collect();
+        for block in drained {
+            self.release_handle(block);
         }
     }
 
@@ -737,7 +773,7 @@ impl Worker {
     pub(crate) fn invalidate_cached_kind(&mut self, kind: ArrayKind) {
         for (i, decl) in self.layout.program.arrays.iter().enumerate() {
             if decl.kind == kind {
-                self.cache.invalidate_array(ArrayId(i as u32));
+                self.mem.cache_invalidate_array(ArrayId(i as u32));
             }
         }
     }
@@ -746,18 +782,19 @@ impl Worker {
 
     /// Sends a PUT to `home`, tracking the op for retry/journal replay under
     /// fault tolerance (or counting an outstanding ack on the fault-free
-    /// fast path).
+    /// fast path). The journal entry, the retained pending payload, and the
+    /// wire message all share one allocation.
     pub(crate) fn send_put(
         &mut self,
         home: Rank,
         key: BlockKey,
-        data: Block,
+        data: BlockHandle,
         mode: PutMode,
         op: OpId,
     ) -> Result<(), RuntimeError> {
         if let Some(ft) = self.ft.as_mut() {
-            let timeout = ft.cfg.retry_timeout;
             if ft.cfg.expects_crash() {
+                self.mem.note_share(&data);
                 ft.journal.push(JournalEntry {
                     op: op.0,
                     key,
@@ -765,40 +802,15 @@ impl Worker {
                     mode,
                 });
             }
-            ft.pending.insert(
-                op.0,
-                PendingOp {
-                    key,
-                    data: data.clone(),
-                    mode,
-                    served: false,
-                    sent_at: Instant::now(),
-                    timeout,
-                    attempts: 0,
-                },
-            );
+            self.mem.note_share(&data);
+            let msg = ft.arm_flight(op, key, data, mode, false);
             // Tracked for retry: a failed send to a dying home re-routes
             // once the master broadcasts RankDead.
-            let _ = self.endpoint.send(
-                home,
-                SipMsg::PutBlock {
-                    key,
-                    data,
-                    mode,
-                    op,
-                },
-            );
+            let _ = self.endpoint.send(home, msg);
         } else {
             self.outstanding_puts += 1;
-            self.endpoint.send(
-                home,
-                SipMsg::PutBlock {
-                    key,
-                    data,
-                    mode,
-                    op,
-                },
-            )?;
+            self.endpoint
+                .send(home, ft::flight_msg(op, key, data, mode, false))?;
         }
         Ok(())
     }
@@ -810,44 +822,18 @@ impl Worker {
         &mut self,
         home: Rank,
         key: BlockKey,
-        data: Block,
+        data: BlockHandle,
         mode: PutMode,
         op: OpId,
     ) -> Result<(), RuntimeError> {
         if let Some(ft) = self.ft.as_mut() {
-            let timeout = ft.cfg.retry_timeout;
-            ft.pending.insert(
-                op.0,
-                PendingOp {
-                    key,
-                    data: data.clone(),
-                    mode,
-                    served: true,
-                    sent_at: Instant::now(),
-                    timeout,
-                    attempts: 0,
-                },
-            );
-            let _ = self.endpoint.send(
-                home,
-                SipMsg::PrepareBlock {
-                    key,
-                    data,
-                    mode,
-                    op,
-                },
-            );
+            self.mem.note_share(&data);
+            let msg = ft.arm_flight(op, key, data, mode, true);
+            let _ = self.endpoint.send(home, msg);
         } else {
             self.outstanding_prepares += 1;
-            self.endpoint.send(
-                home,
-                SipMsg::PrepareBlock {
-                    key,
-                    data,
-                    mode,
-                    op,
-                },
-            )?;
+            self.endpoint
+                .send(home, ft::flight_msg(op, key, data, mode, true))?;
         }
         Ok(())
     }
@@ -902,7 +888,7 @@ impl Worker {
     pub(crate) fn apply_put_deduped(
         &mut self,
         key: BlockKey,
-        data: Block,
+        data: BlockHandle,
         mode: PutMode,
         op: OpId,
     ) {
@@ -960,24 +946,16 @@ impl Worker {
             p.attempts += 1;
             p.sent_at = now;
             p.timeout = p.timeout.mul_f64(backoff);
-            let msg = if p.served {
+            if p.served {
                 prepare_retries += 1;
-                SipMsg::PrepareBlock {
-                    key: p.key,
-                    data: p.data.clone(),
-                    mode: p.mode,
-                    op: OpId(op),
-                }
             } else {
                 put_retries += 1;
-                SipMsg::PutBlock {
-                    key: p.key,
-                    data: p.data.clone(),
-                    mode: p.mode,
-                    op: OpId(op),
-                }
-            };
-            resend.push((home, msg));
+            }
+            // The resend shares the retained payload's allocation.
+            resend.push((
+                home,
+                ft::flight_msg(OpId(op), p.key, p.data.clone(), p.mode, p.served),
+            ));
         }
         let mut fetch_retries = 0u64;
         let mut refreshed: Vec<BlockKey> = Vec::new();
@@ -1024,7 +1002,7 @@ impl Worker {
         self.profile.fault.prepare_retries += prepare_retries;
         self.profile.fault.fetch_retries += fetch_retries;
         for key in &refreshed {
-            self.cache.refresh_in_flight(key);
+            self.mem.cache_refresh_in_flight(key);
         }
         for (to, msg) in resend {
             // A send error means the peer is gone; the liveness monitor will
@@ -1128,12 +1106,9 @@ impl Worker {
         if ft.cfg.expects_crash() {
             if let Some(dir) = &self.run_dir {
                 let path = ft::epoch_ckpt_path(dir, widx);
-                if let Err(e) = ft::write_epoch_checkpoint(
-                    &path,
-                    epoch,
-                    self.dist_store.iter().map(|(k, b)| (*k, b.clone())),
-                    &ft.applied,
-                ) {
+                // The snapshot shares the authoritative blocks' allocations.
+                let snapshot = self.mem.snapshot_home();
+                if let Err(e) = ft::write_epoch_checkpoint(&path, epoch, &snapshot, &ft.applied) {
                     self.warnings.push(format!("epoch checkpoint failed: {e}"));
                 }
             }
@@ -1171,34 +1146,21 @@ impl Worker {
         // *before* broadcasting the death, so replay lands on (or dedups
         // against) consistent state. The journal is a superset of the
         // pending puts, so unacked dead-homed puts are re-armed here too.
+        // Each replay shares the journal entry's allocation.
         let mut replays = 0u64;
-        for e in &ft.journal {
-            if topology.home_of_distributed_excluding(&e.key, &prev_dead) != dead_rank {
-                continue;
-            }
-            let new_home = topology.home_of_distributed_excluding(&e.key, &ft.dead);
+        let to_replay: Vec<(u64, BlockKey, BlockHandle, PutMode, Rank)> = ft
+            .journal
+            .iter()
+            .filter(|e| topology.home_of_distributed_excluding(&e.key, &prev_dead) == dead_rank)
+            .map(|e| {
+                let new_home = topology.home_of_distributed_excluding(&e.key, &ft.dead);
+                (e.op, e.key, e.data.clone(), e.mode, new_home)
+            })
+            .collect();
+        for (op, key, data, mode, new_home) in to_replay {
             replays += 1;
-            ft.pending.insert(
-                e.op,
-                PendingOp {
-                    key: e.key,
-                    data: e.data.clone(),
-                    mode: e.mode,
-                    served: false,
-                    sent_at: Instant::now(),
-                    timeout: retry_timeout,
-                    attempts: 0,
-                },
-            );
-            sends.push((
-                new_home,
-                SipMsg::PutBlock {
-                    key: e.key,
-                    data: e.data.clone(),
-                    mode: e.mode,
-                    op: OpId(e.op),
-                },
-            ));
+            let msg = ft.arm_flight(OpId(op), key, data, mode, false);
+            sends.push((new_home, msg));
         }
         // Re-route unanswered fetches that were addressed to the corpse.
         let mut reroutes = 0u64;

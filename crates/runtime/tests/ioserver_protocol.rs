@@ -74,7 +74,7 @@ fn full_protocol_over_fabric() {
                 io,
                 SipMsg::PrepareBlock {
                     key: BlockKey::new(ArrayId(0), &[i, i]),
-                    data: blk(i as f64),
+                    data: blk(i as f64).into(),
                     mode: PutMode::Replace,
                     op: OpId::NONE,
                 },
@@ -95,7 +95,7 @@ fn full_protocol_over_fabric() {
             io,
             SipMsg::PrepareBlock {
                 key: BlockKey::new(ArrayId(0), &[3, 3]),
-                data: blk(10.0),
+                data: blk(10.0).into(),
                 mode: PutMode::Accumulate,
                 op: OpId::NONE,
             },
@@ -189,7 +189,7 @@ fn delete_array_over_fabric() {
             io,
             SipMsg::PrepareBlock {
                 key: BlockKey::new(ArrayId(0), &[1, 1]),
-                data: Block::filled(Shape::new(&[4, 4]), 7.0),
+                data: Block::filled(Shape::new(&[4, 4]), 7.0).into(),
                 mode: PutMode::Replace,
                 op: OpId::NONE,
             },

@@ -33,7 +33,10 @@ fn usage() -> ExitCode {
            --nsub <n>         subsegments per segment (default 2)\n\
            --prefetch <n>     prefetch look-ahead depth (default 2)\n\
            --cache <n>        block-cache capacity (default 64)\n\
-           --budget <bytes>   per-worker memory budget for the dry-run gate\n\
+           --memory-budget <bytes>  per-worker memory ceiling: gates the dry-run\n\
+                              estimate up front and is enforced at runtime\n\
+                              (eviction pressure, then an OverBudget error);\n\
+                              --budget is accepted as an alias\n\
            --run-dir <dir>    served-array / checkpoint directory (enables restart)\n\
            --bind k=v         bind a symbolic constant (repeatable)\n\
            --fault-seed <n>   enable fault injection with this RNG seed\n\
@@ -139,12 +142,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                         .map_err(|e| format!("--cache: {e}"))?,
                 )
             }
-            "--budget" => {
-                builder = builder.memory_budget(
-                    need("--budget")?
-                        .parse()
-                        .map_err(|e| format!("--budget: {e}"))?,
-                )
+            "--memory-budget" | "--budget" => {
+                builder = builder.memory_budget(need(a)?.parse().map_err(|e| format!("{a}: {e}"))?)
             }
             "--run-dir" => builder = builder.run_dir(need("--run-dir")?),
             "--bind" => {
@@ -286,8 +285,9 @@ fn main() -> ExitCode {
                 match sip.dry_run(p, &opts.bindings) {
                     Ok(est) => {
                         println!(
-                            "per-worker estimate: {:.1} MiB ({} workers)",
+                            "per-worker estimate: {:.1} MiB ({} bytes, {} workers)",
                             est.per_worker_bytes as f64 / (1 << 20) as f64,
+                            est.per_worker_bytes,
                             opts.config.workers
                         );
                         println!(
