@@ -1,0 +1,41 @@
+//! `sial check` must accept every shipped chemistry workload with zero
+//! diagnostics: the race rules are calibrated against the paper's own
+//! programming patterns (covered replace-mode puts, `+=` accumulation into
+//! shared blocks, barriers between write and read phases), so any finding
+//! here is a false positive.
+
+use sia_chem::{
+    ccsd_converged, ccsd_iteration, ccsd_t_triples, contraction_demo, fock_build, mp2_energy,
+    Workload, WATER_21,
+};
+use sia_runtime::check_program;
+
+fn assert_clean(w: &Workload) {
+    let program = w.compile().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let diags = check_program(&program);
+    assert!(
+        diags.is_empty(),
+        "{}: sial check reported false positives:\n{}",
+        w.name,
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_chem_workload_passes_sial_check() {
+    let m = &WATER_21;
+    for w in [
+        contraction_demo(m, 8),
+        mp2_energy(m, 8),
+        ccsd_iteration(m, 8, 3),
+        ccsd_converged(m, 8, 10, 1e-6),
+        ccsd_t_triples(m, 8),
+        fock_build(m, 8),
+    ] {
+        assert_clean(&w);
+    }
+}

@@ -159,6 +159,9 @@ impl BlockCache {
         if self.map.contains_key(&key) {
             return false;
         }
+        // A fresh in-flight entry is a cold lookup (the prefetcher asked for
+        // a block the cache does not hold), so it counts as a miss.
+        self.stats.misses += 1;
         if self.ever_fetched.test_and_set(&key) {
             self.stats.refetches += 1;
         }

@@ -72,6 +72,11 @@ pub enum RuntimeError {
     /// Malformed bytecode reached the interpreter (compiler bug or corrupted
     /// program file).
     BadProgram(String),
+    /// Bytecode failed a structural invariant the static verifier also
+    /// checks (e.g. a where clause referencing an index the pardo does not
+    /// bind). Distinct from [`RuntimeError::BadProgram`] so callers can tell
+    /// "run `sial check`" defects from interpreter-state corruption.
+    BadBytecode(String),
     /// A super instruction name was not found in the registry.
     UnknownSuperInstruction(String),
     /// A super instruction failed.
@@ -146,6 +151,9 @@ impl fmt::Display for RuntimeError {
                  {budget}-byte budget after eviction pressure"
             ),
             RuntimeError::BadProgram(m) => write!(f, "bad program: {m}"),
+            RuntimeError::BadBytecode(m) => {
+                write!(f, "malformed bytecode (run `sial check`): {m}")
+            }
             RuntimeError::UnknownSuperInstruction(n) => {
                 write!(f, "unknown super instruction `{n}`")
             }

@@ -184,6 +184,7 @@ impl Worker {
             return Ok(());
         };
         let mut segs = self.seg_values(ref_indices)?;
+        let decl_dims = self.layout.array(array).dims.clone();
         let mut wait = Duration::ZERO; // NoWait never blocks; discarded.
         for d in 1..=self.config.prefetch_depth as i64 {
             let v = frame.current + d;
@@ -192,6 +193,18 @@ impl Worker {
             }
             segs[pos] = v;
             let (key, _) = self.layout.storage_target(array, ref_indices, &segs);
+            // The loop bound says nothing about the array: a guarded loop
+            // can range past the declared segments (`do L … if L <= n`), and
+            // a speculative fetch of a nonexistent block makes the home
+            // allocate and serve spurious zeros. Skip keys outside the
+            // array's declared segment ranges instead of fetching them.
+            let in_range = key.segs().iter().zip(&decl_dims).all(|(&s, &dim)| {
+                let (lo, hi) = self.layout.range(dim);
+                i64::from(s) >= lo && i64::from(s) <= hi
+            });
+            if !in_range {
+                continue;
+            }
             self.access_key(key, Fetch::NoWait, &mut wait)?;
         }
         Ok(())

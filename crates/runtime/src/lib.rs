@@ -64,6 +64,7 @@ pub mod profile;
 pub mod registry;
 pub mod scheduler;
 pub mod trace;
+pub mod verify;
 pub mod worker;
 
 pub use dryrun::MemoryEstimate;
@@ -77,6 +78,7 @@ pub use msg::{BlockKey, OpId, SipMsg};
 pub use profile::{FaultStats, ProfileReport, RecoveryStats};
 pub use registry::{SuperArg, SuperEnv, SuperRegistry};
 pub use sia_fabric::{CrashSpec, FaultPlan, FaultSnapshot};
+pub use verify::{check_program, Diagnostic, Rule};
 
 use sia_blocks::Block;
 use sia_bytecode::{ConstBindings, Program};

@@ -208,7 +208,7 @@ impl Master {
                 where_clauses,
                 &|i| scalars[i as usize],
                 &|i| consts[i as usize],
-            );
+            )?;
             let sched =
                 GuidedScheduler::with_policy(space.len() as u64, self.workers(), self.chunk_policy);
             self.schedulers.insert(
@@ -483,14 +483,26 @@ impl Master {
                 self.start_recovery(w, retry_timeout)?;
             }
         }
+        if self.flight.as_ref().is_some_and(|fl| fl.pending.is_empty()) {
+            // Nothing left in flight (e.g. the restore had no blocks to put,
+            // or every ack drained before this tick). Complete it instead of
+            // panicking on "nonempty flight" in the timeout arm below.
+            let fl = self.flight.take().expect("checked above");
+            self.complete_flight(fl.then);
+        }
         if let Some(fl) = &mut self.flight {
             if fl.sent_at.elapsed() > fl.timeout {
                 fl.attempts += 1;
                 if fl.attempts > max_retries {
-                    let (_, (home, _)) = fl.pending.iter().next().expect("nonempty flight");
+                    let home = fl
+                        .pending
+                        .values()
+                        .map(|(home, _)| *home)
+                        .next()
+                        .unwrap_or(self.layout.topology.master());
                     return Err(RuntimeError::Comm {
                         kind: CommKind::Timeout,
-                        rank: *home,
+                        rank: home,
                         key: None,
                         context: "restore put unacknowledged after retries".into(),
                     });
@@ -648,7 +660,13 @@ impl Master {
             return;
         }
         let fl = self.flight.take().unwrap();
-        match fl.then {
+        self.complete_flight(fl.then);
+    }
+
+    /// Runs a fully-acked flight's continuation. Shared by the ack path and
+    /// the tick-loop guard that completes an already-empty flight.
+    fn complete_flight(&mut self, then: AfterFlight) {
+        match then {
             AfterFlight::Recovery {
                 dead_widx,
                 inherited_ops,
@@ -946,6 +964,61 @@ mod tests {
         fs::write(&path, b"NOTACKPT").unwrap();
         assert!(read_checkpoint(&path).is_err());
         let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_restore_flight_completes_instead_of_panicking() {
+        // Regression: a PutFlight whose pending map is empty (every ack
+        // drained between ticks, or the restore had no blocks) used to hit
+        // `expect("nonempty flight")` in the timeout arm and crash the
+        // master mid-recovery. It must complete the flight's continuation.
+        use crate::layout::{SegmentConfig, Topology};
+        use sia_fabric::FaultPlan;
+        let program = sial_frontend::compile("sial tiny\nscalar s\ns = 1.0\nendsial\n").unwrap();
+        let layout = Layout::new(
+            Arc::new(program),
+            &sia_bytecode::ConstBindings::new(),
+            SegmentConfig::default(),
+            Topology::new(2, 1),
+        )
+        .unwrap();
+        let (mut eps, _stats) = sia_fabric::build::<SipMsg>(4);
+        let io = eps.pop().unwrap();
+        let w1 = eps.pop().unwrap();
+        let w0 = eps.pop().unwrap();
+        let master_ep = eps.pop().unwrap();
+        let mut m = Master::new(
+            Arc::new(layout),
+            master_ep,
+            ChunkPolicy::default(),
+            std::env::temp_dir(),
+            Some(FaultConfig::new(FaultPlan::seeded(1))),
+        );
+        // Stage an empty flight that has already blown its retry budget —
+        // the configuration under which the old code panicked.
+        m.flight = Some(PutFlight {
+            pending: HashMap::new(),
+            sent_at: Instant::now()
+                .checked_sub(Duration::from_secs(60))
+                .expect("clock predates test start"),
+            timeout: Duration::from_millis(1),
+            attempts: u32::MAX - 1,
+            then: AfterFlight::CkptRelease { label: 7 },
+        });
+        m.tick().expect("tick must not fail on an empty flight");
+        assert!(m.flight.is_none(), "flight must be completed");
+        // The continuation ran: both workers got the checkpoint release.
+        for w in [&w0, &w1] {
+            let env = w
+                .recv_timeout(Duration::from_secs(2))
+                .expect("worker must receive the flight continuation");
+            assert!(
+                matches!(env.msg, SipMsg::CkptRelease { label: 7 }),
+                "expected CkptRelease {{ label: 7 }}, got {:?}",
+                env.msg
+            );
+        }
+        drop(io);
     }
 
     #[test]

@@ -7,7 +7,38 @@
 //! filtered cross product of the pardo indices; [`GuidedScheduler`] hands out
 //! shrinking chunks of it.
 
+use crate::error::RuntimeError;
 use sia_bytecode::{BoolExpr, IndexId, ScalarExpr};
+
+/// Appends every index id a scalar expression mentions to `out`.
+/// Shared by [`IterationSpace::enumerate`] and the static verifier, so both
+/// reject the same set of malformed where clauses.
+pub fn scalar_expr_indices(e: &ScalarExpr, out: &mut Vec<IndexId>) {
+    match e {
+        ScalarExpr::Lit(_) | ScalarExpr::Scalar(_) | ScalarExpr::Const(_) => {}
+        ScalarExpr::IndexVal(id) => out.push(*id),
+        ScalarExpr::Bin(_, l, r) => {
+            scalar_expr_indices(l, out);
+            scalar_expr_indices(r, out);
+        }
+        ScalarExpr::Neg(x) => scalar_expr_indices(x, out),
+    }
+}
+
+/// Appends every index id a boolean expression mentions to `out`.
+pub fn bool_expr_indices(e: &BoolExpr, out: &mut Vec<IndexId>) {
+    match e {
+        BoolExpr::Cmp(l, _, r) => {
+            scalar_expr_indices(l, out);
+            scalar_expr_indices(r, out);
+        }
+        BoolExpr::And(a, b) | BoolExpr::Or(a, b) => {
+            bool_expr_indices(a, out);
+            bool_expr_indices(b, out);
+        }
+        BoolExpr::Not(x) => bool_expr_indices(x, out),
+    }
+}
 
 /// Evaluates a scalar expression given index values and scalar/const tables.
 /// Shared by the master (where-clause filtering) and workers (interpreter).
@@ -69,29 +100,44 @@ impl IterationSpace {
     /// Enumerates the space. `ranges` gives the inclusive range per pardo
     /// index (parallel to `indices`); `wheres` are evaluated with the given
     /// scalar/const environments.
+    ///
+    /// Fails with [`RuntimeError::BadBytecode`] when a where clause mentions
+    /// an index the pardo does not bind — such an index has no value here,
+    /// and the old behavior of evaluating it as 0 silently mis-filtered the
+    /// iteration space.
     pub fn enumerate(
         indices: &[IndexId],
         ranges: &[(i64, i64)],
         wheres: &[BoolExpr],
         scalar_val: &dyn Fn(u32) -> f64,
         const_val: &dyn Fn(u32) -> i64,
-    ) -> Self {
+    ) -> Result<Self, RuntimeError> {
         assert_eq!(indices.len(), ranges.len());
+        let mut mentioned = Vec::new();
+        for w in wheres {
+            bool_expr_indices(w, &mut mentioned);
+        }
+        if let Some(bad) = mentioned.iter().find(|id| !indices.contains(id)) {
+            return Err(RuntimeError::BadBytecode(format!(
+                "where clause references index #{} which the pardo does not bind",
+                bad.0
+            )));
+        }
         let mut iters = Vec::new();
         let mut cur: Vec<i64> = ranges.iter().map(|&(lo, _)| lo).collect();
         if indices.is_empty() {
-            return IterationSpace {
+            return Ok(IterationSpace {
                 indices: indices.to_vec(),
                 iters,
-            };
+            });
         }
         'outer: loop {
             let index_val = |id: IndexId| -> i64 {
-                indices
+                let p = indices
                     .iter()
                     .position(|&x| x == id)
-                    .map(|p| cur[p])
-                    .unwrap_or(0)
+                    .expect("where-clause indices validated against the pardo");
+                cur[p]
             };
             if wheres
                 .iter()
@@ -113,10 +159,10 @@ impl IterationSpace {
                 cur[d] = ranges[d].0;
             }
         }
-        IterationSpace {
+        Ok(IterationSpace {
             indices: indices.to_vec(),
             iters,
-        }
+        })
     }
 
     /// Number of surviving iterations.
@@ -234,7 +280,8 @@ mod tests {
             &[],
             &no_scalars,
             &no_consts,
-        );
+        )
+        .unwrap();
         assert_eq!(sp.len(), 6);
         assert_eq!(sp.iters[0], vec![1, 1]);
         assert_eq!(sp.iters[1], vec![1, 2]); // last index fastest
@@ -255,7 +302,8 @@ mod tests {
             &[w],
             &no_scalars,
             &no_consts,
-        );
+        )
+        .unwrap();
         assert_eq!(sp.len(), 6);
         assert!(sp.iters.iter().all(|v| v[0] < v[1]));
     }
@@ -283,7 +331,8 @@ mod tests {
             &[w1.clone(), w2.clone()],
             &no_scalars,
             &no_consts,
-        );
+        )
+        .unwrap();
         let mut expect = 0;
         for i in 1..=5i64 {
             for j in 2..=4i64 {
@@ -298,8 +347,30 @@ mod tests {
     #[test]
     fn empty_where_space() {
         let w = BoolExpr::Cmp(SE::IndexVal(IndexId(0)), CmpOp::Gt, SE::Lit(100.0));
-        let sp = IterationSpace::enumerate(&[IndexId(0)], &[(1, 5)], &[w], &no_scalars, &no_consts);
+        let sp = IterationSpace::enumerate(&[IndexId(0)], &[(1, 5)], &[w], &no_scalars, &no_consts)
+            .unwrap();
         assert!(sp.is_empty());
+    }
+
+    #[test]
+    fn where_on_unbound_index_is_bad_bytecode() {
+        // The clause mentions IndexId(7), which the pardo does not bind.
+        // The old behavior evaluated it as 0 and silently mis-filtered the
+        // space; now enumeration refuses the bytecode outright.
+        let w = BoolExpr::Cmp(
+            SE::IndexVal(IndexId(7)),
+            CmpOp::Lt,
+            SE::IndexVal(IndexId(0)),
+        );
+        let err =
+            IterationSpace::enumerate(&[IndexId(0)], &[(1, 5)], &[w], &no_scalars, &no_consts)
+                .unwrap_err();
+        match err {
+            crate::error::RuntimeError::BadBytecode(m) => {
+                assert!(m.contains("#7"), "{m}");
+            }
+            other => panic!("expected BadBytecode, got {other:?}"),
+        }
     }
 
     #[test]

@@ -55,7 +55,8 @@ proptest! {
             std::slice::from_ref(&clause),
             &|_| 0.0,
             &|_| 0,
-        );
+        )
+        .unwrap();
         let mut brute = Vec::new();
         for i in ranges[0].0..=ranges[0].1 {
             for j in ranges[1].0..=ranges[1].1 {

@@ -1,0 +1,148 @@
+//! Property test for the static verifier: randomly generated well-formed
+//! SIAL programs — phases of pardo writes and reads with a `sip_barrier`
+//! after every phase, destinations always covering the pardo indices — are
+//! race-free by construction, so `sial check` must accept every one of
+//! them with zero diagnostics. This pins the verifier's false-positive
+//! rate at zero over the space of programs the frontend emits, not just
+//! the shipped examples.
+
+use proptest::prelude::*;
+use sia_runtime::verify::check_program;
+use std::fmt::Write as _;
+
+const INDEX_POOL: [&str; 3] = ["i", "j", "k"];
+
+/// One generated array: a distinct subset of the index pool as dims.
+#[derive(Debug, Clone)]
+struct ArraySpec {
+    dims: Vec<&'static str>,
+}
+
+/// One generated phase over one array.
+#[derive(Debug, Clone)]
+struct Phase {
+    array: usize,
+    /// true = put (write phase), false = get (read phase).
+    write: bool,
+    /// `put +=` instead of `put =` (write phases only).
+    accumulate: bool,
+    /// Add a `where d0 <= d1` clause (rank-2 arrays only).
+    with_where: bool,
+}
+
+fn arb_array() -> impl Strategy<Value = ArraySpec> {
+    prop_oneof![
+        (0..3usize).prop_map(|a| ArraySpec {
+            dims: vec![INDEX_POOL[a]],
+        }),
+        (0..3usize, 0..2usize).prop_map(|(a, off)| {
+            let b = (a + 1 + off) % 3;
+            ArraySpec {
+                dims: vec![INDEX_POOL[a], INDEX_POOL[b]],
+            }
+        }),
+    ]
+}
+
+fn arb_phase(n_arrays: usize) -> impl Strategy<Value = Phase> {
+    (0..n_arrays, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(array, write, accumulate, with_where)| Phase {
+            array,
+            write,
+            accumulate,
+            with_where,
+        },
+    )
+}
+
+/// Renders the generated spec as SIAL source.
+fn render(arrays: &[ArraySpec], phases: &[Phase]) -> String {
+    let mut s = String::from("sial prop_verify\n");
+    for name in INDEX_POOL {
+        let _ = writeln!(s, "aoindex {name} = 1, n");
+    }
+    for (a, spec) in arrays.iter().enumerate() {
+        let dims = spec.dims.join(",");
+        let _ = writeln!(s, "distributed X{a}({dims})");
+        let _ = writeln!(s, "temp t{a}({dims})");
+        let _ = writeln!(s, "temp u{a}({dims})");
+    }
+    for ph in phases {
+        let spec = &arrays[ph.array];
+        let dims = spec.dims.join(", ");
+        let refdims = spec.dims.join(",");
+        let a = ph.array;
+        let wher = if ph.with_where && spec.dims.len() == 2 {
+            format!(" where {} <= {}", spec.dims[0], spec.dims[1])
+        } else {
+            String::new()
+        };
+        let _ = writeln!(s, "pardo {dims}{wher}");
+        if ph.write {
+            let op = if ph.accumulate { "+=" } else { "=" };
+            let _ = writeln!(s, "  t{a}({refdims}) = 1.0");
+            let _ = writeln!(s, "  put X{a}({refdims}) {op} t{a}({refdims})");
+        } else {
+            let _ = writeln!(s, "  get X{a}({refdims})");
+            let _ = writeln!(s, "  u{a}({refdims}) = X{a}({refdims})");
+        }
+        let _ = writeln!(s, "endpardo {dims}");
+        let _ = writeln!(s, "sip_barrier");
+    }
+    s.push_str("endsial\n");
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every barrier-disciplined frontend-compiled program passes
+    /// `sial check` with zero diagnostics.
+    #[test]
+    fn generated_race_free_programs_pass_check(
+        arrays in prop::collection::vec(arb_array(), 1..4),
+        raw_phases in prop::collection::vec(arb_phase(3), 1..8),
+    ) {
+        let phases: Vec<Phase> = raw_phases
+            .into_iter()
+            .map(|mut p| { p.array %= arrays.len(); p })
+            .collect();
+        let src = render(&arrays, &phases);
+        let program = sial_frontend::compile(&src).unwrap_or_else(|e| {
+            panic!("generated source failed to compile: {e}\n{src}")
+        });
+        let diags = check_program(&program);
+        prop_assert!(
+            diags.is_empty(),
+            "false positive on a race-free program:\n{}\nsource:\n{src}",
+            diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    /// Dropping the barrier between a replace-mode write phase and a read
+    /// phase of the same array must always be flagged: no false negatives
+    /// on the canonical get-after-put shape.
+    #[test]
+    fn unbarriered_write_read_pair_is_always_flagged(array in arb_array()) {
+        let arrays = [array];
+        let mut src = render(
+            &arrays,
+            &[Phase { array: 0, write: true, accumulate: false, with_where: false }],
+        );
+        // Strip the trailing barrier and append a read phase.
+        src.truncate(src.rfind("sip_barrier").unwrap());
+        let dims = arrays[0].dims.join(", ");
+        let refdims = arrays[0].dims.join(",");
+        let _ = writeln!(src, "pardo {dims}");
+        let _ = writeln!(src, "  get X0({refdims})");
+        let _ = writeln!(src, "  u0({refdims}) = X0({refdims})");
+        let _ = writeln!(src, "endpardo {dims}");
+        src.push_str("endsial\n");
+        let program = sial_frontend::compile(&src).unwrap();
+        let diags = check_program(&program);
+        prop_assert!(
+            diags.iter().any(|d| d.rule.name() == "get-after-put"),
+            "missed race:\n{src}"
+        );
+    }
+}

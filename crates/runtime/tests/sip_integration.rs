@@ -573,6 +573,64 @@ endsial
 }
 
 #[test]
+fn prefetch_skips_blocks_outside_declared_range() {
+    // Regression: the prefetcher only bounded look-ahead against the loop's
+    // upper bound, so a guarded loop ranging past the array's declared
+    // segments (`do L … if L < 3`) speculatively fetched nonexistent blocks
+    // X(3..6), which the home answered with spurious zero allocations. The
+    // declared-range check must drop those keys: with segment range 1..=2
+    // for X, the only cold lookups are the two real blocks.
+    let src = r#"
+sial pf_oob
+aoindex i = 1, n
+aoindex L = 1, m
+aoindex k = 1, 1
+distributed X(i)
+distributed R(k)
+temp t(i)
+temp acc(k)
+scalar s
+pardo i
+  t(i) = 2.0
+  put X(i) = t(i)
+endpardo i
+sip_barrier
+pardo k
+  s = 0.0
+  do L
+    if L < 2.5
+      get X(L)
+      s += X(L) * X(L)
+    endif
+  enddo L
+  acc(k) = s
+  put R(k) = acc(k)
+endpardo k
+sip_barrier
+endsial
+"#;
+    let program = sial_frontend::compile(src).unwrap();
+    // Two workers so gets can be remote (the prefetcher no-ops on blocks
+    // homed locally); look-ahead deep enough that the old code speculated
+    // far past X's two declared segments (X(3)..X(10)).
+    let mut cfg = config(2);
+    cfg.prefetch_depth = 8;
+    let out = Sip::new(cfg)
+        .run(program, &bindings(&[("n", 2), ("m", 10)]))
+        .unwrap();
+    // s = 2 segments × 4 elements × 2.0² = 32.
+    let r = &out.collected["R"][&vec![1]];
+    assert!(r.data().iter().all(|&v| (v - 32.0).abs() < 1e-9), "{r:?}");
+    // Cold lookups can only be the two real blocks X(1), X(2); every
+    // speculative key beyond the declared range must have been dropped.
+    assert!(
+        out.profile.cache.misses <= 2,
+        "prefetch fetched blocks outside X's declared segments: {} cold lookups",
+        out.profile.cache.misses
+    );
+}
+
+#[test]
 fn delete_array_clears_blocks() {
     let src = r#"
 sial del

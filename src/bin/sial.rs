@@ -1,7 +1,8 @@
 //! `sial` — the SIA command-line driver.
 //!
 //! ```text
-//! sial check   prog.sial                      # compile, report diagnostics
+//! sial check   prog.sial                      # compile + static verify:
+//!                                             #   structure and pardo races
 //! sial compile prog.sial -o prog.siab        # emit SIA bytecode
 //! sial disasm  prog.sial|prog.siab           # show the bytecode listing
 //! sial dryrun  prog.sial --workers 64 --seg 16 --bind norb=20 --bind nocc=4
@@ -44,7 +45,9 @@ fn usage() -> ExitCode {
                               (crash=W@I kills worker W after I pardo iterations)\n\
            --machine <name>   simulate: sun|xt4|xt5|altix|bgp (default xt5)\n\
            --chem             register the synthetic chemistry kernels\n\
-           --profile          print the per-instruction profile after a run"
+           --profile          print the per-instruction profile after a run\n\
+           --check            run: verify the bytecode (as `sial check` does)\n\
+                              and refuse to launch the SIP on any finding"
     );
     ExitCode::from(2)
 }
@@ -87,6 +90,7 @@ struct Opts {
     bindings: ConstBindings,
     chem: bool,
     profile: bool,
+    check: bool,
     seg: usize,
     machine: &'static str,
 }
@@ -96,6 +100,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut bindings = ConstBindings::new();
     let mut chem = false;
     let mut profile = false;
+    let mut check = false;
     let mut seg = 8usize;
     let mut nsub = 2usize;
     let mut machine = "xt5";
@@ -175,6 +180,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--chem" => chem = true,
             "--profile" => profile = true,
+            "--check" => check = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -197,9 +203,29 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         bindings,
         chem,
         profile,
+        check,
         seg,
         machine,
     })
+}
+
+/// Runs the static verifier and prints any findings. Returns `true` when
+/// the program is clean.
+fn verify_program(file: &str, p: &sia::Program) -> bool {
+    let diags = sia::runtime::verify::check_program(p);
+    if diags.is_empty() {
+        return true;
+    }
+    for d in &diags {
+        eprintln!("{file}: {d}");
+    }
+    let races = diags.iter().filter(|d| d.rule.is_race()).count();
+    eprintln!(
+        "{file}: check failed — {} finding(s) ({} structural, {races} race)",
+        diags.len(),
+        diags.len() - races
+    );
+    false
 }
 
 fn load_program(path: &str) -> Result<sia::Program, String> {
@@ -229,6 +255,9 @@ fn main() -> ExitCode {
     match cmd {
         "check" => match load_program(file) {
             Ok(p) => {
+                if !verify_program(file, &p) {
+                    return ExitCode::FAILURE;
+                }
                 println!(
                     "{}: ok — {} instructions, {} arrays, {} indices, {} constants",
                     file,
@@ -314,6 +343,10 @@ fn main() -> ExitCode {
         },
         "run" => match load_program(file) {
             Ok(p) => {
+                if opts.check && !verify_program(file, &p) {
+                    eprintln!("{file}: refusing to run (--check)");
+                    return ExitCode::FAILURE;
+                }
                 let mut registry = SuperRegistry::new();
                 if opts.chem {
                     // The occupied count for denominators: `nocc` binding ×

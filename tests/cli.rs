@@ -271,3 +271,124 @@ fn shipped_programs_run() {
     );
     assert!(String::from_utf8_lossy(&out.stdout).contains("emp2 ="));
 }
+
+fn write_racy(tag: &str, body: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("sia-cli-racy-{tag}-{}.sial", std::process::id()));
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+#[test]
+fn check_flags_write_write_race() {
+    // Two pardo iterations differing only in j overwrite X(i): the race
+    // detector must name the uncovered index and fail the check.
+    let path = write_racy(
+        "ww",
+        "sial racy_ww
+aoindex i = 1, n
+aoindex j = 1, n
+distributed X(i)
+temp t(i)
+pardo i, j
+  t(i) = 1.0
+  put X(i) = t(i)
+endpardo i, j
+sip_barrier
+endsial
+",
+    );
+    let out = sial()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("write-write-race"), "{stderr}");
+    assert!(stderr.contains("put X(i) = t(i)"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_flags_unbarriered_get_after_put() {
+    let path = write_racy(
+        "gap",
+        "sial racy_gap
+aoindex i = 1, n
+distributed X(i)
+temp t(i)
+temp u(i)
+pardo i
+  t(i) = 1.0
+  put X(i) = t(i)
+endpardo i
+pardo i
+  get X(i)
+  u(i) = X(i)
+endpardo i
+endsial
+",
+    );
+    let out = sial()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("get-after-put"), "{stderr}");
+    assert!(stderr.contains("sip_barrier"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_flag_gates_a_run() {
+    // `run --check` must refuse to launch the SIP on a racy program…
+    let racy = write_racy(
+        "gate",
+        "sial racy_gate
+aoindex i = 1, n
+aoindex j = 1, n
+distributed X(i)
+temp t(i)
+pardo i, j
+  t(i) = 1.0
+  put X(i) = t(i)
+endpardo i, j
+sip_barrier
+endsial
+",
+    );
+    let out = sial()
+        .args(["run", racy.to_str().unwrap(), "--check", "--bind", "n=2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("refusing to run"), "{stderr}");
+    // …and nothing ran: no iteration summary on stdout.
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("iterations:"));
+    let _ = std::fs::remove_file(racy);
+
+    // A clean program passes the gate and still runs to completion.
+    let clean = write_demo("gateok");
+    let out = sial()
+        .args([
+            "run",
+            clean.to_str().unwrap(),
+            "--check",
+            "--workers",
+            "2",
+            "--seg",
+            "4",
+            "--bind",
+            "n=5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s = 45.0"));
+    let _ = std::fs::remove_file(clean);
+}
