@@ -86,7 +86,7 @@ fn main() {
     let out = Sip::new(config(workers, 16, None))
         .run(program.clone(), &bindings(n))
         .unwrap();
-    let m = &out.profile.memory;
+    let m = &out.profile.metrics.memory;
     println!(
         "put/get n={n}: {} clones avoided ({} KiB uncopied), {} deep copies, high water {} KiB/worker",
         m.clones_avoided,
@@ -141,7 +141,7 @@ fn main() {
     let out = Sip::new(config(workers, 2, None))
         .run(program.clone(), &bindings(n))
         .unwrap();
-    let c = &out.profile.cache;
+    let c = &out.profile.metrics.cache;
     println!(
         "tight cache (2 blocks): {} evictions, {} refetches, {} hits",
         c.evictions, c.refetches, c.hits,

@@ -119,8 +119,8 @@ fn main() {
         match real.run_real(cfg) {
             Ok(out) => table.row(vec![
                 cache.to_string(),
-                out.profile.cache.refetches.to_string(),
-                out.profile.cache.evictions.to_string(),
+                out.profile.metrics.cache.refetches.to_string(),
+                out.profile.metrics.cache.evictions.to_string(),
                 format!("{:.1}%", out.profile.wait_fraction() * 100.0),
             ]),
             Err(e) => table.row(vec![

@@ -52,9 +52,9 @@ fn main() {
                 table.row(vec![
                     depth.to_string(),
                     fmt_pct(out.profile.wait_fraction()),
-                    out.profile.cache.hits.to_string(),
-                    out.profile.cache.in_flight_hits.to_string(),
-                    out.profile.cache.refetches.to_string(),
+                    out.profile.metrics.cache.hits.to_string(),
+                    out.profile.metrics.cache.in_flight_hits.to_string(),
+                    out.profile.metrics.cache.refetches.to_string(),
                     out.traffic.messages.to_string(),
                 ]);
             }

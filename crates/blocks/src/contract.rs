@@ -250,7 +250,9 @@ impl ContractionPlan {
 
 /// Counters describing how the contraction hot path behaved: copies folded
 /// away, copies materialized, and where the scratch for the latter came
-/// from. Aggregated per worker and surfaced in the SIP profile summary.
+/// from. Aggregated per worker into the runtime's unified `Metrics`
+/// model (whose `Merge` impl delegates to [`ContractStats::merge`]) and
+/// surfaced as the `contract:` section of `--profile`/`--profile-json`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ContractStats {
     /// Contractions executed.

@@ -106,6 +106,9 @@ pub struct BlockCache {
     ready_bytes: u64,
     ever_fetched: RefetchFilter,
     stats: CacheStats,
+    /// Evicted `(key, bytes)` pairs since the last drain — `None` (and never
+    /// allocated) unless the tracer asked for it.
+    evict_log: Option<Vec<(BlockKey, u64)>>,
 }
 
 impl BlockCache {
@@ -119,6 +122,22 @@ impl BlockCache {
             ready_bytes: 0,
             ever_fetched: RefetchFilter::new(),
             stats: CacheStats::default(),
+            evict_log: None,
+        }
+    }
+
+    /// Starts logging evictions (for the event tracer). Off by default so
+    /// the eviction path never allocates on untraced runs.
+    pub fn enable_evict_log(&mut self) {
+        self.evict_log.get_or_insert_with(Vec::new);
+    }
+
+    /// Takes the evictions logged since the last drain (empty when the log
+    /// was never enabled).
+    pub fn drain_evictions(&mut self) -> Vec<(BlockKey, u64)> {
+        match self.evict_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
         }
     }
 
@@ -305,6 +324,9 @@ impl BlockCache {
                         let b = h.heap_bytes();
                         self.ready_bytes -= b;
                         freed += b;
+                        if let Some(log) = self.evict_log.as_mut() {
+                            log.push((k, b));
+                        }
                     }
                     self.stats.evictions += 1;
                 }

@@ -9,7 +9,9 @@
 //! accounts the time as *wait* for the profiler.
 
 use crate::error::RuntimeError;
+use crate::events::{EventKind, RecoveryEvent};
 use crate::ft::TakeoverChunk;
+use crate::metrics::WaitCause;
 use crate::msg::{BarrierKind, BlockKey, SipMsg};
 use crate::registry::{SuperArg, SuperEnv};
 use crate::scheduler::{eval_bool, eval_scalar};
@@ -51,18 +53,22 @@ impl Worker {
                 .ok_or_else(|| RuntimeError::BadProgram(format!("pc {pc} out of range")))?;
             let t_ins = Instant::now();
             let mut wait = Duration::ZERO;
+            let class = ins.class();
             let next = self.step(pc, ins, &mut plans, &mut wait)?;
             let busy = t_ins.elapsed().saturating_sub(wait);
             self.profile.record(pc, busy, wait);
+            self.trace
+                .span_since(EventKind::Instruction { pc, class }, t_ins);
             match next {
                 Some(n) => pc = n,
                 None => break,
             }
         }
         self.profile.total_nanos = t0.elapsed().as_nanos() as u64;
-        self.profile.cache = self.mem.cache_stats();
-        self.profile.memory = self.mem.stats();
+        self.profile.metrics.cache = self.mem.cache_stats();
+        self.profile.metrics.memory = self.mem.stats();
         self.profile
+            .metrics
             .contraction
             .merge(&self.contract_ctx.take_stats());
         Ok(())
@@ -133,7 +139,7 @@ impl Worker {
                 p.requested = true;
             }
         }
-        *wait += self.wait_until("pardo chunk", |w| {
+        *wait += self.wait_until(WaitCause::ChunkAssign, "pardo chunk", |w| {
             let p = w.pardo.as_ref().unwrap();
             !p.queue.is_empty() || p.exhausted
         })?;
@@ -445,7 +451,10 @@ impl Worker {
                     },
                 )?;
                 let lbl = label.0;
-                *wait += self.wait_until("checkpoint", |w| w.ckpt_released.contains(&lbl))?;
+                self.trace.instant(EventKind::Checkpoint { restore: false });
+                *wait += self.wait_until(WaitCause::Checkpoint, "checkpoint", |w| {
+                    w.ckpt_released.contains(&lbl)
+                })?;
                 self.ckpt_released.remove(&lbl);
                 Ok(Some(pc + 1))
             }
@@ -464,8 +473,10 @@ impl Worker {
                     },
                 )?;
                 let lbl = label.0;
-                *wait +=
-                    self.wait_until("checkpoint restore", |w| w.ckpt_released.contains(&lbl))?;
+                self.trace.instant(EventKind::Checkpoint { restore: true });
+                *wait += self.wait_until(WaitCause::Checkpoint, "checkpoint restore", |w| {
+                    w.ckpt_released.contains(&lbl)
+                })?;
                 self.ckpt_released.remove(&lbl);
                 self.mem.cache_invalidate_array(*array);
                 Ok(Some(pc + 1))
@@ -649,11 +660,19 @@ impl Worker {
     }
 
     pub(crate) fn barrier(&mut self, kind: BarrierKind) -> Result<Duration, RuntimeError> {
+        let barrier_cause = match kind {
+            BarrierKind::Sip => WaitCause::SipBarrier,
+            BarrierKind::Server => WaitCause::ServerBarrier,
+        };
         // Conflicting accesses must be complete before we report in: drain
         // outstanding acks first.
         let mut total = match kind {
-            BarrierKind::Sip => self.wait_until("put acks", |w| w.puts_drained())?,
-            BarrierKind::Server => self.wait_until("prepare acks", |w| w.prepares_drained())?,
+            BarrierKind::Sip => {
+                self.wait_until(WaitCause::AckDrain, "put acks", |w| w.puts_drained())?
+            }
+            BarrierKind::Server => self.wait_until(WaitCause::AckDrain, "prepare acks", |w| {
+                w.prepares_drained()
+            })?,
         };
         let master = self.layout.topology.master();
         self.endpoint.send(master, SipMsg::BarrierEnter { kind })?;
@@ -669,13 +688,15 @@ impl Worker {
                 if self.barrier_release == Some(kind) {
                     break;
                 }
-                total += self.wait_until("barrier release", |w| {
+                total += self.wait_until(barrier_cause, "barrier release", |w| {
                     w.barrier_release == Some(kind)
                         || w.ft.as_ref().is_some_and(|ft| !ft.takeovers.is_empty())
                 })?;
             }
         } else {
-            total += self.wait_until("barrier release", |w| w.barrier_release == Some(kind))?;
+            total += self.wait_until(barrier_cause, "barrier release", |w| {
+                w.barrier_release == Some(kind)
+            })?;
         }
         self.barrier_release = None;
         Ok(total)
@@ -702,6 +723,9 @@ impl Worker {
         if let Some(ft) = self.ft.as_mut() {
             ft.in_takeover = true;
         }
+        self.trace.instant(EventKind::Recovery {
+            what: RecoveryEvent::Takeover,
+        });
         let mut plans: HashMap<u32, ContractionPlan> = HashMap::new();
         let result = (|| -> Result<(), RuntimeError> {
             for iter in &chunk.iters {
@@ -731,7 +755,9 @@ impl Worker {
             }
             // The master counts this chunk complete only once its data is
             // durable at the (surviving) homes.
-            self.wait_until("takeover put acks", |w| w.puts_drained())?;
+            self.wait_until(WaitCause::Recovery, "takeover put acks", |w| {
+                w.puts_drained()
+            })?;
             Ok(())
         })();
         if let Some(ft) = self.ft.as_mut() {
@@ -773,7 +799,9 @@ impl Worker {
                     value: self.scalars[id.index()],
                 },
             )?;
-            *wait += self.wait_until("allreduce", |w| w.reduce_result.is_some())?;
+            *wait += self.wait_until(WaitCause::Collective, "allreduce", |w| {
+                w.reduce_result.is_some()
+            })?;
             self.scalars[id.index()] = self.reduce_result.take().unwrap();
             return Ok(());
         }

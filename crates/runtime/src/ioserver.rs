@@ -11,6 +11,7 @@
 //! the original's asynchronous I/O.
 
 use crate::error::RuntimeError;
+use crate::events::{EventKind, TraceSink};
 use crate::layout::Layout;
 use crate::msg::{BlockKey, OpId, SipMsg};
 use sia_blocks::{Block, BlockHandle, Shape};
@@ -21,25 +22,9 @@ use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Counters an I/O server reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Requests served from the cache.
-    pub cache_hits: u64,
-    /// Requests that went to disk.
-    pub disk_reads: u64,
-    /// Blocks written to disk (flushes).
-    pub disk_writes: u64,
-    /// Requests for never-prepared blocks (served as zeros).
-    pub zero_serves: u64,
-    /// Prepares received.
-    pub prepares: u64,
-    /// Duplicate prepares suppressed (retries, fabric duplication, or chunk
-    /// re-execution after a rank failure).
-    pub dup_prepares_suppressed: u64,
-}
+pub use crate::metrics::ServerStats;
 
 struct Entry {
     block: BlockHandle,
@@ -61,6 +46,8 @@ pub struct IoServer {
     applied_ops: HashMap<u64, u64>,
     /// Completed served epochs (advanced by `EpochMark`).
     epoch: u64,
+    /// Event recorder (disabled unless the runtime installs a live sink).
+    trace: TraceSink,
 }
 
 fn key_filename(key: &BlockKey) -> String {
@@ -145,7 +132,13 @@ impl IoServer {
             stats: ServerStats::default(),
             applied_ops: HashMap::new(),
             epoch: 0,
+            trace: TraceSink::disabled(),
         })
+    }
+
+    /// Installs the event sink (called by the runtime before `run`).
+    pub(crate) fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     fn path_of(&self, key: &BlockKey) -> PathBuf {
@@ -173,6 +166,7 @@ impl IoServer {
         write_block_file(&path, &entry.block)?;
         entry.dirty = false;
         self.stats.disk_writes += 1;
+        self.trace.instant(EventKind::Flush { blocks: 1 });
         Ok(true)
     }
 
@@ -340,7 +334,11 @@ impl IoServer {
                     let src = env.src;
                     match env.msg {
                         SipMsg::RequestBlock { key, req } => {
+                            let t0 = Instant::now();
+                            let reads0 = self.stats.disk_reads;
                             let data = self.load(key)?;
+                            let disk = self.stats.disk_reads > reads0;
+                            self.trace.span_since(EventKind::Serve { key, disk }, t0);
                             let _ = self
                                 .endpoint
                                 .send(src, SipMsg::BlockData { key, data, req });
@@ -365,6 +363,18 @@ impl IoServer {
                         }
                         SipMsg::Shutdown => {
                             self.flush_all()?;
+                            // Ship counters (and recorded events) to the
+                            // master, which is draining its inbox for these
+                            // after the shutdown broadcast.
+                            let (events, dropped) = self.trace.drain();
+                            let _ = self.endpoint.send(
+                                self.layout.topology.master(),
+                                SipMsg::ServerDone {
+                                    stats: self.stats,
+                                    events,
+                                    dropped,
+                                },
+                            );
                             return Ok(self.stats);
                         }
                         _ => {}

@@ -146,8 +146,9 @@ pub struct SipConfig {
     /// Directory for served-array block files and checkpoints; a fresh
     /// temporary directory is created when `None`.
     pub run_dir: Option<PathBuf>,
-    /// Per-worker memory budget the dry run checks against (`None` skips the
-    /// feasibility gate but the estimate is still produced).
+    /// Per-worker memory budget in **bytes** that the dry run checks against
+    /// (`None` skips the feasibility gate but the estimate is still produced)
+    /// and the block manager enforces at runtime.
     pub memory_budget: Option<u64>,
     /// Guided-scheduling divisor: first chunks are
     /// `remaining / (chunk_factor * workers)`, shrinking as work drains.
@@ -157,16 +158,18 @@ pub struct SipConfig {
     pub chunk_policy: Option<crate::scheduler::ChunkPolicy>,
     /// Distributed-block placement strategy.
     pub placement: Placement,
-    /// Intra-worker threads for the block-contraction GEMM (1 = serial).
+    /// Intra-worker thread **count** for the block-contraction GEMM
+    /// (1 = serial).
     pub gemm_threads: usize,
     /// Feed transpose-shaped operand permutations to the GEMM as layout
     /// flags instead of materializing permuted copies (ablation switch).
     pub fold_transposes: bool,
-    /// Poll interval of service loops that are idle but must keep draining
-    /// messages (e.g. a finished worker serving GETs until shutdown).
+    /// Poll interval (a **`Duration`**; default 1 ms) of service loops that
+    /// are idle but must keep draining messages (e.g. a finished worker
+    /// serving GETs until shutdown).
     pub service_poll: Duration,
-    /// Poll interval while blocked on a specific event (block arrival,
-    /// chunk assignment, barrier release).
+    /// Poll interval (a **`Duration`**; default 200 µs) while blocked on a
+    /// specific event (block arrival, chunk assignment, barrier release).
     pub wait_poll: Duration,
     /// Fault injection and recovery; `None` (the default) runs on a perfect
     /// fabric with all recovery machinery disabled.
@@ -175,6 +178,22 @@ pub struct SipConfig {
     /// startup; surfaced to programs via `execute sip_resume_epoch s`. Set
     /// by the runtime, not by users.
     pub resumed_epochs: u64,
+    /// Record per-rank trace events (instruction/wait/comm-flight spans,
+    /// cache and recovery events) into preallocated ring buffers, merged
+    /// into [`RunOutput::trace`](crate::RunOutput::trace) at shutdown.
+    /// Off by default: a disabled sink costs one branch per record site
+    /// and allocates nothing.
+    pub trace: bool,
+    /// Write the merged timeline as Chrome-trace/Perfetto JSON to this
+    /// path at the end of the run. Setting a path implies `trace`.
+    pub trace_path: Option<PathBuf>,
+    /// Per-rank trace ring capacity in **events** (not bytes); when the
+    /// ring fills, the oldest events are overwritten and counted as
+    /// dropped. Default 65 536.
+    pub trace_buffer_events: usize,
+    /// Write the machine-readable profile (`sia.profile.v1` JSON) to this
+    /// path at the end of the run.
+    pub profile_json: Option<PathBuf>,
 }
 
 impl Default for SipConfig {
@@ -199,6 +218,10 @@ impl Default for SipConfig {
             wait_poll: Duration::from_micros(200),
             fault: None,
             resumed_epochs: 0,
+            trace: false,
+            trace_path: None,
+            trace_buffer_events: crate::events::DEFAULT_TRACE_EVENTS,
+            profile_json: None,
         }
     }
 }
@@ -226,6 +249,12 @@ impl SipConfig {
     /// True when fault tolerance (retry/recovery machinery) is active.
     pub fn fault_tolerant(&self) -> bool {
         self.fault.is_some()
+    }
+
+    /// True when trace events should be recorded (either the flag or an
+    /// export path enables collection).
+    pub fn tracing(&self) -> bool {
+        self.trace || self.trace_path.is_some()
     }
 }
 
@@ -363,6 +392,32 @@ impl SipConfigBuilder {
         self
     }
 
+    /// Record per-rank trace events (kept in memory, surfaced in
+    /// `RunOutput::trace`).
+    pub fn trace(mut self, yes: bool) -> Self {
+        self.config.trace = yes;
+        self
+    }
+
+    /// Write the merged Chrome-trace JSON here at the end of the run
+    /// (implies trace collection).
+    pub fn trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.trace_path = Some(path.into());
+        self
+    }
+
+    /// Per-rank trace ring capacity in events (not bytes).
+    pub fn trace_buffer_events(mut self, n: usize) -> Self {
+        self.config.trace_buffer_events = n;
+        self
+    }
+
+    /// Write the machine-readable profile JSON here at the end of the run.
+    pub fn profile_json(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.profile_json = Some(path.into());
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<SipConfig, ConfigError> {
         let c = self.config;
@@ -393,6 +448,11 @@ impl SipConfigBuilder {
         }
         if c.service_poll.is_zero() || c.wait_poll.is_zero() {
             return Err(ConfigError("poll intervals must be nonzero".into()));
+        }
+        if c.tracing() && c.trace_buffer_events < 16 {
+            return Err(ConfigError(
+                "trace_buffer_events must be ≥ 16 when tracing".into(),
+            ));
         }
         if let Some(f) = &c.fault {
             let world = 1 + c.workers + c.io_servers;

@@ -50,35 +50,58 @@
 //! assert!((out.scalars["total"] - 4.0 * 8.0 * 6.25).abs() < 1e-9);
 //! ```
 
+// The public modules: each is a coherent surface on its own (the event
+// tracer, the metrics model, the verifier, the simulator trace, …).
 pub mod cache;
 pub mod dryrun;
-pub mod error;
-pub(crate) mod ft;
-pub mod interp;
+pub mod events;
 pub mod ioserver;
-pub mod layout;
-pub mod master;
-pub mod memory;
-pub mod msg;
-pub mod profile;
-pub mod registry;
+pub mod metrics;
 pub mod scheduler;
 pub mod trace;
 pub mod verify;
-pub mod worker;
 
+// Runtime internals: reachable only through the re-exports below.
+pub(crate) mod error;
+pub(crate) mod ft;
+pub(crate) mod interp;
+pub(crate) mod layout;
+pub(crate) mod master;
+pub(crate) mod memory;
+pub(crate) mod msg;
+pub(crate) mod profile;
+pub(crate) mod registry;
+pub(crate) mod worker;
+
+pub use cache::CacheStats;
 pub use dryrun::MemoryEstimate;
 pub use error::{CommKind, RuntimeError};
+pub use events::{
+    lint_chrome_trace, lint_profile_json, CommOp, EventKind, RankTrace, RecoveryEvent, TraceEvent,
+    TraceLint, TraceSink, TraceTimeline,
+};
 pub use layout::{
     ConfigError, CrashSchedule, FaultConfig, Layout, Placement, SegmentConfig, SipConfig,
     SipConfigBuilder, Topology,
 };
 pub use memory::{BlockManager, MemoryStats};
+pub use metrics::{
+    CommStats, FaultStats, Merge, Metrics, RecoveryStats, ServerStats, WaitCause, WaitStats,
+};
 pub use msg::{BlockKey, OpId, SipMsg};
-pub use profile::{FaultStats, ProfileReport, RecoveryStats};
+pub use profile::{ProfileLine, ProfileReport, WorkerProfile};
 pub use registry::{SuperArg, SuperEnv, SuperRegistry};
 pub use sia_fabric::{CrashSpec, FaultPlan, FaultSnapshot};
 pub use verify::{check_program, Diagnostic, Rule};
+
+/// The items most embedders need: configure a SIP, run it, read the
+/// metrics/profile, and handle the trace.
+pub mod prelude {
+    pub use crate::{
+        Merge, Metrics, ProfileReport, RunOutput, Sip, SipConfig, SipConfigBuilder, TraceSink,
+        TraceTimeline, WaitCause,
+    };
+}
 
 use sia_blocks::Block;
 use sia_bytecode::{ConstBindings, Program};
@@ -127,6 +150,9 @@ pub struct RunOutput {
     /// Per-rank traffic (rank 0 = master, then workers, then I/O servers) —
     /// the load-balance view the placement ablation reads.
     pub traffic_per_rank: Vec<RankTraffic>,
+    /// The merged cross-rank event timeline (`Some` when tracing was
+    /// enabled via [`SipConfig::trace`] or a `trace_path`).
+    pub trace: Option<TraceTimeline>,
 }
 
 /// The SIP entry point: configure, register super instructions, run.
@@ -240,13 +266,29 @@ impl Sip {
             .unwrap_or(scheduler::ChunkPolicy::Guided {
                 factor: self.config.chunk_factor,
             });
-        let master = master::Master::new(
+        let mut master = master::Master::new(
             Arc::clone(&layout),
             master_ep,
             chunk_policy,
             run_dir.clone(),
             self.config.fault.clone(),
         );
+
+        // One epoch `Instant` shared by every rank's trace sink: merged
+        // timestamps need no clock alignment.
+        let trace_on = self.config.tracing();
+        let trace_cap = self.config.trace_buffer_events;
+        let trace_epoch = std::time::Instant::now();
+        let mk_sink = move || {
+            if trace_on {
+                TraceSink::enabled(trace_cap, trace_epoch)
+            } else {
+                TraceSink::disabled()
+            }
+        };
+        if trace_on {
+            master.set_trace(mk_sink());
+        }
 
         let result = std::thread::scope(|scope| {
             // Workers.
@@ -257,6 +299,9 @@ impl Sip {
                 let collect = self.config.collect_distributed;
                 scope.spawn(move || {
                     let mut w = worker::Worker::new(layout, config, ep, registry);
+                    if trace_on {
+                        w.set_trace(mk_sink());
+                    }
                     run_worker(&mut w, collect);
                 });
             }
@@ -269,6 +314,9 @@ impl Sip {
                 scope.spawn(move || {
                     match ioserver::IoServer::new(layout, ep, dir, cap) {
                         Ok(mut server) => {
+                            if trace_on {
+                                server.set_trace(mk_sink());
+                            }
                             let _ = server.run();
                         }
                         Err(_) => { /* workers will fail on prepare/request */ }
@@ -283,7 +331,7 @@ impl Sip {
             let _ = std::fs::remove_dir_all(&run_dir);
         }
 
-        let master_out = result?;
+        let mut master_out = result?;
 
         // ---- assemble output -----------------------------------------------------
         let mut scalars = BTreeMap::new();
@@ -301,9 +349,52 @@ impl Sip {
                 .insert(key.segs().iter().map(|&s| s as i64).collect(), block);
         }
         let mut profile = ProfileReport::merge(&layout.program, &master_out.profiles);
-        profile.recovery = master_out.recovery;
-        profile.fabric_faults = stats.total_faults();
+        // Fold in the counters the workers can't carry themselves: master
+        // recovery, I/O-server totals, and fabric injection.
+        profile.metrics.recovery.merge(&master_out.recovery);
+        profile.metrics.server.merge(&master_out.server);
+        Merge::merge(&mut profile.metrics.fabric, &stats.total_faults());
         profile.dry_run_estimate_bytes = estimate.per_worker_bytes;
+
+        // ---- merged trace timeline -------------------------------------------
+        let trace = if trace_on {
+            let mut tl = TraceTimeline::default();
+            tl.ranks.push(RankTrace {
+                rank: 0,
+                label: "master".into(),
+                events: std::mem::take(&mut master_out.master_events),
+                dropped: master_out.master_dropped,
+            });
+            for (i, p) in master_out.profiles.iter_mut().enumerate() {
+                let rank = layout.topology.worker(i).0;
+                tl.ranks.push(RankTrace {
+                    rank,
+                    label: format!("worker {rank}"),
+                    events: std::mem::take(&mut p.events),
+                    dropped: p.events_dropped,
+                });
+            }
+            for (rank, events, dropped) in std::mem::take(&mut master_out.server_events) {
+                tl.ranks.push(RankTrace {
+                    rank: rank.0,
+                    label: format!("io {}", rank.0),
+                    events,
+                    dropped,
+                });
+            }
+            tl.ranks.sort_by_key(|r| r.rank);
+            Some(tl)
+        } else {
+            None
+        };
+        if let (Some(tl), Some(path)) = (&trace, &self.config.trace_path) {
+            std::fs::write(path, tl.to_chrome_json(Some(&layout.program)))
+                .map_err(|e| RuntimeError::ServedIo(format!("write trace {path:?}: {e}")))?;
+        }
+        if let Some(path) = &self.config.profile_json {
+            std::fs::write(path, profile.to_json())
+                .map_err(|e| RuntimeError::ServedIo(format!("write profile {path:?}: {e}")))?;
+        }
         let traffic_per_rank: Vec<RankTraffic> = (0..topology.world_size())
             .map(|r| {
                 let c = stats.counters_of(sia_fabric::Rank(r));
@@ -326,6 +417,7 @@ impl Sip {
                 bytes: stats.total_bytes_sent(),
             },
             traffic_per_rank,
+            trace,
         })
     }
 
@@ -371,6 +463,10 @@ fn run_worker(w: &mut worker::Worker, collect: bool) {
             } else {
                 Vec::new()
             };
+            // Ship the trace ring inside the profile.
+            let (events, events_dropped) = w.trace.drain();
+            w.profile.events = events;
+            w.profile.events_dropped = events_dropped;
             let msg = SipMsg::WorkerDone {
                 scalars: w.scalars.clone(),
                 blocks,

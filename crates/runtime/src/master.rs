@@ -15,10 +15,12 @@
 //! post-pardo barrier (see DESIGN.md "Fault model & recovery").
 
 use crate::error::{CommKind, RuntimeError};
+use crate::events::{EventKind, RecoveryEvent, TraceEvent, TraceSink};
 use crate::ft;
 use crate::layout::{FaultConfig, Layout};
+use crate::metrics::{Merge, RecoveryStats, ServerStats};
 use crate::msg::{BarrierKind, BlockKey, OpId, SipMsg};
-use crate::profile::{RecoveryStats, WorkerProfile};
+use crate::profile::WorkerProfile;
 use crate::scheduler::{ChunkPolicy, GuidedScheduler, IterationSpace};
 use sia_blocks::{Block, BlockHandle, Shape};
 use sia_bytecode::{ArrayId, Instruction, PutMode};
@@ -86,6 +88,15 @@ pub struct MasterOutput {
     pub warnings: Vec<String>,
     /// Master-side recovery counters (all zero on fault-free runs).
     pub recovery: RecoveryStats,
+    /// I/O-server counters, merged across servers.
+    pub server: ServerStats,
+    /// Per-I/O-server trace events: (rank, events, dropped). Empty unless
+    /// tracing was enabled.
+    pub server_events: Vec<(Rank, Vec<TraceEvent>, u64)>,
+    /// The master's own trace events (empty unless tracing was enabled).
+    pub master_events: Vec<TraceEvent>,
+    /// Events the master's ring buffer overwrote.
+    pub master_dropped: u64,
 }
 
 /// The master rank's controller.
@@ -124,6 +135,8 @@ pub struct Master {
     served_epochs: u64,
     /// A served-epoch commit in progress: (epoch, acks still missing).
     epoch_pending: Option<(u64, usize)>,
+    // ---- observability ------------------------------------------------------
+    trace: TraceSink,
 }
 
 impl Master {
@@ -163,7 +176,13 @@ impl Master {
             recovery: RecoveryStats::default(),
             served_epochs: 0,
             epoch_pending: None,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Installs an event-trace sink (shared-epoch; see [`TraceSink`]).
+    pub(crate) fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
     }
 
     fn workers(&self) -> usize {
@@ -399,6 +418,7 @@ impl Master {
             *ready += 1;
             if *ready == self.alive_count() {
                 self.ckpt_restore_ready.remove(&label);
+                self.trace.instant(EventKind::Checkpoint { restore: true });
                 let blocks = read_checkpoint(&self.ckpt_path(label))?;
                 let dead: Vec<bool> = self.alive.iter().map(|a| !a).collect();
                 let track = self.fault.is_some() && self.flight.is_none();
@@ -444,6 +464,7 @@ impl Master {
             save.done += 1;
             if save.done == self.alive_count() {
                 let save = self.ckpt_saves.remove(&label).unwrap();
+                self.trace.instant(EventKind::Checkpoint { restore: false });
                 write_checkpoint(&self.ckpt_path(label), &save.blocks)?;
                 self.broadcast_workers(|| SipMsg::CkptRelease { label });
             }
@@ -533,6 +554,9 @@ impl Master {
         let dead_rank = self.layout.topology.worker(widx);
         self.alive[widx] = false;
         self.recovery.ranks_died += 1;
+        self.trace.instant(EventKind::Recovery {
+            what: RecoveryEvent::RankDead,
+        });
         self.warnings
             .push(format!("worker {widx} declared dead; recovering"));
         for (&(pc, ep), s) in &mut self.schedulers {
@@ -546,6 +570,9 @@ impl Master {
                 let (_, iters) = s.outstanding.remove(&c).unwrap();
                 self.takeover_queue.push_back((pc, ep, c, iters));
                 self.recovery.requeued_chunks += 1;
+                self.trace.instant(EventKind::Recovery {
+                    what: RecoveryEvent::Requeue,
+                });
             }
         }
         for w in self.barrier_waiting.values_mut() {
@@ -584,6 +611,9 @@ impl Master {
             );
             pending.insert(key, (home, data));
             self.recovery.restored_blocks += 1;
+            self.trace.instant(EventKind::Recovery {
+                what: RecoveryEvent::Restore,
+            });
         }
         if pending.is_empty() {
             self.finish_recovery(widx, ops);
@@ -648,6 +678,9 @@ impl Master {
             );
             self.takeover_outstanding.insert((pardo_pc, epoch, chunk));
             self.recovery.takeover_chunks += 1;
+            self.trace.instant(EventKind::Recovery {
+                what: RecoveryEvent::Takeover,
+            });
         }
     }
 
@@ -699,6 +732,39 @@ impl Master {
                 .endpoint
                 .send(self.layout.topology.io_server(j), SipMsg::Shutdown);
         }
+        // The I/O servers reply to the shutdown with their final counters
+        // (and trace events). Bounded wait: a wedged server must not hang
+        // the whole run's teardown.
+        let mut server = ServerStats::default();
+        let mut server_events: Vec<(Rank, Vec<TraceEvent>, u64)> = Vec::new();
+        let mut awaited = self.layout.topology.io_servers;
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while awaited > 0 && Instant::now() < deadline {
+            let Some(env) = self.endpoint.recv_timeout(Duration::from_millis(20)) else {
+                if self.endpoint.shutdown_raised() {
+                    break;
+                }
+                continue;
+            };
+            // Stragglers from the data plane (late acks, heartbeats) are
+            // expected during teardown and safely dropped.
+            if let SipMsg::ServerDone {
+                stats,
+                events,
+                dropped,
+            } = env.msg
+            {
+                server.merge(&stats);
+                server_events.push((env.src, events, dropped));
+                awaited -= 1;
+            }
+        }
+        if awaited > 0 {
+            self.warnings.push(format!(
+                "{awaited} I/O server(s) never reported final stats"
+            ));
+        }
+        let (master_events, master_dropped) = self.trace.drain();
         let mut scalars_out = Vec::with_capacity(self.workers());
         let mut profiles = Vec::with_capacity(self.workers());
         for slot in self.done.drain(..) {
@@ -713,6 +779,10 @@ impl Master {
             profiles,
             warnings: std::mem::take(&mut self.warnings),
             recovery: self.recovery,
+            server,
+            server_events,
+            master_events,
+            master_dropped,
         })
     }
 

@@ -50,22 +50,6 @@ pub struct MemoryStats {
     pub budget_evictions: u64,
 }
 
-impl MemoryStats {
-    /// Folds another worker's stats into a fleet view: byte figures take the
-    /// per-worker maximum (the quantity comparable to the per-worker dry-run
-    /// estimate and budget), event counters sum.
-    pub fn absorb(&mut self, o: &MemoryStats) {
-        self.pinned_bytes = self.pinned_bytes.max(o.pinned_bytes);
-        self.cached_bytes = self.cached_bytes.max(o.cached_bytes);
-        self.high_water_bytes = self.high_water_bytes.max(o.high_water_bytes);
-        self.budget_bytes = self.budget_bytes.max(o.budget_bytes);
-        self.clones_avoided += o.clones_avoided;
-        self.bytes_clone_avoided += o.bytes_clone_avoided;
-        self.deep_copies += o.deep_copies;
-        self.budget_evictions += o.budget_evictions;
-    }
-}
-
 /// One rank's unified block store: pinned home/local maps, the byte-LRU
 /// cache of remote copies, byte accounting, and budget enforcement.
 pub struct BlockManager {
@@ -120,6 +104,17 @@ impl BlockManager {
     /// Records a data-plane deep copy that could not be avoided.
     pub fn note_deep_copy(&mut self) {
         self.deep_copies += 1;
+    }
+
+    /// Starts logging cache evictions (for the event tracer). Off by
+    /// default; the eviction path stays allocation-free on untraced runs.
+    pub fn enable_evict_log(&mut self) {
+        self.cache.enable_evict_log();
+    }
+
+    /// Takes the `(key, bytes)` evictions logged since the last drain.
+    pub fn drain_evictions(&mut self) -> Vec<(BlockKey, u64)> {
+        self.cache.drain_evictions()
     }
 
     /// Applies budget pressure: evicts unshared cached copies LRU-first

@@ -309,6 +309,16 @@ pub enum SipMsg {
         /// The error message.
         error: String,
     },
+    /// I/O server reports its counters (and, when tracing, its recorded
+    /// events) to the master after receiving `Shutdown`.
+    ServerDone {
+        /// The server's lifetime counters.
+        stats: crate::metrics::ServerStats,
+        /// Recorded trace events (empty unless tracing).
+        events: Vec<crate::events::TraceEvent>,
+        /// Events lost to ring-buffer overwrite.
+        dropped: u64,
+    },
     /// Master tells everyone to exit their service loops.
     Shutdown,
 }
@@ -328,6 +338,9 @@ impl Message for SipMsg {
                 scalars, blocks, ..
             } => 16 + scalars.len() * 8 + blocks.iter().map(|(_, b)| block_bytes(b)).sum::<usize>(),
             SipMsg::RankDead { inherited_ops, .. } => 16 + inherited_ops.len() * 8,
+            SipMsg::ServerDone { events, .. } => {
+                64 + events.len() * std::mem::size_of::<crate::events::TraceEvent>()
+            }
             _ => 32,
         }
     }

@@ -4,73 +4,24 @@
 //! of very detailed performance metrics without an impact on performance."
 //! Each worker records, per program counter: execution count, cumulative
 //! busy time, and cumulative *wait* time (time blocked on block arrival,
-//! chunk assignment, or barriers). The master merges the per-worker profiles
-//! into a [`ProfileReport`] whose lines reference the disassembled
-//! instruction, keeping the source↔profile relationship transparent.
+//! chunk assignment, or barriers). Counters beyond the per-pc table live in
+//! the unified [`Metrics`] registry the profile carries. The master merges
+//! the per-worker profiles into a [`ProfileReport`] whose lines reference
+//! the disassembled instruction, keeping the source↔profile relationship
+//! transparent.
+//!
+//! Wait accounting happens at exactly one point — the `wait_until` call
+//! sites feed [`Metrics::wait`] via [`WorkerProfile::add_wait`] — and
+//! [`WorkerProfile::record`] only *attributes* wait to a pc. A blocked
+//! instruction that retries (re-arms its fetch and waits again) therefore
+//! cannot double-count wait into both the per-pc table and the totals.
 
+use crate::events::TraceEvent;
+use crate::metrics::{quiet, JsonWriter, Merge, Metrics, WaitCause};
 use sia_bytecode::{InstructionClass, Program};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
-
-/// Per-worker fault-tolerance counters (all zero on fault-free runs).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FaultStats {
-    /// PUT retries after an ack timeout.
-    pub put_retries: u64,
-    /// PREPARE retries after an ack timeout.
-    pub prepare_retries: u64,
-    /// GET/REQUEST re-issues after a reply timeout.
-    pub fetch_retries: u64,
-    /// Duplicate PUTs suppressed on the receiving side.
-    pub dup_puts_suppressed: u64,
-    /// Journaled puts replayed to a new home after a rank death.
-    pub journal_replays: u64,
-    /// Operations re-routed because their home died.
-    pub reroutes: u64,
-}
-
-impl FaultStats {
-    /// Total retried operations (the `--profile` headline number).
-    pub fn retries(&self) -> u64 {
-        self.put_retries + self.prepare_retries + self.fetch_retries
-    }
-
-    /// Accumulates another worker's counters.
-    pub fn absorb(&mut self, o: &FaultStats) {
-        self.put_retries += o.put_retries;
-        self.prepare_retries += o.prepare_retries;
-        self.fetch_retries += o.fetch_retries;
-        self.dup_puts_suppressed += o.dup_puts_suppressed;
-        self.journal_replays += o.journal_replays;
-        self.reroutes += o.reroutes;
-    }
-
-    /// True when anything fault-related happened.
-    pub fn any(&self) -> bool {
-        *self != FaultStats::default()
-    }
-}
-
-/// Master-side recovery counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RecoveryStats {
-    /// Workers declared dead by the liveness monitor.
-    pub ranks_died: u64,
-    /// Pardo chunks re-queued from dead workers to survivors.
-    pub requeued_chunks: u64,
-    /// Blocks restored from a dead worker's epoch checkpoint.
-    pub restored_blocks: u64,
-    /// Re-queued chunks dispatched to workers parked at a barrier.
-    pub takeover_chunks: u64,
-}
-
-impl RecoveryStats {
-    /// True when any recovery action ran.
-    pub fn any(&self) -> bool {
-        *self != RecoveryStats::default()
-    }
-}
 
 /// One worker's raw counters (shipped to the master in `WorkerDone`).
 #[derive(Debug, Clone, Default)]
@@ -79,28 +30,40 @@ pub struct WorkerProfile {
     pub per_pc: BTreeMap<u32, (u64, u64, u64)>,
     /// Total wall time of the worker's run in nanos.
     pub total_nanos: u64,
-    /// Total wait nanos (block waits + chunk waits + barrier waits).
-    pub wait_nanos: u64,
-    /// Cache counters.
-    pub cache: crate::cache::CacheStats,
-    /// Block-manager byte accounting and zero-copy counters.
-    pub memory: crate::memory::MemoryStats,
-    /// Contraction hot-path counters (transpose folds, scratch-pool reuse).
-    pub contraction: sia_blocks::ContractStats,
     /// Pardo iterations executed.
     pub iterations: u64,
-    /// Fault-tolerance counters (retries, duplicate suppression).
-    pub fault: FaultStats,
+    /// The unified counter registry (cache, memory, contraction, comm,
+    /// wait causes, fault tolerance).
+    pub metrics: Metrics,
+    /// Trace events recorded by this rank (empty unless tracing is on).
+    pub events: Vec<TraceEvent>,
+    /// Trace events lost to ring overwrite on this rank.
+    pub events_dropped: u64,
 }
 
 impl WorkerProfile {
-    /// Records one instruction execution.
+    /// Records one instruction execution. `wait` is attribution only: it
+    /// lands in the per-pc table, while the authoritative wait totals are
+    /// accumulated once per actual blocked interval via [`add_wait`]
+    /// (called from the wait sites themselves).
+    ///
+    /// [`add_wait`]: WorkerProfile::add_wait
     pub fn record(&mut self, pc: u32, busy: Duration, wait: Duration) {
         let e = self.per_pc.entry(pc).or_insert((0, 0, 0));
         e.0 += 1;
         e.1 += busy.as_nanos() as u64;
         e.2 += wait.as_nanos() as u64;
-        self.wait_nanos += wait.as_nanos() as u64;
+    }
+
+    /// The single accounting point for wait totals: adds one blocked
+    /// interval to the by-cause breakdown.
+    pub fn add_wait(&mut self, cause: WaitCause, d: Duration) {
+        self.metrics.wait.add(cause, d);
+    }
+
+    /// Total wait nanoseconds (sum of the by-cause breakdown).
+    pub fn wait_nanos(&self) -> u64 {
+        self.metrics.wait.total_nanos()
     }
 }
 
@@ -130,37 +93,26 @@ pub struct ProfileReport {
     pub worker_totals: Vec<Duration>,
     /// Per-worker wait time.
     pub worker_waits: Vec<Duration>,
-    /// Summed cache statistics.
-    pub cache: crate::cache::CacheStats,
-    /// Merged block-manager stats: peak bytes are per-worker maxima,
-    /// counters are fleet sums.
-    pub memory: crate::memory::MemoryStats,
+    /// Per-worker overlap: fraction of comm-flight time hidden under
+    /// compute (`None` for workers that fetched nothing remote).
+    pub worker_overlap: Vec<Option<f64>>,
+    /// The merged counter registry (workers + master recovery + I/O
+    /// servers + fabric injection).
+    pub metrics: Metrics,
     /// The dry run's per-worker byte estimate (filled in by the runtime
     /// after the merge), so `--profile` can put the predicted and the
     /// observed peak side by side.
     pub dry_run_estimate_bytes: u64,
-    /// Summed contraction hot-path counters.
-    pub contraction: sia_blocks::ContractStats,
     /// Total pardo iterations executed.
     pub iterations: u64,
-    /// Summed fault-tolerance counters.
-    pub fault: FaultStats,
-    /// Master-side recovery counters (filled in by the runtime after the
-    /// merge; zero on fault-free runs).
-    pub recovery: RecoveryStats,
-    /// Fabric-level injection counters (filled in by the runtime).
-    pub fabric_faults: sia_fabric::FaultSnapshot,
 }
 
 impl ProfileReport {
     /// Merges per-worker profiles against the program for disassembly.
     pub fn merge(program: &Program, profiles: &[WorkerProfile]) -> Self {
         let mut per_pc: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
-        let mut cache = crate::cache::CacheStats::default();
-        let mut memory = crate::memory::MemoryStats::default();
-        let mut contraction = sia_blocks::ContractStats::default();
+        let mut metrics = Metrics::default();
         let mut iterations = 0;
-        let mut fault = FaultStats::default();
         for p in profiles {
             for (&pc, &(c, b, w)) in &p.per_pc {
                 let e = per_pc.entry(pc).or_insert((0, 0, 0));
@@ -168,16 +120,8 @@ impl ProfileReport {
                 e.1 += b;
                 e.2 += w;
             }
-            cache.hits += p.cache.hits;
-            cache.misses += p.cache.misses;
-            cache.in_flight_hits += p.cache.in_flight_hits;
-            cache.evictions += p.cache.evictions;
-            cache.refetches += p.cache.refetches;
-            cache.reissues += p.cache.reissues;
-            memory.absorb(&p.memory);
-            contraction.merge(&p.contraction);
+            metrics.merge(&p.metrics);
             iterations += p.iterations;
-            fault.absorb(&p.fault);
         }
         let mut lines: Vec<ProfileLine> = per_pc
             .into_iter()
@@ -206,16 +150,12 @@ impl ProfileReport {
                 .collect(),
             worker_waits: profiles
                 .iter()
-                .map(|p| Duration::from_nanos(p.wait_nanos))
+                .map(|p| Duration::from_nanos(p.wait_nanos()))
                 .collect(),
-            cache,
-            memory,
+            worker_overlap: profiles.iter().map(|p| p.metrics.comm.overlap()).collect(),
+            metrics,
             dry_run_estimate_bytes: 0,
-            contraction,
             iterations,
-            fault,
-            recovery: RecoveryStats::default(),
-            fabric_faults: sia_fabric::FaultSnapshot::default(),
         }
     }
 
@@ -239,6 +179,12 @@ impl ProfileReport {
         self.total_wait().as_secs_f64() / total.as_secs_f64()
     }
 
+    /// Fleet-wide overlap: fraction of comm-flight time hidden under
+    /// compute, over all workers' flights. `None` when nothing flew.
+    pub fn overlap(&self) -> Option<f64> {
+        self.metrics.comm.overlap()
+    }
+
     /// Busy time attributed to a class of instructions.
     pub fn busy_by_class(&self, class: InstructionClass) -> Duration {
         self.lines
@@ -247,9 +193,96 @@ impl ProfileReport {
             .map(|l| l.busy)
             .sum()
     }
+
+    /// The machine-readable profile (the `--profile-json` payload):
+    /// schema marker, headline numbers, the overlap metric, the unified
+    /// metrics registry (one serialization path shared with
+    /// [`Metrics::to_json`]'s model), per-worker figures, and the per-pc
+    /// lines.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.string("sia.profile.v1");
+        w.key("iterations");
+        w.u64(self.iterations);
+        w.key("total_busy_ns");
+        w.u64(self.total_busy().as_nanos() as u64);
+        w.key("total_wait_ns");
+        w.u64(self.total_wait().as_nanos() as u64);
+        w.key("wait_fraction");
+        w.f64(self.wait_fraction());
+        w.key("dry_run_estimate_bytes");
+        w.u64(self.dry_run_estimate_bytes);
+        w.key("overlap");
+        w.begin_object();
+        w.key("mean");
+        match self.overlap() {
+            Some(v) => w.f64(v),
+            None => w.f64(f64::NAN), // renders as null
+        }
+        w.key("per_worker");
+        w.begin_array();
+        for o in &self.worker_overlap {
+            match o {
+                Some(v) => w.f64(*v),
+                None => w.f64(f64::NAN),
+            }
+        }
+        w.end_array();
+        w.end_object();
+        w.key("workers");
+        w.begin_array();
+        for (i, total) in self.worker_totals.iter().enumerate() {
+            w.begin_object();
+            w.key("total_ns");
+            w.u64(total.as_nanos() as u64);
+            w.key("wait_ns");
+            w.u64(
+                self.worker_waits
+                    .get(i)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0),
+            );
+            w.end_object();
+        }
+        w.end_array();
+        // The one metrics serialization path: same section model as the
+        // text renderer.
+        w.key("metrics");
+        let metrics_json = self.metrics.to_json();
+        w.raw_number(&metrics_json); // already a complete JSON object
+        w.key("lines");
+        w.begin_array();
+        for l in &self.lines {
+            w.begin_object();
+            w.key("pc");
+            w.u64(l.pc as u64);
+            w.key("class");
+            let class = format!("{:?}", l.class);
+            w.string(&class);
+            w.key("count");
+            w.u64(l.count);
+            w.key("busy_ns");
+            w.u64(l.busy.as_nanos() as u64);
+            w.key("wait_ns");
+            w.u64(l.wait.as_nanos() as u64);
+            w.key("text");
+            w.string(&l.text);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let mut out = w.finish();
+        out.push('\n');
+        out
+    }
 }
 
 impl fmt::Display for ProfileReport {
+    /// The one text renderer: a headline, the unified metrics sections
+    /// (driven by the same model as the JSON export), the overlap line,
+    /// and the hottest-instructions table.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
@@ -257,77 +290,34 @@ impl fmt::Display for ProfileReport {
             self.iterations,
             self.wait_fraction() * 100.0
         )?;
-        writeln!(
-            f,
-            "cache: {} hits, {} misses, {} evictions, {} refetches",
-            self.cache.hits, self.cache.misses, self.cache.evictions, self.cache.refetches
-        )?;
-        writeln!(
-            f,
-            "memory: {} bytes/worker high water (dry run predicted {}{}), \
-             {} clones avoided ({} bytes uncopied), {} deep copies, \
-             {} budget evictions",
-            self.memory.high_water_bytes,
-            self.dry_run_estimate_bytes,
-            if self.memory.budget_bytes > 0 {
-                format!(", budget {}", self.memory.budget_bytes)
-            } else {
-                String::new()
-            },
-            self.memory.clones_avoided,
-            self.memory.bytes_clone_avoided,
-            self.memory.deep_copies,
-            self.memory.budget_evictions
-        )?;
-        writeln!(
-            f,
-            "contract: {} contractions, {} permutes avoided ({} bytes uncopied), \
-             {} permutes performed, scratch pool {} hits / {} misses",
-            self.contraction.contractions,
-            self.contraction.permutes_avoided,
-            self.contraction.bytes_not_copied,
-            self.contraction.permutes_performed,
-            self.contraction.scratch_pool_hits,
-            self.contraction.scratch_pool_misses
-        )?;
-        if self.fabric_faults != sia_fabric::FaultSnapshot::default() {
+        match self.overlap() {
+            Some(v) => {
+                let per_worker: Vec<String> = self
+                    .worker_overlap
+                    .iter()
+                    .map(|o| match o {
+                        Some(v) => format!("{:.0}%", v * 100.0),
+                        None => "-".into(),
+                    })
+                    .collect();
+                writeln!(
+                    f,
+                    "overlap: {:.1}% of comm-flight time hidden under compute \
+                     (per worker: {})",
+                    v * 100.0,
+                    per_worker.join(", ")
+                )?;
+            }
+            None => writeln!(f, "overlap: no remote block fetches")?,
+        }
+        if self.dry_run_estimate_bytes > 0 || !quiet(&self.metrics.memory) {
             writeln!(
                 f,
-                "fabric faults: {} dropped, {} duplicated, {} delayed{}",
-                self.fabric_faults.dropped,
-                self.fabric_faults.duplicated,
-                self.fabric_faults.delayed,
-                if self.fabric_faults.crashed {
-                    ", rank crash"
-                } else {
-                    ""
-                }
+                "memory plan: dry run predicted {} bytes/worker",
+                self.dry_run_estimate_bytes
             )?;
         }
-        if self.fault.any() {
-            writeln!(
-                f,
-                "retries: {} put, {} prepare, {} fetch; {} duplicate puts suppressed, \
-                 {} journal replays, {} re-routes",
-                self.fault.put_retries,
-                self.fault.prepare_retries,
-                self.fault.fetch_retries,
-                self.fault.dup_puts_suppressed,
-                self.fault.journal_replays,
-                self.fault.reroutes
-            )?;
-        }
-        if self.recovery.any() {
-            writeln!(
-                f,
-                "recovery: {} ranks died, {} chunks re-queued, {} blocks restored, \
-                 {} takeover chunks",
-                self.recovery.ranks_died,
-                self.recovery.requeued_chunks,
-                self.recovery.restored_blocks,
-                self.recovery.takeover_chunks
-            )?;
-        }
+        write!(f, "{}", self.metrics)?;
         writeln!(
             f,
             "{:>5} {:>10} {:>12} {:>12}  instruction",
@@ -357,7 +347,27 @@ mod tests {
         assert_eq!(c, 2);
         assert_eq!(b, 15_000);
         assert_eq!(w, 2_000);
-        assert_eq!(p.wait_nanos, 2_000);
+    }
+
+    /// Regression for the wait double-count: a blocked instruction that
+    /// retries passes its (already counted) wait to `record` again, but
+    /// the totals are fed only by `add_wait` — one call per actual
+    /// blocked interval — so re-recording can't inflate them.
+    #[test]
+    fn retried_record_cannot_double_count_wait() {
+        let mut p = WorkerProfile::default();
+        let blocked = Duration::from_micros(7);
+        // The actual blocked interval is accounted once, at the wait site.
+        p.add_wait(WaitCause::SipBarrier, blocked);
+        // The instruction is recorded, then retried after a re-arm and
+        // recorded again with the same attributed wait.
+        p.record(4, Duration::from_micros(1), blocked);
+        p.record(4, Duration::from_micros(1), blocked);
+        assert_eq!(p.wait_nanos(), 7_000, "totals come from add_wait alone");
+        assert_eq!(p.metrics.wait.get(WaitCause::SipBarrier), 7_000);
+        // Per-pc attribution did accumulate both records (it is a
+        // breakdown of where waits were observed, not a second total).
+        assert_eq!(p.per_pc[&4].2, 14_000);
     }
 
     #[test]
@@ -368,10 +378,12 @@ mod tests {
         };
         let mut a = WorkerProfile::default();
         a.record(0, Duration::from_micros(5), Duration::from_micros(1));
+        a.add_wait(WaitCause::BlockArrival, Duration::from_micros(1));
         a.total_nanos = 10_000;
         a.iterations = 3;
         let mut b = WorkerProfile::default();
         b.record(0, Duration::from_micros(7), Duration::from_micros(3));
+        b.add_wait(WaitCause::ChunkAssign, Duration::from_micros(3));
         b.total_nanos = 10_000;
         b.iterations = 4;
         let r = ProfileReport::merge(&program, &[a, b]);
@@ -380,6 +392,7 @@ mod tests {
         assert_eq!(r.lines[0].busy, Duration::from_micros(12));
         assert_eq!(r.iterations, 7);
         assert!((r.wait_fraction() - 0.2).abs() < 1e-9);
+        assert_eq!(r.metrics.wait.total_nanos(), 4_000);
     }
 
     #[test]
@@ -403,5 +416,31 @@ mod tests {
     fn wait_fraction_zero_when_empty() {
         let r = ProfileReport::default();
         assert_eq!(r.wait_fraction(), 0.0);
+    }
+
+    #[test]
+    fn profile_json_lints() {
+        let program = Program {
+            code: vec![sia_bytecode::Instruction::Halt],
+            ..Default::default()
+        };
+        let mut a = WorkerProfile::default();
+        a.record(0, Duration::from_micros(5), Duration::from_micros(1));
+        a.add_wait(WaitCause::BlockArrival, Duration::from_micros(1));
+        a.metrics.comm.fetches = 2;
+        a.metrics.comm.flight_nanos = 1_000;
+        a.metrics.comm.exposed_nanos = 250;
+        a.total_nanos = 10_000;
+        let mut r = ProfileReport::merge(&program, &[a]);
+        r.dry_run_estimate_bytes = 4096;
+        let json = r.to_json();
+        crate::events::lint_profile_json(&json).expect("profile json lints");
+        let doc = crate::events::parse_json(&json).unwrap();
+        let mean = doc
+            .get("overlap")
+            .and_then(|o| o.get("mean"))
+            .and_then(crate::events::Json::as_f64)
+            .expect("overlap mean present");
+        assert!((mean - 0.75).abs() < 1e-9);
     }
 }

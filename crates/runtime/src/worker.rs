@@ -8,9 +8,11 @@
 
 use crate::cache::CacheEntry;
 use crate::error::{CommKind, RuntimeError};
+use crate::events::{CommOp, EventKind, RecoveryEvent, TraceSink};
 use crate::ft::{self, FetchState, FtState, JournalEntry, TakeoverChunk};
 use crate::layout::{Layout, SipConfig};
 use crate::memory::BlockManager;
+use crate::metrics::WaitCause;
 use crate::msg::{BarrierKind, BlockKey, OpId, SipMsg};
 use crate::profile::WorkerProfile;
 use crate::registry::SuperRegistry;
@@ -129,6 +131,18 @@ pub struct Worker {
     pub(crate) warnings: Vec<String>,
     /// Worker start time (backs the `sip_time` intrinsic).
     pub(crate) started: Instant,
+
+    // ---- observability ----
+    /// Event recorder (disabled — and allocation-free — unless the runtime
+    /// installs an enabled sink before the program starts).
+    pub(crate) trace: TraceSink,
+    /// Issue time and request id of each in-flight GET/REQUEST, keyed by
+    /// block. Always on: it backs the comm-overlap metric, at one map
+    /// insert/remove per remote fetch.
+    pub(crate) flights: HashMap<BlockKey, (Instant, u64)>,
+    /// Issue times of tracked PUT/PREPARE flights by op id. Populated only
+    /// while tracing, so it stays empty (and unallocated) otherwise.
+    pub(crate) put_flights: HashMap<u64, Instant>,
 }
 
 impl Worker {
@@ -187,7 +201,19 @@ impl Worker {
             profile: WorkerProfile::default(),
             warnings: Vec::new(),
             started: Instant::now(),
+            trace: TraceSink::disabled(),
+            flights: HashMap::new(),
+            put_flights: HashMap::new(),
         }
+    }
+
+    /// Installs the event sink (called by the runtime before the program
+    /// starts) and, when it is live, turns on the cache's evict log.
+    pub(crate) fn set_trace(&mut self, sink: TraceSink) {
+        if sink.is_on() {
+            self.mem.enable_evict_log();
+        }
+        self.trace = sink;
     }
 
     /// This worker's 0-based index.
@@ -253,28 +279,57 @@ impl Worker {
                 self.apply_put_deduped(key, data, mode, op);
                 let _ = self.endpoint.send(src, SipMsg::PutAck { key, op });
             }
-            SipMsg::PutAck { op, .. } => match self.ft.as_mut() {
-                Some(ft) if op.is_tracked() => {
-                    ft.pending.remove(&op.0);
+            SipMsg::PutAck { key, op } => {
+                self.profile.metrics.comm.puts_acked += 1;
+                self.finish_put_flight(op, key, CommOp::Put);
+                match self.ft.as_mut() {
+                    Some(ft) if op.is_tracked() => {
+                        ft.pending.remove(&op.0);
+                    }
+                    _ => {
+                        self.outstanding_puts = self.outstanding_puts.saturating_sub(1);
+                    }
                 }
-                _ => {
-                    self.outstanding_puts = self.outstanding_puts.saturating_sub(1);
+            }
+            SipMsg::PrepareAck { key, op } => {
+                self.profile.metrics.comm.prepares_acked += 1;
+                self.finish_put_flight(op, key, CommOp::Prepare);
+                match self.ft.as_mut() {
+                    Some(ft) if op.is_tracked() => {
+                        ft.pending.remove(&op.0);
+                    }
+                    _ => {
+                        self.outstanding_prepares = self.outstanding_prepares.saturating_sub(1);
+                    }
                 }
-            },
-            SipMsg::PrepareAck { op, .. } => match self.ft.as_mut() {
-                Some(ft) if op.is_tracked() => {
-                    ft.pending.remove(&op.0);
-                }
-                _ => {
-                    self.outstanding_prepares = self.outstanding_prepares.saturating_sub(1);
-                }
-            },
+            }
             SipMsg::BlockData { key, data, .. } => {
                 if let Some(ft) = self.ft.as_mut() {
                     ft.fetches.remove(&key);
                 }
+                if let Some((t0, id)) = self.flights.remove(&key) {
+                    let flight_ns = t0.elapsed().as_nanos() as u64;
+                    self.profile.metrics.comm.flight_nanos += flight_ns;
+                    if self.trace.is_on() {
+                        let end = self.trace.now_ns();
+                        self.trace.span(
+                            EventKind::Flight {
+                                op: CommOp::Get,
+                                key,
+                                id,
+                            },
+                            end.saturating_sub(flight_ns),
+                            end,
+                        );
+                        self.trace.instant(EventKind::CacheFill {
+                            key,
+                            bytes: data.heap_bytes(),
+                        });
+                    }
+                }
                 // The cache entry shares the envelope's allocation.
                 self.mem.cache_fill(key, data);
+                self.drain_evictions_into_trace();
             }
             SipMsg::ChunkAssign {
                 pardo_pc,
@@ -351,10 +406,43 @@ impl Worker {
             | SipMsg::EpochMark { .. }
             | SipMsg::EpochAck { .. }
             | SipMsg::WorkerDone { .. }
-            | SipMsg::WorkerFailed { .. } => {
+            | SipMsg::WorkerFailed { .. }
+            | SipMsg::ServerDone { .. } => {
                 self.warnings
                     .push(format!("worker received unexpected message from {src}"));
             }
+        }
+    }
+
+    /// Forwards any cache evictions logged since the last call to the event
+    /// sink (the log is only enabled while tracing, so this is a no-op with
+    /// no allocation otherwise).
+    pub(crate) fn drain_evictions_into_trace(&mut self) {
+        if !self.trace.is_on() {
+            return;
+        }
+        for (key, bytes) in self.mem.drain_evictions() {
+            self.trace.instant(EventKind::CacheEvict { key, bytes });
+        }
+    }
+
+    /// Closes the traced flight span of an acknowledged PUT/PREPARE.
+    fn finish_put_flight(&mut self, op: OpId, key: BlockKey, kind: CommOp) {
+        if !self.trace.is_on() {
+            return;
+        }
+        if let Some(t0) = self.put_flights.remove(&op.0) {
+            let ns = t0.elapsed().as_nanos() as u64;
+            let end = self.trace.now_ns();
+            self.trace.span(
+                EventKind::Flight {
+                    op: kind,
+                    key,
+                    id: op.0,
+                },
+                end.saturating_sub(ns),
+                end,
+            );
         }
     }
 
@@ -388,8 +476,14 @@ impl Worker {
     /// Waits (servicing messages and pumping retries) until `done(self)`
     /// holds. Returns the time spent waiting. Aborts with an error if
     /// shutdown is raised mid-wait or the retry budget runs out.
+    ///
+    /// This is the *single* accounting point for wait time: every blocked
+    /// interval lands in the cause-attributed `metrics.wait` totals exactly
+    /// once, here — callers that also fold the returned duration into a
+    /// per-pc figure are attributing, not re-counting.
     pub(crate) fn wait_until(
         &mut self,
+        cause: WaitCause,
         what: &str,
         mut done: impl FnMut(&Self) -> bool,
     ) -> Result<Duration, RuntimeError> {
@@ -399,7 +493,14 @@ impl Worker {
             self.maybe_heartbeat();
             self.pump_retries()?;
             if done(self) {
-                return Ok(t0.elapsed());
+                let waited = t0.elapsed();
+                self.profile.add_wait(cause, waited);
+                // Sub-microsecond "waits" (the condition held on entry) would
+                // only smear noise over the timeline.
+                if waited.as_nanos() >= 1_000 {
+                    self.trace.span_since(EventKind::Wait { cause }, t0);
+                }
+                return Ok(waited);
             }
             if self.shutdown_seen || self.endpoint.shutdown_raised() {
                 return Err(RuntimeError::Comm {
@@ -543,9 +644,13 @@ impl Worker {
             // next lookup shares it — eviction only runs on this thread, so
             // it cannot vanish in between) or evicted/absent (loop re-arms
             // the fetch).
-            let waited = self.wait_until(&format!("block {key:?}"), |w| {
-                !matches!(w.mem.cache_peek(&key), Some(CacheEntry::InFlight))
-            })?;
+            let waited =
+                self.wait_until(WaitCause::BlockArrival, &format!("block {key:?}"), |w| {
+                    !matches!(w.mem.cache_peek(&key), Some(CacheEntry::InFlight))
+                })?;
+            // Time blocked on a fetch is comm latency the prefetcher failed
+            // to hide — the "exposed" half of the overlap metric.
+            self.profile.metrics.comm.exposed_nanos += waited.as_nanos() as u64;
             *wait += waited;
         }
     }
@@ -558,11 +663,15 @@ impl Worker {
         key: BlockKey,
         kind: ArrayKind,
     ) -> Result<(), RuntimeError> {
-        let req = if self.ft.is_some() {
+        // A real id is only needed for retry correlation (FT) or flight
+        // correlation in the trace; fault-free untraced runs skip it.
+        let req = if self.ft.is_some() || self.trace.is_on() {
             self.endpoint.next_req_id()
         } else {
             ReqId::NONE
         };
+        self.profile.metrics.comm.fetches += 1;
+        self.flights.insert(key, (Instant::now(), req.0));
         if let Some(ft) = self.ft.as_mut() {
             let timeout = ft.cfg.retry_timeout;
             ft.fetches.insert(
@@ -792,6 +901,11 @@ impl Worker {
         mode: PutMode,
         op: OpId,
     ) -> Result<(), RuntimeError> {
+        // Tracked ops get a traced flight span; untracked (`OpId::NONE`)
+        // puts have no correlatable id, so they are counted but not spanned.
+        if self.trace.is_on() && op.is_tracked() {
+            self.put_flights.insert(op.0, Instant::now());
+        }
         if let Some(ft) = self.ft.as_mut() {
             if ft.cfg.expects_crash() {
                 self.mem.note_share(&data);
@@ -826,6 +940,9 @@ impl Worker {
         mode: PutMode,
         op: OpId,
     ) -> Result<(), RuntimeError> {
+        if self.trace.is_on() && op.is_tracked() {
+            self.put_flights.insert(op.0, Instant::now());
+        }
         if let Some(ft) = self.ft.as_mut() {
             self.mem.note_share(&data);
             let msg = ft.arm_flight(op, key, data, mode, true);
@@ -900,7 +1017,7 @@ impl Worker {
                 .map(|ft| ft.note_applied(op.0, epoch))
                 .unwrap_or(true);
         if duplicate {
-            self.profile.fault.dup_puts_suppressed += 1;
+            self.profile.metrics.fault.dup_puts_suppressed += 1;
         } else {
             self.apply_put_local(key, data, mode);
         }
@@ -998,9 +1115,9 @@ impl Worker {
             };
             resend.push((home, msg));
         }
-        self.profile.fault.put_retries += put_retries;
-        self.profile.fault.prepare_retries += prepare_retries;
-        self.profile.fault.fetch_retries += fetch_retries;
+        self.profile.metrics.fault.put_retries += put_retries;
+        self.profile.metrics.fault.prepare_retries += prepare_retries;
+        self.profile.metrics.fault.fetch_retries += fetch_retries;
         for key in &refreshed {
             self.mem.cache_refresh_in_flight(key);
         }
@@ -1136,6 +1253,9 @@ impl Worker {
         }
         let prev_dead = ft.dead.clone();
         ft.dead[dead_idx] = true;
+        self.trace.instant(EventKind::Recovery {
+            what: RecoveryEvent::RankDead,
+        });
         for op in inherited_ops {
             ft.applied.entry(op).or_insert(epoch);
         }
@@ -1181,8 +1301,8 @@ impl Worker {
                 },
             ));
         }
-        self.profile.fault.journal_replays += replays;
-        self.profile.fault.reroutes += reroutes;
+        self.profile.metrics.fault.journal_replays += replays;
+        self.profile.metrics.fault.reroutes += reroutes;
         for (to, msg) in sends {
             let _ = self.endpoint.send(to, msg);
         }

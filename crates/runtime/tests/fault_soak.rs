@@ -71,14 +71,15 @@ fn seeded_fault_plan_preserves_results_bitwise() {
 
     assert_bitwise_equal(&clean, &faulty);
     assert!(
-        faulty.profile.fabric_faults.perturbed() > 0,
+        faulty.profile.metrics.fabric.perturbed() > 0,
         "the plan must actually have perturbed traffic: {:?}",
-        faulty.profile.fabric_faults
+        faulty.profile.metrics.fabric
     );
     assert!(
-        faulty.profile.fault.retries() > 0 || faulty.profile.fault.dup_puts_suppressed > 0,
+        faulty.profile.metrics.fault.retries() > 0
+            || faulty.profile.metrics.fault.dup_puts_suppressed > 0,
         "faults must exercise retry/dedup: {:?}",
-        faulty.profile.fault
+        faulty.profile.metrics.fault
     );
 }
 
@@ -98,14 +99,14 @@ fn worker_crash_mid_pardo_recovers_bitwise() {
     let faulty = run_soak(6, soak_config(3, Some(fault)));
 
     assert_bitwise_equal(&clean, &faulty);
-    assert_eq!(faulty.profile.recovery.ranks_died, 1);
+    assert_eq!(faulty.profile.metrics.recovery.ranks_died, 1);
     assert!(
-        faulty.profile.recovery.requeued_chunks >= 1,
+        faulty.profile.metrics.recovery.requeued_chunks >= 1,
         "the corpse's unacked chunk must be requeued: {:?}",
-        faulty.profile.recovery
+        faulty.profile.metrics.recovery
     );
     assert!(
-        faulty.profile.fabric_faults.crashed,
+        faulty.profile.metrics.fabric.crashed,
         "fabric must record the kill"
     );
 }
@@ -149,5 +150,5 @@ endsial
         "got {:?}",
         &block.data()[..2.min(block.data().len())]
     );
-    assert_eq!(out.profile.recovery.ranks_died, 0);
+    assert_eq!(out.profile.metrics.recovery.ranks_died, 0);
 }

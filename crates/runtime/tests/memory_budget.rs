@@ -67,13 +67,13 @@ fn run_completes_at_dry_run_estimate_plus_ten_percent() {
         out.profile.dry_run_estimate_bytes,
         estimate.per_worker_bytes
     );
-    assert_eq!(out.profile.memory.budget_bytes, budget);
+    assert_eq!(out.profile.metrics.memory.budget_bytes, budget);
     assert!(
-        out.profile.memory.high_water_bytes <= budget,
+        out.profile.metrics.memory.high_water_bytes <= budget,
         "high water {} exceeded enforced budget {budget}",
-        out.profile.memory.high_water_bytes
+        out.profile.metrics.memory.high_water_bytes
     );
-    assert!(out.profile.memory.high_water_bytes > 0);
+    assert!(out.profile.metrics.memory.high_water_bytes > 0);
 
     // The run still computed the right thing.
     for i in 1..=6i64 {
@@ -97,7 +97,7 @@ fn in_process_fast_path_is_zero_copy() {
         .run(program, &bindings(&[("n", 5)]))
         .unwrap();
 
-    let m = &out.profile.memory;
+    let m = &out.profile.metrics.memory;
     assert!(
         m.clones_avoided > 0,
         "expected shared handles on the serve/cache path, stats: {m:?}"
@@ -133,7 +133,7 @@ fn tight_cache_evicts_by_bytes_and_still_completes() {
     let out = Sip::new(config(2, 2))
         .run(program, &bindings(&[("n", 6)]))
         .unwrap();
-    let cache = &out.profile.cache;
+    let cache = &out.profile.metrics.cache;
     assert!(
         cache.evictions > 0,
         "two-block cache over 36 remote blocks must evict, got {cache:?}"

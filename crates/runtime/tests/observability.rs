@@ -1,0 +1,175 @@
+//! Integration tests for the unified observability surface: the overlap
+//! metric (prefetch on/off), the cross-rank trace export, wait-cause
+//! attribution, and the `--trace`/`--profile-json` file outputs.
+
+use sia_bytecode::ConstBindings;
+use sia_runtime::prelude::*;
+use sia_runtime::{lint_chrome_trace, lint_profile_json};
+
+/// A two-phase program whose second phase gets a remote block and uses it
+/// on the very next instruction: with prefetch off every flight is fully
+/// exposed, with look-ahead the next row's flights hide under the blocked
+/// wait and the accumulate.
+const OVERLAP_SRC: &str = r#"
+sial overlap_probe
+aoindex i = 1, n
+aoindex j = 1, n
+distributed X(i,j)
+temp t(i,j)
+scalar acc
+pardo i, j
+  t(i,j) = 1.5
+  put X(i,j) = t(i,j)
+endpardo i, j
+sip_barrier
+pardo i
+  do j
+    get X(i,j)
+    acc += X(i,j) * X(i,j)
+  enddo j
+endpardo i
+sip_barrier
+execute sip_allreduce acc
+endsial
+"#;
+
+fn run_overlap(prefetch: usize, trace: bool) -> RunOutput {
+    let program = sial_frontend::compile(OVERLAP_SRC).unwrap();
+    let mut bindings = ConstBindings::new();
+    bindings.insert("n".into(), 6);
+    let config = SipConfig::builder()
+        .workers(2)
+        .io_servers(1)
+        .prefetch_depth(prefetch)
+        .cache_blocks(64)
+        .collect_distributed(false)
+        .trace(trace)
+        .build()
+        .unwrap();
+    Sip::new(config).run(program, &bindings).unwrap()
+}
+
+#[test]
+fn serialized_gets_expose_flights_prefetch_hides_them() {
+    let serial = run_overlap(0, false);
+    let ahead = run_overlap(4, false);
+    let sc = serial.profile.metrics.comm;
+    let ac = ahead.profile.metrics.comm;
+    assert!(sc.fetches > 0, "remote fetches expected: {sc:?}");
+    assert!(ac.fetches > 0, "remote fetches expected: {ac:?}");
+    let serial_overlap = sc.overlap().expect("fetches flew");
+    let ahead_overlap = ac.overlap().expect("fetches flew");
+    assert!(
+        serial_overlap < 0.35,
+        "back-to-back get/use must expose its flights, measured {serial_overlap:.3} ({sc:?})"
+    );
+    assert!(
+        ahead_overlap > 0.5,
+        "look-ahead must hide most flight time, measured {ahead_overlap:.3} ({ac:?})"
+    );
+    assert!(
+        ahead_overlap > serial_overlap,
+        "prefetch must improve overlap: {ahead_overlap:.3} vs {serial_overlap:.3}"
+    );
+}
+
+#[test]
+fn wait_time_is_attributed_by_cause() {
+    let out = run_overlap(0, false);
+    let wait = &out.profile.metrics.wait;
+    assert!(
+        wait.get(WaitCause::BlockArrival) > 0,
+        "serialized gets must block on block arrival: {wait:?}"
+    );
+    let barrierish = wait.get(WaitCause::SipBarrier)
+        + wait.get(WaitCause::ChunkAssign)
+        + wait.get(WaitCause::AckDrain)
+        + wait.get(WaitCause::Collective);
+    assert!(
+        barrierish > 0,
+        "barriers/collectives must account: {wait:?}"
+    );
+    // The per-cause breakdown IS the total (single accounting point).
+    let sum: u64 = WaitCause::ALL.iter().map(|&c| wait.get(c)).sum();
+    assert_eq!(sum, wait.total_nanos());
+    // The report totals come from the same breakdown.
+    let report_wait: u64 = out
+        .profile
+        .worker_waits
+        .iter()
+        .map(|d| d.as_nanos() as u64)
+        .sum();
+    assert_eq!(report_wait, wait.total_nanos());
+}
+
+#[test]
+fn trace_covers_every_rank_and_lints_clean() {
+    let out = run_overlap(2, true);
+    let tl = out.trace.as_ref().expect("tracing was enabled");
+    // master (0) + 2 workers (1, 2) + 1 I/O server (3).
+    let ranks: Vec<usize> = tl.ranks.iter().map(|r| r.rank).collect();
+    assert_eq!(ranks, vec![0, 1, 2, 3], "one timeline entry per rank");
+    assert_eq!(tl.ranks[0].label, "master");
+    assert_eq!(tl.ranks[1].label, "worker 1");
+    assert_eq!(tl.ranks[3].label, "io 3");
+    for w in &tl.ranks[1..3] {
+        assert!(!w.events.is_empty(), "{} recorded no events", w.label);
+    }
+    assert!(tl.total_events() > 0);
+
+    let json = tl.to_chrome_json(None);
+    let lint = lint_chrome_trace(&json).expect("chrome trace lints clean");
+    assert!(lint.events >= tl.total_events());
+    for widx in [1u64, 2] {
+        let r = lint.ranks.get(&widx).expect("worker rank in trace");
+        assert!(r.spans > 0, "worker {widx} has no spans");
+        assert!(
+            r.cats.contains("instruction"),
+            "worker {widx} missing instruction spans: {:?}",
+            r.cats
+        );
+        assert!(
+            r.cats.contains("comm"),
+            "worker {widx} missing comm flights: {:?}",
+            r.cats
+        );
+    }
+}
+
+#[test]
+fn trace_and_profile_files_are_written_and_lint() {
+    let dir = std::env::temp_dir().join(format!("sia-obs-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let profile_path = dir.join("profile.json");
+
+    let program = sial_frontend::compile(OVERLAP_SRC).unwrap();
+    let mut bindings = ConstBindings::new();
+    bindings.insert("n".into(), 4);
+    let config = SipConfig::builder()
+        .workers(2)
+        .io_servers(1)
+        .collect_distributed(false)
+        .trace_path(&trace_path)
+        .profile_json(&profile_path)
+        .build()
+        .unwrap();
+    let out = Sip::new(config).run(program, &bindings).unwrap();
+    assert!(out.trace.is_some(), "trace_path implies tracing");
+
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    lint_chrome_trace(&trace_text).expect("written trace lints clean");
+    let profile_text = std::fs::read_to_string(&profile_path).expect("profile file written");
+    lint_profile_json(&profile_text).expect("written profile lints clean");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tracing_off_leaves_no_timeline() {
+    let out = run_overlap(2, false);
+    assert!(out.trace.is_none());
+    assert!(
+        out.profile.metrics.comm.fetches > 0,
+        "overlap metric is always on"
+    );
+}

@@ -569,7 +569,7 @@ endsial
         r.data()
     );
     // Prefetch should have produced in-flight completions and hits.
-    assert!(out.profile.cache.hits + out.profile.cache.in_flight_hits > 0);
+    assert!(out.profile.metrics.cache.hits + out.profile.metrics.cache.in_flight_hits > 0);
 }
 
 #[test]
@@ -624,9 +624,9 @@ endsial
     // Cold lookups can only be the two real blocks X(1), X(2); every
     // speculative key beyond the declared range must have been dropped.
     assert!(
-        out.profile.cache.misses <= 2,
+        out.profile.metrics.cache.misses <= 2,
         "prefetch fetched blocks outside X's declared segments: {} cold lookups",
-        out.profile.cache.misses
+        out.profile.metrics.cache.misses
     );
 }
 

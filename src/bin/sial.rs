@@ -7,7 +7,9 @@
 //! sial disasm  prog.sial|prog.siab           # show the bytecode listing
 //! sial dryrun  prog.sial --workers 64 --seg 16 --bind norb=20 --bind nocc=4
 //! sial run     prog.sial --workers 4 --seg 8 --bind n=6 [--chem]
+//! sial run     prog.sial --trace out.json --profile-json prof.json
 //! sial simulate prog.sial --workers 4096 --machine xt5 --seg 24 --bind norb=20
+//! sial trace-lint out.json                   # validate a trace or profile export
 //! ```
 //!
 //! `--chem` registers the synthetic chemistry kernels (`compute_integrals`,
@@ -25,7 +27,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sial <check|compile|disasm|dryrun|run|simulate> <file> [options]\n\
+        "usage: sial <check|compile|disasm|dryrun|run|simulate|trace-lint> <file> [options]\n\
          options:\n\
            -o <file>          output path (compile)\n\
            --workers <n>      worker count (default 2)\n\
@@ -46,6 +48,11 @@ fn usage() -> ExitCode {
            --machine <name>   simulate: sun|xt4|xt5|altix|bgp (default xt5)\n\
            --chem             register the synthetic chemistry kernels\n\
            --profile          print the per-instruction profile after a run\n\
+           --profile-json <file>  write the machine-readable profile (schema\n\
+                              sia.profile.v1: overlap, wait causes, metrics)\n\
+           --trace <file>     record per-rank events and write the merged\n\
+                              Chrome-trace JSON there (load in Perfetto)\n\
+           --trace-buffer <n> per-rank trace ring capacity in events\n\
            --check            run: verify the bytecode (as `sial check` does)\n\
                               and refuse to launch the SIP on any finding"
     );
@@ -151,6 +158,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 builder = builder.memory_budget(need(a)?.parse().map_err(|e| format!("{a}: {e}"))?)
             }
             "--run-dir" => builder = builder.run_dir(need("--run-dir")?),
+            "--trace" => builder = builder.trace_path(need("--trace")?),
+            "--trace-buffer" => {
+                builder = builder.trace_buffer_events(
+                    need("--trace-buffer")?
+                        .parse()
+                        .map_err(|e| format!("--trace-buffer: {e}"))?,
+                )
+            }
+            "--profile-json" => builder = builder.profile_json(need("--profile-json")?),
             "--bind" => {
                 let kv = need("--bind")?;
                 let (k, v) = kv
@@ -253,6 +269,57 @@ fn main() -> ExitCode {
     };
 
     match cmd {
+        "trace-lint" => {
+            let text = match std::fs::read_to_string(file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Auto-detect the export kind: a Chrome trace carries a
+            // top-level `traceEvents` array, the profile a schema marker.
+            let doc = match sia::runtime::events::parse_json(&text) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("{file}: not valid JSON: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if doc.get("traceEvents").is_some() {
+                match sia::runtime::lint_chrome_trace(&text) {
+                    Ok(lint) => {
+                        println!("{file}: ok — {} trace events", lint.events);
+                        for (pid, r) in &lint.ranks {
+                            let cats: Vec<&str> = r.cats.iter().map(String::as_str).collect();
+                            println!(
+                                "  rank {pid} ({}): {} spans, {} flights [{}]",
+                                if r.label.is_empty() { "?" } else { &r.label },
+                                r.spans,
+                                r.flights,
+                                cats.join(", ")
+                            );
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{file}: trace lint failed: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else {
+                match sia::runtime::lint_profile_json(&text) {
+                    Ok(()) => {
+                        println!("{file}: ok — sia.profile.v1");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("{file}: profile lint failed: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+        }
         "check" => match load_program(file) {
             Ok(p) => {
                 if !verify_program(file, &p) {

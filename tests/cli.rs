@@ -340,6 +340,80 @@ endsial
 }
 
 #[test]
+fn trace_and_profile_exports_lint_clean() {
+    let src = write_demo("trace");
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("sia-cli-trace-{}.json", std::process::id()));
+    let profile = dir.join(format!("sia-cli-prof-{}.json", std::process::id()));
+    let out = sial()
+        .args([
+            "run",
+            src.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--seg",
+            "4",
+            "--bind",
+            "n=5",
+            "--profile",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--profile-json",
+            profile.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("overlap:"), "{stdout}");
+    assert!(stdout.contains("block arrival"), "{stdout}");
+
+    // Both exports must pass the linter, and the trace must cover the
+    // master, both workers, and the I/O server.
+    let out = sial()
+        .args(["trace-lint", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lint = String::from_utf8_lossy(&out.stdout);
+    assert!(lint.contains("trace events"), "{lint}");
+    for rank in ["rank 0 (master)", "rank 1 (worker 1)", "rank 3 (io 3)"] {
+        assert!(lint.contains(rank), "missing {rank}: {lint}");
+    }
+    let out = sial()
+        .args(["trace-lint", profile.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("sia.profile.v1"));
+
+    // The linter rejects files that are not valid exports.
+    let junk = dir.join(format!("sia-cli-junk-{}.json", std::process::id()));
+    std::fs::write(&junk, "{\"traceEvents\": [{\"ph\": \"X\"}]}").unwrap();
+    let out = sial()
+        .args(["trace-lint", junk.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    for p in [src, trace, profile, junk] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
 fn check_flag_gates_a_run() {
     // `run --check` must refuse to launch the SIP on a racy program…
     let racy = write_racy(
