@@ -111,7 +111,7 @@ fn bench_gemm_threads(c: &mut Criterion) {
         let n = 256usize;
         let a: Vec<f64> = (0..n * n).map(|i| (i % 13) as f64 - 6.0).collect();
         let b = a.clone();
-        let cfg = GemmConfig { threads };
+        let cfg = GemmConfig::with_threads(threads);
         group.throughput(Throughput::Elements(2 * (n as u64).pow(3)));
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),

@@ -1,16 +1,23 @@
 //! Contraction hot-path baseline: GEMM throughput (seed kernel replica vs
 //! the MR×NR kernel at 1/2/4 threads), block-contraction GFLOP/s across
-//! segment sizes, and the transpose-folding ablation. Writes the numbers to
-//! `BENCH_contraction.json` at the repo root so future PRs can track the
-//! perf trajectory.
+//! segment sizes, the transpose-folding ablation, and the permute-on-pack
+//! grid (shape × transpose class × threads, folded vs materialized). Writes
+//! the numbers to `BENCH_contraction.json` at the repo root so future PRs
+//! can track the perf trajectory.
 //!
 //! ```text
-//! cargo run --release -p sia-bench --bin bench_contraction
+//! cargo run --release -p sia-bench --bin bench_contraction [-- --quick]
 //! ```
+//!
+//! `--quick` runs a seconds-long smoke check instead: a chem-shaped
+//! contraction with an interleaved operand permutation must take the
+//! folded pack path (pack-stats counter `permutes_folded > 0`) and agree
+//! bitwise with the materialize-then-GEMM ablation. Exits nonzero on
+//! failure; used by CI.
 
 use sia_blocks::{
-    contract_into_ctx, dgemm_with, Block, BlockPool, ContractCtx, ContractionPlan, GemmConfig,
-    GemmLayout, PoolConfig, Shape,
+    active_microkernel, contract_into_ctx, dgemm_with, Block, BlockPool, ContractCtx,
+    ContractionPlan, GemmConfig, GemmLayout, PoolConfig, Shape,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -66,13 +73,14 @@ fn seed_dgemm(m: usize, n: usize, k: usize, alpha: f64, a: &[f64], b: &[f64], c:
     }
 }
 
-/// Mean seconds per call after one warm-up, over enough reps for ~1s total.
+/// Mean seconds per call after one warm-up, over enough reps for ~0.3s
+/// total (noise is handled by best-of-rounds at the call sites).
 fn time(mut f: impl FnMut()) -> f64 {
     f();
     let probe = Instant::now();
     f();
     let once = probe.elapsed().as_secs_f64();
-    let reps = ((1.0 / once.max(1e-9)) as usize).clamp(1, 50);
+    let reps = ((0.3 / once.max(1e-9)) as usize).clamp(1, 50);
     let t0 = Instant::now();
     for _ in 0..reps {
         f();
@@ -88,9 +96,92 @@ fn ramp(shape: Shape) -> Block {
     })
 }
 
+/// The permute-on-pack grid: every transpose class of `C = A·B` plus the
+/// chem-style rank-4 shape whose operand permutation interleaves free and
+/// contracted axes (classified `Permute`, the case the packers fold).
+///
+/// Returns `(name, plan, a, b)` rows. `n` sizes the rank-2 shapes (n³
+/// FLOP-shaped); `(m, ls, ij)` sizes the chem shape `C(M,I,J) =
+/// A(M,L,S)·B(L,I,S,J)` with `dim(L)=dim(S)=ls`, `dim(I)=dim(J)=ij`.
+fn grid_shapes(
+    n: usize,
+    m: usize,
+    ls: usize,
+    ij: usize,
+) -> Vec<(String, ContractionPlan, Block, Block)> {
+    let sq = Shape::new(&[n, n]);
+    let mut rows = Vec::new();
+    // Labels below: M=0, N=1, L=2 (rank 2); M=0, I=1, J=2, L=3, S=4 (chem).
+    let nn = ContractionPlan::infer(&[0, 1], &[0, 2], &[2, 1]).unwrap(); // A(M,L)·B(L,N)
+    let tn = ContractionPlan::infer(&[0, 1], &[2, 0], &[2, 1]).unwrap(); // A(L,M)·B(L,N)
+    let nt = ContractionPlan::infer(&[0, 1], &[0, 2], &[1, 2]).unwrap(); // A(M,L)·B(N,L)
+    let tt = ContractionPlan::infer(&[0, 1], &[2, 0], &[1, 2]).unwrap(); // A(L,M)·B(N,L)
+    for (name, plan) in [("nn", nn), ("tn", tn), ("nt", nt), ("tt", tt)] {
+        rows.push((name.to_string(), plan, ramp(sq), ramp(sq)));
+    }
+    let chem = ContractionPlan::infer(&[0, 1, 2], &[0, 3, 4], &[3, 1, 4, 2]).unwrap();
+    rows.push((
+        "chem".to_string(),
+        chem,
+        ramp(Shape::new(&[m, ls, ls])),
+        ramp(Shape::new(&[ls, ij, ls, ij])),
+    ));
+    rows
+}
+
+/// CI smoke: the chem workload must fold its interleaved permutation into
+/// the pack (zero permute scratch) and agree bitwise with the materialized
+/// ablation. Exits nonzero on failure.
+fn quick_smoke() {
+    let (_, plan, a, b) = grid_shapes(32, 32, 8, 8).pop().unwrap();
+    let pool = BlockPool::new(PoolConfig {
+        max_bytes: 64 << 20,
+    });
+    let mut out_fold = Block::zeros(plan.output_shape(a.shape(), b.shape()));
+    let mut out_mat = out_fold.clone();
+
+    let mut ctx = ContractCtx::with_pool(pool.clone());
+    contract_into_ctx(&mut ctx, &plan, &a, &b, 0.0, &mut out_fold);
+    let pack = ctx.take_pack_stats();
+    let stats = ctx.take_stats();
+
+    let mut ctx_mat = ContractCtx::with_pool(pool).fold_transposes(false);
+    contract_into_ctx(&mut ctx_mat, &plan, &a, &b, 0.0, &mut out_mat);
+
+    println!(
+        "quick: microkernel={} permutes_folded={} permutes_performed={} packed_bytes={}",
+        active_microkernel(),
+        pack.permutes_folded,
+        stats.permutes_performed,
+        pack.packed_bytes
+    );
+    if pack.permutes_folded == 0 {
+        eprintln!("FAIL: chem workload did not fold its operand permutation into the pack");
+        std::process::exit(1);
+    }
+    if stats.permutes_performed != 0 {
+        eprintln!("FAIL: folded run still materialized a permute");
+        std::process::exit(1);
+    }
+    if out_fold.data() != out_mat.data() {
+        eprintln!("FAIL: folded and materialized contractions disagree");
+        std::process::exit(1);
+    }
+    println!("quick smoke passed");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_smoke();
+        return;
+    }
     let mut json = String::from("{\n");
     let gf = |flops: f64, secs: f64| flops / secs / 1e9;
+    json.push_str(&format!(
+        "  \"microkernel\": \"{}\",\n",
+        active_microkernel()
+    ));
+    println!("microkernel: {}", active_microkernel());
 
     // ---- raw GEMM at 512^3: seed kernel vs MR×NR at 1/2/4 threads ----------
     let n = 512usize;
@@ -105,7 +196,7 @@ fn main() {
 
     let mut threaded = Vec::new();
     for threads in [1usize, 2, 4] {
-        let cfg = GemmConfig { threads };
+        let cfg = GemmConfig::with_threads(threads);
         let g = gf(
             flops,
             time(|| {
@@ -170,6 +261,48 @@ fn main() {
             "  \"contract_256_{name}_ms\": {:.4},\n",
             secs * 1e3
         ));
+    }
+
+    // ---- permute-on-pack grid: shape × transpose class × threads -----------
+    // Folded (read operands through views, permutation folded into the
+    // pack) vs materialized (permute-then-GEMM ablation). Both paths are
+    // timed best-of-rounds: the folded path does strictly no more work, so
+    // its true minimum is ≤ the ablation's; extra rounds wash out
+    // scheduler noise on small hosts.
+    for (name, plan, ga, gb) in grid_shapes(512, 256, 24, 16) {
+        let gflops = plan.flops(ga.shape(), gb.shape()) as f64;
+        for threads in [1usize, 2, 4] {
+            let cfg = GemmConfig::with_threads(threads);
+            let mut out = Block::zeros(plan.output_shape(ga.shape(), gb.shape()));
+            let mut fold_secs = f64::INFINITY;
+            let mut mat_secs = f64::INFINITY;
+            for _round in 0..4 {
+                let mut ctx_m = ContractCtx::with_pool(pool.clone())
+                    .gemm(cfg)
+                    .fold_transposes(false);
+                mat_secs = mat_secs.min(time(|| {
+                    contract_into_ctx(&mut ctx_m, &plan, &ga, &gb, 0.0, &mut out)
+                }));
+                let mut ctx_f = ContractCtx::with_pool(pool.clone()).gemm(cfg);
+                fold_secs = fold_secs.min(time(|| {
+                    contract_into_ctx(&mut ctx_f, &plan, &ga, &gb, 0.0, &mut out)
+                }));
+                if fold_secs <= mat_secs {
+                    break;
+                }
+            }
+            let (gfold, gmat) = (gf(gflops, fold_secs), gf(gflops, mat_secs));
+            println!(
+                "grid {name:<4} t={threads}: fold {gfold:.2} GFLOP/s, materialize {gmat:.2} GFLOP/s ({:+.1}%)",
+                (gfold / gmat - 1.0) * 100.0
+            );
+            json.push_str(&format!(
+                "  \"grid_{name}_t{threads}_fold_gflops\": {gfold:.3},\n"
+            ));
+            json.push_str(&format!(
+                "  \"grid_{name}_t{threads}_mat_gflops\": {gmat:.3},\n"
+            ));
+        }
     }
 
     json.push_str(&format!(

@@ -13,10 +13,11 @@
 //! the bytecode and reused for every block the loop touches.
 
 use crate::block::Block;
-use crate::gemm::{dgemm_with, GemmConfig, GemmLayout};
+use crate::gemm::{dgemm_view, pack_buf_elems, GemmConfig, GemmLayout, PackBufs};
 use crate::permute::{is_identity_permutation, permute_into};
 use crate::pool::BlockPool;
 use crate::shape::Shape;
+use crate::view::MatView;
 use std::fmt;
 
 /// Errors from planning a contraction.
@@ -63,7 +64,9 @@ impl fmt::Display for ContractError {
 
 impl std::error::Error for ContractError {}
 
-/// How an operand reaches GEMM form without (or with) materialization.
+/// How an operand reaches GEMM form. Since permute-on-pack, *every* variant
+/// reads the operand in place; the classification now only picks the view
+/// construction (and feeds the fold counters).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OperandFold {
     /// Stored order is already the GEMM order — use the data in place with
@@ -73,7 +76,9 @@ pub enum OperandFold {
     /// swapped — the stored matrix is the transpose of the wanted one, so
     /// use the data in place with `GemmLayout::Trans`.
     FoldedTranspose,
-    /// General reordering — a permuted copy must be materialized.
+    /// General reordering — read through a permuted [`MatView`], folding the
+    /// reorder into the GEMM pack traversal (a materialized copy is made
+    /// only in `no_fold` ablation runs).
     Permute,
 }
 
@@ -282,6 +287,37 @@ impl ContractStats {
     }
 }
 
+/// Counters for the permute-on-pack GEMM stage: how operand reorders were
+/// handled and where the packing scratch came from. Surfaced as the `pack:`
+/// section of `--profile`/`--profile-json` alongside [`ContractStats`]'s
+/// `contract:` section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PackStats {
+    /// Operand permutations folded into the pack traversal (no copy).
+    pub permutes_folded: u64,
+    /// Operand permutations materialized as a reordered copy before the
+    /// GEMM (only the `no_fold` ablation path does this now).
+    pub permutes_materialized: u64,
+    /// Logical operand bytes routed through the pack stage: `(m·k + k·n) ·
+    /// 8` per contraction, independent of cache-block repacking.
+    pub packed_bytes: u64,
+    /// Pack panels served from the block pool's recycled storage.
+    pub pack_pool_hits: u64,
+    /// Pack panels that required a fresh allocation (pool cold or absent).
+    pub pack_pool_misses: u64,
+}
+
+impl PackStats {
+    /// Accumulates another worker's counters into this one.
+    pub fn merge(&mut self, other: &PackStats) {
+        self.permutes_folded += other.permutes_folded;
+        self.permutes_materialized += other.permutes_materialized;
+        self.packed_bytes += other.packed_bytes;
+        self.pack_pool_hits += other.pack_pool_hits;
+        self.pack_pool_misses += other.pack_pool_misses;
+    }
+}
+
 /// Execution context for contractions: where scratch comes from, how the
 /// GEMM runs, and whether layout folding is enabled. One lives per SIP
 /// worker (sharing the worker's block pool); a default context gives the
@@ -296,6 +332,8 @@ pub struct ContractCtx {
     pub no_fold: bool,
     /// Running counters; reset with [`ContractCtx::take_stats`].
     pub stats: ContractStats,
+    /// Permute-on-pack counters; reset with [`ContractCtx::take_pack_stats`].
+    pub pack: PackStats,
 }
 
 impl ContractCtx {
@@ -329,6 +367,11 @@ impl ContractCtx {
         std::mem::take(&mut self.stats)
     }
 
+    /// Returns the pack counters accumulated so far and resets them.
+    pub fn take_pack_stats(&mut self) -> PackStats {
+        std::mem::take(&mut self.pack)
+    }
+
     /// Acquires zeroed scratch of `shape`, recycled from the pool when one
     /// is attached and has parked storage of that size class.
     fn scratch(&mut self, shape: Shape) -> Block {
@@ -355,6 +398,39 @@ impl ContractCtx {
             pool.release(blk);
         }
     }
+
+    /// Draws the two GEMM pack panels from the pool (stale contents allowed:
+    /// packing overwrites or zero-pads everything the kernel reads). `None`
+    /// when no pool is attached or its budget is exhausted — the GEMM then
+    /// falls back to local allocations.
+    fn acquire_pack_bufs(&mut self, a_elems: usize, b_elems: usize) -> Option<(Block, Block)> {
+        let pool = self.pool.clone()?;
+        let get = |pack: &mut PackStats, elems: usize| -> Option<Block> {
+            let hits_before = pool.stats().hits;
+            match pool.acquire_scratch(Shape::new(&[elems])) {
+                Ok(blk) => {
+                    if pool.stats().hits > hits_before {
+                        pack.pack_pool_hits += 1;
+                    } else {
+                        pack.pack_pool_misses += 1;
+                    }
+                    Some(blk)
+                }
+                Err(_) => {
+                    pack.pack_pool_misses += 1;
+                    None
+                }
+            }
+        };
+        let a = get(&mut self.pack, a_elems)?;
+        match get(&mut self.pack, b_elems) {
+            Some(b) => Some((a, b)),
+            None => {
+                pool.release(a);
+                None
+            }
+        }
+    }
 }
 
 /// `C = A * B` under `plan`. Allocates the output block.
@@ -373,11 +449,15 @@ pub fn contract_into(plan: &ContractionPlan, a: &Block, b: &Block, alpha_c: f64,
 /// `C = alpha_c * C + A * B` under `plan` (`alpha_c = 1.0` implements the
 /// fused contraction-accumulate of SIAL's `+=`).
 ///
-/// The hot path: each operand is classified (see [`OperandFold`]) and either
-/// used in place — with the transpose folded into the GEMM's layout flag —
-/// or materialized into pool-backed scratch with the blocked permute kernel.
-/// When the output needs no reordering the GEMM writes straight into `C`
-/// (including the `alpha_c` accumulate, via GEMM's beta).
+/// The hot path: each operand is classified (see [`OperandFold`]) and read
+/// *in place* through a [`MatView`] — plain for `Identity`, transposed for
+/// `FoldedTranspose`, and a strided permuted view for `Permute`, whose
+/// reorder then folds into the GEMM's pack traversal instead of
+/// materializing a reordered copy (only `no_fold` ablation contexts still
+/// materialize). The GEMM's pack panels are drawn from the context's block
+/// pool when one is attached. When the output needs no reordering the GEMM
+/// writes straight into `C` (including the `alpha_c` accumulate, via GEMM's
+/// beta).
 ///
 /// # Panics
 /// Panics if block shapes are inconsistent with the plan.
@@ -410,29 +490,43 @@ pub fn contract_into_ctx(
         .map(|&p| b.shape().dim(p))
         .product();
 
-    // Bring each operand into GEMM form: in place when the stored layout
-    // already is the wanted matrix or its transpose, otherwise a permuted
-    // copy in scratch.
-    let (ta, a_scratch) = prepare_operand(ctx, a, &plan.a_perm, plan.a_fold);
-    let (tb, b_scratch) = prepare_operand(ctx, b, &plan.b_perm, plan.b_fold);
-    let a_data = a_scratch.as_ref().map_or(a.data(), |s| s.data());
-    let b_data = b_scratch.as_ref().map_or(b.data(), |s| s.data());
+    // Bring each operand into GEMM form. `prepare_operand` materializes a
+    // permuted copy only in `no_fold` ablation mode; otherwise the operand
+    // is read in place and any reorder is carried by the view below.
+    let a_scratch = prepare_operand(ctx, a, &plan.a_perm, plan.a_fold);
+    let b_scratch = prepare_operand(ctx, b, &plan.b_perm, plan.b_fold);
+    let (a_eff, a_fold) = match &a_scratch {
+        Some(s) => (s, OperandFold::Identity),
+        None => (a, plan.a_fold),
+    };
+    let (b_eff, b_fold) = match &b_scratch {
+        Some(s) => (s, OperandFold::Identity),
+        None => (b, plan.b_fold),
+    };
+    let a_view = match a_fold {
+        OperandFold::Identity => MatView::from_matrix(a_eff.data(), m, k, GemmLayout::NoTrans),
+        OperandFold::FoldedTranspose => MatView::from_matrix(a_eff.data(), m, k, GemmLayout::Trans),
+        OperandFold::Permute => MatView::permuted(a_eff.data(), a_eff.shape(), &plan.a_perm, nf_a),
+    };
+    let b_view = match b_fold {
+        OperandFold::Identity => MatView::from_matrix(b_eff.data(), k, n, GemmLayout::NoTrans),
+        OperandFold::FoldedTranspose => MatView::from_matrix(b_eff.data(), k, n, GemmLayout::Trans),
+        OperandFold::Permute => MatView::permuted(b_eff.data(), b_eff.shape(), &plan.b_perm, nc),
+    };
+
+    // Route the GEMM's pack panels through the pool so steady-state
+    // contractions allocate nothing.
+    ctx.pack.packed_bytes += ((m * k + k * n) * std::mem::size_of::<f64>()) as u64;
+    let (a_elems, b_elems) = pack_buf_elems(&ctx.gemm, m, n, k);
+    let mut pack_bufs = ctx.acquire_pack_bufs(a_elems, b_elems);
+    let bufs = pack_bufs.as_mut().map(|(ab, bb)| PackBufs {
+        apack: ab.data_mut(),
+        bpack: bb.data_mut(),
+    });
 
     if is_identity_permutation(&plan.out_perm) {
         // GEMM straight into C's storage.
-        dgemm_with(
-            ctx.gemm,
-            m,
-            n,
-            k,
-            1.0,
-            a_data,
-            ta,
-            b_data,
-            tb,
-            alpha_c,
-            c.data_mut(),
-        );
+        dgemm_view(ctx.gemm, 1.0, &a_view, &b_view, alpha_c, c.data_mut(), bufs);
     } else {
         // GEMM to a raw (free_a, free_b) scratch buffer, permute into place.
         let raw_dims: Vec<usize> = plan.a_perm[..nf_a]
@@ -446,19 +540,7 @@ pub fn contract_into_ctx(
             Shape::new(&raw_dims)
         };
         let mut raw = ctx.scratch(raw_shape);
-        dgemm_with(
-            ctx.gemm,
-            m,
-            n,
-            k,
-            1.0,
-            a_data,
-            ta,
-            b_data,
-            tb,
-            0.0,
-            raw.data_mut(),
-        );
+        dgemm_view(ctx.gemm, 1.0, &a_view, &b_view, 0.0, raw.data_mut(), bufs);
         if alpha_c == 0.0 {
             permute_into(&raw, &plan.out_perm, c.data_mut());
         } else {
@@ -473,6 +555,10 @@ pub fn contract_into_ctx(
         ctx.free(raw);
     }
 
+    if let Some((ab, bb)) = pack_bufs {
+        ctx.free(ab);
+        ctx.free(bb);
+    }
     if let Some(s) = a_scratch {
         ctx.free(s);
     }
@@ -481,33 +567,33 @@ pub fn contract_into_ctx(
     }
 }
 
-/// Classifies one operand for the GEMM: returns the layout flag plus the
-/// materialized scratch copy when folding wasn't possible (or is disabled).
+/// Accounts one operand's fold and, in `no_fold` ablation mode only,
+/// materializes the permuted copy the seed runtime used to make.
 fn prepare_operand(
     ctx: &mut ContractCtx,
     op: &Block,
     perm: &[usize],
     fold: OperandFold,
-) -> (GemmLayout, Option<Block>) {
+) -> Option<Block> {
     if !ctx.no_fold {
         match fold {
-            OperandFold::Identity => {
+            OperandFold::Identity | OperandFold::FoldedTranspose => {
                 ctx.stats.permutes_avoided += 1;
                 ctx.stats.bytes_not_copied += (op.len() * std::mem::size_of::<f64>()) as u64;
-                return (GemmLayout::NoTrans, None);
             }
-            OperandFold::FoldedTranspose => {
-                ctx.stats.permutes_avoided += 1;
-                ctx.stats.bytes_not_copied += (op.len() * std::mem::size_of::<f64>()) as u64;
-                return (GemmLayout::Trans, None);
+            OperandFold::Permute => {
+                // The reorder rides along with the pack traversal: no copy,
+                // no scratch, no extra memory sweep.
+                ctx.pack.permutes_folded += 1;
             }
-            OperandFold::Permute => {}
         }
+        return None;
     }
     ctx.stats.permutes_performed += 1;
+    ctx.pack.permutes_materialized += 1;
     let mut scratch = ctx.scratch(op.shape().permuted(perm));
     permute_into(op, perm, scratch.data_mut());
-    (GemmLayout::NoTrans, Some(scratch))
+    Some(scratch)
 }
 
 /// Reference contraction by explicit index summation. O(output · contracted)
@@ -761,6 +847,59 @@ mod tests {
         );
         assert!(second.scratch_pool_hits > first.scratch_pool_hits);
         assert!(c.approx_eq(&naive_contract(&plan, &a, &b), 1e-9));
+    }
+
+    #[test]
+    fn interleaved_permute_folds_into_pack_with_zero_scratch() {
+        use crate::pool::{BlockPool, PoolConfig};
+        // C(M,N) = A(M,L,S) * B(L,N,S): B's contracted labels straddle its
+        // free one, so the planner classifies B as Permute — the case the
+        // seed runtime materialized. With folding on it must now run with
+        // ZERO permute scratch: no materialized copy, no ctx scratch draw.
+        let plan = ContractionPlan::infer(&[0, 1], &[0, 8, 9], &[8, 1, 9]).unwrap();
+        assert_eq!(plan.a_fold, OperandFold::Identity);
+        assert_eq!(plan.b_fold, OperandFold::Permute);
+        let a = ramp(Shape::new(&[4, 3, 5]), 0.3);
+        let b = ramp(Shape::new(&[3, 6, 5]), 1.1);
+        let pool = BlockPool::new(PoolConfig::default());
+        let mut ctx = ContractCtx::with_pool(pool);
+        let mut c = Block::zeros(Shape::new(&[4, 6]));
+        contract_into_ctx(&mut ctx, &plan, &a, &b, 0.0, &mut c);
+        assert!(c.approx_eq(&naive_contract(&plan, &a, &b), 1e-9));
+
+        assert_eq!(ctx.pack.permutes_folded, 1);
+        assert_eq!(ctx.pack.permutes_materialized, 0);
+        assert_eq!(ctx.stats.permutes_performed, 0, "no materialized permute");
+        assert_eq!(
+            ctx.stats.scratch_pool_hits + ctx.stats.scratch_pool_misses,
+            0,
+            "no permute scratch drawn at all"
+        );
+        // m=4, k=15, n=6.
+        assert_eq!(ctx.pack.packed_bytes, ((4 * 15 + 15 * 6) * 8) as u64);
+        // The only pool traffic is the two pack panels, recycled on reuse.
+        assert_eq!(ctx.pack.pack_pool_misses, 2);
+        contract_into_ctx(&mut ctx, &plan, &a, &b, 0.0, &mut c);
+        assert_eq!(ctx.pack.pack_pool_misses, 2, "panels recycled");
+        assert_eq!(ctx.pack.pack_pool_hits, 2);
+    }
+
+    #[test]
+    fn fold_and_materialize_agree_bitwise() {
+        // The folded view feeds the same packed panels to the same kernel
+        // as packing a materialized permute, so results must be identical
+        // bit for bit — not merely within tolerance.
+        let plan = ContractionPlan::infer(&[0, 1], &[0, 8, 9], &[8, 1, 9]).unwrap();
+        let a = ramp(Shape::new(&[4, 3, 5]), 0.7);
+        let b = ramp(Shape::new(&[3, 6, 5]), 1.9);
+        let mut fold = Block::zeros(Shape::new(&[4, 6]));
+        let mut ctx = ContractCtx::new();
+        contract_into_ctx(&mut ctx, &plan, &a, &b, 0.0, &mut fold);
+        let mut mat = Block::zeros(Shape::new(&[4, 6]));
+        let mut ctx = ContractCtx::new().fold_transposes(false);
+        contract_into_ctx(&mut ctx, &plan, &a, &b, 0.0, &mut mat);
+        assert_eq!(ctx.pack.permutes_materialized, 2);
+        assert_eq!(fold.data(), mat.data());
     }
 
     #[test]

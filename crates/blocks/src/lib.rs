@@ -35,13 +35,17 @@ pub mod permute;
 pub mod pool;
 pub mod shape;
 pub mod slice;
+pub mod view;
 
 pub use block::Block;
 pub use contract::{
     contract, contract_into, contract_into_ctx, naive_contract, ContractCtx, ContractError,
-    ContractStats, ContractionPlan, OperandFold,
+    ContractStats, ContractionPlan, OperandFold, PackStats,
 };
-pub use gemm::{dgemm, dgemm_with, GemmConfig, GemmLayout};
+pub use gemm::{
+    active_microkernel, dgemm, dgemm_view, dgemm_with, pack_buf_elems, GemmConfig, GemmLayout,
+    PackBufs,
+};
 pub use handle::BlockHandle;
 pub use permute::{
     apply_permutation, invert_permutation, is_identity_permutation, permute, permute_into,
@@ -49,3 +53,4 @@ pub use permute::{
 pub use pool::{BlockPool, PoolConfig, PoolStats, PooledBlock};
 pub use shape::{Shape, MAX_RANK};
 pub use slice::{extract_slice, insert_slice, SliceError, SliceSpec};
+pub use view::{AxisCursor, AxisGroup, MatView};

@@ -5,6 +5,12 @@
 //! dimension `d` reads from input dimension `perm[d]`:
 //! `out[i0,..,ik] = in[i_{perm[0]}, .., i_{perm[k]}]` — i.e. `out` axis `d`
 //! ranges over `in` axis `perm[d]`.
+//!
+//! Since permute-on-pack landed in the GEMM (see [`crate::view`]), this
+//! kernel no longer runs on contraction *inputs* — those are read in place
+//! through strided views. It remains the engine for SIAL's explicit permute
+//! super instruction, for contraction *outputs* that need reordering, and
+//! for `no_fold` ablation runs.
 
 use crate::block::Block;
 use crate::shape::MAX_RANK;

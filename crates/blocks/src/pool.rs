@@ -83,11 +83,17 @@ struct PoolInner {
 
 impl PoolInner {
     fn acquire(&mut self, shape: Shape) -> Result<Block, PoolExhausted> {
+        self.acquire_with(shape, true)
+    }
+
+    fn acquire_with(&mut self, shape: Shape, zero: bool) -> Result<Block, PoolExhausted> {
         let elems = shape.len();
         let bytes = elems * std::mem::size_of::<f64>();
         if let Some(stack) = self.stacks.get_mut(&elems) {
             if let Some(mut data) = stack.pop() {
-                data.fill(0.0);
+                if zero {
+                    data.fill(0.0);
+                }
                 self.stats.hits += 1;
                 self.stats.live_blocks += 1;
                 self.stats.live_bytes += bytes;
@@ -184,6 +190,18 @@ impl BlockPool {
     /// [`release`]: BlockPool::release
     pub fn acquire_raw(&self, shape: Shape) -> Result<Block, PoolExhausted> {
         self.inner.borrow_mut().acquire(shape)
+    }
+
+    /// Like [`acquire_raw`], but recycled storage keeps its stale contents
+    /// instead of being zero-filled. For scratch every element of which the
+    /// caller overwrites before reading — e.g. GEMM pack panels, which
+    /// explicitly write or zero-pad the entire region the microkernel
+    /// consumes. Fresh allocations are still zeroed (there is nothing to
+    /// recycle).
+    ///
+    /// [`acquire_raw`]: BlockPool::acquire_raw
+    pub fn acquire_scratch(&self, shape: Shape) -> Result<Block, PoolExhausted> {
+        self.inner.borrow_mut().acquire_with(shape, false)
     }
 
     /// Returns a raw block's storage to its size-class stack.
@@ -286,6 +304,22 @@ mod tests {
         }
         let b2 = p.acquire(s).unwrap();
         assert!(b2.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scratch_skips_zero_fill() {
+        let p = pool(1 << 20);
+        let s = Shape::new(&[4]);
+        {
+            let mut b = p.acquire(s).unwrap();
+            b.fill(9.0);
+        }
+        let b2 = p.acquire_scratch(s).unwrap();
+        assert!(
+            b2.data().iter().all(|&x| x == 9.0),
+            "recycled scratch keeps stale contents"
+        );
+        assert_eq!(p.stats().hits, 1);
     }
 
     #[test]

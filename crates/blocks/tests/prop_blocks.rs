@@ -22,13 +22,22 @@ fn next_rand(s: &mut u64) -> u64 {
 /// it hits outer products, dot products, matrix multiplies, and rank-4
 /// tensor contractions, with every operand/output label order.
 fn arb_contraction() -> impl Strategy<Value = (ContractionPlan, Block, Block, f64)> {
+    arb_contraction_dims(5)
+}
+
+/// [`arb_contraction`] with a configurable per-label dimension bound, so the
+/// bitwise fold/materialize property can reach MR/NR edge remainders while
+/// the 256-case suite stays fast.
+fn arb_contraction_dims(
+    max_dim: usize,
+) -> impl Strategy<Value = (ContractionPlan, Block, Block, f64)> {
     (
-        0usize..3,                           // contracted labels
-        0usize..3,                           // labels free in A
-        0usize..3,                           // labels free in B
-        prop::collection::vec(1usize..5, 6), // dimension per label
-        any::<u64>(),                        // shuffle + data seed
-        -2.0..2.0f64,                        // alpha_c
+        0usize..3,                                 // contracted labels
+        0usize..3,                                 // labels free in A
+        0usize..3,                                 // labels free in B
+        prop::collection::vec(1usize..max_dim, 6), // dimension per label
+        any::<u64>(),                              // shuffle + data seed
+        -2.0..2.0f64,                              // alpha_c
     )
         .prop_map(|(n_c, mut a_f, mut b_f, dims, seed, alpha_c)| {
             // Keep both operands at rank >= 1.
@@ -284,21 +293,57 @@ proptest! {
                 .collect(),
         );
         let pool = BlockPool::new(PoolConfig { max_bytes: 1 << 20 });
+        let mut results = Vec::new();
         for fold in [true, false] {
             let mut ctx = ContractCtx::with_pool(pool.clone()).fold_transposes(fold);
             let mut c = c0.clone();
             contract_into_ctx(&mut ctx, &plan, &a, &b, alpha_c, &mut c);
             prop_assert!(c.approx_eq(&expect, 1e-9), "fold={fold}");
             let st = ctx.take_stats();
+            let pk = ctx.take_pack_stats();
             prop_assert_eq!(st.contractions, 1);
-            if !fold {
+            if fold {
+                // Folding on: nothing is ever materialized — reorders ride
+                // the pack traversal or the layout flag.
+                prop_assert_eq!(st.permutes_performed, 0);
+                prop_assert_eq!(pk.permutes_materialized, 0);
+                prop_assert_eq!(st.permutes_avoided + pk.permutes_folded, 2);
+            } else {
                 // Ablated: every operand must have been materialized.
                 prop_assert_eq!(st.permutes_avoided, 0);
                 prop_assert_eq!(st.permutes_performed, 2);
+                prop_assert_eq!(pk.permutes_materialized, 2);
+                prop_assert_eq!(pk.permutes_folded, 0);
             }
+            results.push(c);
         }
+        // Permute-on-pack feeds the microkernel the same packed panels as
+        // packing a materialized permute: identical arithmetic, identical
+        // bits.
+        prop_assert_eq!(results[0].data(), results[1].data());
         // Pool discipline: all scratch was returned.
         prop_assert_eq!(pool.stats().live_blocks, 0);
+    }
+
+    /// Permute-on-pack equals permute-then-pack *bitwise* on larger shapes:
+    /// random label orders (covering both transpose flags and general
+    /// permutations), dimensions spanning size-1 segments through MR/NR edge
+    /// remainders.
+    #[test]
+    fn permute_on_pack_matches_materialized_bitwise(
+        (plan, a, b, alpha_c) in arb_contraction_dims(13)
+    ) {
+        let out_shape = plan.output_shape(a.shape(), b.shape());
+        let c0 = Block::from_fn(out_shape, |i| {
+            (i.iter().enumerate().map(|(d, &x)| (d + 3) * x).sum::<usize>() % 5) as f64 - 2.0
+        });
+        let mut folded = c0.clone();
+        let mut ctx = ContractCtx::new();
+        contract_into_ctx(&mut ctx, &plan, &a, &b, alpha_c, &mut folded);
+        let mut materialized = c0.clone();
+        let mut ctx = ContractCtx::new().fold_transposes(false);
+        contract_into_ctx(&mut ctx, &plan, &a, &b, alpha_c, &mut materialized);
+        prop_assert_eq!(folded.data(), materialized.data());
     }
 }
 
@@ -344,7 +389,13 @@ fn rank2_transpose_contractions_avoid_all_permutes() {
         );
         assert_eq!(st.bytes_not_copied, ((a.len() + b.len()) * 8) as u64);
     }
-    // Nothing was drawn from the pool either.
+    // The only pool traffic is the GEMM's two pack panels per contraction
+    // (same m/n/k both times, so the second pair is recycled), and
+    // everything was returned.
     let ps = pool.stats();
-    assert_eq!(ps.hits + ps.misses, 0);
+    let pk = ctx.take_pack_stats();
+    assert_eq!(pk.pack_pool_misses, 2, "first contraction allocates panels");
+    assert_eq!(pk.pack_pool_hits, 2, "second contraction recycles them");
+    assert_eq!(ps.hits + ps.misses, 4);
+    assert_eq!(ps.live_blocks, 0);
 }

@@ -71,6 +71,10 @@ impl Worker {
             .metrics
             .contraction
             .merge(&self.contract_ctx.take_stats());
+        self.profile
+            .metrics
+            .pack
+            .merge(&self.contract_ctx.take_pack_stats());
         Ok(())
     }
 

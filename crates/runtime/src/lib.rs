@@ -355,6 +355,13 @@ impl Sip {
         profile.metrics.server.merge(&master_out.server);
         Merge::merge(&mut profile.metrics.fabric, &stats.total_faults());
         profile.dry_run_estimate_bytes = estimate.per_worker_bytes;
+        profile.gemm_threads = self.config.gemm_threads;
+        // A config built without the builder never recorded a request;
+        // treat the effective value as the request in that case.
+        profile.gemm_threads_requested = self
+            .config
+            .gemm_threads_requested
+            .max(self.config.gemm_threads);
 
         // ---- merged trace timeline -------------------------------------------
         let trace = if trace_on {

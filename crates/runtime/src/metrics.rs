@@ -314,6 +314,13 @@ impl Merge for sia_blocks::ContractStats {
     }
 }
 
+impl Merge for sia_blocks::PackStats {
+    /// Event counters: fleet sums (delegates to the blocks crate).
+    fn merge(&mut self, other: &Self) {
+        sia_blocks::PackStats::merge(self, other);
+    }
+}
+
 impl Merge for sia_fabric::FaultSnapshot {
     /// Injection counters sum; `crashed` ors.
     fn merge(&mut self, other: &Self) {
@@ -332,6 +339,8 @@ pub struct Metrics {
     pub memory: crate::memory::MemoryStats,
     /// Contraction hot-path counters (transpose folds, scratch reuse).
     pub contraction: sia_blocks::ContractStats,
+    /// Permute-on-pack GEMM counters (folded reorders, pack pool reuse).
+    pub pack: sia_blocks::PackStats,
     /// Communication flights and the overlap measurement.
     pub comm: CommStats,
     /// Blocked time by cause.
@@ -351,6 +360,7 @@ impl Merge for Metrics {
         self.cache.merge(&other.cache);
         self.memory.merge(&other.memory);
         Merge::merge(&mut self.contraction, &other.contraction);
+        Merge::merge(&mut self.pack, &other.pack);
         self.comm.merge(&other.comm);
         self.wait.merge(&other.wait);
         self.fault.merge(&other.fault);
@@ -421,6 +431,7 @@ impl Metrics {
         let c = &self.cache;
         let m = &self.memory;
         let k = &self.contraction;
+        let p = &self.pack;
         let f = &self.fault;
         let r = &self.recovery;
         let s = &self.server;
@@ -500,6 +511,21 @@ impl Metrics {
                         "scratch pool misses",
                         k.scratch_pool_misses,
                     ),
+                ],
+            },
+            Section {
+                name: "pack",
+                quiet: quiet(p),
+                fields: vec![
+                    field("permutes_folded", "permutes folded", p.permutes_folded),
+                    field(
+                        "permutes_materialized",
+                        "permutes materialized",
+                        p.permutes_materialized,
+                    ),
+                    field("packed_bytes", "bytes packed", p.packed_bytes),
+                    field("pack_pool_hits", "pack pool hits", p.pack_pool_hits),
+                    field("pack_pool_misses", "pack pool misses", p.pack_pool_misses),
                 ],
             },
             Section {
@@ -802,7 +828,8 @@ mod tests {
         let v = crate::events::parse_json(&j).expect("metrics json parses");
         let obj = v.as_object().expect("top-level object");
         for name in [
-            "cache", "memory", "contract", "comm", "wait", "fault", "recovery", "server", "fabric",
+            "cache", "memory", "contract", "pack", "comm", "wait", "fault", "recovery", "server",
+            "fabric",
         ] {
             assert!(obj.iter().any(|(k, _)| k == name), "missing section {name}");
         }

@@ -169,9 +169,7 @@ impl Worker {
         Worker {
             mem: BlockManager::new(cache_bytes, config.memory_budget),
             contract_ctx: ContractCtx::with_pool(pool.clone())
-                .gemm(GemmConfig {
-                    threads: config.gemm_threads,
-                })
+                .gemm(GemmConfig::with_threads(config.gemm_threads))
                 .fold_transposes(config.fold_transposes),
             pool,
             layout,
