@@ -270,7 +270,8 @@ pub fn disassemble(p: &Program) -> String {
         let dims: Vec<&str> = d.dims.iter().map(|&x| index_name(p, x)).collect();
         let _ = writeln!(
             out,
-            "  array[{i}] {:?} {}({})",
+            "  array[{i}] {}{:?} {}({})",
+            if d.sparse { "sparse " } else { "" },
             d.kind,
             d.name,
             dims.join(",")
@@ -310,6 +311,7 @@ mod tests {
                 name: "R".into(),
                 kind: ArrayKind::Distributed,
                 dims: vec![IndexId(0), IndexId(0)],
+                sparse: false,
             }],
             scalars: vec![],
             consts: vec![],

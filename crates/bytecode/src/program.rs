@@ -157,6 +157,11 @@ pub struct ArrayDecl {
     pub kind: ArrayKind,
     /// Index variable of each dimension.
     pub dims: Vec<IndexId>,
+    /// Block-sparse storage: blocks may be absent (exactly zero) and the
+    /// runtime may drop blocks whose Frobenius norm falls under the
+    /// configured screening threshold. Only meaningful on remote kinds
+    /// (`Distributed`/`Served`); always `false` otherwise.
+    pub sparse: bool,
 }
 
 /// Declaration of a named scalar (double) variable.
@@ -343,6 +348,7 @@ mod tests {
                 name: "X".into(),
                 kind: ArrayKind::Distributed,
                 dims: vec![IndexId(0), IndexId(0)],
+                sparse: false,
             }],
             scalars: vec![ScalarDecl {
                 name: "e".into(),

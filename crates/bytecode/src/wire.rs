@@ -18,8 +18,9 @@ use std::fmt;
 
 /// Magic bytes of a serialized program.
 pub const MAGIC: &[u8; 4] = b"SIAB";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 2 added the per-array `sparse` flag;
+/// version-1 streams still decode (all arrays dense).
+pub const VERSION: u32 = 2;
 
 /// Errors decoding a serialized program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -735,6 +736,7 @@ pub fn encode_program(p: &Program) -> Bytes {
         put_str(o, &d.name);
         put_array_kind(o, &d.kind);
         put_vec(o, &d.dims, |o2, id| o2.put_u32_le(id.0));
+        o.put_u8(u8::from(d.sparse));
     });
     put_vec(&mut out, &p.scalars, |o, d| {
         put_str(o, &d.name);
@@ -759,7 +761,7 @@ pub fn decode_program(data: &[u8]) -> R<Program> {
         return Err(WireError::BadMagic);
     }
     let version = get_u32(&mut buf)?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(WireError::BadVersion(version));
     }
     let name = get_str(&mut buf)?;
@@ -776,6 +778,7 @@ pub fn decode_program(data: &[u8]) -> R<Program> {
             name: get_str(b)?,
             kind: get_array_kind(b)?,
             dims: get_vec(b, |b2| Ok(IndexId(get_u32(b2)?)))?,
+            sparse: if version >= 2 { get_u8(b)? != 0 } else { false },
         })
     })?;
     let scalars = get_vec(&mut buf, |b| {
@@ -831,6 +834,7 @@ mod tests {
                 name: "T".into(),
                 kind: ArrayKind::Served,
                 dims: vec![IndexId(0), IndexId(0)],
+                sparse: true,
             }],
             scalars: vec![ScalarDecl {
                 name: "energy".into(),

@@ -217,6 +217,7 @@ fn arb_program() -> impl Strategy<Value = Program> {
                     Just(ArrayKind::Served)
                 ],
                 prop::collection::vec(0u32..6, 0..4),
+                any::<bool>(),
             ),
             0..6,
         ),
@@ -240,10 +241,11 @@ fn arb_program() -> impl Strategy<Value = Program> {
                     .collect(),
                 arrays: arrays
                     .into_iter()
-                    .map(|(name, kind, dims)| ArrayDecl {
+                    .map(|(name, kind, dims, sparse)| ArrayDecl {
                         name,
                         kind,
                         dims: dims.into_iter().map(IndexId).collect(),
+                        sparse,
                     })
                     .collect(),
                 scalars: scalars

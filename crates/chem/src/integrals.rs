@@ -26,6 +26,22 @@ pub fn eri(mu: usize, nu: usize, la: usize, si: usize) -> f64 {
     charge / ((1.0 + d1 + d2) * (1.0 + 0.5 * d3))
 }
 
+/// Decay rate of [`eri_screened`] per unit of bra/ket index separation.
+/// Steep enough that blocks between well-separated segments fall below any
+/// practical screening threshold (exp(-8·3) ≈ 4e-11 already).
+pub const SCREENED_DECAY: f64 = 8.0;
+
+/// A *screened* synthetic two-electron integral: [`eri`] damped by
+/// exponential decay in the bra and ket index separations, the way integrals
+/// over localized orbitals decay with distance (the regime Schwarz/Cauchy
+/// screening exploits in production codes). Same symmetries as [`eri`];
+/// most far-off-diagonal blocks have Frobenius norms far below 1e-10.
+pub fn eri_screened(mu: usize, nu: usize, la: usize, si: usize) -> f64 {
+    let d1 = mu.abs_diff(nu) as f64;
+    let d2 = la.abs_diff(si) as f64;
+    eri(mu, nu, la, si) * (-SCREENED_DECAY * (d1 + d2)).exp()
+}
+
 /// A synthetic one-electron (core Hamiltonian) element at 0-based global
 /// coordinates.
 pub fn oei(mu: usize, nu: usize) -> f64 {
@@ -83,6 +99,13 @@ pub fn register_integrals(reg: &mut SuperRegistry, seg: usize, n_occ: usize) {
     reg.register("compute_integrals", move |args, _env| {
         fill_from_globals(args, seg, &|g: &[usize]| match g.len() {
             4 => eri(g[0], g[1], g[2], g[3]),
+            2 => oei(g[0], g[1]),
+            _ => 0.0,
+        })
+    });
+    reg.register("compute_screened_integrals", move |args, _env| {
+        fill_from_globals(args, seg, &|g: &[usize]| match g.len() {
+            4 => eri_screened(g[0], g[1], g[2], g[3]),
             2 => oei(g[0], g[1]),
             _ => 0.0,
         })
@@ -151,7 +174,7 @@ pub fn integral_cost_model() -> CostModel {
     Arc::new(|name, shapes| {
         let elems: u64 = shapes.iter().map(|s| s.len() as u64).sum();
         match name {
-            "compute_integrals" => 500 * elems,
+            "compute_integrals" | "compute_screened_integrals" => 500 * elems,
             "compute_oei" => 50 * elems,
             _ => 4 * elems,
         }

@@ -269,6 +269,101 @@ endsial
     .with_work_factor(40.0)
 }
 
+/// MP2 energy over *screened* integrals with a block-sparse integral store:
+/// like [`mp2_energy`] but `Vd` is declared `sparse` and the integrals come
+/// from [`crate::integrals::eri_screened`] (exponential decay in index
+/// separation, the localized-orbital regime Schwarz screening exploits).
+/// Run with [`sia_runtime::SipConfigBuilder::sparsity_threshold`] set and
+/// the runtime drops the far-off-diagonal blocks at `put`, serves them as
+/// typed absence, and short-circuits the energy contraction on them —
+/// with threshold 0 the same program runs dense, bit-for-bit.
+pub fn mp2_energy_screened(m: &Molecule, seg: usize) -> Workload {
+    let source = r#"
+sial mp2_energy_screened
+moindex i = 1, nocc
+moindex j = 1, nocc
+laindex a = 1, nvrt
+laindex b = 1, nvrt
+sparse distributed Vd(i,a,j,b)
+temp V(i,a,j,b)
+temp W(i,b,j,a)
+temp X(i,a,j,b)
+temp T(i,a,j,b)
+scalar emp2
+
+# "Transformation": produce and distribute the screened ovov integrals.
+# Puts of blocks below the sparsity threshold are dropped at the source.
+pardo i, a, j, b
+  execute compute_screened_integrals V(i,a,j,b)
+  put Vd(i,a,j,b) = V(i,a,j,b)
+endpardo i, a, j, b
+sip_barrier
+
+# Energy accumulation; the emp2 contraction skips absent Vd blocks.
+pardo i, a, j, b
+  get Vd(i,a,j,b)
+  execute compute_screened_integrals W(i,b,j,a)
+  X(i,a,j,b) = W(i,b,j,a)
+  T(i,a,j,b) = 2.0 * Vd(i,a,j,b)
+  T(i,a,j,b) -= X(i,a,j,b)
+  execute scale_by_denominator T(i,a,j,b)
+  emp2 += T(i,a,j,b) * Vd(i,a,j,b)
+endpardo i, a, j, b
+sip_barrier
+execute sip_allreduce emp2
+endsial
+"#
+    .to_string();
+    Workload::new(
+        format!("mp2_energy_screened/{}", m.name),
+        source,
+        seg_bindings(m, seg),
+        seg,
+        m.n_occ as usize,
+    )
+    .with_work_factor(40.0)
+}
+
+/// A-priori realized density of [`mp2_energy_screened`]'s integral array
+/// `Vd`: the fraction of its blocks whose Frobenius norm reaches
+/// `threshold`, evaluated directly from the synthetic model. This is what
+/// the dry run's [`sia_runtime::SipConfigBuilder::sparsity_density`] hint
+/// should be fed for a realized (rather than dense) footprint estimate.
+pub fn screened_vd_density(m: &Molecule, seg: usize, threshold: f64) -> f64 {
+    let (occ, _, virt) = m.segments(seg as u32);
+    let (occ, virt) = (occ as usize, virt as usize);
+    let (mut kept, mut total) = (0u64, 0u64);
+    for (si, sa, sj, sb) in product4(occ, virt, occ, virt) {
+        let mut sq = 0.0;
+        for (i, a, j, b) in product4(seg, seg, seg, seg) {
+            let v = crate::integrals::eri_screened(
+                si * seg + i,
+                sa * seg + a,
+                sj * seg + j,
+                sb * seg + b,
+            );
+            sq += v * v;
+        }
+        total += 1;
+        if sq.sqrt() >= threshold {
+            kept += 1;
+        }
+    }
+    kept as f64 / total.max(1) as f64
+}
+
+/// All tuples of a 4-way index product.
+fn product4(
+    n0: usize,
+    n1: usize,
+    n2: usize,
+    n3: usize,
+) -> impl Iterator<Item = (usize, usize, usize, usize)> {
+    (0..n0).flat_map(move |a| {
+        (0..n1).flat_map(move |b| (0..n2).flat_map(move |c| (0..n3).map(move |d| (a, b, c, d))))
+    })
+}
+
 /// CCSD iterations (Figures 2–4): the particle-particle-ladder contraction
 /// `R(i,a,j,b) = Σ_{c,d} V(c,a,d,b)·T(i,c,j,d)` — the O(o²v⁴) term that
 /// dominates CCSD — plus amplitude update with denominators, a served-array
@@ -588,6 +683,7 @@ mod tests {
         for w in [
             contraction_demo(&m, 2),
             mp2_energy(&m, 2),
+            mp2_energy_screened(&m, 2),
             ccsd_iteration(&m, 2, 2),
             ccsd_t_triples(&m, 2),
             fock_build(&m, 2),
@@ -602,6 +698,7 @@ mod tests {
         for w in [
             contraction_demo(&m, 2),
             mp2_energy(&m, 2),
+            mp2_energy_screened(&m, 2),
             ccsd_iteration(&m, 2, 1),
             ccsd_t_triples(&m, 2),
             fock_build(&m, 2),
@@ -664,6 +761,107 @@ mod tests {
         let small = mp2_energy(&CYTOSINE_OH.scaled(4), 8).dist_bytes().unwrap();
         let big = mp2_energy(&CYTOSINE_OH, 8).dist_bytes().unwrap();
         assert!(big > 10 * small);
+    }
+
+    #[test]
+    fn mp2_screening_drops_blocks_and_preserves_energy() {
+        let m = tiny();
+        let w = mp2_energy_screened(&m, 2);
+        let cfg = |thr: f64| {
+            sia_runtime::SipConfig::builder()
+                .workers(2)
+                .io_servers(0)
+                .collect_distributed(true)
+                .sparsity_threshold(thr)
+                .build()
+                .unwrap()
+        };
+        let dense = w.run_real(cfg(0.0)).unwrap();
+        let sparse = w.run_real(cfg(1e-10)).unwrap();
+        let (e_d, e_s) = (dense.scalars["emp2"], sparse.scalars["emp2"]);
+        assert!(
+            (e_d - e_s).abs() < 1e-8,
+            "screened energy {e_s} differs from dense {e_d}"
+        );
+        // The collected store only holds resident blocks: absence is the
+        // measure of what screening dropped.
+        let total = dense.collected["Vd"].len();
+        let kept = sparse.collected.get("Vd").map_or(0, |b| b.len());
+        assert!(total > 0);
+        let dropped = total - kept;
+        assert!(
+            dropped as f64 >= 0.3 * total as f64,
+            "expected >= 30% of integral blocks dropped, got {dropped}/{total}"
+        );
+        let sp = &sparse.profile.metrics.sparse;
+        assert!(sp.blocks_skipped > 0, "energy contraction must skip");
+        assert!(sp.flops_avoided > 0);
+        assert_eq!(
+            dense.profile.metrics.sparse.blocks_skipped, 0,
+            "threshold 0 runs dense"
+        );
+    }
+
+    #[test]
+    fn screened_dryrun_realized_tracks_density() {
+        let m = tiny();
+        let w = mp2_energy_screened(&m, 2);
+        let density = screened_vd_density(&m, 2, 1e-10);
+        assert!(
+            (0.0..0.8).contains(&density),
+            "screened model should be sparse, density {density}"
+        );
+        let mut cfg = sia_runtime::SipConfig::builder()
+            .workers(2)
+            .io_servers(0)
+            .sparsity_threshold(1e-10)
+            .sparsity_density("Vd", density)
+            .build()
+            .unwrap();
+        cfg.segments = w.segments();
+        let est = Sip::new(cfg)
+            .dry_run(w.compile().unwrap(), &w.bindings)
+            .unwrap();
+        assert!(
+            est.per_worker_bytes < est.dense_per_worker_bytes,
+            "density hint must tighten the realized estimate: {} vs dense {}",
+            est.per_worker_bytes,
+            est.dense_per_worker_bytes
+        );
+    }
+
+    #[test]
+    fn screened_density_hint_matches_measured_drops() {
+        // The a-priori density and the runtime's realized density must agree:
+        // the dry run's hint is trustworthy for what the run actually keeps.
+        let m = tiny();
+        let w = mp2_energy_screened(&m, 2);
+        let out = w
+            .run_real(
+                sia_runtime::SipConfig::builder()
+                    .workers(2)
+                    .io_servers(0)
+                    .collect_distributed(true)
+                    .sparsity_threshold(1e-10)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let layout = w.layout(2, 0).unwrap();
+        let vd = layout
+            .program
+            .arrays
+            .iter()
+            .position(|a| a.name == "Vd")
+            .unwrap();
+        let total = layout.total_blocks(sia_bytecode::ArrayId(vd as u32));
+        let kept = out.collected.get("Vd").map_or(0, |b| b.len()) as u64;
+        let measured = kept as f64 / total as f64;
+        let predicted = screened_vd_density(&m, 2, 1e-10);
+        assert!(
+            (measured - predicted).abs() <= 0.1,
+            "predicted density {predicted} vs measured {measured}"
+        );
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub enum Decl {
         /// Source line.
         line: u32,
     },
-    /// `distributed R(M,N,I,J)` etc.
+    /// `distributed R(M,N,I,J)`, `sparse distributed V(M,N,I,J)`, etc.
     Array {
         /// Array name.
         name: String,
@@ -74,6 +74,8 @@ pub enum Decl {
         kind: AstArrayKind,
         /// Index variable name per dimension.
         dims: Vec<String>,
+        /// `sparse` modifier present (distributed/served only).
+        sparse: bool,
         /// Source line.
         line: u32,
     },

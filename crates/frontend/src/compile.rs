@@ -92,6 +92,7 @@ impl<'a> Lowerer<'a> {
             name: format!("$t{}", self.hidden_counter),
             kind: ArrayKind::Temp,
             dims: indices.to_vec(),
+            sparse: false,
         });
         id
     }
@@ -595,6 +596,17 @@ mod tests {
 
     fn body(stmts: &str) -> Program {
         compile_src(&format!("{HEADER}{stmts}\nendsial\n"))
+    }
+
+    #[test]
+    fn sparse_flag_survives_to_bytecode() {
+        let p = compile_src(
+            "sial t\naoindex M = 1, 4\nsparse distributed X(M)\nsparse served S(M)\nserved Y(M)\nendsial\n",
+        );
+        let sparse_of = |want: &str| p.arrays.iter().find(|a| a.name == want).unwrap().sparse;
+        assert!(sparse_of("X"));
+        assert!(sparse_of("S"));
+        assert!(!sparse_of("Y"));
     }
 
     #[test]

@@ -133,6 +133,7 @@ impl Parser {
                     | K::Local
                     | K::Distributed
                     | K::Served
+                    | K::Sparse
                     | K::Scalar,
                 ) => {
                     if !body.is_empty() {
@@ -247,7 +248,21 @@ impl Parser {
                 self.expect_newline()?;
                 Ok(Decl::Subindex { name, parent, line })
             }
-            K::Static | K::Temp | K::Local | K::Distributed | K::Served => {
+            K::Static | K::Temp | K::Local | K::Distributed | K::Served | K::Sparse => {
+                let sparse = kw == K::Sparse;
+                let kw = if sparse {
+                    // `sparse` modifies a remote storage class.
+                    match self.bump() {
+                        T::Kw(k @ (K::Distributed | K::Served)) => k,
+                        other => {
+                            return Err(self.err(format!(
+                                "`sparse` must be followed by `distributed` or `served`, found {other}"
+                            )));
+                        }
+                    }
+                } else {
+                    kw
+                };
                 let kind = match kw {
                     K::Static => AstArrayKind::Static,
                     K::Temp => AstArrayKind::Temp,
@@ -267,6 +282,7 @@ impl Parser {
                     name,
                     kind,
                     dims,
+                    sparse,
                     line,
                 })
             }
@@ -840,6 +856,35 @@ endsial
             }
             other => panic!("expected pardo, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sparse_modifier_parses_on_remote_kinds() {
+        let src = "sial t\naoindex M = 1, 4\nsparse distributed X(M)\nsparse served Y(M)\ndistributed Z(M)\nendsial\n";
+        let p = parse(src).unwrap();
+        let sparse_of = |want: &str| {
+            p.decls
+                .iter()
+                .find_map(|d| match d {
+                    Decl::Array { name, sparse, .. } if name == want => Some(*sparse),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(sparse_of("X"));
+        assert!(sparse_of("Y"));
+        assert!(!sparse_of("Z"));
+    }
+
+    #[test]
+    fn sparse_requires_remote_storage_class() {
+        let src = "sial t\naoindex M = 1, 4\nsparse temp X(M)\nendsial\n";
+        let e = parse(src).unwrap_err();
+        assert!(
+            e.message.contains("`sparse` must be followed by"),
+            "{}",
+            e.message
+        );
     }
 
     #[test]

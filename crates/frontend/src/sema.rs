@@ -189,6 +189,7 @@ impl<'a> Analyzer<'a> {
                     name,
                     kind,
                     dims,
+                    sparse,
                     line,
                 } => {
                     self.declare_name(name, *line, &mut taken)?;
@@ -199,6 +200,15 @@ impl<'a> Analyzer<'a> {
                         AstArrayKind::Distributed => ArrayKind::Distributed,
                         AstArrayKind::Served => ArrayKind::Served,
                     };
+                    if *sparse && !bc_kind.is_remote() {
+                        return Err(err(
+                            *line,
+                            format!(
+                                "array `{name}`: `sparse` applies only to distributed or \
+                                 served arrays, not {bc_kind:?}"
+                            ),
+                        ));
+                    }
                     let mut dim_ids = Vec::with_capacity(dims.len());
                     for dim in dims {
                         let Some(&id) = self.info.index_ids.get(dim) else {
@@ -228,6 +238,7 @@ impl<'a> Analyzer<'a> {
                         name: name.clone(),
                         kind: bc_kind,
                         dims: dim_ids,
+                        sparse: *sparse,
                     });
                 }
                 Decl::Scalar { name, init, line } => {

@@ -40,6 +40,8 @@ pub enum Keyword {
     Distributed,
     /// `served` — disk-backed array.
     Served,
+    /// `sparse` — block-sparse modifier on `distributed`/`served`.
+    Sparse,
     /// `scalar` — scalar variable declaration.
     Scalar,
     /// `pardo` — parallel loop.
@@ -120,6 +122,7 @@ impl Keyword {
             "local" => Local,
             "distributed" => Distributed,
             "served" => Served,
+            "sparse" => Sparse,
             "scalar" => Scalar,
             "pardo" => Pardo,
             "endpardo" => EndPardo,

@@ -42,6 +42,47 @@ pub enum CacheEntry {
     Ready(BlockHandle),
     /// A fetch is outstanding.
     InFlight,
+    /// The home rank answered that the block is absent (exactly zero) from a
+    /// sparse array. Carries the Frobenius-norm bound recorded when the
+    /// block was dropped, so screening can reuse it without a refetch.
+    /// Holds no payload bytes and is never evicted for capacity; a barrier
+    /// invalidation removes it like any ready copy (a later put can make
+    /// the block real again).
+    Absent { norm: f64 },
+}
+
+/// Outcome of a typed block lookup through the block-access facade.
+///
+/// Replaces the old `Option<BlockHandle>` shape: absence of data no longer
+/// means "materialize zeros", it is a first-class answer. `AbsentZero` is
+/// only produced for arrays declared `sparse`; dense arrays still
+/// materialize zero blocks on first touch and always return `Ready`.
+#[derive(Debug, Clone)]
+pub enum BlockGet {
+    /// The block's data is resident; the handle shares the cached (or
+    /// home-pinned) allocation.
+    Ready(BlockHandle),
+    /// The block is absent from a sparse array — exactly zero. `norm` is
+    /// the Frobenius-norm bound under which the payload was dropped
+    /// (strictly below the run's sparsity threshold).
+    AbsentZero {
+        /// Frobenius-norm bound of the dropped payload.
+        norm: f64,
+    },
+    /// A fetch is outstanding; the caller must wait for the reply.
+    Pending,
+}
+
+impl BlockGet {
+    /// True when data is resident.
+    pub fn is_ready(&self) -> bool {
+        matches!(self, BlockGet::Ready(_))
+    }
+
+    /// True when the block is typed-absent (exactly zero).
+    pub fn is_absent(&self) -> bool {
+        matches!(self, BlockGet::AbsentZero { .. })
+    }
 }
 
 /// Cache statistics.
@@ -153,7 +194,7 @@ impl BlockCache {
             Some(slot) => {
                 slot.stamp = t;
                 match &slot.entry {
-                    CacheEntry::Ready(_) => self.stats.hits += 1,
+                    CacheEntry::Ready(_) | CacheEntry::Absent { .. } => self.stats.hits += 1,
                     CacheEntry::InFlight => self.stats.in_flight_hits += 1,
                 }
                 Some(&slot.entry)
@@ -252,6 +293,31 @@ impl BlockCache {
         self.make_room_keeping(Some(&key));
     }
 
+    /// Records a typed-absent answer for a sparse block, completing an
+    /// in-flight entry (or inserting fresh). Absent entries carry no payload
+    /// bytes, so no room is made.
+    pub fn fill_absent(&mut self, key: BlockKey, norm: f64) {
+        let t = self.tick();
+        if let Some(slot) = self.map.get_mut(&key) {
+            if let CacheEntry::Ready(old) = &slot.entry {
+                self.ready_bytes -= old.heap_bytes();
+            }
+            slot.entry = CacheEntry::Absent { norm };
+            slot.stamp = t;
+            slot.base_holders = 0;
+            return;
+        }
+        self.ever_fetched.test_and_set(&key);
+        self.map.insert(
+            key,
+            Slot {
+                entry: CacheEntry::Absent { norm },
+                stamp: t,
+                base_holders: 0,
+            },
+        );
+    }
+
     /// Removes a specific entry (e.g. after a barrier invalidates cached
     /// copies of an array).
     pub fn invalidate(&mut self, key: &BlockKey) {
@@ -278,6 +344,9 @@ impl BlockCache {
                     *bytes -= h.heap_bytes();
                     false
                 }
+                // A later put can make an absent block real; barrier
+                // invalidation drops the cached absence like any copy.
+                CacheEntry::Absent { .. } => false,
             }
         });
     }
@@ -577,5 +646,45 @@ mod tests {
         // Oldest went first.
         assert!(c.peek(&key(0)).is_none());
         assert!(c.peek(&key(5)).is_some());
+    }
+
+    #[test]
+    fn absent_completes_in_flight_and_counts_hit() {
+        let mut c = BlockCache::new(2 * B);
+        c.mark_in_flight(key(1));
+        c.fill_absent(key(1), 1e-12);
+        match c.lookup(&key(1)) {
+            Some(CacheEntry::Absent { norm }) => assert_eq!(*norm, 1e-12),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.ready_bytes(), 0, "absent entries carry no payload");
+        assert!(!c.refresh_in_flight(&key(1)), "absent entry refuses re-arm");
+    }
+
+    #[test]
+    fn absent_replaces_ready_and_credits_bytes() {
+        let mut c = BlockCache::new(4 * B);
+        c.fill(key(1), blk(1.0));
+        assert_eq!(c.ready_bytes(), B);
+        c.fill_absent(key(1), 0.0);
+        assert_eq!(c.ready_bytes(), 0);
+        // A later real fill makes the block concrete again.
+        c.fill(key(1), blk(2.0));
+        assert!(matches!(c.peek(&key(1)), Some(CacheEntry::Ready(_))));
+        assert_eq!(c.ready_bytes(), B);
+    }
+
+    #[test]
+    fn invalidate_array_drops_absent_entries() {
+        let mut c = BlockCache::new(4 * B);
+        c.fill_absent(BlockKey::new(ArrayId(0), &[1]), 0.0);
+        c.mark_in_flight(BlockKey::new(ArrayId(0), &[2]));
+        c.invalidate_array(ArrayId(0));
+        assert!(
+            c.peek(&BlockKey::new(ArrayId(0), &[1])).is_none(),
+            "cached absence invalidated with the array"
+        );
+        assert!(c.peek(&BlockKey::new(ArrayId(0), &[2])).is_some());
     }
 }

@@ -11,15 +11,33 @@
 use crate::layout::{Layout, SipConfig};
 use sia_bytecode::ArrayKind;
 
+/// Approximate heap bytes one norm-table entry costs a sparse home (key +
+/// `f64` norm + hash-map overhead). Shared with the runtime's accounting in
+/// [`crate::memory::BlockManager::norm_table_bytes`] so the prediction and
+/// the measurement use the same per-entry constant.
+pub const NORM_TABLE_ENTRY_BYTES: u64 = 48;
+
 /// The dry run's memory estimate.
+///
+/// For sparse arrays the headline `per_worker_bytes` is the **realized**
+/// footprint: blocks expected to carry data cost full payload, blocks
+/// expected to be dropped cost one norm-table entry. The expectation comes
+/// from [`SipConfig::sparsity_density`] hints (`array name → fraction of
+/// blocks realized`); arrays without a hint are estimated dense, so the
+/// estimate only tightens when the user asserts something.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoryEstimate {
-    /// Upper-bound bytes resident on one worker.
+    /// Upper-bound bytes resident on one worker (realized footprint).
     pub per_worker_bytes: u64,
-    /// Upper-bound bytes resident on one I/O server (cache only; disk is
-    /// assumed unbounded, as in the original).
+    /// The same bound with every sparse block materialized (what a dense
+    /// run of the identical program would need). Equal to
+    /// `per_worker_bytes` when no sparse array has a density hint.
+    pub dense_per_worker_bytes: u64,
+    /// Upper-bound bytes resident on one I/O server: the serve cache plus
+    /// the norm table of any sparse served array (disk is assumed
+    /// unbounded, as in the original, but norm tables live in memory).
     pub per_server_bytes: u64,
-    /// Per-array per-worker contributions `(array name, bytes)`.
+    /// Per-array per-worker contributions `(array name, realized bytes)`.
     pub breakdown: Vec<(String, u64)>,
     /// Size of the largest single block (drives cache sizing).
     pub largest_block_bytes: u64,
@@ -41,42 +59,75 @@ pub fn estimate(layout: &Layout, config: &SipConfig) -> MemoryEstimate {
 
 fn per_worker(layout: &Layout, config: &SipConfig, workers: u64) -> MemoryEstimate {
     let workers = workers.max(1);
+    let servers = (layout.topology.io_servers as u64).max(1);
     let mut breakdown = Vec::new();
     let mut total: u64 = 0;
+    let mut dense_total: u64 = 0;
     let mut largest: u64 = 0;
+    let mut server_norm_bytes: u64 = 0;
 
     for (i, decl) in layout.program.arrays.iter().enumerate() {
         let id = sia_bytecode::ArrayId(i as u32);
         let bb = layout.block_bytes(id);
         largest = largest.max(bb);
         let blocks = layout.total_blocks(id);
-        let bytes = match decl.kind {
+        // Fraction of blocks expected to carry data. Only sparse arrays
+        // with an explicit hint tighten the estimate; everything else is
+        // the conservative dense bound.
+        let density = if decl.sparse {
+            config
+                .sparsity_density
+                .get(&decl.name)
+                .copied()
+                .unwrap_or(1.0)
+                .clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        // Blocks homed on (or replicated to) one worker.
+        let home_blocks = match decl.kind {
             // Distributed blocks spread evenly under the static placement.
-            ArrayKind::Distributed => blocks.div_ceil(workers) * bb,
+            ArrayKind::Distributed => blocks.div_ceil(workers),
             // Served blocks live on the servers; workers only cache them.
             ArrayKind::Served => 0,
             // Static arrays are fully replicated.
-            ArrayKind::Static => blocks * bb,
+            ArrayKind::Static => blocks,
             // Local arrays: upper bound is the full block set (the paper's
             // locals are "fully formed in at least one dimension"; we bound
             // by the whole array, which is what the original's conservative
             // dry run reports too).
-            ArrayKind::Local => blocks * bb,
+            ArrayKind::Local => blocks,
             // One live block per temp.
-            ArrayKind::Temp => bb,
+            ArrayKind::Temp => 1,
         };
+        let dense_bytes = home_blocks * bb;
+        // Realized: payload for the expected-live blocks, a norm-table
+        // entry for each expected-dropped block.
+        let live = ((home_blocks as f64) * density).ceil() as u64;
+        let live = live.min(home_blocks);
+        let bytes = live * bb + (home_blocks - live) * NORM_TABLE_ENTRY_BYTES;
+        // A sparse served array's dropped blocks cost its home — the I/O
+        // server — a norm-table entry each (disk holds the live payloads).
+        if decl.kind == ArrayKind::Served && decl.sparse {
+            let server_blocks = blocks.div_ceil(servers);
+            let server_live = (((server_blocks as f64) * density).ceil() as u64).min(server_blocks);
+            server_norm_bytes += (server_blocks - server_live) * NORM_TABLE_ENTRY_BYTES;
+        }
         if bytes > 0 {
             breakdown.push((decl.name.clone(), bytes));
         }
         total += bytes;
+        dense_total += dense_bytes;
     }
     // The same sizing the worker's BlockManager uses at runtime, so the
     // prediction and the enforced ceiling are in the same units.
     let cache_bytes = config.cache_blocks as u64 * layout.largest_remote_block_bytes();
     total += cache_bytes;
+    dense_total += cache_bytes;
     MemoryEstimate {
         per_worker_bytes: total,
-        per_server_bytes: config.server_cache_blocks as u64 * largest,
+        dense_per_worker_bytes: dense_total,
+        per_server_bytes: config.server_cache_blocks as u64 * largest + server_norm_bytes,
         breakdown,
         largest_block_bytes: largest,
         cache_bytes,
@@ -140,6 +191,7 @@ mod tests {
             name: name.into(),
             kind,
             dims: vec![IndexId(0); rank],
+            sparse: false,
         }
     }
 
@@ -175,6 +227,66 @@ mod tests {
         assert_eq!(e.per_worker_bytes, 3 * 512);
         assert_eq!(e.cache_bytes, 3 * 512);
         assert_eq!(e.per_server_bytes, 4 * 512);
+    }
+
+    fn sparse_arr(name: &str, kind: ArrayKind, rank: usize) -> ArrayDecl {
+        ArrayDecl {
+            sparse: true,
+            ..arr(name, kind, rank)
+        }
+    }
+
+    #[test]
+    fn sparse_without_hint_estimates_dense() {
+        let dense = estimate(
+            &layout(1, vec![arr("D", ArrayKind::Distributed, 2)]),
+            &config(0),
+        );
+        let sparse = estimate(
+            &layout(1, vec![sparse_arr("D", ArrayKind::Distributed, 2)]),
+            &config(0),
+        );
+        assert_eq!(sparse.per_worker_bytes, dense.per_worker_bytes);
+        assert_eq!(sparse.dense_per_worker_bytes, sparse.per_worker_bytes);
+    }
+
+    #[test]
+    fn density_hint_tightens_realized_estimate() {
+        // 100 blocks × 512 B dense; at 25% density, 25 blocks carry payload
+        // and 75 cost a norm-table entry each.
+        let mut c = config(0);
+        c.sparsity_density.insert("D".into(), 0.25);
+        let e = estimate(
+            &layout(1, vec![sparse_arr("D", ArrayKind::Distributed, 2)]),
+            &c,
+        );
+        assert_eq!(e.dense_per_worker_bytes, 100 * 512);
+        assert_eq!(
+            e.per_worker_bytes,
+            25 * 512 + 75 * NORM_TABLE_ENTRY_BYTES,
+            "realized = live payloads + norm-table entries"
+        );
+        assert!(e.per_worker_bytes < e.dense_per_worker_bytes);
+        // Density hints on a *dense* array are ignored.
+        let dense = estimate(&layout(1, vec![arr("D", ArrayKind::Distributed, 2)]), &c);
+        assert_eq!(dense.per_worker_bytes, 100 * 512);
+    }
+
+    #[test]
+    fn served_sparse_charges_server_norm_table() {
+        // Regression: served arrays used to cost 0 everywhere, silently
+        // undercounting the home-side norm table of a sparse served array.
+        let mut c = config(3);
+        c.sparsity_density.insert("V".into(), 0.5);
+        let e = estimate(&layout(2, vec![sparse_arr("V", ArrayKind::Served, 2)]), &c);
+        // Workers still pay cache only …
+        assert_eq!(e.per_worker_bytes, 3 * 512);
+        // … but the single server now carries 50 norm-table entries on top
+        // of its serve cache.
+        assert_eq!(e.per_server_bytes, 4 * 512 + 50 * NORM_TABLE_ENTRY_BYTES);
+        // Dense served arrays are unchanged (disk-backed, cache only).
+        let d = estimate(&layout(2, vec![arr("V", ArrayKind::Served, 2)]), &c);
+        assert_eq!(d.per_server_bytes, 4 * 512);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! worker waiting on a barrier still serves its home blocks to others) and
 //! accounts the time as *wait* for the profiler.
 
+use crate::cache::BlockGet;
 use crate::error::RuntimeError;
 use crate::events::{EventKind, RecoveryEvent};
 use crate::ft::TakeoverChunk;
@@ -535,8 +536,45 @@ impl Worker {
                         p
                     }
                 };
-                let ablk = self.read_block(a.array, &a.indices, wait)?;
-                let bblk = self.read_block(b.array, &b.indices, wait)?;
+                let aget = self.read_block_get(a.array, &a.indices, wait)?;
+                let bget = self.read_block_get(b.array, &b.indices, wait)?;
+                // Sparse screening: a typed-absent operand makes the product
+                // exactly zero; two present operands whose norm product
+                // (Cauchy–Schwarz bound on ‖A·B‖F) falls under the threshold
+                // contribute negligibly. Either way the GEMM is skipped.
+                let skip = match (&aget, &bget) {
+                    (BlockGet::AbsentZero { .. }, _) | (_, BlockGet::AbsentZero { .. }) => true,
+                    (BlockGet::Ready(ab), BlockGet::Ready(bb)) => {
+                        (self.sparsity_active(a.array) || self.sparsity_active(b.array))
+                            && ab.norm() * bb.norm() < self.config.sparsity_threshold
+                    }
+                    _ => {
+                        return Err(RuntimeError::Internal(
+                            "wait-mode access returned pending".into(),
+                        ));
+                    }
+                };
+                if skip {
+                    let a_shape = self.layout.block_shape(&a.indices);
+                    let b_shape = self.layout.block_shape(&b.indices);
+                    self.profile.metrics.sparse.blocks_skipped += 1;
+                    self.profile.metrics.sparse.flops_avoided += plan.flops(&a_shape, &b_shape);
+                    let need_init = *accumulate
+                        && self.layout.array_kind(dest.array) == ArrayKind::Temp
+                        && !self.temp_defined(dest.array, &dest.indices)?;
+                    if !*accumulate || need_init {
+                        // The (bounded-)zero product still defines the dest
+                        // block, exactly as the dense path would.
+                        let out_shape = plan.output_shape(&a_shape, &b_shape);
+                        let mut out = self.alloc_for(dest.array, out_shape)?;
+                        out.fill(0.0);
+                        self.write_block(dest.array, &dest.indices, out)?;
+                    }
+                    return Ok(Some(pc + 1));
+                }
+                let (BlockGet::Ready(ablk), BlockGet::Ready(bblk)) = (aget, bget) else {
+                    unreachable!("non-ready operands handled above");
+                };
                 let out_shape = plan.output_shape(ablk.shape(), bblk.shape());
                 // Contract through the worker's context (pooled scratch,
                 // configured GEMM threading, fold counters). The ctx is

@@ -39,6 +39,10 @@ pub struct IoServer {
     dir: PathBuf,
     capacity: usize,
     cache: HashMap<BlockKey, Entry>,
+    /// Norm table for sparse served arrays: blocks whose prepare was dropped
+    /// under the sparsity threshold, keyed to the recorded Frobenius-norm
+    /// bound. A key with a resident (cache or disk) payload is never here.
+    norms: HashMap<BlockKey, f64>,
     clock: u64,
     stats: ServerStats,
     /// Applied prepare op ids → served epoch they arrived in (duplicate
@@ -128,6 +132,7 @@ impl IoServer {
             dir,
             capacity: capacity.max(1),
             cache: HashMap::new(),
+            norms: HashMap::new(),
             clock: 0,
             stats: ServerStats::default(),
             applied_ops: HashMap::new(),
@@ -229,6 +234,42 @@ impl IoServer {
         Ok(block)
     }
 
+    /// True when `key` has no payload anywhere (neither cache nor disk) —
+    /// the typed-absent state of a sparse served block.
+    fn is_absent(&self, key: &BlockKey) -> bool {
+        !self.cache.contains_key(key) && !self.path_of(key).exists()
+    }
+
+    /// Applies a dropped (norm-only) prepare: a Replace removes any resident
+    /// payload and records the bound; an Accumulate onto a resident block is
+    /// a no-op, onto an absent one it accumulates the bound.
+    fn prepare_absent(&mut self, key: BlockKey, norm: f64, mode: PutMode) {
+        self.stats.prepares += 1;
+        match mode {
+            PutMode::Replace => {
+                self.cache.remove(&key);
+                let _ = fs::remove_file(self.path_of(&key));
+                self.norms.insert(key, norm);
+            }
+            PutMode::Accumulate => {
+                if self.is_absent(&key) {
+                    let prior = self.norms.get(&key).copied().unwrap_or(0.0);
+                    self.norms.insert(key, prior + norm);
+                }
+            }
+        }
+    }
+
+    /// [`IoServer::prepare_absent`] behind the same duplicate suppression as
+    /// [`IoServer::prepare_deduped`].
+    fn prepare_absent_deduped(&mut self, key: BlockKey, norm: f64, mode: PutMode, op: OpId) {
+        if op.is_tracked() && self.applied_ops.insert(op.0, self.epoch).is_some() {
+            self.stats.dup_prepares_suppressed += 1;
+            return;
+        }
+        self.prepare_absent(key, norm, mode);
+    }
+
     fn prepare(
         &mut self,
         key: BlockKey,
@@ -236,6 +277,8 @@ impl IoServer {
         mode: PutMode,
     ) -> Result<(), RuntimeError> {
         self.stats.prepares += 1;
+        // A real payload supersedes any recorded absence.
+        self.norms.remove(&key);
         match mode {
             PutMode::Replace => {
                 self.make_room()?;
@@ -304,6 +347,7 @@ impl IoServer {
 
     fn delete_array(&mut self, array: sia_bytecode::ArrayId) -> Result<(), RuntimeError> {
         self.cache.retain(|k, _| k.array != array);
+        self.norms.retain(|k, _| k.array != array);
         let prefix = format!("a{}_", array.0);
         let entries =
             fs::read_dir(&self.dir).map_err(|e| RuntimeError::ServedIo(format!("readdir: {e}")))?;
@@ -334,6 +378,16 @@ impl IoServer {
                     let src = env.src;
                     match env.msg {
                         SipMsg::RequestBlock { key, req } => {
+                            // A sparse block with no payload anywhere is
+                            // typed-absent: ship the norm bound instead of
+                            // materializing and caching a zero block.
+                            if self.layout.array_sparse(key.array) && self.is_absent(&key) {
+                                let norm = self.norms.get(&key).copied().unwrap_or(0.0);
+                                let _ = self
+                                    .endpoint
+                                    .send(src, SipMsg::BlockAbsent { key, norm, req });
+                                continue;
+                            }
                             let t0 = Instant::now();
                             let reads0 = self.stats.disk_reads;
                             let data = self.load(key)?;
@@ -350,6 +404,15 @@ impl IoServer {
                             op,
                         } => {
                             self.prepare_deduped(key, data, mode, op)?;
+                            let _ = self.endpoint.send(src, SipMsg::PrepareAck { key, op });
+                        }
+                        SipMsg::PutAbsent {
+                            key,
+                            norm,
+                            mode,
+                            op,
+                        } => {
+                            self.prepare_absent_deduped(key, norm, mode, op);
                             let _ = self.endpoint.send(src, SipMsg::PrepareAck { key, op });
                         }
                         SipMsg::EpochMark { epoch } => {
@@ -414,6 +477,37 @@ mod tests {
                 name: "S".into(),
                 kind: ArrayKind::Served,
                 dims: vec![IndexId(0), IndexId(0)],
+                sparse: false,
+            }],
+            ..Default::default()
+        };
+        Arc::new(
+            Layout::new(
+                Arc::new(program),
+                &ConstBindings::new(),
+                SegmentConfig {
+                    default: 4,
+                    ..Default::default()
+                },
+                Topology::new(1, 1),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn sparse_test_layout() -> Arc<Layout> {
+        let program = Program {
+            indices: vec![IndexDecl {
+                name: "i".into(),
+                kind: IndexKind::AoIndex,
+                low: Value::Lit(1),
+                high: Value::Lit(4),
+            }],
+            arrays: vec![ArrayDecl {
+                name: "S".into(),
+                kind: ArrayKind::Served,
+                dims: vec![IndexId(0), IndexId(0)],
+                sparse: true,
             }],
             ..Default::default()
         };
@@ -435,6 +529,12 @@ mod tests {
         let (mut eps, _) = sia_fabric::build::<SipMsg>(3);
         let ep = eps.remove(2);
         IoServer::new(test_layout(), ep, dir.to_path_buf(), capacity).unwrap()
+    }
+
+    fn sparse_server(dir: &Path, capacity: usize) -> IoServer {
+        let (mut eps, _) = sia_fabric::build::<SipMsg>(3);
+        let ep = eps.remove(2);
+        IoServer::new(sparse_test_layout(), ep, dir.to_path_buf(), capacity).unwrap()
     }
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -586,6 +686,76 @@ mod tests {
             !s.applied_ops.contains_key(&7),
             "old applied ops are pruned"
         );
+    }
+
+    #[test]
+    fn absent_replace_drops_payload_and_real_prepare_clears_norm() {
+        let dir = tmpdir("absent");
+        let mut s = sparse_server(&dir, 8);
+        let key = BlockKey::new(ArrayId(0), &[1, 2]);
+        s.prepare(key, blk(3.0), PutMode::Replace).unwrap();
+        s.flush_all().unwrap();
+        assert!(!s.is_absent(&key));
+        // A dropped Replace removes both the cached copy and the disk file.
+        s.prepare_absent(key, 1e-12, PutMode::Replace);
+        assert!(s.is_absent(&key), "payload gone from cache and disk");
+        assert_eq!(s.norms.get(&key).copied(), Some(1e-12));
+        // A later real prepare makes the block resident again and clears the
+        // norm entry so it cannot shadow live data.
+        s.prepare(key, blk(2.0), PutMode::Replace).unwrap();
+        assert!(!s.is_absent(&key));
+        assert!(!s.norms.contains_key(&key));
+        assert_eq!(s.load(key).unwrap(), blk(2.0));
+    }
+
+    #[test]
+    fn absent_accumulate_bounds_and_resident_noop() {
+        let dir = tmpdir("absacc");
+        let mut s = sparse_server(&dir, 8);
+        let absent = BlockKey::new(ArrayId(0), &[3, 3]);
+        // Accumulating norm bounds onto an absent block sums them
+        // (triangle inequality keeps the bound sound).
+        s.prepare_absent(absent, 0.25, PutMode::Accumulate);
+        s.prepare_absent(absent, 0.50, PutMode::Accumulate);
+        assert_eq!(s.norms.get(&absent).copied(), Some(0.75));
+        // Onto a resident block it is a no-op: the payload stays exact.
+        let resident = BlockKey::new(ArrayId(0), &[1, 1]);
+        s.prepare(resident, blk(4.0), PutMode::Replace).unwrap();
+        s.prepare_absent(resident, 0.25, PutMode::Accumulate);
+        assert!(!s.norms.contains_key(&resident));
+        assert_eq!(s.load(resident).unwrap(), blk(4.0));
+    }
+
+    #[test]
+    fn duplicate_put_absent_suppressed() {
+        let dir = tmpdir("absdup");
+        let mut s = sparse_server(&dir, 8);
+        let key = BlockKey::new(ArrayId(0), &[2, 4]);
+        let op = OpId(0xabcd);
+        // A retried/duplicated dropped-accumulate must bound the norm once.
+        s.prepare_absent_deduped(key, 0.5, PutMode::Accumulate, op);
+        s.prepare_absent_deduped(key, 0.5, PutMode::Accumulate, op);
+        assert_eq!(s.norms.get(&key).copied(), Some(0.5));
+        assert_eq!(s.stats().dup_prepares_suppressed, 1);
+        // Real and absent prepares share one dedup window: a dropped resend
+        // of an already-applied real prepare is suppressed too.
+        let key2 = BlockKey::new(ArrayId(0), &[4, 2]);
+        let op2 = OpId(0xbeef);
+        s.prepare_deduped(key2, blk(2.0), PutMode::Accumulate, op2)
+            .unwrap();
+        s.prepare_absent_deduped(key2, 0.1, PutMode::Accumulate, op2);
+        assert_eq!(s.load(key2).unwrap(), blk(2.0));
+        assert!(!s.norms.contains_key(&key2));
+    }
+
+    #[test]
+    fn delete_array_clears_norm_table() {
+        let dir = tmpdir("absdel");
+        let mut s = sparse_server(&dir, 8);
+        let key = BlockKey::new(ArrayId(0), &[1, 3]);
+        s.prepare_absent(key, 0.5, PutMode::Replace);
+        s.delete_array(ArrayId(0)).unwrap();
+        assert!(s.norms.is_empty());
     }
 
     #[test]

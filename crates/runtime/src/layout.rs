@@ -11,6 +11,7 @@ use crate::msg::BlockKey;
 use sia_blocks::Shape;
 use sia_bytecode::{ArrayId, ArrayKind, ConstBindings, IndexId, IndexKind, Program};
 use sia_fabric::{FaultPlan, Rank};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -200,6 +201,17 @@ pub struct SipConfig {
     /// Write the machine-readable profile (`sia.profile.v1` JSON) to this
     /// path at the end of the run.
     pub profile_json: Option<PathBuf>,
+    /// Frobenius-norm screening threshold for `sparse` arrays: a `put`/
+    /// `prepare` whose payload norm falls strictly under this bound drops
+    /// the payload and records only the norm at the block's home. `0.0`
+    /// (default) keeps every block — sparse arrays then differ from dense
+    /// only in their typed-absence reads.
+    pub sparsity_threshold: f64,
+    /// Expected realized block fraction per sparse array (name → fraction
+    /// in `0.0..=1.0`), used by the dry-run to estimate the *realized*
+    /// footprint instead of the dense one. Arrays without a hint are
+    /// estimated dense (conservative).
+    pub sparsity_density: BTreeMap<String, f64>,
 }
 
 impl Default for SipConfig {
@@ -229,6 +241,8 @@ impl Default for SipConfig {
             trace_path: None,
             trace_buffer_events: crate::events::DEFAULT_TRACE_EVENTS,
             profile_json: None,
+            sparsity_threshold: 0.0,
+            sparsity_density: BTreeMap::new(),
         }
     }
 }
@@ -425,6 +439,20 @@ impl SipConfigBuilder {
         self
     }
 
+    /// Frobenius-norm screening threshold for sparse arrays (must be finite
+    /// and ≥ 0; 0.0 disables dropping).
+    pub fn sparsity_threshold(mut self, t: f64) -> Self {
+        self.config.sparsity_threshold = t;
+        self
+    }
+
+    /// Expected realized block fraction of a sparse array, used by the
+    /// dry-run footprint estimate (must be in `0.0..=1.0`).
+    pub fn sparsity_density(mut self, array: impl Into<String>, fraction: f64) -> Self {
+        self.config.sparsity_density.insert(array.into(), fraction);
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<SipConfig, ConfigError> {
         let mut c = self.config;
@@ -472,6 +500,19 @@ impl SipConfigBuilder {
             return Err(ConfigError(
                 "trace_buffer_events must be ≥ 16 when tracing".into(),
             ));
+        }
+        if !c.sparsity_threshold.is_finite() || c.sparsity_threshold < 0.0 {
+            return Err(ConfigError(format!(
+                "sparsity_threshold must be finite and ≥ 0, got {}",
+                c.sparsity_threshold
+            )));
+        }
+        for (name, d) in &c.sparsity_density {
+            if !d.is_finite() || !(0.0..=1.0).contains(d) {
+                return Err(ConfigError(format!(
+                    "sparsity_density for `{name}` must be in 0.0..=1.0, got {d}"
+                )));
+            }
         }
         if let Some(f) = &c.fault {
             let world = 1 + c.workers + c.io_servers;
@@ -843,6 +884,11 @@ impl Layout {
     pub fn array_kind(&self, id: ArrayId) -> ArrayKind {
         self.program.arrays[id.index()].kind
     }
+
+    /// Whether the array is block-sparse (typed absence + norm screening).
+    pub fn array_sparse(&self, id: ArrayId) -> bool {
+        self.program.arrays[id.index()].sparse
+    }
 }
 
 #[cfg(test)]
@@ -879,11 +925,13 @@ mod tests {
                     name: "X".into(),
                     kind: ArrayKind::Distributed,
                     dims: vec![IndexId(0), IndexId(1)],
+                    sparse: false,
                 },
                 ArrayDecl {
                     name: "Xii".into(),
                     kind: ArrayKind::Temp,
                     dims: vec![IndexId(2), IndexId(1)],
+                    sparse: false,
                 },
             ],
             ..Default::default()

@@ -73,7 +73,7 @@ pub(crate) mod profile;
 pub(crate) mod registry;
 pub(crate) mod worker;
 
-pub use cache::CacheStats;
+pub use cache::{BlockGet, CacheStats};
 pub use dryrun::MemoryEstimate;
 pub use error::{CommKind, RuntimeError};
 pub use events::{
@@ -86,7 +86,8 @@ pub use layout::{
 };
 pub use memory::{BlockManager, MemoryStats};
 pub use metrics::{
-    CommStats, FaultStats, Merge, Metrics, RecoveryStats, ServerStats, WaitCause, WaitStats,
+    CommStats, FaultStats, Merge, Metrics, RecoveryStats, ServerStats, SparseStats, WaitCause,
+    WaitStats,
 };
 pub use msg::{BlockKey, OpId, SipMsg};
 pub use profile::{ProfileLine, ProfileReport, WorkerProfile};
@@ -98,8 +99,8 @@ pub use verify::{check_program, Diagnostic, Rule};
 /// metrics/profile, and handle the trace.
 pub mod prelude {
     pub use crate::{
-        Merge, Metrics, ProfileReport, RunOutput, Sip, SipConfig, SipConfigBuilder, TraceSink,
-        TraceTimeline, WaitCause,
+        BlockGet, Merge, Metrics, ProfileReport, RunOutput, Sip, SipConfig, SipConfigBuilder,
+        SparseStats, TraceSink, TraceTimeline, WaitCause,
     };
 }
 

@@ -54,6 +54,11 @@ pub struct MemoryStats {
 /// cache of remote copies, byte accounting, and budget enforcement.
 pub struct BlockManager {
     home: HashMap<BlockKey, BlockHandle>,
+    /// Norm table for sparse arrays homed here: blocks whose payload was
+    /// dropped under the sparsity threshold, keyed to the Frobenius-norm
+    /// bound recorded at drop time. A key is never in both `home` and
+    /// `home_norms`.
+    home_norms: HashMap<BlockKey, f64>,
     local: HashMap<BlockKey, BlockHandle>,
     cache: BlockCache,
     budget: Option<u64>,
@@ -71,6 +76,7 @@ impl BlockManager {
     pub fn new(cache_capacity_bytes: u64, budget: Option<u64>) -> Self {
         BlockManager {
             home: HashMap::new(),
+            home_norms: HashMap::new(),
             local: HashMap::new(),
             cache: BlockCache::new(cache_capacity_bytes.max(1)),
             budget,
@@ -83,9 +89,11 @@ impl BlockManager {
         }
     }
 
-    /// Total resident bytes under management (pinned + cached).
+    /// Total resident bytes under management: pinned + cached payloads plus
+    /// the norm table a sparse home keeps in place of dropped payloads — the
+    /// same three components the dry run's realized estimate charges.
     pub fn resident_bytes(&self) -> u64 {
-        self.pinned_bytes + self.cache.ready_bytes()
+        self.pinned_bytes + self.cache.ready_bytes() + self.norm_table_bytes()
     }
 
     fn note_usage(&mut self) {
@@ -129,7 +137,7 @@ impl BlockManager {
         if self.resident_bytes() <= budget {
             return Ok(());
         }
-        let target = budget.saturating_sub(self.pinned_bytes);
+        let target = budget.saturating_sub(self.pinned_bytes + self.norm_table_bytes());
         let before = self.cache.stats().evictions;
         self.cache.evict_until(target);
         self.budget_evictions += self.cache.stats().evictions - before;
@@ -157,13 +165,43 @@ impl BlockManager {
         self.home.contains_key(key)
     }
 
-    /// Inserts (or replaces) the authoritative home block for `key`.
+    /// Inserts (or replaces) the authoritative home block for `key`. A real
+    /// payload supersedes any recorded absence.
     pub fn home_insert(&mut self, key: BlockKey, data: BlockHandle) {
         self.pinned_bytes += data.heap_bytes();
+        self.home_norms.remove(&key);
         if let Some(old) = self.home.insert(key, data) {
             self.pinned_bytes -= old.heap_bytes();
         }
         self.note_usage();
+    }
+
+    /// Records that `key`'s block is absent (exactly zero) with the given
+    /// Frobenius-norm bound, dropping any resident payload. The home side of
+    /// a sparse put whose norm fell under the threshold.
+    pub fn home_record_absent(&mut self, key: BlockKey, norm: f64) {
+        if let Some(old) = self.home.remove(&key) {
+            self.pinned_bytes -= old.heap_bytes();
+        }
+        self.home_norms.insert(key, norm);
+        self.note_usage();
+    }
+
+    /// The recorded norm bound for an absent sparse block homed here, if any.
+    pub fn home_absent_norm(&self, key: &BlockKey) -> Option<f64> {
+        self.home_norms.get(key).copied()
+    }
+
+    /// Number of absent-block entries in the norm table.
+    pub fn home_norm_len(&self) -> usize {
+        self.home_norms.len()
+    }
+
+    /// Approximate heap footprint of the norm table — what a sparse home
+    /// pays instead of zero payloads (key + f64 + map overhead per entry).
+    /// The dry run uses the same per-entry constant.
+    pub fn norm_table_bytes(&self) -> u64 {
+        self.home_norms.len() as u64 * crate::dryrun::NORM_TABLE_ENTRY_BYTES
     }
 
     /// CoW-mutable access to a home block (for accumulate-puts).
@@ -171,7 +209,8 @@ impl BlockManager {
         self.home.get_mut(key)
     }
 
-    /// Drops every home block of `array` (DELETE).
+    /// Drops every home block of `array` (DELETE), including recorded
+    /// absences.
     pub fn home_remove_array(&mut self, array: ArrayId) {
         let bytes = &mut self.pinned_bytes;
         self.home.retain(|k, h| {
@@ -182,6 +221,7 @@ impl BlockManager {
                 true
             }
         });
+        self.home_norms.retain(|k, _| k.array != array);
     }
 
     /// Shares every resident home block (epoch checkpoints). Each handle in
@@ -310,6 +350,11 @@ impl BlockManager {
     pub fn cache_fill(&mut self, key: BlockKey, data: BlockHandle) {
         self.cache.fill(key, data);
         self.note_usage();
+    }
+
+    /// Records a typed-absent reply for a sparse remote block (no payload).
+    pub fn cache_fill_absent(&mut self, key: BlockKey, norm: f64) {
+        self.cache.fill_absent(key, norm);
     }
 
     /// Drops one cached copy (a fresher value exists).
@@ -456,6 +501,29 @@ mod tests {
         let authoritative = m.serve_home(&key(1)).unwrap();
         assert!(BlockHandle::ptr_eq(&snap[0].1, &authoritative));
         assert_eq!(m.stats().deep_copies, 0);
+    }
+
+    #[test]
+    fn norm_table_replaces_payload_and_clears_on_delete() {
+        let mut m = BlockManager::new(1024, None);
+        m.home_insert(key(1), blk(1.0));
+        assert_eq!(m.stats().pinned_bytes, 64);
+        // Dropping under the threshold removes the payload, records the norm.
+        m.home_record_absent(key(1), 3e-11);
+        assert_eq!(m.stats().pinned_bytes, 0);
+        assert!(m.serve_home(&key(1)).is_none());
+        assert_eq!(m.home_absent_norm(&key(1)), Some(3e-11));
+        assert_eq!(m.home_norm_len(), 1);
+        assert!(m.norm_table_bytes() > 0);
+        // A real put supersedes the recorded absence.
+        m.home_insert(key(1), blk(2.0));
+        assert_eq!(m.home_absent_norm(&key(1)), None);
+        assert_eq!(m.stats().pinned_bytes, 64);
+        // DELETE clears norms along with payloads.
+        m.home_record_absent(key(2), 1e-12);
+        m.home_remove_array(ArrayId(0));
+        assert_eq!(m.home_norm_len(), 0);
+        assert_eq!(m.home_len(), 0);
     }
 
     #[test]

@@ -280,6 +280,28 @@ impl Merge for ServerStats {
     }
 }
 
+/// Counters for block-sparse screening: work and traffic the runtime proved
+/// away instead of performing (Cauchy–Schwarz norm bounds, typed absence).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SparseStats {
+    /// Contractions skipped because an operand block was absent or the
+    /// norm-product bound fell under the screening threshold.
+    pub blocks_skipped: u64,
+    /// Payload bytes that never crossed the fabric: dropped puts/prepares
+    /// plus absent replies to get/request.
+    pub bytes_not_shipped: u64,
+    /// Floating-point operations avoided by skipped contractions.
+    pub flops_avoided: u64,
+}
+
+impl Merge for SparseStats {
+    fn merge(&mut self, other: &Self) {
+        self.blocks_skipped += other.blocks_skipped;
+        self.bytes_not_shipped += other.bytes_not_shipped;
+        self.flops_avoided += other.flops_avoided;
+    }
+}
+
 impl Merge for crate::cache::CacheStats {
     /// Event counters: fleet sums.
     fn merge(&mut self, other: &Self) {
@@ -353,6 +375,8 @@ pub struct Metrics {
     pub server: ServerStats,
     /// Fabric-level injection counters.
     pub fabric: sia_fabric::FaultSnapshot,
+    /// Block-sparse screening counters.
+    pub sparse: SparseStats,
 }
 
 impl Merge for Metrics {
@@ -367,6 +391,7 @@ impl Merge for Metrics {
         self.recovery.merge(&other.recovery);
         self.server.merge(&other.server);
         Merge::merge(&mut self.fabric, &other.fabric);
+        self.sparse.merge(&other.sparse);
     }
 }
 
@@ -436,6 +461,7 @@ impl Metrics {
         let r = &self.recovery;
         let s = &self.server;
         let fb = &self.fabric;
+        let sp = &self.sparse;
         let mut wait_fields: Vec<Field> = WaitCause::ALL
             .iter()
             .map(|&cause| Field {
@@ -592,6 +618,19 @@ impl Metrics {
                         label: "rank crash",
                         value: Value::Bool(fb.crashed),
                     },
+                ],
+            },
+            Section {
+                name: "sparse",
+                quiet: quiet(sp),
+                fields: vec![
+                    field("blocks_skipped", "blocks skipped", sp.blocks_skipped),
+                    field(
+                        "bytes_not_shipped",
+                        "bytes not shipped",
+                        sp.bytes_not_shipped,
+                    ),
+                    field("flops_avoided", "flops avoided", sp.flops_avoided),
                 ],
             },
         ]
@@ -829,7 +868,7 @@ mod tests {
         let obj = v.as_object().expect("top-level object");
         for name in [
             "cache", "memory", "contract", "pack", "comm", "wait", "fault", "recovery", "server",
-            "fabric",
+            "fabric", "sparse",
         ] {
             assert!(obj.iter().any(|(k, _)| k == name), "missing section {name}");
         }

@@ -210,6 +210,32 @@ pub enum SipMsg {
         /// The operation acknowledged.
         op: OpId,
     },
+    /// Reply to `GetBlock`/`RequestBlock` when a sparse array's block is
+    /// absent (exactly zero). Only the norm bound travels — the fabric never
+    /// ships an absent block's payload.
+    BlockAbsent {
+        /// The block's identity.
+        key: BlockKey,
+        /// Frobenius-norm bound of the dropped payload (0.0 if never
+        /// written).
+        norm: f64,
+        /// The request this answers (`ReqId::NONE` for unsolicited pushes).
+        req: ReqId,
+    },
+    /// Store an *absent* sparse block at its home (distributed) or I/O
+    /// server (served): the payload's Frobenius norm fell under the
+    /// screening threshold and was dropped at the sender. Acknowledged by
+    /// `PutAck` / `PrepareAck` like its dense counterpart.
+    PutAbsent {
+        /// Destination block.
+        key: BlockKey,
+        /// Frobenius norm of the dropped payload (the screening bound).
+        norm: f64,
+        /// Replace or accumulate semantics of the original store.
+        mode: PutMode,
+        /// Duplicate-suppression id (`OpId::NONE` when untracked).
+        op: OpId,
+    },
     /// Delete all blocks of an array (distributed at homes, served at I/O
     /// servers).
     DeleteArray {
@@ -359,6 +385,8 @@ impl Message for SipMsg {
                 | SipMsg::RequestBlock { .. }
                 | SipMsg::PrepareBlock { .. }
                 | SipMsg::PrepareAck { .. }
+                | SipMsg::BlockAbsent { .. }
+                | SipMsg::PutAbsent { .. }
         )
     }
 

@@ -71,6 +71,9 @@ pub enum Rule {
     /// `request` of an array written by `prepare` with no `server_barrier`
     /// between.
     RequestAfterPrepare,
+    /// The `sparse` modifier on an array kind that has no home to keep a
+    /// norm table (only distributed and served arrays can be sparse).
+    SparseKind,
 }
 
 impl Rule {
@@ -89,6 +92,7 @@ impl Rule {
             Rule::WriteWriteRace => "write-write-race",
             Rule::GetAfterPut => "get-after-put",
             Rule::RequestAfterPrepare => "request-after-prepare",
+            Rule::SparseKind => "sparse-kind",
         }
     }
 
@@ -250,6 +254,7 @@ impl<'a> Verifier<'a> {
     // ---- layer 1: structural ------------------------------------------------
 
     fn structural(&mut self) {
+        self.scan_array_decls();
         for pc in 0..self.p.code.len() as u32 {
             let ins = self.p.code[pc as usize].clone();
             self.check_instruction_ids(pc, &ins);
@@ -257,6 +262,26 @@ impl<'a> Verifier<'a> {
         self.scan_loops();
         self.scan_jumps();
         self.scan_procs();
+    }
+
+    /// Declaration-table discipline: the `sparse` modifier only makes sense
+    /// on remote arrays — a home (worker or I/O server) is what holds the
+    /// norm table that typed absence replaces the payload with.
+    fn scan_array_decls(&mut self) {
+        for decl in self.p.arrays.iter() {
+            if decl.sparse && !decl.kind.is_remote() {
+                self.diags.push(Diagnostic {
+                    pc: 0,
+                    rule: Rule::SparseKind,
+                    message: format!(
+                        "`{}` is declared sparse but is {:?}; only distributed and \
+                         served arrays can be sparse",
+                        decl.name, decl.kind
+                    ),
+                    listing: format!("<declaration of `{}`>", decl.name),
+                });
+            }
+        }
     }
 
     fn check_index_id(&mut self, pc: u32, id: IndexId) -> bool {

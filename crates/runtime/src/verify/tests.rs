@@ -29,6 +29,7 @@ fn arr(name: &str, kind: ArrayKind, dims: Vec<u32>) -> ArrayDecl {
         name: name.into(),
         kind,
         dims: dims.into_iter().map(IndexId).collect(),
+        sparse: false,
     }
 }
 
@@ -73,6 +74,26 @@ fn bad_array_id_flagged() {
     );
     let d = check_program(&p);
     assert!(rules(&d).contains(&"bad-id"), "{d:?}");
+}
+
+#[test]
+fn sparse_on_non_remote_kind_flagged() {
+    let mut t = arr("T", ArrayKind::Temp, vec![0]);
+    t.sparse = true;
+    let p = prog(vec![ao("i")], vec![t], vec![I::Halt]);
+    let d = check_program(&p);
+    assert_eq!(rules(&d), vec!["sparse-kind"], "{d:?}");
+    assert!(d[0].message.contains("only distributed and served"));
+}
+
+#[test]
+fn sparse_on_remote_kinds_passes() {
+    let mut x = arr("X", ArrayKind::Distributed, vec![0]);
+    x.sparse = true;
+    let mut s = arr("S", ArrayKind::Served, vec![0]);
+    s.sparse = true;
+    let p = prog(vec![ao("i")], vec![x, s], vec![I::Halt]);
+    assert!(check_program(&p).is_empty());
 }
 
 #[test]

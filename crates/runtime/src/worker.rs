@@ -6,7 +6,7 @@
 //! temps, locals), its pardo machinery, outstanding-ack tracking, and the
 //! message pump; the instruction dispatch lives in [`crate::interp`].
 
-use crate::cache::CacheEntry;
+use crate::cache::{BlockGet, CacheEntry};
 use crate::error::{CommKind, RuntimeError};
 use crate::events::{CommOp, EventKind, RecoveryEvent, TraceSink};
 use crate::ft::{self, FetchState, FtState, JournalEntry, TakeoverChunk};
@@ -247,14 +247,6 @@ impl Worker {
     fn handle(&mut self, src: Rank, msg: SipMsg) {
         match msg {
             SipMsg::GetBlock { key, req } => {
-                // Serve from the authoritative store; the reply shares the
-                // store's allocation (zero-copy). Unfilled blocks read as
-                // zero ("blocks are allocated … only when actually filled"),
-                // which is what makes symmetric-array declarations cheap.
-                let data = match self.mem.serve_home(&key) {
-                    Some(h) => h,
-                    None => BlockHandle::zeros(self.layout.declared_block_shape(key.array)),
-                };
                 // Conflict check: serving a block Replace-put in this same
                 // epoch means the program raced a read against a write.
                 if self.replace_epoch.get(&key) == Some(&self.dist_epoch) {
@@ -264,9 +256,32 @@ impl Worker {
                     ));
                 }
                 self.serve_epoch.insert(key, self.dist_epoch);
-                let _ = self
-                    .endpoint
-                    .send(src, SipMsg::BlockData { key, data, req });
+                match self.mem.serve_home(&key) {
+                    // Serve from the authoritative store; the reply shares
+                    // the store's allocation (zero-copy).
+                    Some(data) => {
+                        let _ = self
+                            .endpoint
+                            .send(src, SipMsg::BlockData { key, data, req });
+                    }
+                    // A sparse array's missing block is typed-absent: ship
+                    // the norm bound, never a zero payload.
+                    None if self.layout.array_sparse(key.array) => {
+                        let norm = self.mem.home_absent_norm(&key).unwrap_or(0.0);
+                        let _ = self
+                            .endpoint
+                            .send(src, SipMsg::BlockAbsent { key, norm, req });
+                    }
+                    // Dense unfilled blocks read as zero ("blocks are
+                    // allocated … only when actually filled"), which is what
+                    // makes symmetric-array declarations cheap.
+                    None => {
+                        let data = BlockHandle::zeros(self.layout.declared_block_shape(key.array));
+                        let _ = self
+                            .endpoint
+                            .send(src, SipMsg::BlockData { key, data, req });
+                    }
+                }
             }
             SipMsg::PutBlock {
                 key,
@@ -328,6 +343,40 @@ impl Worker {
                 // The cache entry shares the envelope's allocation.
                 self.mem.cache_fill(key, data);
                 self.drain_evictions_into_trace();
+            }
+            SipMsg::BlockAbsent { key, norm, .. } => {
+                // The typed-absent counterpart of BlockData: completes the
+                // in-flight fetch with a norm bound instead of a payload.
+                if let Some(ft) = self.ft.as_mut() {
+                    ft.fetches.remove(&key);
+                }
+                if let Some((t0, id)) = self.flights.remove(&key) {
+                    let flight_ns = t0.elapsed().as_nanos() as u64;
+                    self.profile.metrics.comm.flight_nanos += flight_ns;
+                    if self.trace.is_on() {
+                        let end = self.trace.now_ns();
+                        self.trace.span(
+                            EventKind::Flight {
+                                op: CommOp::Get,
+                                key,
+                                id,
+                            },
+                            end.saturating_sub(flight_ns),
+                            end,
+                        );
+                    }
+                }
+                self.profile.metrics.sparse.bytes_not_shipped += self.layout.block_bytes(key.array);
+                self.mem.cache_fill_absent(key, norm);
+            }
+            SipMsg::PutAbsent {
+                key,
+                norm,
+                mode,
+                op,
+            } => {
+                self.apply_absent_deduped(key, norm, mode, op);
+                let _ = self.endpoint.send(src, SipMsg::PutAck { key, op });
             }
             SipMsg::ChunkAssign {
                 pardo_pc,
@@ -449,6 +498,17 @@ impl Worker {
     /// handle outright; an Accumulate mutates the resident block
     /// copy-on-write (in place unless a concurrent serve still shares it).
     pub(crate) fn apply_put_local(&mut self, key: BlockKey, data: BlockHandle, mode: PutMode) {
+        // Sparse screening at the home: a payload under the threshold is
+        // dropped and only its norm bound is recorded. Also reached by a
+        // fault-tolerance journal replay of a put the sender dropped (replay
+        // resends the full block), keeping replay idempotent with the drop.
+        if self.sparsity_active(key.array) {
+            let norm = data.norm();
+            if norm < self.config.sparsity_threshold {
+                self.apply_absent_local(key, norm, mode);
+                return;
+            }
+        }
         match mode {
             PutMode::Replace => {
                 if self.serve_epoch.get(&key) == Some(&self.dist_epoch) {
@@ -469,6 +529,63 @@ impl Worker {
         }
         // A fresher value exists; drop any stale cached copy.
         self.mem.cache_invalidate(&key);
+    }
+
+    /// True when blocks of `array` are screened: the array is declared
+    /// sparse and the run has a positive sparsity threshold.
+    pub(crate) fn sparsity_active(&self, array: ArrayId) -> bool {
+        self.config.sparsity_threshold > 0.0 && self.layout.array_sparse(array)
+    }
+
+    /// Applies a dropped (absent) put to the authoritative store: a Replace
+    /// removes any resident payload and records the norm bound; an
+    /// Accumulate onto a resident block is a no-op (the dropped contribution
+    /// is within the screening bound), onto an absent block it accumulates
+    /// the bound (triangle inequality).
+    pub(crate) fn apply_absent_local(&mut self, key: BlockKey, norm: f64, mode: PutMode) {
+        match mode {
+            PutMode::Replace => {
+                if self.serve_epoch.get(&key) == Some(&self.dist_epoch) {
+                    self.warnings.push(format!(
+                        "possible barrier misuse: block {key:?} replaced after being read \
+                         in the same sip_barrier epoch"
+                    ));
+                }
+                self.replace_epoch.insert(key, self.dist_epoch);
+                self.mem.home_record_absent(key, norm);
+            }
+            PutMode::Accumulate => {
+                if !self.mem.home_contains(&key) {
+                    let prior = self.mem.home_absent_norm(&key).unwrap_or(0.0);
+                    self.mem.home_record_absent(key, prior + norm);
+                }
+            }
+        }
+        self.mem.cache_invalidate(&key);
+    }
+
+    /// [`Worker::apply_absent_local`] with the same duplicate suppression as
+    /// [`Worker::apply_put_deduped`], so retried/duplicated `PutAbsent`
+    /// messages cannot re-accumulate a norm bound.
+    pub(crate) fn apply_absent_deduped(
+        &mut self,
+        key: BlockKey,
+        norm: f64,
+        mode: PutMode,
+        op: OpId,
+    ) {
+        let epoch = self.dist_epoch;
+        let duplicate = op.is_tracked()
+            && !self
+                .ft
+                .as_mut()
+                .map(|ft| ft.note_applied(op.0, epoch))
+                .unwrap_or(true);
+        if duplicate {
+            self.profile.metrics.fault.dup_puts_suppressed += 1;
+        } else {
+            self.apply_absent_local(key, norm, mode);
+        }
     }
 
     /// Waits (servicing messages and pumping retries) until `done(self)`
@@ -567,20 +684,22 @@ impl Worker {
         }
     }
 
-    /// The single entry point for distributed/served block access.
+    /// The single entry point for distributed/served block access, returning
+    /// a typed [`BlockGet`] instead of implicitly materializing zero blocks.
     ///
     /// [`Fetch::NoWait`] issues the asynchronous fetch behind
     /// `get`/`request`/prefetch (a no-op when the block is homed here,
-    /// cached, or already in flight) and returns `None`. [`Fetch::Wait`]
-    /// returns the block, blocking on an in-flight fetch — or issuing a late
-    /// one — if necessary; the time blocked is added to `wait` for the
-    /// profiler.
+    /// cached, or already in flight) and returns [`BlockGet::Pending`].
+    /// [`Fetch::Wait`] blocks on an in-flight fetch — or issues a late one —
+    /// if necessary, and returns [`BlockGet::Ready`] with the data or
+    /// [`BlockGet::AbsentZero`] when the block is typed-absent from a sparse
+    /// array; the time blocked is added to `wait` for the profiler.
     pub(crate) fn access_key(
         &mut self,
         key: BlockKey,
         fetch: Fetch,
         wait: &mut Duration,
-    ) -> Result<Option<BlockHandle>, RuntimeError> {
+    ) -> Result<BlockGet, RuntimeError> {
         let kind = self.layout.array_kind(key.array);
         let home = match kind {
             ArrayKind::Distributed => self.dist_home(&key),
@@ -600,25 +719,32 @@ impl Worker {
         };
         if home == self.endpoint.rank() {
             // Authoritative store; nothing to fetch. The handle shares the
-            // store's allocation. Unfilled blocks read as zero ("blocks are
-            // allocated … only when actually filled").
+            // store's allocation. Unfilled blocks of a dense array read as
+            // zero ("blocks are allocated … only when actually filled");
+            // missing blocks of a sparse array are typed-absent.
             return Ok(match fetch {
-                Fetch::NoWait => None,
-                Fetch::Wait => Some(match self.mem.serve_home(&key) {
-                    Some(h) => h,
-                    None => BlockHandle::zeros(self.layout.declared_block_shape(key.array)),
-                }),
+                Fetch::NoWait => BlockGet::Pending,
+                Fetch::Wait => match self.mem.serve_home(&key) {
+                    Some(h) => BlockGet::Ready(h),
+                    None if self.layout.array_sparse(key.array) => BlockGet::AbsentZero {
+                        norm: self.mem.home_absent_norm(&key).unwrap_or(0.0),
+                    },
+                    None => BlockGet::Ready(BlockHandle::zeros(
+                        self.layout.declared_block_shape(key.array),
+                    )),
+                },
             });
         }
         if fetch == Fetch::NoWait {
             if self.mem.cache_mark_in_flight(key) {
                 self.send_fetch(home, key, kind)?;
             }
-            return Ok(None);
+            return Ok(BlockGet::Pending);
         }
         loop {
             let hit = match self.mem.cache_lookup(&key) {
-                Some(CacheEntry::Ready(b)) => Some(b.clone()),
+                Some(CacheEntry::Ready(b)) => Some(BlockGet::Ready(b.clone())),
+                Some(&CacheEntry::Absent { norm }) => Some(BlockGet::AbsentZero { norm }),
                 Some(CacheEntry::InFlight) => None,
                 None => {
                     // Late fetch — the contraction operator "ensures that the
@@ -632,11 +758,15 @@ impl Worker {
                     None
                 }
             };
-            if let Some(h) = hit {
-                // Sharing the cached handle pins it against eviction while
-                // the caller holds it.
-                self.mem.note_share(&h);
-                return Ok(Some(h));
+            match hit {
+                Some(BlockGet::Ready(h)) => {
+                    // Sharing the cached handle pins it against eviction
+                    // while the caller holds it.
+                    self.mem.note_share(&h);
+                    return Ok(BlockGet::Ready(h));
+                }
+                Some(got) => return Ok(got),
+                None => {}
             }
             // Wait until the entry leaves the in-flight state: Ready (the
             // next lookup shares it — eviction only runs on this thread, so
@@ -738,9 +868,19 @@ impl Worker {
                 }
             },
             ArrayKind::Distributed | ArrayKind::Served => {
-                self.access_key(key, Fetch::Wait, wait)?.ok_or_else(|| {
-                    RuntimeError::Internal("wait-mode access returned no block".into())
-                })?
+                match self.access_key(key, Fetch::Wait, wait)? {
+                    BlockGet::Ready(h) => h,
+                    // Dense consumers still see an absent block as zeros;
+                    // screening-aware consumers use `read_block_get`.
+                    BlockGet::AbsentZero { .. } => {
+                        BlockHandle::zeros(self.layout.declared_block_shape(array))
+                    }
+                    BlockGet::Pending => {
+                        return Err(RuntimeError::Internal(
+                            "wait-mode access returned pending".into(),
+                        ));
+                    }
+                }
             }
         };
         match slice {
@@ -751,6 +891,45 @@ impl Worker {
                     .map(BlockHandle::new)
                     .map_err(|e| RuntimeError::Internal(format!("slice extraction failed: {e}")))
             }
+        }
+    }
+
+    /// Screening-aware read for consumers that can exploit typed absence
+    /// (the contraction path): like [`Worker::read_block`], but an absent
+    /// sparse block comes back as [`BlockGet::AbsentZero`] with its norm
+    /// bound instead of a materialized zero block. A slice of an absent
+    /// block is absent with the same bound (`‖sub‖F ≤ ‖whole‖F`).
+    pub(crate) fn read_block_get(
+        &mut self,
+        array: ArrayId,
+        ref_indices: &[IndexId],
+        wait: &mut Duration,
+    ) -> Result<BlockGet, RuntimeError> {
+        let kind = self.layout.array_kind(array);
+        if !matches!(kind, ArrayKind::Distributed | ArrayKind::Served) {
+            // Temp/local/static arrays are never sparse.
+            return self
+                .read_block(array, ref_indices, wait)
+                .map(BlockGet::Ready);
+        }
+        let segs = self.seg_values(ref_indices)?;
+        let (key, slice) = self.layout.storage_target(array, ref_indices, &segs);
+        match self.access_key(key, Fetch::Wait, wait)? {
+            BlockGet::Ready(whole) => match slice {
+                None => Ok(BlockGet::Ready(whole)),
+                Some((offsets, extents)) => {
+                    let spec = sia_blocks::SliceSpec::new(&offsets, &extents);
+                    sia_blocks::extract_slice(&whole, &spec)
+                        .map(|b| BlockGet::Ready(BlockHandle::new(b)))
+                        .map_err(|e| {
+                            RuntimeError::Internal(format!("slice extraction failed: {e}"))
+                        })
+                }
+            },
+            absent @ BlockGet::AbsentZero { .. } => Ok(absent),
+            BlockGet::Pending => Err(RuntimeError::Internal(
+                "wait-mode access returned pending".into(),
+            )),
         }
     }
 
@@ -904,6 +1083,9 @@ impl Worker {
         if self.trace.is_on() && op.is_tracked() {
             self.put_flights.insert(op.0, Instant::now());
         }
+        // Sparse screening at the sender: a payload under the threshold
+        // ships as a norm-only PutAbsent instead of the block.
+        let dropped = self.screen_outgoing(&key, &data);
         if let Some(ft) = self.ft.as_mut() {
             if ft.cfg.expects_crash() {
                 self.mem.note_share(&data);
@@ -915,16 +1097,52 @@ impl Worker {
                 });
             }
             self.mem.note_share(&data);
+            // The retained payload backs retries and journal replay even
+            // when the first transmission is a PutAbsent: a retry resends
+            // the full block and the home's op dedup keeps it idempotent.
             let msg = ft.arm_flight(op, key, data, mode, false);
+            let msg = match dropped {
+                Some(norm) => SipMsg::PutAbsent {
+                    key,
+                    norm,
+                    mode,
+                    op,
+                },
+                None => msg,
+            };
             // Tracked for retry: a failed send to a dying home re-routes
             // once the master broadcasts RankDead.
             let _ = self.endpoint.send(home, msg);
         } else {
             self.outstanding_puts += 1;
-            self.endpoint
-                .send(home, ft::flight_msg(op, key, data, mode, false))?;
+            let msg = match dropped {
+                Some(norm) => SipMsg::PutAbsent {
+                    key,
+                    norm,
+                    mode,
+                    op,
+                },
+                None => ft::flight_msg(op, key, data, mode, false),
+            };
+            self.endpoint.send(home, msg)?;
         }
         Ok(())
+    }
+
+    /// Sender-side sparse screening: when `key`'s array is screened and the
+    /// payload's Frobenius norm falls under the threshold, counts the bytes
+    /// the fabric will not ship and returns the norm; `None` means ship the
+    /// block.
+    fn screen_outgoing(&mut self, key: &BlockKey, data: &BlockHandle) -> Option<f64> {
+        if !self.sparsity_active(key.array) {
+            return None;
+        }
+        let norm = data.norm();
+        if norm >= self.config.sparsity_threshold {
+            return None;
+        }
+        self.profile.metrics.sparse.bytes_not_shipped += data.heap_bytes();
+        Some(norm)
     }
 
     /// Sends a PREPARE to an I/O server, tracking the op for retry under
@@ -941,14 +1159,34 @@ impl Worker {
         if self.trace.is_on() && op.is_tracked() {
             self.put_flights.insert(op.0, Instant::now());
         }
+        // Screened like puts: a negligible prepare ships norm-only (the
+        // server answers with a PrepareAck either way).
+        let dropped = self.screen_outgoing(&key, &data);
         if let Some(ft) = self.ft.as_mut() {
             self.mem.note_share(&data);
             let msg = ft.arm_flight(op, key, data, mode, true);
+            let msg = match dropped {
+                Some(norm) => SipMsg::PutAbsent {
+                    key,
+                    norm,
+                    mode,
+                    op,
+                },
+                None => msg,
+            };
             let _ = self.endpoint.send(home, msg);
         } else {
             self.outstanding_prepares += 1;
-            self.endpoint
-                .send(home, ft::flight_msg(op, key, data, mode, true))?;
+            let msg = match dropped {
+                Some(norm) => SipMsg::PutAbsent {
+                    key,
+                    norm,
+                    mode,
+                    op,
+                },
+                None => ft::flight_msg(op, key, data, mode, true),
+            };
+            self.endpoint.send(home, msg)?;
         }
         Ok(())
     }

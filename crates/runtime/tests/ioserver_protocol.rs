@@ -26,6 +26,7 @@ fn layout() -> Arc<Layout> {
             name: "S".into(),
             kind: ArrayKind::Served,
             dims: vec![IndexId(0), IndexId(0)],
+            sparse: false,
         }],
         ..Default::default()
     };

@@ -42,6 +42,10 @@ fn usage() -> ExitCode {
                               --budget is accepted as an alias\n\
            --run-dir <dir>    served-array / checkpoint directory (enables restart)\n\
            --bind k=v         bind a symbolic constant (repeatable)\n\
+           --sparsity-threshold <x>  drop blocks of sparse arrays whose\n\
+                              Frobenius norm is below x (0 disables screening)\n\
+           --density name=frac  dry-run hint: fraction of a sparse array's\n\
+                              blocks expected to be resident (repeatable)\n\
            --fault-seed <n>   enable fault injection with this RNG seed\n\
            --fault-plan <s>   fault spec: drop=0.05,dup=0.01,delay=0.02,crash=1@8\n\
                               (crash=W@I kills worker W after I pardo iterations)\n\
@@ -174,6 +178,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .ok_or_else(|| format!("--bind expects k=v, got `{kv}`"))?;
                 let v: i64 = v.parse().map_err(|e| format!("--bind {k}: {e}"))?;
                 bindings.insert(k.to_string(), v);
+            }
+            "--sparsity-threshold" => {
+                builder = builder.sparsity_threshold(
+                    need("--sparsity-threshold")?
+                        .parse()
+                        .map_err(|e| format!("--sparsity-threshold: {e}"))?,
+                )
+            }
+            "--density" => {
+                let kv = need("--density")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--density expects name=frac, got `{kv}`"))?;
+                let v: f64 = v.parse().map_err(|e| format!("--density {k}: {e}"))?;
+                builder = builder.sparsity_density(k, v);
             }
             "--fault-seed" => {
                 fault_seed = Some(
@@ -325,6 +344,15 @@ fn main() -> ExitCode {
                 if !verify_program(file, &p) {
                     return ExitCode::FAILURE;
                 }
+                if opts.config.sparsity_threshold > 0.0 && !p.arrays.iter().any(|a| a.sparse) {
+                    eprintln!(
+                        "{file}: --sparsity-threshold {} has no effect — no array is \
+                         declared sparse; add `sparse` to a distributed/served \
+                         declaration or drop the flag",
+                        opts.config.sparsity_threshold
+                    );
+                    return ExitCode::FAILURE;
+                }
                 println!(
                     "{}: ok — {} instructions, {} arrays, {} indices, {} constants",
                     file,
@@ -386,6 +414,15 @@ fn main() -> ExitCode {
                             est.per_worker_bytes,
                             opts.config.workers
                         );
+                        if est.dense_per_worker_bytes != est.per_worker_bytes {
+                            let pct = est.per_worker_bytes as f64 * 100.0
+                                / est.dense_per_worker_bytes.max(1) as f64;
+                            println!(
+                                "  realized (sparse): {} bytes = {pct:.1}% of dense \
+                                 ({} bytes)",
+                                est.per_worker_bytes, est.dense_per_worker_bytes
+                            );
+                        }
                         println!(
                             "per-server estimate: {:.1} MiB; largest block {} KiB; cache {:.1} MiB",
                             est.per_server_bytes as f64 / (1 << 20) as f64,
