@@ -45,9 +45,10 @@ pub use sial_frontend as frontend;
 pub use sia_bytecode::{ConstBindings, Program};
 pub use sia_fabric::{FaultPlan, FaultSnapshot};
 pub use sia_runtime::{
-    CommKind, ConfigError, CrashSchedule, FaultConfig, FaultStats, MemoryEstimate, Merge, Metrics,
-    ProfileReport, RecoveryStats, RunOutput, RuntimeError, SegmentConfig, Sip, SipConfig,
-    SipConfigBuilder, SuperArg, SuperEnv, SuperRegistry, TraceSink, TraceTimeline, WaitCause,
+    CommKind, CommPlan, ConfigError, CrashSchedule, FaultConfig, FaultStats, MemoryEstimate, Merge,
+    Metrics, Placement, ProfileReport, RecoveryStats, RunOutput, RuntimeError, SegmentConfig, Sip,
+    SipConfig, SipConfigBuilder, SuperArg, SuperEnv, SuperRegistry, TraceSink, TraceTimeline,
+    WaitCause,
 };
 pub use sia_sim::{MachineModel, SimConfig, SimReport};
 pub use sial_frontend::CompileError;

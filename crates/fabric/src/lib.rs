@@ -27,6 +27,8 @@ pub use stats::TrafficCounters;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use fault::{Injector, Verdict};
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -75,6 +77,30 @@ pub trait Message: Send + 'static {
         Self: Sized,
     {
         None
+    }
+
+    /// Coalesces several messages bound for one destination into a single
+    /// envelope ([`Endpoint::stage`] / [`Endpoint::flush`]). The default
+    /// returns the input unchanged, meaning the protocol does not batch;
+    /// protocols that do return a container message whose
+    /// [`unbatch`](Self::unbatch) restores the originals in order. A
+    /// protocol may refuse a particular mix (e.g. control-plane traffic
+    /// mixed into a data batch) by returning `Err` — the fabric then ships
+    /// the messages individually.
+    fn batch(msgs: Vec<Self>) -> Result<Self, Vec<Self>>
+    where
+        Self: Sized,
+    {
+        Err(msgs)
+    }
+
+    /// Splits a batched envelope back into its parts, in the order they
+    /// were staged. `Err(self)` (the default) marks an ordinary message.
+    fn unbatch(self) -> Result<Vec<Self>, Self>
+    where
+        Self: Sized,
+    {
+        Err(self)
     }
 }
 
@@ -187,6 +213,13 @@ pub struct Endpoint<M: Message> {
     req_seq: AtomicU64,
     /// Fault injector; `None` on a perfect fabric.
     injector: Option<Injector<Envelope<M>>>,
+    /// Per-destination staging buffers for envelope batching. `RefCell`
+    /// because an endpoint is owned by exactly one thread (the fabric's
+    /// contract); the endpoint stays `Send` without becoming `Sync`.
+    staged: RefCell<Vec<Vec<M>>>,
+    /// Arrivals unpacked from a batched envelope, drained ahead of the
+    /// inbox so per-link FIFO order survives coalescing.
+    unpacked: RefCell<VecDeque<Envelope<M>>>,
 }
 
 impl<M: Message> Endpoint<M> {
@@ -212,6 +245,77 @@ impl<M: Message> Endpoint<M> {
     /// if the fabric-wide shutdown flag is up, and
     /// [`Crashed`](SendErrorKind::Crashed) if this rank was killed.
     pub fn send(&self, to: Rank, msg: M) -> Result<SendHandle, SendError> {
+        // Per-link FIFO: anything staged for this destination goes first.
+        self.flush_to(to)?;
+        self.send_now(to, msg)
+    }
+
+    /// Stages a message for `to` without sending it; [`flush`](Self::flush)
+    /// (or a later [`send`](Self::send) to the same destination) ships the
+    /// buffer, coalescing multiple staged messages into one envelope when
+    /// the protocol's [`Message::batch`] accepts them. Used by bounded
+    /// fan-out windows (prefetch bursts, multicast pushes, service-loop
+    /// drains) where many small block messages share a (src, dst) pair.
+    pub fn stage(&self, to: Rank, msg: M) -> Result<(), SendError> {
+        if self.is_crashed() {
+            return Err(SendError {
+                to,
+                kind: SendErrorKind::Crashed,
+            });
+        }
+        if self.shutdown_raised() {
+            return Err(SendError {
+                to,
+                kind: SendErrorKind::Shutdown,
+            });
+        }
+        self.staged.borrow_mut()[to.0].push(msg);
+        Ok(())
+    }
+
+    /// Ships every staged message (all destinations). Buffers of more than
+    /// one message are offered to [`Message::batch`]; a batch travels as
+    /// one envelope (one traffic-counter message, one fault verdict) and
+    /// the receiver's [`Message::unbatch`] restores the parts in order.
+    pub fn flush(&self) -> Result<(), SendError> {
+        for r in 0..self.peers.len() {
+            self.flush_to(Rank(r))?;
+        }
+        Ok(())
+    }
+
+    /// Ships the staging buffer of one destination.
+    fn flush_to(&self, to: Rank) -> Result<(), SendError> {
+        let msgs = {
+            let mut staged = self.staged.borrow_mut();
+            if staged[to.0].is_empty() {
+                return Ok(());
+            }
+            std::mem::take(&mut staged[to.0])
+        };
+        if msgs.len() == 1 {
+            let mut msgs = msgs;
+            self.send_now(to, msgs.pop().unwrap())?;
+            return Ok(());
+        }
+        let n = msgs.len() as u64;
+        match M::batch(msgs) {
+            Ok(batched) => {
+                // n messages leave as one envelope: n−1 coalesced away.
+                self.shared.stats[self.rank.0].record_coalesced(n - 1);
+                self.send_now(to, batched)?;
+            }
+            Err(msgs) => {
+                for m in msgs {
+                    self.send_now(to, m)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The unconditional send path (staging already flushed).
+    fn send_now(&self, to: Rank, msg: M) -> Result<SendHandle, SendError> {
         if self.is_crashed() {
             return Err(SendError {
                 to,
@@ -278,13 +382,13 @@ impl<M: Message> Endpoint<M> {
         if self.is_crashed() {
             return None;
         }
+        if let Some(env) = self.unpacked.borrow_mut().pop_front() {
+            return Some(env);
+        }
         let now = self.tick();
         self.release_due(now);
         match self.inbox.try_recv() {
-            Ok(env) => {
-                self.shared.stats[self.rank.0].record_recv(env.src, env.msg.approx_bytes());
-                Some(env)
-            }
+            Ok(env) => Some(self.deliver(env)),
             Err(TryRecvError::Empty | TryRecvError::Disconnected) => None,
         }
     }
@@ -295,14 +399,33 @@ impl<M: Message> Endpoint<M> {
         if self.is_crashed() {
             return None;
         }
+        if let Some(env) = self.unpacked.borrow_mut().pop_front() {
+            return Some(env);
+        }
         let now = self.tick();
         self.release_due(now);
         match self.inbox.recv_timeout(timeout) {
-            Ok(env) => {
-                self.shared.stats[self.rank.0].record_recv(env.src, env.msg.approx_bytes());
-                Some(env)
-            }
+            Ok(env) => Some(self.deliver(env)),
             Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Books an arrival and unpacks batched envelopes. The parts of a batch
+    /// share the envelope's sequence number (the OpId/ReqId layer inside the
+    /// messages does per-operation dedup; the shared seq marks them as one
+    /// wire transfer).
+    fn deliver(&self, env: Envelope<M>) -> Envelope<M> {
+        self.shared.stats[self.rank.0].record_recv(env.src, env.msg.approx_bytes());
+        let Envelope { src, seq, msg } = env;
+        match msg.unbatch() {
+            Ok(parts) => {
+                let mut q = self.unpacked.borrow_mut();
+                for m in parts {
+                    q.push_back(Envelope { src, seq, msg: m });
+                }
+                q.pop_front().expect("unbatch returned no messages")
+            }
+            Err(msg) => Envelope { src, seq, msg },
         }
     }
 
@@ -360,9 +483,10 @@ impl<M: Message> Endpoint<M> {
         self.shared.faults[self.rank.0].snapshot()
     }
 
-    /// Number of messages waiting in this rank's queue.
+    /// Number of messages waiting in this rank's queue (including parts
+    /// unpacked from a batched envelope but not yet received).
     pub fn pending(&self) -> usize {
-        self.inbox.len()
+        self.inbox.len() + self.unpacked.borrow().len()
     }
 
     /// Raises the fabric-wide shutdown flag (any rank may call this; e.g. the
@@ -396,6 +520,11 @@ impl<M: Message> fmt::Debug for Endpoint<M> {
 
 impl<M: Message> Drop for Endpoint<M> {
     fn drop(&mut self) {
+        // Staged-but-unflushed messages still ship (a forgotten flush is a
+        // latency bug, not a loss bug).
+        if !self.is_crashed() {
+            let _ = self.flush();
+        }
         // Flush held-back messages so a delay near the end of a run behaves
         // like a late delivery, not a drop (drops are counted separately).
         if let Some(inj) = &self.injector {
@@ -451,6 +580,8 @@ pub fn build_with_faults<M: Message>(
             link_seq: (0..n).map(|_| AtomicU64::new(0)).collect(),
             req_seq: AtomicU64::new(0),
             injector: plan.clone().map(|p| Injector::new(p, i)),
+            staged: RefCell::new((0..n).map(|_| Vec::new()).collect()),
+            unpacked: RefCell::new(VecDeque::new()),
         })
         .collect();
     let stats = FabricStats {
@@ -484,6 +615,16 @@ impl FabricStats {
     /// Total messages sent across the whole fabric.
     pub fn total_messages_sent(&self) -> u64 {
         self.shared.stats.iter().map(|c| c.messages_sent()).sum()
+    }
+
+    /// Total messages coalesced away by envelope batching across the whole
+    /// fabric (each batch of n staged messages counts n−1).
+    pub fn total_messages_coalesced(&self) -> u64 {
+        self.shared
+            .stats
+            .iter()
+            .map(|c| c.messages_coalesced())
+            .sum()
     }
 
     /// Fault counters of one rank (all zero on a perfect fabric).
@@ -812,6 +953,137 @@ mod tests {
         let e1 = eps[0].next_epoch();
         let e2 = eps[1].next_epoch();
         assert!(e2 > e1);
+    }
+
+    /// A protocol with a batch container, shaped like the runtime's
+    /// `SipMsg::Batch`.
+    #[derive(Debug, Clone, PartialEq)]
+    enum Pkt {
+        One(u64),
+        Many(Vec<Pkt>),
+    }
+
+    impl Message for Pkt {
+        fn approx_bytes(&self) -> usize {
+            match self {
+                Pkt::One(_) => 8,
+                Pkt::Many(v) => v.iter().map(|m| m.approx_bytes()).sum(),
+            }
+        }
+
+        fn batch(msgs: Vec<Self>) -> Result<Self, Vec<Self>> {
+            Ok(Pkt::Many(msgs))
+        }
+
+        fn unbatch(self) -> Result<Vec<Self>, Self> {
+            match self {
+                Pkt::Many(v) => Ok(v),
+                one => Err(one),
+            }
+        }
+    }
+
+    #[test]
+    fn staged_messages_coalesce_into_one_envelope() {
+        let (mut eps, stats) = build::<Pkt>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..5 {
+            a.stage(Rank(1), Pkt::One(i)).unwrap();
+        }
+        a.flush().unwrap();
+        // One wire message, four coalesced away; the receiver sees all
+        // five parts, in order, sharing the envelope's sequence number.
+        assert_eq!(a.counters().messages_sent(), 1);
+        assert_eq!(a.counters().messages_coalesced(), 4);
+        assert_eq!(stats.total_messages_coalesced(), 4);
+        for i in 0..5 {
+            let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(env.msg, Pkt::One(i));
+            assert_eq!(env.seq, 1);
+            assert_eq!(env.src, Rank(0));
+        }
+        assert!(b.try_recv().is_none());
+        assert_eq!(b.counters().messages_received(), 1);
+    }
+
+    #[test]
+    fn send_flushes_staged_first_for_fifo() {
+        let (mut eps, _stats) = build::<Pkt>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.stage(Rank(1), Pkt::One(0)).unwrap();
+        a.stage(Rank(1), Pkt::One(1)).unwrap();
+        a.send(Rank(1), Pkt::One(2)).unwrap();
+        for i in 0..3 {
+            let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(env.msg, Pkt::One(i), "staged traffic must stay FIFO");
+        }
+    }
+
+    #[test]
+    fn single_staged_message_ships_plain() {
+        let (mut eps, _stats) = build::<Pkt>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.stage(Rank(1), Pkt::One(9)).unwrap();
+        a.flush().unwrap();
+        assert_eq!(a.counters().messages_coalesced(), 0);
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap().msg,
+            Pkt::One(9)
+        );
+    }
+
+    #[test]
+    fn non_batching_protocol_falls_back_to_individual_sends() {
+        let (mut eps, _stats) = build::<Ping>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..3 {
+            a.stage(Rank(1), Ping(i, vec![])).unwrap();
+        }
+        a.flush().unwrap();
+        assert_eq!(a.counters().messages_sent(), 3);
+        assert_eq!(a.counters().messages_coalesced(), 0);
+        for i in 0..3 {
+            assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap().msg.0, i);
+        }
+    }
+
+    #[test]
+    fn dropping_endpoint_flushes_staged() {
+        let (mut eps, _stats) = build::<Pkt>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.stage(Rank(1), Pkt::One(1)).unwrap();
+        a.stage(Rank(1), Pkt::One(2)).unwrap();
+        drop(a);
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap().msg,
+            Pkt::One(1)
+        );
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap().msg,
+            Pkt::One(2)
+        );
+    }
+
+    #[test]
+    fn dropped_batch_loses_all_parts_once() {
+        // A whole-envelope fault verdict applies to the batch: one drop
+        // loses every part (each is retried by the protocol layer above).
+        let mut plan = FaultPlan::seeded(5);
+        plan.drop = 1.0;
+        let (mut eps, stats) = build_with_faults::<Pkt>(2, Some(plan));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..4 {
+            a.stage(Rank(1), Pkt::One(i)).unwrap();
+        }
+        a.flush().unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(10)).is_none());
+        assert_eq!(stats.fault_snapshot_of(Rank(0)).dropped, 1);
     }
 
     #[test]

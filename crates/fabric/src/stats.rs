@@ -15,6 +15,7 @@ pub struct TrafficCounters {
     bytes_sent: AtomicU64,
     msgs_recv: AtomicU64,
     bytes_recv: AtomicU64,
+    msgs_coalesced: AtomicU64,
     per_peer_sent: Vec<AtomicU64>,
 }
 
@@ -25,8 +26,13 @@ impl TrafficCounters {
             bytes_sent: AtomicU64::new(0),
             msgs_recv: AtomicU64::new(0),
             bytes_recv: AtomicU64::new(0),
+            msgs_coalesced: AtomicU64::new(0),
             per_peer_sent: (0..world).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    pub(crate) fn record_coalesced(&self, n: u64) {
+        self.msgs_coalesced.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn record_send(&self, to: Rank, bytes: usize) {
@@ -63,6 +69,13 @@ impl TrafficCounters {
     /// Messages sent to a specific peer.
     pub fn sent_to(&self, peer: Rank) -> u64 {
         self.per_peer_sent[peer.0].load(Ordering::Relaxed)
+    }
+
+    /// Messages coalesced away by envelope batching (n staged messages
+    /// shipped as one envelope count n−1 here and 1 in
+    /// [`messages_sent`](Self::messages_sent)).
+    pub fn messages_coalesced(&self) -> u64 {
+        self.msgs_coalesced.load(Ordering::Relaxed)
     }
 }
 

@@ -103,6 +103,18 @@ pub enum EventKind {
         /// sequence number when the run allocates neither).
         id: u64,
     },
+    /// One hop of a multicast tree push: a broadcast-shaped block pushed
+    /// (root) or forwarded (inner node) toward this rank's tree children.
+    /// Rendered as an async pair on the comm thread, correlated upstream
+    /// by `parent`.
+    Multicast {
+        /// The pushed block.
+        key: BlockKey,
+        /// This hop's globally unique flight id (rank ⊕ sequence).
+        id: u64,
+        /// The upstream hop's flight id; 0 when this rank is the root.
+        parent: u64,
+    },
     /// A block served to a requester (span on I/O servers, where it can
     /// include a disk read; instant on workers serving home blocks).
     Serve {
@@ -341,10 +353,12 @@ impl TraceTimeline {
             // Process/thread naming metadata.
             meta(&mut w, "process_name", r.rank, 0, &r.label);
             meta(&mut w, "thread_name", r.rank, 0, "execute");
-            if r.events
-                .iter()
-                .any(|e| matches!(e.kind, EventKind::Flight { .. }))
-            {
+            if r.events.iter().any(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Flight { .. } | EventKind::Multicast { .. }
+                )
+            }) {
                 meta(&mut w, "thread_name", r.rank, 1, "comm");
             }
             let mut ordered: Vec<&TraceEvent> = r.events.iter().collect();
@@ -466,6 +480,28 @@ fn emit_event(w: &mut JsonWriter, rank: usize, e: &TraceEvent, program: Option<&
                     w.begin_object();
                     w.key("id");
                     w.u64(id);
+                    w.end_object();
+                }
+                w.end_object();
+            }
+        }
+        EventKind::Multicast { key, id, parent } => {
+            let _ = write!(name, "multicast {key:?}");
+            // The hop id is already rank-qualified (rank in the top bits),
+            // so it doubles as the async correlation id — and `parent`
+            // correlates this hop to the upstream rank's hop in args.
+            for (ph, ns) in [("b", e.t_start_ns), ("e", e.t_end_ns)] {
+                event_header(w, &name, "multicast", ph, rank, 1, ns);
+                w.key("id");
+                let hex = format!("0x{id:x}");
+                w.string(&hex);
+                if ph == "b" {
+                    w.key("args");
+                    w.begin_object();
+                    w.key("id");
+                    w.u64(id);
+                    w.key("parent");
+                    w.u64(parent);
                     w.end_object();
                 }
                 w.end_object();
@@ -758,6 +794,8 @@ pub struct RankLint {
     pub spans: usize,
     /// Async begin/end pairs on this rank.
     pub flights: usize,
+    /// Multicast hops recorded on this rank.
+    pub multicasts: usize,
     /// Event categories seen on this rank.
     pub cats: BTreeSet<String>,
 }
@@ -774,8 +812,10 @@ pub struct TraceLint {
 /// Validates Chrome-trace JSON produced by [`TraceTimeline::to_chrome_json`]:
 /// parseable JSON, a `traceEvents` array whose entries carry
 /// `name`/`ph`/`pid`/`tid` (+ `ts`/`dur` where the phase demands them),
-/// monotone nesting of complete spans per `(pid, tid)`, and balanced
-/// async begin/end pairs per flight id.
+/// monotone nesting of complete spans per `(pid, tid)`, balanced async
+/// begin/end pairs per flight id, and multicast hop correlation — every
+/// forwarded hop's `args.parent` must name an existing hop's `args.id`
+/// (no orphan forwards).
 pub fn lint_chrome_trace(text: &str) -> Result<TraceLint, String> {
     let doc = parse_json(text)?;
     let events = doc
@@ -790,6 +830,9 @@ pub fn lint_chrome_trace(text: &str) -> Result<TraceLint, String> {
     let mut spans: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
     // (pid, id) -> open async begins.
     let mut open: BTreeMap<(u64, String), i64> = BTreeMap::new();
+    // Multicast hop ids seen (globally unique), and each forward's parent.
+    let mut mcast_ids: BTreeSet<u64> = BTreeSet::new();
+    let mut mcast_parents: Vec<(usize, u64)> = Vec::new();
     for (i, e) in events.iter().enumerate() {
         let ph = e
             .get("ph")
@@ -852,6 +895,26 @@ pub fn lint_chrome_trace(text: &str) -> Result<TraceLint, String> {
                     .ok_or(format!("event {i}: async begin missing id"))?;
                 *open.entry((pid, id.to_string())).or_insert(0) += 1;
                 rank.flights += 1;
+                if e.get("cat").and_then(Json::as_str) == Some("multicast") {
+                    rank.multicasts += 1;
+                    let args = e
+                        .get("args")
+                        .ok_or(format!("event {i}: multicast hop missing args"))?;
+                    let hop = args
+                        .get("id")
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("event {i}: multicast hop missing args.id"))?
+                        as u64;
+                    let parent = args
+                        .get("parent")
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("event {i}: multicast hop missing args.parent"))?
+                        as u64;
+                    mcast_ids.insert(hop);
+                    if parent != 0 {
+                        mcast_parents.push((i, parent));
+                    }
+                }
             }
             "e" => {
                 let id = e
@@ -871,6 +934,13 @@ pub fn lint_chrome_trace(text: &str) -> Result<TraceLint, String> {
     for ((pid, id), n) in &open {
         if *n != 0 {
             return Err(format!("unbalanced async events: pid {pid} id {id}"));
+        }
+    }
+    for (i, parent) in &mcast_parents {
+        if !mcast_ids.contains(parent) {
+            return Err(format!(
+                "event {i}: multicast forward orphaned — parent hop {parent} not in trace"
+            ));
         }
     }
     // Monotone nesting: within a thread, sorted spans must form a proper
@@ -1048,6 +1118,67 @@ mod tests {
             {"name":"g","cat":"comm","ph":"b","pid":1,"tid":1,"ts":0.0,"id":"0x1"}
         ]}"#;
         assert!(lint_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn lint_accepts_multicast_parent_chain() {
+        // Root hop on rank 1, forwarded hop on rank 2 correlated back to it.
+        let mut tl = TraceTimeline::default();
+        let root = (1u64 << 48) | 7;
+        let hop = (2u64 << 48) | 9;
+        tl.ranks.push(RankTrace {
+            rank: 1,
+            label: "worker 1".into(),
+            events: vec![TraceEvent {
+                t_start_ns: 10,
+                t_end_ns: 10,
+                kind: EventKind::Multicast {
+                    key: key(),
+                    id: root,
+                    parent: 0,
+                },
+            }],
+            dropped: 0,
+        });
+        tl.ranks.push(RankTrace {
+            rank: 2,
+            label: "worker 2".into(),
+            events: vec![TraceEvent {
+                t_start_ns: 20,
+                t_end_ns: 20,
+                kind: EventKind::Multicast {
+                    key: key(),
+                    id: hop,
+                    parent: root,
+                },
+            }],
+            dropped: 0,
+        });
+        let lint = lint_chrome_trace(&tl.to_chrome_json(None)).expect("lints clean");
+        assert_eq!(lint.ranks[&1].multicasts, 1);
+        assert_eq!(lint.ranks[&2].multicasts, 1);
+    }
+
+    #[test]
+    fn lint_rejects_orphan_multicast_forward() {
+        // A forward whose parent hop id appears nowhere in the trace.
+        let mut tl = TraceTimeline::default();
+        tl.ranks.push(RankTrace {
+            rank: 2,
+            label: "worker 2".into(),
+            events: vec![TraceEvent {
+                t_start_ns: 20,
+                t_end_ns: 20,
+                kind: EventKind::Multicast {
+                    key: key(),
+                    id: (2u64 << 48) | 9,
+                    parent: (1u64 << 48) | 7,
+                },
+            }],
+            dropped: 0,
+        });
+        let err = lint_chrome_trace(&tl.to_chrome_json(None)).unwrap_err();
+        assert!(err.contains("orphan"), "unexpected error: {err}");
     }
 
     #[test]

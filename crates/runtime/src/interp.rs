@@ -253,6 +253,9 @@ impl Worker {
                     requested: false,
                     exhausted: false,
                 });
+                // Planned placement: push broadcast-shaped operands homed
+                // here down their multicast trees before iterating.
+                self.multicast_push(pc);
                 Ok(Some(self.pardo_advance(wait)?))
             }
             I::PardoEnd { .. } => {
@@ -422,7 +425,7 @@ impl Worker {
                     ));
                 }
                 let op = self.derive_op(pc, &key);
-                let home = self.layout.topology.home_of_served(&key);
+                let home = self.layout.home_of_served(&key);
                 self.send_prepare(home, key, data, *mode, op)?;
                 // The freshest copy is at the server now.
                 self.mem.cache_invalidate(&key);

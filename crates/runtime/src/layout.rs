@@ -565,6 +565,115 @@ pub enum Placement {
     /// Weighted segment sum modulo workers: preserves neighbour locality but
     /// creates stride hotspots on structured access patterns.
     RoundRobin,
+    /// Planner-derived placement: each distributed array's block grid is cut
+    /// into `workers` contiguous slabs in row-major block order, so blocks
+    /// addressed by the same index tuple land on the same worker across
+    /// arrays and chunk assignment can be aligned with block homes
+    /// (owner-compute). Resolved through [`Layout::home_of_distributed`];
+    /// a bare [`Topology`] (no block-grid knowledge) falls back to hash.
+    Planned,
+}
+
+/// Pluggable block→worker placement map, the facade behind which every
+/// `home_of_distributed` lookup resolves. The static strategies
+/// ([`Placement::Hash`], [`Placement::RoundRobin`]) are pure functions of
+/// the key; the planner-derived map ([`Placement::Planned`]) consults the
+/// per-array block grids resolved by [`Layout::new`]. All implementations
+/// must be deterministic: every rank holds the same map (shared through the
+/// run's `Arc<Layout>`) and must agree on every home without coordination.
+pub trait PlacementMap: Send + Sync + std::fmt::Debug {
+    /// Worker slot (0-based worker index) of a distributed block.
+    fn slot(&self, key: &BlockKey) -> usize;
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Hash placement behind the [`PlacementMap`] facade.
+#[derive(Debug)]
+struct HashSlots {
+    workers: usize,
+}
+
+impl PlacementMap for HashSlots {
+    fn slot(&self, key: &BlockKey) -> usize {
+        (key.placement_hash() % self.workers as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Round-robin placement behind the facade.
+#[derive(Debug)]
+struct RoundRobinSlots {
+    workers: usize,
+}
+
+impl PlacementMap for RoundRobinSlots {
+    fn slot(&self, key: &BlockKey) -> usize {
+        let mut sum: u64 = key.array.0 as u64;
+        for (d, &seg) in key.segs().iter().enumerate() {
+            sum += (seg.max(0) as u64) << (2 * d);
+        }
+        (sum % self.workers as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// One distributed array's resolved block grid: enough to compute the
+/// row-major linear index of any block key.
+#[derive(Debug, Clone)]
+struct BlockGrid {
+    /// Per declared dim: the low segment number.
+    lo: Vec<i64>,
+    /// Per declared dim: segments spanned.
+    len: Vec<u64>,
+    /// Product of `len` (total blocks).
+    total: u64,
+}
+
+/// Planner-derived placement: contiguous row-major slabs per array.
+///
+/// `slot(key) = linear(key) * workers / total` — a balanced, static,
+/// deterministic partition that (a) keeps each array's blocks contiguous
+/// per worker, and (b) co-locates blocks of *different* arrays addressed
+/// by the same index tuple, which is what lets the master hand a pardo
+/// iteration to the worker that owns the block it writes. Keys without a
+/// resolved grid (or outside it) fall back to hash so the map stays total.
+#[derive(Debug)]
+struct PlannedSlots {
+    workers: usize,
+    grids: Vec<Option<BlockGrid>>,
+}
+
+impl PlacementMap for PlannedSlots {
+    fn slot(&self, key: &BlockKey) -> usize {
+        let grid = match self.grids.get(key.array.index()).and_then(Option::as_ref) {
+            Some(g) if g.total > 0 => g,
+            _ => return (key.placement_hash() % self.workers as u64) as usize,
+        };
+        let segs = key.segs();
+        if segs.len() != grid.len.len() {
+            return (key.placement_hash() % self.workers as u64) as usize;
+        }
+        let mut linear: u64 = 0;
+        for (d, &seg) in segs.iter().enumerate() {
+            let off = (seg as i64 - grid.lo[d]).clamp(0, grid.len[d] as i64 - 1) as u64;
+            linear = linear * grid.len[d] + off;
+        }
+        // Contiguous slabs: ⌊linear · W / total⌋, balanced to within one
+        // block and monotone in the linear order.
+        ((linear as u128 * self.workers as u128) / grid.total as u128) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "planned"
+    }
 }
 
 /// Rank topology: rank 0 is the master, then workers, then I/O servers.
@@ -634,7 +743,14 @@ impl Topology {
     /// survivor, so every rank that agrees on the dead set agrees on the
     /// new home.
     pub fn home_of_distributed_excluding(&self, key: &BlockKey, dead: &[bool]) -> Rank {
-        let mut slot = self.initial_slot(key);
+        self.rehash_from(self.initial_slot(key), key, dead)
+    }
+
+    /// The dead-rank rehash chain from an already-resolved initial slot.
+    /// [`Layout::home_of_distributed_excluding`] seeds this with the
+    /// placement map's slot so every strategy (hash, round-robin, planned)
+    /// shares one rehash discipline.
+    pub(crate) fn rehash_from(&self, mut slot: usize, key: &BlockKey, dead: &[bool]) -> Rank {
         if !dead.iter().any(|&d| d) {
             return self.worker(slot);
         }
@@ -654,7 +770,10 @@ impl Topology {
 
     fn initial_slot(&self, key: &BlockKey) -> usize {
         let slot = match self.placement {
-            Placement::Hash => key.placement_hash() % self.workers as u64,
+            // A bare topology has no block-grid knowledge; planned
+            // placement resolves through `Layout::home_of_distributed`,
+            // and this fallback only serves topology-level callers.
+            Placement::Hash | Placement::Planned => key.placement_hash() % self.workers as u64,
             Placement::RoundRobin => {
                 let mut sum: u64 = key.array.0 as u64;
                 for (d, &seg) in key.segs().iter().enumerate() {
@@ -690,6 +809,10 @@ pub struct Layout {
     /// Per index: the block extent its segments denote (seg size; for a
     /// subindex, seg/nsub).
     index_extents: Vec<usize>,
+    /// The resolved block→worker placement map (the [`PlacementMap`]
+    /// facade): one implementation per [`Placement`] strategy, shared by
+    /// every rank through the run's `Arc<Layout>`.
+    placement_map: Arc<dyn PlacementMap>,
 }
 
 impl Layout {
@@ -728,6 +851,47 @@ impl Layout {
                 }
             }
         }
+        let placement_map: Arc<dyn PlacementMap> = match topology.placement {
+            Placement::Hash => Arc::new(HashSlots {
+                workers: topology.workers,
+            }),
+            Placement::RoundRobin => Arc::new(RoundRobinSlots {
+                workers: topology.workers,
+            }),
+            Placement::Planned => {
+                // Resolve each array's block grid so the planned map can
+                // compute row-major linear indices without the layout.
+                let grids = program
+                    .arrays
+                    .iter()
+                    .map(|decl| {
+                        let lo: Vec<i64> = decl
+                            .dims
+                            .iter()
+                            .map(|&d| index_ranges[d.index()].0)
+                            .collect();
+                        let len: Vec<u64> = decl
+                            .dims
+                            .iter()
+                            .map(|&d| {
+                                let (l, h) = index_ranges[d.index()];
+                                (h - l + 1).max(0) as u64
+                            })
+                            .collect();
+                        let total: u64 = len.iter().product();
+                        if decl.dims.is_empty() || total == 0 {
+                            None
+                        } else {
+                            Some(BlockGrid { lo, len, total })
+                        }
+                    })
+                    .collect();
+                Arc::new(PlannedSlots {
+                    workers: topology.workers,
+                    grids,
+                })
+            }
+        };
         Ok(Layout {
             program,
             consts,
@@ -735,7 +899,38 @@ impl Layout {
             topology,
             index_ranges,
             index_extents,
+            placement_map,
         })
+    }
+
+    /// Worker slot (0-based) of a distributed block under the run's
+    /// placement map.
+    pub fn slot_of_distributed(&self, key: &BlockKey) -> usize {
+        self.placement_map.slot(key)
+    }
+
+    /// Home worker of a distributed block — the placement facade every
+    /// runtime caller resolves through (master, workers, dry run, planner).
+    pub fn home_of_distributed(&self, key: &BlockKey) -> Rank {
+        self.topology.worker(self.placement_map.slot(key))
+    }
+
+    /// Home worker of a distributed block when some workers are dead:
+    /// the placement map's slot, then the shared deterministic rehash
+    /// chain (see [`Topology::home_of_distributed_excluding`]).
+    pub fn home_of_distributed_excluding(&self, key: &BlockKey, dead: &[bool]) -> Rank {
+        self.topology
+            .rehash_from(self.placement_map.slot(key), key, dead)
+    }
+
+    /// Home I/O server of a served block.
+    pub fn home_of_served(&self, key: &BlockKey) -> Rank {
+        self.topology.home_of_served(key)
+    }
+
+    /// Name of the active placement strategy.
+    pub fn placement_name(&self) -> &'static str {
+        self.placement_map.name()
     }
 
     /// Inclusive segment range of an index.

@@ -57,6 +57,7 @@ pub mod dryrun;
 pub mod events;
 pub mod ioserver;
 pub mod metrics;
+pub mod plan;
 pub mod scheduler;
 pub mod trace;
 pub mod verify;
@@ -90,6 +91,7 @@ pub use metrics::{
     WaitStats,
 };
 pub use msg::{BlockKey, OpId, SipMsg};
+pub use plan::{BroadcastOp, CommPlan, CommPlanner, CommVolume, OwnerCompute, PlanSummary};
 pub use profile::{ProfileLine, ProfileReport, WorkerProfile};
 pub use registry::{SuperArg, SuperEnv, SuperRegistry};
 pub use sia_fabric::{CrashSpec, FaultPlan, FaultSnapshot};
@@ -216,6 +218,15 @@ impl Sip {
 
         // ---- dry run -------------------------------------------------------
         let estimate = dryrun::estimate(&layout, &self.config);
+        // The communication plan is derived from the same layout every rank
+        // holds, so it is identical everywhere by construction. A program
+        // the trace walker cannot model (e.g. one that would nest pardos)
+        // degrades to an empty plan — the demand-fetch path still runs it.
+        let comm_plan = Arc::new(
+            trace::generate(&layout, &trace::default_cost_model())
+                .map(|t| plan::CommPlanner::new(&layout, &t).plan())
+                .unwrap_or_default(),
+        );
         if let Some(budget) = self.config.memory_budget {
             if !estimate.feasible(budget) {
                 let sufficient =
@@ -274,6 +285,7 @@ impl Sip {
             run_dir.clone(),
             self.config.fault.clone(),
         );
+        master.set_plan(Arc::clone(&comm_plan));
 
         // One epoch `Instant` shared by every rank's trace sink: merged
         // timestamps need no clock alignment.
@@ -298,8 +310,10 @@ impl Sip {
                 let config = worker_config.clone();
                 let registry = self.registry.clone();
                 let collect = self.config.collect_distributed;
+                let plan = Arc::clone(&comm_plan);
                 scope.spawn(move || {
                     let mut w = worker::Worker::new(layout, config, ep, registry);
+                    w.set_plan(plan);
                     if trace_on {
                         w.set_trace(mk_sink());
                     }
@@ -355,6 +369,11 @@ impl Sip {
         profile.metrics.recovery.merge(&master_out.recovery);
         profile.metrics.server.merge(&master_out.server);
         Merge::merge(&mut profile.metrics.fabric, &stats.total_faults());
+        // Run-level planner figures: what the plan predicted against what
+        // the fabric measured, plus envelope-batching savings.
+        profile.metrics.plan.coalesced_messages = stats.total_messages_coalesced();
+        profile.metrics.plan.predicted_bytes = comm_plan.volume.total();
+        profile.metrics.plan.actual_bytes = stats.total_bytes_sent();
         profile.dry_run_estimate_bytes = estimate.per_worker_bytes;
         profile.gemm_threads = self.config.gemm_threads;
         // A config built without the builder never recorded a request;
@@ -442,6 +461,25 @@ impl Sip {
         };
         let layout = Layout::new(Arc::new(program), bindings, self.config.segments, topology)?;
         Ok(dryrun::estimate(&layout, &self.config))
+    }
+
+    /// Runs the dry-run analysis *and* the communication planner (no
+    /// threads spawned) — `sial dryrun` prints both.
+    pub fn plan(
+        &self,
+        program: Program,
+        bindings: &ConstBindings,
+    ) -> Result<(MemoryEstimate, plan::CommPlan), RuntimeError> {
+        let topology = Topology {
+            workers: self.config.workers,
+            io_servers: self.config.io_servers,
+            placement: self.config.placement,
+        };
+        let layout = Layout::new(Arc::new(program), bindings, self.config.segments, topology)?;
+        let estimate = dryrun::estimate(&layout, &self.config);
+        let trace = trace::generate(&layout, &trace::default_cost_model())?;
+        let plan = plan::CommPlanner::new(&layout, &trace).plan();
+        Ok((estimate, plan))
     }
 }
 

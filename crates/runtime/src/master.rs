@@ -17,9 +17,10 @@
 use crate::error::{CommKind, RuntimeError};
 use crate::events::{EventKind, RecoveryEvent, TraceEvent, TraceSink};
 use crate::ft;
-use crate::layout::{FaultConfig, Layout};
+use crate::layout::{FaultConfig, Layout, Placement};
 use crate::metrics::{Merge, RecoveryStats, ServerStats};
 use crate::msg::{BarrierKind, BlockKey, OpId, SipMsg};
+use crate::plan::CommPlan;
 use crate::profile::WorkerProfile;
 use crate::scheduler::{ChunkPolicy, GuidedScheduler, IterationSpace};
 use sia_blocks::{Block, BlockHandle, Shape};
@@ -35,6 +36,12 @@ use std::time::{Duration, Instant};
 struct PardoSched {
     space: IterationSpace,
     sched: GuidedScheduler,
+    /// Owner-compute affinity (planned placement only): per-worker queues
+    /// of indices into `space.iters`, each queue holding the iterations
+    /// whose output block is homed at that worker. Requests are served
+    /// from the requester's queue first, stealing from the fullest other
+    /// queue when it drains — guided chunk sizing is unchanged.
+    affinity: Option<Vec<VecDeque<u64>>>,
     /// Workers told "no more chunks" (scheduler dropped when all have been).
     drained_notices: usize,
     /// Next chunk id within this (pardo, epoch).
@@ -43,6 +50,13 @@ struct PardoSched {
     /// assignee's worker index plus the iterations, retained so the chunk
     /// can be re-queued verbatim if the assignee dies.
     outstanding: HashMap<u64, (usize, Vec<Vec<i64>>)>,
+    /// Acknowledged chunks (fault tolerance only), retained until the
+    /// sip-barrier epoch checkpoint. A worker's *local* puts are never
+    /// journaled anywhere else — under owner-compute affinity that is most
+    /// of its output — so when the assignee dies mid-epoch its acked chunks
+    /// are re-queued too and recomputed (Replace puts are value-idempotent;
+    /// survivors' copies just get overwritten with identical bits).
+    acked: HashMap<u64, (usize, Vec<Vec<i64>>)>,
 }
 
 #[derive(Default)]
@@ -135,6 +149,11 @@ pub struct Master {
     served_epochs: u64,
     /// A served-epoch commit in progress: (epoch, acks still missing).
     epoch_pending: Option<(u64, usize)>,
+    // ---- communication plan -------------------------------------------------
+    /// The derived communication plan (empty default unless the runtime
+    /// installs one); drives owner-compute chunk affinity under planned
+    /// placement.
+    plan: Arc<CommPlan>,
     // ---- observability ------------------------------------------------------
     trace: TraceSink,
 }
@@ -176,6 +195,7 @@ impl Master {
             recovery: RecoveryStats::default(),
             served_epochs: 0,
             epoch_pending: None,
+            plan: Arc::new(CommPlan::default()),
             trace: TraceSink::disabled(),
         }
     }
@@ -183,6 +203,12 @@ impl Master {
     /// Installs an event-trace sink (shared-epoch; see [`TraceSink`]).
     pub(crate) fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Installs the communication plan (called by the runtime before the
+    /// program starts).
+    pub(crate) fn set_plan(&mut self, plan: Arc<CommPlan>) {
+        self.plan = plan;
     }
 
     fn workers(&self) -> usize {
@@ -230,14 +256,36 @@ impl Master {
             )?;
             let sched =
                 GuidedScheduler::with_policy(space.len() as u64, self.workers(), self.chunk_policy);
+            // Owner-compute affinity: under planned placement, bucket the
+            // iterations by the home of the block each one writes, so the
+            // writing rank is (preferentially) the owning rank and the put
+            // short-circuits locally.
+            let affinity = if self.layout.topology.placement == Placement::Planned {
+                self.plan
+                    .region(pardo_pc)
+                    .and_then(|r| r.owner.as_ref())
+                    .map(|oc| {
+                        let w = self.layout.topology.workers;
+                        let mut buckets: Vec<VecDeque<u64>> = vec![VecDeque::new(); w];
+                        for (i, iter) in space.iters.iter().enumerate() {
+                            let slot = self.layout.slot_of_distributed(&oc.key_of(iter));
+                            buckets[slot % w].push_back(i as u64);
+                        }
+                        buckets
+                    })
+            } else {
+                None
+            };
             self.schedulers.insert(
                 (pardo_pc, epoch),
                 PardoSched {
                     space,
                     sched,
+                    affinity,
                     drained_notices: 0,
                     next_chunk: 0,
                     outstanding: HashMap::new(),
+                    acked: HashMap::new(),
                 },
             );
         }
@@ -256,9 +304,35 @@ impl Master {
         let sched = self.scheduler_for(pardo_pc, epoch)?;
         match sched.sched.next_chunk() {
             Some(range) => {
-                let iters: Vec<Vec<i64>> = range
-                    .map(|i| sched.space.iters[i as usize].clone())
-                    .collect();
+                // The guided policy still sizes every chunk; affinity only
+                // changes *which* iterations fill it (requester's bucket
+                // first, stealing from the fullest other bucket so the
+                // tail stays balanced).
+                let iters: Vec<Vec<i64>> = match &mut sched.affinity {
+                    Some(buckets) => {
+                        let want = (range.end - range.start) as usize;
+                        let mut ids = Vec::with_capacity(want);
+                        while ids.len() < want {
+                            if let Some(i) = buckets.get_mut(widx).and_then(VecDeque::pop_front) {
+                                ids.push(i);
+                                continue;
+                            }
+                            let donor = (0..buckets.len())
+                                .filter(|&b| !buckets[b].is_empty())
+                                .max_by_key(|&b| buckets[b].len());
+                            match donor {
+                                Some(b) => ids.push(buckets[b].pop_front().unwrap()),
+                                None => break,
+                            }
+                        }
+                        ids.iter()
+                            .map(|&i| sched.space.iters[i as usize].clone())
+                            .collect()
+                    }
+                    None => range
+                        .map(|i| sched.space.iters[i as usize].clone())
+                        .collect(),
+                };
                 let chunk = sched.next_chunk;
                 sched.next_chunk += 1;
                 if ft_on {
@@ -425,10 +499,7 @@ impl Master {
                 let mut pending: HashMap<BlockKey, (Rank, BlockHandle)> = HashMap::new();
                 for (key, data) in blocks {
                     let data: BlockHandle = data.into();
-                    let home = self
-                        .layout
-                        .topology
-                        .home_of_distributed_excluding(&key, &dead);
+                    let home = self.layout.home_of_distributed_excluding(&key, &dead);
                     let _ = self.endpoint.send(
                         home,
                         SipMsg::PutBlock {
@@ -574,6 +645,24 @@ impl Master {
                     what: RecoveryEvent::Requeue,
                 });
             }
+            // The corpse's acked chunks this epoch: their local puts lived
+            // only in the corpse's memory (nothing journals a local put),
+            // so recompute them as well. Survivor-homed blocks are simply
+            // re-put with identical bits.
+            let acked: Vec<u64> = s
+                .acked
+                .iter()
+                .filter(|(_, (w, _))| *w == widx)
+                .map(|(&c, _)| c)
+                .collect();
+            for c in acked {
+                let (_, iters) = s.acked.remove(&c).unwrap();
+                self.takeover_queue.push_back((pc, ep, c, iters));
+                self.recovery.requeued_chunks += 1;
+                self.trace.instant(EventKind::Recovery {
+                    what: RecoveryEvent::Requeue,
+                });
+            }
         }
         for w in self.barrier_waiting.values_mut() {
             w.retain(|r| *r != dead_rank);
@@ -596,10 +685,7 @@ impl Master {
         let mut pending: HashMap<BlockKey, (Rank, BlockHandle)> = HashMap::new();
         for (key, data) in blocks {
             let data: BlockHandle = data.into();
-            let home = self
-                .layout
-                .topology
-                .home_of_distributed_excluding(&key, &dead);
+            let home = self.layout.home_of_distributed_excluding(&key, &dead);
             let _ = self.endpoint.send(
                 home,
                 SipMsg::PutBlock {
@@ -820,7 +906,9 @@ impl Master {
                     chunk,
                 } => {
                     if let Some(s) = self.schedulers.get_mut(&(pardo_pc, epoch)) {
-                        s.outstanding.remove(&chunk);
+                        if let Some(done) = s.outstanding.remove(&chunk) {
+                            s.acked.insert(chunk, done);
+                        }
                     }
                     self.takeover_outstanding.remove(&(pardo_pc, epoch, chunk));
                     self.try_release(BarrierKind::Sip);

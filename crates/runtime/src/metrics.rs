@@ -302,6 +302,36 @@ impl Merge for SparseStats {
     }
 }
 
+/// Communication-planner counters: what the plan predicted, what the run
+/// measured, and how much traffic the multicast/batching transports moved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Fabric messages coalesced away by envelope batching (n staged
+    /// messages shipped as one envelope count n−1 here).
+    pub coalesced_messages: u64,
+    /// Blocks pushed or forwarded along multicast trees.
+    pub multicast_blocks: u64,
+    /// Payload bytes shipped by multicast pushes.
+    pub multicast_bytes: u64,
+    /// Planner-predicted fabric bytes for the whole run (filled on the
+    /// merged fleet view).
+    pub predicted_bytes: u64,
+    /// Measured fabric bytes (filled on the merged fleet view).
+    pub actual_bytes: u64,
+}
+
+impl Merge for PlanStats {
+    /// Event counters sum; the run-level predicted/actual figures are
+    /// filled on the merged view only, so the max keeps them intact.
+    fn merge(&mut self, other: &Self) {
+        self.coalesced_messages += other.coalesced_messages;
+        self.multicast_blocks += other.multicast_blocks;
+        self.multicast_bytes += other.multicast_bytes;
+        self.predicted_bytes = self.predicted_bytes.max(other.predicted_bytes);
+        self.actual_bytes = self.actual_bytes.max(other.actual_bytes);
+    }
+}
+
 impl Merge for crate::cache::CacheStats {
     /// Event counters: fleet sums.
     fn merge(&mut self, other: &Self) {
@@ -377,6 +407,9 @@ pub struct Metrics {
     pub fabric: sia_fabric::FaultSnapshot,
     /// Block-sparse screening counters.
     pub sparse: SparseStats,
+    /// Communication-planner counters (multicast, batching,
+    /// predicted-vs-actual volume).
+    pub plan: PlanStats,
 }
 
 impl Merge for Metrics {
@@ -392,6 +425,7 @@ impl Merge for Metrics {
         self.server.merge(&other.server);
         Merge::merge(&mut self.fabric, &other.fabric);
         self.sparse.merge(&other.sparse);
+        self.plan.merge(&other.plan);
     }
 }
 
@@ -462,6 +496,7 @@ impl Metrics {
         let s = &self.server;
         let fb = &self.fabric;
         let sp = &self.sparse;
+        let pl = &self.plan;
         let mut wait_fields: Vec<Field> = WaitCause::ALL
             .iter()
             .map(|&cause| Field {
@@ -631,6 +666,21 @@ impl Metrics {
                         sp.bytes_not_shipped,
                     ),
                     field("flops_avoided", "flops avoided", sp.flops_avoided),
+                ],
+            },
+            Section {
+                name: "comm_plan",
+                quiet: quiet(pl),
+                fields: vec![
+                    field(
+                        "coalesced_messages",
+                        "messages coalesced",
+                        pl.coalesced_messages,
+                    ),
+                    field("multicast_blocks", "blocks multicast", pl.multicast_blocks),
+                    field("multicast_bytes", "bytes multicast", pl.multicast_bytes),
+                    field("predicted_bytes", "bytes predicted", pl.predicted_bytes),
+                    field("actual_bytes", "bytes measured", pl.actual_bytes),
                 ],
             },
         ]
@@ -867,8 +917,18 @@ mod tests {
         let v = crate::events::parse_json(&j).expect("metrics json parses");
         let obj = v.as_object().expect("top-level object");
         for name in [
-            "cache", "memory", "contract", "pack", "comm", "wait", "fault", "recovery", "server",
-            "fabric", "sparse",
+            "cache",
+            "memory",
+            "contract",
+            "pack",
+            "comm",
+            "wait",
+            "fault",
+            "recovery",
+            "server",
+            "fabric",
+            "sparse",
+            "comm_plan",
         ] {
             assert!(obj.iter().any(|(k, _)| k == name), "missing section {name}");
         }

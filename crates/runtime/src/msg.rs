@@ -242,6 +242,29 @@ pub enum SipMsg {
         /// The array dropped.
         array: ArrayId,
     },
+    /// One hop of a planner-scheduled tree multicast: the home pushes a
+    /// broadcast-shaped operand's block down a binary tree of workers
+    /// instead of answering per-rank GETs. Receivers at tree position `pos`
+    /// forward to positions `2·pos+1` and `2·pos+2` (positions are rotated
+    /// so the home is the root). Best-effort: a dropped hop degrades to the
+    /// demand `GetBlock` path, so no retry state is kept.
+    MulticastBlock {
+        /// The block's identity.
+        key: BlockKey,
+        /// Its contents (shared with the home's store).
+        data: BlockHandle,
+        /// The sender's distributed-array epoch; receivers in a different
+        /// epoch drop the push (their cache was invalidated since).
+        epoch: u64,
+        /// This receiver's position in the multicast tree.
+        pos: u32,
+        /// Flight id correlating the trace events of one block's tree.
+        flight: u64,
+    },
+    /// Several data-plane messages for one destination coalesced into a
+    /// single fabric envelope ([`sia_fabric::Endpoint::stage`]); per-message
+    /// OpId/ReqId dedup still applies after unbatching.
+    Batch(Vec<SipMsg>),
 
     // ---- barriers -----------------------------------------------------------
     /// Worker entered a barrier.
@@ -356,7 +379,9 @@ impl Message for SipMsg {
             SipMsg::BlockData { data, .. }
             | SipMsg::PutBlock { data, .. }
             | SipMsg::PrepareBlock { data, .. }
+            | SipMsg::MulticastBlock { data, .. }
             | SipMsg::CkptBlock { data, .. } => block_bytes(data),
+            SipMsg::Batch(msgs) => 16 + msgs.iter().map(|m| m.approx_bytes()).sum::<usize>(),
             SipMsg::ChunkAssign { iters, .. } => {
                 16 + iters.iter().map(|v| v.len() * 8).sum::<usize>()
             }
@@ -387,6 +412,8 @@ impl Message for SipMsg {
                 | SipMsg::PrepareAck { .. }
                 | SipMsg::BlockAbsent { .. }
                 | SipMsg::PutAbsent { .. }
+                | SipMsg::MulticastBlock { .. }
+                | SipMsg::Batch(_)
         )
     }
 
@@ -394,6 +421,27 @@ impl Message for SipMsg {
     /// `BlockHandle`s, so the duplicate shares the original's allocation.
     fn dup(&self) -> Option<Self> {
         Some(self.clone())
+    }
+
+    /// Only faultable (data-plane) messages may share a batch envelope:
+    /// every part is individually retryable/dedupable above the fabric, so
+    /// one whole-envelope fault verdict (drop the batch, duplicate the
+    /// batch) is indistinguishable from that verdict on each part. A batch
+    /// containing control-plane traffic would silently make it faultable —
+    /// refuse, and let the fabric ship the messages individually.
+    fn batch(msgs: Vec<Self>) -> Result<Self, Vec<Self>> {
+        if msgs.iter().all(|m| m.faultable()) {
+            Ok(SipMsg::Batch(msgs))
+        } else {
+            Err(msgs)
+        }
+    }
+
+    fn unbatch(self) -> Result<Vec<Self>, Self> {
+        match self {
+            SipMsg::Batch(msgs) => Ok(msgs),
+            other => Err(other),
+        }
     }
 }
 
@@ -454,6 +502,36 @@ mod tests {
             req: ReqId::NONE,
         };
         assert!(big.approx_bytes() > small.approx_bytes());
+    }
+
+    #[test]
+    fn batch_accepts_data_plane_refuses_control_plane() {
+        let data_msg = || SipMsg::PutAck {
+            key: BlockKey::new(ArrayId(0), &[1]),
+            op: OpId(7),
+        };
+        let batched = SipMsg::batch(vec![data_msg(), data_msg()]).expect("data plane batches");
+        assert!(batched.faultable());
+        let parts = batched.unbatch().expect("batch unbatches");
+        assert_eq!(parts.len(), 2);
+        // A control-plane message poisons the whole batch.
+        let refused = SipMsg::batch(vec![data_msg(), SipMsg::Heartbeat]);
+        assert!(refused.is_err());
+        assert_eq!(refused.unwrap_err().len(), 2);
+        // Non-batch messages refuse to unbatch.
+        assert!(SipMsg::Heartbeat.unbatch().is_err());
+    }
+
+    #[test]
+    fn batch_bytes_sum_parts() {
+        let part = SipMsg::BlockData {
+            key: BlockKey::new(ArrayId(0), &[1]),
+            data: Block::zeros(Shape::new(&[100])).into(),
+            req: ReqId::NONE,
+        };
+        let part_bytes = part.approx_bytes();
+        let batched = SipMsg::batch(vec![part.clone(), part]).unwrap();
+        assert!(batched.approx_bytes() >= 2 * part_bytes);
     }
 
     #[test]

@@ -10,10 +10,11 @@ use crate::cache::{BlockGet, CacheEntry};
 use crate::error::{CommKind, RuntimeError};
 use crate::events::{CommOp, EventKind, RecoveryEvent, TraceSink};
 use crate::ft::{self, FetchState, FtState, JournalEntry, TakeoverChunk};
-use crate::layout::{Layout, SipConfig};
+use crate::layout::{Layout, Placement, SipConfig};
 use crate::memory::BlockManager;
 use crate::metrics::WaitCause;
 use crate::msg::{BarrierKind, BlockKey, OpId, SipMsg};
+use crate::plan::CommPlan;
 use crate::profile::WorkerProfile;
 use crate::registry::SuperRegistry;
 use sia_blocks::{Block, BlockHandle};
@@ -132,6 +133,15 @@ pub struct Worker {
     /// Worker start time (backs the `sip_time` intrinsic).
     pub(crate) started: Instant,
 
+    // ---- communication plan ----
+    /// The derived communication plan (an empty default unless the runtime
+    /// installs one before the program starts). Drives the pardo-entry
+    /// multicast push under planned placement.
+    pub(crate) plan: Arc<CommPlan>,
+    /// Multicast forwards staged on the endpoint but not yet flushed (set
+    /// while draining a batch so consecutive forwards coalesce).
+    pub(crate) staged_forwards: bool,
+
     // ---- observability ----
     /// Event recorder (disabled — and allocation-free — unless the runtime
     /// installs an enabled sink before the program starts).
@@ -199,6 +209,8 @@ impl Worker {
             profile: WorkerProfile::default(),
             warnings: Vec::new(),
             started: Instant::now(),
+            plan: Arc::new(CommPlan::default()),
+            staged_forwards: false,
             trace: TraceSink::disabled(),
             flights: HashMap::new(),
             put_flights: HashMap::new(),
@@ -214,6 +226,12 @@ impl Worker {
         self.trace = sink;
     }
 
+    /// Installs the communication plan (called by the runtime before the
+    /// program starts).
+    pub(crate) fn set_plan(&mut self, plan: Arc<CommPlan>) {
+        self.plan = plan;
+    }
+
     /// This worker's 0-based index.
     pub fn worker_index(&self) -> usize {
         self.layout.topology.worker_index(self.endpoint.rank())
@@ -225,6 +243,17 @@ impl Worker {
     pub(crate) fn service_messages(&mut self) {
         while let Some(env) = self.endpoint.try_recv() {
             self.handle(env.src, env.msg);
+        }
+        self.flush_forwards();
+    }
+
+    /// Ships any multicast forwards staged while draining the inbox (so
+    /// forwards of several blocks to the same child coalesce into one
+    /// envelope). A no-op unless something was staged.
+    pub(crate) fn flush_forwards(&mut self) {
+        if self.staged_forwards {
+            self.staged_forwards = false;
+            let _ = self.endpoint.flush();
         }
     }
 
@@ -240,6 +269,7 @@ impl Worker {
             if let Some(env) = self.endpoint.recv_timeout(self.config.service_poll) {
                 let src = env.src;
                 self.handle(src, env.msg);
+                self.flush_forwards();
             }
         }
     }
@@ -432,6 +462,15 @@ impl Worker {
             SipMsg::CkptRelease { label } => {
                 self.ckpt_released.insert(label);
             }
+            SipMsg::MulticastBlock {
+                key,
+                data,
+                epoch,
+                pos,
+                flight,
+            } => {
+                self.on_multicast(key, data, epoch, pos, flight);
+            }
             SipMsg::DeleteArray { array } => {
                 self.mem.home_remove_array(array);
                 self.mem.cache_invalidate_array(array);
@@ -441,8 +480,11 @@ impl Worker {
             }
             // A stray heartbeat (e.g. duplicated routing in tests) is harmless.
             SipMsg::Heartbeat => {}
-            // Messages a worker never receives.
-            SipMsg::ChunkRequest { .. }
+            // Messages a worker never receives (a Batch is unpacked by the
+            // fabric endpoint before delivery, so a bare one is a protocol
+            // error too).
+            SipMsg::Batch(_)
+            | SipMsg::ChunkRequest { .. }
             | SipMsg::ChunkDone { .. }
             | SipMsg::RequestBlock { .. }
             | SipMsg::PrepareBlock { .. }
@@ -470,6 +512,149 @@ impl Worker {
         }
         for (key, bytes) in self.mem.drain_evictions() {
             self.trace.instant(EventKind::CacheEvict { key, bytes });
+        }
+    }
+
+    // ---- multicast ------------------------------------------------------------
+
+    /// Pushes this worker's broadcast-shaped home blocks down their
+    /// multicast trees on pardo entry (planned placement only; a no-op
+    /// otherwise). Best-effort: a receiver that already crossed a barrier
+    /// drops the stale copy and its consumers fall back to demand GETs.
+    pub(crate) fn multicast_push(&mut self, pardo_pc: u32) {
+        if self.layout.topology.placement != Placement::Planned {
+            return;
+        }
+        let workers = self.layout.topology.workers;
+        if workers < 2 {
+            return;
+        }
+        let plan = Arc::clone(&self.plan);
+        let Some(region) = plan.region(pardo_pc) else {
+            return;
+        };
+        let own = self.worker_index();
+        for b in &region.broadcast {
+            let ranges: Vec<(i64, i64)> = b.indices.iter().map(|&i| self.layout.range(i)).collect();
+            if ranges.is_empty() {
+                continue;
+            }
+            let mut segs: Vec<i64> = ranges.iter().map(|r| r.0).collect();
+            loop {
+                let key = BlockKey::new(b.array, &segs);
+                if self.layout.slot_of_distributed(&key) == own {
+                    // Absent blocks (sparse or never filled) stay on the
+                    // demand path, which ships the typed-absent reply.
+                    if let Some(data) = self.mem.serve_home(&key) {
+                        let flight = self.new_multicast_hop(key, 0);
+                        self.multicast_forward(key, data, self.dist_epoch, 0, flight);
+                    }
+                }
+                let mut d = segs.len();
+                let mut done = false;
+                loop {
+                    if d == 0 {
+                        done = true;
+                        break;
+                    }
+                    d -= 1;
+                    segs[d] += 1;
+                    if segs[d] <= ranges[d].1 {
+                        break;
+                    }
+                    segs[d] = ranges[d].0;
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+        self.flush_forwards();
+    }
+
+    /// Accepts a pushed multicast copy: fills the cache exactly like a
+    /// solicited `BlockData` (completing any demand fetch already in
+    /// flight) and forwards the block to this tree position's children.
+    fn on_multicast(
+        &mut self,
+        key: BlockKey,
+        data: BlockHandle,
+        epoch: u64,
+        pos: u32,
+        flight: u64,
+    ) {
+        // Stale push — the sender raced a barrier. Drop it; demand fetches
+        // recover.
+        if epoch != self.dist_epoch {
+            return;
+        }
+        if let Some(ft) = self.ft.as_mut() {
+            ft.fetches.remove(&key);
+        }
+        if let Some((t0, _)) = self.flights.remove(&key) {
+            self.profile.metrics.comm.flight_nanos += t0.elapsed().as_nanos() as u64;
+        }
+        let hop = self.new_multicast_hop(key, flight);
+        if self.trace.is_on() {
+            self.trace.instant(EventKind::CacheFill {
+                key,
+                bytes: data.heap_bytes(),
+            });
+        }
+        self.multicast_forward(key, data.clone(), epoch, pos, hop);
+        self.mem.cache_fill(key, data);
+        self.drain_evictions_into_trace();
+    }
+
+    /// Records a multicast hop in the trace and returns its globally
+    /// unique flight id (0 when tracing is off — the id only exists for
+    /// trace correlation).
+    fn new_multicast_hop(&mut self, key: BlockKey, parent: u64) -> u64 {
+        if !self.trace.is_on() {
+            return 0;
+        }
+        let seq = self.endpoint.next_req_id().0;
+        let id = ((self.endpoint.rank().0 as u64) << 48) | (seq & 0xffff_ffff_ffff);
+        let t = self.trace.now_ns();
+        self.trace
+            .span(EventKind::Multicast { key, id, parent }, t, t);
+        id
+    }
+
+    /// Stages the block to the tree children of `pos` (positions `2p+1`
+    /// and `2p+2`, ranks rotated so the home slot is the root). Staged —
+    /// not sent — so several forwards to one child batch into a single
+    /// envelope at the next [`Worker::flush_forwards`].
+    fn multicast_forward(
+        &mut self,
+        key: BlockKey,
+        data: BlockHandle,
+        epoch: u64,
+        pos: u32,
+        flight: u64,
+    ) {
+        let workers = self.layout.topology.workers;
+        let own = self.worker_index();
+        let home = (own + workers - (pos as usize % workers)) % workers;
+        for child in [2 * pos + 1, 2 * pos + 2] {
+            if (child as usize) >= workers {
+                continue;
+            }
+            let widx = (home + child as usize) % workers;
+            let to = self.layout.topology.worker(widx);
+            self.profile.metrics.plan.multicast_blocks += 1;
+            self.profile.metrics.plan.multicast_bytes += data.heap_bytes();
+            let _ = self.endpoint.stage(
+                to,
+                SipMsg::MulticastBlock {
+                    key,
+                    data: data.clone(),
+                    epoch,
+                    pos: child,
+                    flight,
+                },
+            );
+            self.staged_forwards = true;
         }
     }
 
@@ -637,6 +822,7 @@ impl Worker {
             if let Some(env) = self.endpoint.recv_timeout(self.config.wait_poll) {
                 let src = env.src;
                 self.handle(src, env.msg);
+                self.flush_forwards();
             }
         }
     }
@@ -673,15 +859,13 @@ impl Worker {
     // ---- block access ---------------------------------------------------------------
 
     /// Home of a distributed block, skipping dead workers under fault
-    /// tolerance.
+    /// tolerance. The single resolver for distributed homes on the worker:
+    /// every caller goes through here (or through the layout facade with an
+    /// explicit dead mask), so nothing can pick the stale non-excluding
+    /// variant during recovery.
     pub(crate) fn dist_home(&self, key: &BlockKey) -> Rank {
-        match &self.ft {
-            Some(ft) => self
-                .layout
-                .topology
-                .home_of_distributed_excluding(key, &ft.dead),
-            None => self.layout.topology.home_of_distributed(key),
-        }
+        let dead = self.ft.as_ref().map(|ft| ft.dead.as_slice()).unwrap_or(&[]);
+        self.layout.home_of_distributed_excluding(key, dead)
     }
 
     /// The single entry point for distributed/served block access, returning
@@ -709,7 +893,7 @@ impl Worker {
                         "program uses served arrays but io_servers = 0".into(),
                     ));
                 }
-                self.layout.topology.home_of_served(&key)
+                self.layout.home_of_served(&key)
             }
             other => {
                 return Err(RuntimeError::BadProgram(format!(
@@ -1271,7 +1455,7 @@ impl Worker {
         let now = Instant::now();
         let max_retries = ft.cfg.max_retries;
         let backoff = ft.cfg.retry_backoff;
-        let topology = &self.layout.topology;
+        let layout = &self.layout;
         let mut resend: Vec<(Rank, SipMsg)> = Vec::new();
         let mut put_retries = 0u64;
         let mut prepare_retries = 0u64;
@@ -1280,9 +1464,9 @@ impl Worker {
                 continue;
             }
             let home = if p.served {
-                topology.home_of_served(&p.key)
+                layout.home_of_served(&p.key)
             } else {
-                topology.home_of_distributed_excluding(&p.key, &ft.dead)
+                layout.home_of_distributed_excluding(&p.key, &ft.dead)
             };
             if p.attempts >= max_retries {
                 return Err(RuntimeError::Comm {
@@ -1317,9 +1501,9 @@ impl Worker {
                 continue;
             }
             let home = if f.served {
-                topology.home_of_served(key)
+                layout.home_of_served(key)
             } else {
-                topology.home_of_distributed_excluding(key, &ft.dead)
+                layout.home_of_distributed_excluding(key, &ft.dead)
             };
             if f.attempts >= max_retries {
                 return Err(RuntimeError::Comm {
@@ -1480,7 +1664,7 @@ impl Worker {
         }
         let dead_idx = self.layout.topology.worker_index(dead_rank);
         let epoch = self.dist_epoch;
-        let topology = self.layout.topology;
+        let layout = Arc::clone(&self.layout);
         let Some(ft) = self.ft.as_mut() else {
             return;
         };
@@ -1507,9 +1691,9 @@ impl Worker {
         let to_replay: Vec<(u64, BlockKey, BlockHandle, PutMode, Rank)> = ft
             .journal
             .iter()
-            .filter(|e| topology.home_of_distributed_excluding(&e.key, &prev_dead) == dead_rank)
+            .filter(|e| layout.home_of_distributed_excluding(&e.key, &prev_dead) == dead_rank)
             .map(|e| {
-                let new_home = topology.home_of_distributed_excluding(&e.key, &ft.dead);
+                let new_home = layout.home_of_distributed_excluding(&e.key, &ft.dead);
                 (e.op, e.key, e.data.clone(), e.mode, new_home)
             })
             .collect();
@@ -1521,10 +1705,10 @@ impl Worker {
         // Re-route unanswered fetches that were addressed to the corpse.
         let mut reroutes = 0u64;
         for (key, f) in ft.fetches.iter_mut() {
-            if f.served || topology.home_of_distributed_excluding(key, &prev_dead) != dead_rank {
+            if f.served || layout.home_of_distributed_excluding(key, &prev_dead) != dead_rank {
                 continue;
             }
-            let new_home = topology.home_of_distributed_excluding(key, &ft.dead);
+            let new_home = layout.home_of_distributed_excluding(key, &ft.dead);
             f.sent_at = Instant::now();
             f.timeout = retry_timeout;
             f.attempts = 0;

@@ -19,7 +19,7 @@ use sia::subsystems::chem::{integral_cost_model, register_integrals};
 use sia::subsystems::sim::machine;
 use sia::subsystems::sim::{simulate, SimConfig};
 use sia::{
-    ConstBindings, CrashSchedule, FaultConfig, FaultPlan, SegmentConfig, Sip, SipConfig,
+    ConstBindings, CrashSchedule, FaultConfig, FaultPlan, Placement, SegmentConfig, Sip, SipConfig,
     SuperRegistry,
 };
 use std::path::Path;
@@ -50,6 +50,9 @@ fn usage() -> ExitCode {
            --fault-plan <s>   fault spec: drop=0.05,dup=0.01,delay=0.02,crash=1@8\n\
                               (crash=W@I kills worker W after I pardo iterations)\n\
            --machine <name>   simulate: sun|xt4|xt5|altix|bgp (default xt5)\n\
+           --placement <p>    distributed-block placement: hash (default) or\n\
+                              planned (planner-derived homes + owner-compute\n\
+                              chunk affinity + multicast for broadcast reads)\n\
            --chem             register the synthetic chemistry kernels\n\
            --profile          print the per-instruction profile after a run\n\
            --profile-json <file>  write the machine-readable profile (schema\n\
@@ -202,6 +205,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 )
             }
             "--fault-plan" => fault_spec = Some(need("--fault-plan")?),
+            "--placement" => {
+                let name = need("--placement")?;
+                builder = builder.placement(match name.as_str() {
+                    "hash" => Placement::Hash,
+                    "planned" => Placement::Planned,
+                    other => {
+                        return Err(format!("unknown placement `{other}` (hash|planned)"));
+                    }
+                });
+            }
             "--machine" => {
                 let name = need("--machine")?;
                 machine = match name.as_str() {
@@ -312,10 +325,11 @@ fn main() -> ExitCode {
                         for (pid, r) in &lint.ranks {
                             let cats: Vec<&str> = r.cats.iter().map(String::as_str).collect();
                             println!(
-                                "  rank {pid} ({}): {} spans, {} flights [{}]",
+                                "  rank {pid} ({}): {} spans, {} flights, {} multicasts [{}]",
                                 if r.label.is_empty() { "?" } else { &r.label },
                                 r.spans,
                                 r.flights,
+                                r.multicasts,
                                 cats.join(", ")
                             );
                         }
@@ -406,8 +420,8 @@ fn main() -> ExitCode {
         "dryrun" => match load_program(file) {
             Ok(p) => {
                 let sip = Sip::new(opts.config.clone());
-                match sip.dry_run(p, &opts.bindings) {
-                    Ok(est) => {
+                match sip.plan(p, &opts.bindings) {
+                    Ok((est, plan)) => {
                         println!(
                             "per-worker estimate: {:.1} MiB ({} bytes, {} workers)",
                             est.per_worker_bytes as f64 / (1 << 20) as f64,
@@ -431,6 +445,14 @@ fn main() -> ExitCode {
                         );
                         for (name, bytes) in &est.breakdown {
                             println!("  {name:<20} {:.2} MiB", *bytes as f64 / (1 << 20) as f64);
+                        }
+                        print!("{}", plan.volume_table());
+                        if plan.summary.broadcast_blocks > 0 {
+                            println!(
+                                "  broadcast-shaped: {} blocks / {} bytes \
+                                 (multicast under --placement planned)",
+                                plan.summary.broadcast_blocks, plan.summary.broadcast_bytes
+                            );
                         }
                         ExitCode::SUCCESS
                     }
@@ -500,7 +522,11 @@ fn main() -> ExitCode {
                     std::sync::Arc::new(p),
                     &opts.bindings,
                     opts.config.segments,
-                    sia::runtime::Topology::new(opts.config.workers.max(1), 1),
+                    sia::runtime::Topology {
+                        workers: opts.config.workers.max(1),
+                        io_servers: 1,
+                        placement: opts.config.placement,
+                    },
                 );
                 let layout = match layout {
                     Ok(l) => l,
