@@ -199,6 +199,11 @@ struct Shared {
     crashed: Vec<AtomicBool>,
     shutdown: AtomicBool,
     epoch: AtomicU64,
+    /// World tag: every envelope of this fabric belongs to the job the tag
+    /// names. 0 for untagged (single-job) worlds. Multi-tenant runtimes
+    /// give each job its own fabric world, so the tag attributes all of a
+    /// world's traffic to one job without per-message overhead.
+    tag: u64,
 }
 
 /// One rank's connection to the fabric. Owned by the rank's thread.
@@ -231,6 +236,12 @@ impl<M: Message> Endpoint<M> {
     /// Total number of ranks in the fabric.
     pub fn world_size(&self) -> usize {
         self.peers.len()
+    }
+
+    /// The world's job tag (0 when the fabric was built untagged). Every
+    /// envelope sent through this endpoint belongs to the job it names.
+    pub fn world_tag(&self) -> u64 {
+        self.shared.tag
     }
 
     /// Nonblocking send (the `mpi_isend` analogue).
@@ -549,6 +560,17 @@ pub fn build_with_faults<M: Message>(
     n: usize,
     plan: Option<FaultPlan>,
 ) -> (Vec<Endpoint<M>>, FabricStats) {
+    build_tagged(n, plan, 0)
+}
+
+/// [`build_with_faults`] with a job tag: the whole world (and therefore
+/// every envelope it carries) is attributed to the job `tag` names. A
+/// multi-tenant runtime builds one tagged world per admitted job.
+pub fn build_tagged<M: Message>(
+    n: usize,
+    plan: Option<FaultPlan>,
+    tag: u64,
+) -> (Vec<Endpoint<M>>, FabricStats) {
     assert!(n > 0, "fabric needs at least one rank");
     if let Some(p) = &plan {
         if let Err(e) = p.validate(n) {
@@ -568,6 +590,7 @@ pub fn build_with_faults<M: Message>(
         crashed: (0..n).map(|_| AtomicBool::new(false)).collect(),
         shutdown: AtomicBool::new(false),
         epoch: AtomicU64::new(0),
+        tag,
     });
     let endpoints = receivers
         .into_iter()
@@ -600,6 +623,11 @@ impl FabricStats {
     /// Number of ranks in the fabric.
     pub fn world_size(&self) -> usize {
         self.shared.stats.len()
+    }
+
+    /// The world's job tag (see [`build_tagged`]); 0 when untagged.
+    pub fn world_tag(&self) -> u64 {
+        self.shared.tag
     }
 
     /// Traffic counters of one rank.

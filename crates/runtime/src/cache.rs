@@ -296,11 +296,19 @@ impl BlockCache {
     /// Records a typed-absent answer for a sparse block, completing an
     /// in-flight entry (or inserting fresh). Absent entries carry no payload
     /// bytes, so no room is made.
+    ///
+    /// A `Ready` entry is never demoted: with envelope batching, a norm
+    /// record for a key can legitimately arrive *after* the real payload
+    /// it was screened before (the two travelled in different envelopes,
+    /// or a retried multicast hop raced a demand fetch). The payload is
+    /// the newer truth within an epoch — barrier invalidation removes the
+    /// entry, so a genuinely newer absence always starts from an empty
+    /// slot.
     pub fn fill_absent(&mut self, key: BlockKey, norm: f64) {
         let t = self.tick();
         if let Some(slot) = self.map.get_mut(&key) {
-            if let CacheEntry::Ready(old) = &slot.entry {
-                self.ready_bytes -= old.heap_bytes();
+            if matches!(slot.entry, CacheEntry::Ready(_)) {
+                return;
             }
             slot.entry = CacheEntry::Absent { norm };
             slot.stamp = t;
@@ -662,14 +670,28 @@ mod tests {
         assert!(!c.refresh_in_flight(&key(1)), "absent entry refuses re-arm");
     }
 
+    /// Regression (PR 9): a norm record arriving after the real payload
+    /// (batched envelopes can reorder the flush that carries each) must
+    /// not supersede it. The payload wins; absence only lands in an empty
+    /// or in-flight slot.
     #[test]
-    fn absent_replaces_ready_and_credits_bytes() {
+    fn absent_never_demotes_ready() {
         let mut c = BlockCache::new(4 * B);
         c.fill(key(1), blk(1.0));
         assert_eq!(c.ready_bytes(), B);
         c.fill_absent(key(1), 0.0);
+        match c.peek(&key(1)) {
+            Some(CacheEntry::Ready(h)) => assert_eq!(h.data()[0], 1.0),
+            other => panic!("payload was demoted to {other:?}"),
+        }
+        assert_eq!(c.ready_bytes(), B, "payload bytes stay accounted");
+        // After barrier invalidation the slot is empty, so a genuinely
+        // newer absence lands.
+        c.invalidate(&key(1));
+        c.fill_absent(key(1), 0.5);
+        assert!(matches!(c.peek(&key(1)), Some(CacheEntry::Absent { .. })));
         assert_eq!(c.ready_bytes(), 0);
-        // A later real fill makes the block concrete again.
+        // And a later real fill makes the block concrete again.
         c.fill(key(1), blk(2.0));
         assert!(matches!(c.peek(&key(1)), Some(CacheEntry::Ready(_))));
         assert_eq!(c.ready_bytes(), B);

@@ -52,6 +52,10 @@ pub struct IoServer {
     epoch: u64,
     /// Event recorder (disabled unless the runtime installs a live sink).
     trace: TraceSink,
+    /// Cross-job warm block cache (serving mode): consulted before disk on
+    /// a local-cache miss, fed on every flush. Keyed by block-file path, so
+    /// only jobs sharing this server's directory share entries.
+    warm: Option<Arc<crate::serve::WarmCache>>,
 }
 
 fn key_filename(key: &BlockKey) -> String {
@@ -138,12 +142,18 @@ impl IoServer {
             applied_ops: HashMap::new(),
             epoch: 0,
             trace: TraceSink::disabled(),
+            warm: None,
         })
     }
 
     /// Installs the event sink (called by the runtime before `run`).
     pub(crate) fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
+    }
+
+    /// Installs the cross-job warm block cache (serving mode).
+    pub(crate) fn set_warm(&mut self, warm: Arc<crate::serve::WarmCache>) {
+        self.warm = Some(warm);
     }
 
     fn path_of(&self, key: &BlockKey) -> PathBuf {
@@ -171,6 +181,9 @@ impl IoServer {
         write_block_file(&path, &entry.block)?;
         entry.dirty = false;
         self.stats.disk_writes += 1;
+        if let Some(w) = &self.warm {
+            w.insert(path, entry.block.clone());
+        }
         self.trace.instant(EventKind::Flush { blocks: 1 });
         Ok(true)
     }
@@ -210,16 +223,29 @@ impl IoServer {
             return Ok(e.block.clone());
         }
         let path = self.path_of(&key);
-        let block: BlockHandle = match read_block_file(&path)? {
+        // Serving mode: another job's server (or a previous job) may have
+        // this block warm in memory — cheaper than the disk round trip.
+        let warm_hit = self.warm.as_ref().and_then(|w| w.get(&path));
+        let block: BlockHandle = match warm_hit {
             Some(b) => {
-                self.stats.disk_reads += 1;
-                b.into()
+                self.stats.warm_hits += 1;
+                b
             }
-            None => {
-                // Never prepared: zeros, consistent with lazy allocation.
-                self.stats.zero_serves += 1;
-                BlockHandle::zeros(self.layout.declared_block_shape(key.array))
-            }
+            None => match read_block_file(&path)? {
+                Some(b) => {
+                    self.stats.disk_reads += 1;
+                    let b: BlockHandle = b.into();
+                    if let Some(w) = &self.warm {
+                        w.insert(path.clone(), b.clone());
+                    }
+                    b
+                }
+                None => {
+                    // Never prepared: zeros, consistent with lazy allocation.
+                    self.stats.zero_serves += 1;
+                    BlockHandle::zeros(self.layout.declared_block_shape(key.array))
+                }
+            },
         };
         self.make_room()?;
         let stamp = self.tick();
@@ -248,7 +274,11 @@ impl IoServer {
         match mode {
             PutMode::Replace => {
                 self.cache.remove(&key);
-                let _ = fs::remove_file(self.path_of(&key));
+                let path = self.path_of(&key);
+                let _ = fs::remove_file(&path);
+                if let Some(w) = &self.warm {
+                    w.invalidate(&path);
+                }
                 self.norms.insert(key, norm);
             }
             PutMode::Accumulate => {
@@ -279,6 +309,11 @@ impl IoServer {
         self.stats.prepares += 1;
         // A real payload supersedes any recorded absence.
         self.norms.remove(&key);
+        // Any warm copy of this block is now stale (the fresh payload is
+        // dirty in the local cache until the next flush republishes it).
+        if let Some(w) = &self.warm {
+            w.invalidate(&self.path_of(&key));
+        }
         match mode {
             PutMode::Replace => {
                 self.make_room()?;
@@ -349,6 +384,9 @@ impl IoServer {
         self.cache.retain(|k, _| k.array != array);
         self.norms.retain(|k, _| k.array != array);
         let prefix = format!("a{}_", array.0);
+        if let Some(w) = &self.warm {
+            w.invalidate_prefix(&self.dir, &prefix);
+        }
         let entries =
             fs::read_dir(&self.dir).map_err(|e| RuntimeError::ServedIo(format!("readdir: {e}")))?;
         for entry in entries.flatten() {

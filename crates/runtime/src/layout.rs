@@ -147,6 +147,11 @@ pub struct SipConfig {
     /// Directory for served-array block files and checkpoints; a fresh
     /// temporary directory is created when `None`.
     pub run_dir: Option<PathBuf>,
+    /// Override for the served-array block-file directory. `None` (the
+    /// default) keeps served blocks under `run_dir/served`; the serving
+    /// daemon points every job at one shared directory so jobs referencing
+    /// the same served arrays hit the same files (and the warm cache).
+    pub served_dir: Option<PathBuf>,
     /// Per-worker memory budget in **bytes** that the dry run checks against
     /// (`None` skips the feasibility gate but the estimate is still produced)
     /// and the block manager enforces at runtime.
@@ -226,6 +231,7 @@ impl Default for SipConfig {
             server_cache_blocks: 64,
             collect_distributed: false,
             run_dir: None,
+            served_dir: None,
             memory_budget: None,
             chunk_factor: 2,
             chunk_policy: None,
@@ -356,6 +362,13 @@ impl SipConfigBuilder {
     /// Directory for served-array block files and checkpoints.
     pub fn run_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.config.run_dir = Some(dir.into());
+        self
+    }
+
+    /// Override for the served-array block-file directory (default:
+    /// `run_dir/served`). Serving daemons share one directory across jobs.
+    pub fn served_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.served_dir = Some(dir.into());
         self
     }
 

@@ -59,6 +59,7 @@ pub mod ioserver;
 pub mod metrics;
 pub mod plan;
 pub mod scheduler;
+pub mod serve;
 pub mod trace;
 pub mod verify;
 
@@ -94,6 +95,10 @@ pub use msg::{BlockKey, OpId, SipMsg};
 pub use plan::{BroadcastOp, CommPlan, CommPlanner, CommVolume, OwnerCompute, PlanSummary};
 pub use profile::{ProfileLine, ProfileReport, WorkerProfile};
 pub use registry::{SuperArg, SuperEnv, SuperRegistry};
+pub use serve::{
+    jain_index, AdmitError, Daemon, DaemonConfig, JobId, JobSpec, JobState, JobStatus,
+    ServeHandles, ShareArbiter, WarmCache,
+};
 pub use sia_fabric::{CrashSpec, FaultPlan, FaultSnapshot};
 pub use verify::{check_program, Diagnostic, Rule};
 
@@ -162,6 +167,9 @@ pub struct RunOutput {
 pub struct Sip {
     config: SipConfig,
     registry: SuperRegistry,
+    /// Serving hooks (fair-share arbiter + warm cache) when this run is a
+    /// daemon job; `None` for one-shot runs.
+    serving: Option<serve::ServeHandles>,
 }
 
 impl Sip {
@@ -170,7 +178,16 @@ impl Sip {
         Sip {
             config,
             registry: SuperRegistry::new(),
+            serving: None,
         }
+    }
+
+    /// Installs the multi-tenant serving hooks (called by
+    /// [`serve::Daemon`] before running a job): the job's master consults
+    /// the shared fair-share arbiter on every chunk grant, and the job's
+    /// I/O servers share the cross-job warm block cache.
+    pub fn set_serving(&mut self, handles: serve::ServeHandles) {
+        self.serving = Some(handles);
     }
 
     /// Mutable access to the super-instruction registry.
@@ -223,9 +240,15 @@ impl Sip {
         // the trace walker cannot model (e.g. one that would nest pardos)
         // degrades to an empty plan — the demand-fetch path still runs it.
         let comm_plan = Arc::new(
-            trace::generate(&layout, &trace::default_cost_model())
-                .map(|t| plan::CommPlanner::new(&layout, &t).plan())
-                .unwrap_or_default(),
+            trace::generate_with_densities(
+                &layout,
+                &trace::default_cost_model(),
+                &self.config.sparsity_density,
+            )
+            .map(|t| {
+                plan::CommPlanner::with_densities(&layout, &t, &self.config.sparsity_density).plan()
+            })
+            .unwrap_or_default(),
         );
         if let Some(budget) = self.config.memory_budget {
             if !estimate.feasible(budget) {
@@ -266,8 +289,11 @@ impl Sip {
 
         // ---- spawn the virtual machine -----------------------------------------
         let fault_plan = self.config.fault.as_ref().map(|f| f.plan.clone());
+        // A daemon job's fabric world carries the job id as its tag, so
+        // every envelope of the run attributes to one tenant.
+        let world_tag = self.serving.as_ref().map(|h| h.job).unwrap_or(0);
         let (mut endpoints, stats) =
-            sia_fabric::build_with_faults::<SipMsg>(topology.world_size(), fault_plan);
+            sia_fabric::build_tagged::<SipMsg>(topology.world_size(), fault_plan, world_tag);
         let mut io_eps: Vec<_> = endpoints.split_off(1 + topology.workers);
         let worker_eps: Vec<_> = endpoints.split_off(1);
         let master_ep = endpoints.pop().expect("master endpoint");
@@ -286,6 +312,9 @@ impl Sip {
             self.config.fault.clone(),
         );
         master.set_plan(Arc::clone(&comm_plan));
+        if let Some(h) = &self.serving {
+            master.set_serving(h.clone());
+        }
 
         // One epoch `Instant` shared by every rank's trace sink: merged
         // timestamps need no clock alignment.
@@ -320,17 +349,27 @@ impl Sip {
                     run_worker(&mut w, collect);
                 });
             }
-            // I/O servers.
-            let served_dir = run_dir.join("served");
+            // I/O servers. Serving daemons point every job at one shared
+            // served directory (and warm cache); one-shot runs keep the
+            // private default under the run directory.
+            let served_dir = self
+                .config
+                .served_dir
+                .clone()
+                .unwrap_or_else(|| run_dir.join("served"));
             for ep in io_eps.drain(..) {
                 let layout = Arc::clone(&layout);
                 let dir = served_dir.clone();
                 let cap = self.config.server_cache_blocks;
+                let warm = self.serving.as_ref().map(|h| Arc::clone(&h.warm));
                 scope.spawn(move || {
                     match ioserver::IoServer::new(layout, ep, dir, cap) {
                         Ok(mut server) => {
                             if trace_on {
                                 server.set_trace(mk_sink());
+                            }
+                            if let Some(w) = warm {
+                                server.set_warm(w);
                             }
                             let _ = server.run();
                         }
@@ -477,8 +516,14 @@ impl Sip {
         };
         let layout = Layout::new(Arc::new(program), bindings, self.config.segments, topology)?;
         let estimate = dryrun::estimate(&layout, &self.config);
-        let trace = trace::generate(&layout, &trace::default_cost_model())?;
-        let plan = plan::CommPlanner::new(&layout, &trace).plan();
+        let trace = trace::generate_with_densities(
+            &layout,
+            &trace::default_cost_model(),
+            &self.config.sparsity_density,
+        )?;
+        let plan =
+            plan::CommPlanner::with_densities(&layout, &trace, &self.config.sparsity_density)
+                .plan();
         Ok((estimate, plan))
     }
 }

@@ -261,6 +261,26 @@ pub enum SipMsg {
         /// Flight id correlating the trace events of one block's tree.
         flight: u64,
     },
+    /// The typed-absent hop of a tree multicast: a sparse broadcast-shaped
+    /// block with no payload at the home travels the same tree as a
+    /// lightweight norm record, so consumers learn absence without a
+    /// point-to-point GET round trip each. Same best-effort contract as
+    /// [`SipMsg::MulticastBlock`]: a dropped hop degrades to the demand
+    /// path, which ships [`SipMsg::BlockAbsent`].
+    MulticastAbsent {
+        /// The block's identity.
+        key: BlockKey,
+        /// Frobenius-norm bound of the absent payload (0.0 if never
+        /// written).
+        norm: f64,
+        /// The sender's distributed-array epoch; receivers in a different
+        /// epoch drop the push.
+        epoch: u64,
+        /// This receiver's position in the multicast tree.
+        pos: u32,
+        /// Flight id correlating the trace events of one block's tree.
+        flight: u64,
+    },
     /// Several data-plane messages for one destination coalesced into a
     /// single fabric envelope ([`sia_fabric::Endpoint::stage`]); per-message
     /// OpId/ReqId dedup still applies after unbatching.
@@ -413,6 +433,7 @@ impl Message for SipMsg {
                 | SipMsg::BlockAbsent { .. }
                 | SipMsg::PutAbsent { .. }
                 | SipMsg::MulticastBlock { .. }
+                | SipMsg::MulticastAbsent { .. }
                 | SipMsg::Batch(_)
         )
     }

@@ -179,6 +179,9 @@ impl CommPlan {
 pub struct CommPlanner<'a> {
     layout: &'a Layout,
     trace: &'a Trace,
+    /// Per-array expected shipped fraction (1.0 everywhere without
+    /// [`SipConfig::sparsity_density`] hints). Indexed by `ArrayId`.
+    densities: Vec<f64>,
 }
 
 /// Above this many block-home evaluations per reference, the per-rank
@@ -187,9 +190,37 @@ pub struct CommPlanner<'a> {
 const ENUMERATION_LIMIT: u64 = 100_000;
 
 impl<'a> CommPlanner<'a> {
-    /// A planner over `layout` and the trace generated from it.
+    /// A planner over `layout` and the trace generated from it, assuming
+    /// every block ships dense.
     pub fn new(layout: &'a Layout, trace: &'a Trace) -> Self {
-        CommPlanner { layout, trace }
+        Self::with_densities(layout, trace, &BTreeMap::new())
+    }
+
+    /// A planner that folds [`SipConfig::sparsity_density`] hints into the
+    /// volume model: a `sparse` array with density `d` is expected to ship
+    /// only `d` of each dense block's bytes (the same clamped convention
+    /// the dry run's realized-footprint estimate uses). Dense arrays and
+    /// unhinted sparse arrays charge full dense payloads.
+    pub fn with_densities(
+        layout: &'a Layout,
+        trace: &'a Trace,
+        densities: &BTreeMap<String, f64>,
+    ) -> Self {
+        CommPlanner {
+            layout,
+            trace,
+            densities: crate::trace::array_densities(layout, densities),
+        }
+    }
+
+    /// The expected shipped fraction for one array.
+    fn density_of(&self, array: ArrayId) -> f64 {
+        self.densities[array.index()]
+    }
+
+    /// The bytes of one dense-sized transfer expected to actually ship.
+    fn effective_bytes(&self, array: ArrayId, dense: u64) -> u64 {
+        dense - crate::trace::density_discount(dense, self.density_of(array))
     }
 
     /// Derives the deterministic plan.
@@ -342,24 +373,32 @@ impl<'a> CommPlanner<'a> {
             let region = pc.and_then(|pc| regions.get(&pc));
 
             // Broadcast operands: each distinct block reaches every worker
-            // once (the cache holds it across iterations).
+            // once (the cache holds it across iterations). Dense bytes and
+            // the sparse discount are tracked separately so the subtraction
+            // from the trace's dense totals below stays exact.
             let mut bcast_get_bytes_per_iter = 0u64;
+            let mut bcast_get_discount_per_iter = 0u64;
             if let Some(r) = region {
                 for b in &r.broadcast {
+                    let eff = self.effective_bytes(b.array, b.block_bytes);
                     bcast_get_bytes_per_iter += b.block_bytes;
+                    bcast_get_discount_per_iter += b.block_bytes - eff;
                     sum.broadcast_blocks += b.blocks;
-                    sum.broadcast_bytes += b.blocks * b.block_bytes;
+                    sum.broadcast_bytes += b.blocks * eff;
                     self.spread_broadcast(&mut vol, b, planned);
                 }
             }
 
             // Aligned puts: enumerate the written grid and charge homes.
             let mut aligned_put_bytes_per_iter = 0u64;
+            let mut aligned_put_discount_per_iter = 0u64;
             if let Some(OwnerCompute { array, .. }) = region.and_then(|r| r.owner.as_ref()) {
                 let bytes = self.layout.block_bytes(*array);
+                let eff = self.effective_bytes(*array, bytes);
                 aligned_put_bytes_per_iter = bytes;
+                aligned_put_discount_per_iter = bytes - eff;
                 let blocks = self.layout.total_blocks(*array);
-                sum.aligned_put_bytes += blocks * bytes;
+                sum.aligned_put_bytes += blocks * eff;
                 if !planned {
                     self.spread_puts(&mut vol, *array, remote);
                 }
@@ -368,12 +407,26 @@ impl<'a> CommPlanner<'a> {
 
             // Everything else from the trace, uniformly spread. Bytes are
             // totals over all iterations; broadcast/aligned components use
-            // the cache-aware models above instead.
+            // the cache-aware models above instead. The trace's sparse
+            // discounts (density hints) come off each class, minus the
+            // share already excluded with the broadcast/aligned bytes.
+            let get_discount = per_iter
+                .get_discount_bytes
+                .saturating_sub(bcast_get_discount_per_iter);
+            let put_discount = per_iter
+                .put_discount_bytes
+                .saturating_sub(aligned_put_discount_per_iter);
             let other_get = (iterations * per_iter.get_bytes)
-                .saturating_sub(iterations * bcast_get_bytes_per_iter);
+                .saturating_sub(iterations * bcast_get_bytes_per_iter)
+                .saturating_sub(iterations * get_discount);
             let other_put = (iterations * per_iter.put_bytes)
-                .saturating_sub(iterations * aligned_put_bytes_per_iter);
-            let served = iterations * (per_iter.request_bytes + per_iter.prepare_bytes);
+                .saturating_sub(iterations * aligned_put_bytes_per_iter)
+                .saturating_sub(iterations * put_discount);
+            let served = (iterations * (per_iter.request_bytes + per_iter.prepare_bytes))
+                .saturating_sub(
+                    iterations
+                        * (per_iter.request_discount_bytes + per_iter.prepare_discount_bytes),
+                );
             let other = (other_get + other_put + served) as f64;
             sum.other_bytes += other.round() as u64;
             // in + out for each transferred byte, remote fraction (W−1)/W.
@@ -389,12 +442,13 @@ impl<'a> CommPlanner<'a> {
     fn spread_broadcast(&self, vol: &mut CommVolume, b: &BroadcastOp, planned: bool) {
         let workers = self.layout.topology.workers;
         let w = workers as f64;
+        let eff_bytes = self.effective_bytes(b.array, b.block_bytes);
         let cost = b.blocks * workers as u64;
         if cost > ENUMERATION_LIMIT {
             // Uniform fallback: every rank receives each block once;
             // outbound averages out across homes (hash) or the tree
             // (planned) identically in aggregate.
-            let per_rank = b.blocks as f64 * b.block_bytes as f64 * (2.0 * (w - 1.0) / w);
+            let per_rank = b.blocks as f64 * eff_bytes as f64 * (2.0 * (w - 1.0) / w);
             for v in vol.per_rank.iter_mut() {
                 *v += per_rank;
             }
@@ -405,7 +459,7 @@ impl<'a> CommPlanner<'a> {
         loop {
             let key = BlockKey::new(b.array, &segs);
             let home = self.layout.slot_of_distributed(&key);
-            let bytes = b.block_bytes as f64;
+            let bytes = eff_bytes as f64;
             // Every rank but the home receives the block once.
             for (i, v) in vol.per_rank.iter_mut().enumerate() {
                 if i != home {
@@ -452,7 +506,7 @@ impl<'a> CommPlanner<'a> {
     fn spread_puts(&self, vol: &mut CommVolume, array: ArrayId, remote: f64) {
         let workers = self.layout.topology.workers;
         let w = workers as f64;
-        let bytes = self.layout.block_bytes(array) as f64;
+        let bytes = self.effective_bytes(array, self.layout.block_bytes(array)) as f64;
         let blocks = self.layout.total_blocks(array);
         if blocks * workers as u64 > ENUMERATION_LIMIT {
             let per_rank = blocks as f64 * bytes * remote * 2.0 / w;
@@ -616,5 +670,73 @@ mod tests {
         assert!(plan.summary.aligned_put_bytes > 0);
         assert!(plan.summary.broadcast_bytes > 0);
         assert_eq!(plan.summary.broadcast_blocks, 4);
+    }
+
+    /// Regression (PR 9): the comm-volume table must honour
+    /// `sparsity_density` hints the way the dry run's realized-footprint
+    /// estimate does, instead of charging dense payloads for sparse
+    /// arrays. On the screened-MP2 program (whose only distributed array
+    /// is the sparse `Vd`), the predicted volume under a density hint must
+    /// scale by that density and stay consistent with the realized
+    /// per-block bytes the memory estimate assumes.
+    #[test]
+    fn sparse_density_scales_comm_volume_like_realized_estimate() {
+        use crate::layout::SipConfig;
+        let src = include_str!("../../../programs/mp2_screened.sial");
+        let program = sial_frontend::compile(src).unwrap();
+        let mut b = ConstBindings::new();
+        b.insert("nocc".into(), 2);
+        b.insert("nvrt".into(), 4);
+        let topo = Topology::new(4, 0);
+        let layout = Arc::new(
+            Layout::new(
+                Arc::new(program),
+                &b,
+                SegmentConfig {
+                    default: 4,
+                    ..Default::default()
+                },
+                topo,
+            )
+            .unwrap(),
+        );
+        let density = 0.2;
+        let mut hints = BTreeMap::new();
+        hints.insert("Vd".to_string(), density);
+
+        let dense_trace = generate(&layout, &default_cost_model()).unwrap();
+        let dense = CommPlanner::new(&layout, &dense_trace).plan();
+        let sparse_trace =
+            crate::trace::generate_with_densities(&layout, &default_cost_model(), &hints).unwrap();
+        let sparse = CommPlanner::with_densities(&layout, &sparse_trace, &hints).plan();
+
+        assert!(dense.volume.total() > 0, "dense plan predicts traffic");
+        let ratio = sparse.volume.total() as f64 / dense.volume.total() as f64;
+        assert!(
+            (ratio - density).abs() < 0.01,
+            "predicted volume must scale by the density hint: ratio {ratio}, density {density}"
+        );
+
+        // Agreement with the dryrun memory estimate's convention: both
+        // models assume the same realized bytes per shipped Vd block.
+        let config = SipConfig {
+            workers: 4,
+            io_servers: 0,
+            sparsity_density: hints.clone(),
+            ..SipConfig::default()
+        };
+        let est = crate::dryrun::estimate(&layout, &config);
+        assert!(
+            est.per_worker_bytes < est.dense_per_worker_bytes,
+            "realized estimate must drop below dense under the hint"
+        );
+        let vd = layout.program.array_by_name("Vd").unwrap();
+        let dense_block = layout.block_bytes(vd);
+        let planner = CommPlanner::with_densities(&layout, &sparse_trace, &hints);
+        assert_eq!(
+            planner.effective_bytes(vd, dense_block),
+            (dense_block as f64 * density).round() as u64,
+            "planner and dry run must share the realized per-block bytes"
+        );
     }
 }

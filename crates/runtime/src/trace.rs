@@ -41,6 +41,18 @@ pub struct IterProfile {
     pub prepare_bytes: u64,
     /// Floating-point operations.
     pub flops: u64,
+    /// Of `get_bytes`, the portion a [`SipConfig::sparsity_density`] hint
+    /// says will never ship (absent blocks of `sparse` arrays). Zero when
+    /// the trace was generated without density hints. The dense totals
+    /// above stay dense so the scale simulator and the planner can model
+    /// both the declared and the realized traffic.
+    pub get_discount_bytes: u64,
+    /// Sparse discount on `put_bytes`.
+    pub put_discount_bytes: u64,
+    /// Sparse discount on `request_bytes`.
+    pub request_discount_bytes: u64,
+    /// Sparse discount on `prepare_bytes`.
+    pub prepare_discount_bytes: u64,
 }
 
 impl IterProfile {
@@ -60,6 +72,10 @@ impl IterProfile {
         self.prepares += other.prepares;
         self.prepare_bytes += other.prepare_bytes;
         self.flops += other.flops;
+        self.get_discount_bytes += other.get_discount_bytes;
+        self.put_discount_bytes += other.put_discount_bytes;
+        self.request_discount_bytes += other.request_discount_bytes;
+        self.prepare_discount_bytes += other.prepare_discount_bytes;
     }
 }
 
@@ -159,10 +175,50 @@ struct Walker<'a> {
     env: Vec<i64>,
     phases: Vec<TracePhase>,
     serial: IterProfile,
+    /// Per-array expected fraction of blocks that actually ship (1.0 for
+    /// dense arrays and for sparse arrays without a density hint).
+    densities: Vec<f64>,
 }
 
-/// Generates the trace for a program under a layout.
+/// Generates the trace for a program under a layout, assuming every block
+/// ships dense (no sparsity hints).
 pub fn generate(layout: &Layout, cost: &CostModel) -> Result<Trace, RuntimeError> {
+    generate_with_densities(layout, cost, &std::collections::BTreeMap::new())
+}
+
+/// Expected shipped fraction per array: `sparsity_density` hints apply to
+/// `sparse` arrays only, clamped exactly like the dry run's realized
+/// estimate so the two models agree.
+pub(crate) fn array_densities(
+    layout: &Layout,
+    densities: &std::collections::BTreeMap<String, f64>,
+) -> Vec<f64> {
+    layout
+        .program
+        .arrays
+        .iter()
+        .map(|decl| {
+            if decl.sparse {
+                densities
+                    .get(&decl.name)
+                    .copied()
+                    .unwrap_or(1.0)
+                    .clamp(0.0, 1.0)
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// Generates the trace, additionally recording the per-class byte discount
+/// that [`SipConfig::sparsity_density`] hints predict for `sparse` arrays
+/// (the comm planner subtracts it from the dense totals).
+pub fn generate_with_densities(
+    layout: &Layout,
+    cost: &CostModel,
+    densities: &std::collections::BTreeMap<String, f64>,
+) -> Result<Trace, RuntimeError> {
     let mut w = Walker {
         layout,
         cost,
@@ -170,10 +226,17 @@ pub fn generate(layout: &Layout, cost: &CostModel) -> Result<Trace, RuntimeError
         env: vec![0; layout.program.indices.len()],
         phases: Vec::new(),
         serial: IterProfile::default(),
+        densities: array_densities(layout, densities),
     };
     w.walk_range(0, layout.program.code.len() as u32, &mut None)?;
     w.flush_serial();
     Ok(Trace { phases: w.phases })
+}
+
+/// The bytes a density hint predicts will *not* ship for one dense-sized
+/// transfer.
+pub(crate) fn density_discount(bytes: u64, density: f64) -> u64 {
+    bytes - (bytes as f64 * density).round() as u64
 }
 
 impl<'a> Walker<'a> {
@@ -227,14 +290,17 @@ impl<'a> Walker<'a> {
             }
         }
         let bytes = self.layout.block_bytes(r.array);
+        let discount = density_discount(bytes, self.densities[r.array.index()]);
         match self.layout.array_kind(r.array) {
             ArrayKind::Distributed => {
                 acc.gets += 1;
                 acc.get_bytes += bytes;
+                acc.get_discount_bytes += discount;
             }
             ArrayKind::Served => {
                 acc.requests += 1;
                 acc.request_bytes += bytes;
+                acc.request_discount_bytes += discount;
             }
             _ => {}
         }
@@ -353,15 +419,19 @@ impl<'a> Walker<'a> {
                 }
                 I::Put { dest, .. } => {
                     let bytes = self.ref_bytes(dest);
+                    let discount = density_discount(bytes, self.densities[dest.array.index()]);
                     let acc = self.acc(ctx);
                     acc.puts += 1;
                     acc.put_bytes += bytes;
+                    acc.put_discount_bytes += discount;
                 }
                 I::Prepare { dest, .. } => {
                     let bytes = self.ref_bytes(dest);
+                    let discount = density_discount(bytes, self.densities[dest.array.index()]);
                     let acc = self.acc(ctx);
                     acc.prepares += 1;
                     acc.prepare_bytes += bytes;
+                    acc.prepare_discount_bytes += discount;
                 }
                 I::BlocksToList { array, .. } | I::ListToBlocks { array, .. } => {
                     let blocks = self.layout.total_blocks(*array);

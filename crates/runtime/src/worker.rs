@@ -471,6 +471,15 @@ impl Worker {
             } => {
                 self.on_multicast(key, data, epoch, pos, flight);
             }
+            SipMsg::MulticastAbsent {
+                key,
+                norm,
+                epoch,
+                pos,
+                flight,
+            } => {
+                self.on_multicast_absent(key, norm, epoch, pos, flight);
+            }
             SipMsg::DeleteArray { array } => {
                 self.mem.home_remove_array(array);
                 self.mem.cache_invalidate_array(array);
@@ -543,11 +552,22 @@ impl Worker {
             loop {
                 let key = BlockKey::new(b.array, &segs);
                 if self.layout.slot_of_distributed(&key) == own {
-                    // Absent blocks (sparse or never filled) stay on the
-                    // demand path, which ships the typed-absent reply.
-                    if let Some(data) = self.mem.serve_home(&key) {
-                        let flight = self.new_multicast_hop(key, 0);
-                        self.multicast_forward(key, data, self.dist_epoch, 0, flight);
+                    match self.mem.serve_home(&key) {
+                        Some(data) => {
+                            let flight = self.new_multicast_hop(key, 0);
+                            self.multicast_forward(key, data, self.dist_epoch, 0, flight);
+                        }
+                        // A sparse array's absent block rides the same tree
+                        // as a lightweight norm record, so consumers don't
+                        // each pay a point-to-point GET just to learn
+                        // absence. Dense unfilled blocks stay on the demand
+                        // path (they read as zeros there).
+                        None if self.layout.array_sparse(key.array) => {
+                            let norm = self.mem.home_absent_norm(&key).unwrap_or(0.0);
+                            let flight = self.new_multicast_hop(key, 0);
+                            self.multicast_forward_absent(key, norm, self.dist_epoch, 0, flight);
+                        }
+                        None => {}
                     }
                 }
                 let mut d = segs.len();
@@ -606,6 +626,25 @@ impl Worker {
         self.drain_evictions_into_trace();
     }
 
+    /// Accepts a pushed typed-absent record: fills the cache like a
+    /// solicited [`SipMsg::BlockAbsent`] (completing any demand fetch in
+    /// flight) and forwards the record to this tree position's children.
+    fn on_multicast_absent(&mut self, key: BlockKey, norm: f64, epoch: u64, pos: u32, flight: u64) {
+        if epoch != self.dist_epoch {
+            return;
+        }
+        if let Some(ft) = self.ft.as_mut() {
+            ft.fetches.remove(&key);
+        }
+        if let Some((t0, _)) = self.flights.remove(&key) {
+            self.profile.metrics.comm.flight_nanos += t0.elapsed().as_nanos() as u64;
+        }
+        let hop = self.new_multicast_hop(key, flight);
+        self.multicast_forward_absent(key, norm, epoch, pos, hop);
+        self.profile.metrics.sparse.bytes_not_shipped += self.layout.block_bytes(key.array);
+        self.mem.cache_fill_absent(key, norm);
+    }
+
     /// Records a multicast hop in the trace and returns its globally
     /// unique flight id (0 when tracing is off — the id only exists for
     /// trace correlation).
@@ -649,6 +688,42 @@ impl Worker {
                 SipMsg::MulticastBlock {
                     key,
                     data: data.clone(),
+                    epoch,
+                    pos: child,
+                    flight,
+                },
+            );
+            self.staged_forwards = true;
+        }
+    }
+
+    /// Stages a typed-absent record to the tree children of `pos` — the
+    /// payload-free counterpart of [`Worker::multicast_forward`].
+    fn multicast_forward_absent(
+        &mut self,
+        key: BlockKey,
+        norm: f64,
+        epoch: u64,
+        pos: u32,
+        flight: u64,
+    ) {
+        let workers = self.layout.topology.workers;
+        let own = self.worker_index();
+        let home = (own + workers - (pos as usize % workers)) % workers;
+        for child in [2 * pos + 1, 2 * pos + 2] {
+            if (child as usize) >= workers {
+                continue;
+            }
+            let widx = (home + child as usize) % workers;
+            let to = self.layout.topology.worker(widx);
+            // A norm record is a multicast block with zero shipped payload:
+            // count the hop, not the bytes.
+            self.profile.metrics.plan.multicast_blocks += 1;
+            let _ = self.endpoint.stage(
+                to,
+                SipMsg::MulticastAbsent {
+                    key,
+                    norm,
                     epoch,
                     pos: child,
                     flight,

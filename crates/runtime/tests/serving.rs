@@ -1,0 +1,239 @@
+//! Multi-tenant serving tests: admission control reports exact bytes,
+//! concurrent jobs sharing a served array hit the warm cache and stay
+//! bitwise-identical to a serial run, and one job's rank death never fails
+//! a neighbor job (each job runs on its own fabric world).
+
+use sia_bytecode::ConstBindings;
+use sia_runtime::serve::{AdmitError, Daemon, DaemonConfig, JobSpec, JobState};
+use sia_runtime::{CrashSchedule, FaultConfig, FaultPlan, SipConfig, SuperRegistry};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Writer: primes the served array `B` and checks it back.
+const WRITER: &str = "sial served_writer
+aoindex i = 1, n
+aoindex j = 1, n
+served B(i,j)
+temp t(i,j)
+scalar total
+pardo i, j
+  t(i,j) = 2.0 * i - j
+  prepare B(i,j) = t(i,j)
+endpardo i, j
+server_barrier
+pardo i, j
+  request B(i,j)
+  total += B(i,j) * B(i,j)
+endpardo i, j
+sip_barrier
+execute sip_allreduce total
+endsial
+";
+
+/// Reader: the same declarations (so `B` resolves to the same block files
+/// in a shared served directory), but only requests — a fresh job's server
+/// must fill from the warm cache or disk, never from its own prepares.
+const READER: &str = "sial served_reader
+aoindex i = 1, n
+aoindex j = 1, n
+served B(i,j)
+temp t(i,j)
+scalar total
+pardo i, j
+  request B(i,j)
+  total += B(i,j) * B(i,j)
+endpardo i, j
+sip_barrier
+execute sip_allreduce total
+endsial
+";
+
+/// An I/O-free distributed job used as the crashing neighbor.
+const NEIGHBOR: &str = "sial neighbor
+aoindex i = 1, n
+aoindex j = 1, n
+distributed X(i,j)
+temp t(i,j)
+scalar total
+pardo i, j
+  t(i,j) = 100.0 * i + j
+  put X(i,j) = t(i,j)
+endpardo i, j
+sip_barrier
+pardo i, j
+  get X(i,j)
+  total += X(i,j) * X(i,j)
+endpardo i, j
+sip_barrier
+execute sip_allreduce total
+endsial
+";
+
+fn job(src: &str, tenant: &str, n: i64, workers: usize, fault: Option<FaultConfig>) -> JobSpec {
+    let program = sial_frontend::compile(src).unwrap();
+    let bindings: ConstBindings = [("n".to_string(), n)].into_iter().collect();
+    let mut b = SipConfig::builder()
+        .workers(workers)
+        .io_servers(1)
+        .segment_size(4);
+    if let Some(f) = fault {
+        b = b.fault(f);
+    }
+    JobSpec {
+        tenant: tenant.to_string(),
+        priority: 1,
+        program,
+        bindings,
+        config: b.build().unwrap(),
+        registry: SuperRegistry::new(),
+        export: false,
+    }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sia-serving-{tag}-{}", std::process::id()))
+}
+
+const WAIT: Duration = Duration::from_secs(120);
+
+/// Admission control must reject a job that does not fit the remaining
+/// budget and report the *exact* bytes involved — the same footprint the
+/// dry run computes.
+#[test]
+fn admission_rejects_infeasible_job_with_exact_bytes() {
+    let needed = Daemon::footprint(&job(WRITER, "t", 6, 2, None)).unwrap();
+    assert!(needed > 0);
+
+    let dir = tmp("admit");
+    let daemon = Daemon::new(DaemonConfig {
+        budget_bytes: needed - 1,
+        max_concurrent: 2,
+        data_dir: dir.clone(),
+        warm_blocks: 64,
+    });
+    match daemon.submit(job(WRITER, "t", 6, 2, None)) {
+        Err(AdmitError::OverBudget {
+            needed_bytes,
+            available_bytes,
+            budget_bytes,
+        }) => {
+            assert_eq!(
+                needed_bytes, needed,
+                "rejection must cite the dry-run footprint"
+            );
+            assert_eq!(available_bytes, needed - 1);
+            assert_eq!(budget_bytes, needed - 1);
+        }
+        other => panic!("expected OverBudget, got {other:?}"),
+    }
+    drop(daemon);
+
+    // The same job fits a budget of exactly its footprint — and once it
+    // finishes, its bytes return to the pool for the next admission.
+    let daemon = Daemon::new(DaemonConfig {
+        budget_bytes: needed,
+        max_concurrent: 2,
+        data_dir: dir.clone(),
+        warm_blocks: 64,
+    });
+    let id = daemon.submit(job(WRITER, "t", 6, 2, None)).unwrap();
+    let s = daemon.wait(id, WAIT).expect("job must finish");
+    assert_eq!(s.state, JobState::Done, "{:?}", s.state);
+    assert_eq!(s.admitted_bytes, needed);
+    let id2 = daemon.submit(job(WRITER, "t", 6, 2, None)).unwrap();
+    let s2 = daemon.wait(id2, WAIT).expect("second job must finish");
+    assert_eq!(s2.state, JobState::Done, "{:?}", s2.state);
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two jobs sharing a served array: the second takes warm-cache hits, its
+/// result is bitwise-identical to a serial run, and a neighbor job whose
+/// worker rank dies mid-run neither fails itself (its own master recovers
+/// it) nor the reader running beside it.
+#[test]
+fn concurrent_jobs_share_served_array_and_survive_neighbor_crash() {
+    // Serial baseline: writer then reader, one job at a time. The reader
+    // runs on one worker, so its reduction order is deterministic.
+    let dir_serial = tmp("serial");
+    let serial_total = {
+        let daemon = Daemon::new(DaemonConfig {
+            budget_bytes: 1 << 30,
+            max_concurrent: 1,
+            data_dir: dir_serial.clone(),
+            warm_blocks: 256,
+        });
+        let w = daemon.submit(job(WRITER, "alice", 6, 2, None)).unwrap();
+        assert_eq!(daemon.wait(w, WAIT).unwrap().state, JobState::Done);
+        let r = daemon.submit(job(READER, "bob", 6, 1, None)).unwrap();
+        let s = daemon.wait(r, WAIT).unwrap();
+        assert_eq!(s.state, JobState::Done);
+        s.scalars
+            .iter()
+            .find(|(k, _)| k == "total")
+            .map(|(_, v)| *v)
+            .expect("reader total")
+    };
+    let _ = std::fs::remove_dir_all(&dir_serial);
+
+    // Concurrent: prime the served array, then run the reader beside a
+    // neighbor whose worker 1 is scheduled to die mid-pardo.
+    let dir = tmp("concurrent");
+    let daemon = Daemon::new(DaemonConfig {
+        budget_bytes: 1 << 30,
+        max_concurrent: 3,
+        data_dir: dir.clone(),
+        warm_blocks: 256,
+    });
+    let w = daemon.submit(job(WRITER, "alice", 6, 2, None)).unwrap();
+    assert_eq!(daemon.wait(w, WAIT).unwrap().state, JobState::Done);
+
+    let mut plan = FaultPlan::seeded(0xD1E);
+    plan.drop = 0.02;
+    let mut fault = FaultConfig::new(plan);
+    fault.crash = Some(CrashSchedule {
+        worker: 1,
+        after_iterations: 3,
+    });
+    let crashy = daemon
+        .submit(job(NEIGHBOR, "mallory", 6, 3, Some(fault)))
+        .unwrap();
+    let reader = daemon.submit(job(READER, "bob", 6, 1, None)).unwrap();
+
+    let rs = daemon.wait(reader, WAIT).expect("reader must finish");
+    assert_eq!(
+        rs.state,
+        JobState::Done,
+        "a neighbor's rank death must not fail this job"
+    );
+    let total = rs
+        .scalars
+        .iter()
+        .find(|(k, _)| k == "total")
+        .map(|(_, v)| *v)
+        .expect("reader total");
+    assert_eq!(
+        total.to_bits(),
+        serial_total.to_bits(),
+        "concurrent reader must be bitwise-identical to the serial run \
+         ({total} vs {serial_total})"
+    );
+    assert!(
+        rs.warm_hits > 0,
+        "the reader's server must hit the warm cache the writer filled"
+    );
+
+    let cs = daemon.wait(crashy, WAIT).expect("crashy job must finish");
+    assert_eq!(
+        cs.state,
+        JobState::Done,
+        "the crashing job's own master must recover its rank death"
+    );
+
+    // Fairness over the batch stays well-defined (at least the two
+    // concurrent jobs contribute rates).
+    let jain = daemon.fairness();
+    assert!((0.0..=1.0).contains(&jain), "jain out of range: {jain}");
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,6 +10,8 @@
 //! sial run     prog.sial --trace out.json --profile-json prof.json
 //! sial simulate prog.sial --workers 4096 --machine xt5 --seg 24 --bind norb=20
 //! sial trace-lint out.json                   # validate a trace or profile export
+//! sial submit  prog.sial siald.sock tenant=alice bind:n=6 [--wait]
+//! sial status  siald.sock                    # job table of a running siald
 //! ```
 //!
 //! `--chem` registers the synthetic chemistry kernels (`compute_integrals`,
@@ -27,7 +29,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: sial <check|compile|disasm|dryrun|run|simulate|trace-lint> <file> [options]\n\
+        "usage: sial <check|compile|disasm|dryrun|run|simulate|trace-lint|submit|status> <file> [options]\n\
          options:\n\
            -o <file>          output path (compile)\n\
            --workers <n>      worker count (default 2)\n\
@@ -286,12 +288,122 @@ fn load_program(path: &str) -> Result<sia::Program, String> {
     }
 }
 
+/// One request/reply exchange with a running `siald` (its line protocol;
+/// see `src/bin/siald.rs`). Returns every reply line.
+fn siald_request(socket: &str, request: &str) -> Result<Vec<String>, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| format!("connect {socket}: {e}"))?;
+    writeln!(stream, "{request}").map_err(|e| format!("send: {e}"))?;
+    let reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    for line in reader.lines() {
+        lines.push(line.map_err(|e| format!("recv: {e}"))?);
+    }
+    if lines.is_empty() {
+        return Err("daemon closed the connection without replying".into());
+    }
+    Ok(lines)
+}
+
+/// `sial submit <file> <socket> [k=v ...] [--wait]`: submits a program to a
+/// running `siald` and prints the assigned job id (or the rejection).
+fn cmd_submit(file: &str, rest: &[String]) -> ExitCode {
+    let Some(socket) = rest.first() else {
+        eprintln!("usage: sial submit <file> <socket> [k=v ...] [--wait]");
+        return ExitCode::from(2);
+    };
+    let wait = rest.iter().any(|a| a == "--wait");
+    let opts: Vec<&str> = rest[1..]
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "--wait")
+        .collect();
+    let request = format!("submit {file} {}", opts.join(" "));
+    match siald_request(socket, request.trim_end()) {
+        Ok(lines) => {
+            let reply = &lines[0];
+            println!("{reply}");
+            let Some(id) = reply.strip_prefix("ok ") else {
+                return ExitCode::FAILURE;
+            };
+            if wait {
+                match siald_request(socket, &format!("wait {id}")) {
+                    Ok(lines) => {
+                        for l in &lines {
+                            println!("{l}");
+                        }
+                        if lines.iter().any(|l| l.contains("state=done")) {
+                            ExitCode::SUCCESS
+                        } else {
+                            ExitCode::FAILURE
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `sial status <socket> [id]`: prints a running `siald`'s job table.
+fn cmd_status(socket: &str, rest: &[String]) -> ExitCode {
+    let request = match rest.first() {
+        Some(id) => format!("status {id}"),
+        None => "status".to_string(),
+    };
+    match siald_request(socket, &request) {
+        Ok(lines) => {
+            for l in lines.iter().filter(|l| *l != "end") {
+                println!("{l}");
+            }
+            if lines.iter().any(|l| l.starts_with("error")) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, file, rest) = match args.as_slice() {
         [cmd, file, rest @ ..] => (cmd.as_str(), file.as_str(), rest),
         _ => return usage(),
     };
+    // The daemon-client commands speak the siald line protocol and take no
+    // SipConfig options; handle them before the option parser.
+    match cmd {
+        "submit" => return cmd_submit(file, rest),
+        "status" => return cmd_status(file, rest),
+        "shutdown" => {
+            return match siald_request(file, "shutdown") {
+                Ok(lines) => {
+                    println!("{}", lines[0]);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        _ => {}
+    }
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => {
