@@ -256,6 +256,11 @@ pub fn disassemble_instruction(p: &Program, ins: &Instruction) -> String {
 }
 
 /// Renders a full program listing: header, tables, and numbered code.
+///
+/// When the program carries a line table (wire v3), source lines are
+/// interleaved: each run of instructions lowered from the same line is
+/// preceded by a `; file:line` marker, so the listing reads against the
+/// SIAL source.
 pub fn disassemble(p: &Program) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "sial {}", p.name);
@@ -287,7 +292,14 @@ pub fn disassemble(p: &Program) -> String {
         let _ = writeln!(out, "  proc[{i}] {} @ {}", d.name, d.entry_pc);
     }
     let _ = writeln!(out, "code:");
+    let mut last_line = 0u32;
     for (pc, ins) in p.code.iter().enumerate() {
+        if let Some((file, line)) = p.source_of(pc as u32) {
+            if line != last_line {
+                let _ = writeln!(out, "        ; {file}:{line}");
+                last_line = line;
+            }
+        }
         let _ = writeln!(out, "  {pc:4}  {}", disassemble_instruction(p, ins));
     }
     out
@@ -326,6 +338,7 @@ mod tests {
                 },
                 Instruction::Halt,
             ],
+            line_table: None,
         }
     }
 
@@ -359,6 +372,19 @@ mod tests {
             disassemble_instruction(&p, &ins),
             "R(M,M) = R(M,M) * R(M,M)"
         );
+    }
+
+    #[test]
+    fn listing_interleaves_source_lines() {
+        let mut p = tiny();
+        p.line_table = Some(crate::program::LineTable {
+            file: "t.sial".into(),
+            lines: vec![7, 7],
+        });
+        let text = disassemble(&p);
+        assert!(text.contains("; t.sial:7"), "{text}");
+        // Consecutive instructions from the same line share one marker.
+        assert_eq!(text.matches("; t.sial:7").count(), 1, "{text}");
     }
 
     #[test]

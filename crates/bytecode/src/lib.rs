@@ -15,17 +15,19 @@
 //! "the relationship between the source code and the profile data is
 //! transparent".
 
+pub mod diag;
 pub mod disasm;
 pub mod ops;
 pub mod program;
 pub mod wire;
 
+pub use diag::{diagnostics_to_json, Diagnostic, LineMap, Severity, Span};
 pub use disasm::disassemble;
 pub use ops::{
     Arg, BinOp, BlockRef, BoolExpr, CmpOp, Instruction, InstructionClass, PutMode, ScalarExpr,
 };
 pub use program::{
-    ArrayDecl, ArrayId, ArrayKind, ConstBindings, ConstId, IndexDecl, IndexId, IndexKind, ProcDecl,
-    ProcId, Program, ResolveError, ScalarDecl, ScalarId, StringId, Value,
+    ArrayDecl, ArrayId, ArrayKind, ConstBindings, ConstId, IndexDecl, IndexId, IndexKind,
+    LineTable, ProcDecl, ProcId, Program, ResolveError, ScalarDecl, ScalarId, StringId, Value,
 };
 pub use wire::{decode_program, encode_program, WireError};

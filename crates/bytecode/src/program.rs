@@ -182,6 +182,32 @@ pub struct ProcDecl {
     pub entry_pc: u32,
 }
 
+/// Optional per-instruction source mapping (wire format v3).
+///
+/// `lines[pc]` is the 1-based source line the instruction at `pc` was
+/// lowered from (0 = synthetic/unknown). The table is parallel to
+/// [`Program::code`]; decoders tolerate short tables (missing entries read
+/// as unknown). This is what lets `sial check`, the disassembler, and
+/// runtime `BadBytecode`/race diagnostics print `file:line` instead of a
+/// bare pc.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct LineTable {
+    /// Source file the program was compiled from.
+    pub file: String,
+    /// 1-based source line per instruction (0 = unknown).
+    pub lines: Vec<u32>,
+}
+
+impl LineTable {
+    /// The source line of the instruction at `pc`, if known.
+    pub fn line_of(&self, pc: u32) -> Option<u32> {
+        match self.lines.get(pc as usize) {
+            Some(&l) if l > 0 => Some(l),
+            _ => None,
+        }
+    }
+}
+
 /// A compiled SIAL program: descriptor tables plus the instruction table.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct Program {
@@ -201,6 +227,9 @@ pub struct Program {
     pub strings: Vec<String>,
     /// The instruction table.
     pub code: Vec<Instruction>,
+    /// Optional per-instruction source line mapping (wire v3; absent for
+    /// bytecode produced before the mapping existed).
+    pub line_table: Option<LineTable>,
 }
 
 /// Concrete values for the symbolic constants, supplied at initialization.
@@ -312,6 +341,22 @@ impl Program {
         Ok((low, high))
     }
 
+    /// The source `(file, line)` of the instruction at `pc`, when the
+    /// program carries a line table.
+    pub fn source_of(&self, pc: u32) -> Option<(&str, u32)> {
+        let t = self.line_table.as_ref()?;
+        Some((t.file.as_str(), t.line_of(pc)?))
+    }
+
+    /// Renders a program location: `file:line` when the line table knows the
+    /// pc, otherwise `pc N`.
+    pub fn locate_pc(&self, pc: u32) -> String {
+        match self.source_of(pc) {
+            Some((file, line)) => format!("{file}:{line}"),
+            None => format!("pc {pc}"),
+        }
+    }
+
     /// Interns a string, returning its id (compiler helper).
     pub fn intern(&mut self, s: &str) -> StringId {
         if let Some(i) = self.strings.iter().position(|x| x == s) {
@@ -358,6 +403,7 @@ mod tests {
             procs: vec![],
             strings: vec![],
             code: vec![],
+            line_table: None,
         }
     }
 
@@ -411,6 +457,21 @@ mod tests {
         assert_eq!(a, c);
         assert_ne!(a, b);
         assert_eq!(p.strings.len(), 2);
+    }
+
+    #[test]
+    fn line_table_lookup() {
+        let mut p = sample();
+        assert_eq!(p.source_of(0), None);
+        assert_eq!(p.locate_pc(3), "pc 3");
+        p.line_table = Some(LineTable {
+            file: "t.sial".into(),
+            lines: vec![2, 0, 5],
+        });
+        assert_eq!(p.source_of(0), Some(("t.sial", 2)));
+        assert_eq!(p.source_of(1), None, "0 means unknown");
+        assert_eq!(p.locate_pc(2), "t.sial:5");
+        assert_eq!(p.locate_pc(9), "pc 9", "past the table");
     }
 
     #[test]

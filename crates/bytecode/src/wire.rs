@@ -10,8 +10,8 @@ use crate::ops::{
     Arg, BinOp, BlockRef, BoolExpr, CmpOp, Instruction, PrintItem, PutMode, ScalarExpr,
 };
 use crate::program::{
-    ArrayDecl, ArrayId, ArrayKind, ConstId, IndexDecl, IndexId, IndexKind, ProcDecl, ProcId,
-    Program, ScalarDecl, ScalarId, StringId, Value,
+    ArrayDecl, ArrayId, ArrayKind, ConstId, IndexDecl, IndexId, IndexKind, LineTable, ProcDecl,
+    ProcId, Program, ScalarDecl, ScalarId, StringId, Value,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -19,8 +19,9 @@ use std::fmt;
 /// Magic bytes of a serialized program.
 pub const MAGIC: &[u8; 4] = b"SIAB";
 /// Current format version. Version 2 added the per-array `sparse` flag;
-/// version-1 streams still decode (all arrays dense).
-pub const VERSION: u32 = 2;
+/// version 3 added the optional per-instruction source line table. Version-1
+/// and version-2 streams still decode (dense arrays / no line table).
+pub const VERSION: u32 = 3;
 
 /// Errors decoding a serialized program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -749,6 +750,15 @@ pub fn encode_program(p: &Program) -> Bytes {
     });
     put_vec(&mut out, &p.strings, |o, s| put_str(o, s));
     put_vec(&mut out, &p.code, put_instruction);
+    // v3: optional source line table (presence byte, then file + lines).
+    match &p.line_table {
+        Some(t) => {
+            out.put_u8(1);
+            put_str(&mut out, &t.file);
+            put_vec(&mut out, &t.lines, |o, &l| o.put_u32_le(l));
+        }
+        None => out.put_u8(0),
+    }
     out.freeze()
 }
 
@@ -796,6 +806,23 @@ pub fn decode_program(data: &[u8]) -> R<Program> {
     })?;
     let strings = get_vec(&mut buf, get_str)?;
     let code = get_vec(&mut buf, get_instruction)?;
+    let line_table = if version >= 3 {
+        match get_u8(&mut buf)? {
+            0 => None,
+            1 => Some(LineTable {
+                file: get_str(&mut buf)?,
+                lines: get_vec(&mut buf, get_u32)?,
+            }),
+            t => {
+                return Err(WireError::BadTag {
+                    what: "LineTable",
+                    tag: t,
+                })
+            }
+        }
+    } else {
+        None
+    };
     Ok(Program {
         name,
         indices,
@@ -805,6 +832,7 @@ pub fn decode_program(data: &[u8]) -> R<Program> {
         procs,
         strings,
         code,
+        line_table,
     })
 }
 
@@ -847,6 +875,10 @@ mod tests {
             }],
             strings: vec![],
             code: vec![],
+            line_table: Some(LineTable {
+                file: "roundtrip.sial".into(),
+                lines: vec![3, 4, 5, 6, 7, 8, 9, 10, 11, 3, 12, 13, 0],
+            }),
         };
         let label = p.intern("ckpt");
         let sup = p.intern("compute_integrals");
@@ -945,6 +977,48 @@ mod tests {
         for cut in [5, 9, 20, bytes.len() / 2, bytes.len() - 1] {
             assert!(decode_program(&bytes[..cut]).is_err(), "cut={cut}");
         }
+    }
+
+    #[test]
+    fn v2_stream_without_line_table_still_loads() {
+        // Encode, then strip the v3 tail (presence byte + table) and patch
+        // the header back to version 2 — exactly what a pre-v3 writer
+        // produced.
+        let mut p = sample_program();
+        let with = encode_program(&p).to_vec();
+        p.line_table = None;
+        let without = encode_program(&p).to_vec();
+        let tail = with.len() - (without.len() - 1);
+        let mut v2 = with[..with.len() - tail].to_vec();
+        v2[4..8].copy_from_slice(&2u32.to_le_bytes());
+        let q = decode_program(&v2).unwrap();
+        assert_eq!(q.line_table, None);
+        assert_eq!(q.code, sample_program().code);
+    }
+
+    #[test]
+    fn v1_stream_still_loads_dense() {
+        // A v1 stream has neither per-array sparse flags nor the v3 tail;
+        // use an array-free program so the only difference is the tail.
+        let mut p = sample_program();
+        p.line_table = None;
+        p.arrays.clear();
+        p.code.clear();
+        let mut bytes = encode_program(&p).to_vec();
+        bytes.truncate(bytes.len() - 1); // drop v3 presence byte
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let q = decode_program(&bytes).unwrap();
+        assert_eq!(q.name, "roundtrip");
+        assert_eq!(q.line_table, None);
+    }
+
+    #[test]
+    fn line_table_roundtrips_exactly() {
+        let p = sample_program();
+        let q = decode_program(&encode_program(&p)).unwrap();
+        assert_eq!(p.line_table, q.line_table);
+        assert_eq!(q.source_of(0), Some(("roundtrip.sial", 3)));
+        assert_eq!(q.source_of(12), None, "0 entry means unknown");
     }
 
     #[test]

@@ -226,9 +226,14 @@ fn arb_program() -> impl Strategy<Value = Program> {
         prop::collection::vec(("[a-z]{1,8}", any::<u32>()), 0..3),
         prop::collection::vec(".{0,12}", 0..4),
         prop::collection::vec(arb_instruction(), 0..20),
+        (
+            any::<bool>(),
+            "[a-z]{1,8}",
+            prop::collection::vec(0u32..40, 0..24),
+        ),
     )
         .prop_map(
-            |(name, indices, arrays, scalars, consts, procs, strings, code)| Program {
+            |(name, indices, arrays, scalars, consts, procs, strings, code, lt)| Program {
                 name,
                 indices: indices
                     .into_iter()
@@ -259,6 +264,14 @@ fn arb_program() -> impl Strategy<Value = Program> {
                     .collect(),
                 strings,
                 code,
+                line_table: if lt.0 {
+                    Some(sia_bytecode::LineTable {
+                        file: lt.1,
+                        lines: lt.2,
+                    })
+                } else {
+                    None
+                },
             },
         )
 }

@@ -1,4 +1,11 @@
 //! The SIAL abstract syntax tree.
+//!
+//! Nodes carry byte [`Span`]s (not bare line numbers): diagnostics resolve
+//! them to `line:col` through a `LineMap`, and the incremental front-end
+//! fingerprints AST content through `Debug`, which `Span` deliberately
+//! elides so whitespace-only edits don't invalidate downstream queries.
+
+use sia_bytecode::diag::Span;
 
 /// The declared kind of an index variable (mirrors the keywords).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,8 +61,8 @@ pub enum Decl {
         low: Bound,
         /// Upper bound.
         high: Bound,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `subindex ii of i`
     Subindex {
@@ -63,8 +70,8 @@ pub enum Decl {
         name: String,
         /// Parent (super) index name.
         parent: String,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `distributed R(M,N,I,J)`, `sparse distributed V(M,N,I,J)`, etc.
     Array {
@@ -76,8 +83,8 @@ pub enum Decl {
         dims: Vec<String>,
         /// `sparse` modifier present (distributed/served only).
         sparse: bool,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `scalar energy` with optional `= 0.0`.
     Scalar {
@@ -85,8 +92,8 @@ pub enum Decl {
         name: String,
         /// Initial value.
         init: f64,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
 }
 
@@ -101,13 +108,13 @@ impl Decl {
         }
     }
 
-    /// Source line of the declaration.
-    pub fn line(&self) -> u32 {
+    /// Span of the declared name.
+    pub fn span(&self) -> Span {
         match self {
-            Decl::Index { line, .. }
-            | Decl::Subindex { line, .. }
-            | Decl::Array { line, .. }
-            | Decl::Scalar { line, .. } => *line,
+            Decl::Index { span, .. }
+            | Decl::Subindex { span, .. }
+            | Decl::Array { span, .. }
+            | Decl::Scalar { span, .. } => *span,
         }
     }
 }
@@ -119,8 +126,8 @@ pub struct BlockExpr {
     pub array: String,
     /// Index variable per dimension.
     pub indices: Vec<String>,
-    /// Source line.
-    pub line: u32,
+    /// Span of the array name.
+    pub span: Span,
 }
 
 /// A scalar-valued expression.
@@ -186,7 +193,7 @@ pub enum LValue {
     /// A block: `tmp(M,N,I,J)`.
     Block(BlockExpr),
     /// A scalar variable.
-    Scalar(String, u32),
+    Scalar(String, Span),
 }
 
 /// Assignment operator.
@@ -239,7 +246,7 @@ pub enum ExecArg {
     /// A block argument.
     Block(BlockExpr),
     /// A bare name (scalar or index — sema decides).
-    Name(String, u32),
+    Name(String, Span),
     /// A literal number.
     Num(f64),
 }
@@ -264,8 +271,8 @@ pub enum Stmt {
         wheres: Vec<Cond>,
         /// Loop body.
         body: Vec<Stmt>,
-        /// Source line of the `pardo`.
-        line: u32,
+        /// Span of the `pardo` keyword.
+        span: Span,
     },
     /// `do i` / `enddo`.
     Do {
@@ -273,8 +280,8 @@ pub enum Stmt {
         index: String,
         /// Loop body.
         body: Vec<Stmt>,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `do ii in i` / `pardo ii in i`.
     DoIn {
@@ -286,8 +293,8 @@ pub enum Stmt {
         parallel: bool,
         /// Loop body.
         body: Vec<Stmt>,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `if` / `else` / `endif`.
     If {
@@ -297,15 +304,15 @@ pub enum Stmt {
         then: Vec<Stmt>,
         /// Else branch.
         els: Vec<Stmt>,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `call name`.
     Call {
         /// Procedure name.
         name: String,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `get T(..)`.
     Get(BlockExpr),
@@ -337,8 +344,8 @@ pub enum Stmt {
         op: AssignOp,
         /// Right-hand side.
         rhs: Rhs,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `execute name args…`.
     Execute {
@@ -346,19 +353,19 @@ pub enum Stmt {
         name: String,
         /// Arguments.
         args: Vec<ExecArg>,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `sip_barrier` / `server_barrier`.
-    Barrier(BarrierKind, u32),
+    Barrier(BarrierKind, Span),
     /// `blocks_to_list A "label"`.
     BlocksToList {
         /// Array serialized.
         array: String,
         /// Checkpoint label.
         label: String,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `list_to_blocks A "label"`.
     ListToBlocks {
@@ -366,22 +373,46 @@ pub enum Stmt {
         array: String,
         /// Checkpoint label.
         label: String,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `print items…`.
     Print {
         /// Items.
         items: Vec<AstPrintItem>,
-        /// Source line.
-        line: u32,
+        /// Anchoring source span.
+        span: Span,
     },
     /// `exit` — leave the innermost `do`/`do in` loop.
-    Exit(u32),
+    Exit(Span),
     /// `create A`.
-    Create(String, u32),
+    Create(String, Span),
     /// `delete A`.
-    Delete(String, u32),
+    Delete(String, Span),
+}
+
+impl Stmt {
+    /// The statement's anchoring span (its first token, for most forms).
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Pardo { span, .. }
+            | Stmt::Do { span, .. }
+            | Stmt::DoIn { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::Call { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::Execute { span, .. }
+            | Stmt::BlocksToList { span, .. }
+            | Stmt::ListToBlocks { span, .. }
+            | Stmt::Print { span, .. } => *span,
+            Stmt::Get(b) | Stmt::Request(b) => b.span,
+            Stmt::Put { dest, .. } | Stmt::Prepare { dest, .. } => dest.span,
+            Stmt::Barrier(_, span)
+            | Stmt::Exit(span)
+            | Stmt::Create(_, span)
+            | Stmt::Delete(_, span) => *span,
+        }
+    }
 }
 
 /// A procedure definition.
@@ -391,8 +422,8 @@ pub struct ProcDef {
     pub name: String,
     /// Body statements.
     pub body: Vec<Stmt>,
-    /// Source line of `proc`.
-    pub line: u32,
+    /// Span of the procedure name.
+    pub span: Span,
 }
 
 /// A parsed SIAL program.

@@ -5,17 +5,21 @@
 //! synthesizes hidden temp arrays (names starting with `$`) for scalar
 //! reductions and scaled accumulations, mirroring how the original SIAL
 //! compiler introduced compiler temporaries.
+//!
+//! Lowering also records a [`LineTable`] sidecar: one source line per
+//! emitted instruction (0 for synthetic code like the final `halt`), so
+//! runtime and verifier diagnostics can print `file:line`.
 
 use crate::ast::{self, AstProgram, BlockExpr, Cond, Expr, LValue, Rhs, Stmt};
-use crate::error::{CompileError, ErrorKind};
 use crate::sema::SemaInfo;
+use sia_bytecode::diag::{Diagnostic, LineMap, Span};
 use sia_bytecode::{
     Arg, ArrayDecl, ArrayId, ArrayKind, BinOp, BlockRef, BoolExpr, CmpOp, IndexId,
-    Instruction as I, ProcDecl, ProcId, Program, PutMode, ScalarExpr, ScalarId,
+    Instruction as I, LineTable, ProcDecl, ProcId, Program, PutMode, ScalarExpr, ScalarId,
 };
 
-fn lower_err(line: u32, msg: impl Into<String>) -> CompileError {
-    CompileError::new(ErrorKind::Lower, line, msg)
+fn lower_err(span: Span, msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::error("lower/invalid", span, msg)
 }
 
 struct Lowerer<'a> {
@@ -24,10 +28,22 @@ struct Lowerer<'a> {
     hidden_counter: u32,
     /// Per active sequential loop: (start pc, pending `exit` pcs to patch).
     loop_exits: Vec<(u32, Vec<u32>)>,
+    /// Source-line lookup for the file being lowered.
+    line_map: &'a LineMap,
+    /// 1-based line of the statement currently being lowered (0 = synthetic).
+    cur_line: u32,
+    /// One entry per emitted instruction.
+    lines: Vec<u32>,
 }
 
-/// Lowers a checked AST into a bytecode [`Program`].
-pub fn compile_ast(ast: &AstProgram, info: &SemaInfo) -> Result<Program, CompileError> {
+/// Lowers a checked AST into a bytecode [`Program`] with a line-table
+/// sidecar naming `file`.
+pub fn compile_ast(
+    ast: &AstProgram,
+    info: &SemaInfo,
+    file: &str,
+    line_map: &LineMap,
+) -> Result<Program, Vec<Diagnostic>> {
     let mut l = Lowerer {
         info,
         program: Program {
@@ -39,22 +55,40 @@ pub fn compile_ast(ast: &AstProgram, info: &SemaInfo) -> Result<Program, Compile
             procs: Vec::new(),
             strings: Vec::new(),
             code: Vec::new(),
+            line_table: None,
         },
         hidden_counter: 0,
         loop_exits: Vec::new(),
+        line_map,
+        cur_line: 0,
+        lines: Vec::new(),
     };
-    l.lower_stmts(&ast.body)?;
-    l.emit(I::Halt);
-    for p in &ast.procs {
-        let entry_pc = l.pc();
-        l.program.procs.push(ProcDecl {
-            name: p.name.clone(),
-            entry_pc,
-        });
-        l.lower_stmts(&p.body)?;
-        l.emit(I::Return);
+    let r = (|| {
+        l.lower_stmts(&ast.body)?;
+        l.cur_line = 0;
+        l.emit(I::Halt);
+        for p in &ast.procs {
+            let entry_pc = l.pc();
+            l.program.procs.push(ProcDecl {
+                name: p.name.clone(),
+                entry_pc,
+            });
+            l.lower_stmts(&p.body)?;
+            l.cur_line = 0;
+            l.emit(I::Return);
+        }
+        Ok(())
+    })();
+    match r {
+        Ok(()) => {
+            l.program.line_table = Some(LineTable {
+                file: file.to_string(),
+                lines: l.lines,
+            });
+            Ok(l.program)
+        }
+        Err(d) => Err(vec![d]),
     }
-    Ok(l.program)
 }
 
 impl<'a> Lowerer<'a> {
@@ -65,6 +99,7 @@ impl<'a> Lowerer<'a> {
     fn emit(&mut self, ins: I) -> u32 {
         let pc = self.pc();
         self.program.code.push(ins);
+        self.lines.push(self.cur_line);
         pc
     }
 
@@ -97,7 +132,7 @@ impl<'a> Lowerer<'a> {
         id
     }
 
-    fn expr(&self, e: &Expr, line: u32) -> Result<ScalarExpr, CompileError> {
+    fn expr(&self, e: &Expr, span: Span) -> Result<ScalarExpr, Diagnostic> {
         Ok(match e {
             Expr::Num(n) => ScalarExpr::Lit(*n),
             Expr::Name(n) => {
@@ -108,7 +143,7 @@ impl<'a> Lowerer<'a> {
                 } else if let Some(&id) = self.info.index_ids.get(n) {
                     ScalarExpr::IndexVal(IndexId(id))
                 } else {
-                    return Err(lower_err(line, format!("unresolved name `{n}`")));
+                    return Err(lower_err(span, format!("unresolved name `{n}`")));
                 }
             }
             Expr::Bin(op, a, b) => {
@@ -120,15 +155,15 @@ impl<'a> Lowerer<'a> {
                 };
                 ScalarExpr::Bin(
                     bop,
-                    Box::new(self.expr(a, line)?),
-                    Box::new(self.expr(b, line)?),
+                    Box::new(self.expr(a, span)?),
+                    Box::new(self.expr(b, span)?),
                 )
             }
-            Expr::Neg(x) => ScalarExpr::Neg(Box::new(self.expr(x, line)?)),
+            Expr::Neg(x) => ScalarExpr::Neg(Box::new(self.expr(x, span)?)),
         })
     }
 
-    fn cond(&self, c: &Cond, line: u32) -> Result<BoolExpr, CompileError> {
+    fn cond(&self, c: &Cond, span: Span) -> Result<BoolExpr, Diagnostic> {
         Ok(match c {
             Cond::Cmp(l, op, r) => {
                 let cop = match op {
@@ -139,37 +174,38 @@ impl<'a> Lowerer<'a> {
                     ast::CmpOp::Gt => CmpOp::Gt,
                     ast::CmpOp::Ge => CmpOp::Ge,
                 };
-                BoolExpr::Cmp(self.expr(l, line)?, cop, self.expr(r, line)?)
+                BoolExpr::Cmp(self.expr(l, span)?, cop, self.expr(r, span)?)
             }
             Cond::And(a, b) => {
-                BoolExpr::And(Box::new(self.cond(a, line)?), Box::new(self.cond(b, line)?))
+                BoolExpr::And(Box::new(self.cond(a, span)?), Box::new(self.cond(b, span)?))
             }
             Cond::Or(a, b) => {
-                BoolExpr::Or(Box::new(self.cond(a, line)?), Box::new(self.cond(b, line)?))
+                BoolExpr::Or(Box::new(self.cond(a, span)?), Box::new(self.cond(b, span)?))
             }
-            Cond::Not(x) => BoolExpr::Not(Box::new(self.cond(x, line)?)),
+            Cond::Not(x) => BoolExpr::Not(Box::new(self.cond(x, span)?)),
         })
     }
 
-    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<(), Diagnostic> {
         for s in stmts {
+            self.cur_line = self.line_map.line_col(s.span().start).0;
             self.lower_stmt(s)?;
         }
         Ok(())
     }
 
-    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), Diagnostic> {
         match s {
             Stmt::Pardo {
                 indices,
                 wheres,
                 body,
-                line,
+                span,
             } => {
                 let idx: Vec<IndexId> = indices.iter().map(|n| self.index_id(n)).collect();
                 let mut clauses = Vec::with_capacity(wheres.len());
                 for w in wheres {
-                    clauses.push(self.cond(w, *line)?);
+                    clauses.push(self.cond(w, *span)?);
                 }
                 let start = self.emit(I::PardoStart {
                     indices: idx,
@@ -177,13 +213,14 @@ impl<'a> Lowerer<'a> {
                     end_pc: 0,
                 });
                 self.lower_stmts(body)?;
+                self.cur_line = self.line_map.line_col(span.start).0;
                 let end = self.emit(I::PardoEnd { start_pc: start });
                 if let I::PardoStart { end_pc, .. } = &mut self.program.code[start as usize] {
                     *end_pc = end;
                 }
                 Ok(())
             }
-            Stmt::Do { index, body, .. } => {
+            Stmt::Do { index, body, span } => {
                 let start = self.emit(I::DoStart {
                     index: self.index_id(index),
                     end_pc: 0,
@@ -191,6 +228,7 @@ impl<'a> Lowerer<'a> {
                 self.loop_exits.push((start, Vec::new()));
                 self.lower_stmts(body)?;
                 let (_, exits) = self.loop_exits.pop().expect("loop stack balanced");
+                self.cur_line = self.line_map.line_col(span.start).0;
                 let end = self.emit(I::DoEnd { start_pc: start });
                 if let I::DoStart { end_pc, .. } = &mut self.program.code[start as usize] {
                     *end_pc = end;
@@ -207,7 +245,7 @@ impl<'a> Lowerer<'a> {
                 parent,
                 parallel,
                 body,
-                ..
+                span,
             } => {
                 let start = self.emit(I::DoInStart {
                     sub: self.index_id(sub),
@@ -218,6 +256,7 @@ impl<'a> Lowerer<'a> {
                 self.loop_exits.push((start, Vec::new()));
                 self.lower_stmts(body)?;
                 let (_, exits) = self.loop_exits.pop().expect("loop stack balanced");
+                self.cur_line = self.line_map.line_col(span.start).0;
                 let end = self.emit(I::DoInEnd { start_pc: start });
                 if let I::DoInStart { end_pc, .. } = &mut self.program.code[start as usize] {
                     *end_pc = end;
@@ -233,9 +272,9 @@ impl<'a> Lowerer<'a> {
                 cond,
                 then,
                 els,
-                line,
+                span,
             } => {
-                let c = self.cond(cond, *line)?;
+                let c = self.cond(cond, *span)?;
                 let jf = self.emit(I::JumpIfFalse { cond: c, target: 0 });
                 self.lower_stmts(then)?;
                 if els.is_empty() {
@@ -244,6 +283,7 @@ impl<'a> Lowerer<'a> {
                         *target = after;
                     }
                 } else {
+                    self.cur_line = self.line_map.line_col(span.start).0;
                     let jmp = self.emit(I::Jump { target: 0 });
                     let else_start = self.pc();
                     if let I::JumpIfFalse { target, .. } = &mut self.program.code[jf as usize] {
@@ -309,9 +349,9 @@ impl<'a> Lowerer<'a> {
                 dest,
                 op,
                 rhs,
-                line,
-            } => self.lower_assign(dest, *op, rhs, *line),
-            Stmt::Execute { name, args, line } => {
+                span,
+            } => self.lower_assign(dest, *op, rhs, *span),
+            Stmt::Execute { name, args, span } => {
                 let name_id = self.program.intern(name);
                 let mut lowered = Vec::with_capacity(args.len());
                 for a in args {
@@ -327,16 +367,16 @@ impl<'a> Lowerer<'a> {
                                 // runtime via a synthetic scalar — rejected for
                                 // now to keep `execute` signatures simple.
                                 return Err(lower_err(
-                                    *line,
+                                    *span,
                                     format!("constant `{n}` cannot be an execute argument"),
                                 ));
                             } else {
-                                return Err(lower_err(*line, format!("unresolved `{n}`")));
+                                return Err(lower_err(*span, format!("unresolved `{n}`")));
                             }
                         }
                         ast::ExecArg::Num(_) => {
                             return Err(lower_err(
-                                *line,
+                                *span,
                                 "numeric literals as execute arguments are not supported; \
                                  assign to a scalar first",
                             ));
@@ -349,9 +389,9 @@ impl<'a> Lowerer<'a> {
                 });
                 Ok(())
             }
-            Stmt::Exit(line) => {
+            Stmt::Exit(span) => {
                 let Some(loop_start) = self.loop_exits.last().map(|(s, _)| *s) else {
-                    return Err(lower_err(*line, "`exit` outside a loop"));
+                    return Err(lower_err(*span, "`exit` outside a loop"));
                 };
                 let pc = self.emit(I::ExitLoop {
                     loop_start_pc: loop_start,
@@ -385,7 +425,7 @@ impl<'a> Lowerer<'a> {
                 });
                 Ok(())
             }
-            Stmt::Print { items, line } => {
+            Stmt::Print { items, span } => {
                 let mut lowered = Vec::with_capacity(items.len());
                 for item in items {
                     lowered.push(match item {
@@ -393,7 +433,7 @@ impl<'a> Lowerer<'a> {
                             sia_bytecode::ops::PrintItem::Str(self.program.intern(s))
                         }
                         ast::AstPrintItem::Expr(e) => {
-                            sia_bytecode::ops::PrintItem::Expr(self.expr(e, *line)?)
+                            sia_bytecode::ops::PrintItem::Expr(self.expr(e, *span)?)
                         }
                     });
                 }
@@ -418,18 +458,18 @@ impl<'a> Lowerer<'a> {
         dest: &LValue,
         op: ast::AssignOp,
         rhs: &Rhs,
-        line: u32,
-    ) -> Result<(), CompileError> {
+        span: Span,
+    ) -> Result<(), Diagnostic> {
         match dest {
             LValue::Block(d) => {
                 let dref = self.block_ref(d);
                 match (op, rhs) {
                     (ast::AssignOp::Set, Rhs::Scalar(e)) => {
-                        let value = self.expr(e, line)?;
+                        let value = self.expr(e, span)?;
                         self.emit(I::BlockFill { dest: dref, value });
                     }
                     (ast::AssignOp::Mul, Rhs::Scalar(e)) => {
-                        let factor = self.expr(e, line)?;
+                        let factor = self.expr(e, span)?;
                         self.emit(I::BlockScale { dest: dref, factor });
                     }
                     (ast::AssignOp::Set, Rhs::Block(s)) => {
@@ -474,7 +514,7 @@ impl<'a> Lowerer<'a> {
                     }
                     (ast::AssignOp::Set, Rhs::ScaledBlock(e, s)) => {
                         let src = self.block_ref(s);
-                        let factor = self.expr(e, line)?;
+                        let factor = self.expr(e, span)?;
                         self.emit(I::BlockCopy {
                             dest: dref.clone(),
                             src,
@@ -485,7 +525,7 @@ impl<'a> Lowerer<'a> {
                         // dest += e * src lowers through a hidden temp so the
                         // scale does not disturb src.
                         let src = self.block_ref(s);
-                        let factor = self.expr(e, line)?;
+                        let factor = self.expr(e, span)?;
                         let tmp_arr = self.hidden_temp(&dref.indices);
                         let tmp = BlockRef {
                             array: tmp_arr,
@@ -507,7 +547,7 @@ impl<'a> Lowerer<'a> {
                     }
                     (op, rhs) => {
                         return Err(lower_err(
-                            line,
+                            span,
                             format!("unsupported block assignment {op:?} {rhs:?}"),
                         ));
                     }
@@ -518,14 +558,14 @@ impl<'a> Lowerer<'a> {
                 let sid = ScalarId(*self.info.scalar_ids.get(name).expect("sema resolved"));
                 match (op, rhs) {
                     (ast::AssignOp::Set, Rhs::Scalar(e)) => {
-                        let expr = self.expr(e, line)?;
+                        let expr = self.expr(e, span)?;
                         self.emit(I::ScalarAssign { dest: sid, expr });
                     }
                     (ast::AssignOp::Add, Rhs::Scalar(e)) => {
                         let expr = ScalarExpr::Bin(
                             BinOp::Add,
                             Box::new(ScalarExpr::Scalar(sid)),
-                            Box::new(self.expr(e, line)?),
+                            Box::new(self.expr(e, span)?),
                         );
                         self.emit(I::ScalarAssign { dest: sid, expr });
                     }
@@ -533,7 +573,7 @@ impl<'a> Lowerer<'a> {
                         let expr = ScalarExpr::Bin(
                             BinOp::Sub,
                             Box::new(ScalarExpr::Scalar(sid)),
-                            Box::new(self.expr(e, line)?),
+                            Box::new(self.expr(e, span)?),
                         );
                         self.emit(I::ScalarAssign { dest: sid, expr });
                     }
@@ -541,7 +581,7 @@ impl<'a> Lowerer<'a> {
                         let expr = ScalarExpr::Bin(
                             BinOp::Mul,
                             Box::new(ScalarExpr::Scalar(sid)),
-                            Box::new(self.expr(e, line)?),
+                            Box::new(self.expr(e, span)?),
                         );
                         self.emit(I::ScalarAssign { dest: sid, expr });
                     }
@@ -569,7 +609,7 @@ impl<'a> Lowerer<'a> {
                     }
                     (op, rhs) => {
                         return Err(lower_err(
-                            line,
+                            span,
                             format!("unsupported scalar assignment {op:?} {rhs:?}"),
                         ));
                     }
@@ -589,7 +629,7 @@ mod tests {
     fn compile_src(src: &str) -> Program {
         let ast = parse(src).unwrap();
         let info = analyze(&ast).unwrap();
-        compile_ast(&ast, &info).unwrap()
+        compile_ast(&ast, &info, "test.sial", &LineMap::new(src)).unwrap()
     }
 
     const HEADER: &str = "sial t\naoindex M = 1, 4\naoindex N = 1, 4\naoindex L = 1, 4\ndistributed D(M,N)\nserved V(M,N)\ntemp x(M,N)\ntemp y(M,N)\nscalar s\n";
@@ -744,7 +784,23 @@ mod tests {
     fn exit_outside_loop_rejected() {
         let ast = parse("sial t\nscalar s\nexit\nendsial\n").unwrap();
         let err = analyze(&ast).unwrap_err();
-        assert!(err.message.contains("exit"), "{err}");
+        assert!(err[0].message.contains("exit"), "{:?}", err);
+    }
+
+    #[test]
+    fn line_table_maps_instructions_to_statements() {
+        // HEADER is 9 lines; the pardo starts on line 10.
+        let p = body("pardo M, N\nx(M,N) = 0.0\nendpardo");
+        let lt = p.line_table.as_ref().expect("line table emitted");
+        assert_eq!(lt.file, "test.sial");
+        assert_eq!(lt.lines.len(), p.code.len());
+        // PardoStart and PardoEnd both report the pardo's line; the fill
+        // reports its own; the synthetic Halt reports 0 (unknown).
+        assert_eq!(lt.lines[0], 10);
+        assert_eq!(lt.lines[1], 11);
+        assert_eq!(lt.lines[2], 10);
+        assert_eq!(*lt.lines.last().unwrap(), 0);
+        assert_eq!(p.source_of(1), Some(("test.sial", 11)));
     }
 
     #[test]

@@ -1,78 +1,90 @@
-//! Compiler diagnostics.
+//! Compiler error aggregation.
+//!
+//! The front end is multi-error: every stage reports all the
+//! [`Diagnostic`]s it can find in one pass. `CompileErrors` bundles them
+//! into a single `std::error::Error` value for callers that want a plain
+//! `Result` (the `compile()` facade, the CLI, the chem workloads).
 
+use sia_bytecode::diag::Diagnostic;
 use std::fmt;
 
-/// What phase rejected the program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ErrorKind {
-    /// Tokenizer error (bad character, malformed number/string).
-    Lex,
-    /// Grammar error.
-    Parse,
-    /// Name/type/structure error.
-    Sema,
-    /// Lowering error (should be rare; sema catches most).
-    Lower,
+/// Every diagnostic from a failed compilation, in source order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileErrors {
+    /// The individual findings (never empty for a returned error).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
-impl fmt::Display for ErrorKind {
+/// Backwards-compatible name: earlier revisions surfaced a single
+/// `CompileError`; the multi-error recut aggregates instead.
+pub type CompileError = CompileErrors;
+
+impl CompileErrors {
+    /// Wraps a list of diagnostics.
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        CompileErrors { diagnostics }
+    }
+
+    /// The first (usually most relevant) diagnostic.
+    pub fn primary(&self) -> Option<&Diagnostic> {
+        self.diagnostics.first()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True when there are no diagnostics.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+impl From<Vec<Diagnostic>> for CompileErrors {
+    fn from(diagnostics: Vec<Diagnostic>) -> Self {
+        CompileErrors { diagnostics }
+    }
+}
+
+impl From<Diagnostic> for CompileErrors {
+    fn from(d: Diagnostic) -> Self {
+        CompileErrors {
+            diagnostics: vec![d],
+        }
+    }
+}
+
+impl fmt::Display for CompileErrors {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ErrorKind::Lex => write!(f, "lex"),
-            ErrorKind::Parse => write!(f, "parse"),
-            ErrorKind::Sema => write!(f, "semantic"),
-            ErrorKind::Lower => write!(f, "lowering"),
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
         }
+        Ok(())
     }
 }
 
-/// A compiler error with a 1-based source line.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CompileError {
-    /// The phase that failed.
-    pub kind: ErrorKind,
-    /// 1-based source line (0 when no location applies).
-    pub line: u32,
-    /// Human-readable message.
-    pub message: String,
-}
-
-impl CompileError {
-    /// Constructs an error.
-    pub fn new(kind: ErrorKind, line: u32, message: impl Into<String>) -> Self {
-        CompileError {
-            kind,
-            line,
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for CompileError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line > 0 {
-            write!(
-                f,
-                "{} error at line {}: {}",
-                self.kind, self.line, self.message
-            )
-        } else {
-            write!(f, "{} error: {}", self.kind, self.message)
-        }
-    }
-}
-
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileErrors {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sia_bytecode::diag::Span;
 
     #[test]
-    fn display_with_and_without_line() {
-        let e = CompileError::new(ErrorKind::Parse, 7, "unexpected token");
-        assert_eq!(e.to_string(), "parse error at line 7: unexpected token");
-        let e = CompileError::new(ErrorKind::Sema, 0, "boom");
-        assert_eq!(e.to_string(), "semantic error: boom");
+    fn display_joins_diagnostics() {
+        let e = CompileErrors::new(vec![
+            Diagnostic::error("parse/syntax", Span::new(0, 1), "first"),
+            Diagnostic::error("sema/invalid", Span::new(2, 3), "second"),
+        ]);
+        let s = e.to_string();
+        assert!(s.contains("error[parse/syntax]: first"), "{s}");
+        assert!(s.contains("error[sema/invalid]: second"), "{s}");
+        assert_eq!(s.lines().count(), 2);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.primary().unwrap().message, "first");
     }
 }

@@ -1,17 +1,24 @@
 //! The SIAL lexer.
+//!
+//! Error-recovering: lexical problems (stray `!`, unterminated strings,
+//! malformed numbers, unexpected bytes) are reported as [`Diagnostic`]s and
+//! the scan continues, so one pass surfaces every lexical error and the
+//! parser still sees the rest of the token stream.
 
-use crate::error::{CompileError, ErrorKind};
 use crate::token::{Keyword, Spanned, Token};
+use sia_bytecode::diag::{Diagnostic, Span};
 
-/// Tokenizes SIAL source. Consecutive newlines collapse to one
-/// [`Token::Newline`]; a trailing `Eof` is always present.
-pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
+/// Tokenizes SIAL source, collecting diagnostics instead of failing fast.
+/// Consecutive newlines collapse to one [`Token::Newline`]; a trailing `Eof`
+/// is always present.
+pub fn lex_partial(source: &str) -> (Vec<Spanned>, Vec<Diagnostic>) {
     let mut out: Vec<Spanned> = Vec::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
     let mut line: u32 = 1;
     let bytes = source.as_bytes();
     let mut i = 0;
 
-    let push = |tok: Token, line: u32, out: &mut Vec<Spanned>| {
+    let push = |tok: Token, span: Span, line: u32, out: &mut Vec<Spanned>| {
         if tok == Token::Newline {
             match out.last() {
                 None
@@ -22,15 +29,20 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                 _ => {}
             }
         }
-        out.push(Spanned { token: tok, line });
+        out.push(Spanned {
+            token: tok,
+            span,
+            line,
+        });
     };
 
     while i < bytes.len() {
         let c = bytes[i] as char;
+        let start = i as u32;
         match c {
             ' ' | '\t' | '\r' => i += 1,
             '\n' => {
-                push(Token::Newline, line, &mut out);
+                push(Token::Newline, Span::new(start, start + 1), line, &mut out);
                 line += 1;
                 i += 1;
             }
@@ -40,107 +52,136 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                 }
             }
             '(' => {
-                push(Token::LParen, line, &mut out);
+                push(Token::LParen, Span::new(start, start + 1), line, &mut out);
                 i += 1;
             }
             ')' => {
-                push(Token::RParen, line, &mut out);
+                push(Token::RParen, Span::new(start, start + 1), line, &mut out);
                 i += 1;
             }
             ',' => {
-                push(Token::Comma, line, &mut out);
+                push(Token::Comma, Span::new(start, start + 1), line, &mut out);
                 i += 1;
             }
             '+' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push(Token::PlusAssign, line, &mut out);
+                    push(
+                        Token::PlusAssign,
+                        Span::new(start, start + 2),
+                        line,
+                        &mut out,
+                    );
                     i += 2;
                 } else {
-                    push(Token::Plus, line, &mut out);
+                    push(Token::Plus, Span::new(start, start + 1), line, &mut out);
                     i += 1;
                 }
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push(Token::MinusAssign, line, &mut out);
+                    push(
+                        Token::MinusAssign,
+                        Span::new(start, start + 2),
+                        line,
+                        &mut out,
+                    );
                     i += 2;
                 } else {
-                    push(Token::Minus, line, &mut out);
+                    push(Token::Minus, Span::new(start, start + 1), line, &mut out);
                     i += 1;
                 }
             }
             '*' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push(Token::StarAssign, line, &mut out);
+                    push(
+                        Token::StarAssign,
+                        Span::new(start, start + 2),
+                        line,
+                        &mut out,
+                    );
                     i += 2;
                 } else {
-                    push(Token::Star, line, &mut out);
+                    push(Token::Star, Span::new(start, start + 1), line, &mut out);
                     i += 1;
                 }
             }
             '/' => {
-                push(Token::Slash, line, &mut out);
+                push(Token::Slash, Span::new(start, start + 1), line, &mut out);
                 i += 1;
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push(Token::EqEq, line, &mut out);
+                    push(Token::EqEq, Span::new(start, start + 2), line, &mut out);
                     i += 2;
                 } else {
-                    push(Token::Assign, line, &mut out);
+                    push(Token::Assign, Span::new(start, start + 1), line, &mut out);
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push(Token::NotEq, line, &mut out);
+                    push(Token::NotEq, Span::new(start, start + 2), line, &mut out);
                     i += 2;
                 } else {
-                    return Err(CompileError::new(
-                        ErrorKind::Lex,
-                        line,
+                    diags.push(Diagnostic::error(
+                        "lex/stray-bang",
+                        Span::new(start, start + 1),
                         "stray `!` (did you mean `!=`?)",
                     ));
+                    i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push(Token::Le, line, &mut out);
+                    push(Token::Le, Span::new(start, start + 2), line, &mut out);
                     i += 2;
                 } else {
-                    push(Token::Lt, line, &mut out);
+                    push(Token::Lt, Span::new(start, start + 1), line, &mut out);
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    push(Token::Ge, line, &mut out);
+                    push(Token::Ge, Span::new(start, start + 2), line, &mut out);
                     i += 2;
                 } else {
-                    push(Token::Gt, line, &mut out);
+                    push(Token::Gt, Span::new(start, start + 1), line, &mut out);
                     i += 1;
                 }
             }
             '"' => {
-                let start = i + 1;
-                let mut j = start;
+                let body = i + 1;
+                let mut j = body;
                 while j < bytes.len() && bytes[j] != b'"' && bytes[j] != b'\n' {
                     j += 1;
                 }
                 if j >= bytes.len() || bytes[j] != b'"' {
-                    return Err(CompileError::new(
-                        ErrorKind::Lex,
-                        line,
+                    diags.push(Diagnostic::error(
+                        "lex/unterminated-string",
+                        Span::new(start, j as u32),
                         "unterminated string literal",
                     ));
+                    // Recover at the newline/EOF so the rest still lexes.
+                    i = j;
+                    continue;
                 }
-                let s = std::str::from_utf8(&bytes[start..j])
-                    .map_err(|_| CompileError::new(ErrorKind::Lex, line, "invalid UTF-8"))?;
-                push(Token::Str(s.to_string()), line, &mut out);
+                match std::str::from_utf8(&bytes[body..j]) {
+                    Ok(s) => push(
+                        Token::Str(s.to_string()),
+                        Span::new(start, j as u32 + 1),
+                        line,
+                        &mut out,
+                    ),
+                    Err(_) => diags.push(Diagnostic::error(
+                        "lex/bad-utf8",
+                        Span::new(start, j as u32 + 1),
+                        "invalid UTF-8 in string literal",
+                    )),
+                }
                 i = j + 1;
             }
             c if c.is_ascii_digit() || c == '.' => {
-                let start = i;
+                let num_start = i;
                 let mut j = i;
                 let mut seen_dot = false;
                 let mut seen_exp = false;
@@ -151,7 +192,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                     } else if b == '.' && !seen_dot && !seen_exp {
                         seen_dot = true;
                         j += 1;
-                    } else if (b == 'e' || b == 'E') && !seen_exp && j > start {
+                    } else if (b == 'e' || b == 'E') && !seen_exp && j > num_start {
                         seen_exp = true;
                         j += 1;
                         if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
@@ -161,15 +202,18 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                         break;
                     }
                 }
-                let text = std::str::from_utf8(&bytes[start..j]).unwrap();
-                let n: f64 = text.parse().map_err(|_| {
-                    CompileError::new(ErrorKind::Lex, line, format!("bad number `{text}`"))
-                })?;
-                push(Token::Number(n), line, &mut out);
+                let text = std::str::from_utf8(&bytes[num_start..j]).unwrap();
+                match text.parse::<f64>() {
+                    Ok(n) => push(Token::Number(n), Span::new(start, j as u32), line, &mut out),
+                    Err(_) => diags.push(Diagnostic::error(
+                        "lex/bad-number",
+                        Span::new(start, j as u32),
+                        format!("bad number `{text}`"),
+                    )),
+                }
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
                 let mut j = i;
                 while j < bytes.len() {
                     let b = bytes[j] as char;
@@ -179,29 +223,44 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, CompileError> {
                         break;
                     }
                 }
-                let text = std::str::from_utf8(&bytes[start..j]).unwrap();
+                let text = std::str::from_utf8(&bytes[i..j]).unwrap();
                 let lower = text.to_ascii_lowercase();
+                let span = Span::new(start, j as u32);
                 match Keyword::from_str_lower(&lower) {
-                    Some(kw) => push(Token::Kw(kw), line, &mut out),
-                    None => push(Token::Ident(text.to_string()), line, &mut out),
+                    Some(kw) => push(Token::Kw(kw), span, line, &mut out),
+                    None => push(Token::Ident(text.to_string()), span, line, &mut out),
                 }
                 i = j;
             }
             other => {
-                return Err(CompileError::new(
-                    ErrorKind::Lex,
-                    line,
+                diags.push(Diagnostic::error(
+                    "lex/unexpected-char",
+                    Span::new(start, start + other.len_utf8() as u32),
                     format!("unexpected character `{other}`"),
                 ));
+                i += other.len_utf8();
             }
         }
     }
-    push(Token::Newline, line, &mut out);
+    let end = bytes.len() as u32;
+    push(Token::Newline, Span::point(end), line, &mut out);
     out.push(Spanned {
         token: Token::Eof,
+        span: Span::point(end),
         line,
     });
-    Ok(out)
+    (out, diags)
+}
+
+/// Fail-fast convenience over [`lex_partial`]: `Err` carries every lexical
+/// diagnostic found in one pass.
+pub fn lex(source: &str) -> Result<Vec<Spanned>, Vec<Diagnostic>> {
+    let (tokens, diags) = lex_partial(source);
+    if diags.is_empty() {
+        Ok(tokens)
+    } else {
+        Err(diags)
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +376,13 @@ mod tests {
     }
 
     #[test]
+    fn byte_spans_tracked() {
+        let spanned = lex("ab cd").unwrap();
+        assert_eq!((spanned[0].span.start, spanned[0].span.end), (0, 2));
+        assert_eq!((spanned[1].span.start, spanned[1].span.end), (3, 5));
+    }
+
+    #[test]
     fn string_literals() {
         assert_eq!(
             toks("print \"hello world\""),
@@ -337,8 +403,32 @@ mod tests {
 
     #[test]
     fn stray_bang_is_error() {
-        let err = lex("a ! b").unwrap_err();
-        assert_eq!(err.kind, ErrorKind::Lex);
+        let diags = lex("a ! b").unwrap_err();
+        assert_eq!(diags[0].code, "lex/stray-bang");
+    }
+
+    #[test]
+    fn recovery_reports_all_errors() {
+        // Three distinct lexical errors in one pass.
+        let (tokens, diags) = lex_partial("a ! b\nc @ d\n\"open");
+        let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(
+            codes,
+            vec![
+                "lex/stray-bang",
+                "lex/unexpected-char",
+                "lex/unterminated-string"
+            ]
+        );
+        // The good tokens around the errors survive.
+        let idents: Vec<&str> = tokens
+            .iter()
+            .filter_map(|s| match &s.token {
+                Token::Ident(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c", "d"]);
     }
 
     #[test]

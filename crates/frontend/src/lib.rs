@@ -6,8 +6,17 @@
 //! turns SIAL source into the SIA bytecode of [`sia_bytecode`]:
 //!
 //! ```text
-//! source --lex--> tokens --parse--> AST --sema--> checked AST --compile--> Program
+//! source --tokens--> --ast--> --resolve--> --typecheck--> --lower--> Program
 //! ```
+//!
+//! The stages are exposed two ways:
+//!
+//! * [`compile`] / [`compile_file`] — one-shot batch compilation. Multi-
+//!   error: failure returns [`CompileErrors`] carrying every located
+//!   [`Diagnostic`] found in one pass.
+//! * [`CompilerDb`] — an incremental, memoized query database (used by
+//!   `sial-lsp` and `sial check --watch`) that re-runs only the queries
+//!   whose inputs actually changed.
 //!
 //! The paper's running example compiles as-is:
 //!
@@ -46,6 +55,7 @@
 
 pub mod ast;
 pub mod compile;
+pub mod db;
 pub mod error;
 pub mod lexer;
 pub mod parser;
@@ -53,12 +63,29 @@ pub mod sema;
 pub mod token;
 
 pub use compile::compile_ast;
-pub use error::{CompileError, ErrorKind};
-pub use parser::parse;
+pub use db::{CompilerDb, QueryStats};
+pub use error::{CompileError, CompileErrors};
+pub use parser::{parse, parse_partial};
+pub use sia_bytecode::diag::{Diagnostic, LineMap, Severity, Span};
 
-/// Compiles SIAL source text to SIA bytecode (lex → parse → sema → lower).
-pub fn compile(source: &str) -> Result<sia_bytecode::Program, CompileError> {
-    let ast = parser::parse(source)?;
-    let checked = sema::analyze(&ast)?;
-    compile::compile_ast(&ast, &checked)
+/// Compiles SIAL source text to SIA bytecode, attributing diagnostics to
+/// the pseudo-file `<input>`.
+pub fn compile(source: &str) -> Result<sia_bytecode::Program, CompileErrors> {
+    compile_file("<input>", source)
+}
+
+/// Compiles SIAL source text to SIA bytecode
+/// (tokens → ast → resolve → typecheck → lower), attributing diagnostics —
+/// and the emitted line-table sidecar — to `file`.
+pub fn compile_file(file: &str, source: &str) -> Result<sia_bytecode::Program, CompileErrors> {
+    let map = LineMap::new(source);
+    let locate = |ds: Vec<Diagnostic>| -> Vec<Diagnostic> {
+        ds.into_iter().map(|d| d.locate(file, &map)).collect()
+    };
+    let (ast, diags) = parser::parse_partial(source);
+    if !diags.is_empty() {
+        return Err(CompileErrors::new(locate(diags)));
+    }
+    let info = sema::analyze(&ast).map_err(|ds| CompileErrors::new(locate(ds)))?;
+    compile::compile_ast(&ast, &info, file, &map).map_err(|ds| CompileErrors::new(locate(ds)))
 }

@@ -1,26 +1,60 @@
-//! The SIAL parser: line-oriented recursive descent.
+//! The SIAL parser: line-oriented recursive descent with statement-level
+//! error recovery.
+//!
+//! Because SIAL is one-statement-per-line, the newline token is a natural
+//! synchronization point: when a statement fails to parse, the parser
+//! records a [`Diagnostic`] and skips to the next line, so a single pass
+//! reports every syntax error and still produces a (partial) AST for the
+//! later stages and the LSP to work with.
 
 use crate::ast::*;
-use crate::error::{CompileError, ErrorKind};
-use crate::lexer::lex;
+use crate::lexer::lex_partial;
 use crate::token::{Keyword as K, Spanned, Token as T};
+use sia_bytecode::diag::{Diagnostic, Span};
 
-/// Parses SIAL source into an [`AstProgram`].
-pub fn parse(source: &str) -> Result<AstProgram, CompileError> {
-    let tokens = lex(source)?;
-    Parser::new(tokens).program()
+/// Parses SIAL source into an [`AstProgram`], failing if there is any
+/// lexical or syntax error (all of them are reported at once).
+pub fn parse(source: &str) -> Result<AstProgram, Vec<Diagnostic>> {
+    let (ast, diags) = parse_partial(source);
+    if diags.is_empty() {
+        Ok(ast)
+    } else {
+        Err(diags)
+    }
+}
+
+/// Error-recovering parse: always yields an AST (possibly partial) plus all
+/// lexical and syntax diagnostics found in one pass.
+pub fn parse_partial(source: &str) -> (AstProgram, Vec<Diagnostic>) {
+    let (tokens, mut diags) = lex_partial(source);
+    let (ast, parse_diags) = parse_tokens(tokens);
+    diags.extend(parse_diags);
+    (ast, diags)
+}
+
+/// Parses an already-lexed token stream (the `ast` query of the compiler
+/// database calls this so lexing and parsing memoize independently).
+pub fn parse_tokens(tokens: Vec<Spanned>) -> (AstProgram, Vec<Diagnostic>) {
+    let mut p = Parser::new(tokens);
+    let ast = p.program();
+    (ast, p.diags)
 }
 
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    diags: Vec<Diagnostic>,
 }
 
-type PResult<T> = Result<T, CompileError>;
+type PResult<T> = Result<T, Diagnostic>;
 
 impl Parser {
     fn new(tokens: Vec<Spanned>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            diags: Vec::new(),
+        }
     }
 
     fn peek(&self) -> &T {
@@ -34,8 +68,8 @@ impl Parser {
             .unwrap_or(&T::Eof)
     }
 
-    fn line(&self) -> u32 {
-        self.tokens[self.pos].line
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
     }
 
     fn bump(&mut self) -> T {
@@ -46,8 +80,29 @@ impl Parser {
         t
     }
 
-    fn err(&self, msg: impl Into<String>) -> CompileError {
-        CompileError::new(ErrorKind::Parse, self.line(), msg)
+    fn err(&self, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::error("parse/syntax", self.span(), msg)
+    }
+
+    fn err_code(&self, code: &str, msg: impl Into<String>) -> Diagnostic {
+        Diagnostic::error(code, self.span(), msg)
+    }
+
+    /// Skips tokens up to and including the next newline — the recovery
+    /// point after a malformed statement.
+    fn sync_to_newline(&mut self) {
+        loop {
+            match self.peek() {
+                T::Newline => {
+                    self.bump();
+                    return;
+                }
+                T::Eof => return,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
     }
 
     fn expect(&mut self, want: &T) -> PResult<()> {
@@ -55,7 +110,10 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(self.err(format!("expected {want}, found {}", self.peek())))
+            Err(self.err_code(
+                "parse/expected",
+                format!("expected {want}, found {}", self.peek()),
+            ))
         }
     }
 
@@ -74,8 +132,17 @@ impl Parser {
                 self.bump();
                 Ok(s)
             }
-            other => Err(self.err(format!("expected {what}, found {other}"))),
+            other => {
+                Err(self.err_code("parse/expected", format!("expected {what}, found {other}")))
+            }
         }
+    }
+
+    /// Like [`Self::expect_ident`] but also yields the identifier's span
+    /// (declaration sites record it for go-to-definition).
+    fn ident_sp(&mut self, what: &str) -> PResult<(String, Span)> {
+        let span = self.span();
+        Ok((self.expect_ident(what)?, span))
     }
 
     fn expect_newline(&mut self) -> PResult<()> {
@@ -85,7 +152,10 @@ impl Parser {
                 Ok(())
             }
             T::Eof => Ok(()),
-            other => Err(self.err(format!("expected end of line, found {other}"))),
+            other => Err(self.err_code(
+                "parse/expected",
+                format!("expected end of line, found {other}"),
+            )),
         }
     }
 
@@ -97,16 +167,34 @@ impl Parser {
 
     // ---- program structure ---------------------------------------------
 
-    fn program(&mut self) -> PResult<AstProgram> {
+    fn program(&mut self) -> AstProgram {
         self.skip_newlines();
-        self.expect(&T::Kw(K::Sial))
-            .map_err(|_| self.err("a SIAL program must begin with `sial <name>`"))?;
-        let name = self.expect_ident("program name")?;
-        self.expect_newline()?;
+        let name = if self.accept(&T::Kw(K::Sial)) {
+            match self.expect_ident("program name") {
+                Ok(n) => {
+                    if let Err(e) = self.expect_newline() {
+                        self.diags.push(e);
+                        self.sync_to_newline();
+                    }
+                    n
+                }
+                Err(e) => {
+                    self.diags.push(e);
+                    self.sync_to_newline();
+                    String::new()
+                }
+            }
+        } else {
+            self.diags.push(self.err_code(
+                "parse/missing-header",
+                "a SIAL program must begin with `sial <name>`",
+            ));
+            String::new()
+        };
 
         let mut decls = Vec::new();
         let mut procs = Vec::new();
-        let mut body = Vec::new();
+        let mut body: Vec<Stmt> = Vec::new();
 
         loop {
             self.skip_newlines();
@@ -116,7 +204,9 @@ impl Parser {
                     self.bump();
                     self.skip_newlines();
                     if !matches!(self.peek(), T::Eof) {
-                        return Err(self.err("content after `endsial`"));
+                        self.diags.push(
+                            self.err_code("parse/trailing-content", "content after `endsial`"),
+                        );
                     }
                     break;
                 }
@@ -137,30 +227,46 @@ impl Parser {
                     | K::Scalar,
                 ) => {
                     if !body.is_empty() {
-                        return Err(self.err("declarations must precede executable statements"));
+                        self.diags.push(self.err_code(
+                            "parse/decl-after-stmt",
+                            "declarations must precede executable statements",
+                        ));
                     }
-                    decls.push(self.declaration()?);
+                    match self.declaration() {
+                        Ok(d) => decls.push(d),
+                        Err(e) => {
+                            self.diags.push(e);
+                            self.sync_to_newline();
+                        }
+                    }
                 }
-                T::Kw(K::Proc) => {
-                    procs.push(self.proc_def()?);
-                }
-                _ => {
-                    body.push(self.statement()?);
-                }
+                T::Kw(K::Proc) => match self.proc_def() {
+                    Ok(p) => procs.push(p),
+                    Err(e) => {
+                        self.diags.push(e);
+                        self.sync_to_newline();
+                    }
+                },
+                _ => match self.statement() {
+                    Ok(s) => body.push(s),
+                    Err(e) => {
+                        self.diags.push(e);
+                        self.sync_to_newline();
+                    }
+                },
             }
         }
-        Ok(AstProgram {
+        AstProgram {
             name,
             decls,
             procs,
             body,
-        })
+        }
     }
 
     fn proc_def(&mut self) -> PResult<ProcDef> {
-        let line = self.line();
         self.expect(&T::Kw(K::Proc))?;
-        let name = self.expect_ident("procedure name")?;
+        let (name, span) = self.ident_sp("procedure name")?;
         self.expect_newline()?;
         let body = self.block_until(|t| matches!(t, T::Kw(K::EndProc)))?;
         self.expect(&T::Kw(K::EndProc))?;
@@ -169,15 +275,18 @@ impl Parser {
             if n == name {
                 self.bump();
             } else {
-                return Err(self.err(format!("`endproc {n}` does not match `proc {name}`")));
+                return Err(self.err_code(
+                    "parse/endproc-mismatch",
+                    format!("`endproc {n}` does not match `proc {name}`"),
+                ));
             }
         }
         self.expect_newline()?;
-        Ok(ProcDef { name, body, line })
+        Ok(ProcDef { name, body, span })
     }
 
     /// Parses statements until `stop` matches the current token (newlines
-    /// skipped).
+    /// skipped), recovering at line boundaries inside the block.
     fn block_until(&mut self, stop: impl Fn(&T) -> bool) -> PResult<Vec<Stmt>> {
         let mut out = Vec::new();
         loop {
@@ -186,9 +295,18 @@ impl Parser {
                 return Ok(out);
             }
             if matches!(self.peek(), T::Eof) {
-                return Err(self.err("unexpected end of input inside a block"));
+                return Err(self.err_code(
+                    "parse/unclosed-block",
+                    "unexpected end of input inside a block",
+                ));
             }
-            out.push(self.statement()?);
+            match self.statement() {
+                Ok(s) => out.push(s),
+                Err(e) => {
+                    self.diags.push(e);
+                    self.sync_to_newline();
+                }
+            }
         }
     }
 
@@ -197,22 +315,24 @@ impl Parser {
     fn bound(&mut self) -> PResult<Bound> {
         match self.peek().clone() {
             T::Number(n) => {
-                self.bump();
                 if n.fract() != 0.0 {
-                    return Err(self.err("index bounds must be integers"));
+                    return Err(self.err_code("parse/int-bound", "index bounds must be integers"));
                 }
+                self.bump();
                 Ok(Bound::Lit(n as i64))
             }
             T::Ident(s) => {
                 self.bump();
                 Ok(Bound::Sym(s))
             }
-            other => Err(self.err(format!("expected index bound, found {other}"))),
+            other => Err(self.err_code(
+                "parse/expected",
+                format!("expected index bound, found {other}"),
+            )),
         }
     }
 
     fn declaration(&mut self) -> PResult<Decl> {
-        let line = self.line();
         let kw = match self.bump() {
             T::Kw(k) => k,
             _ => unreachable!("caller checked"),
@@ -227,7 +347,7 @@ impl Parser {
                     K::LaIndex => AstIndexKind::La,
                     _ => AstIndexKind::Simple,
                 };
-                let name = self.expect_ident("index name")?;
+                let (name, span) = self.ident_sp("index name")?;
                 self.expect(&T::Assign)?;
                 let low = self.bound()?;
                 self.expect(&T::Comma)?;
@@ -238,26 +358,32 @@ impl Parser {
                     kind,
                     low,
                     high,
-                    line,
+                    span,
                 })
             }
             K::Subindex => {
-                let name = self.expect_ident("subindex name")?;
+                let (name, span) = self.ident_sp("subindex name")?;
                 self.expect(&T::Kw(K::Of))?;
                 let parent = self.expect_ident("parent index name")?;
                 self.expect_newline()?;
-                Ok(Decl::Subindex { name, parent, line })
+                Ok(Decl::Subindex { name, parent, span })
             }
             K::Static | K::Temp | K::Local | K::Distributed | K::Served | K::Sparse => {
                 let sparse = kw == K::Sparse;
                 let kw = if sparse {
                     // `sparse` modifies a remote storage class.
-                    match self.bump() {
-                        T::Kw(k @ (K::Distributed | K::Served)) => k,
+                    match self.peek().clone() {
+                        T::Kw(k @ (K::Distributed | K::Served)) => {
+                            self.bump();
+                            k
+                        }
                         other => {
-                            return Err(self.err(format!(
+                            return Err(self.err_code(
+                                "parse/sparse-kind",
+                                format!(
                                 "`sparse` must be followed by `distributed` or `served`, found {other}"
-                            )));
+                            ),
+                            ));
                         }
                     }
                 } else {
@@ -270,7 +396,7 @@ impl Parser {
                     K::Distributed => AstArrayKind::Distributed,
                     _ => AstArrayKind::Served,
                 };
-                let name = self.expect_ident("array name")?;
+                let (name, span) = self.ident_sp("array name")?;
                 self.expect(&T::LParen)?;
                 let mut dims = vec![self.expect_ident("index name")?];
                 while self.accept(&T::Comma) {
@@ -283,25 +409,29 @@ impl Parser {
                     kind,
                     dims,
                     sparse,
-                    line,
+                    span,
                 })
             }
             K::Scalar => {
-                let name = self.expect_ident("scalar name")?;
+                let (name, span) = self.ident_sp("scalar name")?;
                 let mut init = 0.0;
                 if self.accept(&T::Assign) {
                     let neg = self.accept(&T::Minus);
-                    match self.bump() {
-                        T::Number(n) => init = if neg { -n } else { n },
+                    match self.peek().clone() {
+                        T::Number(n) => {
+                            self.bump();
+                            init = if neg { -n } else { n };
+                        }
                         other => {
-                            return Err(
-                                self.err(format!("expected numeric initializer, found {other}"))
-                            );
+                            return Err(self.err_code(
+                                "parse/expected",
+                                format!("expected numeric initializer, found {other}"),
+                            ));
                         }
                     }
                 }
                 self.expect_newline()?;
-                Ok(Decl::Scalar { name, init, line })
+                Ok(Decl::Scalar { name, init, span })
             }
             _ => unreachable!("caller checked"),
         }
@@ -310,8 +440,7 @@ impl Parser {
     // ---- expressions -------------------------------------------------------
 
     fn block_expr(&mut self) -> PResult<BlockExpr> {
-        let line = self.line();
-        let array = self.expect_ident("array name")?;
+        let (array, span) = self.ident_sp("array name")?;
         self.expect(&T::LParen)?;
         let mut indices = vec![self.expect_ident("index name")?];
         while self.accept(&T::Comma) {
@@ -321,7 +450,7 @@ impl Parser {
         Ok(BlockExpr {
             array,
             indices,
-            line,
+            span,
         })
     }
 
@@ -352,7 +481,10 @@ impl Parser {
                 self.expect(&T::RParen)?;
                 Ok(e)
             }
-            other => Err(self.err(format!("expected expression, found {other}"))),
+            other => Err(self.err_code(
+                "parse/expected",
+                format!("expected expression, found {other}"),
+            )),
         }
     }
 
@@ -419,7 +551,12 @@ impl Parser {
             T::Le => CmpOp::Le,
             T::Gt => CmpOp::Gt,
             T::Ge => CmpOp::Ge,
-            other => return Err(self.err(format!("expected comparison operator, found {other}"))),
+            other => {
+                return Err(self.err_code(
+                    "parse/expected",
+                    format!("expected comparison operator, found {other}"),
+                ))
+            }
         };
         self.bump();
         let r = self.expr()?;
@@ -482,16 +619,16 @@ impl Parser {
     // ---- statements ----------------------------------------------------------
 
     fn statement(&mut self) -> PResult<Stmt> {
-        let line = self.line();
+        let span = self.span();
         match self.peek().clone() {
             T::Kw(K::Pardo) => self.pardo_stmt(),
             T::Kw(K::Do) => self.do_stmt(),
             T::Kw(K::If) => self.if_stmt(),
             T::Kw(K::Call) => {
                 self.bump();
-                let name = self.expect_ident("procedure name")?;
+                let (name, span) = self.ident_sp("procedure name")?;
                 self.expect_newline()?;
-                Ok(Stmt::Call { name, line })
+                Ok(Stmt::Call { name, span })
             }
             T::Kw(K::Get) => {
                 self.bump();
@@ -532,9 +669,9 @@ impl Parser {
                             if self.at_block_ref() {
                                 args.push(ExecArg::Block(self.block_expr()?));
                             } else {
-                                let l = self.line();
+                                let sp = self.span();
                                 self.bump();
-                                args.push(ExecArg::Name(s, l));
+                                args.push(ExecArg::Name(s, sp));
                             }
                         }
                         T::Number(n) => {
@@ -550,7 +687,7 @@ impl Parser {
                     }
                 }
                 self.expect_newline()?;
-                Ok(Stmt::Execute { name, args, line })
+                Ok(Stmt::Execute { name, args, span })
             }
             T::Kw(K::Print) => {
                 self.bump();
@@ -569,58 +706,70 @@ impl Parser {
                     }
                 }
                 self.expect_newline()?;
-                Ok(Stmt::Print { items, line })
+                Ok(Stmt::Print { items, span })
             }
             T::Kw(K::Exit) => {
                 self.bump();
                 self.expect_newline()?;
-                Ok(Stmt::Exit(line))
+                Ok(Stmt::Exit(span))
             }
             T::Kw(K::SipBarrier) => {
                 self.bump();
                 self.expect_newline()?;
-                Ok(Stmt::Barrier(BarrierKind::Sip, line))
+                Ok(Stmt::Barrier(BarrierKind::Sip, span))
             }
             T::Kw(K::ServerBarrier) => {
                 self.bump();
                 self.expect_newline()?;
-                Ok(Stmt::Barrier(BarrierKind::Server, line))
+                Ok(Stmt::Barrier(BarrierKind::Server, span))
             }
             T::Kw(K::BlocksToList) => {
                 self.bump();
                 let array = self.expect_ident("array name")?;
-                let label = match self.bump() {
-                    T::Str(s) => s,
+                let label = match self.peek().clone() {
+                    T::Str(s) => {
+                        self.bump();
+                        s
+                    }
                     other => {
-                        return Err(self.err(format!("expected checkpoint label, found {other}")))
+                        return Err(self.err_code(
+                            "parse/expected",
+                            format!("expected checkpoint label, found {other}"),
+                        ))
                     }
                 };
                 self.expect_newline()?;
-                Ok(Stmt::BlocksToList { array, label, line })
+                Ok(Stmt::BlocksToList { array, label, span })
             }
             T::Kw(K::ListToBlocks) => {
                 self.bump();
                 let array = self.expect_ident("array name")?;
-                let label = match self.bump() {
-                    T::Str(s) => s,
+                let label = match self.peek().clone() {
+                    T::Str(s) => {
+                        self.bump();
+                        s
+                    }
                     other => {
-                        return Err(self.err(format!("expected checkpoint label, found {other}")))
+                        return Err(self.err_code(
+                            "parse/expected",
+                            format!("expected checkpoint label, found {other}"),
+                        ))
                     }
                 };
                 self.expect_newline()?;
-                Ok(Stmt::ListToBlocks { array, label, line })
+                Ok(Stmt::ListToBlocks { array, label, span })
             }
             T::Kw(K::Create) => {
                 self.bump();
-                let a = self.expect_ident("array name")?;
+                let (a, sp) = self.ident_sp("array name")?;
                 self.expect_newline()?;
-                Ok(Stmt::Create(a, line))
+                Ok(Stmt::Create(a, sp))
             }
             T::Kw(K::Delete) => {
                 self.bump();
-                let a = self.expect_ident("array name")?;
+                let (a, sp) = self.ident_sp("array name")?;
                 self.expect_newline()?;
-                Ok(Stmt::Delete(a, line))
+                Ok(Stmt::Delete(a, sp))
             }
             T::Ident(_) => self.assign_stmt(),
             other => Err(self.err(format!("unexpected {other} at start of statement"))),
@@ -633,12 +782,15 @@ impl Parser {
         } else if self.accept(&T::PlusAssign) {
             Ok(StoreMode::Accumulate)
         } else {
-            Err(self.err(format!("expected `=` or `+=`, found {}", self.peek())))
+            Err(self.err_code(
+                "parse/expected",
+                format!("expected `=` or `+=`, found {}", self.peek()),
+            ))
         }
     }
 
     fn pardo_stmt(&mut self) -> PResult<Stmt> {
-        let line = self.line();
+        let span = self.span();
         self.expect(&T::Kw(K::Pardo))?;
         let first = self.expect_ident("index name")?;
         // `pardo ii in i` — parallel subsegment loop.
@@ -654,7 +806,7 @@ impl Parser {
                 parent,
                 parallel: true,
                 body,
-                line,
+                span,
             });
         }
         let mut indices = vec![first];
@@ -684,7 +836,7 @@ impl Parser {
             indices,
             wheres,
             body,
-            line,
+            span,
         })
     }
 
@@ -701,7 +853,7 @@ impl Parser {
     }
 
     fn do_stmt(&mut self) -> PResult<Stmt> {
-        let line = self.line();
+        let span = self.span();
         self.expect(&T::Kw(K::Do))?;
         let first = self.expect_ident("index name")?;
         if self.accept(&T::Kw(K::In)) {
@@ -716,7 +868,7 @@ impl Parser {
                 parent,
                 parallel: false,
                 body,
-                line,
+                span,
             });
         }
         self.expect_newline()?;
@@ -727,12 +879,12 @@ impl Parser {
         Ok(Stmt::Do {
             index: first,
             body,
-            line,
+            span,
         })
     }
 
     fn if_stmt(&mut self) -> PResult<Stmt> {
-        let line = self.line();
+        let span = self.span();
         self.expect(&T::Kw(K::If))?;
         let cond = self.cond()?;
         self.expect_newline()?;
@@ -749,24 +901,41 @@ impl Parser {
             cond,
             then,
             els,
-            line,
+            span,
         })
     }
 
     fn assign_stmt(&mut self) -> PResult<Stmt> {
-        let line = self.line();
+        let span = self.span();
         let dest = if self.at_block_ref() {
             LValue::Block(self.block_expr()?)
         } else {
-            let name = self.expect_ident("variable name")?;
-            LValue::Scalar(name, line)
+            let (name, sp) = self.ident_sp("variable name")?;
+            LValue::Scalar(name, sp)
         };
-        let op = match self.bump() {
-            T::Assign => AssignOp::Set,
-            T::PlusAssign => AssignOp::Add,
-            T::MinusAssign => AssignOp::Sub,
-            T::StarAssign => AssignOp::Mul,
-            other => return Err(self.err(format!("expected assignment operator, found {other}"))),
+        let op = match self.peek().clone() {
+            T::Assign => {
+                self.bump();
+                AssignOp::Set
+            }
+            T::PlusAssign => {
+                self.bump();
+                AssignOp::Add
+            }
+            T::MinusAssign => {
+                self.bump();
+                AssignOp::Sub
+            }
+            T::StarAssign => {
+                self.bump();
+                AssignOp::Mul
+            }
+            other => {
+                return Err(self.err_code(
+                    "parse/expected",
+                    format!("expected assignment operator, found {other}"),
+                ))
+            }
         };
         let rhs = self.rhs()?;
         self.expect_newline()?;
@@ -774,7 +943,7 @@ impl Parser {
             dest,
             op,
             rhs,
-            line,
+            span,
         })
     }
 
@@ -813,7 +982,7 @@ mod tests {
         let src = format!(
             "sial t\naoindex M = 1, 4\naoindex N = 1, 4\ndistributed A(M,N)\ntemp x(M,N)\nscalar s\n{stmts}\nendsial\n"
         );
-        parse(&src).unwrap_or_else(|e| panic!("{e}\nsource:\n{src}"))
+        parse(&src).unwrap_or_else(|e| panic!("{e:?}\nsource:\n{src}"))
     }
 
     #[test]
@@ -880,10 +1049,11 @@ endsial
     fn sparse_requires_remote_storage_class() {
         let src = "sial t\naoindex M = 1, 4\nsparse temp X(M)\nendsial\n";
         let e = parse(src).unwrap_err();
+        assert_eq!(e[0].code, "parse/sparse-kind");
         assert!(
-            e.message.contains("`sparse` must be followed by"),
+            e[0].message.contains("`sparse` must be followed by"),
             "{}",
-            e.message
+            e[0].message
         );
     }
 
@@ -1047,12 +1217,13 @@ endsial
     fn declarations_after_statements_rejected() {
         let src = "sial t\nscalar s\ns = 1.0\nscalar q\nendsial\n";
         let err = parse(src).unwrap_err();
-        assert!(err.message.contains("precede"));
+        assert!(err[0].message.contains("precede"));
     }
 
     #[test]
     fn missing_sial_header_rejected() {
-        assert!(parse("scalar s\n").is_err());
+        let err = parse("scalar s\n").unwrap_err();
+        assert_eq!(err[0].code, "parse/missing-header");
     }
 
     #[test]
@@ -1062,17 +1233,38 @@ endsial
     }
 
     #[test]
-    fn execute_with_mixed_args() {
-        let p = parse_body("execute foo A(M,N) s 3.5 M");
-        match &p.body[0] {
-            Stmt::Execute { name, args, .. } => {
-                assert_eq!(name, "foo");
-                assert_eq!(args.len(), 4);
-                assert!(matches!(args[0], ExecArg::Block(_)));
-                assert!(matches!(args[1], ExecArg::Name(_, _)));
-                assert!(matches!(args[2], ExecArg::Num(_)));
-            }
-            _ => panic!(),
+    fn recovery_reports_every_bad_statement() {
+        // Three broken lines, two good ones: one pass reports all three
+        // errors and the AST keeps both good statements.
+        let src = "sial t\nscalar s\ns = \ns = 1.0\nput\ns = 2.0\nblocks_to_list\nendsial\n";
+        let (ast, diags) = parse_partial(src);
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert_eq!(ast.body.len(), 2, "good statements survive");
+        for d in &diags {
+            assert!(d.code.starts_with("parse/"), "{}", d.code);
         }
+    }
+
+    #[test]
+    fn recovery_inside_loop_body() {
+        let p = {
+            let src =
+                "sial t\naoindex M = 1, 4\ntemp x(M)\ndo M\nx(M) = \nx(M) = 1.0\nenddo\nendsial\n";
+            let (ast, diags) = parse_partial(src);
+            assert_eq!(diags.len(), 1);
+            ast
+        };
+        match &p.body[0] {
+            Stmt::Do { body, .. } => assert_eq!(body.len(), 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decl_spans_point_at_names() {
+        let src = "sial t\naoindex M = 1, 4\nendsial\n";
+        let p = parse(src).unwrap();
+        let span = p.decls[0].span();
+        assert_eq!(&src[span.start as usize..span.end as usize], "M");
     }
 }

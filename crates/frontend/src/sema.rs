@@ -2,11 +2,20 @@
 //! structural checks ("the type system can perform useful checks on the
 //! consistent use of index variables").
 //!
-//! Successful analysis yields a [`SemaInfo`] holding the final descriptor
-//! tables (in bytecode form) plus name→id maps the lowering pass uses.
+//! The pass is split in two so the incremental compiler database can
+//! memoize at proc granularity:
+//!
+//! * [`resolve_decls`] builds the [`SemaInfo`] descriptor tables from the
+//!   declaration section alone;
+//! * [`check_unit`] validates one *unit* — the main body or a single
+//!   procedure — against a finished `SemaInfo`. Editing one proc therefore
+//!   re-checks only that proc.
+//!
+//! Both stages are multi-error: they collect every [`Diagnostic`] they can
+//! find instead of stopping at the first.
 
 use crate::ast::*;
-use crate::error::{CompileError, ErrorKind};
+use sia_bytecode::diag::{Diagnostic, Span};
 use sia_bytecode::{
     ArrayDecl as BcArray, ArrayKind, IndexDecl as BcIndex, IndexKind, ScalarDecl as BcScalar, Value,
 };
@@ -35,59 +44,88 @@ pub struct SemaInfo {
     pub proc_order: Vec<String>,
 }
 
-fn err(line: u32, msg: impl Into<String>) -> CompileError {
-    CompileError::new(ErrorKind::Sema, line, msg)
+/// One independently checkable piece of a program.
+pub enum SemaUnit<'a> {
+    /// The top-level statement list.
+    Main(&'a [Stmt]),
+    /// A single procedure body.
+    Proc(&'a ProcDef),
 }
 
-struct Analyzer<'a> {
-    ast: &'a AstProgram,
-    info: SemaInfo,
-    /// Index names currently bound by an enclosing loop.
-    bound: Vec<String>,
-    /// True while inside a `pardo` body.
-    in_pardo: bool,
-    /// Nesting depth of sequential `do`/`do in` loops.
-    do_depth: usize,
-    /// Call stack for recursion detection.
-    call_stack: Vec<String>,
+fn err(span: Span, msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::error("sema/invalid", span, msg)
 }
 
-/// Runs semantic analysis over a parsed program.
-pub fn analyze(ast: &AstProgram) -> Result<SemaInfo, CompileError> {
-    let mut a = Analyzer {
-        ast,
+fn err_unknown(span: Span, msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::error("sema/unknown-name", span, msg)
+}
+
+fn err_dup(span: Span, msg: impl Into<String>) -> Diagnostic {
+    Diagnostic::error("sema/duplicate", span, msg)
+}
+
+type SResult<T = ()> = Result<T, Diagnostic>;
+
+/// Builds the descriptor tables from the declaration section, reporting
+/// every declaration error (bad decls are skipped, good ones kept).
+pub fn resolve_decls(ast: &AstProgram) -> (SemaInfo, Vec<Diagnostic>) {
+    let mut c = DeclCollector {
         info: SemaInfo::default(),
+        diags: Vec::new(),
+    };
+    c.collect(ast);
+    (c.info, c.diags)
+}
+
+/// Checks one unit (main body or one proc) against resolved declarations.
+pub fn check_unit(info: &SemaInfo, unit: SemaUnit<'_>) -> Vec<Diagnostic> {
+    let mut c = UnitChecker {
+        info,
         bound: Vec::new(),
         in_pardo: false,
         do_depth: 0,
         call_stack: Vec::new(),
+        diags: Vec::new(),
     };
-    a.collect_decls()?;
-    a.check_stmts(&ast.body)?;
-    // Procedures are checked in an empty loop context of their own: SIAL
-    // procedures do not capture enclosing loop indices.
-    for p in &ast.procs {
-        a.bound.clear();
-        a.in_pardo = false;
-        a.do_depth = 0;
-        a.call_stack.push(p.name.clone());
-        a.check_stmts(&p.body)?;
-        a.call_stack.pop();
+    match unit {
+        SemaUnit::Main(body) => c.check_stmts(body),
+        SemaUnit::Proc(p) => {
+            // SIAL procedures do not capture enclosing loop indices; they
+            // check in an empty loop context seeded with their own name for
+            // self-recursion detection.
+            c.call_stack.push(p.name.clone());
+            c.check_stmts(&p.body);
+        }
     }
-    Ok(a.info)
+    c.diags
 }
 
-impl<'a> Analyzer<'a> {
-    // ---- declarations -----------------------------------------------------
+/// Whole-program analysis: resolves declarations, then checks every unit.
+/// Returns all diagnostics found, or the tables if there were none.
+pub fn analyze(ast: &AstProgram) -> Result<SemaInfo, Vec<Diagnostic>> {
+    let (info, mut diags) = resolve_decls(ast);
+    diags.extend(check_unit(&info, SemaUnit::Main(&ast.body)));
+    for p in &ast.procs {
+        diags.extend(check_unit(&info, SemaUnit::Proc(p)));
+    }
+    if diags.is_empty() {
+        Ok(info)
+    } else {
+        Err(diags)
+    }
+}
 
-    fn declare_name(
-        &mut self,
-        name: &str,
-        line: u32,
-        taken: &mut BTreeSet<String>,
-    ) -> Result<(), CompileError> {
+// ---- declaration collection ------------------------------------------------
+
+struct DeclCollector {
+    info: SemaInfo,
+    diags: Vec<Diagnostic>,
+}
+
+impl DeclCollector {
+    fn declare_name(&mut self, name: &str, span: Span, taken: &mut BTreeSet<String>) -> SResult {
         if !taken.insert(name.to_string()) {
-            return Err(err(line, format!("`{name}` declared more than once")));
+            return Err(err_dup(span, format!("`{name}` declared more than once")));
         }
         Ok(())
     }
@@ -109,21 +147,24 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    fn collect_decls(&mut self) -> Result<(), CompileError> {
+    fn collect(&mut self, ast: &AstProgram) {
         let mut taken: BTreeSet<String> = BTreeSet::new();
 
         // First pass: index declarations (so subindices can reference them in
         // any order), then everything else.
-        for d in &self.ast.decls {
+        for d in &ast.decls {
             if let Decl::Index {
                 name,
                 kind,
                 low,
                 high,
-                line,
+                span,
             } = d
             {
-                self.declare_name(name, *line, &mut taken)?;
+                if let Err(e) = self.declare_name(name, *span, &mut taken) {
+                    self.diags.push(e);
+                    continue;
+                }
                 let bc_kind = match kind {
                     AstIndexKind::Ao => IndexKind::AoIndex,
                     AstIndexKind::Mo => IndexKind::MoIndex,
@@ -147,141 +188,193 @@ impl<'a> Analyzer<'a> {
         }
         // Second pass: subindices (may appear anywhere relative to the arrays
         // that use them).
-        for d in &self.ast.decls {
-            if let Decl::Subindex { name, parent, line } = d {
-                self.declare_name(name, *line, &mut taken)?;
-                let Some(&pid) = self.info.index_ids.get(parent) else {
-                    return Err(err(*line, format!("unknown parent index `{parent}`")));
-                };
-                let pkind = self.info.indices[pid as usize].kind;
-                if !pkind.is_segment() {
-                    return Err(err(
-                        *line,
-                        format!("`{parent}` is a simple index and cannot have subindices"),
-                    ));
+        for d in &ast.decls {
+            if let Decl::Subindex { name, parent, span } = d {
+                if let Err(e) = self.subindex_decl(name, parent, *span, &mut taken) {
+                    self.diags.push(e);
                 }
-                if matches!(pkind, IndexKind::Subindex { .. }) {
-                    return Err(err(
-                        *line,
-                        format!("`{parent}` is itself a subindex; nesting is not supported"),
-                    ));
-                }
-                self.info
-                    .index_ids
-                    .insert(name.clone(), self.info.indices.len() as u32);
-                self.info.indices.push(BcIndex {
-                    name: name.clone(),
-                    kind: IndexKind::Subindex {
-                        parent: sia_bytecode::IndexId(pid),
-                    },
-                    // Subindex ranges derive from the parent at runtime
-                    // (the subsegment count is a runtime parameter).
-                    low: Value::Lit(0),
-                    high: Value::Lit(0),
-                });
             }
         }
         // Third pass: arrays and scalars.
-        for d in &self.ast.decls {
-            match d {
-                Decl::Index { .. } | Decl::Subindex { .. } => {}
+        for d in &ast.decls {
+            let r = match d {
+                Decl::Index { .. } | Decl::Subindex { .. } => Ok(()),
                 Decl::Array {
                     name,
                     kind,
                     dims,
                     sparse,
-                    line,
-                } => {
-                    self.declare_name(name, *line, &mut taken)?;
-                    let bc_kind = match kind {
-                        AstArrayKind::Static => ArrayKind::Static,
-                        AstArrayKind::Temp => ArrayKind::Temp,
-                        AstArrayKind::Local => ArrayKind::Local,
-                        AstArrayKind::Distributed => ArrayKind::Distributed,
-                        AstArrayKind::Served => ArrayKind::Served,
-                    };
-                    if *sparse && !bc_kind.is_remote() {
-                        return Err(err(
-                            *line,
-                            format!(
-                                "array `{name}`: `sparse` applies only to distributed or \
-                                 served arrays, not {bc_kind:?}"
-                            ),
-                        ));
-                    }
-                    let mut dim_ids = Vec::with_capacity(dims.len());
-                    for dim in dims {
-                        let Some(&id) = self.info.index_ids.get(dim) else {
-                            return Err(err(
-                                *line,
-                                format!("array `{name}`: unknown index `{dim}`"),
-                            ));
-                        };
-                        if !self.info.indices[id as usize].kind.is_segment() {
-                            return Err(err(
-                                *line,
-                                format!(
-                                    "array `{name}`: `{dim}` is a simple index and cannot \
-                                     shape an array dimension"
-                                ),
-                            ));
-                        }
-                        dim_ids.push(sia_bytecode::IndexId(id));
-                    }
-                    if dim_ids.is_empty() {
-                        return Err(err(*line, format!("array `{name}` has no dimensions")));
-                    }
-                    self.info
-                        .array_ids
-                        .insert(name.clone(), self.info.arrays.len() as u32);
-                    self.info.arrays.push(BcArray {
-                        name: name.clone(),
-                        kind: bc_kind,
-                        dims: dim_ids,
-                        sparse: *sparse,
-                    });
+                    span,
+                } => self.array_decl(name, kind, dims, *sparse, *span, &mut taken),
+                Decl::Scalar { name, init, span } => {
+                    self.declare_name(name, *span, &mut taken).map(|()| {
+                        self.info
+                            .scalar_ids
+                            .insert(name.clone(), self.info.scalars.len() as u32);
+                        self.info.scalars.push(BcScalar {
+                            name: name.clone(),
+                            init: *init,
+                        });
+                    })
                 }
-                Decl::Scalar { name, init, line } => {
-                    self.declare_name(name, *line, &mut taken)?;
-                    self.info
-                        .scalar_ids
-                        .insert(name.clone(), self.info.scalars.len() as u32);
-                    self.info.scalars.push(BcScalar {
-                        name: name.clone(),
-                        init: *init,
-                    });
-                }
+            };
+            if let Err(e) = r {
+                self.diags.push(e);
             }
         }
         // Constants share the namespace: reject a constant that collides with
         // a declared name (it would be ambiguous in expressions).
         for c in &self.info.consts.clone() {
             if taken.contains(c) {
-                return Err(err(
-                    0,
+                self.diags.push(err(
+                    Span::default(),
                     format!("`{c}` is used as a symbolic constant but also declared"),
                 ));
             }
         }
         // Procedures: unique names.
         let mut proc_names = BTreeSet::new();
-        for p in &self.ast.procs {
+        for p in &ast.procs {
             if !proc_names.insert(p.name.clone()) {
-                return Err(err(p.line, format!("procedure `{}` defined twice", p.name)));
+                self.diags.push(err_dup(
+                    p.span,
+                    format!("procedure `{}` defined twice", p.name),
+                ));
+                continue;
             }
             self.info.proc_order.push(p.name.clone());
         }
+    }
+
+    fn subindex_decl(
+        &mut self,
+        name: &str,
+        parent: &str,
+        span: Span,
+        taken: &mut BTreeSet<String>,
+    ) -> SResult {
+        self.declare_name(name, span, taken)?;
+        let Some(&pid) = self.info.index_ids.get(parent) else {
+            return Err(err_unknown(
+                span,
+                format!("unknown parent index `{parent}`"),
+            ));
+        };
+        let pkind = self.info.indices[pid as usize].kind;
+        if !pkind.is_segment() {
+            return Err(err(
+                span,
+                format!("`{parent}` is a simple index and cannot have subindices"),
+            ));
+        }
+        if matches!(pkind, IndexKind::Subindex { .. }) {
+            return Err(err(
+                span,
+                format!("`{parent}` is itself a subindex; nesting is not supported"),
+            ));
+        }
+        self.info
+            .index_ids
+            .insert(name.to_string(), self.info.indices.len() as u32);
+        self.info.indices.push(BcIndex {
+            name: name.to_string(),
+            kind: IndexKind::Subindex {
+                parent: sia_bytecode::IndexId(pid),
+            },
+            // Subindex ranges derive from the parent at runtime
+            // (the subsegment count is a runtime parameter).
+            low: Value::Lit(0),
+            high: Value::Lit(0),
+        });
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
+    fn array_decl(
+        &mut self,
+        name: &str,
+        kind: &AstArrayKind,
+        dims: &[String],
+        sparse: bool,
+        span: Span,
+        taken: &mut BTreeSet<String>,
+    ) -> SResult {
+        self.declare_name(name, span, taken)?;
+        let bc_kind = match kind {
+            AstArrayKind::Static => ArrayKind::Static,
+            AstArrayKind::Temp => ArrayKind::Temp,
+            AstArrayKind::Local => ArrayKind::Local,
+            AstArrayKind::Distributed => ArrayKind::Distributed,
+            AstArrayKind::Served => ArrayKind::Served,
+        };
+        if sparse && !bc_kind.is_remote() {
+            return Err(err(
+                span,
+                format!(
+                    "array `{name}`: `sparse` applies only to distributed or \
+                     served arrays, not {bc_kind:?}"
+                ),
+            ));
+        }
+        let mut dim_ids = Vec::with_capacity(dims.len());
+        for dim in dims {
+            let Some(&id) = self.info.index_ids.get(dim) else {
+                return Err(err_unknown(
+                    span,
+                    format!("array `{name}`: unknown index `{dim}`"),
+                ));
+            };
+            if !self.info.indices[id as usize].kind.is_segment() {
+                return Err(err(
+                    span,
+                    format!(
+                        "array `{name}`: `{dim}` is a simple index and cannot \
+                         shape an array dimension"
+                    ),
+                ));
+            }
+            dim_ids.push(sia_bytecode::IndexId(id));
+        }
+        if dim_ids.is_empty() {
+            return Err(err(span, format!("array `{name}` has no dimensions")));
+        }
+        self.info
+            .array_ids
+            .insert(name.to_string(), self.info.arrays.len() as u32);
+        self.info.arrays.push(BcArray {
+            name: name.to_string(),
+            kind: bc_kind,
+            dims: dim_ids,
+            sparse,
+        });
+        Ok(())
+    }
+}
+
+// ---- unit checking ---------------------------------------------------------
+
+struct UnitChecker<'a> {
+    info: &'a SemaInfo,
+    /// Index names currently bound by an enclosing loop.
+    bound: Vec<String>,
+    /// True while inside a `pardo` body.
+    in_pardo: bool,
+    /// Nesting depth of sequential `do`/`do in` loops.
+    do_depth: usize,
+    /// Call stack for recursion detection.
+    call_stack: Vec<String>,
+    diags: Vec<Diagnostic>,
+}
+
+impl<'a> UnitChecker<'a> {
     // ---- helpers ------------------------------------------------------------
 
-    fn index_id(&self, name: &str, line: u32) -> Result<u32, CompileError> {
+    fn index_id(&self, name: &str, span: Span) -> SResult<u32> {
         self.info
             .index_ids
             .get(name)
             .copied()
-            .ok_or_else(|| err(line, format!("unknown index `{name}`")))
+            .ok_or_else(|| err_unknown(span, format!("unknown index `{name}`")))
     }
 
     fn index_kind(&self, id: u32) -> IndexKind {
@@ -296,25 +389,25 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    fn require_bound(&self, name: &str, line: u32) -> Result<(), CompileError> {
+    fn require_bound(&self, name: &str, span: Span) -> SResult {
         if self.bound.iter().any(|b| b == name) {
             Ok(())
         } else {
             Err(err(
-                line,
+                span,
                 format!("index `{name}` is not defined by an enclosing loop here"),
             ))
         }
     }
 
-    fn check_block_ref(&self, b: &BlockExpr) -> Result<(), CompileError> {
+    fn check_block_ref(&self, b: &BlockExpr) -> SResult {
         let Some(&aid) = self.info.array_ids.get(&b.array) else {
-            return Err(err(b.line, format!("unknown array `{}`", b.array)));
+            return Err(err_unknown(b.span, format!("unknown array `{}`", b.array)));
         };
         let decl = &self.info.arrays[aid as usize];
         if decl.dims.len() != b.indices.len() {
             return Err(err(
-                b.line,
+                b.span,
                 format!(
                     "array `{}` has rank {}, referenced with {} indices",
                     b.array,
@@ -324,13 +417,13 @@ impl<'a> Analyzer<'a> {
             ));
         }
         for (d, idx_name) in b.indices.iter().enumerate() {
-            let iid = self.index_id(idx_name, b.line)?;
-            self.require_bound(idx_name, b.line)?;
+            let iid = self.index_id(idx_name, b.span)?;
+            self.require_bound(idx_name, b.span)?;
             let ref_kind = self.effective_kind(iid);
             let decl_kind = self.effective_kind(decl.dims[d].0);
             if ref_kind != decl_kind {
                 return Err(err(
-                    b.line,
+                    b.span,
                     format!(
                         "array `{}` dimension {}: index `{}` has kind {:?} but the \
                          dimension was declared {:?}",
@@ -344,7 +437,7 @@ impl<'a> Analyzer<'a> {
             }
             if matches!(self.index_kind(iid), IndexKind::Simple) {
                 return Err(err(
-                    b.line,
+                    b.span,
                     format!("simple index `{idx_name}` cannot address array segments"),
                 ));
             }
@@ -352,21 +445,16 @@ impl<'a> Analyzer<'a> {
         Ok(())
     }
 
-    fn array_kind(&self, name: &str, line: u32) -> Result<ArrayKind, CompileError> {
+    fn array_kind(&self, name: &str, span: Span) -> SResult<ArrayKind> {
         let Some(&aid) = self.info.array_ids.get(name) else {
-            return Err(err(line, format!("unknown array `{name}`")));
+            return Err(err_unknown(span, format!("unknown array `{name}`")));
         };
         Ok(self.info.arrays[aid as usize].kind)
     }
 
-    /// Checks a scalar expression; `extra_ok` lists index names additionally
+    /// Checks a scalar expression; `restrict` lists index names additionally
     /// allowed (used by `where` clauses to restrict to the pardo indices).
-    fn check_expr(
-        &self,
-        e: &Expr,
-        line: u32,
-        restrict: Option<&[String]>,
-    ) -> Result<(), CompileError> {
+    fn check_expr(&self, e: &Expr, span: Span, restrict: Option<&[String]>) -> SResult {
         match e {
             Expr::Num(_) => Ok(()),
             Expr::Name(n) => {
@@ -377,7 +465,7 @@ impl<'a> Analyzer<'a> {
                     if let Some(allowed) = restrict {
                         if !allowed.iter().any(|a| a == n) {
                             return Err(err(
-                                line,
+                                span,
                                 format!(
                                     "`{n}` is not an index of this pardo; where clauses may \
                                      only reference the pardo's own indices"
@@ -386,34 +474,32 @@ impl<'a> Analyzer<'a> {
                         }
                         return Ok(());
                     }
-                    return self.require_bound(n, line);
+                    return self.require_bound(n, span);
                 }
-                Err(err(line, format!("unknown name `{n}` in expression")))
+                Err(err_unknown(
+                    span,
+                    format!("unknown name `{n}` in expression"),
+                ))
             }
             Expr::Bin(_, l, r) => {
-                self.check_expr(l, line, restrict)?;
-                self.check_expr(r, line, restrict)
+                self.check_expr(l, span, restrict)?;
+                self.check_expr(r, span, restrict)
             }
-            Expr::Neg(x) => self.check_expr(x, line, restrict),
+            Expr::Neg(x) => self.check_expr(x, span, restrict),
         }
     }
 
-    fn check_cond(
-        &self,
-        c: &Cond,
-        line: u32,
-        restrict: Option<&[String]>,
-    ) -> Result<(), CompileError> {
+    fn check_cond(&self, c: &Cond, span: Span, restrict: Option<&[String]>) -> SResult {
         match c {
             Cond::Cmp(l, _, r) => {
-                self.check_expr(l, line, restrict)?;
-                self.check_expr(r, line, restrict)
+                self.check_expr(l, span, restrict)?;
+                self.check_expr(r, span, restrict)
             }
             Cond::And(a, b) | Cond::Or(a, b) => {
-                self.check_cond(a, line, restrict)?;
-                self.check_cond(b, line, restrict)
+                self.check_cond(a, span, restrict)?;
+                self.check_cond(b, span, restrict)
             }
-            Cond::Not(x) => self.check_cond(x, line, restrict),
+            Cond::Not(x) => self.check_cond(x, span, restrict),
         }
     }
 
@@ -425,15 +511,15 @@ impl<'a> Analyzer<'a> {
         dest: &[String],
         a: &BlockExpr,
         b: &BlockExpr,
-        line: u32,
-    ) -> Result<(), CompileError> {
+        span: Span,
+    ) -> SResult {
         let in_a = |n: &String| a.indices.contains(n);
         let in_b = |n: &String| b.indices.contains(n);
         for lists in [&a.indices, &b.indices] {
             for (i, n) in lists.iter().enumerate() {
                 if lists[..i].contains(n) {
                     return Err(err(
-                        line,
+                        span,
                         format!("index `{n}` repeated within one contraction operand"),
                     ));
                 }
@@ -443,13 +529,13 @@ impl<'a> Analyzer<'a> {
             match (in_a(n), in_b(n)) {
                 (true, true) => {
                     return Err(err(
-                        line,
+                        span,
                         format!("index `{n}` appears in both operands and the result"),
                     ));
                 }
                 (false, false) => {
                     return Err(err(
-                        line,
+                        span,
                         format!("result index `{n}` appears in neither operand"),
                     ));
                 }
@@ -460,7 +546,7 @@ impl<'a> Analyzer<'a> {
             let contracted = in_a(n) && in_b(n) && !dest.contains(n);
             if !contracted && !dest.contains(n) {
                 return Err(err(
-                    line,
+                    span,
                     format!("operand index `{n}` is neither contracted nor in the result"),
                 ));
             }
@@ -471,17 +557,17 @@ impl<'a> Analyzer<'a> {
     /// A block the worker can read locally: any kind (distributed/served
     /// blocks must have been fetched — enforced at runtime by the
     /// block-availability check, as in the original SIP).
-    fn check_readable(&self, b: &BlockExpr) -> Result<(), CompileError> {
+    fn check_readable(&self, b: &BlockExpr) -> SResult {
         self.check_block_ref(b)
     }
 
     /// A block the worker can write directly (not through put/prepare).
-    fn check_writable(&self, b: &BlockExpr) -> Result<(), CompileError> {
+    fn check_writable(&self, b: &BlockExpr) -> SResult {
         self.check_block_ref(b)?;
-        let kind = self.array_kind(&b.array, b.line)?;
+        let kind = self.array_kind(&b.array, b.span)?;
         if kind.is_remote() {
             return Err(err(
-                b.line,
+                b.span,
                 format!(
                     "cannot assign directly to {} array `{}`; use `put`/`prepare`",
                     match kind {
@@ -497,17 +583,18 @@ impl<'a> Analyzer<'a> {
 
     // ---- statements ------------------------------------------------------------
 
-    fn check_stmts(&mut self, stmts: &[Stmt]) -> Result<(), CompileError> {
+    fn check_stmts(&mut self, stmts: &[Stmt]) {
         for s in stmts {
-            self.check_stmt(s)?;
+            if let Err(e) = self.check_stmt(s) {
+                self.diags.push(e);
+            }
         }
-        Ok(())
     }
 
-    fn bind_index(&mut self, name: &str, line: u32) -> Result<(), CompileError> {
+    fn bind_index(&mut self, name: &str, span: Span) -> SResult {
         if self.bound.iter().any(|b| b == name) {
             return Err(err(
-                line,
+                span,
                 format!("index `{name}` is already bound by an enclosing loop"),
             ));
         }
@@ -515,121 +602,125 @@ impl<'a> Analyzer<'a> {
         Ok(())
     }
 
-    fn check_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+    /// Runs `f` and restores the loop-context state afterwards, so an error
+    /// part-way through a loop header cannot leak bindings into the
+    /// following statements (the checker keeps going after errors).
+    fn scoped(&mut self, f: impl FnOnce(&mut Self) -> SResult) -> SResult {
+        let bound_len = self.bound.len();
+        let in_pardo = self.in_pardo;
+        let do_depth = self.do_depth;
+        let r = f(self);
+        self.bound.truncate(bound_len);
+        self.in_pardo = in_pardo;
+        self.do_depth = do_depth;
+        r
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> SResult {
         match s {
             Stmt::Pardo {
                 indices,
                 wheres,
                 body,
-                line,
-            } => {
-                if self.in_pardo {
+                span,
+            } => self.scoped(|c| {
+                if c.in_pardo {
                     return Err(err(
-                        *line,
+                        *span,
                         "pardo loops may not be syntactically nested (the paper allows \
                          concurrency only between *separate* pardo loops)",
                     ));
                 }
                 for n in indices {
-                    let id = self.index_id(n, *line)?;
-                    if matches!(self.index_kind(id), IndexKind::Subindex { .. }) {
+                    let id = c.index_id(n, *span)?;
+                    if matches!(c.index_kind(id), IndexKind::Subindex { .. }) {
                         return Err(err(
-                            *line,
+                            *span,
                             format!(
                                 "subindex `{n}` cannot head a plain pardo; use `pardo {n} in …`"
                             ),
                         ));
                     }
-                    self.bind_index(n, *line)?;
+                    c.bind_index(n, *span)?;
                 }
                 for w in wheres {
-                    self.check_cond(w, *line, Some(indices))?;
+                    c.check_cond(w, *span, Some(indices))?;
                 }
-                self.in_pardo = true;
-                self.check_stmts(body)?;
-                self.in_pardo = false;
-                for _ in indices {
-                    self.bound.pop();
-                }
+                c.in_pardo = true;
+                c.check_stmts(body);
                 Ok(())
-            }
-            Stmt::Do { index, body, line } => {
-                let _ = self.index_id(index, *line)?;
-                let id = self.index_id(index, *line)?;
-                if matches!(self.index_kind(id), IndexKind::Subindex { .. }) {
+            }),
+            Stmt::Do { index, body, span } => self.scoped(|c| {
+                let id = c.index_id(index, *span)?;
+                if matches!(c.index_kind(id), IndexKind::Subindex { .. }) {
                     return Err(err(
-                        *line,
+                        *span,
                         format!("subindex `{index}` requires `do {index} in <parent>`"),
                     ));
                 }
-                self.bind_index(index, *line)?;
-                self.do_depth += 1;
-                self.check_stmts(body)?;
-                self.do_depth -= 1;
-                self.bound.pop();
+                c.bind_index(index, *span)?;
+                c.do_depth += 1;
+                c.check_stmts(body);
                 Ok(())
-            }
+            }),
             Stmt::DoIn {
                 sub,
                 parent,
-                parallel,
+                parallel: _,
                 body,
-                line,
-            } => {
-                let sid = self.index_id(sub, *line)?;
-                let pid = self.index_id(parent, *line)?;
-                match self.index_kind(sid) {
+                span,
+            } => self.scoped(|c| {
+                let sid = c.index_id(sub, *span)?;
+                let pid = c.index_id(parent, *span)?;
+                match c.index_kind(sid) {
                     IndexKind::Subindex { parent: declared } if declared.0 == pid => {}
                     IndexKind::Subindex { .. } => {
                         return Err(err(
-                            *line,
+                            *span,
                             format!("`{sub}` is not a subindex of `{parent}`"),
                         ));
                     }
                     _ => {
-                        return Err(err(*line, format!("`{sub}` is not a subindex")));
+                        return Err(err(*span, format!("`{sub}` is not a subindex")));
                     }
                 }
                 // The super index must be well-defined here (§IV-E.3).
-                self.require_bound(parent, *line)?;
-                if *parallel && self.in_pardo {
-                    // `pardo … in` inside a pardo body degenerates to a
-                    // sequential loop on the worker; allowed.
-                }
-                self.bind_index(sub, *line)?;
-                self.do_depth += 1;
-                self.check_stmts(body)?;
-                self.do_depth -= 1;
-                self.bound.pop();
+                c.require_bound(parent, *span)?;
+                c.bind_index(sub, *span)?;
+                c.do_depth += 1;
+                c.check_stmts(body);
                 Ok(())
-            }
+            }),
             Stmt::If {
                 cond,
                 then,
                 els,
-                line,
+                span,
             } => {
-                self.check_cond(cond, *line, None)?;
-                self.check_stmts(then)?;
-                self.check_stmts(els)
+                if let Err(e) = self.check_cond(cond, *span, None) {
+                    self.diags.push(e);
+                }
+                self.check_stmts(then);
+                self.check_stmts(els);
+                Ok(())
             }
-            Stmt::Call { name, line } => {
+            Stmt::Call { name, span } => {
                 if !self.info.proc_order.iter().any(|p| p == name) {
-                    return Err(err(*line, format!("unknown procedure `{name}`")));
+                    return Err(err_unknown(*span, format!("unknown procedure `{name}`")));
                 }
                 if self.call_stack.iter().any(|c| c == name) {
-                    return Err(err(*line, format!("recursive call to `{name}`")));
+                    return Err(err(*span, format!("recursive call to `{name}`")));
                 }
-                // Check the callee body in the current (empty-loop) context is
-                // done separately in `analyze`; here we only resolve the name.
+                // The callee body is checked as its own unit; here we only
+                // resolve the name.
                 Ok(())
             }
             Stmt::Get(b) => {
                 self.check_block_ref(b)?;
-                let kind = self.array_kind(&b.array, b.line)?;
+                let kind = self.array_kind(&b.array, b.span)?;
                 if kind != ArrayKind::Distributed {
                     return Err(err(
-                        b.line,
+                        b.span,
                         format!(
                             "`get` requires a distributed array; `{}` is {kind:?}",
                             b.array
@@ -640,10 +731,10 @@ impl<'a> Analyzer<'a> {
             }
             Stmt::Request(b) => {
                 self.check_block_ref(b)?;
-                let kind = self.array_kind(&b.array, b.line)?;
+                let kind = self.array_kind(&b.array, b.span)?;
                 if kind != ArrayKind::Served {
                     return Err(err(
-                        b.line,
+                        b.span,
                         format!(
                             "`request` requires a served array; `{}` is {kind:?}",
                             b.array
@@ -655,19 +746,19 @@ impl<'a> Analyzer<'a> {
             Stmt::Put { dest, src, .. } => {
                 self.check_block_ref(dest)?;
                 self.check_readable(src)?;
-                let kind = self.array_kind(&dest.array, dest.line)?;
+                let kind = self.array_kind(&dest.array, dest.span)?;
                 if kind != ArrayKind::Distributed {
                     return Err(err(
-                        dest.line,
+                        dest.span,
                         format!(
                             "`put` requires a distributed array; `{}` is {kind:?}",
                             dest.array
                         ),
                     ));
                 }
-                if self.array_kind(&src.array, src.line)?.is_remote() {
+                if self.array_kind(&src.array, src.span)?.is_remote() {
                     return Err(err(
-                        src.line,
+                        src.span,
                         "`put` source must be a local block (temp/local/static)",
                     ));
                 }
@@ -676,19 +767,19 @@ impl<'a> Analyzer<'a> {
             Stmt::Prepare { dest, src, .. } => {
                 self.check_block_ref(dest)?;
                 self.check_readable(src)?;
-                let kind = self.array_kind(&dest.array, dest.line)?;
+                let kind = self.array_kind(&dest.array, dest.span)?;
                 if kind != ArrayKind::Served {
                     return Err(err(
-                        dest.line,
+                        dest.span,
                         format!(
                             "`prepare` requires a served array; `{}` is {kind:?}",
                             dest.array
                         ),
                     ));
                 }
-                if self.array_kind(&src.array, src.line)?.is_remote() {
+                if self.array_kind(&src.array, src.span)?.is_remote() {
                     return Err(err(
-                        src.line,
+                        src.span,
                         "`prepare` source must be a local block (temp/local/static)",
                     ));
                 }
@@ -698,62 +789,69 @@ impl<'a> Analyzer<'a> {
                 dest,
                 op,
                 rhs,
-                line,
-            } => self.check_assign(dest, *op, rhs, *line),
+                span,
+            } => self.check_assign(dest, *op, rhs, *span),
             Stmt::Execute { args, .. } => {
                 for a in args {
-                    match a {
-                        ExecArg::Block(b) => self.check_block_ref(b)?,
-                        ExecArg::Name(n, l) => {
+                    let r = match a {
+                        ExecArg::Block(b) => self.check_block_ref(b),
+                        ExecArg::Name(n, sp) => {
                             if self.info.scalar_ids.contains_key(n)
                                 || self.info.const_ids.contains_key(n)
                             {
-                                continue;
+                                Ok(())
+                            } else if self.info.index_ids.contains_key(n) {
+                                self.require_bound(n, *sp)
+                            } else {
+                                Err(err_unknown(
+                                    *sp,
+                                    format!("unknown `execute` argument `{n}`"),
+                                ))
                             }
-                            if self.info.index_ids.contains_key(n) {
-                                self.require_bound(n, *l)?;
-                                continue;
-                            }
-                            return Err(err(*l, format!("unknown `execute` argument `{n}`")));
                         }
-                        ExecArg::Num(_) => {}
+                        ExecArg::Num(_) => Ok(()),
+                    };
+                    if let Err(e) = r {
+                        self.diags.push(e);
                     }
                 }
                 Ok(())
             }
-            Stmt::Exit(line) => {
+            Stmt::Exit(span) => {
                 if self.do_depth == 0 {
                     return Err(err(
-                        *line,
+                        *span,
                         "`exit` must appear inside a `do` or `do … in` loop",
                     ));
                 }
                 Ok(())
             }
             Stmt::Barrier(_, _) => Ok(()),
-            Stmt::BlocksToList { array, line, .. } | Stmt::ListToBlocks { array, line, .. } => {
-                let kind = self.array_kind(array, *line)?;
+            Stmt::BlocksToList { array, span, .. } | Stmt::ListToBlocks { array, span, .. } => {
+                let kind = self.array_kind(array, *span)?;
                 if kind != ArrayKind::Distributed && kind != ArrayKind::Served {
                     return Err(err(
-                        *line,
+                        *span,
                         "checkpointing applies to distributed or served arrays",
                     ));
                 }
                 Ok(())
             }
-            Stmt::Print { items, line } => {
+            Stmt::Print { items, span } => {
                 for i in items {
                     if let AstPrintItem::Expr(e) = i {
-                        self.check_expr(e, *line, None)?;
+                        if let Err(d) = self.check_expr(e, *span, None) {
+                            self.diags.push(d);
+                        }
                     }
                 }
                 Ok(())
             }
-            Stmt::Create(name, line) | Stmt::Delete(name, line) => {
-                let kind = self.array_kind(name, *line)?;
+            Stmt::Create(name, span) | Stmt::Delete(name, span) => {
+                let kind = self.array_kind(name, *span)?;
                 if !kind.is_remote() && kind != ArrayKind::Local {
                     return Err(err(
-                        *line,
+                        *span,
                         format!("`create`/`delete` applies to distributed, served, or local arrays, not {kind:?}"),
                     ));
                 }
@@ -762,13 +860,7 @@ impl<'a> Analyzer<'a> {
         }
     }
 
-    fn check_assign(
-        &mut self,
-        dest: &LValue,
-        op: AssignOp,
-        rhs: &Rhs,
-        line: u32,
-    ) -> Result<(), CompileError> {
+    fn check_assign(&mut self, dest: &LValue, op: AssignOp, rhs: &Rhs, span: Span) -> SResult {
         match dest {
             LValue::Block(d) => {
                 self.check_writable(d)?;
@@ -783,7 +875,7 @@ impl<'a> Analyzer<'a> {
                         b.sort();
                         if a != b {
                             return Err(err(
-                                line,
+                                span,
                                 format!(
                                     "block assignment `{} = {}` must use the same index set \
                                      on both sides (a permutation), got {:?} vs {:?}",
@@ -796,12 +888,12 @@ impl<'a> Analyzer<'a> {
                     (AssignOp::Set | AssignOp::Add, Rhs::Contract(a, b)) => {
                         self.check_readable(a)?;
                         self.check_readable(b)?;
-                        self.check_contraction(&d.indices, a, b, line)
+                        self.check_contraction(&d.indices, a, b, span)
                     }
-                    (AssignOp::Set, Rhs::Scalar(e)) => self.check_expr(e, line, None),
-                    (AssignOp::Mul, Rhs::Scalar(e)) => self.check_expr(e, line, None),
+                    (AssignOp::Set, Rhs::Scalar(e)) => self.check_expr(e, span, None),
+                    (AssignOp::Mul, Rhs::Scalar(e)) => self.check_expr(e, span, None),
                     (AssignOp::Set | AssignOp::Add, Rhs::ScaledBlock(e, srcb)) => {
-                        self.check_expr(e, line, None)?;
+                        self.check_expr(e, span, None)?;
                         self.check_readable(srcb)?;
                         let mut a: Vec<&String> = d.indices.iter().collect();
                         let mut b: Vec<&String> = srcb.indices.iter().collect();
@@ -809,35 +901,35 @@ impl<'a> Analyzer<'a> {
                         b.sort();
                         if a != b {
                             return Err(err(
-                                line,
+                                span,
                                 "scaled block assignment must use the same index set on both sides",
                             ));
                         }
                         Ok(())
                     }
                     (op, rhs) => Err(err(
-                        line,
+                        span,
                         format!("unsupported block assignment form {op:?} with {rhs:?}"),
                     )),
                 }
             }
-            LValue::Scalar(name, _) => {
+            LValue::Scalar(name, name_span) => {
                 if !self.info.scalar_ids.contains_key(name) {
-                    return Err(err(line, format!("unknown scalar `{name}`")));
+                    return Err(err_unknown(*name_span, format!("unknown scalar `{name}`")));
                 }
                 match (op, rhs) {
                     (
                         AssignOp::Set | AssignOp::Add | AssignOp::Sub | AssignOp::Mul,
                         Rhs::Scalar(e),
-                    ) => self.check_expr(e, line, None),
+                    ) => self.check_expr(e, span, None),
                     (AssignOp::Set | AssignOp::Add, Rhs::Contract(a, b)) => {
                         self.check_readable(a)?;
                         self.check_readable(b)?;
                         // Full contraction: result has no free indices.
-                        self.check_contraction(&[], a, b, line)
+                        self.check_contraction(&[], a, b, span)
                     }
                     (op, rhs) => Err(err(
-                        line,
+                        span,
                         format!("unsupported scalar assignment form {op:?} with {rhs:?}"),
                     )),
                 }
@@ -851,7 +943,7 @@ mod tests {
     use super::*;
     use crate::parser::parse;
 
-    fn analyze_src(src: &str) -> Result<SemaInfo, CompileError> {
+    fn analyze_src(src: &str) -> Result<SemaInfo, Vec<Diagnostic>> {
         analyze(&parse(src).unwrap())
     }
 
@@ -877,44 +969,45 @@ mod tests {
             "pardo M\npardo N\nx(M,N) = 0.0\nendpardo\nendpardo",
         ))
         .unwrap_err();
-        assert!(e.message.contains("nested"));
+        assert!(e[0].message.contains("nested"));
     }
 
     #[test]
     fn unbound_index_in_block_ref() {
         let e = analyze_src(&with_body("pardo M\nx(M,N) = 0.0\nendpardo")).unwrap_err();
-        assert!(e.message.contains("not defined by an enclosing loop"));
+        assert!(e[0].message.contains("not defined by an enclosing loop"));
     }
 
     #[test]
     fn kind_mismatch_rejected() {
         let e = analyze_src(&with_body("pardo M, I\nx(M,I) = 0.0\nendpardo")).unwrap_err();
-        assert!(e.message.contains("kind"), "{e}");
+        assert!(e[0].message.contains("kind"), "{:?}", e);
     }
 
     #[test]
     fn get_on_non_distributed_rejected() {
         let e = analyze_src(&with_body("pardo M, N\nget V(M,N)\nendpardo")).unwrap_err();
-        assert!(e.message.contains("distributed"));
+        assert!(e[0].message.contains("distributed"));
     }
 
     #[test]
     fn request_on_distributed_rejected() {
         let e = analyze_src(&with_body("pardo M, N\nrequest D(M,N)\nendpardo")).unwrap_err();
-        assert!(e.message.contains("served"));
+        assert!(e[0].message.contains("served"));
     }
 
     #[test]
     fn direct_write_to_distributed_rejected() {
         let e = analyze_src(&with_body("pardo M, N\nD(M,N) = 0.0\nendpardo")).unwrap_err();
-        assert!(e.message.contains("put"));
+        assert!(e[0].message.contains("put"));
     }
 
     #[test]
     fn duplicate_declaration_rejected() {
         let src = "sial t\naoindex M = 1, 4\nscalar M\nendsial\n";
         let e = analyze_src(src).unwrap_err();
-        assert!(e.message.contains("more than once"));
+        assert!(e[0].message.contains("more than once"));
+        assert_eq!(e[0].code, "sema/duplicate");
     }
 
     #[test]
@@ -922,7 +1015,7 @@ mod tests {
         // y(M,N) = x(M,N) * x(M,N): M,N in both operands AND the result.
         let e =
             analyze_src(&with_body("pardo M, N\ny(M,N) = x(M,N) * x(M,N)\nendpardo")).unwrap_err();
-        assert!(e.message.contains("both operands"));
+        assert!(e[0].message.contains("both operands"));
     }
 
     #[test]
@@ -944,7 +1037,7 @@ mod tests {
         let ok = analyze_src(&with_body("pardo M, N where M < N\nx(M,N) = 0.0\nendpardo"));
         assert!(ok.is_ok());
         let e = analyze_src(&with_body("pardo M where M < N\nx(M,M) = 0.0\nendpardo")).unwrap_err();
-        assert!(e.message.contains("pardo's own indices"));
+        assert!(e[0].message.contains("pardo's own indices"));
     }
 
     #[test]
@@ -955,32 +1048,30 @@ mod tests {
 
     #[test]
     fn do_in_wrong_parent_rejected() {
-        let src = "sial t\naoindex i = 1, 4\naoindex j = 1, 4\nsubindex ii of i\ntemp X(i,j)\npardo j\ndo ii in j\nendpardo\nendsial\n";
-        // Note: `do ii in j` then endpardo — parser wants enddo; craft properly:
         let src2 = "sial t\naoindex i = 1, 4\naoindex j = 1, 4\nsubindex ii of i\ntemp X(i,j)\npardo j\ndo ii in j\nX(j,j) = 0.0\nenddo\nendpardo\nendsial\n";
-        let _ = src;
         let e = analyze_src(src2).unwrap_err();
-        assert!(e.message.contains("not a subindex of"));
+        assert!(e[0].message.contains("not a subindex of"));
     }
 
     #[test]
     fn do_in_without_bound_parent_rejected() {
         let src = "sial t\naoindex i = 1, 4\nsubindex ii of i\ntemp X(i)\ndo ii in i\nX(i) = 0.0\nenddo\nendsial\n";
         let e = analyze_src(src).unwrap_err();
-        assert!(e.message.contains("not defined by an enclosing loop"));
+        assert!(e[0].message.contains("not defined by an enclosing loop"));
     }
 
     #[test]
     fn recursion_rejected() {
         let src = "sial t\nscalar s\nproc a\ncall a\nendproc\ncall a\nendsial\n";
         let e = analyze_src(src).unwrap_err();
-        assert!(e.message.contains("recursive"));
+        assert!(e[0].message.contains("recursive"));
     }
 
     #[test]
     fn unknown_procedure_rejected() {
         let e = analyze_src(&with_body("call nope")).unwrap_err();
-        assert!(e.message.contains("unknown procedure"));
+        assert!(e[0].message.contains("unknown procedure"));
+        assert_eq!(e[0].code, "sema/unknown-name");
     }
 
     #[test]
@@ -988,7 +1079,7 @@ mod tests {
         // `s` is declared scalar and also used as a symbolic bound.
         let src = "sial t\nscalar s\naoindex M = 1, s\nendsial\n";
         let e = analyze_src(src).unwrap_err();
-        assert!(e.message.contains("symbolic constant"));
+        assert!(e[0].message.contains("symbolic constant"));
     }
 
     #[test]
@@ -1009,6 +1100,31 @@ mod tests {
     fn simple_index_cannot_shape_arrays() {
         let src = "sial t\nindex n = 1, 10\ntemp X(n)\nendsial\n";
         let e = analyze_src(src).unwrap_err();
-        assert!(e.message.contains("simple index"));
+        assert!(e[0].message.contains("simple index"));
+    }
+
+    #[test]
+    fn multiple_errors_reported_in_one_pass() {
+        // Two independent bad statements: both reported.
+        let e = analyze_src(&with_body(
+            "pardo M, N\nget V(M,N)\nrequest D(M,N)\nx(M,N) = 0.0\nendpardo",
+        ))
+        .unwrap_err();
+        assert_eq!(e.len(), 2, "{e:?}");
+        assert!(e[0].message.contains("`get` requires"));
+        assert!(e[1].message.contains("`request` requires"));
+    }
+
+    #[test]
+    fn per_unit_checking_isolates_procs() {
+        let src = "sial t\nscalar s\nproc good\ns = 1.0\nendproc\nproc bad\ns = nope\nendproc\ncall good\nendsial\n";
+        let ast = parse(src).unwrap();
+        let (info, dd) = resolve_decls(&ast);
+        assert!(dd.is_empty());
+        assert!(check_unit(&info, SemaUnit::Main(&ast.body)).is_empty());
+        assert!(check_unit(&info, SemaUnit::Proc(&ast.procs[0])).is_empty());
+        let bad = check_unit(&info, SemaUnit::Proc(&ast.procs[1]));
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown name `nope`"));
     }
 }

@@ -238,11 +238,15 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token with its 1-based source line.
+use sia_bytecode::diag::Span;
+
+/// A token with its source position: the byte span and the 1-based line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
     /// The token.
     pub token: Token,
+    /// Byte range in the source.
+    pub span: Span,
     /// 1-based source line.
     pub line: u32,
 }

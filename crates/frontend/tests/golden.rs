@@ -1,0 +1,45 @@
+//! Golden-file tests for multi-error reporting: each `.sial` input under
+//! `tests/golden/` has a sibling `.diag` file holding the exact rendered
+//! diagnostics. Rerun with `BLESS=1` to regenerate after an intentional
+//! change to error wording or recovery behavior.
+
+use std::path::Path;
+
+fn check_golden(stem: &str, min_findings: usize) {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let src_path = dir.join(format!("{stem}.sial"));
+    let diag_path = dir.join(format!("{stem}.diag"));
+    let src = std::fs::read_to_string(&src_path).unwrap();
+    let errs = sial_frontend::compile_file(&format!("golden/{stem}.sial"), &src)
+        .expect_err("golden input must fail to compile");
+    assert!(
+        errs.diagnostics.len() >= min_findings,
+        "{stem}: expected at least {min_findings} findings after recovery, got {}:\n{errs}",
+        errs.diagnostics.len()
+    );
+    let got: String = errs.diagnostics.iter().map(|d| format!("{d}\n")).collect();
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(&diag_path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&diag_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e} (run with BLESS=1)",
+            diag_path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{stem}: rendered diagnostics drifted from golden file; rerun with BLESS=1 if intentional"
+    );
+}
+
+#[test]
+fn parser_recovers_and_reports_every_broken_statement() {
+    check_golden("parse_recovery", 3);
+}
+
+#[test]
+fn sema_reports_every_finding_in_one_pass() {
+    check_golden("sema_multi", 3);
+}

@@ -1,0 +1,698 @@
+//! # sial-lsp — a language server over the incremental compiler database
+//!
+//! Speaks JSON-RPC 2.0 with `Content-Length` framing over stdio (the LSP
+//! base protocol). One [`CompilerDb`] per open document gives the server
+//! its incrementality: a keystroke re-runs only the queries the edit
+//! invalidated, so diagnostics for a proc-local change re-typecheck only
+//! that proc.
+//!
+//! Protocol surface (see `DESIGN.md` §19):
+//!
+//! * `initialize` / `shutdown` / `exit` — lifecycle; full-document sync.
+//! * `textDocument/didOpen` / `didChange` / `didClose` — document state;
+//!   every change pushes `textDocument/publishDiagnostics` combining the
+//!   front-end stages (lex/parse/resolve/typecheck/lower) with the
+//!   bytecode verifier's structural and pardo-race findings.
+//! * `textDocument/definition` — indices, arrays, scalars, and procs
+//!   resolve to the span of their declared name.
+//! * `textDocument/hover` — declared segment ranges for indices, kind and
+//!   dry-run block size for arrays, statement counts for procs.
+//!
+//! The server is a plain library ([`Server::handle`] maps one incoming
+//! message to its outgoing messages) so tests can drive it without a
+//! process boundary; `main.rs` adds the stdio framing.
+
+use sia_bytecode::diag::{LineMap, Severity, Span};
+use sia_runtime::events::{parse_json, Json};
+use sia_runtime::SegmentConfig;
+use sial_frontend::ast::{AstArrayKind, AstIndexKind, Bound, Decl};
+use sial_frontend::token::Token;
+use sial_frontend::CompilerDb;
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+// ---- framing ---------------------------------------------------------------
+
+/// Reads one `Content-Length`-framed message; `None` at clean EOF.
+pub fn read_message(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .strip_prefix("Content-Length:")
+            .or_else(|| line.strip_prefix("content-length:"))
+        {
+            content_length = v.trim().parse().ok();
+        }
+        // Content-Type headers are tolerated and ignored.
+    }
+    let len = content_length
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing Content-Length"))?;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "message is not UTF-8"))
+}
+
+/// Writes one `Content-Length`-framed message.
+pub fn write_message(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    write!(w, "Content-Length: {}\r\n\r\n{}", payload.len(), payload)?;
+    w.flush()
+}
+
+// ---- JSON helpers ----------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Re-serializes a request id (number or string) for the response.
+fn id_str(id: &Json) -> String {
+    match id {
+        Json::Num(n) => {
+            if n.fract() == 0.0 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Json::Str(s) => format!("\"{}\"", esc(s)),
+        _ => "null".to_string(),
+    }
+}
+
+/// `{"line":L,"character":C}` — LSP positions are 0-based.
+fn pos_json(map: &LineMap, offset: u32) -> String {
+    let (line, col) = map.line_col(offset);
+    format!("{{\"line\":{},\"character\":{}}}", line - 1, col - 1)
+}
+
+fn range_json(map: &LineMap, span: Span) -> String {
+    format!(
+        "{{\"start\":{},\"end\":{}}}",
+        pos_json(map, span.start),
+        pos_json(map, span.end)
+    )
+}
+
+// ---- the server ------------------------------------------------------------
+
+/// One language-server session: per-document compiler databases plus the
+/// lifecycle flags.
+#[derive(Default)]
+pub struct Server {
+    docs: BTreeMap<String, CompilerDb>,
+    /// Set by `exit`; the stdio loop terminates on it.
+    pub exited: bool,
+}
+
+impl Server {
+    /// A fresh server with no open documents.
+    pub fn new() -> Self {
+        Server::default()
+    }
+
+    /// Handles one incoming JSON-RPC message, returning every outgoing
+    /// message (the response, if the input was a request, plus any
+    /// notifications it triggered).
+    pub fn handle(&mut self, text: &str) -> Vec<String> {
+        let Ok(msg) = parse_json(text) else {
+            return vec![
+                "{\"jsonrpc\":\"2.0\",\"id\":null,\"error\":{\"code\":-32700,\"message\":\"parse error\"}}"
+                    .to_string(),
+            ];
+        };
+        let method = msg.get("method").and_then(Json::as_str).unwrap_or("");
+        let id = msg.get("id");
+        let params = msg.get("params");
+        match method {
+            "initialize" => vec![self.resp(
+                id,
+                "{\"capabilities\":{\"textDocumentSync\":1,\"hoverProvider\":true,\
+                 \"definitionProvider\":true},\
+                 \"serverInfo\":{\"name\":\"sial-lsp\",\"version\":\"0.1.0\"}}",
+            )],
+            "initialized" | "$/cancelRequest" => Vec::new(),
+            "shutdown" => vec![self.resp(id, "null")],
+            "exit" => {
+                self.exited = true;
+                Vec::new()
+            }
+            "textDocument/didOpen" => self.did_open(params),
+            "textDocument/didChange" => self.did_change(params),
+            "textDocument/didClose" => self.did_close(params),
+            "textDocument/definition" => vec![self.definition(id, params)],
+            "textDocument/hover" => vec![self.hover(id, params)],
+            _ if id.is_some() => vec![format!(
+                "{{\"jsonrpc\":\"2.0\",\"id\":{},\"error\":{{\"code\":-32601,\
+                 \"message\":\"method not found: {}\"}}}}",
+                id_str(id.unwrap()),
+                esc(method)
+            )],
+            _ => Vec::new(),
+        }
+    }
+
+    fn resp(&self, id: Option<&Json>, result: &str) -> String {
+        format!(
+            "{{\"jsonrpc\":\"2.0\",\"id\":{},\"result\":{}}}",
+            id.map(id_str).unwrap_or_else(|| "null".into()),
+            result
+        )
+    }
+
+    // ---- document sync ------------------------------------------------------
+
+    fn did_open(&mut self, params: Option<&Json>) -> Vec<String> {
+        let Some(p) = params else { return Vec::new() };
+        let doc = p.get("textDocument");
+        let (Some(uri), Some(text)) = (
+            doc.and_then(|d| d.get("uri")).and_then(Json::as_str),
+            doc.and_then(|d| d.get("text")).and_then(Json::as_str),
+        ) else {
+            return Vec::new();
+        };
+        self.docs
+            .insert(uri.to_string(), CompilerDb::new(uri, text));
+        vec![self.publish(uri)]
+    }
+
+    fn did_change(&mut self, params: Option<&Json>) -> Vec<String> {
+        let Some(p) = params else { return Vec::new() };
+        let Some(uri) = p
+            .get("textDocument")
+            .and_then(|d| d.get("uri"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+        else {
+            return Vec::new();
+        };
+        // Full sync: the last change carries the whole new text.
+        let Some(text) = p
+            .get("contentChanges")
+            .and_then(Json::as_array)
+            .and_then(|a| a.last())
+            .and_then(|c| c.get("text"))
+            .and_then(Json::as_str)
+        else {
+            return Vec::new();
+        };
+        match self.docs.get_mut(&uri) {
+            Some(db) => db.set_source(text),
+            None => {
+                self.docs.insert(uri.clone(), CompilerDb::new(&uri, text));
+            }
+        }
+        vec![self.publish(&uri)]
+    }
+
+    fn did_close(&mut self, params: Option<&Json>) -> Vec<String> {
+        let Some(uri) = params
+            .and_then(|p| p.get("textDocument"))
+            .and_then(|d| d.get("uri"))
+            .and_then(Json::as_str)
+        else {
+            return Vec::new();
+        };
+        self.docs.remove(uri);
+        vec![format!(
+            "{{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/publishDiagnostics\",\
+             \"params\":{{\"uri\":\"{}\",\"diagnostics\":[]}}}}",
+            esc(uri)
+        )]
+    }
+
+    // ---- diagnostics --------------------------------------------------------
+
+    /// The full diagnostic set for a document: every front-end stage via
+    /// the database, plus the bytecode verifier (structure and pardo
+    /// races) when the program lowers cleanly.
+    fn publish(&mut self, uri: &str) -> String {
+        let db = self.docs.get_mut(uri).expect("document is open");
+        let map = db.line_map();
+        let mut items: Vec<String> = db
+            .diagnostics()
+            .iter()
+            .map(|d| lsp_diag(&map, d.span, d.severity, &d.code, &d.message))
+            .collect();
+        if let Some(program) = db.program() {
+            for v in sia_runtime::verify::check_program(&program) {
+                // Bytecode findings are line-granular: highlight the whole
+                // source line the instruction was lowered from.
+                let span = v
+                    .source
+                    .as_ref()
+                    .map(|&(_, line)| map.line_span(line))
+                    .unwrap_or_else(|| Span::new(0, 0));
+                items.push(lsp_diag(
+                    &map,
+                    span,
+                    Severity::Error,
+                    &format!("verify/{}", v.rule.name()),
+                    &v.message,
+                ));
+            }
+        }
+        format!(
+            "{{\"jsonrpc\":\"2.0\",\"method\":\"textDocument/publishDiagnostics\",\
+             \"params\":{{\"uri\":\"{}\",\"diagnostics\":[{}]}}}}",
+            esc(uri),
+            items.join(",")
+        )
+    }
+
+    // ---- navigation ---------------------------------------------------------
+
+    /// The identifier under the cursor, from the token query.
+    fn ident_at(&mut self, uri: &str, offset: u32) -> Option<(String, Span)> {
+        let db = self.docs.get_mut(uri)?;
+        let (tokens, _) = db.tokens();
+        tokens.iter().find_map(|t| match &t.token {
+            Token::Ident(name) if t.span.start <= offset && offset <= t.span.end => {
+                Some((name.clone(), t.span))
+            }
+            _ => None,
+        })
+    }
+
+    /// The declaration site of `name`: a top-level decl or a proc.
+    fn decl_of(&mut self, uri: &str, name: &str) -> Option<Span> {
+        let db = self.docs.get_mut(uri)?;
+        let (ast, _) = db.ast();
+        ast.decls
+            .iter()
+            .find(|d| d.name() == name)
+            .map(Decl::span)
+            .or_else(|| ast.procs.iter().find(|p| p.name == name).map(|p| p.span))
+    }
+
+    fn definition(&mut self, id: Option<&Json>, params: Option<&Json>) -> String {
+        let Some((uri, offset)) = self.uri_offset(params) else {
+            return self.resp(id, "null");
+        };
+        let target = self
+            .ident_at(&uri, offset)
+            .and_then(|(name, _)| self.decl_of(&uri, &name));
+        match target {
+            Some(span) => {
+                let map = self
+                    .docs
+                    .get_mut(&uri)
+                    .expect("document is open")
+                    .line_map();
+                self.resp(
+                    id,
+                    &format!(
+                        "{{\"uri\":\"{}\",\"range\":{}}}",
+                        esc(&uri),
+                        range_json(&map, span)
+                    ),
+                )
+            }
+            None => self.resp(id, "null"),
+        }
+    }
+
+    fn hover(&mut self, id: Option<&Json>, params: Option<&Json>) -> String {
+        let Some((uri, offset)) = self.uri_offset(params) else {
+            return self.resp(id, "null");
+        };
+        let Some((name, span)) = self.ident_at(&uri, offset) else {
+            return self.resp(id, "null");
+        };
+        let Some(text) = self.hover_text(&uri, &name) else {
+            return self.resp(id, "null");
+        };
+        let map = self
+            .docs
+            .get_mut(&uri)
+            .expect("document is open")
+            .line_map();
+        self.resp(
+            id,
+            &format!(
+                "{{\"contents\":{{\"kind\":\"markdown\",\"value\":\"{}\"}},\"range\":{}}}",
+                esc(&text),
+                range_json(&map, span)
+            ),
+        )
+    }
+
+    /// Hover content: declared segment ranges for indices, kind plus the
+    /// dry-run block size for arrays (default segment configuration, f64
+    /// elements), statement counts for procs.
+    fn hover_text(&mut self, uri: &str, name: &str) -> Option<String> {
+        let db = self.docs.get_mut(uri)?;
+        let (ast, _) = db.ast();
+        let segs = SegmentConfig::default();
+        if let Some(d) = ast.decls.iter().find(|d| d.name() == name) {
+            return Some(match d {
+                Decl::Index {
+                    name,
+                    kind,
+                    low,
+                    high,
+                    ..
+                } => {
+                    let seg = segs.default;
+                    format!(
+                        "**{name}** — `{}`, declared range {}..{}\n\ndry-run segments of {seg} \
+                         elements per block dimension",
+                        index_kind_name(*kind),
+                        bound_str(low),
+                        bound_str(high),
+                    )
+                }
+                Decl::Subindex { name, parent, .. } => format!(
+                    "**{name}** — `subindex` of `{parent}`\n\naddresses {} subsegments of each \
+                     `{parent}` segment",
+                    segs.nsub
+                ),
+                Decl::Array {
+                    name,
+                    kind,
+                    dims,
+                    sparse,
+                    ..
+                } => {
+                    let seg = segs.default;
+                    let block_bytes = (seg as u64).pow(dims.len() as u32) * 8;
+                    format!(
+                        "**{name}** — {}`{}` array, rank {} ({})\n\ndry-run block size: {} doubles \
+                         = {}",
+                        if *sparse { "`sparse` " } else { "" },
+                        array_kind_name(*kind),
+                        dims.len(),
+                        dims.join(","),
+                        (seg as u64).pow(dims.len() as u32),
+                        human_bytes(block_bytes),
+                    )
+                }
+                Decl::Scalar { name, init, .. } => {
+                    format!("**{name}** — `scalar`, initial value {init}")
+                }
+            });
+        }
+        if let Some(p) = ast.procs.iter().find(|p| p.name == name) {
+            return Some(format!(
+                "**{}** — procedure, {} statement(s)",
+                p.name,
+                p.body.len()
+            ));
+        }
+        None
+    }
+
+    /// Extracts `(uri, byte offset)` from positional request params.
+    fn uri_offset(&mut self, params: Option<&Json>) -> Option<(String, u32)> {
+        let p = params?;
+        let uri = p.get("textDocument")?.get("uri")?.as_str()?.to_string();
+        let pos = p.get("position")?;
+        let line = pos.get("line")?.as_f64()? as u32;
+        let character = pos.get("character")?.as_f64()? as u32;
+        let map = self.docs.get_mut(&uri)?.line_map();
+        Some((uri, map.offset(line + 1, character + 1)))
+    }
+
+    /// Memo-table hit/miss counters for a document (observability; used by
+    /// the incrementality tests).
+    pub fn stats_summary(&self, uri: &str) -> Option<String> {
+        self.docs.get(uri).map(|db| db.stats().summary())
+    }
+}
+
+fn lsp_diag(map: &LineMap, span: Span, severity: Severity, code: &str, message: &str) -> String {
+    let sev = match severity {
+        Severity::Error => 1,
+        Severity::Warning => 2,
+        Severity::Note => 3,
+    };
+    format!(
+        "{{\"range\":{},\"severity\":{},\"code\":\"{}\",\"source\":\"sial\",\"message\":\"{}\"}}",
+        range_json(map, span),
+        sev,
+        esc(code),
+        esc(message)
+    )
+}
+
+fn index_kind_name(k: AstIndexKind) -> &'static str {
+    match k {
+        AstIndexKind::Ao => "aoindex",
+        AstIndexKind::Mo => "moindex",
+        AstIndexKind::MoA => "moaindex",
+        AstIndexKind::MoB => "mobindex",
+        AstIndexKind::La => "laindex",
+        AstIndexKind::Simple => "index",
+    }
+}
+
+fn array_kind_name(k: AstArrayKind) -> &'static str {
+    match k {
+        AstArrayKind::Static => "static",
+        AstArrayKind::Temp => "temp",
+        AstArrayKind::Local => "local",
+        AstArrayKind::Distributed => "distributed",
+        AstArrayKind::Served => "served",
+    }
+}
+
+fn bound_str(b: &Bound) -> String {
+    match b {
+        Bound::Lit(v) => v.to_string(),
+        Bound::Sym(s) => s.clone(),
+    }
+}
+
+fn human_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, method: &str, params: &str) -> String {
+        format!("{{\"jsonrpc\":\"2.0\",\"id\":{id},\"method\":\"{method}\",\"params\":{params}}}")
+    }
+
+    fn notif(method: &str, params: &str) -> String {
+        format!("{{\"jsonrpc\":\"2.0\",\"method\":\"{method}\",\"params\":{params}}}")
+    }
+
+    fn open(server: &mut Server, uri: &str, text: &str) -> String {
+        let out = server.handle(&notif(
+            "textDocument/didOpen",
+            &format!(
+                "{{\"textDocument\":{{\"uri\":\"{uri}\",\"languageId\":\"sial\",\
+                 \"version\":1,\"text\":\"{}\"}}}}",
+                esc(text)
+            ),
+        ));
+        assert_eq!(out.len(), 1, "didOpen publishes once");
+        out.into_iter().next().unwrap()
+    }
+
+    fn mp2_screened() -> String {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../programs/mp2_screened.sial"
+        );
+        std::fs::read_to_string(path).expect("programs/mp2_screened.sial exists")
+    }
+
+    /// Byte offset → LSP position params for a (line, character) pair
+    /// derived from the first occurrence of `needle` in `text`.
+    fn position_of(text: &str, needle: &str) -> (u32, u32) {
+        let off = text.find(needle).expect("needle present") as u32;
+        let map = LineMap::new(text);
+        let (l, c) = map.line_col(off);
+        (l - 1, c - 1)
+    }
+
+    #[test]
+    fn initialize_advertises_capabilities() {
+        let mut s = Server::new();
+        let out = s.handle(&req(1, "initialize", "{}"));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("\"id\":1"), "{}", out[0]);
+        assert!(out[0].contains("\"hoverProvider\":true"), "{}", out[0]);
+        assert!(out[0].contains("\"definitionProvider\":true"), "{}", out[0]);
+    }
+
+    #[test]
+    fn clean_program_publishes_empty_diagnostics() {
+        let mut s = Server::new();
+        let out = open(&mut s, "file:///mp2.sial", &mp2_screened());
+        assert!(out.contains("publishDiagnostics"), "{out}");
+        assert!(out.contains("\"diagnostics\":[]"), "{out}");
+    }
+
+    #[test]
+    fn broken_program_publishes_located_diagnostics() {
+        let mut s = Server::new();
+        let out = open(
+            &mut s,
+            "file:///bad.sial",
+            "sial bad\naoindex i = 1, n\npardo i\n  get X(i)\nendpardo i\nendsial\n",
+        );
+        assert!(out.contains("sema/unknown-name"), "{out}");
+        assert!(out.contains("\"severity\":1"), "{out}");
+        // `get X(i)` sits on 0-based line 3.
+        assert!(out.contains("\"line\":3"), "{out}");
+    }
+
+    #[test]
+    fn race_findings_reach_the_client() {
+        let mut s = Server::new();
+        let out = open(
+            &mut s,
+            "file:///race.sial",
+            "sial ww\naoindex i = 1, n\naoindex j = 1, n\ndistributed X(j)\ntemp t(j)\n\
+             pardo i, j\n  t(j) = 1.0\n  put X(j) = t(j)\nendpardo i, j\nendsial\n",
+        );
+        assert!(out.contains("verify/write-write-race"), "{out}");
+        // The put statement is 0-based line 7; the finding highlights it.
+        assert!(out.contains("{\"line\":7,\"character\":0}"), "{out}");
+    }
+
+    #[test]
+    fn did_change_clears_fixed_diagnostics() {
+        let mut s = Server::new();
+        let uri = "file:///fix.sial";
+        let broken = "sial f\naoindex i = 1, n\npardo i\n  get X(i)\nendpardo i\nendsial\n";
+        let fixed = "sial f\naoindex i = 1, n\ndistributed X(i)\npardo i\n  get X(i)\n\
+                     endpardo i\nendsial\n";
+        let out = open(&mut s, uri, broken);
+        assert!(out.contains("sema/unknown-name"), "{out}");
+        let out = s.handle(&notif(
+            "textDocument/didChange",
+            &format!(
+                "{{\"textDocument\":{{\"uri\":\"{uri}\",\"version\":2}},\
+                 \"contentChanges\":[{{\"text\":\"{}\"}}]}}",
+                esc(fixed)
+            ),
+        ));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("\"diagnostics\":[]"), "{}", out[0]);
+    }
+
+    #[test]
+    fn goto_definition_on_mp2_screened() {
+        let src = mp2_screened();
+        let mut s = Server::new();
+        let uri = "file:///mp2_screened.sial";
+        open(&mut s, uri, &src);
+        // A use of `Vd` inside the second pardo body resolves to its
+        // declaration line.
+        let use_off = src.rfind("Vd(i,a,j,b)").expect("array used") as u32;
+        let map = LineMap::new(&src);
+        let (ul, uc) = map.line_col(use_off);
+        let out = s.handle(&req(
+            7,
+            "textDocument/definition",
+            &format!(
+                "{{\"textDocument\":{{\"uri\":\"{uri}\"}},\
+                 \"position\":{{\"line\":{},\"character\":{}}}}}",
+                ul - 1,
+                uc - 1
+            ),
+        ));
+        assert_eq!(out.len(), 1);
+        let decl_off = src.find("Vd(i,a,j,b)").unwrap() as u32;
+        let (dl, dc) = map.line_col(decl_off);
+        assert!(
+            out[0].contains(&format!(
+                "\"start\":{{\"line\":{},\"character\":{}}}",
+                dl - 1,
+                dc - 1
+            )),
+            "definition should land on the declaration: {}",
+            out[0]
+        );
+        assert!(out[0].contains(uri), "{}", out[0]);
+    }
+
+    #[test]
+    fn hover_shows_ranges_and_block_sizes_on_mp2_screened() {
+        let src = mp2_screened();
+        let mut s = Server::new();
+        let uri = "file:///mp2_screened.sial";
+        open(&mut s, uri, &src);
+        // Hover an index declaration: segment range.
+        let (l, c) = position_of(&src, "i = 1, nocc");
+        let out = s.handle(&req(
+            8,
+            "textDocument/hover",
+            &format!(
+                "{{\"textDocument\":{{\"uri\":\"{uri}\"}},\
+                 \"position\":{{\"line\":{l},\"character\":{c}}}}}"
+            ),
+        ));
+        assert!(out[0].contains("declared range"), "{}", out[0]);
+        // Hover an array: dry-run block size.
+        let (l, c) = position_of(&src, "Vd(i,a,j,b)");
+        let out = s.handle(&req(
+            9,
+            "textDocument/hover",
+            &format!(
+                "{{\"textDocument\":{{\"uri\":\"{uri}\"}},\
+                 \"position\":{{\"line\":{l},\"character\":{c}}}}}"
+            ),
+        ));
+        assert!(out[0].contains("dry-run block size"), "{}", out[0]);
+        assert!(out[0].contains("rank 4"), "{}", out[0]);
+    }
+
+    #[test]
+    fn unknown_method_with_id_errors_politely() {
+        let mut s = Server::new();
+        let out = s.handle(&req(3, "textDocument/rename", "{}"));
+        assert!(out[0].contains("-32601"), "{}", out[0]);
+    }
+
+    #[test]
+    fn shutdown_then_exit_terminates() {
+        let mut s = Server::new();
+        let out = s.handle(&req(2, "shutdown", "null"));
+        assert!(out[0].contains("\"result\":null"), "{}", out[0]);
+        assert!(!s.exited);
+        s.handle("{\"jsonrpc\":\"2.0\",\"method\":\"exit\"}");
+        assert!(s.exited);
+    }
+
+    #[test]
+    fn framing_roundtrips() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, "{\"x\":1}").unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        assert_eq!(read_message(&mut r).unwrap().as_deref(), Some("{\"x\":1}"));
+        assert_eq!(read_message(&mut r).unwrap(), None, "EOF after one message");
+    }
+}

@@ -1007,6 +1007,52 @@ pub fn lint_profile_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `sial check --json` export: parseable JSON with the
+/// `sia.diag.v1` schema marker, a matching `count`, and the required
+/// members on every diagnostic entry.
+pub fn lint_diag_json(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("sia.diag.v1") => {}
+        other => return Err(format!("bad schema marker {other:?}")),
+    }
+    doc.get("file")
+        .and_then(Json::as_str)
+        .ok_or("missing file")?;
+    let count = doc
+        .get("count")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric count")? as usize;
+    let diags = doc
+        .get("diagnostics")
+        .and_then(Json::as_array)
+        .ok_or("missing diagnostics array")?;
+    if diags.len() != count {
+        return Err(format!(
+            "count {} does not match diagnostics length {}",
+            count,
+            diags.len()
+        ));
+    }
+    for (i, d) in diags.iter().enumerate() {
+        for key in ["file", "severity", "code", "message"] {
+            d.get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("diagnostic {i}: missing string {key}"))?;
+        }
+        for key in ["start", "end", "line", "col"] {
+            d.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("diagnostic {i}: missing numeric {key}"))?;
+        }
+        match d.get("severity").and_then(Json::as_str) {
+            Some("note" | "warning" | "error") => {}
+            other => return Err(format!("diagnostic {i}: bad severity {other:?}")),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

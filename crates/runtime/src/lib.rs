@@ -79,8 +79,8 @@ pub use cache::{BlockGet, CacheStats};
 pub use dryrun::MemoryEstimate;
 pub use error::{CommKind, RuntimeError};
 pub use events::{
-    lint_chrome_trace, lint_profile_json, CommOp, EventKind, RankTrace, RecoveryEvent, TraceEvent,
-    TraceLint, TraceSink, TraceTimeline,
+    lint_chrome_trace, lint_diag_json, lint_profile_json, CommOp, EventKind, RankTrace,
+    RecoveryEvent, TraceEvent, TraceLint, TraceSink, TraceTimeline,
 };
 pub use layout::{
     ConfigError, CrashSchedule, FaultConfig, Layout, Placement, SegmentConfig, SipConfig,

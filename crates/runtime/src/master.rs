@@ -303,7 +303,16 @@ impl Master {
                 where_clauses,
                 &|i| scalars[i as usize],
                 &|i| consts[i as usize],
-            )?;
+            )
+            .map_err(|e| match e {
+                // Attribute malformed-bytecode findings to the source
+                // statement when the program carries a line table.
+                RuntimeError::BadBytecode(m) => RuntimeError::BadBytecode(format!(
+                    "{}: {m}",
+                    self.layout.program.locate_pc(pardo_pc)
+                )),
+                other => other,
+            })?;
             if let Some(h) = &self.serving {
                 // Pre-counted at set_serving; only a re-execution of the
                 // same pardo (a later epoch) grows the job's total.

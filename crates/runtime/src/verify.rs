@@ -123,15 +123,45 @@ pub struct Diagnostic {
     pub message: String,
     /// The instruction, disassembled.
     pub listing: String,
+    /// Source `(file, line)` the instruction was lowered from, when the
+    /// program carries a line table (wire v3).
+    pub source: Option<(String, u32)>,
+}
+
+impl Diagnostic {
+    /// Converts a verifier finding into the shared span-carrying
+    /// [`sia_bytecode::diag::Diagnostic`] used by the CLI and `sial-lsp`.
+    /// The code is `verify/<rule-name>`; the location is line-granular
+    /// (column 1, empty byte span) because bytecode only records lines.
+    pub fn to_diagnostic(&self) -> sia_bytecode::diag::Diagnostic {
+        let mut d = sia_bytecode::diag::Diagnostic::error(
+            &format!("verify/{}", self.rule.name()),
+            sia_bytecode::diag::Span::new(0, 0),
+            format!("{} ({})", self.message, self.listing.trim()),
+        );
+        if let Some((file, line)) = &self.source {
+            d.file = file.clone();
+            d.line = *line;
+            d.col = 1;
+        }
+        d
+    }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "pc {:>4}  [{}] {}\n          {}",
-            self.pc, self.rule, self.message, self.listing
-        )
+        match &self.source {
+            Some((file, line)) => write!(
+                f,
+                "{file}:{line}: pc {:>4}  [{}] {}\n          {}",
+                self.pc, self.rule, self.message, self.listing
+            ),
+            None => write!(
+                f,
+                "pc {:>4}  [{}] {}\n          {}",
+                self.pc, self.rule, self.message, self.listing
+            ),
+        }
     }
 }
 
@@ -191,11 +221,16 @@ impl<'a> Verifier<'a> {
             .get(pc as usize)
             .map(|ins| disassemble_instruction(self.p, ins))
             .unwrap_or_else(|| "<pc out of range>".into());
+        let source = self
+            .p
+            .source_of(pc)
+            .map(|(file, line)| (file.to_string(), line));
         self.diags.push(Diagnostic {
             pc,
             rule,
             message,
             listing,
+            source,
         });
     }
 
@@ -279,6 +314,7 @@ impl<'a> Verifier<'a> {
                         decl.name, decl.kind
                     ),
                     listing: format!("<declaration of `{}`>", decl.name),
+                    source: None,
                 });
             }
         }

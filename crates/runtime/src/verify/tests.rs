@@ -723,3 +723,53 @@ endsial
         "{rendered}"
     );
 }
+
+#[test]
+fn findings_carry_source_lines_from_the_line_table() {
+    // Compiled programs carry a wire-v3 line table; the verifier resolves
+    // each finding's pc through it so reports read `file:line`.
+    let d = check_src(
+        "sial ww3
+aoindex i = 1, n
+aoindex j = 1, n
+distributed X(j)
+temp t(j)
+pardo i, j
+  t(j) = 1.0
+  put X(j) = t(j)
+endpardo i, j
+endsial
+",
+    );
+    assert_eq!(rules(&d), vec!["write-write-race"], "{d:?}");
+    let (file, line) = d[0].source.clone().expect("line table resolves the pc");
+    assert_eq!(file, "<input>");
+    assert_eq!(line, 8, "the put statement is on line 8");
+    assert!(d[0].to_string().starts_with("<input>:8: "), "{}", d[0]);
+
+    let shared = d[0].to_diagnostic();
+    assert_eq!(shared.code, "verify/write-write-race");
+    assert_eq!(
+        (shared.file.as_str(), shared.line, shared.col),
+        ("<input>", 8, 1)
+    );
+    assert!(shared.message.contains("put"), "{}", shared.message);
+}
+
+#[test]
+fn hand_built_bytecode_has_no_source() {
+    let p = prog(
+        vec![ao("i")],
+        vec![],
+        vec![
+            I::Get {
+                block: bref(5, &[0]),
+            },
+            I::Halt,
+        ],
+    );
+    let d = check_program(&p);
+    assert!(d.iter().all(|x| x.source.is_none()), "{d:?}");
+    let shared = d[0].to_diagnostic();
+    assert_eq!(shared.line, 0, "no line table, no location");
+}

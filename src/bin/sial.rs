@@ -1,8 +1,9 @@
 //! `sial` — the SIA command-line driver.
 //!
 //! ```text
-//! sial check   prog.sial                      # compile + static verify:
-//!                                             #   structure and pardo races
+//! sial check   prog.sial [--json] [--watch]   # compile + static verify:
+//!                                             #   structure and pardo races,
+//!                                             #   file:line:col diagnostics
 //! sial compile prog.sial -o prog.siab        # emit SIA bytecode
 //! sial disasm  prog.sial|prog.siab           # show the bytecode listing
 //! sial dryrun  prog.sial --workers 64 --seg 16 --bind norb=20 --bind nocc=4
@@ -63,7 +64,10 @@ fn usage() -> ExitCode {
                               Chrome-trace JSON there (load in Perfetto)\n\
            --trace-buffer <n> per-rank trace ring capacity in events\n\
            --check            run: verify the bytecode (as `sial check` does)\n\
-                              and refuse to launch the SIP on any finding"
+                              and refuse to launch the SIP on any finding\n\
+           --json             check: emit diagnostics as sia.diag.v1 JSON\n\
+           --watch            check: re-check on every file change, reusing\n\
+                              the incremental compiler database"
     );
     ExitCode::from(2)
 }
@@ -107,6 +111,8 @@ struct Opts {
     chem: bool,
     profile: bool,
     check: bool,
+    json: bool,
+    watch: bool,
     seg: usize,
     machine: &'static str,
 }
@@ -117,6 +123,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut chem = false;
     let mut profile = false;
     let mut check = false;
+    let mut json = false;
+    let mut watch = false;
     let mut seg = 8usize;
     let mut nsub = 2usize;
     let mut machine = "xt5";
@@ -231,6 +239,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--chem" => chem = true,
             "--profile" => profile = true,
             "--check" => check = true,
+            "--json" => json = true,
+            "--watch" => watch = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -254,6 +264,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         chem,
         profile,
         check,
+        json,
+        watch,
         seg,
         machine,
     })
@@ -278,13 +290,157 @@ fn verify_program(file: &str, p: &sia::Program) -> bool {
     false
 }
 
+/// Loads `file` (source or `.siab`), compiles/decodes it, and statically
+/// verifies the result, collecting every finding as a located,
+/// span-carrying diagnostic. The `Err` side is an I/O failure only;
+/// compile and verify findings come back in the diagnostic list.
+fn check_diagnostics(
+    file: &str,
+) -> Result<(Option<sia::Program>, Vec<sia::bytecode::diag::Diagnostic>), String> {
+    use sia::bytecode::diag::{Diagnostic, Span};
+    let data = std::fs::read(file).map_err(|e| format!("{file}: {e}"))?;
+    let (program, mut diags) = if data.starts_with(b"SIAB") {
+        match sia::bytecode::decode_program(&data) {
+            Ok(p) => (Some(p), Vec::new()),
+            Err(e) => {
+                let mut d = Diagnostic::error("bytecode/decode", Span::new(0, 0), e.to_string());
+                d.file = file.to_string();
+                (None, vec![d])
+            }
+        }
+    } else {
+        let text = String::from_utf8(data).map_err(|_| format!("{file}: not UTF-8"))?;
+        match sia::subsystems::frontend::compile_file(file, &text) {
+            Ok(p) => (Some(p), Vec::new()),
+            Err(e) => (None, e.diagnostics),
+        }
+    };
+    if let Some(p) = &program {
+        diags.extend(sia::runtime::verify::check_program(p).iter().map(|d| {
+            let mut s = d.to_diagnostic();
+            if s.file.is_empty() {
+                s.file = file.to_string();
+            }
+            s
+        }));
+    }
+    Ok((program, diags))
+}
+
+/// `sial check [--json] [--watch]`: compile + static verify with located
+/// multi-error diagnostics (`file:line:col: error[code]: message`).
+fn cmd_check(file: &str, opts: &Opts) -> ExitCode {
+    if opts.watch {
+        return cmd_check_watch(file, opts);
+    }
+    let (program, diags) = match check_diagnostics(file) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.json {
+        println!("{}", sia::bytecode::diag::diagnostics_to_json(file, &diags));
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    if !diags.is_empty() {
+        for d in &diags {
+            eprintln!("{d}");
+        }
+        eprintln!("{file}: check failed — {} finding(s)", diags.len());
+        return ExitCode::FAILURE;
+    }
+    let p = program.expect("no diagnostics means the program loaded");
+    if opts.config.sparsity_threshold > 0.0 && !p.arrays.iter().any(|a| a.sparse) {
+        eprintln!(
+            "{file}: --sparsity-threshold {} has no effect — no array is \
+             declared sparse; add `sparse` to a distributed/served \
+             declaration or drop the flag",
+            opts.config.sparsity_threshold
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{}: ok — {} instructions, {} arrays, {} indices, {} constants",
+        file,
+        p.code.len(),
+        p.arrays.len(),
+        p.indices.len(),
+        p.consts.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// `sial check --watch`: re-checks the file whenever its mtime changes,
+/// reusing one incremental [`CompilerDb`](sia::subsystems::frontend::CompilerDb)
+/// so an unchanged declaration section re-runs only the queries the edit
+/// actually invalidated. Prints the memo-table summary after each pass.
+fn cmd_check_watch(file: &str, opts: &Opts) -> ExitCode {
+    use sia::subsystems::frontend::CompilerDb;
+    let mut db: Option<CompilerDb> = None;
+    let mut last: Option<std::time::SystemTime> = None;
+    loop {
+        let mtime = std::fs::metadata(file).and_then(|m| m.modified()).ok();
+        if mtime.is_some() && mtime != last {
+            last = mtime;
+            let text = match std::fs::read_to_string(file) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let db = match &mut db {
+                Some(db) => {
+                    db.set_source(text);
+                    db
+                }
+                None => db.insert(CompilerDb::new(file, text)),
+            };
+            let mut diags = db.diagnostics();
+            if let Some(p) = db.program() {
+                diags.extend(sia::runtime::verify::check_program(&p).iter().map(|d| {
+                    let mut s = d.to_diagnostic();
+                    if s.file.is_empty() {
+                        s.file = file.to_string();
+                    }
+                    s
+                }));
+            }
+            if opts.json {
+                println!("{}", sia::bytecode::diag::diagnostics_to_json(file, &diags));
+            } else if diags.is_empty() {
+                println!("{file}: ok (revision {})", db.revision());
+            } else {
+                for d in &diags {
+                    eprintln!("{d}");
+                }
+                eprintln!(
+                    "{file}: {} finding(s) (revision {})",
+                    diags.len(),
+                    db.revision()
+                );
+            }
+            if !opts.json {
+                println!("  queries: {}", db.stats().summary());
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
 fn load_program(path: &str) -> Result<sia::Program, String> {
     let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     if data.starts_with(b"SIAB") {
         sia::bytecode::decode_program(&data).map_err(|e| format!("{path}: {e}"))
     } else {
         let text = String::from_utf8(data).map_err(|_| format!("{path}: not UTF-8"))?;
-        sia::compile(&text).map_err(|e| format!("{path}: {e}"))
+        sia::subsystems::frontend::compile_file(path, &text).map_err(|e| e.to_string())
     }
 }
 
@@ -465,35 +621,7 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "check" => match load_program(file) {
-            Ok(p) => {
-                if !verify_program(file, &p) {
-                    return ExitCode::FAILURE;
-                }
-                if opts.config.sparsity_threshold > 0.0 && !p.arrays.iter().any(|a| a.sparse) {
-                    eprintln!(
-                        "{file}: --sparsity-threshold {} has no effect — no array is \
-                         declared sparse; add `sparse` to a distributed/served \
-                         declaration or drop the flag",
-                        opts.config.sparsity_threshold
-                    );
-                    return ExitCode::FAILURE;
-                }
-                println!(
-                    "{}: ok — {} instructions, {} arrays, {} indices, {} constants",
-                    file,
-                    p.code.len(),
-                    p.arrays.len(),
-                    p.indices.len(),
-                    p.consts.len()
-                );
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
-            }
-        },
+        "check" => cmd_check(file, &opts),
         "compile" => match load_program(file) {
             Ok(p) => {
                 let out = opts.output.unwrap_or_else(|| {

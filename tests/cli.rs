@@ -466,3 +466,75 @@ endsial
     assert!(String::from_utf8_lossy(&out.stdout).contains("s = 45.0"));
     let _ = std::fs::remove_file(clean);
 }
+
+#[test]
+fn check_json_is_schema_valid_for_clean_and_racy_programs() {
+    // Clean program: a sia.diag.v1 document with zero diagnostics.
+    let clean = write_demo("jsonclean");
+    let out = sial()
+        .args(["check", clean.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let doc = String::from_utf8_lossy(&out.stdout);
+    sia::runtime::lint_diag_json(&doc).expect("schema-valid diagnostics JSON");
+    assert!(doc.contains("\"count\":0"), "{doc}");
+    let _ = std::fs::remove_file(clean);
+
+    // Racy program: failing exit code, but still a schema-valid document
+    // whose finding carries the verifier code and a source line.
+    let racy = write_racy(
+        "json",
+        "sial racy_json
+aoindex i = 1, n
+aoindex j = 1, n
+distributed X(i)
+temp t(i)
+pardo i, j
+  t(i) = 1.0
+  put X(i) = t(i)
+endpardo i, j
+sip_barrier
+endsial
+",
+    );
+    let out = sial()
+        .args(["check", racy.to_str().unwrap(), "--json"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let doc = String::from_utf8_lossy(&out.stdout);
+    sia::runtime::lint_diag_json(&doc).expect("schema-valid diagnostics JSON");
+    assert!(doc.contains("verify/write-write-race"), "{doc}");
+    assert!(doc.contains("\"line\":8"), "the put is on line 8: {doc}");
+    let _ = std::fs::remove_file(racy);
+}
+
+#[test]
+fn check_reports_every_error_with_file_line_col() {
+    // Statement-level recovery: one pass reports both broken statements,
+    // each located as file:line:col.
+    let path = write_racy(
+        "multi",
+        "sial multi
+aoindex i = 1, n
+temp t(i)
+pardo i
+  t(i) =
+  this is not a statement
+endpardo i
+endsial
+",
+    );
+    let out = sial()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let name = path.to_str().unwrap();
+    assert!(stderr.contains(&format!("{name}:5:")), "{stderr}");
+    assert!(stderr.contains(&format!("{name}:6:")), "{stderr}");
+    assert!(stderr.contains("2 finding(s)"), "{stderr}");
+    let _ = std::fs::remove_file(path);
+}
